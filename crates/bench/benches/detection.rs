@@ -1,0 +1,43 @@
+//! Criterion bench: per-window real-time detection latency of each model
+//! (the compute inside one tick of the Real-Time IDS Unit, which drives
+//! Table II's CPU column).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddoshield::experiments::{paper_models, run_training_capture, ExperimentScale};
+use features::extract::windows_of;
+use ids::pipeline::{IdsConfig, TrainedIds};
+use netsim::rng::SimRng;
+use std::hint::black_box;
+
+fn bench_detection(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let capture = run_training_capture(7, &scale);
+    let windows = windows_of(&capture, 1);
+    // A representative busy window (mid-attack).
+    let window = windows
+        .iter()
+        .max_by_key(|w| w.records.len())
+        .expect("capture has windows")
+        .clone();
+
+    let mut group = c.benchmark_group("classify_window");
+    for kind in paper_models(&scale) {
+        let mut rng = SimRng::seed_from(11);
+        let config = IdsConfig { max_train_samples: 3_000, ..IdsConfig::default() };
+        let trained = TrainedIds::train(&capture, &kind, config, &mut rng)
+            .expect("capture contains both classes");
+        group.bench_with_input(
+            BenchmarkId::new(kind.name(), window.records.len()),
+            &window,
+            |b, w| b.iter(|| black_box(trained.ids.classify_window(black_box(w)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_detection
+}
+criterion_main!(benches);

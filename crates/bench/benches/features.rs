@@ -1,0 +1,44 @@
+//! Criterion bench: the per-second preprocessing stage — window
+//! statistics and full feature extraction — which §IV-E identifies as
+//! the dominant CPU cost of the IDS.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddoshield::experiments::{run_training_capture, ExperimentScale};
+use features::extract::windows_of;
+use features::window::WindowStats;
+use std::hint::black_box;
+
+fn bench_features(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let capture = run_training_capture(7, &scale);
+    let windows = windows_of(&capture, 1);
+    let quiet = windows.iter().min_by_key(|w| w.records.len()).expect("windows exist").clone();
+    let busy = windows.iter().max_by_key(|w| w.records.len()).expect("windows exist").clone();
+
+    let mut group = c.benchmark_group("window_stats");
+    for (name, window) in [("quiet", &quiet), ("busy", &busy)] {
+        group.bench_with_input(BenchmarkId::new(name, window.records.len()), window, |b, w| {
+            b.iter(|| black_box(WindowStats::compute(black_box(&w.records), 1.0)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("feature_matrix");
+    for (name, window) in [("quiet", &quiet), ("busy", &busy)] {
+        group.bench_with_input(BenchmarkId::new(name, window.records.len()), window, |b, w| {
+            b.iter(|| black_box(w.feature_matrix()))
+        });
+    }
+    group.finish();
+
+    c.bench_function("windows_of_full_capture", |b| {
+        b.iter(|| black_box(windows_of(black_box(&capture), 1).len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_features
+}
+criterion_main!(benches);

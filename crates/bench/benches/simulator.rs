@@ -1,0 +1,44 @@
+//! Criterion bench: raw testbed simulation throughput — virtual seconds
+//! of the full scenario (benign workload + botnet + capture) per
+//! wall-clock second, the metric that bounds how far the testbed scales.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ddoshield::experiments::training_scenario;
+use ddoshield::Testbed;
+use netsim::time::SimDuration;
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("testbed");
+    group.sample_size(10);
+
+    group.bench_function("deploy", |b| {
+        b.iter(|| black_box(Testbed::deploy(training_scenario(13, 30))))
+    });
+
+    group.bench_function("infection_lead_20s", |b| {
+        b.iter(|| {
+            let mut testbed = Testbed::deploy(training_scenario(13, 30));
+            testbed.run_infection_lead();
+            black_box(testbed.botnet_stats().snapshot().infections)
+        })
+    });
+
+    group.bench_function("capture_10s_with_attack", |b| {
+        b.iter(|| {
+            let mut testbed = Testbed::deploy(training_scenario(13, 30));
+            testbed.run_infection_lead();
+            let dataset = testbed.run_capture(SimDuration::from_secs(10));
+            black_box(dataset.len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulator
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench: model training cost and model encode (PKL-persist)
+//! cost — the offline half of the IDS life-cycle behind Table II.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddoshield::experiments::{paper_models, run_training_capture, ExperimentScale};
+use ids::pipeline::{IdsConfig, TrainedIds};
+use netsim::rng::SimRng;
+use std::hint::black_box;
+
+fn bench_training(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let capture = run_training_capture(7, &scale);
+
+    let mut group = c.benchmark_group("train");
+    group.sample_size(10);
+    for kind in paper_models(&scale) {
+        // Small cap: the bench measures relative training cost, not
+        // absolute wall time on full captures.
+        let config = IdsConfig { max_train_samples: 1_500, ..IdsConfig::default() };
+        group.bench_function(BenchmarkId::new(kind.name(), 1_500), |b| {
+            b.iter(|| {
+                let mut rng = SimRng::seed_from(11);
+                black_box(
+                    TrainedIds::train(black_box(&capture), &kind, config, &mut rng)
+                        .expect("capture contains both classes"),
+                )
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("encode_model");
+    for kind in paper_models(&scale) {
+        let mut rng = SimRng::seed_from(11);
+        let config = IdsConfig { max_train_samples: 1_500, ..IdsConfig::default() };
+        let trained = TrainedIds::train(&capture, &kind, config, &mut rng)
+            .expect("capture contains both classes");
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| black_box(trained.ids.model().encode()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_training
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Regenerates the **DDoSim-inherited attack-impact experiment** (E6,
+//! §III-A): how device churn and attack duration shape the botnet's
+//! impact on the TServer — connected bots, flood volume at the victim,
+//! SYN-backlog drops, and collateral damage to benign transactions.
+
+use bench::{banner, render_table, seed_from_env};
+use ddoshield::experiments::{run_attack_impact, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::quick(); // grid of runs; each is short
+    let seed = seed_from_env();
+    banner("§III-A — churn and attack-duration impact on the TServer", &scale, seed);
+
+    let churn_rates = [0.0, 2.0, 6.0];
+    let durations = [10u32, 30];
+    let points = run_attack_impact(seed, &churn_rates, &durations);
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.1}", p.churn_per_min),
+                p.attack_secs.to_string(),
+                p.connected_bots.to_string(),
+                p.victim_recv_packets.to_string(),
+                p.victim_syn_drops.to_string(),
+                p.benign_completed.to_string(),
+                p.benign_failed.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "churn/min",
+                "attack (s)",
+                "bots online",
+                "victim rx pkts",
+                "SYN drops",
+                "benign ok",
+                "benign failed",
+            ],
+            &rows,
+        )
+    );
+    println!("expected shape: longer attacks deliver proportionally more flood volume;");
+    println!("higher churn reduces connected bots and hence delivered volume.");
+}

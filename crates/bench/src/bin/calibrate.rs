@@ -1,0 +1,35 @@
+//! Smoke/calibration utility: one quick-scale full evaluation with a
+//! compact one-line-per-model summary — the fastest way to check that a
+//! change kept the Table I/II shapes intact. Not itself a paper
+//! artefact (use `table1`/`table2` for those).
+
+use ddoshield::experiments::{run_full_evaluation, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::quick();
+    let t0 = std::time::Instant::now();
+    let report = run_full_evaluation(42, &scale);
+    println!("elapsed: {:?}", t0.elapsed());
+    println!(
+        "dataset: total={} malicious={} benign={} mal_frac={:.3} span={:.1}s",
+        report.dataset.total(),
+        report.dataset.malicious,
+        report.dataset.benign,
+        report.dataset.malicious_fraction(),
+        report.capture_secs,
+    );
+    for m in &report.models {
+        println!(
+            "{:<8} train[{}] samples={} live_acc={:.2}% min={:.1}% mixed={:?} pure={:?} windows={} sust[{}]",
+            m.name,
+            m.train_metrics,
+            m.train_samples,
+            m.accuracy_percent(),
+            m.log.min_accuracy() * 100.0,
+            m.log.mean_accuracy_mixed().map(|a| (a * 100.0).round()),
+            m.log.mean_accuracy_pure().map(|a| (a * 100.0).round()),
+            m.log.len(),
+            m.sustainability,
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Regenerates the paper's **§V planned extension** (E8): the additional
+//! ML models the paper names for future investigation — SVM, Isolation
+//! Forest (IF) and a (variational) autoencoder — evaluated in exactly
+//! the same capture → train → live-detection pipeline as Table I/II,
+//! to "identify an optimal algorithm that combines high performance and
+//! efficient resource consumption".
+
+use bench::{banner, render_table, scale_from_env, seed_from_env};
+use ddoshield::experiments::run_extended_evaluation;
+
+fn main() {
+    let scale = scale_from_env();
+    let seed = seed_from_env();
+    banner("§V extension — SVM / Isolation Forest / Autoencoder vs the original three", &scale, seed);
+
+    let report = run_extended_evaluation(seed, &scale);
+
+    let rows: Vec<Vec<String>> = report
+        .models
+        .iter()
+        .map(|m| {
+            vec![
+                m.name.to_string(),
+                format!("{:.4}", m.train_metrics.accuracy),
+                format!("{:.2}", m.accuracy_percent()),
+                format!("{:.3}", m.sustainability.cpu_percent),
+                format!("{:.2}", m.sustainability.memory_kb),
+                format!("{:.2}", m.sustainability.model_size_kb),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["Model", "Train acc", "Live acc (%)", "CPU (%)", "Memory (Kb)", "Size (Kb)"],
+            &rows,
+        )
+    );
+    println!("the paper's stated goal for this sweep: an 'ideal profile' for resource-");
+    println!("constrained IoT — high real-time accuracy at minimal model size/memory.");
+}

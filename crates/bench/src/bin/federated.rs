@@ -1,0 +1,34 @@
+//! Regenerates the paper's **§VI future-work experiment** (E9): an
+//! FL-based NIDS emulated on the testbed. Several monitoring sites
+//! (independent testbed deployments) train the shared CNN locally and
+//! exchange only parameters (FedAvg); the aggregated global model is
+//! compared against a centrally trained CNN on the same live detection
+//! run. Raw traffic never leaves a site — the privacy property that
+//! motivates the paper's FL plan.
+
+use bench::{banner, render_table, scale_from_env, seed_from_env};
+use ddoshield::experiments::run_federated_experiment;
+
+fn main() {
+    let scale = scale_from_env();
+    let seed = seed_from_env();
+    banner("§VI — federated-learning NIDS emulation (FedAvg over capture sites)", &scale, seed);
+
+    let report = run_federated_experiment(seed, &scale, 3);
+
+    println!("coordinator-holdout accuracy per FedAvg round:");
+    for (round, acc) in report.round_accuracy.iter().enumerate() {
+        println!("  round {:>2}: {:.2}%", round + 1, acc * 100.0);
+    }
+    println!();
+    let rows = vec![
+        vec![
+            format!("federated CNN ({} sites)", report.clients),
+            format!("{:.2}", report.federated_live_percent),
+        ],
+        vec!["centralized CNN (1 site)".to_string(), format!("{:.2}", report.centralized_live_percent)],
+    ];
+    println!("{}", render_table(&["Model", "Live accuracy (%)"], &rows));
+    println!("expected shape: the federated model approaches the centralized model's");
+    println!("live accuracy without any site sharing raw traffic.");
+}

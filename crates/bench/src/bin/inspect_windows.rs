@@ -1,0 +1,43 @@
+//! Diagnostic utility: prints the per-window statistical features of a
+//! training run and the matching live run side by side — the tool used
+//! to calibrate the E1 distribution shift (see DESIGN.md §4). Not a
+//! paper artefact.
+
+use ddoshield::experiments::{detection_scenario, training_scenario, ExperimentScale};
+use ddoshield::Testbed;
+use features::extract::windows_of;
+use netsim::time::SimDuration;
+
+fn summarize(name: &str, ds: &capture::Dataset) {
+    let windows = windows_of(ds, 1);
+    println!("== {name}: {} windows", windows.len());
+    for w in windows.iter().take(60) {
+        let s = &w.stats;
+        println!(
+            "w{:<4} n={:<6.0} mal={:<6} ent={:.2} srcent={:.2} top={:.2} syn0={:<5.0} flows={:<6.0} udp={:.2} len={:.0}",
+            w.index,
+            s.packet_count,
+            w.records.iter().filter(|r| r.label == capture::Label::Malicious).count(),
+            s.dst_port_entropy,
+            s.src_addr_entropy,
+            s.top_dst_port_fraction,
+            s.syn_without_ack,
+            s.flow_rate,
+            s.udp_fraction,
+            s.mean_pkt_len,
+        );
+    }
+}
+
+fn main() {
+    let scale = ExperimentScale::quick();
+    let mut t = Testbed::deploy(training_scenario(42, scale.capture_secs));
+    t.run_infection_lead();
+    let train = t.run_capture(SimDuration::from_secs(scale.capture_secs));
+    summarize("train", &train);
+    let mut l = Testbed::deploy(detection_scenario(42, scale.live_secs, scale.capture_secs + 5));
+    l.run_infection_lead();
+    let _ = l.run_capture(SimDuration::from_secs(scale.capture_secs + 5));
+    let live = l.run_capture(SimDuration::from_secs(scale.live_secs));
+    summarize("live", &live);
+}

@@ -1,0 +1,87 @@
+//! Shared plumbing for the benchmark harness binaries.
+//!
+//! Every binary regenerates one table or figure of the paper (see
+//! DESIGN.md §4 for the index). Run scale is selected with the
+//! `DDOSHIELD_SCALE` environment variable: `quick`, `standard`
+//! (default) or `paper` (the paper's 10 min + 5 min durations).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use ddoshield::experiments::ExperimentScale;
+
+/// Reads the experiment scale from `DDOSHIELD_SCALE`.
+pub fn scale_from_env() -> ExperimentScale {
+    match std::env::var("DDOSHIELD_SCALE").as_deref() {
+        Ok("quick") => ExperimentScale::quick(),
+        Ok("paper") => ExperimentScale::paper(),
+        Ok(other) if other != "standard" => {
+            eprintln!("unknown DDOSHIELD_SCALE {other:?}; using standard");
+            ExperimentScale::standard()
+        }
+        _ => ExperimentScale::standard(),
+    }
+}
+
+/// Reads the root seed from `DDOSHIELD_SEED` (default 42).
+pub fn seed_from_env() -> u64 {
+    std::env::var("DDOSHIELD_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
+}
+
+/// Renders an ASCII table with a header row.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("| {:<width$} ", cell, width = widths[i]));
+        }
+        out.push_str("|\n");
+    };
+    let rule: String =
+        widths.iter().map(|w| format!("+{:-<width$}", "", width = w + 2)).collect::<String>() + "+\n";
+    out.push_str(&rule);
+    line(&mut out, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    out.push_str(&rule);
+    for row in rows {
+        line(&mut out, row);
+    }
+    out.push_str(&rule);
+    out
+}
+
+/// Standard banner naming the artefact being regenerated.
+pub fn banner(artifact: &str, scale: &ExperimentScale, seed: u64) {
+    println!("=== DDoShield-IoT reproduction: {artifact} ===");
+    println!(
+        "scale: capture={}s live={}s train_cap={} cnn_epochs={} | seed={seed}",
+        scale.capture_secs, scale.live_secs, scale.max_train_samples, scale.cnn_epochs
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_all_cells() {
+        let s = render_table(
+            &["Model", "Accuracy (%)"],
+            &[
+                vec!["RF".into(), "61.22".into()],
+                vec!["K-Means".into(), "94.82".into()],
+            ],
+        );
+        assert!(s.contains("RF"));
+        assert!(s.contains("94.82"));
+        assert!(s.lines().count() >= 6);
+    }
+}

@@ -1,0 +1,262 @@
+//! The attacker container: Mirai's scanner, loader and command-and-
+//! control server in one application (matching the paper's Attacker
+//! component with its C2 subcomponent).
+//!
+//! The scanner probes random addresses on the LAN for telnet, runs the
+//! factory-default credential dictionary against responders, and on
+//! success "loads the malware" by issuing `INSTALL <c2> <port>` in the
+//! shell. Bots dial back to the embedded C2 server, which broadcasts the
+//! scheduled attack orders.
+
+use std::collections::HashMap;
+
+use netsim::packet::Addr;
+use netsim::rng::SimRng;
+use netsim::time::{SimDuration, SimTime};
+use netsim::world::{App, Ctx};
+use netsim::{ConnId, TcpEvent};
+
+use crate::commands::{C2Command, C2_PORT, MIRAI_DICTIONARY, TELNET_PORT};
+use crate::line::LineBuffer;
+use crate::stats::BotnetStats;
+
+const TOKEN_SCAN: u64 = 1;
+/// Schedule entries use tokens `TOKEN_SCHEDULE_BASE + index`.
+const TOKEN_SCHEDULE_BASE: u64 = 1_000;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProbePhase {
+    Connecting,
+    WaitLogin,
+    WaitPassPrompt,
+    WaitResult,
+    WaitInstalled,
+}
+
+#[derive(Debug)]
+struct Probe {
+    target: Addr,
+    cred_idx: usize,
+    phase: ProbePhase,
+    buffer: LineBuffer,
+}
+
+/// Configuration of the attacker's behaviour.
+#[derive(Debug, Clone)]
+pub struct AttackerConfig {
+    /// Mean pause between scan probes (seconds).
+    pub scan_interval_mean: f64,
+    /// Host-index range `[lo, hi)` scanned within `10.0.x.y` (indices
+    /// above the populated range model probes into empty space).
+    pub scan_hosts: (u32, u32),
+    /// The attack schedule: absolute fire times and the orders to
+    /// broadcast.
+    pub schedule: Vec<(SimTime, C2Command)>,
+}
+
+impl Default for AttackerConfig {
+    fn default() -> Self {
+        AttackerConfig { scan_interval_mean: 0.25, scan_hosts: (2, 64), schedule: Vec::new() }
+    }
+}
+
+/// The Mirai attacker: scanner + loader + C2 server.
+#[derive(Debug)]
+pub struct Attacker {
+    config: AttackerConfig,
+    stats: BotnetStats,
+    rng: SimRng,
+    probes: HashMap<ConnId, Probe>,
+    bots: HashMap<ConnId, Addr>,
+    bot_buffers: HashMap<ConnId, LineBuffer>,
+    infected_targets: Vec<Addr>,
+}
+
+impl Attacker {
+    /// Creates an attacker with the given behaviour.
+    pub fn new(config: AttackerConfig, stats: BotnetStats, rng: SimRng) -> Self {
+        Attacker {
+            config,
+            stats,
+            rng,
+            probes: HashMap::new(),
+            bots: HashMap::new(),
+            bot_buffers: HashMap::new(),
+            infected_targets: Vec::new(),
+        }
+    }
+
+    fn schedule_scan(&mut self, ctx: &mut Ctx<'_>) {
+        let delay = SimDuration::from_secs_f64(self.rng.exponential(self.config.scan_interval_mean));
+        ctx.set_timer(delay, TOKEN_SCAN);
+    }
+
+    fn launch_probe(&mut self, ctx: &mut Ctx<'_>, target: Addr, cred_idx: usize) {
+        self.stats.add_scan_probe();
+        let conn = ctx.tcp_connect(target, TELNET_PORT);
+        self.probes.insert(
+            conn,
+            Probe { target, cred_idx, phase: ProbePhase::Connecting, buffer: LineBuffer::new() },
+        );
+    }
+
+    fn scan_tick(&mut self, ctx: &mut Ctx<'_>) {
+        let (lo, hi) = self.config.scan_hosts;
+        let host = self.rng.int_range(lo as u64, hi.saturating_sub(1).max(lo) as u64) as u32;
+        let target = Addr::new(10, 0, (host >> 8) as u8, (host & 0xff) as u8);
+        if target != ctx.addr() && !self.infected_targets.contains(&target) {
+            self.launch_probe(ctx, target, 0);
+        }
+        self.schedule_scan(ctx);
+    }
+
+    fn handle_probe_line(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, line: &str) {
+        let Some((phase, target, cred_idx)) =
+            self.probes.get(&conn).map(|p| (p.phase, p.target, p.cred_idx))
+        else {
+            return;
+        };
+        let (user, pass) = MIRAI_DICTIONARY[cred_idx % MIRAI_DICTIONARY.len()];
+        let set_phase = |probes: &mut HashMap<ConnId, Probe>, phase| {
+            if let Some(p) = probes.get_mut(&conn) {
+                p.phase = phase;
+            }
+        };
+        match (phase, line) {
+            (ProbePhase::Connecting | ProbePhase::WaitLogin, "login:") => {
+                set_phase(&mut self.probes, ProbePhase::WaitPassPrompt);
+                ctx.tcp_send(conn, format!("{user}\r\n").as_bytes());
+            }
+            (ProbePhase::WaitPassPrompt, "Password:") => {
+                set_phase(&mut self.probes, ProbePhase::WaitResult);
+                ctx.tcp_send(conn, format!("{pass}\r\n").as_bytes());
+            }
+            (ProbePhase::WaitResult, "SHELL") => {
+                set_phase(&mut self.probes, ProbePhase::WaitInstalled);
+                let install = format!("INSTALL {} {}\r\n", ctx.addr(), C2_PORT);
+                ctx.tcp_send(conn, install.as_bytes());
+            }
+            (ProbePhase::WaitResult, "DENIED") => {
+                // The device closes; retry with the next credential pair.
+                self.probes.remove(&conn);
+                let next = cred_idx + 1;
+                if next < MIRAI_DICTIONARY.len() {
+                    self.launch_probe(ctx, target, next);
+                }
+            }
+            (ProbePhase::WaitInstalled, "INSTALLED") => {
+                self.probes.remove(&conn);
+                if !self.infected_targets.contains(&target) {
+                    self.infected_targets.push(target);
+                }
+                ctx.tcp_close(conn);
+            }
+            _ => {}
+        }
+    }
+
+    fn broadcast(&mut self, ctx: &mut Ctx<'_>, command: &C2Command) {
+        let line = format!("{command}\r\n");
+        let mut conns: Vec<ConnId> = self.bots.keys().copied().collect();
+        conns.sort_unstable();
+        for conn in conns {
+            ctx.tcp_send(conn, line.as_bytes());
+        }
+        if matches!(command, C2Command::Attack(_)) {
+            self.stats.add_attack_started();
+        }
+    }
+
+    /// Addresses of devices the loader successfully installed onto.
+    pub fn infected_targets(&self) -> &[Addr] {
+        &self.infected_targets
+    }
+
+    /// Distinct bot addresses currently connected (a churned-out bot may
+    /// briefly have both a stale and a fresh session; count it once).
+    fn distinct_bots(&self) -> u64 {
+        let mut addrs: Vec<Addr> = self.bots.values().copied().collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        addrs.len() as u64
+    }
+}
+
+impl App for Attacker {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        assert!(ctx.tcp_listen(C2_PORT, 256), "C2 port already bound");
+        self.schedule_scan(ctx);
+        let now = ctx.now();
+        for (i, (at, _)) in self.config.schedule.iter().enumerate() {
+            let delay = at.saturating_since(now);
+            ctx.set_timer(delay, TOKEN_SCHEDULE_BASE + i as u64);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TOKEN_SCAN {
+            self.scan_tick(ctx);
+        } else if token >= TOKEN_SCHEDULE_BASE {
+            let idx = (token - TOKEN_SCHEDULE_BASE) as usize;
+            if let Some((_, command)) = self.config.schedule.get(idx).copied() {
+                self.broadcast(ctx, &command);
+            }
+        }
+    }
+
+    fn on_tcp(&mut self, ctx: &mut Ctx<'_>, event: TcpEvent) {
+        match event {
+            TcpEvent::Accepted { conn, local_port, .. } if local_port == C2_PORT => {
+                self.bot_buffers.insert(conn, LineBuffer::new());
+            }
+            TcpEvent::Connected { conn } => {
+                if let Some(probe) = self.probes.get_mut(&conn) {
+                    probe.phase = ProbePhase::WaitLogin;
+                }
+            }
+            TcpEvent::Data { conn, data } => {
+                if self.probes.contains_key(&conn) {
+                    let mut lines = Vec::new();
+                    if let Some(probe) = self.probes.get_mut(&conn) {
+                        probe.buffer.push(&data);
+                        while let Some(line) = probe.buffer.next_line() {
+                            lines.push(line);
+                        }
+                    }
+                    for line in lines {
+                        self.handle_probe_line(ctx, conn, &line);
+                    }
+                } else if self.bot_buffers.contains_key(&conn) {
+                    let mut lines = Vec::new();
+                    if let Some(buffer) = self.bot_buffers.get_mut(&conn) {
+                        buffer.push(&data);
+                        while let Some(line) = buffer.next_line() {
+                            lines.push(line);
+                        }
+                    }
+                    for line in lines {
+                        if let Some(addr) = line.strip_prefix("REG ") {
+                            if let Some(addr) = crate::commands::parse_addr(addr.trim()) {
+                                self.bots.insert(conn, addr);
+                                self.stats.set_connected_bots(self.distinct_bots());
+                            }
+                        }
+                        // PING keepalives need no reply.
+                    }
+                }
+            }
+            TcpEvent::PeerClosed { conn }
+                if (self.bot_buffers.contains_key(&conn) || self.probes.contains_key(&conn)) => {
+                    ctx.tcp_close(conn);
+                }
+            TcpEvent::Closed { conn } | TcpEvent::ConnectFailed { conn } => {
+                self.probes.remove(&conn);
+                self.bot_buffers.remove(&conn);
+                if self.bots.remove(&conn).is_some() {
+                    self.stats.set_connected_bots(self.distinct_bots());
+                }
+            }
+            _ => {}
+        }
+    }
+}

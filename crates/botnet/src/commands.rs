@@ -1,0 +1,242 @@
+//! The Mirai-style C2 wire protocol and attack vocabulary.
+//!
+//! Bots and the command-and-control server exchange CRLF-terminated ASCII
+//! lines: bots register with `REG <id>` and keep alive with `PING`; the
+//! C2 launches floods with `ATTACK <vector> <addr> <port> <secs> <pps>`
+//! and cancels them with `STOP`.
+
+use std::fmt;
+use std::str::FromStr;
+
+use netsim::packet::Addr;
+use serde::{Deserialize, Serialize};
+
+/// The TCP port the C2 server listens on (Mirai's report port).
+pub const C2_PORT: u16 = 48_101;
+
+/// The telnet port scanned and exploited on devices.
+pub const TELNET_PORT: u16 = 23;
+
+/// A DDoS attack vector: the three the paper evaluates plus the
+/// application-level HTTP flood the paper defers ("avoiding more complex
+/// application-level attacks like HTTP Flood ... which necessitate
+/// additional application-level analysis", §IV-D) — implemented here as
+/// an extension so that claim can be tested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackVector {
+    /// TCP SYN flood: exhausts the victim's listener backlog.
+    SynFlood,
+    /// TCP ACK flood: stray segments that burn RSTs and bandwidth.
+    AckFlood,
+    /// UDP flood: volumetric datagrams to random ports.
+    UdpFlood,
+    /// HTTP flood: full TCP connections issuing real GET requests —
+    /// indistinguishable from legitimate traffic at the packet level.
+    HttpFlood,
+}
+
+impl AttackVector {
+    /// The three vectors the paper evaluates, in its order.
+    pub const ALL: [AttackVector; 3] =
+        [AttackVector::SynFlood, AttackVector::AckFlood, AttackVector::UdpFlood];
+
+    /// All implemented vectors, including the HTTP-flood extension.
+    pub const EXTENDED: [AttackVector; 4] = [
+        AttackVector::SynFlood,
+        AttackVector::AckFlood,
+        AttackVector::UdpFlood,
+        AttackVector::HttpFlood,
+    ];
+
+    /// `true` for vectors that ride real TCP connections rather than raw
+    /// packets.
+    pub const fn is_application_level(self) -> bool {
+        matches!(self, AttackVector::HttpFlood)
+    }
+}
+
+impl fmt::Display for AttackVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AttackVector::SynFlood => "SYN",
+            AttackVector::AckFlood => "ACK",
+            AttackVector::UdpFlood => "UDP",
+            AttackVector::HttpFlood => "HTTP",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Error parsing an [`AttackVector`] or [`C2Command`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCommandError {
+    what: String,
+}
+
+impl fmt::Display for ParseCommandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unparseable c2 message: {}", self.what)
+    }
+}
+
+impl std::error::Error for ParseCommandError {}
+
+impl FromStr for AttackVector {
+    type Err = ParseCommandError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "SYN" => Ok(AttackVector::SynFlood),
+            "ACK" => Ok(AttackVector::AckFlood),
+            "UDP" => Ok(AttackVector::UdpFlood),
+            "HTTP" => Ok(AttackVector::HttpFlood),
+            other => Err(ParseCommandError { what: other.to_owned() }),
+        }
+    }
+}
+
+/// An attack order as carried on the C2 channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackOrder {
+    /// Flood type.
+    pub vector: AttackVector,
+    /// Victim address.
+    pub target: Addr,
+    /// Victim port (SYN/ACK floods aim here; UDP floods randomise).
+    pub port: u16,
+    /// Attack duration in seconds.
+    pub duration_secs: u32,
+    /// Packets per second *per bot*.
+    pub pps: u32,
+}
+
+/// Messages sent from the C2 server to bots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum C2Command {
+    /// Launch a flood.
+    Attack(AttackOrder),
+    /// Cease the current flood.
+    Stop,
+}
+
+impl fmt::Display for C2Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            C2Command::Attack(o) => write!(
+                f,
+                "ATTACK {} {} {} {} {}",
+                o.vector,
+                o.target,
+                o.port,
+                o.duration_secs,
+                o.pps
+            ),
+            C2Command::Stop => f.write_str("STOP"),
+        }
+    }
+}
+
+impl FromStr for C2Command {
+    type Err = ParseCommandError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseCommandError { what: s.to_owned() };
+        let mut parts = s.split_whitespace();
+        match parts.next() {
+            Some("STOP") => Ok(C2Command::Stop),
+            Some("ATTACK") => {
+                let vector: AttackVector = parts.next().ok_or_else(err)?.parse()?;
+                let target = parse_addr(parts.next().ok_or_else(err)?).ok_or_else(err)?;
+                let port = parts.next().and_then(|p| p.parse().ok()).ok_or_else(err)?;
+                let duration_secs = parts.next().and_then(|p| p.parse().ok()).ok_or_else(err)?;
+                let pps = parts.next().and_then(|p| p.parse().ok()).ok_or_else(err)?;
+                Ok(C2Command::Attack(AttackOrder { vector, target, port, duration_secs, pps }))
+            }
+            _ => Err(err()),
+        }
+    }
+}
+
+/// Parses a dotted-quad address.
+pub fn parse_addr(s: &str) -> Option<Addr> {
+    let mut octets = [0u8; 4];
+    let mut parts = s.split('.');
+    for octet in &mut octets {
+        *octet = parts.next()?.parse().ok()?;
+    }
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(Addr::from(octets))
+}
+
+/// The Mirai credential dictionary (a representative subset of the 62
+/// factory default pairs the real malware ships).
+pub const MIRAI_DICTIONARY: [(&str, &str); 10] = [
+    ("root", "xc3511"),
+    ("root", "vizxv"),
+    ("root", "admin"),
+    ("admin", "admin"),
+    ("root", "888888"),
+    ("root", "default"),
+    ("root", "123456"),
+    ("admin", "password"),
+    ("root", "54321"),
+    ("support", "support"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_roundtrips_through_text() {
+        for v in AttackVector::EXTENDED {
+            assert_eq!(v.to_string().parse::<AttackVector>().unwrap(), v);
+        }
+        assert!("DNS".parse::<AttackVector>().is_err());
+        assert!(AttackVector::HttpFlood.is_application_level());
+        assert!(!AttackVector::SynFlood.is_application_level());
+    }
+
+    #[test]
+    fn attack_command_roundtrips() {
+        let order = AttackOrder {
+            vector: AttackVector::SynFlood,
+            target: Addr::new(10, 0, 0, 2),
+            port: 80,
+            duration_secs: 30,
+            pps: 500,
+        };
+        let line = C2Command::Attack(order).to_string();
+        assert_eq!(line, "ATTACK SYN 10.0.0.2 80 30 500");
+        assert_eq!(line.parse::<C2Command>().unwrap(), C2Command::Attack(order));
+    }
+
+    #[test]
+    fn stop_roundtrips() {
+        assert_eq!("STOP".parse::<C2Command>().unwrap(), C2Command::Stop);
+        assert_eq!(C2Command::Stop.to_string(), "STOP");
+    }
+
+    #[test]
+    fn malformed_commands_error() {
+        for bad in ["", "ATTACK", "ATTACK SYN", "ATTACK SYN 10.0.0.2", "ATTACK SYN nonsense 80 1 1"] {
+            assert!(bad.parse::<C2Command>().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn addr_parsing() {
+        assert_eq!(parse_addr("10.0.1.200"), Some(Addr::new(10, 0, 1, 200)));
+        assert_eq!(parse_addr("10.0.1"), None);
+        assert_eq!(parse_addr("10.0.1.200.5"), None);
+        assert_eq!(parse_addr("10.0.1.999"), None);
+    }
+
+    #[test]
+    fn dictionary_is_nonempty_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for pair in MIRAI_DICTIONARY {
+            assert!(seen.insert(pair), "duplicate {pair:?}");
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Flood packet construction for the three Mirai attack vectors.
+//!
+//! Bots bypass their TCP stack entirely and emit raw packets, exactly as
+//! Mirai's attack modules craft raw frames: SYNs with random sequence
+//! numbers and source ports, stray ACKs, and UDP datagrams to random
+//! destination ports. Source spoofing is optional (off by default, like
+//! Mirai behind typical home NATs).
+
+use bytes::Bytes;
+use netsim::packet::{Addr, Packet, TcpFlags, TcpHeader};
+use netsim::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+use crate::commands::AttackVector;
+
+/// Size of the UDP flood payload in bytes (Mirai's default is 512).
+pub const UDP_FLOOD_PAYLOAD: usize = 512;
+
+/// Per-bot flood parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FloodConfig {
+    /// Spoof random source addresses inside the given /16.
+    pub spoof_sources: bool,
+    /// Subnet base used when spoofing (hosts are randomised).
+    pub spoof_base: Addr,
+}
+
+impl Default for FloodConfig {
+    fn default() -> Self {
+        FloodConfig { spoof_sources: false, spoof_base: Addr::new(10, 0, 0, 0) }
+    }
+}
+
+/// Builds one flood packet of the given vector.
+///
+/// `src` is the bot's real address; the source may be rewritten when
+/// spoofing is enabled. `target`/`port` come from the C2 order.
+///
+/// # Panics
+///
+/// Panics for [`AttackVector::HttpFlood`]: application-level floods ride
+/// real TCP connections (driven by the bot's connection machinery in
+/// `device::DeviceAgent`), not raw packets.
+pub fn flood_packet(
+    vector: AttackVector,
+    src: Addr,
+    target: Addr,
+    port: u16,
+    config: &FloodConfig,
+    rng: &mut SimRng,
+) -> Packet {
+    let src = if config.spoof_sources { spoofed_addr(config.spoof_base, rng) } else { src };
+    match vector {
+        AttackVector::SynFlood => {
+            let header = TcpHeader {
+                src_port: ephemeral_port(rng),
+                dst_port: port,
+                seq: rng.next_u64() as u32,
+                ack: 0,
+                flags: TcpFlags::SYN,
+                window: u16::MAX,
+            };
+            Packet::tcp(src, target, header, Bytes::new())
+        }
+        AttackVector::AckFlood => {
+            let header = TcpHeader {
+                src_port: ephemeral_port(rng),
+                dst_port: port,
+                seq: rng.next_u64() as u32,
+                ack: rng.next_u64() as u32,
+                flags: TcpFlags::ACK,
+                window: u16::MAX,
+            };
+            Packet::tcp(src, target, header, Bytes::new())
+        }
+        AttackVector::UdpFlood => {
+            let dst_port = rng.int_range(1, 65_535) as u16;
+            Packet::udp(
+                src,
+                target,
+                ephemeral_port(rng),
+                dst_port,
+                Bytes::from(vec![0u8; UDP_FLOOD_PAYLOAD]),
+            )
+        }
+        AttackVector::HttpFlood => {
+            panic!("HTTP floods use real TCP connections, not raw packets")
+        }
+    }
+}
+
+fn ephemeral_port(rng: &mut SimRng) -> u16 {
+    // Match the simulated hosts' ephemeral range so flood segments are
+    // per-packet indistinguishable from legitimate connection attempts
+    // (detection has to come from window statistics, as in the paper).
+    rng.int_range(49_152, 65_535) as u16
+}
+
+fn spoofed_addr(base: Addr, rng: &mut SimRng) -> Addr {
+    let [a, b, _, _] = base.octets();
+    Addr::new(a, b, rng.int_range(0, 255) as u8, rng.int_range(1, 254) as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::packet::Protocol;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from(42)
+    }
+
+    #[test]
+    fn syn_flood_packets_are_bare_syns() {
+        let mut rng = rng();
+        let p = flood_packet(
+            AttackVector::SynFlood,
+            Addr::new(10, 0, 0, 9),
+            Addr::new(10, 0, 0, 2),
+            80,
+            &FloodConfig::default(),
+            &mut rng,
+        );
+        assert_eq!(p.protocol(), Protocol::Tcp);
+        assert!(p.tcp_flags().contains(TcpFlags::SYN));
+        assert!(!p.tcp_flags().contains(TcpFlags::ACK));
+        assert_eq!(p.transport.dst_port(), 80);
+        assert_eq!(p.src, Addr::new(10, 0, 0, 9), "no spoofing by default");
+    }
+
+    #[test]
+    fn ack_flood_packets_are_bare_acks() {
+        let mut rng = rng();
+        let p = flood_packet(
+            AttackVector::AckFlood,
+            Addr::new(10, 0, 0, 9),
+            Addr::new(10, 0, 0, 2),
+            80,
+            &FloodConfig::default(),
+            &mut rng,
+        );
+        assert!(p.tcp_flags().contains(TcpFlags::ACK));
+        assert!(!p.tcp_flags().contains(TcpFlags::SYN));
+    }
+
+    #[test]
+    fn udp_flood_randomises_destination_ports() {
+        let mut rng = rng();
+        let mut ports = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let p = flood_packet(
+                AttackVector::UdpFlood,
+                Addr::new(10, 0, 0, 9),
+                Addr::new(10, 0, 0, 2),
+                80,
+                &FloodConfig::default(),
+                &mut rng,
+            );
+            assert_eq!(p.protocol(), Protocol::Udp);
+            assert_eq!(p.payload.len(), UDP_FLOOD_PAYLOAD);
+            ports.insert(p.transport.dst_port());
+        }
+        assert!(ports.len() > 50, "ports should be highly diverse, got {}", ports.len());
+    }
+
+    #[test]
+    fn spoofing_rewrites_sources() {
+        let mut rng = rng();
+        let config = FloodConfig { spoof_sources: true, spoof_base: Addr::new(10, 0, 0, 0) };
+        let mut sources = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let p = flood_packet(
+                AttackVector::SynFlood,
+                Addr::new(10, 0, 0, 9),
+                Addr::new(10, 0, 0, 2),
+                80,
+                &config,
+                &mut rng,
+            );
+            let [a, b, _, _] = p.src.octets();
+            assert_eq!((a, b), (10, 0));
+            sources.insert(p.src);
+        }
+        assert!(sources.len() > 20, "spoofed sources diverse: {}", sources.len());
+    }
+}

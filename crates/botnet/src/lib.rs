@@ -1,0 +1,31 @@
+//! # botnet — a Mirai-style botnet life-cycle implementation
+//!
+//! The malicious half of the DDoShield-IoT dataset. The [`attacker`]
+//! module implements Mirai's scanner (random telnet probing), loader
+//! (dictionary attack + `INSTALL`) and C2 server; [`device`] implements
+//! the vulnerable device binary and the bot it becomes; [`flood`] builds
+//! the three attack vectors the paper evaluates (SYN, ACK and UDP
+//! floods); [`commands`] defines the C2 wire protocol.
+//!
+//! All botnet traffic — scanning, credential attacks, C2 chatter and
+//! floods — is stamped [`netsim::packet::Provenance::Malicious`], which
+//! is how captures acquire ground-truth labels.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod attacker;
+pub mod commands;
+pub mod deploy;
+pub mod device;
+pub mod flood;
+pub mod stats;
+
+mod line;
+
+pub use attacker::{Attacker, AttackerConfig};
+pub use commands::{AttackOrder, AttackVector, C2Command, C2_PORT, MIRAI_DICTIONARY, TELNET_PORT};
+pub use deploy::{install_attacker, install_device_agents};
+pub use device::DeviceAgent;
+pub use flood::{FloodConfig, UDP_FLOOD_PAYLOAD};
+pub use stats::{BotnetCounters, BotnetStats};

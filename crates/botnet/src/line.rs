@@ -1,0 +1,40 @@
+// Minimal CRLF line splitter for the telnet-ish and C2 channels.
+// (Private: the public framing helpers live in the traffic crate; the
+// botnet deliberately has no dependency on the benign-traffic crate.)
+
+#[derive(Debug, Default, Clone)]
+pub(crate) struct LineBuffer {
+    data: Vec<u8>,
+}
+
+impl LineBuffer {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn push(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    pub(crate) fn next_line(&mut self) -> Option<String> {
+        let pos = self.data.windows(2).position(|w| w == b"\r\n")?;
+        let line = String::from_utf8_lossy(&self.data[..pos]).into_owned();
+        self.data.drain(..pos + 2);
+        Some(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_lines() {
+        let mut b = LineBuffer::new();
+        b.push(b"a\r\nb\r");
+        assert_eq!(b.next_line().as_deref(), Some("a"));
+        assert_eq!(b.next_line(), None);
+        b.push(b"\n");
+        assert_eq!(b.next_line().as_deref(), Some("b"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Shared observability handles for the botnet life-cycle.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A point-in-time view of botnet progress.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BotnetCounters {
+    /// Telnet probes the scanner launched (including to empty addresses).
+    pub scan_probes: u64,
+    /// Credential pairs tried.
+    pub login_attempts: u64,
+    /// Successful logins.
+    pub logins_ok: u64,
+    /// Devices infected (unique).
+    pub infections: u64,
+    /// Bots currently connected to the C2 (gauge).
+    pub connected_bots: u64,
+    /// Attack orders broadcast by the C2.
+    pub attacks_started: u64,
+    /// Flood packets emitted by all bots.
+    pub flood_packets: u64,
+}
+
+/// A shared handle onto the botnet counters.
+#[derive(Debug, Clone, Default)]
+pub struct BotnetStats {
+    inner: Rc<RefCell<BotnetCounters>>,
+}
+
+impl BotnetStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of the counters.
+    pub fn snapshot(&self) -> BotnetCounters {
+        *self.inner.borrow()
+    }
+
+    /// Records a scan probe.
+    pub fn add_scan_probe(&self) {
+        self.inner.borrow_mut().scan_probes += 1;
+    }
+
+    /// Records a credential attempt.
+    pub fn add_login_attempt(&self) {
+        self.inner.borrow_mut().login_attempts += 1;
+    }
+
+    /// Records a successful login.
+    pub fn add_login_ok(&self) {
+        self.inner.borrow_mut().logins_ok += 1;
+    }
+
+    /// Records a device infection.
+    pub fn add_infection(&self) {
+        self.inner.borrow_mut().infections += 1;
+    }
+
+    /// Updates the connected-bots gauge.
+    pub fn set_connected_bots(&self, n: u64) {
+        self.inner.borrow_mut().connected_bots = n;
+    }
+
+    /// Records a broadcast attack order.
+    pub fn add_attack_started(&self) {
+        self.inner.borrow_mut().attacks_started += 1;
+    }
+
+    /// Records emitted flood packets.
+    pub fn add_flood_packets(&self, n: u64) {
+        self.inner.borrow_mut().flood_packets += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_counters() {
+        let a = BotnetStats::new();
+        let b = a.clone();
+        b.add_scan_probe();
+        b.add_infection();
+        b.set_connected_bots(3);
+        b.add_flood_packets(100);
+        let snap = a.snapshot();
+        assert_eq!(snap.scan_probes, 1);
+        assert_eq!(snap.infections, 1);
+        assert_eq!(snap.connected_bots, 3);
+        assert_eq!(snap.flood_packets, 100);
+    }
+}

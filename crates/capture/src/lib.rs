@@ -1,0 +1,26 @@
+//! # capture — packet capture and labelled datasets
+//!
+//! The Wireshark/tcpdump substitute of the DDoShield-IoT reproduction.
+//! A [`sniffer::Sniffer`] taps the simulated bridge and converts every
+//! delivered packet into a [`record::PacketRecord`] carrying the
+//! attributes the feature extractor consumes plus a ground-truth
+//! [`record::Label`] derived from the packet's provenance. Records
+//! accumulate into [`dataset::Dataset`]s that support class statistics,
+//! chronological / random splits, CSV export-import, and pcap export
+//! ([`pcap`]) so captures open directly in Wireshark — the external
+//! analysis workflow DDoSim uses.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dataset;
+pub mod pcap;
+pub mod record;
+pub mod sniffer;
+pub mod trace;
+
+pub use dataset::{ClassCounts, Dataset};
+pub use pcap::{synthesize_frame, write_pcap};
+pub use record::{Label, PacketRecord};
+pub use sniffer::{sniffer_pair, Sniffer, SnifferFilter, SnifferHandle};
+pub use trace::{format_packet, trace_pair, TextTrace, TraceHandle};

@@ -1,0 +1,141 @@
+//! Labelled packet records — the raw material of the IDS dataset.
+
+use netsim::packet::{Packet, Protocol, Provenance, TcpFlags};
+use netsim::time::SimTime;
+use netsim::Addr;
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth class of a captured packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Label {
+    /// Legitimate traffic.
+    Benign,
+    /// Botnet traffic (scanning, C2, floods, and the victim's direct
+    /// responses to them).
+    Malicious,
+}
+
+impl From<Provenance> for Label {
+    fn from(p: Provenance) -> Self {
+        match p {
+            Provenance::Benign => Label::Benign,
+            Provenance::Malicious => Label::Malicious,
+        }
+    }
+}
+
+impl std::fmt::Display for Label {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Label::Benign => f.write_str("benign"),
+            Label::Malicious => f.write_str("malicious"),
+        }
+    }
+}
+
+/// One captured packet, reduced to the attributes the paper's feature
+/// extractor consumes (§IV-A: timestamps, addresses, protocol, ports,
+/// flags, sizes) plus the ground-truth label.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PacketRecord {
+    /// Capture timestamp.
+    pub ts: SimTime,
+    /// Source address (as on the wire; may be spoofed).
+    pub src: Addr,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination address.
+    pub dst: Addr,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub protocol: Protocol,
+    /// TCP flags (empty for UDP).
+    pub flags: TcpFlags,
+    /// Total on-the-wire bytes.
+    pub wire_len: u32,
+    /// Payload bytes.
+    pub payload_len: u32,
+    /// TCP sequence number (0 for UDP).
+    pub seq: u32,
+    /// Ground-truth class.
+    pub label: Label,
+}
+
+impl PacketRecord {
+    /// Builds a record from a delivered packet.
+    pub fn from_packet(ts: SimTime, packet: &Packet) -> Self {
+        PacketRecord {
+            ts,
+            src: packet.src,
+            src_port: packet.transport.src_port(),
+            dst: packet.dst,
+            dst_port: packet.transport.dst_port(),
+            protocol: packet.protocol(),
+            flags: packet.tcp_flags(),
+            wire_len: packet.wire_len() as u32,
+            payload_len: packet.payload.len() as u32,
+            seq: packet.tcp_seq().unwrap_or(0),
+            label: packet.provenance.into(),
+        }
+    }
+
+    /// The one-second window index this record falls into.
+    pub fn window_index(&self, window_secs: u64) -> u64 {
+        self.ts.whole_secs() / window_secs.max(1)
+    }
+
+    /// `true` for a bare SYN (connection attempt).
+    pub fn is_bare_syn(&self) -> bool {
+        self.flags.contains(TcpFlags::SYN) && !self.flags.contains(TcpFlags::ACK)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use netsim::packet::{TcpHeader, Transport};
+
+    #[test]
+    fn record_copies_packet_attributes() {
+        let p = Packet {
+            src: Addr::new(10, 0, 0, 5),
+            dst: Addr::new(10, 0, 0, 2),
+            ttl: 64,
+            transport: Transport::Tcp(TcpHeader {
+                src_port: 5555,
+                dst_port: 80,
+                seq: 42,
+                ack: 0,
+                flags: TcpFlags::SYN,
+                window: 100,
+            }),
+            payload: Bytes::from_static(b"xyz"),
+            provenance: Provenance::Malicious,
+        };
+        let r = PacketRecord::from_packet(SimTime::from_secs(3), &p);
+        assert_eq!(r.src_port, 5555);
+        assert_eq!(r.dst_port, 80);
+        assert_eq!(r.protocol, Protocol::Tcp);
+        assert_eq!(r.payload_len, 3);
+        assert_eq!(r.seq, 42);
+        assert_eq!(r.label, Label::Malicious);
+        assert!(r.is_bare_syn());
+    }
+
+    #[test]
+    fn window_index_buckets_time() {
+        let p = Packet::udp(Addr::new(1, 1, 1, 1), Addr::new(2, 2, 2, 2), 1, 2, Bytes::new());
+        let r = PacketRecord::from_packet(SimTime::from_millis(4_500), &p);
+        assert_eq!(r.window_index(1), 4);
+        assert_eq!(r.window_index(2), 2);
+        assert_eq!(r.window_index(0), 4, "zero window clamps to one second");
+    }
+
+    #[test]
+    fn label_display_and_conversion() {
+        assert_eq!(Label::from(Provenance::Benign), Label::Benign);
+        assert_eq!(Label::Malicious.to_string(), "malicious");
+    }
+}

@@ -1,0 +1,144 @@
+//! The sniffer tap: a `tcpdump` on the simulated bridge.
+//!
+//! A [`Sniffer`] implements [`netsim::tap::PacketTap`] and is installed
+//! into the world with [`netsim::world::World::add_tap`]; its paired
+//! [`SnifferHandle`] is kept by the orchestrator (or the IDS container)
+//! and drained periodically. The paper's IDS monitors the traffic
+//! reaching the TServer, so the default filter captures packets whose
+//! source or destination is the monitored address.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use netsim::packet::Packet;
+use netsim::tap::{PacketTap, TapMeta};
+use netsim::Addr;
+
+use crate::record::PacketRecord;
+
+/// Which packets a sniffer keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnifferFilter {
+    /// Keep every delivered packet on the network.
+    #[default]
+    All,
+    /// Keep packets whose source or destination matches the address
+    /// (monitoring one host, like the IDS watching the TServer).
+    Involving(Addr),
+}
+
+impl SnifferFilter {
+    fn matches(self, packet: &Packet) -> bool {
+        match self {
+            SnifferFilter::All => true,
+            SnifferFilter::Involving(addr) => packet.src == addr || packet.dst == addr,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct SnifferState {
+    records: Vec<PacketRecord>,
+    captured_total: u64,
+}
+
+/// The tap half: installed into the world.
+#[derive(Debug)]
+pub struct Sniffer {
+    filter: SnifferFilter,
+    state: Rc<RefCell<SnifferState>>,
+}
+
+/// The reader half: drained by the orchestrator or the IDS.
+#[derive(Debug, Clone)]
+pub struct SnifferHandle {
+    state: Rc<RefCell<SnifferState>>,
+}
+
+/// Creates a connected sniffer/handle pair.
+///
+/// ```
+/// use capture::sniffer::{sniffer_pair, SnifferFilter};
+///
+/// let (tap, handle) = sniffer_pair(SnifferFilter::All);
+/// // world.add_tap(Box::new(tap));
+/// # let _ = (tap, handle);
+/// ```
+pub fn sniffer_pair(filter: SnifferFilter) -> (Sniffer, SnifferHandle) {
+    let state = Rc::new(RefCell::new(SnifferState::default()));
+    (Sniffer { filter, state: Rc::clone(&state) }, SnifferHandle { state })
+}
+
+impl PacketTap for Sniffer {
+    fn on_packet(&mut self, meta: &TapMeta, packet: &Packet) {
+        if !self.filter.matches(packet) {
+            return;
+        }
+        let mut state = self.state.borrow_mut();
+        state.captured_total += 1;
+        state.records.push(PacketRecord::from_packet(meta.time, packet));
+    }
+}
+
+impl SnifferHandle {
+    /// Removes and returns all buffered records (real-time consumption).
+    pub fn drain(&self) -> Vec<PacketRecord> {
+        std::mem::take(&mut self.state.borrow_mut().records)
+    }
+
+    /// Number of records currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.state.borrow().records.len()
+    }
+
+    /// Total packets ever captured through this sniffer.
+    pub fn captured_total(&self) -> u64 {
+        self.state.borrow().captured_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use netsim::ids::{LinkId, NodeId};
+    use netsim::packet::Provenance;
+    use netsim::time::SimTime;
+
+    fn meta() -> TapMeta {
+        TapMeta { time: SimTime::from_secs(1), link: LinkId::from_raw(0), receiver: NodeId::from_raw(0) }
+    }
+
+    fn udp(src: Addr, dst: Addr) -> Packet {
+        Packet::udp(src, dst, 1, 2, Bytes::new()).with_provenance(Provenance::Benign)
+    }
+
+    #[test]
+    fn all_filter_captures_everything() {
+        let (mut tap, handle) = sniffer_pair(SnifferFilter::All);
+        tap.on_packet(&meta(), &udp(Addr::new(1, 0, 0, 1), Addr::new(2, 0, 0, 1)));
+        tap.on_packet(&meta(), &udp(Addr::new(3, 0, 0, 1), Addr::new(4, 0, 0, 1)));
+        assert_eq!(handle.buffered(), 2);
+        assert_eq!(handle.captured_total(), 2);
+    }
+
+    #[test]
+    fn involving_filter_matches_either_direction() {
+        let victim = Addr::new(10, 0, 0, 2);
+        let (mut tap, handle) = sniffer_pair(SnifferFilter::Involving(victim));
+        tap.on_packet(&meta(), &udp(Addr::new(1, 0, 0, 1), victim)); // towards
+        tap.on_packet(&meta(), &udp(victim, Addr::new(1, 0, 0, 1))); // from
+        tap.on_packet(&meta(), &udp(Addr::new(1, 0, 0, 1), Addr::new(9, 0, 0, 9))); // unrelated
+        assert_eq!(handle.buffered(), 2);
+    }
+
+    #[test]
+    fn drain_empties_the_buffer_but_keeps_totals() {
+        let (mut tap, handle) = sniffer_pair(SnifferFilter::All);
+        tap.on_packet(&meta(), &udp(Addr::new(1, 0, 0, 1), Addr::new(2, 0, 0, 1)));
+        let drained = handle.drain();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(handle.buffered(), 0);
+        assert_eq!(handle.captured_total(), 1);
+    }
+}

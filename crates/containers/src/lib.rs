@@ -1,0 +1,19 @@
+//! # containers — a lightweight container runtime over netsim
+//!
+//! The Docker substitute of the DDoShield-IoT reproduction. DDoSim uses
+//! Docker purely as isolation-plus-bridging glue: each container hosts an
+//! "IoT binary" and is tapped into the NS-3 network through a ghost node.
+//! This crate reproduces that glue natively: a [`runtime::Runtime`] owns
+//! the simulated [`netsim::world::World`] and a shared CSMA bridge;
+//! deployed [`runtime::Container`]s get nodes, addresses and per-container
+//! [`meter::ResourceMeter`]s, and host applications implementing
+//! [`netsim::world::App`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod meter;
+pub mod runtime;
+
+pub use meter::{CpuSample, ResourceMeter};
+pub use runtime::{BridgeMedium, Container, ContainerId, ContainerSpec, Role, Runtime};

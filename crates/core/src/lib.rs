@@ -1,0 +1,35 @@
+//! # ddoshield — the DDoShield-IoT testbed
+//!
+//! The paper's primary contribution, reassembled in pure Rust: a
+//! reproducible IDS testbed in which actual "IoT binaries" (benign
+//! HTTP/video/FTP servers and clients, Mirai's scanner/loader/C2, the
+//! vulnerable devices it compromises, and a real-time IDS unit) run in
+//! containers bridged over a simulated network, generating labelled
+//! real-world-shaped traffic for training and evaluating ML-based
+//! intrusion detection.
+//!
+//! * [`scenario`] — every knob of a deployment ([`ScenarioConfig`]).
+//! * [`testbed`] — [`Testbed::deploy`] wires the four container roles of
+//!   Fig. 1 and exposes the capture / live-detection phases of §IV-D.
+//! * [`experiments`] — one canned runner per table/figure of the paper.
+//!
+//! ```no_run
+//! use ddoshield::{ScenarioConfig, Testbed};
+//! use netsim::time::SimDuration;
+//!
+//! let mut testbed = Testbed::deploy(ScenarioConfig::paper_default(42));
+//! testbed.run_infection_lead();
+//! let dataset = testbed.run_capture(SimDuration::from_secs(60));
+//! println!("{:?}", dataset.class_counts());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod scenario;
+pub mod testbed;
+
+pub use experiments::{run_full_evaluation, ExperimentScale, FullReport, ModelReport};
+pub use scenario::{rotation, AttackPhase, ScenarioConfig};
+pub use testbed::{LiveReport, Testbed};

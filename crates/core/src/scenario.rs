@@ -1,0 +1,220 @@
+//! Scenario configuration: every knob of a testbed run.
+
+use botnet::commands::AttackVector;
+use botnet::flood::FloodConfig;
+use containers::runtime::BridgeMedium;
+use netsim::link::LinkConfig;
+use netsim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use traffic::workload::WorkloadConfig;
+
+/// One scheduled attack phase, relative to the start of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackPhase {
+    /// Offset from run start at which the C2 broadcasts the order.
+    pub start: SimDuration,
+    /// Flood vector.
+    pub vector: AttackVector,
+    /// Attack duration in seconds.
+    pub duration_secs: u32,
+    /// Packets per second per bot.
+    pub pps: u32,
+}
+
+/// Full configuration of one testbed deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Root seed: the whole run is a pure function of it.
+    pub seed: u64,
+    /// Number of IoT device containers.
+    pub devices: usize,
+    /// Benign client workloads stacked per device (1 = the default mix;
+    /// higher values model a busier deployment).
+    pub clients_per_device: usize,
+    /// Fraction of devices with factory-default (crackable) credentials.
+    pub vulnerable_fraction: f64,
+    /// Benign workload intensities.
+    pub workload: WorkloadConfig,
+    /// The shared bridge link profile.
+    pub link: LinkConfig,
+    /// The bridge medium (wired CSMA by default; DDoSim also supports
+    /// Wi-Fi networks).
+    pub medium: BridgeMedium,
+    /// Mean pause between scanner probes (seconds).
+    pub scan_interval_mean: f64,
+    /// Time given to the infection phase before attacks/detection start.
+    pub infection_lead: SimDuration,
+    /// Scheduled attack phases (relative to the *end* of the lead).
+    pub attacks: Vec<AttackPhase>,
+    /// Flood construction options (spoofing).
+    pub flood: FloodConfig,
+    /// Device churn: expected departures per device per minute (0 = off).
+    pub churn_rate_per_min: f64,
+    /// Mean downtime per churn departure.
+    pub churn_mean_down: SimDuration,
+    /// Target port of SYN/ACK floods (the TServer's HTTP port).
+    pub attack_port: u16,
+}
+
+impl ScenarioConfig {
+    /// The same scenario on an 802.11-style Wi-Fi bridge.
+    pub fn paper_default_wifi(seed: u64) -> Self {
+        let mut config = ScenarioConfig::paper_default(seed);
+        config.medium = BridgeMedium::Wifi;
+        config.link = LinkConfig::wifi_54mbps();
+        config
+    }
+
+    /// A laptop-scale version of the paper's scenario: a dozen devices,
+    /// three-protocol benign workload, Mirai infection, and a rotation of
+    /// SYN → ACK → UDP floods with quiet gaps in between.
+    pub fn paper_default(seed: u64) -> Self {
+        ScenarioConfig {
+            seed,
+            devices: 12,
+            clients_per_device: 1,
+            vulnerable_fraction: 0.75,
+            workload: WorkloadConfig {
+                http_think_mean: 0.25,
+                video_think_mean: 2.0,
+                video_watch_mean: 8.0,
+                ftp_think_mean: 1.5,
+                ..WorkloadConfig::default()
+            },
+            link: LinkConfig::lan_100mbps(),
+            medium: BridgeMedium::Csma,
+            scan_interval_mean: 0.1,
+            infection_lead: SimDuration::from_secs(20),
+            attacks: rotation(&[20, 50, 80], 15, 400),
+            flood: FloodConfig::default(),
+            churn_rate_per_min: 0.0,
+            churn_mean_down: SimDuration::from_secs(5),
+            attack_port: 80,
+        }
+    }
+
+    /// Validates the configuration, returning every problem found.
+    ///
+    /// [`crate::Testbed::deploy`] panics on an invalid scenario; calling
+    /// this first gives user-facing tooling a chance to report nicely.
+    pub fn validate(&self) -> Result<(), Vec<String>> {
+        let mut problems = Vec::new();
+        if self.devices == 0 {
+            problems.push("scenario needs at least one device".to_owned());
+        }
+        if self.devices > 10_000 {
+            problems.push(format!("{} devices exceeds the 10.0.x.y address plan", self.devices));
+        }
+        if !(0.0..=1.0).contains(&self.vulnerable_fraction) {
+            problems.push(format!(
+                "vulnerable_fraction {} outside [0, 1]",
+                self.vulnerable_fraction
+            ));
+        }
+        if self.clients_per_device == 0 {
+            problems.push("clients_per_device must be at least 1".to_owned());
+        }
+        if self.scan_interval_mean <= 0.0 {
+            problems.push("scan_interval_mean must be positive".to_owned());
+        }
+        if self.churn_rate_per_min < 0.0 {
+            problems.push("churn_rate_per_min must be non-negative".to_owned());
+        }
+        for (i, phase) in self.attacks.iter().enumerate() {
+            if phase.duration_secs == 0 {
+                problems.push(format!("attack {i} has zero duration"));
+            }
+            if phase.pps == 0 {
+                problems.push(format!("attack {i} has zero pps"));
+            }
+        }
+        if self.link.bandwidth_bps == 0 {
+            problems.push("link bandwidth must be positive".to_owned());
+        }
+        if !(0.0..=1.0).contains(&self.link.loss_rate) {
+            problems.push(format!("link loss_rate {} outside [0, 1]", self.link.loss_rate));
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
+    }
+
+    /// Total virtual time the scheduled attacks span (lead + last end).
+    pub fn attack_horizon(&self) -> SimDuration {
+        let last = self
+            .attacks
+            .iter()
+            .map(|a| a.start + SimDuration::from_secs(a.duration_secs as u64))
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        self.infection_lead + last
+    }
+}
+
+/// Builds the paper's three-vector rotation: SYN, ACK and UDP floods
+/// starting at the given offsets (seconds after the lead), each lasting
+/// `duration_secs` at `pps` per bot.
+pub fn rotation(starts: &[u64], duration_secs: u32, pps: u32) -> Vec<AttackPhase> {
+    starts
+        .iter()
+        .zip(AttackVector::ALL.iter().cycle())
+        .map(|(&start, &vector)| AttackPhase {
+            start: SimDuration::from_secs(start),
+            vector,
+            duration_secs,
+            pps,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_cycles_vectors() {
+        let phases = rotation(&[10, 20, 30, 40], 5, 100);
+        assert_eq!(phases.len(), 4);
+        assert_eq!(phases[0].vector, AttackVector::SynFlood);
+        assert_eq!(phases[1].vector, AttackVector::AckFlood);
+        assert_eq!(phases[2].vector, AttackVector::UdpFlood);
+        assert_eq!(phases[3].vector, AttackVector::SynFlood);
+    }
+
+    #[test]
+    fn horizon_covers_last_attack() {
+        let config = ScenarioConfig::paper_default(1);
+        let horizon = config.attack_horizon();
+        assert_eq!(horizon, SimDuration::from_secs(20 + 80 + 15));
+    }
+
+    #[test]
+    fn defaults_validate() {
+        ScenarioConfig::paper_default(1).validate().expect("default is valid");
+        ScenarioConfig::paper_default_wifi(1).validate().expect("wifi default is valid");
+    }
+
+    #[test]
+    fn validation_reports_every_problem() {
+        let mut config = ScenarioConfig::paper_default(1);
+        config.devices = 0;
+        config.vulnerable_fraction = 1.5;
+        config.clients_per_device = 0;
+        config.attacks[0].pps = 0;
+        let problems = config.validate().unwrap_err();
+        assert!(problems.len() >= 4, "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("device")));
+        assert!(problems.iter().any(|p| p.contains("vulnerable_fraction")));
+        assert!(problems.iter().any(|p| p.contains("pps")));
+    }
+
+    #[test]
+    fn default_is_serializable() {
+        let config = ScenarioConfig::paper_default(7);
+        // Round-trips through the serde data model (config files).
+        let clone = config.clone();
+        assert_eq!(clone, config);
+    }
+}

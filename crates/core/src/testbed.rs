@@ -1,0 +1,285 @@
+//! The assembled testbed: four container roles on one simulated bridge.
+//!
+//! [`Testbed::deploy`] reproduces Fig. 1 of the paper: the **TServer**
+//! (Apache-like HTTP + RTMP-like video + FTP servers), the **Attacker**
+//! (Mirai scanner / loader / C2), a fleet of **Devs** (vulnerable IoT
+//! devices that also run benign client workloads), and the **IDS**
+//! container. A sniffer taps every packet involving the TServer — the
+//! traffic the paper's IDS monitors.
+
+use botnet::attacker::AttackerConfig;
+use botnet::commands::{AttackOrder, C2Command};
+use botnet::deploy::{install_attacker, install_device_agents};
+use botnet::stats::BotnetStats;
+use capture::dataset::Dataset;
+use capture::sniffer::{sniffer_pair, SnifferFilter, SnifferHandle};
+use containers::meter::ResourceMeter;
+use containers::runtime::{ContainerId, ContainerSpec, Role, Runtime};
+use ids::pipeline::TrainedIds;
+use ids::realtime::{DetectionLog, RealTimeIds};
+use ids::resources::SustainabilityReport;
+use netsim::rng::SimRng;
+use netsim::time::{SimDuration, SimTime};
+use netsim::Addr;
+use traffic::workload::{install_device_client_mix, install_tserver, ClientStatsBundle, ServerStatsBundle};
+
+use crate::scenario::ScenarioConfig;
+
+/// A deployed testbed, ready to run.
+pub struct Testbed {
+    rt: Runtime,
+    config: ScenarioConfig,
+    tserver: ContainerId,
+    attacker: ContainerId,
+    ids_container: ContainerId,
+    devices: Vec<ContainerId>,
+    sniffer: SnifferHandle,
+    botnet_stats: BotnetStats,
+    server_stats: ServerStatsBundle,
+    client_stats: ClientStatsBundle,
+}
+
+impl std::fmt::Debug for Testbed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Testbed")
+            .field("devices", &self.devices.len())
+            .field("now", &self.rt.now())
+            .finish()
+    }
+}
+
+impl Testbed {
+    /// Deploys all containers, services and the attack schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario fails [`ScenarioConfig::validate`].
+    pub fn deploy(config: ScenarioConfig) -> Testbed {
+        if let Err(problems) = config.validate() {
+            panic!("invalid scenario: {}", problems.join("; "));
+        }
+        let mut rt = Runtime::with_medium(config.seed, config.link, config.medium);
+        let mut rng = SimRng::seed_from(config.seed ^ 0xdd05_41e1d);
+
+        let tserver = rt.deploy(ContainerSpec::new("tserver", Role::TServer));
+        let attacker = rt.deploy(ContainerSpec::new("attacker", Role::Attacker));
+        let ids_container = rt.deploy(ContainerSpec::new("ids", Role::Ids));
+        let devices: Vec<ContainerId> = (0..config.devices)
+            .map(|i| rt.deploy(ContainerSpec::new(format!("dev-{i}"), Role::Device)))
+            .collect();
+        let tserver_addr = rt.addr(tserver);
+
+        // Benign side: the three servers and the device client mix.
+        let server_stats = install_tserver(&mut rt, tserver, &config.workload, &mut rng);
+        let client_stats = ClientStatsBundle::default();
+        for offset in 0..config.clients_per_device.max(1) {
+            install_device_client_mix(
+                &mut rt,
+                &devices,
+                tserver_addr,
+                &config.workload,
+                SimTime::ZERO,
+                offset,
+                &client_stats,
+                &mut rng,
+            );
+        }
+
+        // Malicious side: vulnerable agents and the Mirai attacker.
+        let botnet_stats = BotnetStats::new();
+        install_device_agents(
+            &mut rt,
+            &devices,
+            config.vulnerable_fraction,
+            config.flood,
+            &botnet_stats,
+            &mut rng,
+            SimTime::ZERO,
+        );
+        let schedule: Vec<(SimTime, C2Command)> = config
+            .attacks
+            .iter()
+            .map(|phase| {
+                let at = SimTime::ZERO + config.infection_lead + phase.start;
+                let order = AttackOrder {
+                    vector: phase.vector,
+                    target: tserver_addr,
+                    port: config.attack_port,
+                    duration_secs: phase.duration_secs,
+                    pps: phase.pps,
+                };
+                (at, C2Command::Attack(order))
+            })
+            .collect();
+        let attacker_config = AttackerConfig {
+            scan_interval_mean: config.scan_interval_mean,
+            // Scan the populated host range plus some empty space.
+            scan_hosts: (2, (config.devices as u32 + 3) + 16),
+            schedule,
+        };
+        install_attacker(
+            &mut rt,
+            attacker,
+            attacker_config,
+            botnet_stats.clone(),
+            rng.fork(),
+            SimTime::ZERO,
+        );
+
+        // Churn, if configured.
+        if config.churn_rate_per_min > 0.0 {
+            let horizon = config.attack_horizon() + SimDuration::from_secs(120);
+            let mut churn_rng = rng.fork();
+            rt.apply_churn(
+                &devices,
+                config.churn_rate_per_min,
+                config.churn_mean_down,
+                horizon,
+                &mut churn_rng,
+            );
+        }
+
+        // The IDS's monitoring point: everything involving the TServer.
+        let (tap, sniffer) = sniffer_pair(SnifferFilter::Involving(tserver_addr));
+        rt.world_mut().add_tap(Box::new(tap));
+
+        Testbed {
+            rt,
+            config,
+            tserver,
+            attacker,
+            ids_container,
+            devices,
+            sniffer,
+            botnet_stats,
+            server_stats,
+            client_stats,
+        }
+    }
+
+    /// The underlying container runtime.
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
+    }
+
+    /// Mutable runtime access (custom experiments).
+    pub fn runtime_mut(&mut self) -> &mut Runtime {
+        &mut self.rt
+    }
+
+    /// The scenario this testbed was deployed from.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// TServer container id.
+    pub fn tserver(&self) -> ContainerId {
+        self.tserver
+    }
+
+    /// Attacker container id.
+    pub fn attacker(&self) -> ContainerId {
+        self.attacker
+    }
+
+    /// IDS container id.
+    pub fn ids_container(&self) -> ContainerId {
+        self.ids_container
+    }
+
+    /// Device container ids.
+    pub fn devices(&self) -> &[ContainerId] {
+        &self.devices
+    }
+
+    /// The TServer's bridge address.
+    pub fn tserver_addr(&self) -> Addr {
+        self.rt.addr(self.tserver)
+    }
+
+    /// Botnet progress counters.
+    pub fn botnet_stats(&self) -> &BotnetStats {
+        &self.botnet_stats
+    }
+
+    /// TServer-side benign service counters.
+    pub fn server_stats(&self) -> &ServerStatsBundle {
+        &self.server_stats
+    }
+
+    /// Device-side benign client counters.
+    pub fn client_stats(&self) -> &ClientStatsBundle {
+        &self.client_stats
+    }
+
+    /// The sniffer feed at the TServer.
+    pub fn sniffer(&self) -> &SnifferHandle {
+        &self.sniffer
+    }
+
+    /// Runs the infection lead-in (scanning + credential attacks) and
+    /// discards the traffic captured during it, so capture/detection
+    /// phases start from an established botnet, as in DDoSim's phases.
+    pub fn run_infection_lead(&mut self) {
+        let lead = self.config.infection_lead;
+        self.rt.run_for(lead);
+        let _ = self.sniffer.drain();
+    }
+
+    /// Runs for `duration`, capturing the TServer's traffic into a
+    /// labelled [`Dataset`] (the paper's 10-minute training run).
+    pub fn run_capture(&mut self, duration: SimDuration) -> Dataset {
+        self.rt.run_for(duration);
+        Dataset::from_records(self.sniffer.drain())
+    }
+
+    /// Runs the real-time detection phase (the paper's 5-minute run):
+    /// installs the trained IDS into the IDS container, runs for
+    /// `duration`, and returns its per-window log plus sustainability
+    /// metrics.
+    pub fn run_live(&mut self, duration: SimDuration, ids: TrainedIds) -> LiveReport {
+        let meter = self.rt.meter(self.ids_container);
+        let log = DetectionLog::new();
+        let model_size_kb = ids.model().encode().len() as f64 / 1024.0;
+        let app = RealTimeIds::new(ids, self.sniffer.clone(), meter.clone(), log.clone());
+        let now = self.rt.now();
+        self.rt.install(
+            self.ids_container,
+            Box::new(app),
+            netsim::packet::Provenance::Benign,
+            now,
+        );
+        self.rt.run_for(duration);
+        let sustainability = SustainabilityReport {
+            cpu_percent: meter.mean_cpu_percent(),
+            memory_kb: meter.memory_peak_bytes() as f64 / 1024.0,
+            model_size_kb,
+        };
+        LiveReport { log, sustainability, meter }
+    }
+
+    /// Per-second received throughput at the TServer so far, in bytes.
+    pub fn tserver_recv_bytes(&self) -> u64 {
+        self.rt.world().node_stats(self.rt.node(self.tserver)).recv_bytes
+    }
+
+    /// SYN-backlog pressure on the TServer's HTTP listener:
+    /// (half-open connections, SYNs dropped).
+    pub fn tserver_backlog_pressure(&self) -> (usize, u64) {
+        self.rt
+            .world()
+            .listener_pressure(self.rt.node(self.tserver), self.config.attack_port)
+            .unwrap_or((0, 0))
+    }
+}
+
+/// The outcome of a real-time detection phase.
+#[derive(Debug)]
+pub struct LiveReport {
+    /// Per-window detection results.
+    pub log: DetectionLog,
+    /// The paper's Table II row for this model.
+    pub sustainability: SustainabilityReport,
+    /// The IDS container's meter (for further inspection).
+    pub meter: ResourceMeter,
+}

@@ -1,0 +1,181 @@
+//! Feature scaling: min-max and z-score normalisation.
+//!
+//! Scalers are fitted on the training matrix and reused unchanged at
+//! detection time (fitting on live traffic would leak the test
+//! distribution).
+
+use serde::{Deserialize, Serialize};
+
+/// The scaling method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalingMethod {
+    /// Map each feature to `[0, 1]` by its training min/max.
+    MinMax,
+    /// Standardise each feature to zero mean and unit variance.
+    ZScore,
+}
+
+/// A fitted per-feature scaler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scaler {
+    method: ScalingMethod,
+    /// Per-feature (offset, scale): transformed = (x - offset) / scale.
+    params: Vec<(f64, f64)>,
+}
+
+impl Scaler {
+    /// Fits a scaler on a training matrix (rows = samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or rows are ragged.
+    pub fn fit(method: ScalingMethod, data: &[Vec<f64>]) -> Self {
+        assert!(!data.is_empty(), "cannot fit a scaler on no data");
+        let dims = data[0].len();
+        assert!(data.iter().all(|row| row.len() == dims), "ragged feature matrix");
+        let params = (0..dims)
+            .map(|j| {
+                let column = data.iter().map(|row| row[j]);
+                match method {
+                    ScalingMethod::MinMax => {
+                        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                        for v in column {
+                            lo = lo.min(v);
+                            hi = hi.max(v);
+                        }
+                        let span = hi - lo;
+                        (lo, if span.abs() < 1e-12 { 1.0 } else { span })
+                    }
+                    ScalingMethod::ZScore => {
+                        let values: Vec<f64> = column.collect();
+                        let n = values.len() as f64;
+                        let mean = values.iter().sum::<f64>() / n;
+                        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+                        let std = var.sqrt();
+                        (mean, if std < 1e-12 { 1.0 } else { std })
+                    }
+                }
+            })
+            .collect();
+        Scaler { method, params }
+    }
+
+    /// The method this scaler was fitted with.
+    pub fn method(&self) -> ScalingMethod {
+        self.method
+    }
+
+    /// Number of features the scaler expects.
+    pub fn dims(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Transforms one sample in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample arity differs from the fitted arity.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.params.len(), "feature arity mismatch");
+        for (value, &(offset, scale)) in row.iter_mut().zip(&self.params) {
+            *value = (*value - offset) / scale;
+        }
+    }
+
+    /// Transforms a whole matrix in place.
+    pub fn transform(&self, data: &mut [Vec<f64>]) {
+        for row in data {
+            self.transform_row(row);
+        }
+    }
+
+    /// Fits on `data` and transforms it in place, returning the scaler.
+    pub fn fit_transform(method: ScalingMethod, data: &mut [Vec<f64>]) -> Self {
+        let scaler = Scaler::fit(method, data);
+        scaler.transform(data);
+        scaler
+    }
+
+    /// The element-wise mean of several compatible scalers — the shared
+    /// preprocessing used in federated settings where no party may pool
+    /// raw data to fit a global scaler.
+    ///
+    /// Returns `None` if the slice is empty or the scalers disagree in
+    /// method or arity.
+    pub fn average(scalers: &[Scaler]) -> Option<Scaler> {
+        let first = scalers.first()?;
+        if scalers
+            .iter()
+            .any(|s| s.method != first.method || s.params.len() != first.params.len())
+        {
+            return None;
+        }
+        let n = scalers.len() as f64;
+        let params = (0..first.params.len())
+            .map(|j| {
+                let offset = scalers.iter().map(|s| s.params[j].0).sum::<f64>() / n;
+                let scale = scalers.iter().map(|s| s.params[j].1).sum::<f64>() / n;
+                (offset, scale)
+            })
+            .collect();
+        Some(Scaler { method: first.method, params })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> Vec<Vec<f64>> {
+        vec![vec![0.0, 10.0], vec![5.0, 20.0], vec![10.0, 30.0]]
+    }
+
+    #[test]
+    fn minmax_maps_to_unit_interval() {
+        let mut data = matrix();
+        let scaler = Scaler::fit_transform(ScalingMethod::MinMax, &mut data);
+        assert_eq!(scaler.dims(), 2);
+        assert_eq!(data[0], vec![0.0, 0.0]);
+        assert_eq!(data[2], vec![1.0, 1.0]);
+        assert_eq!(data[1], vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn zscore_standardises() {
+        let mut data = matrix();
+        Scaler::fit_transform(ScalingMethod::ZScore, &mut data);
+        for j in 0..2 {
+            let mean: f64 = data.iter().map(|r| r[j]).sum::<f64>() / 3.0;
+            let var: f64 = data.iter().map(|r| (r[j] - mean).powi(2)).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_features_do_not_divide_by_zero() {
+        let mut data = vec![vec![7.0], vec![7.0]];
+        let scaler = Scaler::fit_transform(ScalingMethod::MinMax, &mut data);
+        assert!(data.iter().all(|r| r[0].is_finite()));
+        let mut row = vec![7.0];
+        scaler.transform_row(&mut row);
+        assert!(row[0].is_finite());
+    }
+
+    #[test]
+    fn unseen_data_uses_training_parameters() {
+        let mut train = matrix();
+        let scaler = Scaler::fit_transform(ScalingMethod::MinMax, &mut train);
+        let mut row = vec![20.0, 40.0]; // beyond the training max
+        scaler.transform_row(&mut row);
+        assert_eq!(row, vec![2.0, 1.5], "extrapolates rather than re-fitting");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let scaler = Scaler::fit(ScalingMethod::MinMax, &matrix());
+        let mut row = vec![1.0];
+        scaler.transform_row(&mut row);
+    }
+}

@@ -1,0 +1,318 @@
+//! Time-window statistics — the paper's "statistical features".
+//!
+//! Per §III-B and §IV-A, the IDS aggregates packets over a user-chosen
+//! time window (1 s in the paper's experiments) and computes statistical
+//! features that are **identical for every packet in the window**:
+//! packet counts, destination-port entropy, port-frequency concentration,
+//! short-lived-connection and repeated-connection-attempt counts,
+//! SYN-without-ACK counts, flow rates and sequence-number variance. Each
+//! packet's final feature vector is its basic features concatenated with
+//! the window's statistics. The shared statistics are exactly what causes
+//! the accuracy dips at attack boundaries the paper reports (mixed
+//! windows give both classes the same statistical half).
+
+use std::collections::HashMap;
+
+use capture::record::PacketRecord;
+use netsim::packet::{Protocol, TcpFlags};
+use serde::{Deserialize, Serialize};
+
+/// The statistical features of one time window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WindowStats {
+    /// Packets in the window.
+    pub packet_count: f64,
+    /// Bytes per second over the window.
+    pub byte_rate: f64,
+    /// Shannon entropy (bits) of destination ports.
+    pub dst_port_entropy: f64,
+    /// Shannon entropy (bits) of source addresses.
+    pub src_addr_entropy: f64,
+    /// Fraction of packets aimed at the most common destination port.
+    pub top_dst_port_fraction: f64,
+    /// Flows seen with at most two packets (short-lived connections).
+    pub short_lived_flows: f64,
+    /// Sources that sent more than one bare SYN (repeated attempts).
+    pub repeated_syn_sources: f64,
+    /// Bare SYNs never followed by an ACK from the same endpoint.
+    pub syn_without_ack: f64,
+    /// Distinct flows per second.
+    pub flow_rate: f64,
+    /// Standard deviation of TCP sequence numbers.
+    pub seq_std: f64,
+    /// Mean wire length.
+    pub mean_pkt_len: f64,
+    /// Standard deviation of wire lengths.
+    pub std_pkt_len: f64,
+    /// Fraction of UDP packets.
+    pub udp_fraction: f64,
+}
+
+/// Number of statistical features.
+pub const STAT_FEATURES: usize = 13;
+
+impl WindowStats {
+    /// Computes the statistics of a window's packets.
+    ///
+    /// `window_secs` is the nominal window length used for the rate
+    /// features. Returns the default (all zeros) for an empty window.
+    pub fn compute(records: &[PacketRecord], window_secs: f64) -> Self {
+        if records.is_empty() {
+            return WindowStats::default();
+        }
+        let n = records.len() as f64;
+        let secs = window_secs.max(1e-9);
+
+        let total_bytes: u64 = records.iter().map(|r| r.wire_len as u64).sum();
+
+        let mut dst_ports: HashMap<u16, u64> = HashMap::new();
+        let mut src_addrs: HashMap<u32, u64> = HashMap::new();
+        let mut flows: HashMap<(u32, u16, u32, u16, u8), u64> = HashMap::new();
+        let mut syns_per_source: HashMap<(u32, u16), u64> = HashMap::new();
+        let mut acks_from_source: HashMap<(u32, u16), bool> = HashMap::new();
+        let mut seq_values: Vec<f64> = Vec::new();
+        let mut udp_count = 0u64;
+
+        for r in records {
+            *dst_ports.entry(r.dst_port).or_default() += 1;
+            *src_addrs.entry(r.src.to_bits()).or_default() += 1;
+            *flows
+                .entry((r.src.to_bits(), r.src_port, r.dst.to_bits(), r.dst_port, r.protocol.number()))
+                .or_default() += 1;
+            match r.protocol {
+                Protocol::Udp => udp_count += 1,
+                Protocol::Tcp => {
+                    seq_values.push(r.seq as f64);
+                    let endpoint = (r.src.to_bits(), r.src_port);
+                    if r.is_bare_syn() {
+                        *syns_per_source.entry(endpoint).or_default() += 1;
+                    } else if r.flags.contains(TcpFlags::ACK) {
+                        acks_from_source.insert(endpoint, true);
+                    }
+                }
+            }
+        }
+
+        let dst_port_entropy = entropy(dst_ports.values().copied());
+        let src_addr_entropy = entropy(src_addrs.values().copied());
+        let top_dst_port = dst_ports.values().copied().max().unwrap_or(0) as f64;
+        let short_lived = flows.values().filter(|&&c| c <= 2).count() as f64;
+        let repeated_syn = syns_per_source.values().filter(|&&c| c > 1).count() as f64;
+        let syn_without_ack: u64 = syns_per_source
+            .iter()
+            .filter(|(endpoint, _)| !acks_from_source.contains_key(*endpoint))
+            .map(|(_, &count)| count)
+            .sum();
+
+        let (mean_len, std_len) = mean_std(records.iter().map(|r| r.wire_len as f64));
+        let (_, seq_std) = mean_std(seq_values.iter().copied());
+
+        WindowStats {
+            packet_count: n,
+            byte_rate: total_bytes as f64 / secs,
+            dst_port_entropy,
+            src_addr_entropy,
+            top_dst_port_fraction: top_dst_port / n,
+            short_lived_flows: short_lived,
+            repeated_syn_sources: repeated_syn,
+            syn_without_ack: syn_without_ack as f64,
+            flow_rate: flows.len() as f64 / secs,
+            seq_std,
+            mean_pkt_len: mean_len,
+            std_pkt_len: std_len,
+            udp_fraction: udp_count as f64 / n,
+        }
+    }
+
+    /// The statistics as a feature slice, in [`STAT_FEATURE_NAMES`] order.
+    pub fn as_features(&self) -> [f64; STAT_FEATURES] {
+        [
+            self.packet_count,
+            self.byte_rate,
+            self.dst_port_entropy,
+            self.src_addr_entropy,
+            self.top_dst_port_fraction,
+            self.short_lived_flows,
+            self.repeated_syn_sources,
+            self.syn_without_ack,
+            self.flow_rate,
+            self.seq_std,
+            self.mean_pkt_len,
+            self.std_pkt_len,
+            self.udp_fraction,
+        ]
+    }
+}
+
+/// Names of the statistical features, aligned with
+/// [`WindowStats::as_features`].
+pub const STAT_FEATURE_NAMES: [&str; STAT_FEATURES] = [
+    "packet_count",
+    "byte_rate",
+    "dst_port_entropy",
+    "src_addr_entropy",
+    "top_dst_port_fraction",
+    "short_lived_flows",
+    "repeated_syn_sources",
+    "syn_without_ack",
+    "flow_rate",
+    "seq_std",
+    "mean_pkt_len",
+    "std_pkt_len",
+    "udp_fraction",
+];
+
+/// Shannon entropy in bits of a count distribution.
+///
+/// The counts are sorted before summation so the result is independent
+/// of iteration order (hash maps iterate in arbitrary order, and float
+/// addition is not associative — without sorting, bit-for-bit run
+/// reproducibility would silently break).
+pub fn entropy(counts: impl IntoIterator<Item = u64>) -> f64 {
+    let mut counts: Vec<u64> = counts.into_iter().filter(|&c| c > 0).collect();
+    counts.sort_unstable();
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    -counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / total;
+            p * p.log2()
+        })
+        .sum::<f64>()
+}
+
+/// Mean and standard deviation of a sample (population form).
+pub fn mean_std(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let values: Vec<f64> = values.collect();
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capture::record::Label;
+    use netsim::time::SimTime;
+    use netsim::Addr;
+
+    fn record(src_host: u8, src_port: u16, dst_port: u16, flags: TcpFlags, seq: u32) -> PacketRecord {
+        PacketRecord {
+            ts: SimTime::from_millis(100),
+            src: Addr::new(10, 0, 0, src_host),
+            src_port,
+            dst: Addr::new(10, 0, 0, 2),
+            dst_port,
+            protocol: Protocol::Tcp,
+            flags,
+            wire_len: 40,
+            payload_len: 0,
+            seq,
+            label: Label::Benign,
+        }
+    }
+
+    fn udp_record(src_host: u8, dst_port: u16) -> PacketRecord {
+        PacketRecord {
+            protocol: Protocol::Udp,
+            flags: TcpFlags::EMPTY,
+            wire_len: 540,
+            ..record(src_host, 1000, dst_port, TcpFlags::EMPTY, 0)
+        }
+    }
+
+    #[test]
+    fn empty_window_is_all_zero() {
+        let stats = WindowStats::compute(&[], 1.0);
+        assert_eq!(stats, WindowStats::default());
+        assert_eq!(stats.as_features(), [0.0; STAT_FEATURES]);
+    }
+
+    #[test]
+    fn entropy_bounds() {
+        assert_eq!(entropy([]), 0.0);
+        assert_eq!(entropy([10]), 0.0);
+        // Uniform over 4 symbols = 2 bits.
+        assert!((entropy([5, 5, 5, 5]) - 2.0).abs() < 1e-12);
+        // Any distribution over n symbols has entropy <= log2(n).
+        assert!(entropy([1, 2, 3, 4]) <= 2.0);
+    }
+
+    #[test]
+    fn syn_flood_window_signature() {
+        // 50 bare SYNs from distinct sources and ports, never ACKed.
+        let records: Vec<PacketRecord> = (0..50)
+            .map(|i| record(3, 2000 + i as u16, 80, TcpFlags::SYN, i * 7919))
+            .collect();
+        let stats = WindowStats::compute(&records, 1.0);
+        assert_eq!(stats.packet_count, 50.0);
+        assert_eq!(stats.syn_without_ack, 50.0);
+        assert_eq!(stats.top_dst_port_fraction, 1.0, "all SYNs hit port 80");
+        assert!(stats.dst_port_entropy < 1e-9);
+        assert_eq!(stats.short_lived_flows, 50.0);
+        assert!(stats.seq_std > 1_000.0, "random sequence numbers spread");
+    }
+
+    #[test]
+    fn udp_flood_window_signature() {
+        let records: Vec<PacketRecord> =
+            (0..64).map(|i| udp_record(4, 1000 + (i * 523 % 60000) as u16)).collect();
+        let stats = WindowStats::compute(&records, 1.0);
+        assert_eq!(stats.udp_fraction, 1.0);
+        assert!(stats.dst_port_entropy > 5.0, "random ports → high entropy");
+        assert!((stats.byte_rate - 64.0 * 540.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn benign_window_signature() {
+        // A handshake plus data exchange: SYN answered by ACKs.
+        let mut records = vec![
+            record(5, 5000, 80, TcpFlags::SYN, 1),
+            record(5, 5000, 80, TcpFlags::ACK, 2),
+        ];
+        for i in 0..10 {
+            records.push(record(5, 5000, 80, TcpFlags::ACK | TcpFlags::PSH, 2 + i));
+        }
+        let stats = WindowStats::compute(&records, 1.0);
+        assert_eq!(stats.syn_without_ack, 0.0, "SYN followed by ACKs from same endpoint");
+        assert_eq!(stats.repeated_syn_sources, 0.0);
+        assert_eq!(stats.short_lived_flows, 0.0, "one long flow");
+    }
+
+    #[test]
+    fn repeated_attempts_are_counted() {
+        let records = vec![
+            record(6, 7000, 80, TcpFlags::SYN, 1),
+            record(6, 7000, 80, TcpFlags::SYN, 1),
+            record(6, 7000, 80, TcpFlags::SYN, 1),
+        ];
+        let stats = WindowStats::compute(&records, 1.0);
+        assert_eq!(stats.repeated_syn_sources, 1.0);
+        assert_eq!(stats.syn_without_ack, 3.0);
+    }
+
+    #[test]
+    fn rates_scale_with_window_length() {
+        let records: Vec<PacketRecord> = (0..10).map(|i| udp_record(7, 1000 + i)).collect();
+        let one = WindowStats::compute(&records, 1.0);
+        let two = WindowStats::compute(&records, 2.0);
+        assert!((one.byte_rate - 2.0 * two.byte_rate).abs() < 1e-9);
+        assert!((one.flow_rate - 2.0 * two.flow_rate).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feature_names_align_with_vector() {
+        assert_eq!(STAT_FEATURE_NAMES.len(), STAT_FEATURES);
+        let stats = WindowStats { packet_count: 42.0, ..WindowStats::default() };
+        assert_eq!(stats.as_features()[0], 42.0);
+        assert_eq!(STAT_FEATURE_NAMES[0], "packet_count");
+    }
+}

@@ -1,0 +1,300 @@
+//! Alerting on top of per-window detection: attack episodes and
+//! time-to-detect.
+//!
+//! The paper evaluates per-window accuracy; an operator additionally
+//! needs *alerts*: contiguous attack episodes with a start, an end, and
+//! a detection latency. [`AlertPolicy`] turns the window stream into
+//! episodes with the classic m-of-n smoothing (an alert fires when at
+//! least `fire_threshold` of the last `window` windows were flagged,
+//! and clears symmetrically), suppressing one-window blips at attack
+//! boundaries — exactly the noise §IV-D describes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::pipeline::WindowDetection;
+
+/// Hysteresis policy converting flagged windows into alert episodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlertPolicy {
+    /// A window is *flagged* when more than this fraction (in percent)
+    /// of its packets are classified malicious.
+    pub flag_percent: u8,
+    /// Sliding evaluation window length (n of m-of-n).
+    pub window: usize,
+    /// Flagged windows within the sliding window needed to raise (m).
+    pub fire_threshold: usize,
+    /// Un-flagged windows within the sliding window needed to clear.
+    pub clear_threshold: usize,
+    /// A window counts as a *true* attack window when more than this
+    /// fraction (in percent) of its packets are actually malicious —
+    /// attacks are often a minority of a busy victim's traffic.
+    pub truth_percent: u8,
+}
+
+impl Default for AlertPolicy {
+    fn default() -> Self {
+        AlertPolicy {
+            flag_percent: 8,
+            window: 3,
+            fire_threshold: 2,
+            clear_threshold: 3,
+            truth_percent: 8,
+        }
+    }
+}
+
+/// One contiguous alert episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlertEpisode {
+    /// Window index at which the alert fired.
+    pub fired_at: u64,
+    /// Window index at which the alert cleared (`None` = still firing).
+    pub cleared_at: Option<u64>,
+}
+
+/// An attack episode in the ground truth, with its detection outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectionLatency {
+    /// First window of the true attack episode.
+    pub attack_start: u64,
+    /// Last window of the true attack episode.
+    pub attack_end: u64,
+    /// Windows from attack start until the alert fired (`None` = missed).
+    pub windows_to_detect: Option<u64>,
+}
+
+/// Runs the policy over a detection log, producing alert episodes.
+pub fn alert_episodes(results: &[WindowDetection], policy: &AlertPolicy) -> Vec<AlertEpisode> {
+    let mut episodes: Vec<AlertEpisode> = Vec::new();
+    let mut firing = false;
+    let mut history: Vec<bool> = Vec::new();
+    for d in results {
+        let flagged = d.packets > 0
+            && d.predicted_malicious * 100 > d.packets * policy.flag_percent as usize;
+        history.push(flagged);
+        let n = policy.window.max(1);
+        let recent = &history[history.len().saturating_sub(n)..];
+        let recent_flagged = recent.iter().filter(|&&f| f).count();
+        if !firing && recent_flagged >= policy.fire_threshold.min(n) {
+            firing = true;
+            episodes.push(AlertEpisode { fired_at: d.window_index, cleared_at: None });
+        } else if firing && (recent.len() - recent_flagged) >= policy.clear_threshold.min(n) {
+            firing = false;
+            if let Some(last) = episodes.last_mut() {
+                last.cleared_at = Some(d.window_index);
+            }
+        }
+    }
+    episodes
+}
+
+/// Extracts the ground-truth attack episodes (runs of windows whose
+/// malicious share exceeds the policy's `truth_percent`) and matches
+/// each with the first alert fired at or after its start, yielding
+/// per-attack detection latency.
+pub fn detection_latencies(
+    results: &[WindowDetection],
+    episodes: &[AlertEpisode],
+    policy: &AlertPolicy,
+) -> Vec<DetectionLatency> {
+    let mut truth_episodes: Vec<(u64, u64)> = Vec::new();
+    let mut current: Option<(u64, u64)> = None;
+    for d in results {
+        let attacking =
+            d.packets > 0 && d.truth_malicious * 100 > d.packets * policy.truth_percent as usize;
+        match (&mut current, attacking) {
+            (None, true) => current = Some((d.window_index, d.window_index)),
+            (Some((_, end)), true) => *end = d.window_index,
+            (Some(done), false) => {
+                truth_episodes.push(*done);
+                current = None;
+            }
+            (None, false) => {}
+        }
+    }
+    if let Some(done) = current {
+        truth_episodes.push(done);
+    }
+
+    truth_episodes
+        .into_iter()
+        .map(|(start, end)| {
+            let fired = episodes
+                .iter()
+                .map(|e| e.fired_at)
+                .filter(|&f| f >= start && f <= end + 2)
+                .min();
+            DetectionLatency {
+                attack_start: start,
+                attack_end: end,
+                windows_to_detect: fired.map(|f| f - start),
+            }
+        })
+        .collect()
+}
+
+/// Summary of detection responsiveness over a live run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlertSummary {
+    /// True attack episodes observed.
+    pub attacks: usize,
+    /// Attacks for which an alert fired.
+    pub detected: usize,
+    /// Mean windows-to-detect over detected attacks.
+    pub mean_latency_windows: f64,
+    /// Alerts fired outside any attack episode (false alarms).
+    pub false_alarms: usize,
+}
+
+/// Computes the full alert summary of a live run.
+pub fn summarize(results: &[WindowDetection], policy: &AlertPolicy) -> AlertSummary {
+    let episodes = alert_episodes(results, policy);
+    let latencies = detection_latencies(results, &episodes, policy);
+    let detected: Vec<u64> = latencies.iter().filter_map(|l| l.windows_to_detect).collect();
+    let matched: usize = latencies
+        .iter()
+        .filter(|l| l.windows_to_detect.is_some())
+        .count();
+    // An episode is a false alarm if it fired outside every truth episode.
+    let truth_ranges: Vec<(u64, u64)> =
+        latencies.iter().map(|l| (l.attack_start, l.attack_end + 2)).collect();
+    let false_alarms = episodes
+        .iter()
+        .filter(|e| !truth_ranges.iter().any(|&(s, t)| e.fired_at >= s && e.fired_at <= t))
+        .count();
+    AlertSummary {
+        attacks: latencies.len(),
+        detected: matched,
+        mean_latency_windows: if detected.is_empty() {
+            f64::NAN
+        } else {
+            detected.iter().sum::<u64>() as f64 / detected.len() as f64
+        },
+        false_alarms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capture::record::Label;
+
+    fn window(index: u64, malicious_frac: f64, truth: Label) -> WindowDetection {
+        let packets = 100;
+        let predicted = (malicious_frac * packets as f64) as usize;
+        WindowDetection {
+            window_index: index,
+            packets,
+            correct: 0,
+            predicted_malicious: predicted,
+            truth_malicious: if truth == Label::Malicious { 80 } else { 0 },
+            malicious_correct: 0,
+            mixed: false,
+            majority_truth: truth,
+        }
+    }
+
+    /// Benign, 5 attack windows, benign: one episode fires and clears.
+    #[test]
+    fn single_attack_yields_one_episode() {
+        let mut results = Vec::new();
+        for i in 0..5 {
+            results.push(window(i, 0.05, Label::Benign));
+        }
+        for i in 5..10 {
+            results.push(window(i, 0.95, Label::Malicious));
+        }
+        for i in 10..18 {
+            results.push(window(i, 0.05, Label::Benign));
+        }
+        let policy = AlertPolicy::default();
+        let episodes = alert_episodes(&results, &policy);
+        assert_eq!(episodes.len(), 1);
+        assert_eq!(episodes[0].fired_at, 6, "fires on the 2nd flagged window (2-of-3)");
+        assert_eq!(episodes[0].cleared_at, Some(12), "clears after 3 clean windows");
+
+        let latencies = detection_latencies(&results, &episodes, &policy);
+        assert_eq!(latencies.len(), 1);
+        assert_eq!(latencies[0].windows_to_detect, Some(1));
+
+        let summary = summarize(&results, &policy);
+        assert_eq!(summary.attacks, 1);
+        assert_eq!(summary.detected, 1);
+        assert_eq!(summary.false_alarms, 0);
+        assert!((summary.mean_latency_windows - 1.0).abs() < 1e-12);
+    }
+
+    /// A single-window blip does not fire (the §IV-D boundary noise is
+    /// absorbed by the m-of-n smoothing).
+    #[test]
+    fn one_window_blip_is_suppressed() {
+        let mut results: Vec<WindowDetection> =
+            (0..10).map(|i| window(i, 0.05, Label::Benign)).collect();
+        results[4] = window(4, 0.95, Label::Benign); // misclassification blip
+        let episodes = alert_episodes(&results, &AlertPolicy::default());
+        assert!(episodes.is_empty());
+        let summary = summarize(&results, &AlertPolicy::default());
+        assert_eq!(summary.false_alarms, 0);
+    }
+
+    /// A missed attack is reported as undetected, not silently dropped.
+    #[test]
+    fn missed_attacks_are_counted() {
+        let mut results = Vec::new();
+        for i in 0..4 {
+            results.push(window(i, 0.05, Label::Benign));
+        }
+        // The model sleeps through the whole attack (predicted share
+        // stays below the flag threshold).
+        for i in 4..8 {
+            results.push(window(i, 0.04, Label::Malicious));
+        }
+        for i in 8..12 {
+            results.push(window(i, 0.05, Label::Benign));
+        }
+        let summary = summarize(&results, &AlertPolicy::default());
+        assert_eq!(summary.attacks, 1);
+        assert_eq!(summary.detected, 0);
+        assert!(summary.mean_latency_windows.is_nan());
+    }
+
+    /// Persistent false positives outside any attack are false alarms.
+    #[test]
+    fn false_alarms_are_counted() {
+        let mut results: Vec<WindowDetection> =
+            (0..12).map(|i| window(i, 0.05, Label::Benign)).collect();
+        results[6] = window(6, 0.9, Label::Benign);
+        results[7] = window(7, 0.9, Label::Benign);
+        let summary = summarize(&results, &AlertPolicy::default());
+        assert_eq!(summary.attacks, 0);
+        assert_eq!(summary.false_alarms, 1);
+    }
+
+    /// Back-to-back attacks produce separate episodes when separated by
+    /// enough clean windows.
+    #[test]
+    fn separate_attacks_separate_episodes() {
+        let mut results = Vec::new();
+        let mut idx = 0u64;
+        for _ in 0..2 {
+            for _ in 0..6 {
+                results.push(window(idx, 0.05, Label::Benign));
+                idx += 1;
+            }
+            for _ in 0..5 {
+                results.push(window(idx, 0.95, Label::Malicious));
+                idx += 1;
+            }
+        }
+        for _ in 0..6 {
+            results.push(window(idx, 0.05, Label::Benign));
+            idx += 1;
+        }
+        let policy = AlertPolicy::default();
+        let episodes = alert_episodes(&results, &policy);
+        assert_eq!(episodes.len(), 2);
+        let summary = summarize(&results, &policy);
+        assert_eq!(summary.attacks, 2);
+        assert_eq!(summary.detected, 2);
+    }
+}

@@ -1,0 +1,226 @@
+//! The Real-Time IDS Unit: the fourth container of DDoShield-IoT.
+//!
+//! [`RealTimeIds`] is a hosted application that wakes every window
+//! interval, drains the sniffer feed, aggregates the elapsed window,
+//! extracts features, runs the configured model, and logs the window's
+//! accuracy — while metering its *actual* compute time and memory
+//! footprint into the container's [`ResourceMeter`] (the paper's
+//! sustainability metrics are measured on exactly this loop).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+use capture::sniffer::SnifferHandle;
+use containers::meter::ResourceMeter;
+use features::extract::WindowAggregator;
+use netsim::time::SimDuration;
+use netsim::world::{App, Ctx};
+
+use crate::pipeline::{TrainedIds, WindowDetection};
+
+/// Shared log of per-window detection results.
+#[derive(Debug, Clone, Default)]
+pub struct DetectionLog {
+    inner: Rc<RefCell<Vec<WindowDetection>>>,
+}
+
+impl DetectionLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one window's result.
+    pub fn push(&self, detection: WindowDetection) {
+        self.inner.borrow_mut().push(detection);
+    }
+
+    /// A copy of all results so far, in window order.
+    pub fn results(&self) -> Vec<WindowDetection> {
+        self.inner.borrow().clone()
+    }
+
+    /// Number of windows logged.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// `true` if nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+
+    /// Mean per-window accuracy (the paper's Table I number).
+    pub fn mean_accuracy(&self) -> f64 {
+        let results = self.inner.borrow();
+        if results.is_empty() {
+            return 0.0;
+        }
+        results.iter().map(WindowDetection::accuracy).sum::<f64>() / results.len() as f64
+    }
+
+    /// The worst window accuracy (the paper's reported 35 % minimum).
+    pub fn min_accuracy(&self) -> f64 {
+        self.inner
+            .borrow()
+            .iter()
+            .map(WindowDetection::accuracy)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Overall malicious-packet recall: the fraction of all malicious
+    /// packets in the run that were flagged (`None` if none occurred).
+    pub fn malicious_recall(&self) -> Option<f64> {
+        let results = self.inner.borrow();
+        let truth: usize = results.iter().map(|d| d.truth_malicious).sum();
+        if truth == 0 {
+            return None;
+        }
+        let caught: usize = results.iter().map(|d| d.malicious_correct).sum();
+        Some(caught as f64 / truth as f64)
+    }
+
+    /// Mean accuracy over mixed (attack-boundary) windows only.
+    pub fn mean_accuracy_mixed(&self) -> Option<f64> {
+        let results = self.inner.borrow();
+        let mixed: Vec<f64> =
+            results.iter().filter(|d| d.mixed).map(WindowDetection::accuracy).collect();
+        if mixed.is_empty() {
+            None
+        } else {
+            Some(mixed.iter().sum::<f64>() / mixed.len() as f64)
+        }
+    }
+
+    /// Mean accuracy over single-class windows only.
+    pub fn mean_accuracy_pure(&self) -> Option<f64> {
+        let results = self.inner.borrow();
+        let pure: Vec<f64> =
+            results.iter().filter(|d| !d.mixed).map(WindowDetection::accuracy).collect();
+        if pure.is_empty() {
+            None
+        } else {
+            Some(pure.iter().sum::<f64>() / pure.len() as f64)
+        }
+    }
+}
+
+/// The real-time IDS application hosted in the IDS container.
+pub struct RealTimeIds {
+    ids: TrainedIds,
+    feed: SnifferHandle,
+    aggregator: WindowAggregator,
+    meter: ResourceMeter,
+    log: DetectionLog,
+}
+
+impl std::fmt::Debug for RealTimeIds {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RealTimeIds").field("model", &self.ids.model().name()).finish()
+    }
+}
+
+impl RealTimeIds {
+    /// Creates the IDS app over a trained model and a sniffer feed.
+    pub fn new(ids: TrainedIds, feed: SnifferHandle, meter: ResourceMeter, log: DetectionLog) -> Self {
+        let window_secs = ids.window_secs();
+        let refresh = ids.stats_refresh();
+        // The model's resident footprint counts against the container.
+        meter.set_memory_bytes(ids.model().memory_bytes());
+        RealTimeIds {
+            ids,
+            feed,
+            aggregator: WindowAggregator::new(window_secs).with_stats_refresh(refresh),
+            meter,
+            log,
+        }
+    }
+
+    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+        let started = Instant::now();
+        let mut completed = Vec::new();
+        for record in self.feed.drain() {
+            if let Some(window) = self.aggregator.push(record) {
+                completed.push(window);
+            }
+        }
+        // Feature extraction + inference, measured for the CPU metric.
+        let mut buffered_bytes = 0u64;
+        for window in &completed {
+            let detection = self.ids.classify_window(window);
+            buffered_bytes += window.records.len() as u64 * 64; // record footprint
+            self.log.push(detection);
+        }
+        let busy = started.elapsed().as_secs_f64();
+        self.meter.record_cpu_seconds(busy);
+        self.meter
+            .set_memory_bytes(self.ids.model().memory_bytes() + buffered_bytes);
+
+        // Close this observation interval (its CPU sample includes the
+        // work just recorded) and open the next one.
+        self.meter.end_window(ctx.now());
+        self.meter.begin_window(ctx.now());
+        ctx.set_timer(SimDuration::from_secs(self.ids.window_secs()), 0);
+    }
+}
+
+impl App for RealTimeIds {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.meter.begin_window(ctx.now());
+        ctx.set_timer(SimDuration::from_secs(self.ids.window_secs()), 0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        self.tick(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capture::record::Label;
+    use crate::pipeline::WindowDetection;
+
+    fn detection(acc_num: usize, packets: usize, mixed: bool) -> WindowDetection {
+        WindowDetection {
+            window_index: 0,
+            packets,
+            correct: acc_num,
+            predicted_malicious: 0,
+            truth_malicious: 0,
+            malicious_correct: 0,
+            mixed,
+            majority_truth: Label::Benign,
+        }
+    }
+
+    #[test]
+    fn log_statistics() {
+        let log = DetectionLog::new();
+        log.push(detection(10, 10, false)); // 1.0
+        log.push(detection(5, 10, true)); // 0.5
+        log.push(detection(8, 10, false)); // 0.8
+        assert_eq!(log.len(), 3);
+        assert!((log.mean_accuracy() - (1.0 + 0.5 + 0.8) / 3.0).abs() < 1e-12);
+        assert!((log.min_accuracy() - 0.5).abs() < 1e-12);
+        assert_eq!(log.mean_accuracy_mixed(), Some(0.5));
+        assert!((log.mean_accuracy_pure().unwrap() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_log_is_safe() {
+        let log = DetectionLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.mean_accuracy(), 0.0);
+        assert_eq!(log.mean_accuracy_mixed(), None);
+    }
+
+    #[test]
+    fn log_handles_share_state() {
+        let a = DetectionLog::new();
+        let b = a.clone();
+        b.push(detection(1, 1, false));
+        assert_eq!(a.len(), 1);
+    }
+}

@@ -1,0 +1,75 @@
+//! Sustainability metrics: the paper's Table II row for one model.
+
+use containers::meter::ResourceMeter;
+use ml::classifier::Classifier;
+use serde::{Deserialize, Serialize};
+
+/// The three sustainability metrics the paper reports per model:
+/// CPU usage (%), occupied RAM (Kb) and model size (Kb).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SustainabilityReport {
+    /// Mean CPU utilisation of the IDS loop over its observation
+    /// windows, in percent.
+    pub cpu_percent: f64,
+    /// Peak resident memory of the model + working buffers, in Kb.
+    pub memory_kb: f64,
+    /// Serialised model blob size, in Kb.
+    pub model_size_kb: f64,
+}
+
+impl SustainabilityReport {
+    /// Assembles the report from the container meter and the model.
+    pub fn collect(meter: &ResourceMeter, model: &dyn Classifier) -> Self {
+        SustainabilityReport {
+            cpu_percent: meter.mean_cpu_percent(),
+            memory_kb: meter.memory_peak_bytes() as f64 / 1024.0,
+            model_size_kb: model.encode().len() as f64 / 1024.0,
+        }
+    }
+}
+
+impl std::fmt::Display for SustainabilityReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cpu={:.2}% mem={:.2}Kb model={:.2}Kb",
+            self.cpu_percent, self.memory_kb, self.model_size_kb
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::time::SimTime;
+
+    struct Fixed;
+    impl Classifier for Fixed {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn predict(&self, _features: &[f64]) -> usize {
+            0
+        }
+        fn encode(&self) -> Vec<u8> {
+            vec![0u8; 2048]
+        }
+        fn memory_bytes(&self) -> u64 {
+            4096
+        }
+    }
+
+    #[test]
+    fn report_converts_units() {
+        let meter = ResourceMeter::new();
+        meter.set_memory_bytes(10_240);
+        meter.begin_window(SimTime::from_secs(0));
+        meter.record_cpu_seconds(0.5);
+        meter.end_window(SimTime::from_secs(1));
+        let report = SustainabilityReport::collect(&meter, &Fixed);
+        assert!((report.cpu_percent - 50.0).abs() < 1e-9);
+        assert!((report.memory_kb - 10.0).abs() < 1e-9);
+        assert!((report.model_size_kb - 2.0).abs() < 1e-9);
+        assert!(!report.to_string().is_empty());
+    }
+}

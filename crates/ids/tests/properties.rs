@@ -1,0 +1,103 @@
+//! Property-based tests of the alerting layer and detection-log
+//! aggregates over arbitrary window streams.
+
+use capture::record::Label;
+use ids::alerts::{alert_episodes, detection_latencies, summarize, AlertPolicy};
+use ids::pipeline::WindowDetection;
+use ids::realtime::DetectionLog;
+use proptest::prelude::*;
+
+prop_compose! {
+    fn window_strategy(index: u64)(
+        packets in 1usize..2_000,
+        predicted_frac in 0.0f64..1.0,
+        truth_frac in 0.0f64..1.0,
+        correct_frac in 0.0f64..1.0,
+    ) -> WindowDetection {
+        let predicted_malicious = (packets as f64 * predicted_frac) as usize;
+        let truth_malicious = (packets as f64 * truth_frac) as usize;
+        let correct = (packets as f64 * correct_frac) as usize;
+        WindowDetection {
+            window_index: index,
+            packets,
+            correct,
+            predicted_malicious,
+            truth_malicious,
+            malicious_correct: correct.min(truth_malicious),
+            mixed: truth_malicious > 0 && truth_malicious < packets,
+            majority_truth: if truth_malicious * 2 > packets {
+                Label::Malicious
+            } else {
+                Label::Benign
+            },
+        }
+    }
+}
+
+fn stream_strategy() -> impl Strategy<Value = Vec<WindowDetection>> {
+    proptest::collection::vec(any::<u8>(), 1..120).prop_flat_map(|seeds| {
+        let windows: Vec<_> =
+            seeds.iter().enumerate().map(|(i, _)| window_strategy(i as u64)).collect();
+        windows
+    })
+}
+
+proptest! {
+    /// Episodes never overlap and fire/clear indices are ordered.
+    #[test]
+    fn episodes_are_ordered_and_disjoint(results in stream_strategy()) {
+        let episodes = alert_episodes(&results, &AlertPolicy::default());
+        for e in &episodes {
+            if let Some(cleared) = e.cleared_at {
+                prop_assert!(cleared >= e.fired_at);
+            }
+        }
+        for pair in episodes.windows(2) {
+            let first_cleared = pair[0].cleared_at.expect("only the last episode may be open");
+            prop_assert!(pair[1].fired_at > first_cleared);
+        }
+        // At most the final episode is still firing.
+        for e in episodes.iter().rev().skip(1) {
+            prop_assert!(e.cleared_at.is_some());
+        }
+    }
+
+    /// Latency bookkeeping: detections never exceed attacks; latencies
+    /// are within the episode span (+ the 2-window grace).
+    #[test]
+    fn latency_accounting_is_consistent(results in stream_strategy()) {
+        let policy = AlertPolicy::default();
+        let episodes = alert_episodes(&results, &policy);
+        let latencies = detection_latencies(&results, &episodes, &policy);
+        let summary = summarize(&results, &policy);
+        prop_assert_eq!(summary.attacks, latencies.len());
+        prop_assert!(summary.detected <= summary.attacks);
+        prop_assert!(summary.false_alarms <= episodes.len());
+        for l in &latencies {
+            prop_assert!(l.attack_end >= l.attack_start);
+            if let Some(w) = l.windows_to_detect {
+                prop_assert!(l.attack_start + w <= l.attack_end + 2);
+            }
+        }
+    }
+
+    /// DetectionLog aggregates stay within their mathematical ranges.
+    #[test]
+    fn log_aggregates_are_bounded(results in stream_strategy()) {
+        let log = DetectionLog::new();
+        for &d in &results {
+            log.push(d);
+        }
+        let mean = log.mean_accuracy();
+        prop_assert!((0.0..=1.0).contains(&mean));
+        prop_assert!(log.min_accuracy() <= mean + 1e-12);
+        if let Some(recall) = log.malicious_recall() {
+            prop_assert!((0.0..=1.0).contains(&recall));
+        }
+        if let (Some(mixed), Some(pure)) = (log.mean_accuracy_mixed(), log.mean_accuracy_pure()) {
+            // Both are averages of window accuracies.
+            prop_assert!((0.0..=1.0).contains(&mixed));
+            prop_assert!((0.0..=1.0).contains(&pure));
+        }
+    }
+}

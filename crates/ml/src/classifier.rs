@@ -1,0 +1,134 @@
+//! The common interface the IDS uses to drive any of the three models.
+
+use crate::codec::DecodeError;
+use crate::metrics::{ConfusionMatrix, MetricsReport};
+
+/// A trained binary traffic classifier (0 = benign, 1 = malicious).
+///
+/// Object-safe so the IDS can hold `Box<dyn Classifier>` and swap models
+/// at deployment time, the way the paper's IDS container selects one of
+/// RF / K-Means / CNN "based on user needs".
+pub trait Classifier {
+    /// Human-readable model name ("RF", "K-Means", "CNN").
+    fn name(&self) -> &'static str;
+
+    /// Classifies one feature vector.
+    fn predict(&self, features: &[f64]) -> usize;
+
+    /// Classifies a batch (default: row-by-row).
+    fn predict_batch(&self, features: &[Vec<f64>]) -> Vec<usize> {
+        features.iter().map(|row| self.predict(row)).collect()
+    }
+
+    /// Serialises the model (the PKL-file analogue). The blob length is
+    /// the paper's "Model Size" metric.
+    fn encode(&self) -> Vec<u8>;
+
+    /// Approximate resident memory of the model's parameters and
+    /// buffers, in bytes (the paper's "Memory" metric).
+    fn memory_bytes(&self) -> u64;
+}
+
+/// Evaluates a classifier on labelled data, producing the paper's
+/// train-time metric row.
+pub fn evaluate(model: &dyn Classifier, x: &[Vec<f64>], y: &[usize]) -> MetricsReport {
+    let predictions = model.predict_batch(x);
+    let m = ConfusionMatrix::from_predictions(y, &predictions);
+    MetricsReport::from_confusion(&m)
+}
+
+/// Error training a model on unusable data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// No training samples.
+    EmptyDataset,
+    /// Rows have inconsistent arity.
+    RaggedFeatures,
+    /// Labels and features differ in length.
+    LabelMismatch,
+    /// Training needs both classes present.
+    SingleClass,
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            TrainError::EmptyDataset => "empty training dataset",
+            TrainError::RaggedFeatures => "ragged feature matrix",
+            TrainError::LabelMismatch => "labels and features differ in length",
+            TrainError::SingleClass => "training data contains a single class",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// Validates a supervised training set, returning its feature arity.
+pub fn validate_training_set(x: &[Vec<f64>], y: &[usize]) -> Result<usize, TrainError> {
+    if x.is_empty() {
+        return Err(TrainError::EmptyDataset);
+    }
+    if x.len() != y.len() {
+        return Err(TrainError::LabelMismatch);
+    }
+    let dims = x[0].len();
+    if x.iter().any(|row| row.len() != dims) {
+        return Err(TrainError::RaggedFeatures);
+    }
+    if y.iter().all(|&l| l == y[0]) {
+        return Err(TrainError::SingleClass);
+    }
+    Ok(dims)
+}
+
+/// Error loading a serialised model.
+pub type LoadError = DecodeError;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Always(usize);
+    impl Classifier for Always {
+        fn name(&self) -> &'static str {
+            "always"
+        }
+        fn predict(&self, _features: &[f64]) -> usize {
+            self.0
+        }
+        fn encode(&self) -> Vec<u8> {
+            vec![self.0 as u8]
+        }
+        fn memory_bytes(&self) -> u64 {
+            1
+        }
+    }
+
+    #[test]
+    fn evaluate_scores_a_constant_model() {
+        let x = vec![vec![0.0]; 4];
+        let y = vec![1, 1, 0, 0];
+        let report = evaluate(&Always(1), &x, &y);
+        assert!((report.accuracy - 0.5).abs() < 1e-12);
+        assert!((report.recall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn training_set_validation() {
+        assert_eq!(validate_training_set(&[], &[]), Err(TrainError::EmptyDataset));
+        assert_eq!(
+            validate_training_set(&[vec![1.0]], &[0, 1]),
+            Err(TrainError::LabelMismatch)
+        );
+        assert_eq!(
+            validate_training_set(&[vec![1.0], vec![1.0, 2.0]], &[0, 1]),
+            Err(TrainError::RaggedFeatures)
+        );
+        assert_eq!(
+            validate_training_set(&[vec![1.0], vec![2.0]], &[1, 1]),
+            Err(TrainError::SingleClass)
+        );
+        assert_eq!(validate_training_set(&[vec![1.0], vec![2.0]], &[0, 1]), Ok(1));
+    }
+}

@@ -1,0 +1,697 @@
+#![allow(clippy::needless_range_loop)] // index arithmetic mirrors the math
+//! A trainable 1-D convolutional neural network.
+//!
+//! The paper's CNN IDS (TensorFlow in the original) is reproduced from
+//! scratch: two 1-D convolution layers (the second dilated, per the
+//! paper's §III-B discussion of dilated convolution), ReLU activations,
+//! max-pooling for down-sampling, and two dense layers ending in a
+//! softmax over {benign, malicious}. Training is mini-batch SGD with the
+//! Adam optimiser on the cross-entropy loss, with full backpropagation
+//! implemented by hand (verified against numerical gradients in the
+//! tests).
+//!
+//! A feature vector is treated as a 1-channel signal of length
+//! `input_len`, so convolution mixes neighbouring features — local
+//! connections and weight sharing, as the paper describes.
+
+use netsim::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+use crate::classifier::{validate_training_set, Classifier, TrainError};
+use crate::nn::{relu, relu_grad, softmax, Adam, Dense};
+use crate::codec::{DecodeError, Decoder, Encoder};
+
+const CNN_MAGIC: u32 = 0x636e_6e31; // "cnn1"
+
+/// Architecture and training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CnnConfig {
+    /// Input feature count (signal length).
+    pub input_len: usize,
+    /// Filters in the first convolution.
+    pub conv1_filters: usize,
+    /// Filters in the second convolution.
+    pub conv2_filters: usize,
+    /// Kernel width (odd, for symmetric same-padding).
+    pub kernel: usize,
+    /// Dilation of the second convolution.
+    pub dilation2: usize,
+    /// Hidden units in the first dense layer.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+}
+
+impl Default for CnnConfig {
+    fn default() -> Self {
+        CnnConfig {
+            input_len: 23,
+            conv1_filters: 8,
+            conv2_filters: 16,
+            kernel: 3,
+            dilation2: 2,
+            hidden: 32,
+            epochs: 8,
+            batch_size: 64,
+            learning_rate: 1e-3,
+        }
+    }
+}
+
+const CLASSES: usize = 2;
+
+/// A 1-D convolution layer with same-padding.
+#[derive(Debug, Clone, PartialEq)]
+struct Conv1d {
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    dilation: usize,
+    /// `[out_ch][in_ch][kernel]` flattened.
+    w: Vec<f64>,
+    b: Vec<f64>,
+}
+
+impl Conv1d {
+    fn new(in_ch: usize, out_ch: usize, kernel: usize, dilation: usize, rng: &mut SimRng) -> Self {
+        let fan_in = (in_ch * kernel) as f64;
+        let scale = (2.0 / fan_in).sqrt(); // He init for ReLU nets
+        let w = (0..out_ch * in_ch * kernel).map(|_| scale * rng.standard_normal()).collect();
+        Conv1d { in_ch, out_ch, kernel, dilation, w, b: vec![0.0; out_ch] }
+    }
+
+    #[inline]
+    fn widx(&self, o: usize, i: usize, k: usize) -> usize {
+        (o * self.in_ch + i) * self.kernel + k
+    }
+
+    /// `input` is `[in_ch][len]`; output is `[out_ch][len]` (same pad).
+    fn forward(&self, input: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let len = input[0].len();
+        let half = (self.kernel / 2) as isize;
+        let mut out = vec![vec![0.0; len]; self.out_ch];
+        for o in 0..self.out_ch {
+            for p in 0..len {
+                let mut acc = self.b[o];
+                for i in 0..self.in_ch {
+                    for k in 0..self.kernel {
+                        let offset = (k as isize - half) * self.dilation as isize;
+                        let src = p as isize + offset;
+                        if src >= 0 && (src as usize) < len {
+                            acc += self.w[self.widx(o, i, k)] * input[i][src as usize];
+                        }
+                    }
+                }
+                out[o][p] = acc;
+            }
+        }
+        out
+    }
+
+    /// Backward pass: returns gradient wrt input; accumulates parameter
+    /// gradients into `gw`/`gb`.
+    fn backward(
+        &self,
+        input: &[Vec<f64>],
+        grad_out: &[Vec<f64>],
+        gw: &mut [f64],
+        gb: &mut [f64],
+    ) -> Vec<Vec<f64>> {
+        let len = input[0].len();
+        let half = (self.kernel / 2) as isize;
+        let mut grad_in = vec![vec![0.0; len]; self.in_ch];
+        for o in 0..self.out_ch {
+            for p in 0..len {
+                let g = grad_out[o][p];
+                if g == 0.0 {
+                    continue;
+                }
+                gb[o] += g;
+                for i in 0..self.in_ch {
+                    for k in 0..self.kernel {
+                        let offset = (k as isize - half) * self.dilation as isize;
+                        let src = p as isize + offset;
+                        if src >= 0 && (src as usize) < len {
+                            gw[self.widx(o, i, k)] += g * input[i][src as usize];
+                            grad_in[i][src as usize] += g * self.w[self.widx(o, i, k)];
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+}
+
+/// Max pool with window 2, stride 2. Returns (pooled, argmax positions).
+fn maxpool2(x: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<Vec<usize>>) {
+    let out_len = x[0].len() / 2;
+    let mut out = vec![vec![0.0; out_len]; x.len()];
+    let mut arg = vec![vec![0usize; out_len]; x.len()];
+    for (c, channel) in x.iter().enumerate() {
+        for p in 0..out_len {
+            let (a, b) = (channel[2 * p], channel[2 * p + 1]);
+            if a >= b {
+                out[c][p] = a;
+                arg[c][p] = 2 * p;
+            } else {
+                out[c][p] = b;
+                arg[c][p] = 2 * p + 1;
+            }
+        }
+    }
+    (out, arg)
+}
+
+fn maxpool2_backward(grad_out: &[Vec<f64>], arg: &[Vec<usize>], in_len: usize) -> Vec<Vec<f64>> {
+    let mut grad_in = vec![vec![0.0; in_len]; grad_out.len()];
+    for c in 0..grad_out.len() {
+        for p in 0..grad_out[c].len() {
+            grad_in[c][arg[c][p]] += grad_out[c][p];
+        }
+    }
+    grad_in
+}
+
+struct ForwardCache {
+    x0: Vec<Vec<f64>>,
+    z1: Vec<Vec<f64>>,
+    a1: Vec<Vec<f64>>,
+    p1: Vec<Vec<f64>>,
+    arg1: Vec<Vec<usize>>,
+    z2: Vec<Vec<f64>>,
+    a2: Vec<Vec<f64>>,
+    arg2: Vec<Vec<usize>>,
+    flat: Vec<f64>,
+    z3: Vec<f64>,
+    a3: Vec<f64>,
+    probs: Vec<f64>,
+}
+
+struct Grads {
+    c1w: Vec<f64>,
+    c1b: Vec<f64>,
+    c2w: Vec<f64>,
+    c2b: Vec<f64>,
+    f1w: Vec<f64>,
+    f1b: Vec<f64>,
+    f2w: Vec<f64>,
+    f2b: Vec<f64>,
+}
+
+impl Grads {
+    fn zero_like(net: &Cnn) -> Self {
+        Grads {
+            c1w: vec![0.0; net.conv1.w.len()],
+            c1b: vec![0.0; net.conv1.b.len()],
+            c2w: vec![0.0; net.conv2.w.len()],
+            c2b: vec![0.0; net.conv2.b.len()],
+            f1w: vec![0.0; net.fc1.w.len()],
+            f1b: vec![0.0; net.fc1.b.len()],
+            f2w: vec![0.0; net.fc2.w.len()],
+            f2b: vec![0.0; net.fc2.b.len()],
+        }
+    }
+
+    fn scale(&mut self, factor: f64) {
+        for g in [
+            &mut self.c1w,
+            &mut self.c1b,
+            &mut self.c2w,
+            &mut self.c2b,
+            &mut self.f1w,
+            &mut self.f1b,
+            &mut self.f2w,
+            &mut self.f2b,
+        ] {
+            for v in g.iter_mut() {
+                *v *= factor;
+            }
+        }
+    }
+}
+
+/// The trained CNN classifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cnn {
+    config: CnnConfig,
+    conv1: Conv1d,
+    conv2: Conv1d,
+    fc1: Dense,
+    fc2: Dense,
+}
+
+impl Cnn {
+    /// Randomly initialised network (exposed for training experiments).
+    pub fn init(config: CnnConfig, rng: &mut SimRng) -> Self {
+        let pooled1 = config.input_len / 2;
+        let pooled2 = pooled1 / 2;
+        let flat = config.conv2_filters * pooled2;
+        Cnn {
+            config,
+            conv1: Conv1d::new(1, config.conv1_filters, config.kernel, 1, rng),
+            conv2: Conv1d::new(config.conv1_filters, config.conv2_filters, config.kernel, config.dilation2, rng),
+            fc1: Dense::new(flat, config.hidden, rng),
+            fc2: Dense::new(config.hidden, CLASSES, rng),
+        }
+    }
+
+    /// Trains a CNN on labelled feature vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TrainError`] for unusable training data.
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[usize],
+        config: &CnnConfig,
+        rng: &mut SimRng,
+    ) -> Result<Self, TrainError> {
+        let dims = validate_training_set(x, y)?;
+        let mut config = *config;
+        config.input_len = dims;
+        let mut net = Cnn::init(config, rng);
+        net.train(x, y, rng);
+        Ok(net)
+    }
+
+    /// Runs additional training epochs on the given data.
+    pub fn train(&mut self, x: &[Vec<f64>], y: &[usize], rng: &mut SimRng) {
+        let mut adam = (
+            Adam::new(self.conv1.w.len()),
+            Adam::new(self.conv1.b.len()),
+            Adam::new(self.conv2.w.len()),
+            Adam::new(self.conv2.b.len()),
+            Adam::new(self.fc1.w.len()),
+            Adam::new(self.fc1.b.len()),
+            Adam::new(self.fc2.w.len()),
+            Adam::new(self.fc2.b.len()),
+        );
+        let mut t = 0usize;
+        let mut indices: Vec<usize> = (0..x.len()).collect();
+        for _ in 0..self.config.epochs {
+            rng.shuffle(&mut indices);
+            for batch in indices.chunks(self.config.batch_size.max(1)) {
+                let mut grads = Grads::zero_like(self);
+                for &i in batch {
+                    let cache = self.forward(&x[i]);
+                    self.backward(&cache, y[i], &mut grads);
+                }
+                grads.scale(1.0 / batch.len() as f64);
+                t += 1;
+                let lr = self.config.learning_rate;
+                adam.0.step(&mut self.conv1.w, &grads.c1w, lr, t);
+                adam.1.step(&mut self.conv1.b, &grads.c1b, lr, t);
+                adam.2.step(&mut self.conv2.w, &grads.c2w, lr, t);
+                adam.3.step(&mut self.conv2.b, &grads.c2b, lr, t);
+                adam.4.step(&mut self.fc1.w, &grads.f1w, lr, t);
+                adam.5.step(&mut self.fc1.b, &grads.f1b, lr, t);
+                adam.6.step(&mut self.fc2.w, &grads.f2w, lr, t);
+                adam.7.step(&mut self.fc2.b, &grads.f2b, lr, t);
+            }
+        }
+    }
+
+    fn forward(&self, features: &[f64]) -> ForwardCache {
+        let x0 = vec![features.to_vec()];
+        let z1 = self.conv1.forward(&x0);
+        let mut a1 = z1.clone();
+        for c in &mut a1 {
+            relu(c);
+        }
+        let (p1, arg1) = maxpool2(&a1);
+        let z2 = self.conv2.forward(&p1);
+        let mut a2 = z2.clone();
+        for c in &mut a2 {
+            relu(c);
+        }
+        let (p2, arg2) = maxpool2(&a2);
+        let flat: Vec<f64> = p2.iter().flatten().copied().collect();
+        let z3 = self.fc1.forward(&flat);
+        let mut a3 = z3.clone();
+        relu(&mut a3);
+        let z4 = self.fc2.forward(&a3);
+        let probs = softmax(&z4);
+        ForwardCache { x0, z1, a1, p1, arg1, z2, a2, arg2, flat, z3, a3, probs }
+    }
+
+    fn backward(&self, cache: &ForwardCache, label: usize, grads: &mut Grads) {
+        // Softmax + cross-entropy gradient.
+        let mut dlogits = cache.probs.clone();
+        dlogits[label] -= 1.0;
+        let mut da3 = self.fc2.backward(&cache.a3, &dlogits, &mut grads.f2w, &mut grads.f2b);
+        relu_grad(&cache.z3, &mut da3);
+        let dflat = self.fc1.backward(&cache.flat, &da3, &mut grads.f1w, &mut grads.f1b);
+        // Un-flatten into [C2][pooled2].
+        let pooled2 = cache.flat.len() / self.conv2.out_ch;
+        let dp2: Vec<Vec<f64>> =
+            dflat.chunks(pooled2).map(<[f64]>::to_vec).collect();
+        let mut da2 = maxpool2_backward(&dp2, &cache.arg2, cache.a2[0].len());
+        for (channel, pre) in da2.iter_mut().zip(&cache.z2) {
+            relu_grad(pre, channel);
+        }
+        let dp1 = self.conv2.backward(&cache.p1, &da2, &mut grads.c2w, &mut grads.c2b);
+        let mut da1 = maxpool2_backward(&dp1, &cache.arg1, cache.a1[0].len());
+        for (channel, pre) in da1.iter_mut().zip(&cache.z1) {
+            relu_grad(pre, channel);
+        }
+        let _ = self.conv1.backward(&cache.x0, &da1, &mut grads.c1w, &mut grads.c1b);
+    }
+
+    /// Cross-entropy loss on one sample (used by the gradient check).
+    pub fn loss(&self, features: &[f64], label: usize) -> f64 {
+        let cache = self.forward(features);
+        -cache.probs[label].max(1e-12).ln()
+    }
+
+    /// Class probabilities for one sample.
+    pub fn predict_proba(&self, features: &[f64]) -> Vec<f64> {
+        self.forward(features).probs
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &CnnConfig {
+        &self.config
+    }
+
+    /// Federated averaging (McMahan et al.'s FedAvg aggregation step):
+    /// the element-wise mean of the networks' parameters, weighted by
+    /// `weights` (typically each client's sample count).
+    ///
+    /// Returns `None` if the slice is empty, lengths mismatch, or
+    /// architectures differ.
+    pub fn federated_average(nets: &[Cnn], weights: &[f64]) -> Option<Cnn> {
+        let first = nets.first()?;
+        if nets.len() != weights.len() || nets.iter().any(|n| n.config != first.config) {
+            return None;
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut out = first.clone();
+        let zero = |v: &mut Vec<f64>| v.iter_mut().for_each(|x| *x = 0.0);
+        zero(&mut out.conv1.w);
+        zero(&mut out.conv1.b);
+        zero(&mut out.conv2.w);
+        zero(&mut out.conv2.b);
+        zero(&mut out.fc1.w);
+        zero(&mut out.fc1.b);
+        zero(&mut out.fc2.w);
+        zero(&mut out.fc2.b);
+        for (net, &weight) in nets.iter().zip(weights) {
+            let share = weight / total;
+            let acc = |dst: &mut [f64], src: &[f64]| {
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d += share * s;
+                }
+            };
+            acc(&mut out.conv1.w, &net.conv1.w);
+            acc(&mut out.conv1.b, &net.conv1.b);
+            acc(&mut out.conv2.w, &net.conv2.w);
+            acc(&mut out.conv2.b, &net.conv2.b);
+            acc(&mut out.fc1.w, &net.fc1.w);
+            acc(&mut out.fc1.b, &net.fc1.b);
+            acc(&mut out.fc2.w, &net.fc2.w);
+            acc(&mut out.fc2.b, &net.fc2.b);
+        }
+        Some(out)
+    }
+
+    /// Total trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.conv1.w.len()
+            + self.conv1.b.len()
+            + self.conv2.w.len()
+            + self.conv2.b.len()
+            + self.fc1.w.len()
+            + self.fc1.b.len()
+            + self.fc2.w.len()
+            + self.fc2.b.len()
+    }
+
+    /// Decodes a CNN from its binary blob.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on malformed input.
+    pub fn decode(blob: &[u8]) -> Result<Self, DecodeError> {
+        let mut d = Decoder::new(blob);
+        d.expect_magic(CNN_MAGIC)?;
+        let config = CnnConfig {
+            input_len: d.get_usize()?,
+            conv1_filters: d.get_usize()?,
+            conv2_filters: d.get_usize()?,
+            kernel: d.get_usize()?,
+            dilation2: d.get_usize()?,
+            hidden: d.get_usize()?,
+            epochs: d.get_usize()?,
+            batch_size: d.get_usize()?,
+            learning_rate: d.get_f64()?,
+        };
+        let mut read_layer = |in_ch: usize, out_ch: usize, kernel: usize, dilation: usize| {
+            Ok::<Conv1d, DecodeError>(Conv1d {
+                in_ch,
+                out_ch,
+                kernel,
+                dilation,
+                w: d.get_f64_slice()?,
+                b: d.get_f64_slice()?,
+            })
+        };
+        let conv1 = read_layer(1, config.conv1_filters, config.kernel, 1)?;
+        let conv2 = read_layer(config.conv1_filters, config.conv2_filters, config.kernel, config.dilation2)?;
+        let pooled2 = (config.input_len / 2) / 2;
+        let flat = config.conv2_filters * pooled2;
+        let fc1 = Dense { input: flat, output: config.hidden, w: d.get_f64_slice()?, b: d.get_f64_slice()? };
+        let fc2 = Dense { input: config.hidden, output: CLASSES, w: d.get_f64_slice()?, b: d.get_f64_slice()? };
+        if fc1.w.len() != flat * config.hidden || fc2.w.len() != config.hidden * CLASSES {
+            return Err(DecodeError::Corrupt("dense layer arity"));
+        }
+        Ok(Cnn { config, conv1, conv2, fc1, fc2 })
+    }
+}
+
+impl Classifier for Cnn {
+    fn name(&self) -> &'static str {
+        "CNN"
+    }
+
+    fn predict(&self, features: &[f64]) -> usize {
+        let probs = self.predict_proba(features);
+        usize::from(probs[1] > probs[0])
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u32(CNN_MAGIC);
+        e.put_usize(self.config.input_len);
+        e.put_usize(self.config.conv1_filters);
+        e.put_usize(self.config.conv2_filters);
+        e.put_usize(self.config.kernel);
+        e.put_usize(self.config.dilation2);
+        e.put_usize(self.config.hidden);
+        e.put_usize(self.config.epochs);
+        e.put_usize(self.config.batch_size);
+        e.put_f64(self.config.learning_rate);
+        for layer in [&self.conv1, &self.conv2] {
+            e.put_f64_slice(&layer.w);
+            e.put_f64_slice(&layer.b);
+        }
+        for layer in [&self.fc1, &self.fc2] {
+            e.put_f64_slice(&layer.w);
+            e.put_f64_slice(&layer.b);
+        }
+        e.finish()
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        // Parameters plus the activation buffers a forward pass holds.
+        let activations = self.config.input_len * (1 + self.config.conv1_filters * 2)
+            + (self.config.input_len / 2) * self.config.conv2_filters * 2
+            + self.config.hidden * 2
+            + CLASSES * 2;
+        ((self.parameter_count() + activations) * std::mem::size_of::<f64>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> CnnConfig {
+        CnnConfig {
+            input_len: 8,
+            conv1_filters: 2,
+            conv2_filters: 3,
+            kernel: 3,
+            dilation2: 2,
+            hidden: 4,
+            epochs: 30,
+            batch_size: 16,
+            learning_rate: 5e-3,
+        }
+    }
+
+    /// Numerical gradient check on a tiny network: analytic backprop
+    /// must match central finite differences.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = SimRng::seed_from(1);
+        let config = tiny_config();
+        let mut net = Cnn::init(config, &mut rng);
+        let x: Vec<f64> = (0..config.input_len).map(|_| rng.standard_normal()).collect();
+        let label = 1usize;
+
+        let mut grads = Grads::zero_like(&net);
+        let cache = net.forward(&x);
+        net.backward(&cache, label, &mut grads);
+
+        let eps = 1e-5;
+        // Check a sample of parameters in every group.
+        let checks: Vec<(&str, usize)> = vec![
+            ("c1w", 0),
+            ("c1w", 3),
+            ("c1b", 1),
+            ("c2w", 5),
+            ("c2b", 2),
+            ("f1w", 7),
+            ("f1b", 0),
+            ("f2w", 3),
+            ("f2b", 1),
+        ];
+        for (group, idx) in checks {
+            let analytic = match group {
+                "c1w" => grads.c1w[idx],
+                "c1b" => grads.c1b[idx],
+                "c2w" => grads.c2w[idx],
+                "c2b" => grads.c2b[idx],
+                "f1w" => grads.f1w[idx],
+                "f1b" => grads.f1b[idx],
+                "f2w" => grads.f2w[idx],
+                _ => grads.f2b[idx],
+            };
+            let param: &mut f64 = match group {
+                "c1w" => &mut net.conv1.w[idx],
+                "c1b" => &mut net.conv1.b[idx],
+                "c2w" => &mut net.conv2.w[idx],
+                "c2b" => &mut net.conv2.b[idx],
+                "f1w" => &mut net.fc1.w[idx],
+                "f1b" => &mut net.fc1.b[idx],
+                "f2w" => &mut net.fc2.w[idx],
+                _ => &mut net.fc2.b[idx],
+            };
+            let original = *param;
+            *param = original + eps;
+            let plus = net.loss(&x, label);
+            let param: &mut f64 = match group {
+                "c1w" => &mut net.conv1.w[idx],
+                "c1b" => &mut net.conv1.b[idx],
+                "c2w" => &mut net.conv2.w[idx],
+                "c2b" => &mut net.conv2.b[idx],
+                "f1w" => &mut net.fc1.w[idx],
+                "f1b" => &mut net.fc1.b[idx],
+                "f2w" => &mut net.fc2.w[idx],
+                _ => &mut net.fc2.b[idx],
+            };
+            *param = original - eps;
+            let minus = net.loss(&x, label);
+            let param: &mut f64 = match group {
+                "c1w" => &mut net.conv1.w[idx],
+                "c1b" => &mut net.conv1.b[idx],
+                "c2w" => &mut net.conv2.w[idx],
+                "c2b" => &mut net.conv2.b[idx],
+                "f1w" => &mut net.fc1.w[idx],
+                "f1b" => &mut net.fc1.b[idx],
+                "f2w" => &mut net.fc2.w[idx],
+                _ => &mut net.fc2.b[idx],
+            };
+            *param = original;
+            let numeric = (plus - minus) / (2.0 * eps);
+            let denom = analytic.abs().max(numeric.abs()).max(1e-8);
+            assert!(
+                (analytic - numeric).abs() / denom < 1e-4,
+                "{group}[{idx}]: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    fn separable_data(n: usize, dims: usize, rng: &mut SimRng) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let class = i % 2;
+            let base = if class == 0 { -1.0 } else { 1.0 };
+            x.push((0..dims).map(|_| base + 0.5 * rng.standard_normal()).collect());
+            y.push(class);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn cnn_learns_a_separable_problem() {
+        let mut rng = SimRng::seed_from(2);
+        let (x, y) = separable_data(300, 8, &mut rng);
+        let net = Cnn::fit(&x, &y, &tiny_config(), &mut rng).unwrap();
+        let correct = x.iter().zip(&y).filter(|(xi, &yi)| net.predict(xi) == yi).count();
+        assert!(correct as f64 / x.len() as f64 > 0.95, "train acc {correct}/300");
+    }
+
+    #[test]
+    fn probabilities_are_a_distribution() {
+        let mut rng = SimRng::seed_from(3);
+        let net = Cnn::init(tiny_config(), &mut rng);
+        let x: Vec<f64> = (0..8).map(|_| rng.standard_normal()).collect();
+        let probs = net.predict_proba(&x);
+        assert_eq!(probs.len(), 2);
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn codec_roundtrip_preserves_predictions() {
+        let mut rng = SimRng::seed_from(4);
+        let (x, y) = separable_data(100, 8, &mut rng);
+        let config = CnnConfig { epochs: 3, ..tiny_config() };
+        let net = Cnn::fit(&x, &y, &config, &mut rng).unwrap();
+        let back = Cnn::decode(&net.encode()).unwrap();
+        for xi in &x {
+            assert_eq!(net.predict(xi), back.predict(xi));
+            let a = net.predict_proba(xi);
+            let b = back.predict_proba(xi);
+            assert!((a[0] - b[0]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parameter_count_matches_architecture() {
+        let mut rng = SimRng::seed_from(5);
+        let net = Cnn::init(tiny_config(), &mut rng);
+        // conv1: 2*1*3 + 2; conv2: 3*2*3 + 3; fc1: (3*2)*4 + 4; fc2: 4*2 + 2
+        assert_eq!(net.parameter_count(), (6 + 2) + (18 + 3) + (24 + 4) + (8 + 2));
+    }
+
+    #[test]
+    fn training_rejects_bad_input() {
+        let mut rng = SimRng::seed_from(6);
+        assert_eq!(
+            Cnn::fit(&[], &[], &tiny_config(), &mut rng),
+            Err(TrainError::EmptyDataset)
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut rng = SimRng::seed_from(7);
+            let (x, y) = separable_data(60, 8, &mut rng);
+            let config = CnnConfig { epochs: 2, ..tiny_config() };
+            Cnn::fit(&x, &y, &config, &mut rng).unwrap().encode()
+        };
+        assert_eq!(run(), run());
+    }
+}

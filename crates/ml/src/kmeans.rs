@@ -1,0 +1,452 @@
+//! K-Means clustering: classic Lloyd's algorithm plus the unsupervised
+//! entropy-penalised variant (U-K-Means, Sinaga & Yang 2020) the paper's
+//! K-Means IDS is built on.
+//!
+//! U-K-Means starts from a generous cluster budget and *learns the number
+//! of clusters*: each iteration re-estimates mixing proportions with an
+//! entropy penalty, discards clusters whose proportion collapses, and
+//! biases assignment towards popular clusters — "dynamically determines
+//! the optimal number of clusters by incorporating entropy-based penalty
+//! terms into its objective function" (§III-B).
+//!
+//! For IDS use the learned clusters are mapped to classes post-hoc by
+//! majority ground-truth label ([`KMeansDetector`]), the standard recipe
+//! for unsupervised intrusion detection.
+
+use netsim::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+use crate::classifier::{Classifier, TrainError};
+use crate::codec::{DecodeError, Decoder, Encoder};
+
+const KMEANS_MAGIC: u32 = 0x6b6d_6e73; // "kmns"
+
+/// Hyper-parameters for Lloyd / U-K-Means.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KMeansConfig {
+    /// Initial cluster budget (U-K-Means prunes down from here).
+    pub k_max: usize,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Convergence threshold on centroid movement.
+    pub tol: f64,
+    /// Initial entropy-penalty weight (0 disables pruning → plain Lloyd).
+    pub beta: f64,
+    /// Multiplicative decay of the penalty per iteration.
+    pub beta_decay: f64,
+    /// Minimum mixing proportion a cluster needs to survive.
+    pub min_proportion: f64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k_max: 16,
+            max_iters: 60,
+            tol: 1e-6,
+            beta: 1.0,
+            beta_decay: 0.9,
+            min_proportion: 0.01,
+        }
+    }
+}
+
+/// A fitted K-Means model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans {
+    centroids: Vec<Vec<f64>>,
+    proportions: Vec<f64>,
+    inertia: f64,
+    iterations: usize,
+}
+
+impl KMeans {
+    /// Fits with k-means++ initialisation and entropy-penalised Lloyd
+    /// iterations (set `beta = 0` for the classic algorithm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::EmptyDataset`] / [`TrainError::RaggedFeatures`]
+    /// on unusable input.
+    pub fn fit(x: &[Vec<f64>], config: &KMeansConfig, rng: &mut SimRng) -> Result<Self, TrainError> {
+        if x.is_empty() {
+            return Err(TrainError::EmptyDataset);
+        }
+        let dims = x[0].len();
+        if x.iter().any(|row| row.len() != dims) {
+            return Err(TrainError::RaggedFeatures);
+        }
+        let k0 = config.k_max.clamp(1, x.len());
+        let mut centroids = kmeans_plus_plus(x, k0, rng);
+        let mut proportions = vec![1.0 / k0 as f64; k0];
+        let mut beta = config.beta;
+        let mut assignments = vec![0usize; x.len()];
+        let mut iterations = 0;
+
+        for iter in 0..config.max_iters {
+            iterations = iter + 1;
+            // Assignment step: distance biased by -beta * ln(alpha_k).
+            for (i, xi) in x.iter().enumerate() {
+                assignments[i] = best_cluster(xi, &centroids, &proportions, beta);
+            }
+            // Update proportions and prune collapsed clusters.
+            let k = centroids.len();
+            let mut counts = vec![0usize; k];
+            for &a in &assignments {
+                counts[a] += 1;
+            }
+            proportions = counts.iter().map(|&c| c as f64 / x.len() as f64).collect();
+            if beta > 0.0 && k > 1 {
+                let keep: Vec<usize> =
+                    (0..k).filter(|&j| proportions[j] >= config.min_proportion).collect();
+                if keep.len() < k && !keep.is_empty() {
+                    centroids = keep.iter().map(|&j| centroids[j].clone()).collect();
+                    let total: f64 = keep.iter().map(|&j| proportions[j]).sum();
+                    proportions = keep.iter().map(|&j| proportions[j] / total).collect();
+                    for (i, xi) in x.iter().enumerate() {
+                        assignments[i] = best_cluster(xi, &centroids, &proportions, beta);
+                    }
+                }
+            }
+            // Centroid update.
+            let k = centroids.len();
+            let mut sums = vec![vec![0.0; dims]; k];
+            let mut counts = vec![0usize; k];
+            for (xi, &a) in x.iter().zip(&assignments) {
+                counts[a] += 1;
+                for (s, v) in sums[a].iter_mut().zip(xi) {
+                    *s += v;
+                }
+            }
+            let mut movement: f64 = 0.0;
+            for j in 0..k {
+                if counts[j] == 0 {
+                    continue; // keep the old centroid; it may be pruned next round
+                }
+                for d in 0..dims {
+                    let new = sums[j][d] / counts[j] as f64;
+                    movement += (new - centroids[j][d]).abs();
+                    centroids[j][d] = new;
+                }
+            }
+            beta *= config.beta_decay;
+            if movement < config.tol {
+                break;
+            }
+        }
+
+        let inertia = x
+            .iter()
+            .map(|xi| {
+                centroids
+                    .iter()
+                    .map(|c| squared_distance(xi, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum();
+        let k = centroids.len();
+        let mut counts = vec![0usize; k];
+        for xi in x {
+            counts[nearest(xi, &centroids)] += 1;
+        }
+        let proportions = counts.iter().map(|&c| c as f64 / x.len() as f64).collect();
+        Ok(KMeans { centroids, proportions, inertia, iterations })
+    }
+
+    /// The surviving cluster count.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// The cluster centroids.
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Final mixing proportions.
+    pub fn proportions(&self) -> &[f64] {
+        &self.proportions
+    }
+
+    /// Sum of squared distances of samples to their nearest centroid.
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Iterations run before convergence.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Index of the nearest centroid.
+    pub fn assign(&self, x: &[f64]) -> usize {
+        nearest(x, &self.centroids)
+    }
+}
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+}
+
+fn nearest(x: &[f64], centroids: &[Vec<f64>]) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (j, c) in centroids.iter().enumerate() {
+        let d = squared_distance(x, c);
+        if d < best_d {
+            best_d = d;
+            best = j;
+        }
+    }
+    best
+}
+
+fn best_cluster(x: &[f64], centroids: &[Vec<f64>], proportions: &[f64], beta: f64) -> usize {
+    let mut best = 0;
+    let mut best_score = f64::INFINITY;
+    for (j, c) in centroids.iter().enumerate() {
+        let penalty = if beta > 0.0 { -beta * proportions[j].max(1e-12).ln() } else { 0.0 };
+        let score = squared_distance(x, c) + penalty;
+        if score < best_score {
+            best_score = score;
+            best = j;
+        }
+    }
+    best
+}
+
+/// k-means++ seeding.
+fn kmeans_plus_plus(x: &[Vec<f64>], k: usize, rng: &mut SimRng) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(x[rng.below(x.len() as u64) as usize].clone());
+    let mut dist: Vec<f64> = x.iter().map(|xi| squared_distance(xi, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = dist.iter().sum();
+        let next = if total <= 0.0 {
+            rng.below(x.len() as u64) as usize
+        } else {
+            let mut draw = rng.uniform() * total;
+            let mut chosen = x.len() - 1;
+            for (i, &d) in dist.iter().enumerate() {
+                draw -= d;
+                if draw <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(x[next].clone());
+        for (i, xi) in x.iter().enumerate() {
+            dist[i] = dist[i].min(squared_distance(xi, centroids.last().expect("just pushed")));
+        }
+    }
+    centroids
+}
+
+/// The K-Means IDS: U-K-Means clusters mapped to classes by majority
+/// ground-truth label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansDetector {
+    model: KMeans,
+    cluster_labels: Vec<usize>,
+}
+
+impl KMeansDetector {
+    /// Clusters `x` unsupervised, then labels each cluster with the
+    /// majority class of its members.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TrainError`] for unusable training data.
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[usize],
+        config: &KMeansConfig,
+        rng: &mut SimRng,
+    ) -> Result<Self, TrainError> {
+        if x.len() != y.len() {
+            return Err(TrainError::LabelMismatch);
+        }
+        let model = KMeans::fit(x, config, rng)?;
+        let k = model.k();
+        let mut positives = vec![0usize; k];
+        let mut totals = vec![0usize; k];
+        for (xi, &yi) in x.iter().zip(y) {
+            let c = model.assign(xi);
+            totals[c] += 1;
+            positives[c] += usize::from(yi == 1);
+        }
+        let cluster_labels =
+            (0..k).map(|j| usize::from(positives[j] * 2 > totals[j].max(1))).collect();
+        Ok(KMeansDetector { model, cluster_labels })
+    }
+
+    /// The underlying clustering.
+    pub fn model(&self) -> &KMeans {
+        &self.model
+    }
+
+    /// Per-cluster class labels.
+    pub fn cluster_labels(&self) -> &[usize] {
+        &self.cluster_labels
+    }
+
+    /// Decodes a detector from its binary blob.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on malformed input.
+    pub fn decode(blob: &[u8]) -> Result<Self, DecodeError> {
+        let mut d = Decoder::new(blob);
+        d.expect_magic(KMEANS_MAGIC)?;
+        let k = d.get_usize()?;
+        if k > 1 << 16 {
+            return Err(DecodeError::Corrupt("cluster count"));
+        }
+        let mut centroids = Vec::with_capacity(k);
+        for _ in 0..k {
+            centroids.push(d.get_f64_slice()?);
+        }
+        let proportions = d.get_f64_slice()?;
+        let cluster_labels = d.get_usize_slice()?;
+        if cluster_labels.len() != k || proportions.len() != k {
+            return Err(DecodeError::Corrupt("label/proportion arity"));
+        }
+        Ok(KMeansDetector {
+            model: KMeans { centroids, proportions, inertia: 0.0, iterations: 0 },
+            cluster_labels,
+        })
+    }
+}
+
+impl Classifier for KMeansDetector {
+    fn name(&self) -> &'static str {
+        "K-Means"
+    }
+
+    fn predict(&self, features: &[f64]) -> usize {
+        self.cluster_labels[self.model.assign(features)]
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u32(KMEANS_MAGIC);
+        e.put_usize(self.model.k());
+        for c in self.model.centroids() {
+            e.put_f64_slice(c);
+        }
+        e.put_f64_slice(self.model.proportions());
+        e.put_usize_slice(&self.cluster_labels);
+        e.finish()
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        let dims = self.model.centroids().first().map_or(0, Vec::len);
+        ((self.model.k() * dims + self.model.k()) * std::mem::size_of::<f64>()
+            + self.cluster_labels.len() * std::mem::size_of::<usize>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n: usize, centers: &[(f64, f64)], rng: &mut SimRng) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let class = i % centers.len();
+            let (cx, cy) = centers[class];
+            x.push(vec![cx + 0.3 * rng.standard_normal(), cy + 0.3 * rng.standard_normal()]);
+            y.push(usize::from(class >= centers.len() / 2));
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn ukmeans_discovers_the_true_cluster_count() {
+        let mut rng = SimRng::seed_from(1);
+        let (x, _) = blobs(600, &[(-5.0, 0.0), (0.0, 5.0), (5.0, 0.0)], &mut rng);
+        let model = KMeans::fit(&x, &KMeansConfig::default(), &mut rng).unwrap();
+        assert_eq!(model.k(), 3, "entropy pruning collapses 16 -> 3 clusters");
+    }
+
+    #[test]
+    fn plain_lloyd_keeps_all_clusters() {
+        let mut rng = SimRng::seed_from(2);
+        let (x, _) = blobs(300, &[(-5.0, 0.0), (5.0, 0.0)], &mut rng);
+        let config = KMeansConfig { k_max: 4, beta: 0.0, ..KMeansConfig::default() };
+        let model = KMeans::fit(&x, &config, &mut rng).unwrap();
+        assert_eq!(model.k(), 4, "beta=0 disables pruning");
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let mut rng = SimRng::seed_from(3);
+        let (x, _) = blobs(400, &[(-5.0, 0.0), (0.0, 5.0), (5.0, 0.0), (0.0, -5.0)], &mut rng);
+        let fit_k = |k: usize, rng: &mut SimRng| {
+            let config = KMeansConfig { k_max: k, beta: 0.0, ..KMeansConfig::default() };
+            KMeans::fit(&x, &config, rng).unwrap().inertia()
+        };
+        let i1 = fit_k(1, &mut rng);
+        let i2 = fit_k(2, &mut rng);
+        let i4 = fit_k(4, &mut rng);
+        assert!(i1 > i2, "{i1} > {i2}");
+        assert!(i2 > i4, "{i2} > {i4}");
+    }
+
+    #[test]
+    fn detector_classifies_separated_classes() {
+        let mut rng = SimRng::seed_from(4);
+        let (x, y) = blobs(500, &[(-4.0, -4.0), (4.0, 4.0)], &mut rng);
+        let detector = KMeansDetector::fit(&x, &y, &KMeansConfig::default(), &mut rng).unwrap();
+        let correct = x.iter().zip(&y).filter(|(xi, &yi)| detector.predict(xi) == yi).count();
+        assert!(correct as f64 / x.len() as f64 > 0.95, "acc {correct}/500");
+    }
+
+    #[test]
+    fn detector_codec_roundtrip() {
+        let mut rng = SimRng::seed_from(5);
+        let (x, y) = blobs(200, &[(-4.0, 0.0), (4.0, 0.0)], &mut rng);
+        let detector = KMeansDetector::fit(&x, &y, &KMeansConfig::default(), &mut rng).unwrap();
+        let blob = detector.encode();
+        let back = KMeansDetector::decode(&blob).unwrap();
+        for xi in &x {
+            assert_eq!(detector.predict(xi), back.predict(xi));
+        }
+    }
+
+    #[test]
+    fn kmeans_model_is_tiny() {
+        // Table II: the paper's K-Means model is ~11 Kb vs ~712 Kb for RF.
+        let mut rng = SimRng::seed_from(6);
+        let (x, y) = blobs(300, &[(-4.0, 0.0), (4.0, 0.0)], &mut rng);
+        let detector = KMeansDetector::fit(&x, &y, &KMeansConfig::default(), &mut rng).unwrap();
+        assert!(detector.encode().len() < 4_096, "encoded {} bytes", detector.encode().len());
+    }
+
+    #[test]
+    fn empty_and_ragged_inputs_error() {
+        let mut rng = SimRng::seed_from(7);
+        assert_eq!(
+            KMeans::fit(&[], &KMeansConfig::default(), &mut rng),
+            Err(TrainError::EmptyDataset)
+        );
+        let ragged = vec![vec![1.0], vec![1.0, 2.0]];
+        assert_eq!(
+            KMeans::fit(&ragged, &KMeansConfig::default(), &mut rng),
+            Err(TrainError::RaggedFeatures)
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut rng = SimRng::seed_from(8);
+            let (x, y) = blobs(200, &[(-4.0, 0.0), (4.0, 0.0)], &mut rng);
+            KMeansDetector::fit(&x, &y, &KMeansConfig::default(), &mut rng).unwrap().encode()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,46 @@
+//! # ml — from-scratch machine learning for the DDoShield-IoT IDS
+//!
+//! Pure-Rust reimplementations of the three models the paper evaluates
+//! (scikit-learn / TensorFlow in the original):
+//!
+//! * [`rf`] — Random Forest: CART trees (Gini), bootstrap bagging,
+//!   per-split feature subsampling, majority voting.
+//! * [`kmeans`] — classic Lloyd plus the unsupervised entropy-penalised
+//!   **U-K-Means** (Sinaga & Yang 2020) the paper cites, with automatic
+//!   cluster-count selection and post-hoc cluster labelling.
+//! * [`cnn`] — a trainable 1-D CNN (conv / dilated conv / ReLU / maxpool
+//!   / dense / softmax) with hand-written backprop and Adam.
+//!
+//! Extension models from the paper's §V future-work list: [`svm`]
+//! (linear SVM via Pegasos), [`iforest`] (Isolation Forest) and
+//! [`autoencoder`] (a dense autoencoder anomaly detector standing in
+//! for the VAE).
+//!
+//! Supporting modules: [`metrics`] (accuracy/precision/recall/F1 with
+//! the paper's division-by-zero caveat made explicit), [`codec`] (the
+//! PKL-file analogue used for the Model-Size metric) and
+//! [`classifier`] (the object-safe interface the IDS drives).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod autoencoder;
+pub mod classifier;
+pub mod cnn;
+pub mod codec;
+pub mod iforest;
+pub mod kmeans;
+pub mod metrics;
+pub mod nn;
+pub mod rf;
+pub mod svm;
+
+pub use classifier::{evaluate, Classifier, TrainError};
+pub use cnn::{Cnn, CnnConfig};
+pub use codec::{DecodeError, Decoder, Encoder};
+pub use kmeans::{KMeans, KMeansConfig, KMeansDetector};
+pub use metrics::{ConfusionMatrix, MetricsReport};
+pub use rf::{DecisionTree, ForestConfig, RandomForest, TreeConfig};
+pub use autoencoder::{Autoencoder, AutoencoderConfig};
+pub use iforest::{IsolationForest, IsolationForestConfig};
+pub use svm::{LinearSvm, SvmConfig};

@@ -1,0 +1,217 @@
+//! Binary-classification evaluation metrics.
+//!
+//! The paper evaluates its models with Accuracy, Precision, Recall and
+//! F1-Score at training time, and accuracy alone during real-time
+//! detection (single-class windows make precision/recall undefined —
+//! division by zero — so the paper restricts itself to accuracy there;
+//! see §IV-D).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The positive class index (malicious).
+pub const POSITIVE: usize = 1;
+
+/// A binary confusion matrix (positive = malicious).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Malicious predicted malicious.
+    pub tp: u64,
+    /// Benign predicted malicious.
+    pub fp: u64,
+    /// Benign predicted benign.
+    pub tn: u64,
+    /// Malicious predicted benign.
+    pub fn_: u64,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from aligned truth/prediction slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn from_predictions(y_true: &[usize], y_pred: &[usize]) -> Self {
+        assert_eq!(y_true.len(), y_pred.len(), "prediction arity mismatch");
+        let mut m = ConfusionMatrix::default();
+        for (&t, &p) in y_true.iter().zip(y_pred) {
+            m.record(t, p);
+        }
+        m
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, truth: usize, prediction: usize) {
+        match (truth == POSITIVE, prediction == POSITIVE) {
+            (true, true) => self.tp += 1,
+            (false, true) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (true, false) => self.fn_ += 1,
+        }
+    }
+
+    /// Merges another matrix into this one.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Fraction of correct predictions, or 0 on an empty matrix.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// `tp / (tp + fp)`; `None` when nothing was predicted positive
+    /// (the division-by-zero case the paper sidesteps in real time).
+    pub fn precision(&self) -> Option<f64> {
+        checked_ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// `tp / (tp + fn)`; `None` when no positives exist in the truth.
+    pub fn recall(&self) -> Option<f64> {
+        checked_ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// Harmonic mean of precision and recall; `None` if either is
+    /// undefined or both are zero.
+    pub fn f1(&self) -> Option<f64> {
+        let p = self.precision()?;
+        let r = self.recall()?;
+        if p + r == 0.0 {
+            return None;
+        }
+        Some(2.0 * p * r / (p + r))
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tp={} fp={} tn={} fn={} acc={:.4}",
+            self.tp,
+            self.fp,
+            self.tn,
+            self.fn_,
+            self.accuracy()
+        )
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+fn checked_ratio(num: u64, den: u64) -> Option<f64> {
+    if den == 0 {
+        None
+    } else {
+        Some(num as f64 / den as f64)
+    }
+}
+
+/// The paper's train-time metric row: accuracy, precision, recall, F1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Fraction correct.
+    pub accuracy: f64,
+    /// Positive predictive value (0 when undefined).
+    pub precision: f64,
+    /// True positive rate (0 when undefined).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall (0 when undefined).
+    pub f1: f64,
+}
+
+impl MetricsReport {
+    /// Summarises a confusion matrix, mapping undefined metrics to 0.
+    pub fn from_confusion(m: &ConfusionMatrix) -> Self {
+        MetricsReport {
+            accuracy: m.accuracy(),
+            precision: m.precision().unwrap_or(0.0),
+            recall: m.recall().unwrap_or(0.0),
+            f1: m.f1().unwrap_or(0.0),
+        }
+    }
+}
+
+impl fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "acc={:.4} prec={:.4} rec={:.4} f1={:.4}",
+            self.accuracy, self.precision, self.recall, self.f1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let m = ConfusionMatrix::from_predictions(&[0, 1, 0, 1], &[0, 1, 0, 1]);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.precision(), Some(1.0));
+        assert_eq!(m.recall(), Some(1.0));
+        assert_eq!(m.f1(), Some(1.0));
+    }
+
+    #[test]
+    fn known_counts() {
+        // 3 tp, 1 fp, 4 tn, 2 fn
+        let truth = [1, 1, 1, 0, 0, 0, 0, 0, 1, 1];
+        let pred_ = [1, 1, 1, 1, 0, 0, 0, 0, 0, 0];
+        let m = ConfusionMatrix::from_predictions(&truth, &pred_);
+        assert_eq!((m.tp, m.fp, m.tn, m.fn_), (3, 1, 4, 2));
+        assert!((m.accuracy() - 0.7).abs() < 1e-12);
+        assert!((m.precision().unwrap() - 0.75).abs() < 1e-12);
+        assert!((m.recall().unwrap() - 0.6).abs() < 1e-12);
+        let f1 = m.f1().unwrap();
+        assert!((f1 - 2.0 * 0.75 * 0.6 / 1.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_class_windows_make_precision_undefined() {
+        // All benign, all predicted benign: the division-by-zero case the
+        // paper cites for using accuracy only during real-time detection.
+        let m = ConfusionMatrix::from_predictions(&[0, 0, 0], &[0, 0, 0]);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.precision(), None);
+        assert_eq!(m.recall(), None);
+        assert_eq!(m.f1(), None);
+        let report = MetricsReport::from_confusion(&m);
+        assert_eq!(report.precision, 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ConfusionMatrix::from_predictions(&[1], &[1]);
+        let b = ConfusionMatrix::from_predictions(&[0], &[1]);
+        a.merge(&b);
+        assert_eq!(a.tp, 1);
+        assert_eq!(a.fp, 1);
+        assert_eq!(a.total(), 2);
+    }
+
+    #[test]
+    fn empty_matrix_is_safe() {
+        let m = ConfusionMatrix::default();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.f1(), None);
+        assert!(!format!("{m}").is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! Shared neural-network primitives: dense layers, activations and the
+//! Adam optimiser, used by the CNN ([`crate::cnn`]) and the autoencoder
+//! ([`crate::autoencoder`]).
+
+use netsim::rng::SimRng;
+
+/// A fully connected layer with He-initialised weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense {
+    /// Input arity.
+    pub input: usize,
+    /// Output arity.
+    pub output: usize,
+    /// `[output][input]` flattened weights.
+    pub w: Vec<f64>,
+    /// Per-output biases.
+    pub b: Vec<f64>,
+}
+
+impl Dense {
+    /// Randomly initialised layer.
+    pub fn new(input: usize, output: usize, rng: &mut SimRng) -> Self {
+        let scale = (2.0 / input as f64).sqrt();
+        let w = (0..input * output).map(|_| scale * rng.standard_normal()).collect();
+        Dense { input, output, w, b: vec![0.0; output] }
+    }
+
+    /// `y = W x + b`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        (0..self.output)
+            .map(|o| {
+                self.b[o]
+                    + self.w[o * self.input..(o + 1) * self.input]
+                        .iter()
+                        .zip(x)
+                        .map(|(w, v)| w * v)
+                        .sum::<f64>()
+            })
+            .collect()
+    }
+
+    /// Backpropagates `grad_out`, accumulating parameter gradients into
+    /// `gw`/`gb` and returning the gradient w.r.t. the input.
+    pub fn backward(&self, x: &[f64], grad_out: &[f64], gw: &mut [f64], gb: &mut [f64]) -> Vec<f64> {
+        let mut grad_in = vec![0.0; self.input];
+        for o in 0..self.output {
+            let g = grad_out[o];
+            gb[o] += g;
+            for i in 0..self.input {
+                gw[o * self.input + i] += g * x[i];
+                grad_in[i] += g * self.w[o * self.input + i];
+            }
+        }
+        grad_in
+    }
+}
+
+/// In-place ReLU.
+pub fn relu(x: &mut [f64]) {
+    for v in x {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// Zeroes gradient entries whose pre-activation was non-positive.
+pub fn relu_grad(pre: &[f64], grad: &mut [f64]) {
+    for (g, &z) in grad.iter_mut().zip(pre) {
+        if z <= 0.0 {
+            *g = 0.0;
+        }
+    }
+}
+
+/// Numerically stable softmax.
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Per-parameter-group Adam state.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Adam {
+    /// Zeroed state for `len` parameters.
+    pub fn new(len: usize) -> Self {
+        Adam { m: vec![0.0; len], v: vec![0.0; len] }
+    }
+
+    /// One Adam update (`t` is the 1-based step count).
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64], lr: f64, t: usize) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        let t = t as i32;
+        for i in 0..params.len() {
+            self.m[i] = B1 * self.m[i] + (1.0 - B1) * grads[i];
+            self.v[i] = B2 * self.v[i] + (1.0 - B2) * grads[i] * grads[i];
+            let m_hat = self.m[i] / (1.0 - B1.powi(t));
+            let v_hat = self.v[i] / (1.0 - B2.powi(t));
+            params[i] -= lr * m_hat / (v_hat.sqrt() + EPS);
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_forward_is_affine() {
+        let layer = Dense { input: 2, output: 1, w: vec![2.0, -1.0], b: vec![0.5] };
+        assert_eq!(layer.forward(&[3.0, 4.0]), vec![2.0 * 3.0 - 4.0 + 0.5]);
+    }
+
+    #[test]
+    fn dense_backward_matches_finite_difference() {
+        let mut rng = SimRng::seed_from(1);
+        let mut layer = Dense::new(3, 2, &mut rng);
+        let x = [0.5, -1.0, 2.0];
+        // Loss = sum of outputs; grad_out = 1s.
+        let mut gw = vec![0.0; layer.w.len()];
+        let mut gb = vec![0.0; layer.b.len()];
+        let grad_in = layer.backward(&x, &[1.0, 1.0], &mut gw, &mut gb);
+        let eps = 1e-6;
+        for i in 0..layer.w.len() {
+            let orig = layer.w[i];
+            layer.w[i] = orig + eps;
+            let plus: f64 = layer.forward(&x).iter().sum();
+            layer.w[i] = orig - eps;
+            let minus: f64 = layer.forward(&x).iter().sum();
+            layer.w[i] = orig;
+            assert!((gw[i] - (plus - minus) / (2.0 * eps)).abs() < 1e-6);
+        }
+        // dL/dx = sum over outputs of w[o][i].
+        for i in 0..3 {
+            let expected: f64 = (0..2).map(|o| layer.w[o * 3 + i]).sum();
+            assert!((grad_in[i] - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn adam_reduces_a_quadratic() {
+        // Minimise f(w) = (w - 3)^2 from w = 0.
+        let mut w = vec![0.0];
+        let mut adam = Adam::new(1);
+        for t in 1..=500 {
+            let grad = vec![2.0 * (w[0] - 3.0)];
+            adam.step(&mut w, &grad, 0.05, t);
+        }
+        assert!((w[0] - 3.0).abs() < 0.05, "w = {}", w[0]);
+    }
+}

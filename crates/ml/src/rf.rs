@@ -1,0 +1,510 @@
+//! Random Forest: CART decision trees with Gini impurity, bootstrap
+//! bagging and per-split feature subsampling — the mechanisms the paper
+//! describes for its RF model (§III-B).
+
+use netsim::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+use crate::classifier::{validate_training_set, Classifier, TrainError};
+use crate::codec::{DecodeError, Decoder, Encoder};
+
+const TREE_MAGIC: u32 = 0x7472_6565; // "tree"
+const FOREST_MAGIC: u32 = 0x666f_7273; // "fors"
+
+/// Hyper-parameters of a single CART tree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples a node needs to be split further.
+    pub min_samples_split: usize,
+    /// Features considered per split (`None` = all).
+    pub max_features: Option<usize>,
+    /// Candidate thresholds evaluated per feature.
+    pub threshold_candidates: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { max_depth: 12, min_samples_split: 4, max_features: None, threshold_candidates: 24 }
+    }
+}
+
+/// Hyper-parameters of the forest.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree configuration (feature subsampling defaults to √d when
+    /// `max_features` is `None`).
+    pub tree: TreeConfig,
+    /// Bootstrap-sample the training set per tree.
+    pub bootstrap: bool,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig { n_trees: 30, tree: TreeConfig::default(), bootstrap: true }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf { class: usize },
+    Split { feature: usize, threshold: f64, left: u32, right: u32 },
+}
+
+/// A CART decision tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    dims: usize,
+}
+
+impl DecisionTree {
+    /// Fits a tree on `(x, y)` restricted to `indices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty.
+    pub fn fit_on(
+        x: &[Vec<f64>],
+        y: &[usize],
+        indices: &[usize],
+        config: &TreeConfig,
+        rng: &mut SimRng,
+    ) -> Self {
+        assert!(!indices.is_empty(), "cannot fit a tree on no samples");
+        let dims = x[0].len();
+        let mut tree = DecisionTree { nodes: Vec::new(), dims };
+        let root_indices: Vec<usize> = indices.to_vec();
+        tree.grow(x, y, root_indices, 0, config, rng);
+        tree
+    }
+
+    /// Fits a tree on the full training set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TrainError`] for unusable training data.
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[usize],
+        config: &TreeConfig,
+        rng: &mut SimRng,
+    ) -> Result<Self, TrainError> {
+        validate_training_set(x, y)?;
+        let indices: Vec<usize> = (0..x.len()).collect();
+        Ok(DecisionTree::fit_on(x, y, &indices, config, rng))
+    }
+
+    fn grow(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[usize],
+        indices: Vec<usize>,
+        depth: usize,
+        config: &TreeConfig,
+        rng: &mut SimRng,
+    ) -> u32 {
+        let majority = majority_class(y, &indices);
+        let node_id = self.nodes.len() as u32;
+        if depth >= config.max_depth
+            || indices.len() < config.min_samples_split
+            || is_pure(y, &indices)
+        {
+            self.nodes.push(Node::Leaf { class: majority });
+            return node_id;
+        }
+        let Some((feature, threshold)) = best_split(x, y, &indices, config, rng) else {
+            self.nodes.push(Node::Leaf { class: majority });
+            return node_id;
+        };
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            indices.iter().partition(|&&i| x[i][feature] <= threshold);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            self.nodes.push(Node::Leaf { class: majority });
+            return node_id;
+        }
+        // Reserve the split slot, then grow children.
+        self.nodes.push(Node::Leaf { class: majority });
+        let left = self.grow(x, y, left_idx, depth + 1, config, rng);
+        let right = self.grow(x, y, right_idx, depth + 1, config, rng);
+        self.nodes[node_id as usize] = Node::Split { feature, threshold, left, right };
+        node_id
+    }
+
+    /// Predicts the class of one sample.
+    pub fn predict(&self, features: &[f64]) -> usize {
+        let mut node = 0u32;
+        loop {
+            match &self.nodes[node as usize] {
+                Node::Leaf { class } => return *class,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if features[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Maximum depth actually reached.
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], id: u32) -> usize {
+            match &nodes[id as usize] {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => 1 + walk(nodes, *left).max(walk(nodes, *right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            walk(&self.nodes, 0)
+        }
+    }
+
+    fn encode_into(&self, e: &mut Encoder) {
+        e.put_u32(TREE_MAGIC);
+        e.put_usize(self.dims);
+        e.put_usize(self.nodes.len());
+        for node in &self.nodes {
+            match node {
+                Node::Leaf { class } => {
+                    e.put_u8(0);
+                    e.put_usize(*class);
+                }
+                Node::Split { feature, threshold, left, right } => {
+                    e.put_u8(1);
+                    e.put_usize(*feature);
+                    e.put_f64(*threshold);
+                    e.put_u32(*left);
+                    e.put_u32(*right);
+                }
+            }
+        }
+    }
+
+    fn decode_from(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        d.expect_magic(TREE_MAGIC)?;
+        let dims = d.get_usize()?;
+        let count = d.get_usize()?;
+        let mut nodes = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            let node = match d.get_u8()? {
+                0 => Node::Leaf { class: d.get_usize()? },
+                1 => Node::Split {
+                    feature: d.get_usize()?,
+                    threshold: d.get_f64()?,
+                    left: d.get_u32()?,
+                    right: d.get_u32()?,
+                },
+                _ => return Err(DecodeError::Corrupt("node tag")),
+            };
+            nodes.push(node);
+        }
+        Ok(DecisionTree { nodes, dims })
+    }
+}
+
+fn majority_class(y: &[usize], indices: &[usize]) -> usize {
+    let positives = indices.iter().filter(|&&i| y[i] == 1).count();
+    usize::from(positives * 2 > indices.len())
+}
+
+fn is_pure(y: &[usize], indices: &[usize]) -> bool {
+    let first = y[indices[0]];
+    indices.iter().all(|&i| y[i] == first)
+}
+
+fn gini(pos: usize, total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let p = pos as f64 / total as f64;
+    2.0 * p * (1.0 - p)
+}
+
+/// Finds the (feature, threshold) minimising weighted Gini impurity over
+/// sampled candidate thresholds.
+fn best_split(
+    x: &[Vec<f64>],
+    y: &[usize],
+    indices: &[usize],
+    config: &TreeConfig,
+    rng: &mut SimRng,
+) -> Option<(usize, f64)> {
+    let dims = x[0].len();
+    let n_features = config.max_features.unwrap_or(dims).min(dims);
+    let mut features: Vec<usize> = (0..dims).collect();
+    rng.shuffle(&mut features);
+    features.truncate(n_features);
+
+    let total = indices.len();
+    let total_pos = indices.iter().filter(|&&i| y[i] == 1).count();
+    let parent = gini(total_pos, total);
+
+    let mut best: Option<(f64, usize, f64)> = None;
+    for &feature in &features {
+        // Midpoints between consecutive *distinct* values are the only
+        // thresholds worth trying (handles binary/discrete features that
+        // evenly spaced order statistics would miss).
+        let mut values: Vec<f64> = indices.iter().map(|&i| x[i][feature]).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+        values.dedup();
+        if values.len() < 2 {
+            continue;
+        }
+        let midpoints: Vec<f64> =
+            values.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect();
+        // Evenly subsample if there are more midpoints than the budget.
+        let budget = config.threshold_candidates.max(1);
+        let chosen: Vec<f64> = if midpoints.len() <= budget {
+            midpoints
+        } else {
+            (0..budget)
+                .map(|c| midpoints[c * (midpoints.len() - 1) / (budget - 1).max(1)])
+                .collect()
+        };
+        for threshold in chosen {
+            let mut left_n = 0usize;
+            let mut left_pos = 0usize;
+            for &i in indices {
+                if x[i][feature] <= threshold {
+                    left_n += 1;
+                    left_pos += usize::from(y[i] == 1);
+                }
+            }
+            let right_n = total - left_n;
+            if left_n == 0 || right_n == 0 {
+                continue;
+            }
+            let right_pos = total_pos - left_pos;
+            let weighted = (left_n as f64 * gini(left_pos, left_n)
+                + right_n as f64 * gini(right_pos, right_n))
+                / total as f64;
+            let gain = parent - weighted;
+            if gain > 1e-12 && best.is_none_or(|(g, _, _)| gain > g) {
+                best = Some((gain, feature, threshold));
+            }
+        }
+    }
+    best.map(|(_, feature, threshold)| (feature, threshold))
+}
+
+/// A bagged ensemble of CART trees with majority voting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    dims: usize,
+}
+
+impl RandomForest {
+    /// Trains a forest.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TrainError`] for unusable training data.
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[usize],
+        config: &ForestConfig,
+        rng: &mut SimRng,
+    ) -> Result<Self, TrainError> {
+        let dims = validate_training_set(x, y)?;
+        let mut tree_config = config.tree;
+        if tree_config.max_features.is_none() {
+            // The classic √d default for classification forests.
+            tree_config.max_features = Some((dims as f64).sqrt().ceil() as usize);
+        }
+        let n = x.len();
+        let trees = (0..config.n_trees.max(1))
+            .map(|_| {
+                let indices: Vec<usize> = if config.bootstrap {
+                    (0..n).map(|_| rng.below(n as u64) as usize).collect()
+                } else {
+                    (0..n).collect()
+                };
+                DecisionTree::fit_on(x, y, &indices, &tree_config, rng)
+            })
+            .collect();
+        Ok(RandomForest { trees, dims })
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Total nodes across all trees.
+    pub fn total_nodes(&self) -> usize {
+        self.trees.iter().map(|t| t.node_count()).sum()
+    }
+
+    /// Decodes a forest from its binary blob.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on malformed input.
+    pub fn decode(blob: &[u8]) -> Result<Self, DecodeError> {
+        let mut d = Decoder::new(blob);
+        d.expect_magic(FOREST_MAGIC)?;
+        let dims = d.get_usize()?;
+        let count = d.get_usize()?;
+        if count > 1 << 16 {
+            return Err(DecodeError::Corrupt("tree count"));
+        }
+        let trees = (0..count).map(|_| DecisionTree::decode_from(&mut d)).collect::<Result<_, _>>()?;
+        Ok(RandomForest { trees, dims })
+    }
+}
+
+impl Classifier for RandomForest {
+    fn name(&self) -> &'static str {
+        "RF"
+    }
+
+    fn predict(&self, features: &[f64]) -> usize {
+        let votes: usize = self.trees.iter().map(|t| t.predict(features)).sum();
+        usize::from(votes * 2 > self.trees.len())
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u32(FOREST_MAGIC);
+        e.put_usize(self.dims);
+        e.put_usize(self.trees.len());
+        for tree in &self.trees {
+            tree.encode_into(&mut e);
+        }
+        e.finish()
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        // Arena nodes dominate: tag + feature + threshold + child ids.
+        (self.total_nodes() * std::mem::size_of::<Node>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two Gaussian-ish blobs separable on feature 0.
+    fn blobs(n: usize, rng: &mut SimRng) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let class = i % 2;
+            let center = if class == 0 { -2.0 } else { 2.0 };
+            x.push(vec![center + rng.standard_normal(), rng.standard_normal()]);
+            y.push(class);
+        }
+        (x, y)
+    }
+
+    /// XOR-ish data: not linearly separable, needs depth >= 2.
+    fn xor(n: usize, rng: &mut SimRng) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a = rng.uniform() > 0.5;
+            let b = rng.uniform() > 0.5;
+            let ja = rng.uniform_range(-0.3, 0.3);
+            let jb = rng.uniform_range(-0.3, 0.3);
+            x.push(vec![f64::from(a) + ja, f64::from(b) + jb]);
+            y.push(usize::from(a ^ b));
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn tree_separates_blobs() {
+        let mut rng = SimRng::seed_from(1);
+        let (x, y) = blobs(400, &mut rng);
+        let tree = DecisionTree::fit(&x, &y, &TreeConfig::default(), &mut rng).unwrap();
+        let correct = x.iter().zip(&y).filter(|(xi, &yi)| tree.predict(xi) == yi).count();
+        assert!(correct as f64 / x.len() as f64 > 0.95, "train acc {correct}/400");
+    }
+
+    #[test]
+    fn forest_learns_xor() {
+        let mut rng = SimRng::seed_from(2);
+        let (x, y) = xor(600, &mut rng);
+        let (xt, yt) = xor(200, &mut rng);
+        let forest = RandomForest::fit(&x, &y, &ForestConfig::default(), &mut rng).unwrap();
+        let correct = xt.iter().zip(&yt).filter(|(xi, &yi)| forest.predict(xi) == yi).count();
+        assert!(correct as f64 / xt.len() as f64 > 0.9, "test acc {correct}/200");
+    }
+
+    #[test]
+    fn forest_beats_single_majority_baseline() {
+        let mut rng = SimRng::seed_from(3);
+        let (x, y) = blobs(300, &mut rng);
+        let forest = RandomForest::fit(&x, &y, &ForestConfig::default(), &mut rng).unwrap();
+        let acc = x.iter().zip(&y).filter(|(xi, &yi)| forest.predict(xi) == yi).count() as f64
+            / x.len() as f64;
+        assert!(acc > 0.5 + 0.2, "forest accuracy {acc}");
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let mut rng = SimRng::seed_from(4);
+        let (x, y) = xor(300, &mut rng);
+        let config = TreeConfig { max_depth: 3, ..TreeConfig::default() };
+        let tree = DecisionTree::fit(&x, &y, &config, &mut rng).unwrap();
+        assert!(tree.depth() <= 4, "depth {} (root at depth 1)", tree.depth());
+    }
+
+    #[test]
+    fn codec_roundtrip_preserves_predictions() {
+        let mut rng = SimRng::seed_from(5);
+        let (x, y) = blobs(200, &mut rng);
+        let forest = RandomForest::fit(&x, &y, &ForestConfig { n_trees: 7, ..Default::default() }, &mut rng)
+            .unwrap();
+        let blob = forest.encode();
+        let back = RandomForest::decode(&blob).unwrap();
+        assert_eq!(back.n_trees(), 7);
+        for xi in &x {
+            assert_eq!(forest.predict(xi), back.predict(xi));
+        }
+    }
+
+    #[test]
+    fn training_rejects_single_class() {
+        let mut rng = SimRng::seed_from(6);
+        let x = vec![vec![1.0], vec![2.0]];
+        let y = vec![0, 0];
+        assert_eq!(
+            RandomForest::fit(&x, &y, &ForestConfig::default(), &mut rng),
+            Err(TrainError::SingleClass)
+        );
+    }
+
+    #[test]
+    fn model_size_grows_with_trees() {
+        let mut rng = SimRng::seed_from(7);
+        let (x, y) = blobs(200, &mut rng);
+        let small =
+            RandomForest::fit(&x, &y, &ForestConfig { n_trees: 3, ..Default::default() }, &mut rng)
+                .unwrap();
+        let large =
+            RandomForest::fit(&x, &y, &ForestConfig { n_trees: 30, ..Default::default() }, &mut rng)
+                .unwrap();
+        assert!(large.encode().len() > small.encode().len());
+        assert!(large.memory_bytes() > small.memory_bytes());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let build = || {
+            let mut rng = SimRng::seed_from(8);
+            let (x, y) = blobs(150, &mut rng);
+            RandomForest::fit(&x, &y, &ForestConfig::default(), &mut rng).unwrap().encode()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,195 @@
+//! The discrete-event core: event kinds and the time-ordered queue.
+//!
+//! Events are plain data (no closures), dispatched by the
+//! [`World`](crate::world::World) loop. Ties at equal timestamps break on
+//! a monotonically increasing sequence number, which makes execution order
+//! a *total* order and therefore the whole simulation deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::ids::{AppId, ConnId, LinkId, NodeId, TimerId};
+use crate::packet::Packet;
+use crate::time::SimTime;
+
+/// A scheduled occurrence inside the simulator.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A lane of a link finished serialising its head-of-queue packet.
+    LinkTxComplete {
+        /// The link that finished transmitting.
+        link: LinkId,
+        /// Index of the transmitting lane within the link.
+        lane: usize,
+    },
+    /// A packet arrives at a node after the link propagation delay.
+    Deliver {
+        /// The link the packet travelled on.
+        link: LinkId,
+        /// The receiving node.
+        node: NodeId,
+        /// The packet itself.
+        packet: Packet,
+    },
+    /// A TCP retransmission timer fired.
+    TcpTimer {
+        /// Node owning the connection.
+        node: NodeId,
+        /// The connection.
+        conn: ConnId,
+        /// Generation stamp; stale timers (generation mismatch) are ignored.
+        generation: u64,
+    },
+    /// An application timer fired.
+    AppTimer {
+        /// The application to notify.
+        app: AppId,
+        /// Caller-chosen token passed back to the application.
+        token: u64,
+        /// Identity of this timer, for cancellation.
+        timer: TimerId,
+    },
+    /// An application should run its `on_start` hook.
+    AppStart {
+        /// The application to start.
+        app: AppId,
+    },
+    /// A node changes administrative state (churn: device leaves/rejoins).
+    SetNodeUp {
+        /// The node affected.
+        node: NodeId,
+        /// `true` to bring the node up, `false` to take it down.
+        up: bool,
+    },
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// ```
+/// use netsim::event::{Event, EventQueue};
+/// use netsim::ids::AppId;
+/// use netsim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(2), Event::AppStart { app: AppId::from_raw(0) });
+/// q.schedule(SimTime::from_secs(1), Event::AppStart { app: AppId::from_raw(1) });
+/// let (t, _) = q.pop().unwrap();
+/// assert_eq!(t, SimTime::from_secs(1));
+/// ```
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    pub fn schedule(&mut self, time: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (including processed ones).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(app: u32) -> Event {
+        Event::AppStart { app: AppId::from_raw(app) }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), start(3));
+        q.schedule(SimTime::from_secs(1), start(1));
+        q.schedule(SimTime::from_secs(2), start(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.whole_secs()).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(SimTime::from_secs(5), start(i));
+        }
+        let mut seen = Vec::new();
+        while let Some((_, Event::AppStart { app })) = q.pop() {
+            seen.push(app.as_raw());
+        }
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn counters_track_scheduling() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::ZERO, start(0));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::ZERO));
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! Typed identifiers for simulator entities.
+//!
+//! Every entity class gets its own newtype ([`NodeId`], [`LinkId`],
+//! [`AppId`], [`ConnId`], [`TimerId`]) so indices into different tables
+//! cannot be confused (C-NEWTYPE).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name($inner);
+
+        impl $name {
+            /// Wraps a raw index as a typed id.
+            pub const fn from_raw(raw: $inner) -> Self {
+                $name(raw)
+            }
+
+            /// The raw index.
+            pub const fn as_raw(self) -> $inner {
+                self.0
+            }
+
+            /// The raw index as `usize`, for table indexing.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a simulated node (host).
+    NodeId,
+    u32
+);
+id_type!(
+    /// Identifies a link (point-to-point or CSMA bus).
+    LinkId,
+    u32
+);
+id_type!(
+    /// Identifies an application instance hosted on a node.
+    AppId,
+    u32
+);
+id_type!(
+    /// Identifies a TCP connection, unique across the whole simulation.
+    ConnId,
+    u64
+);
+id_type!(
+    /// Identifies a scheduled application timer.
+    TimerId,
+    u64
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_raw_values() {
+        let n = NodeId::from_raw(7);
+        assert_eq!(n.as_raw(), 7);
+        assert_eq!(n.index(), 7);
+        assert_eq!(n.to_string(), "NodeId(7)");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(ConnId::from_raw(1));
+        set.insert(ConnId::from_raw(2));
+        assert!(set.contains(&ConnId::from_raw(1)));
+        assert!(ConnId::from_raw(1) < ConnId::from_raw(2));
+    }
+}

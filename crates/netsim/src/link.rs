@@ -1,0 +1,660 @@
+//! Link models: full-duplex point-to-point links and shared CSMA buses.
+//!
+//! Both models serialise packets at a configured bandwidth, apply a
+//! propagation delay, and drop on tail when a transmit queue is full —
+//! which is exactly the mechanism by which a volumetric DDoS congests the
+//! victim's access link. The CSMA bus mirrors NS-3's `CsmaChannel`: every
+//! attached device has its own transmit queue, and a single transmission
+//! occupies the shared medium at a time, arbitrated round-robin.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{Event, EventQueue};
+use crate::ids::{LinkId, NodeId};
+use crate::packet::{Addr, Packet};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Static configuration of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Channel bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Per-lane transmit queue capacity in packets.
+    pub queue_packets: usize,
+    /// Independent per-packet loss probability (0 disables).
+    pub loss_rate: f64,
+}
+
+impl LinkConfig {
+    /// A 100 Mbit/s LAN profile with 50 µs delay, the default testbed link.
+    pub fn lan_100mbps() -> Self {
+        LinkConfig {
+            bandwidth_bps: 100_000_000,
+            delay: SimDuration::from_micros(50),
+            queue_packets: 100,
+            loss_rate: 0.0,
+        }
+    }
+
+    /// A 54 Mbit/s Wi-Fi profile (802.11g-class) with mild channel loss.
+    pub fn wifi_54mbps() -> Self {
+        LinkConfig {
+            bandwidth_bps: 54_000_000,
+            delay: SimDuration::from_micros(20),
+            queue_packets: 100,
+            loss_rate: 0.002,
+        }
+    }
+
+    /// A 1 Gbit/s profile for the TServer uplink.
+    pub fn uplink_1gbps() -> Self {
+        LinkConfig {
+            bandwidth_bps: 1_000_000_000,
+            delay: SimDuration::from_micros(100),
+            queue_packets: 200,
+            loss_rate: 0.0,
+        }
+    }
+
+    /// Time to serialise `bytes` onto the wire at this bandwidth.
+    pub fn serialization_time(&self, bytes: usize) -> SimDuration {
+        let nanos = (bytes as u128 * 8 * 1_000_000_000) / self.bandwidth_bps as u128;
+        SimDuration::from_nanos(nanos.max(1) as u64)
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig::lan_100mbps()
+    }
+}
+
+/// Reason a packet never made it onto (or across) a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// The transmit queue was full (tail drop).
+    QueueFull,
+    /// Random channel loss.
+    Lost,
+    /// No attached node has the destination address.
+    Unroutable,
+    /// The sending or receiving node was administratively down.
+    NodeDown,
+}
+
+/// Traffic counters for a link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Packets fully serialised onto the wire.
+    pub tx_packets: u64,
+    /// Bytes fully serialised onto the wire.
+    pub tx_bytes: u64,
+    /// Packets handed to receivers.
+    pub delivered_packets: u64,
+    /// Bytes handed to receivers.
+    pub delivered_bytes: u64,
+    /// Tail drops at full transmit queues.
+    pub drops_queue_full: u64,
+    /// Random channel losses.
+    pub drops_lost: u64,
+    /// Packets addressed to nobody on the link.
+    pub drops_unroutable: u64,
+}
+
+#[derive(Debug)]
+struct Lane {
+    owner: NodeId,
+    queue: VecDeque<Packet>,
+    in_flight: Option<Packet>,
+}
+
+impl Lane {
+    fn new(owner: NodeId) -> Self {
+        Lane { owner, queue: VecDeque::new(), in_flight: None }
+    }
+}
+
+#[derive(Debug)]
+enum LinkKind {
+    P2p { a: NodeId, b: NodeId },
+    Csma { bus_busy: bool, rr_next: usize },
+    /// IEEE 802.11-style shared medium: like CSMA, but every frame pays
+    /// DIFS plus a random contention backoff before transmitting (DCF
+    /// without collision modelling). Backoff randomness comes from a
+    /// link-local LCG so links stay deterministic without threading the
+    /// world RNG through the hot path.
+    Wifi { medium_busy: bool, rr_next: usize, backoff_state: u64 },
+}
+
+/// 802.11 DIFS (distributed inter-frame space) before each frame.
+const WIFI_DIFS: SimDuration = SimDuration::from_micros(34);
+/// 802.11 slot time; backoff draws 0..WIFI_CW_SLOTS of these.
+const WIFI_SLOT: SimDuration = SimDuration::from_micros(9);
+/// Contention-window size in slots (fixed CWmin, no exponential growth).
+const WIFI_CW_SLOTS: u64 = 16;
+
+/// A simulated link.
+#[derive(Debug)]
+pub struct Link {
+    id: LinkId,
+    kind: LinkKind,
+    config: LinkConfig,
+    lanes: Vec<Lane>,
+    stats: LinkStats,
+}
+
+/// Minimal view of a node the link needs for delivery resolution.
+#[derive(Debug, Clone, Copy)]
+pub struct EndpointInfo {
+    /// The node's address.
+    pub addr: Addr,
+    /// Whether the node is administratively up.
+    pub up: bool,
+}
+
+/// Resolves endpoint info for delivery targeting.
+pub trait EndpointResolver {
+    /// Looks up address/state for a node attached to the link.
+    fn endpoint(&self, node: NodeId) -> EndpointInfo;
+}
+
+impl<F: Fn(NodeId) -> EndpointInfo> EndpointResolver for F {
+    fn endpoint(&self, node: NodeId) -> EndpointInfo {
+        self(node)
+    }
+}
+
+impl Link {
+    /// Creates a full-duplex point-to-point link between `a` and `b`.
+    pub fn p2p(id: LinkId, a: NodeId, b: NodeId, config: LinkConfig) -> Self {
+        Link {
+            id,
+            kind: LinkKind::P2p { a, b },
+            config,
+            lanes: vec![Lane::new(a), Lane::new(b)],
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Creates a shared CSMA bus over `members`.
+    ///
+    /// The bus may start empty; members can be attached later with
+    /// [`Link::add_member`] (containers join the testbed bridge one at a
+    /// time as they are deployed).
+    pub fn csma(id: LinkId, members: &[NodeId], config: LinkConfig) -> Self {
+        Link {
+            id,
+            kind: LinkKind::Csma { bus_busy: false, rr_next: 0 },
+            config,
+            lanes: members.iter().copied().map(Lane::new).collect(),
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Creates an 802.11-style shared medium over `members` (DDoSim's
+    /// Wi-Fi network option): CSMA semantics plus DIFS + random backoff
+    /// per frame, so contention overhead and jitter are modelled.
+    pub fn wifi(id: LinkId, members: &[NodeId], config: LinkConfig) -> Self {
+        Link {
+            id,
+            kind: LinkKind::Wifi {
+                medium_busy: false,
+                rr_next: 0,
+                backoff_state: 0x9e37_79b9_7f4a_7c15 ^ id.as_raw() as u64,
+            },
+            config,
+            lanes: members.iter().copied().map(Lane::new).collect(),
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// The link's identifier.
+    pub fn id(&self) -> LinkId {
+        self.id
+    }
+
+    /// The link's configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Current traffic counters.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Nodes attached to this link.
+    pub fn members(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.lanes.iter().map(|l| l.owner)
+    }
+
+    /// Whether `node` is attached to this link.
+    pub fn has_member(&self, node: NodeId) -> bool {
+        self.lanes.iter().any(|l| l.owner == node)
+    }
+
+    /// Attaches another member to a CSMA bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics on point-to-point links.
+    pub fn add_member(&mut self, node: NodeId) {
+        match self.kind {
+            LinkKind::Csma { .. } | LinkKind::Wifi { .. } => self.lanes.push(Lane::new(node)),
+            LinkKind::P2p { .. } => panic!("cannot add members to a point-to-point link"),
+        }
+    }
+
+    fn lane_of(&self, node: NodeId) -> Option<usize> {
+        self.lanes.iter().position(|l| l.owner == node)
+    }
+
+    /// Total packets currently queued (all lanes).
+    pub fn queued_packets(&self) -> usize {
+        self.lanes.iter().map(|l| l.queue.len() + usize::from(l.in_flight.is_some())).sum()
+    }
+
+    /// Accepts a packet from `from` for transmission.
+    ///
+    /// Returns the drop reason if the packet was not accepted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not attached to the link.
+    pub fn enqueue(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        packet: Packet,
+        queue: &mut EventQueue,
+    ) -> Result<(), DropReason> {
+        let lane_idx = self.lane_of(from).expect("sender is not attached to link");
+        if self.lanes[lane_idx].queue.len() >= self.config.queue_packets {
+            self.stats.drops_queue_full += 1;
+            return Err(DropReason::QueueFull);
+        }
+        self.lanes[lane_idx].queue.push_back(packet);
+        self.try_start_tx(now, queue);
+        Ok(())
+    }
+
+    /// Starts transmissions on any idle lane/bus with pending packets.
+    fn try_start_tx(&mut self, now: SimTime, queue: &mut EventQueue) {
+        match &mut self.kind {
+            LinkKind::P2p { .. } => {
+                for lane_idx in 0..self.lanes.len() {
+                    self.start_lane_if_idle(now, lane_idx, queue);
+                }
+            }
+            LinkKind::Csma { bus_busy, rr_next } => {
+                if *bus_busy {
+                    return;
+                }
+                let n = self.lanes.len();
+                let start = *rr_next;
+                for offset in 0..n {
+                    let lane_idx = (start + offset) % n;
+                    if !self.lanes[lane_idx].queue.is_empty() {
+                        *rr_next = (lane_idx + 1) % n;
+                        *bus_busy = true;
+                        self.begin_tx(now, lane_idx, SimDuration::ZERO, queue);
+                        return;
+                    }
+                }
+            }
+            LinkKind::Wifi { medium_busy, rr_next, backoff_state } => {
+                if *medium_busy {
+                    return;
+                }
+                let n = self.lanes.len();
+                let start = *rr_next;
+                for offset in 0..n {
+                    let lane_idx = (start + offset) % n;
+                    if !self.lanes[lane_idx].queue.is_empty() {
+                        *rr_next = (lane_idx + 1) % n;
+                        *medium_busy = true;
+                        // xorshift* step for the backoff draw.
+                        let mut x = *backoff_state;
+                        x ^= x >> 12;
+                        x ^= x << 25;
+                        x ^= x >> 27;
+                        *backoff_state = x;
+                        let slots = x.wrapping_mul(0x2545_f491_4f6c_dd1d) % WIFI_CW_SLOTS;
+                        let overhead = WIFI_DIFS + WIFI_SLOT * slots;
+                        self.begin_tx(now, lane_idx, overhead, queue);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn start_lane_if_idle(&mut self, now: SimTime, lane_idx: usize, queue: &mut EventQueue) {
+        if self.lanes[lane_idx].in_flight.is_none() && !self.lanes[lane_idx].queue.is_empty() {
+            self.begin_tx(now, lane_idx, SimDuration::ZERO, queue);
+        }
+    }
+
+    fn begin_tx(
+        &mut self,
+        now: SimTime,
+        lane_idx: usize,
+        access_overhead: SimDuration,
+        queue: &mut EventQueue,
+    ) {
+        let packet = self.lanes[lane_idx].queue.pop_front().expect("checked non-empty");
+        let ser = self.config.serialization_time(packet.wire_len());
+        self.lanes[lane_idx].in_flight = Some(packet);
+        queue.schedule(
+            now + access_overhead + ser,
+            Event::LinkTxComplete { link: self.id, lane: lane_idx },
+        );
+    }
+
+    /// Completes the in-flight transmission on `lane`, scheduling delivery
+    /// events and starting the next pending transmission.
+    pub fn on_tx_complete<R: EndpointResolver>(
+        &mut self,
+        now: SimTime,
+        lane_idx: usize,
+        resolver: &R,
+        queue: &mut EventQueue,
+        rng: &mut SimRng,
+    ) {
+        let packet = self.lanes[lane_idx]
+            .in_flight
+            .take()
+            .expect("tx-complete event for an idle lane");
+        self.stats.tx_packets += 1;
+        self.stats.tx_bytes += packet.wire_len() as u64;
+        let sender = self.lanes[lane_idx].owner;
+
+        match &mut self.kind {
+            LinkKind::Csma { bus_busy, .. } => *bus_busy = false,
+            LinkKind::Wifi { medium_busy, .. } => *medium_busy = false,
+            LinkKind::P2p { .. } => {}
+        }
+
+        if self.config.loss_rate > 0.0 && rng.chance(self.config.loss_rate) {
+            self.stats.drops_lost += 1;
+        } else {
+            self.deliver_targets(now, sender, packet, resolver, queue);
+        }
+
+        self.try_start_tx(now, queue);
+    }
+
+    fn deliver_targets<R: EndpointResolver>(
+        &mut self,
+        now: SimTime,
+        sender: NodeId,
+        packet: Packet,
+        resolver: &R,
+        queue: &mut EventQueue,
+    ) {
+        let arrive = now + self.config.delay;
+        match self.kind {
+            LinkKind::P2p { a, b } => {
+                let target = if sender == a { b } else { a };
+                self.stats.delivered_packets += 1;
+                self.stats.delivered_bytes += packet.wire_len() as u64;
+                queue.schedule(arrive, Event::Deliver { link: self.id, node: target, packet });
+            }
+            LinkKind::Csma { .. } | LinkKind::Wifi { .. } => {
+                if packet.dst == Addr::BROADCAST {
+                    let targets: Vec<NodeId> =
+                        self.lanes.iter().map(|l| l.owner).filter(|&n| n != sender).collect();
+                    for target in targets {
+                        self.stats.delivered_packets += 1;
+                        self.stats.delivered_bytes += packet.wire_len() as u64;
+                        queue.schedule(
+                            arrive,
+                            Event::Deliver { link: self.id, node: target, packet: packet.clone() },
+                        );
+                    }
+                } else {
+                    let target =
+                        self.lanes.iter().map(|l| l.owner).find(|&n| resolver.endpoint(n).addr == packet.dst);
+                    match target {
+                        Some(target) => {
+                            self.stats.delivered_packets += 1;
+                            self.stats.delivered_bytes += packet.wire_len() as u64;
+                            queue.schedule(arrive, Event::Deliver { link: self.id, node: target, packet });
+                        }
+                        None => self.stats.drops_unroutable += 1,
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn packet(dst: Addr, len: usize) -> Packet {
+        Packet::udp(Addr::new(10, 0, 0, 1), dst, 1111, 2222, Bytes::from(vec![0u8; len]))
+    }
+
+    fn resolver(table: Vec<(NodeId, Addr)>) -> impl EndpointResolver {
+        move |node: NodeId| {
+            let addr = table.iter().find(|(n, _)| *n == node).map(|(_, a)| *a).unwrap_or(Addr::UNSPECIFIED);
+            EndpointInfo { addr, up: true }
+        }
+    }
+
+    fn drain(
+        link: &mut Link,
+        queue: &mut EventQueue,
+        resolver: &impl EndpointResolver,
+        rng: &mut SimRng,
+    ) -> Vec<(SimTime, NodeId, Packet)> {
+        let mut deliveries = Vec::new();
+        while let Some((t, ev)) = queue.pop() {
+            match ev {
+                Event::LinkTxComplete { lane, .. } => link.on_tx_complete(t, lane, resolver, queue, rng),
+                Event::Deliver { node, packet, .. } => deliveries.push((t, node, packet)),
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        deliveries
+    }
+
+    #[test]
+    fn serialization_time_scales_with_bytes() {
+        let cfg = LinkConfig { bandwidth_bps: 8_000_000, ..LinkConfig::lan_100mbps() };
+        // 8 Mbit/s = 1 byte/us.
+        assert_eq!(cfg.serialization_time(1000), SimDuration::from_micros(1000));
+    }
+
+    #[test]
+    fn p2p_delivers_to_peer_after_ser_plus_delay() {
+        let a = NodeId::from_raw(0);
+        let b = NodeId::from_raw(1);
+        let cfg = LinkConfig {
+            bandwidth_bps: 8_000_000,
+            delay: SimDuration::from_millis(1),
+            queue_packets: 10,
+            loss_rate: 0.0,
+        };
+        let mut link = Link::p2p(LinkId::from_raw(0), a, b, cfg);
+        let mut queue = EventQueue::new();
+        let mut rng = SimRng::seed_from(1);
+        let res = resolver(vec![(a, Addr::new(10, 0, 0, 1)), (b, Addr::new(10, 0, 0, 2))]);
+
+        let p = packet(Addr::new(10, 0, 0, 2), 972); // 1000 bytes on the wire
+        let wire = p.wire_len();
+        assert_eq!(wire, 1000);
+        link.enqueue(SimTime::ZERO, a, p, &mut queue).unwrap();
+        let deliveries = drain(&mut link, &mut queue, &res, &mut rng);
+        assert_eq!(deliveries.len(), 1);
+        let (t, node, _) = &deliveries[0];
+        assert_eq!(*node, b);
+        assert_eq!(*t, SimTime::ZERO + SimDuration::from_micros(1000) + SimDuration::from_millis(1));
+        assert_eq!(link.stats().tx_packets, 1);
+        assert_eq!(link.stats().delivered_packets, 1);
+    }
+
+    #[test]
+    fn queue_overflow_tail_drops() {
+        let a = NodeId::from_raw(0);
+        let b = NodeId::from_raw(1);
+        let cfg = LinkConfig { queue_packets: 2, ..LinkConfig::lan_100mbps() };
+        let mut link = Link::p2p(LinkId::from_raw(0), a, b, cfg);
+        let mut queue = EventQueue::new();
+
+        // First fill: one in flight + two queued, the rest dropped.
+        for _ in 0..5 {
+            let _ = link.enqueue(SimTime::ZERO, a, packet(Addr::new(10, 0, 0, 2), 100), &mut queue);
+        }
+        assert_eq!(link.stats().drops_queue_full, 2);
+        assert_eq!(link.queued_packets(), 3);
+    }
+
+    #[test]
+    fn csma_shares_the_bus_round_robin() {
+        let nodes: Vec<NodeId> = (0..3).map(NodeId::from_raw).collect();
+        let addrs: Vec<Addr> = (0..3).map(|i| Addr::new(10, 0, 0, i as u8 + 1)).collect();
+        let cfg = LinkConfig {
+            bandwidth_bps: 8_000_000,
+            delay: SimDuration::from_micros(10),
+            queue_packets: 10,
+            loss_rate: 0.0,
+        };
+        let mut link = Link::csma(LinkId::from_raw(0), &nodes, cfg);
+        let mut queue = EventQueue::new();
+        let mut rng = SimRng::seed_from(2);
+        let res = resolver(nodes.iter().copied().zip(addrs.iter().copied()).collect());
+
+        // Nodes 0 and 1 both flood node 2; transmissions must interleave.
+        for _ in 0..3 {
+            link.enqueue(SimTime::ZERO, nodes[0], packet(addrs[2], 100), &mut queue).unwrap();
+            link.enqueue(SimTime::ZERO, nodes[1], packet(addrs[2], 100), &mut queue).unwrap();
+        }
+        let deliveries = drain(&mut link, &mut queue, &res, &mut rng);
+        assert_eq!(deliveries.len(), 6);
+        // Delivery times strictly increase: the bus serialises one at a time.
+        for w in deliveries.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn csma_unroutable_is_counted_not_delivered() {
+        let nodes: Vec<NodeId> = (0..2).map(NodeId::from_raw).collect();
+        let mut link = Link::csma(LinkId::from_raw(0), &nodes, LinkConfig::lan_100mbps());
+        let mut queue = EventQueue::new();
+        let mut rng = SimRng::seed_from(3);
+        let res = resolver(vec![
+            (nodes[0], Addr::new(10, 0, 0, 1)),
+            (nodes[1], Addr::new(10, 0, 0, 2)),
+        ]);
+        link.enqueue(SimTime::ZERO, nodes[0], packet(Addr::new(10, 0, 0, 99), 100), &mut queue).unwrap();
+        let deliveries = drain(&mut link, &mut queue, &res, &mut rng);
+        assert!(deliveries.is_empty());
+        assert_eq!(link.stats().drops_unroutable, 1);
+    }
+
+    #[test]
+    fn csma_broadcast_reaches_everyone_but_sender() {
+        let nodes: Vec<NodeId> = (0..4).map(NodeId::from_raw).collect();
+        let mut link = Link::csma(LinkId::from_raw(0), &nodes, LinkConfig::lan_100mbps());
+        let mut queue = EventQueue::new();
+        let mut rng = SimRng::seed_from(4);
+        let res = resolver(nodes.iter().map(|&n| (n, Addr::new(10, 0, 0, n.as_raw() as u8 + 1))).collect());
+        link.enqueue(SimTime::ZERO, nodes[0], packet(Addr::BROADCAST, 10), &mut queue).unwrap();
+        let deliveries = drain(&mut link, &mut queue, &res, &mut rng);
+        let mut receivers: Vec<u32> = deliveries.iter().map(|(_, n, _)| n.as_raw()).collect();
+        receivers.sort_unstable();
+        assert_eq!(receivers, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn total_loss_drops_everything() {
+        let a = NodeId::from_raw(0);
+        let b = NodeId::from_raw(1);
+        let cfg = LinkConfig { loss_rate: 1.0, ..LinkConfig::lan_100mbps() };
+        let mut link = Link::p2p(LinkId::from_raw(0), a, b, cfg);
+        let mut queue = EventQueue::new();
+        let mut rng = SimRng::seed_from(5);
+        let res = resolver(vec![(a, Addr::new(10, 0, 0, 1)), (b, Addr::new(10, 0, 0, 2))]);
+        for _ in 0..5 {
+            link.enqueue(SimTime::ZERO, a, packet(Addr::new(10, 0, 0, 2), 100), &mut queue).unwrap();
+        }
+        let deliveries = drain(&mut link, &mut queue, &res, &mut rng);
+        assert!(deliveries.is_empty());
+        assert_eq!(link.stats().drops_lost, 5);
+    }
+
+    #[test]
+    fn wifi_pays_contention_overhead() {
+        // Identical traffic over CSMA vs Wi-Fi: Wi-Fi finishes later
+        // because every frame pays DIFS + backoff.
+        let nodes: Vec<NodeId> = (0..2).map(NodeId::from_raw).collect();
+        let addrs = [Addr::new(10, 0, 0, 1), Addr::new(10, 0, 0, 2)];
+        let cfg = LinkConfig {
+            bandwidth_bps: 8_000_000,
+            delay: SimDuration::from_micros(10),
+            queue_packets: 64,
+            loss_rate: 0.0,
+        };
+        let res = resolver(nodes.iter().copied().zip(addrs.iter().copied()).collect());
+        let finish = |mut link: Link| {
+            let mut queue = EventQueue::new();
+            let mut rng = SimRng::seed_from(9);
+            for _ in 0..20 {
+                link.enqueue(SimTime::ZERO, nodes[0], packet(addrs[1], 100), &mut queue).unwrap();
+            }
+            let deliveries = drain(&mut link, &mut queue, &res, &mut rng);
+            assert_eq!(deliveries.len(), 20);
+            deliveries.last().unwrap().0
+        };
+        let csma_done = finish(Link::csma(LinkId::from_raw(0), &nodes, cfg));
+        let wifi_done = finish(Link::wifi(LinkId::from_raw(1), &nodes, cfg));
+        assert!(wifi_done > csma_done, "wifi {wifi_done} vs csma {csma_done}");
+        // Overhead is bounded: at most DIFS + CW slots per frame.
+        let max_overhead = (SimDuration::from_micros(34)
+            + SimDuration::from_micros(9) * 16)
+            * 20;
+        assert!(wifi_done - csma_done <= max_overhead);
+    }
+
+    #[test]
+    fn wifi_backoff_is_deterministic_per_link() {
+        let nodes: Vec<NodeId> = (0..2).map(NodeId::from_raw).collect();
+        let addrs = [Addr::new(10, 0, 0, 1), Addr::new(10, 0, 0, 2)];
+        let res = resolver(nodes.iter().copied().zip(addrs.iter().copied()).collect());
+        let run = || {
+            let mut link = Link::wifi(LinkId::from_raw(3), &nodes, LinkConfig::wifi_54mbps());
+            let mut queue = EventQueue::new();
+            let mut rng = SimRng::seed_from(1);
+            for _ in 0..10 {
+                link.enqueue(SimTime::ZERO, nodes[0], packet(addrs[1], 200), &mut queue).unwrap();
+            }
+            drain(&mut link, &mut queue, &res, &mut rng)
+                .into_iter()
+                .map(|(t, _, _)| t)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "point-to-point")]
+    fn p2p_rejects_extra_members() {
+        let mut link = Link::p2p(
+            LinkId::from_raw(0),
+            NodeId::from_raw(0),
+            NodeId::from_raw(1),
+            LinkConfig::default(),
+        );
+        link.add_member(NodeId::from_raw(2));
+    }
+}

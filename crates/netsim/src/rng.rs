@@ -1,0 +1,337 @@
+//! Seeded randomness for deterministic simulations.
+//!
+//! All stochastic behaviour in the testbed (workload inter-arrivals, scan
+//! targets, link loss, model initialisation) flows through [`SimRng`], a
+//! thin wrapper over a seeded ChaCha-based [`rand::rngs::StdRng`] with the
+//! distribution helpers the traffic and botnet models need. Creating every
+//! component's RNG by [`SimRng::fork`] from one root seed makes whole runs
+//! reproducible bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random number generator for simulation components.
+///
+/// ```
+/// use netsim::rng::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a root seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// Forked generators let each component own private randomness while
+    /// the whole simulation stays a pure function of the root seed.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from(self.inner.next_u64())
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// A uniform float in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// A uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is empty");
+        self.inner.random_range(0..n)
+    }
+
+    /// A uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn int_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range [{lo}, {hi}]");
+        self.inner.random_range(lo..=hi)
+    }
+
+    /// A Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+
+    /// An exponential variate with the given mean (inter-arrival times of
+    /// a Poisson process).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive and finite.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0 && mean.is_finite(), "invalid exponential mean: {mean}");
+        // Inverse-CDF sampling; 1 - u avoids ln(0).
+        -mean * (1.0 - self.uniform()).ln()
+    }
+
+    /// A Poisson-distributed count with the given mean (Knuth's method for
+    /// small means, normal approximation above 30).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is negative or not finite.
+    pub fn poisson(&mut self, mean: f64) -> u64 {
+        assert!(mean >= 0.0 && mean.is_finite(), "invalid poisson mean: {mean}");
+        if mean == 0.0 {
+            return 0;
+        }
+        if mean > 30.0 {
+            let x = mean + mean.sqrt() * self.standard_normal();
+            return x.max(0.0).round() as u64;
+        }
+        let limit = (-mean).exp();
+        let mut product = self.uniform();
+        let mut count = 0u64;
+        while product > limit {
+            count += 1;
+            product *= self.uniform();
+        }
+        count
+    }
+
+    /// A standard normal variate (Box–Muller).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = (1.0 - self.uniform()).max(f64::MIN_POSITIVE);
+        let u2: f64 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// A normal variate with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "negative std dev: {std_dev}");
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// A bounded Pareto variate (heavy-tailed file sizes / flow lengths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not positive or `lo >= hi`.
+    pub fn bounded_pareto(&mut self, shape: f64, lo: f64, hi: f64) -> f64 {
+        assert!(shape > 0.0, "invalid pareto shape: {shape}");
+        assert!(lo > 0.0 && lo < hi, "invalid pareto bounds [{lo}, {hi}]");
+        let u = self.uniform();
+        let la = lo.powf(shape);
+        let ha = hi.powf(shape);
+        // Inverse CDF of the truncated Pareto distribution.
+        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / shape)
+    }
+
+    /// A Zipf-distributed rank in `[0, n)` with exponent `s` (popularity
+    /// skew of requested web objects).
+    ///
+    /// Uses inverse-CDF over precomputed weights for small `n`; callers
+    /// that need large catalogues should precompute a [`ZipfTable`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        ZipfTable::new(n, s).sample(self)
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose from empty slice");
+        &items[self.below(items.len() as u64) as usize]
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+}
+
+/// Precomputed cumulative weights for repeated Zipf sampling.
+#[derive(Debug, Clone)]
+pub struct ZipfTable {
+    cdf: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Builds the table for ranks `0..n` with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf over empty support");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(s);
+            cdf.push(total);
+        }
+        for w in &mut cdf {
+            *w /= total;
+        }
+        ZipfTable { cdf }
+    }
+
+    /// Number of ranks in the table.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` if the table is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a rank in `[0, n)`.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.uniform();
+        match self.cdf.binary_search_by(|w| w.partial_cmp(&u).expect("non-NaN cdf")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn fork_produces_independent_deterministic_children() {
+        let mut root1 = SimRng::seed_from(1);
+        let mut root2 = SimRng::seed_from(1);
+        let mut c1 = root1.fork();
+        let mut c2 = root2.fork();
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        // Child diverges from parent stream.
+        assert_ne!(root1.next_u64(), c1.next_u64());
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::seed_from(3);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.exponential(2.5)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.5).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut rng = SimRng::seed_from(4);
+        for target in [0.5, 5.0, 60.0] {
+            let n = 5_000;
+            let sum: u64 = (0..n).map(|_| rng.poisson(target)).sum();
+            let mean = sum as f64 / n as f64;
+            assert!((mean - target).abs() < target.max(1.0) * 0.1, "mean {mean} target {target}");
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = SimRng::seed_from(5);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn bounded_pareto_respects_bounds() {
+        let mut rng = SimRng::seed_from(6);
+        for _ in 0..1_000 {
+            let x = rng.bounded_pareto(1.2, 100.0, 1_000_000.0);
+            assert!((100.0..=1_000_000.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn zipf_rank_zero_is_most_popular() {
+        let mut rng = SimRng::seed_from(8);
+        let table = ZipfTable::new(50, 1.0);
+        let mut counts = [0u32; 50];
+        for _ in 0..20_000 {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[49]);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from(9);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(10);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+}

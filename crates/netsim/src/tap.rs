@@ -1,0 +1,33 @@
+//! Packet taps: promiscuous observation points for capture tooling.
+
+use crate::ids::{LinkId, NodeId};
+use crate::packet::Packet;
+use crate::time::SimTime;
+
+/// Where and when a tapped packet was observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TapMeta {
+    /// Arrival (delivery) time at the receiving NIC.
+    pub time: SimTime,
+    /// The link the packet travelled on.
+    pub link: LinkId,
+    /// The node receiving the packet.
+    pub receiver: NodeId,
+}
+
+/// An observer of packets delivered on the simulated network.
+///
+/// Taps see every delivered packet *before* protocol processing, like a
+/// `tcpdump` on the receiving interface. They must not mutate the packet;
+/// they receive a shared reference and typically copy out the fields they
+/// need.
+pub trait PacketTap {
+    /// Called once per delivered packet.
+    fn on_packet(&mut self, meta: &TapMeta, packet: &Packet);
+}
+
+impl<F: FnMut(&TapMeta, &Packet)> PacketTap for F {
+    fn on_packet(&mut self, meta: &TapMeta, packet: &Packet) {
+        self(meta, packet)
+    }
+}

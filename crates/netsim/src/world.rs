@@ -1,0 +1,1016 @@
+//! The simulation world: event loop, application hosting, and the
+//! kernel services applications use (sockets, timers, raw sends).
+//!
+//! A [`World`] owns the network (nodes, links), the event queue, and the
+//! applications. Applications implement [`App`] and interact with the
+//! world exclusively through the [`Ctx`] handed to their callbacks, which
+//! keeps borrow-checking trivial: during a callback the application is
+//! temporarily moved out of the registry while `Ctx` borrows the kernel.
+
+use std::collections::HashSet;
+
+use bytes::Bytes;
+
+use crate::event::{Event, EventQueue};
+use crate::ids::{AppId, ConnId, LinkId, NodeId, TimerId};
+use crate::link::{DropReason, EndpointInfo, Link, LinkConfig, LinkStats};
+use crate::node::{Node, NodeStats};
+use crate::packet::{Addr, Packet, Provenance, TcpFlags, TcpHeader, Transport};
+use crate::rng::SimRng;
+use crate::tap::{PacketTap, TapMeta};
+use crate::tcp::{Listener, TcpConfig, TcpConn, TcpEffects, TcpEvent};
+use crate::time::{SimDuration, SimTime};
+use crate::udp::Datagram;
+
+/// A hosted application (an "IoT binary" in testbed terms).
+///
+/// All callbacks receive a [`Ctx`] giving access to the node's sockets,
+/// timers and randomness. Default implementations ignore events, so apps
+/// implement only what they need.
+#[allow(unused_variables)]
+pub trait App {
+    /// Called once when the application is started.
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {}
+    /// Called for every TCP socket event owned by this application.
+    fn on_tcp(&mut self, ctx: &mut Ctx<'_>, event: TcpEvent) {}
+    /// Called for every UDP datagram on a port bound by this application.
+    fn on_udp(&mut self, ctx: &mut Ctx<'_>, datagram: Datagram) {}
+    /// Called when a timer set with [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {}
+    /// Called when the hosting node changes administrative state (churn).
+    fn on_link_state(&mut self, ctx: &mut Ctx<'_>, up: bool) {}
+}
+
+enum AppEvent {
+    Start,
+    Tcp(TcpEvent),
+    Udp(Datagram),
+    Timer(u64),
+    LinkState(bool),
+}
+
+/// Everything in the world except the applications themselves.
+///
+/// Exposed to applications through [`Ctx`] and to orchestrators through
+/// accessor methods on [`World`].
+pub struct Kernel {
+    clock: SimTime,
+    queue: EventQueue,
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    taps: Vec<Box<dyn PacketTap>>,
+    rng: SimRng,
+    tcp_config: TcpConfig,
+    next_conn_id: u64,
+    next_timer_id: u64,
+    cancelled_timers: HashSet<TimerId>,
+    app_nodes: Vec<NodeId>,
+    app_provenance: Vec<Provenance>,
+    events_processed: u64,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("clock", &self.clock)
+            .field("nodes", &self.nodes.len())
+            .field("links", &self.links.len())
+            .field("apps", &self.app_nodes.len())
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+impl Kernel {
+    fn new(seed: u64) -> Self {
+        Kernel {
+            clock: SimTime::ZERO,
+            queue: EventQueue::new(),
+            nodes: Vec::new(),
+            links: Vec::new(),
+            taps: Vec::new(),
+            rng: SimRng::seed_from(seed),
+            tcp_config: TcpConfig::default(),
+            next_conn_id: 0,
+            next_timer_id: 0,
+            cancelled_timers: HashSet::new(),
+            app_nodes: Vec::new(),
+            app_provenance: Vec::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// The kernel-wide RNG (components should usually `fork` their own).
+    pub fn rng_mut(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// The TCP configuration shared by all hosts.
+    pub fn tcp_config(&self) -> &TcpConfig {
+        &self.tcp_config
+    }
+
+    fn alloc_conn_id(&mut self) -> ConnId {
+        let id = ConnId::from_raw(self.next_conn_id);
+        self.next_conn_id += 1;
+        id
+    }
+
+    /// Sends a fully formed packet from `node` onto the routed link.
+    ///
+    /// Used directly by flood generators (spoofed raw packets) and by the
+    /// transport layers. Returns the reason if the packet was dropped at
+    /// the source.
+    pub fn send_packet(&mut self, node_id: NodeId, packet: Packet) -> Result<(), DropReason> {
+        let node = &mut self.nodes[node_id.index()];
+        if !node.up {
+            node.stats.dropped_down += 1;
+            return Err(DropReason::NodeDown);
+        }
+        let Some(link_id) = node.route(packet.dst) else {
+            node.stats.dropped_no_route += 1;
+            return Err(DropReason::Unroutable);
+        };
+        node.stats.sent_packets += 1;
+        node.stats.sent_bytes += packet.wire_len() as u64;
+        let clock = self.clock;
+        self.links[link_id.index()].enqueue(clock, node_id, packet, &mut self.queue)
+    }
+
+    fn handle_tx_complete(&mut self, link: LinkId, lane: usize) {
+        // Split borrows: the link needs an endpoint resolver over nodes.
+        let (nodes, links) = (&self.nodes, &mut self.links);
+        let resolver = |node: NodeId| EndpointInfo {
+            addr: nodes[node.index()].addr,
+            up: nodes[node.index()].up,
+        };
+        links[link.index()].on_tx_complete(self.clock, lane, &resolver, &mut self.queue, &mut self.rng);
+    }
+
+    fn deliver(&mut self, link: LinkId, node_id: NodeId, packet: Packet) -> Vec<(AppId, AppEvent)> {
+        let meta = TapMeta { time: self.clock, link, receiver: node_id };
+        for tap in &mut self.taps {
+            tap.on_packet(&meta, &packet);
+        }
+        let node = &mut self.nodes[node_id.index()];
+        if !node.up {
+            node.stats.dropped_down += 1;
+            return Vec::new();
+        }
+        node.stats.recv_packets += 1;
+        node.stats.recv_bytes += packet.wire_len() as u64;
+        match packet.transport {
+            Transport::Tcp(header) => self.tcp_input(node_id, header, packet),
+            Transport::Udp(header) => {
+                let node = &mut self.nodes[node_id.index()];
+                match node.udp.lookup(header.dst_port) {
+                    Some(app) => vec![(
+                        app,
+                        AppEvent::Udp(Datagram {
+                            src: packet.src,
+                            src_port: header.src_port,
+                            dst_port: header.dst_port,
+                            payload: packet.payload,
+                        }),
+                    )],
+                    None => {
+                        node.udp.unreachable += 1;
+                        Vec::new()
+                    }
+                }
+            }
+        }
+    }
+
+    fn tcp_input(
+        &mut self,
+        node_id: NodeId,
+        header: TcpHeader,
+        packet: Packet,
+    ) -> Vec<(AppId, AppEvent)> {
+        let key = (header.dst_port, packet.src, header.src_port);
+        let node = &mut self.nodes[node_id.index()];
+
+        if let Some(&conn_id) = node.tcp.by_key.get(&key) {
+            let mut effects = TcpEffects::new();
+            let cfg = self.tcp_config;
+            let conn = node.tcp.conns.get_mut(&conn_id).expect("demux table is consistent");
+            conn.on_segment(self.clock, &header, packet.payload, &cfg, &mut effects);
+            return self.finish_conn_activity(node_id, conn_id, effects);
+        }
+
+        // No connection: a SYN may create one via a listener.
+        let is_bare_syn = header.flags.contains(TcpFlags::SYN) && !header.flags.contains(TcpFlags::ACK);
+        if is_bare_syn {
+            if let Some(listener) = node.tcp.listeners.get_mut(&header.dst_port) {
+                if !listener.has_capacity() {
+                    // SYN backlog exhausted: the flood is winning. Drop.
+                    listener.syn_drops += 1;
+                    return Vec::new();
+                }
+                let app = listener.app;
+                let local = (node.addr, header.dst_port);
+                let remote = (packet.src, header.src_port);
+                let conn_id = self.alloc_conn_id();
+                let iss = self.rng.next_u64() as u32;
+                let mut effects = TcpEffects::new();
+                let cfg = self.tcp_config;
+                let conn = TcpConn::open_passive(
+                    conn_id,
+                    app,
+                    local,
+                    remote,
+                    packet.provenance,
+                    iss,
+                    header.seq,
+                    &cfg,
+                    &mut effects,
+                );
+                let node = &mut self.nodes[node_id.index()];
+                node.tcp.conns.insert(conn_id, conn);
+                node.tcp.by_key.insert(key, conn_id);
+                node.tcp
+                    .listeners
+                    .get_mut(&header.dst_port)
+                    .expect("listener just seen")
+                    .half_open
+                    .push(conn_id);
+                return self.finish_conn_activity(node_id, conn_id, effects);
+            }
+        }
+
+        // Stray segment: answer with RST (but never RST a RST).
+        if !header.flags.contains(TcpFlags::RST) {
+            node.tcp.rst_sent += 1;
+            let rst_header = TcpHeader {
+                src_port: header.dst_port,
+                dst_port: header.src_port,
+                seq: header.ack,
+                ack: header.seq.wrapping_add(1),
+                flags: TcpFlags::RST | TcpFlags::ACK,
+                window: 0,
+            };
+            let node_addr = node.addr;
+            let rst = Packet::tcp(node_addr, packet.src, rst_header, Bytes::new())
+                .with_provenance(packet.provenance);
+            let _ = self.send_packet(node_id, rst);
+        }
+        Vec::new()
+    }
+
+    /// Sends a connection's queued segments, re-arms its timer, promotes
+    /// or reaps it, and converts TCP events into app notifications.
+    fn finish_conn_activity(
+        &mut self,
+        node_id: NodeId,
+        conn_id: ConnId,
+        effects: TcpEffects,
+    ) -> Vec<(AppId, AppEvent)> {
+        for segment in effects.segments {
+            let _ = self.send_packet(node_id, segment);
+        }
+        let mut notifications = Vec::with_capacity(effects.events.len());
+        for (app, event) in effects.events {
+            if let TcpEvent::Accepted { conn, local_port, .. } = event {
+                self.nodes[node_id.index()].tcp.promote_half_open(local_port, conn);
+            }
+            notifications.push((app, AppEvent::Tcp(event)));
+        }
+        let node = &mut self.nodes[node_id.index()];
+        if let Some(conn) = node.tcp.conns.get_mut(&conn_id) {
+            if conn.is_closed() {
+                node.tcp.remove_conn(conn_id);
+            } else if conn.needs_timer() {
+                let generation = conn.next_timer_generation();
+                let rto = conn.rto();
+                let when = self.clock + rto;
+                self.queue.schedule(when, Event::TcpTimer { node: node_id, conn: conn_id, generation });
+            } else {
+                // Invalidate any outstanding timer.
+                conn.next_timer_generation();
+            }
+        }
+        notifications
+    }
+
+    fn handle_tcp_timer(
+        &mut self,
+        node_id: NodeId,
+        conn_id: ConnId,
+        generation: u64,
+    ) -> Vec<(AppId, AppEvent)> {
+        let cfg = self.tcp_config;
+        let node = &mut self.nodes[node_id.index()];
+        let Some(conn) = node.tcp.conns.get_mut(&conn_id) else {
+            return Vec::new();
+        };
+        if conn.timer_generation() != generation {
+            return Vec::new();
+        }
+        let mut effects = TcpEffects::new();
+        conn.on_rto(self.clock, &cfg, &mut effects);
+        self.finish_conn_activity(node_id, conn_id, effects)
+    }
+
+    fn set_node_up(&mut self, node_id: NodeId, up: bool) -> Vec<(AppId, AppEvent)> {
+        let node = &mut self.nodes[node_id.index()];
+        if node.up == up {
+            return Vec::new();
+        }
+        node.up = up;
+        let mut notifications = Vec::new();
+        if !up {
+            // Power loss: connections vanish without emitting segments.
+            let mut conn_ids: Vec<ConnId> = node.tcp.conns.keys().copied().collect();
+            conn_ids.sort_unstable();
+            for conn_id in conn_ids {
+                let conn = node.tcp.conns.get(&conn_id).expect("key just collected");
+                notifications.push((conn.app, AppEvent::Tcp(TcpEvent::Closed { conn: conn_id })));
+                node.tcp.remove_conn(conn_id);
+            }
+        }
+        // Tell every app hosted on this node about the state change.
+        let mut apps: Vec<AppId> = self
+            .app_nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n == node_id)
+            .map(|(i, _)| AppId::from_raw(i as u32))
+            .collect();
+        apps.sort_unstable();
+        for app in apps {
+            notifications.push((app, AppEvent::LinkState(up)));
+        }
+        notifications
+    }
+}
+
+/// The simulation world: network, applications and the event loop.
+///
+/// ```
+/// use netsim::world::World;
+/// use netsim::packet::Addr;
+/// use netsim::link::LinkConfig;
+/// use netsim::time::SimDuration;
+///
+/// let mut world = World::new(42);
+/// let a = world.add_node(Addr::new(10, 0, 0, 1), "a");
+/// let b = world.add_node(Addr::new(10, 0, 0, 2), "b");
+/// world.add_csma_link(&[a, b], LinkConfig::lan_100mbps());
+/// world.run_for(SimDuration::from_secs(1));
+/// assert_eq!(world.now().whole_secs(), 1);
+/// ```
+pub struct World {
+    kernel: Kernel,
+    apps: Vec<Option<Box<dyn App>>>,
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World").field("kernel", &self.kernel).field("apps", &self.apps.len()).finish()
+    }
+}
+
+impl World {
+    /// Creates an empty world with the given deterministic root seed.
+    pub fn new(seed: u64) -> Self {
+        World { kernel: Kernel::new(seed), apps: Vec::new() }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.clock
+    }
+
+    /// Adds a node with the given address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is already in use.
+    pub fn add_node(&mut self, addr: Addr, name: impl Into<String>) -> NodeId {
+        assert!(
+            !self.kernel.nodes.iter().any(|n| n.addr == addr),
+            "duplicate node address {addr}"
+        );
+        let id = NodeId::from_raw(self.kernel.nodes.len() as u32);
+        self.kernel.nodes.push(Node::new(id, addr, name));
+        id
+    }
+
+    /// Creates a CSMA bus over the given nodes and attaches them.
+    pub fn add_csma_link(&mut self, members: &[NodeId], config: LinkConfig) -> LinkId {
+        let id = LinkId::from_raw(self.kernel.links.len() as u32);
+        self.kernel.links.push(Link::csma(id, members, config));
+        for &m in members {
+            self.kernel.nodes[m.index()].attach(id);
+        }
+        id
+    }
+
+    /// Creates an 802.11-style Wi-Fi medium over the given nodes and
+    /// attaches them.
+    pub fn add_wifi_link(&mut self, members: &[NodeId], config: LinkConfig) -> LinkId {
+        let id = LinkId::from_raw(self.kernel.links.len() as u32);
+        self.kernel.links.push(Link::wifi(id, members, config));
+        for &m in members {
+            self.kernel.nodes[m.index()].attach(id);
+        }
+        id
+    }
+
+    /// Creates a point-to-point link between `a` and `b` and attaches them.
+    pub fn add_p2p_link(&mut self, a: NodeId, b: NodeId, config: LinkConfig) -> LinkId {
+        let id = LinkId::from_raw(self.kernel.links.len() as u32);
+        self.kernel.links.push(Link::p2p(id, a, b, config));
+        self.kernel.nodes[a.index()].attach(id);
+        self.kernel.nodes[b.index()].attach(id);
+        id
+    }
+
+    /// Attaches an extra member to an existing CSMA bus.
+    pub fn join_csma_link(&mut self, link: LinkId, node: NodeId) {
+        self.kernel.links[link.index()].add_member(node);
+        self.kernel.nodes[node.index()].attach(link);
+    }
+
+    /// Registers an application on a node. All traffic it originates is
+    /// stamped with `provenance`. The app does not run until
+    /// [`World::start_app`] schedules it.
+    pub fn add_app(
+        &mut self,
+        node: NodeId,
+        app: Box<dyn App>,
+        provenance: Provenance,
+    ) -> AppId {
+        let id = AppId::from_raw(self.apps.len() as u32);
+        self.apps.push(Some(app));
+        self.kernel.app_nodes.push(node);
+        self.kernel.app_provenance.push(provenance);
+        id
+    }
+
+    /// Schedules an application's `on_start` at the given time.
+    pub fn start_app(&mut self, app: AppId, at: SimTime) {
+        self.kernel.queue.schedule(at, Event::AppStart { app });
+    }
+
+    /// Registers a packet tap observing every delivered packet.
+    pub fn add_tap(&mut self, tap: Box<dyn PacketTap>) {
+        self.kernel.taps.push(tap);
+    }
+
+    /// Schedules an administrative state change (churn) for a node.
+    pub fn schedule_node_up(&mut self, node: NodeId, up: bool, at: SimTime) {
+        self.kernel.queue.schedule(at, Event::SetNodeUp { node, up });
+    }
+
+    /// Immediately changes a node's administrative state.
+    pub fn set_node_up(&mut self, node: NodeId, up: bool) {
+        let notifications = self.kernel.set_node_up(node, up);
+        self.dispatch_notifications(notifications);
+    }
+
+    /// Traffic counters of a node.
+    pub fn node_stats(&self, node: NodeId) -> NodeStats {
+        self.kernel.nodes[node.index()].stats
+    }
+
+    /// A node's address.
+    pub fn node_addr(&self, node: NodeId) -> Addr {
+        self.kernel.nodes[node.index()].addr
+    }
+
+    /// Whether a node is administratively up.
+    pub fn node_is_up(&self, node: NodeId) -> bool {
+        self.kernel.nodes[node.index()].up
+    }
+
+    /// Traffic counters of a link.
+    pub fn link_stats(&self, link: LinkId) -> LinkStats {
+        self.kernel.links[link.index()].stats()
+    }
+
+    /// Packets currently queued or in flight on a link's lanes.
+    pub fn link_queued_packets(&self, link: LinkId) -> usize {
+        self.kernel.links[link.index()].queued_packets()
+    }
+
+    /// Number of live TCP connections on a node.
+    pub fn tcp_conn_count(&self, node: NodeId) -> usize {
+        self.kernel.nodes[node.index()].tcp.conns.len()
+    }
+
+    /// Number of half-open connections in a port's listener backlog,
+    /// plus the count of SYNs it had to drop.
+    pub fn listener_pressure(&self, node: NodeId, port: u16) -> Option<(usize, u64)> {
+        self.kernel.nodes[node.index()]
+            .tcp
+            .listeners
+            .get(&port)
+            .map(|l| (l.half_open.len(), l.syn_drops))
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.kernel.events_processed
+    }
+
+    /// Mutable access to the kernel RNG, for orchestration code.
+    pub fn rng_mut(&mut self) -> &mut SimRng {
+        self.kernel.rng_mut()
+    }
+
+    /// Processes a single event, if one is pending. Returns `false` when
+    /// the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((time, event)) = self.kernel.queue.pop() else {
+            return false;
+        };
+        debug_assert!(time >= self.kernel.clock, "time went backwards");
+        self.kernel.clock = time;
+        self.kernel.events_processed += 1;
+        let notifications = match event {
+            Event::LinkTxComplete { link, lane } => {
+                self.kernel.handle_tx_complete(link, lane);
+                Vec::new()
+            }
+            Event::Deliver { link, node, packet } => self.kernel.deliver(link, node, packet),
+            Event::TcpTimer { node, conn, generation } => {
+                self.kernel.handle_tcp_timer(node, conn, generation)
+            }
+            Event::AppTimer { app, token, timer } => {
+                if self.kernel.cancelled_timers.remove(&timer) {
+                    Vec::new()
+                } else {
+                    vec![(app, AppEvent::Timer(token))]
+                }
+            }
+            Event::AppStart { app } => vec![(app, AppEvent::Start)],
+            Event::SetNodeUp { node, up } => self.kernel.set_node_up(node, up),
+        };
+        self.dispatch_notifications(notifications);
+        true
+    }
+
+    fn dispatch_notifications(&mut self, notifications: Vec<(AppId, AppEvent)>) {
+        for (app_id, event) in notifications {
+            let Some(slot) = self.apps.get_mut(app_id.index()) else { continue };
+            let Some(mut app) = slot.take() else { continue };
+            let node = self.kernel.app_nodes[app_id.index()];
+            let mut ctx = Ctx { kernel: &mut self.kernel, app: app_id, node };
+            match event {
+                AppEvent::Start => app.on_start(&mut ctx),
+                AppEvent::Tcp(e) => app.on_tcp(&mut ctx, e),
+                AppEvent::Udp(d) => app.on_udp(&mut ctx, d),
+                AppEvent::Timer(token) => app.on_timer(&mut ctx, token),
+                AppEvent::LinkState(up) => app.on_link_state(&mut ctx, up),
+            }
+            self.apps[app_id.index()] = Some(app);
+        }
+    }
+
+    /// Runs until the virtual clock reaches `until` (events at exactly
+    /// `until` are processed). The clock is left at `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(t) = self.kernel.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            self.step();
+        }
+        if self.kernel.clock < until {
+            self.kernel.clock = until;
+        }
+    }
+
+    /// Runs for a span of virtual time.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let until = self.kernel.clock + duration;
+        self.run_until(until);
+    }
+
+    /// Drains every pending event (use only for bounded workloads).
+    pub fn run_to_completion(&mut self) {
+        while self.step() {}
+    }
+}
+
+/// The capability handle applications use inside callbacks.
+pub struct Ctx<'a> {
+    kernel: &'a mut Kernel,
+    app: AppId,
+    node: NodeId,
+}
+
+impl std::fmt::Debug for Ctx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx").field("app", &self.app).field("node", &self.node).finish()
+    }
+}
+
+impl<'a> Ctx<'a> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.clock
+    }
+
+    /// This application's id.
+    pub fn app_id(&self) -> AppId {
+        self.app
+    }
+
+    /// The hosting node's id.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// The hosting node's address.
+    pub fn addr(&self) -> Addr {
+        self.kernel.nodes[self.node.index()].addr
+    }
+
+    /// Whether the hosting node is administratively up.
+    pub fn is_up(&self) -> bool {
+        self.kernel.nodes[self.node.index()].up
+    }
+
+    /// The kernel RNG (deterministic).
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.kernel.rng
+    }
+
+    fn provenance(&self) -> Provenance {
+        self.kernel.app_provenance[self.app.index()]
+    }
+
+    /// Starts listening on a TCP port. Returns `false` if the port is
+    /// already bound.
+    pub fn tcp_listen(&mut self, port: u16, backlog: usize) -> bool {
+        let node = &mut self.kernel.nodes[self.node.index()];
+        if node.tcp.listeners.contains_key(&port) {
+            return false;
+        }
+        node.tcp.listeners.insert(port, Listener::new(self.app, backlog));
+        true
+    }
+
+    /// Starts listening on an unused high port and returns it (FTP
+    /// passive-mode data channels use this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no free port can be found.
+    pub fn tcp_listen_ephemeral(&mut self, backlog: usize) -> u16 {
+        let node = &mut self.kernel.nodes[self.node.index()];
+        for candidate in 20_000..30_000u16 {
+            if let std::collections::hash_map::Entry::Vacant(e) = node.tcp.listeners.entry(candidate) {
+                e.insert(Listener::new(self.app, backlog));
+                return candidate;
+            }
+        }
+        panic!("no free ephemeral listening port");
+    }
+
+    /// Stops listening on a port previously bound with
+    /// [`Ctx::tcp_listen`] or [`Ctx::tcp_listen_ephemeral`].
+    pub fn tcp_unlisten(&mut self, port: u16) {
+        self.kernel.nodes[self.node.index()].tcp.listeners.remove(&port);
+    }
+
+    /// Opens a TCP connection to `dst:port`. Completion is reported via
+    /// [`TcpEvent::Connected`] or [`TcpEvent::ConnectFailed`].
+    pub fn tcp_connect(&mut self, dst: Addr, port: u16) -> ConnId {
+        let provenance = self.provenance();
+        let conn_id = self.kernel.alloc_conn_id();
+        let iss = self.kernel.rng.next_u64() as u32;
+        let cfg = self.kernel.tcp_config;
+        let node = &mut self.kernel.nodes[self.node.index()];
+        let local_port = node.tcp.alloc_ephemeral((dst, port));
+        let local = (node.addr, local_port);
+        let mut effects = TcpEffects::new();
+        let conn =
+            TcpConn::open_active(conn_id, self.app, local, (dst, port), provenance, iss, &cfg, &mut effects);
+        node.tcp.conns.insert(conn_id, conn);
+        node.tcp.by_key.insert((local_port, dst, port), conn_id);
+        let notifications = self.kernel.finish_conn_activity(self.node, conn_id, effects);
+        debug_assert!(notifications.is_empty(), "open_active produced app events");
+        conn_id
+    }
+
+    /// Queues bytes on an open connection.
+    pub fn tcp_send(&mut self, conn: ConnId, data: &[u8]) {
+        let cfg = self.kernel.tcp_config;
+        let now = self.kernel.clock;
+        let node = &mut self.kernel.nodes[self.node.index()];
+        let mut effects = TcpEffects::new();
+        if let Some(c) = node.tcp.conns.get_mut(&conn) {
+            c.send(data, now, &cfg, &mut effects);
+        }
+        let notifications = self.kernel.finish_conn_activity(self.node, conn, effects);
+        debug_assert!(notifications.is_empty(), "send produced app events");
+    }
+
+    /// Gracefully closes a connection (FIN after queued data drains).
+    pub fn tcp_close(&mut self, conn: ConnId) {
+        let cfg = self.kernel.tcp_config;
+        let now = self.kernel.clock;
+        let node = &mut self.kernel.nodes[self.node.index()];
+        let mut effects = TcpEffects::new();
+        if let Some(c) = node.tcp.conns.get_mut(&conn) {
+            c.close(now, &cfg, &mut effects);
+        }
+        let _ = self.kernel.finish_conn_activity(self.node, conn, effects);
+    }
+
+    /// Aborts a connection with a RST.
+    pub fn tcp_abort(&mut self, conn: ConnId) {
+        let cfg = self.kernel.tcp_config;
+        let node = &mut self.kernel.nodes[self.node.index()];
+        let mut effects = TcpEffects::new();
+        if let Some(c) = node.tcp.conns.get_mut(&conn) {
+            c.abort(&cfg, &mut effects);
+        }
+        // The app initiated the abort; swallow its own Closed event.
+        let _ = self.kernel.finish_conn_activity(self.node, conn, effects);
+    }
+
+    /// Binds a UDP port. Returns `false` if the port is taken.
+    pub fn udp_bind(&mut self, port: u16) -> bool {
+        self.kernel.nodes[self.node.index()].udp.bind(port, self.app)
+    }
+
+    /// Binds an ephemeral UDP port and returns it.
+    pub fn udp_bind_ephemeral(&mut self) -> u16 {
+        self.kernel.nodes[self.node.index()].udp.bind_ephemeral(self.app)
+    }
+
+    /// Sends a UDP datagram from `src_port` to `dst:dst_port`.
+    pub fn udp_send(&mut self, src_port: u16, dst: Addr, dst_port: u16, payload: Bytes) {
+        let provenance = self.provenance();
+        let src = self.addr();
+        let packet = Packet::udp(src, dst, src_port, dst_port, payload).with_provenance(provenance);
+        let _ = self.kernel.send_packet(self.node, packet);
+    }
+
+    /// Sends a raw, fully formed packet (flood generators use this to
+    /// spoof sources and skip connection state). The packet is stamped
+    /// with the app's provenance.
+    pub fn send_raw(&mut self, packet: Packet) -> Result<(), DropReason> {
+        let provenance = self.provenance();
+        self.kernel.send_packet(self.node, packet.with_provenance(provenance))
+    }
+
+    /// Schedules a timer; `token` is handed back to
+    /// [`App::on_timer`] when it fires.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
+        let timer = TimerId::from_raw(self.kernel.next_timer_id);
+        self.kernel.next_timer_id += 1;
+        let when = self.kernel.clock + delay;
+        self.kernel.queue.schedule(when, Event::AppTimer { app: self.app, token, timer });
+        timer
+    }
+
+    /// Cancels a timer scheduled with [`Ctx::set_timer`].
+    pub fn cancel_timer(&mut self, timer: TimerId) {
+        self.kernel.cancelled_timers.insert(timer);
+    }
+
+    /// Payload bytes received so far on a connection (diagnostics).
+    pub fn conn_bytes_received(&self, conn: ConnId) -> Option<u64> {
+        self.kernel.nodes[self.node.index()].tcp.conns.get(&conn).map(|c| c.bytes_received())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Default)]
+    struct EchoServerState {
+        accepted: usize,
+        bytes: Vec<u8>,
+    }
+
+    struct EchoServer {
+        port: u16,
+        state: Rc<RefCell<EchoServerState>>,
+    }
+
+    impl App for EchoServer {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            assert!(ctx.tcp_listen(self.port, 16));
+        }
+        fn on_tcp(&mut self, ctx: &mut Ctx<'_>, event: TcpEvent) {
+            match event {
+                TcpEvent::Accepted { .. } => self.state.borrow_mut().accepted += 1,
+                TcpEvent::Data { conn, data } => {
+                    self.state.borrow_mut().bytes.extend_from_slice(&data);
+                    ctx.tcp_send(conn, &data); // echo
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[derive(Default)]
+    struct ClientState {
+        connected: bool,
+        echoed: Vec<u8>,
+        closed: bool,
+    }
+
+    struct Client {
+        server: Addr,
+        port: u16,
+        message: Vec<u8>,
+        state: Rc<RefCell<ClientState>>,
+    }
+
+    impl App for Client {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.tcp_connect(self.server, self.port);
+        }
+        fn on_tcp(&mut self, ctx: &mut Ctx<'_>, event: TcpEvent) {
+            match event {
+                TcpEvent::Connected { conn } => {
+                    self.state.borrow_mut().connected = true;
+                    ctx.tcp_send(conn, &self.message);
+                }
+                TcpEvent::Data { conn, data } => {
+                    let mut st = self.state.borrow_mut();
+                    st.echoed.extend_from_slice(&data);
+                    if st.echoed.len() >= self.message.len() {
+                        drop(st);
+                        ctx.tcp_close(conn);
+                    }
+                }
+                TcpEvent::Closed { .. } => self.state.borrow_mut().closed = true,
+                _ => {}
+            }
+        }
+    }
+
+    fn echo_world(
+        message: Vec<u8>,
+        loss: f64,
+    ) -> (World, Rc<RefCell<EchoServerState>>, Rc<RefCell<ClientState>>) {
+        let mut world = World::new(7);
+        let server_node = world.add_node(Addr::new(10, 0, 0, 1), "server");
+        let client_node = world.add_node(Addr::new(10, 0, 0, 2), "client");
+        let cfg = LinkConfig { loss_rate: loss, ..LinkConfig::lan_100mbps() };
+        world.add_csma_link(&[server_node, client_node], cfg);
+
+        let server_state = Rc::new(RefCell::new(EchoServerState::default()));
+        let client_state = Rc::new(RefCell::new(ClientState::default()));
+        let server = world.add_app(
+            server_node,
+            Box::new(EchoServer { port: 80, state: Rc::clone(&server_state) }),
+            Provenance::Benign,
+        );
+        let client = world.add_app(
+            client_node,
+            Box::new(Client {
+                server: Addr::new(10, 0, 0, 1),
+                port: 80,
+                message,
+                state: Rc::clone(&client_state),
+            }),
+            Provenance::Benign,
+        );
+        world.start_app(server, SimTime::ZERO);
+        world.start_app(client, SimTime::from_nanos(1));
+        (world, server_state, client_state)
+    }
+
+    #[test]
+    fn echo_roundtrip_over_clean_link() {
+        let message = vec![7u8; 10_000];
+        let (mut world, server_state, client_state) = echo_world(message.clone(), 0.0);
+        world.run_for(SimDuration::from_secs(5));
+        assert!(client_state.borrow().connected);
+        assert_eq!(server_state.borrow().accepted, 1);
+        assert_eq!(server_state.borrow().bytes, message);
+        assert_eq!(client_state.borrow().echoed, message);
+    }
+
+    #[test]
+    fn echo_roundtrip_survives_lossy_link() {
+        let message = vec![9u8; 20_000];
+        let (mut world, _server_state, client_state) = echo_world(message.clone(), 0.05);
+        world.run_for(SimDuration::from_secs(30));
+        assert_eq!(client_state.borrow().echoed, message, "retransmissions recover all bytes");
+    }
+
+    #[test]
+    fn connect_to_missing_port_fails_with_rst() {
+        struct Probe {
+            failed: Rc<RefCell<bool>>,
+        }
+        impl App for Probe {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.tcp_connect(Addr::new(10, 0, 0, 1), 9999);
+            }
+            fn on_tcp(&mut self, _ctx: &mut Ctx<'_>, event: TcpEvent) {
+                if matches!(event, TcpEvent::ConnectFailed { .. }) {
+                    *self.failed.borrow_mut() = true;
+                }
+            }
+        }
+        let mut world = World::new(1);
+        let a = world.add_node(Addr::new(10, 0, 0, 1), "a");
+        let b = world.add_node(Addr::new(10, 0, 0, 2), "b");
+        world.add_csma_link(&[a, b], LinkConfig::lan_100mbps());
+        let failed = Rc::new(RefCell::new(false));
+        let probe = world.add_app(b, Box::new(Probe { failed: Rc::clone(&failed) }), Provenance::Benign);
+        world.start_app(probe, SimTime::ZERO);
+        world.run_for(SimDuration::from_secs(2));
+        assert!(*failed.borrow());
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        struct TimerApp {
+            fired: Rc<RefCell<Vec<u64>>>,
+        }
+        impl App for TimerApp {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_millis(10), 1);
+                let cancelled = ctx.set_timer(SimDuration::from_millis(20), 2);
+                ctx.set_timer(SimDuration::from_millis(30), 3);
+                ctx.cancel_timer(cancelled);
+            }
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, token: u64) {
+                self.fired.borrow_mut().push(token);
+            }
+        }
+        let mut world = World::new(1);
+        let a = world.add_node(Addr::new(10, 0, 0, 1), "a");
+        let b = world.add_node(Addr::new(10, 0, 0, 2), "b");
+        world.add_csma_link(&[a, b], LinkConfig::lan_100mbps());
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let app = world.add_app(a, Box::new(TimerApp { fired: Rc::clone(&fired) }), Provenance::Benign);
+        world.start_app(app, SimTime::ZERO);
+        world.run_for(SimDuration::from_secs(1));
+        assert_eq!(*fired.borrow(), vec![1, 3]);
+    }
+
+    #[test]
+    fn down_node_drops_traffic_and_kills_conns() {
+        // Bring the server down mid-transfer: its connections disappear
+        // and the client eventually gives up via RTO.
+        let message = vec![5u8; 200_000];
+        let (mut world, server_state, client_state) = echo_world(message, 0.0);
+        world.run_for(SimDuration::from_millis(5));
+        assert!(client_state.borrow().connected);
+        let server_node = NodeId::from_raw(0);
+        world.set_node_up(server_node, false);
+        let bytes_at_cut = server_state.borrow().bytes.len();
+        world.run_for(SimDuration::from_secs(120));
+        // No further bytes arrive and the client's connection dies.
+        assert_eq!(server_state.borrow().bytes.len(), bytes_at_cut);
+        assert!(client_state.borrow().closed);
+        assert!(world.node_stats(server_node).dropped_down > 0);
+    }
+
+    #[test]
+    fn node_churn_notifies_apps() {
+        struct Watcher {
+            seen: Rc<RefCell<Vec<bool>>>,
+        }
+        impl App for Watcher {
+            fn on_link_state(&mut self, _ctx: &mut Ctx<'_>, up: bool) {
+                self.seen.borrow_mut().push(up);
+            }
+        }
+        let mut world = World::new(1);
+        let a = world.add_node(Addr::new(10, 0, 0, 1), "a");
+        let b = world.add_node(Addr::new(10, 0, 0, 2), "b");
+        world.add_csma_link(&[a, b], LinkConfig::lan_100mbps());
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let app = world.add_app(a, Box::new(Watcher { seen: Rc::clone(&seen) }), Provenance::Benign);
+        world.start_app(app, SimTime::ZERO);
+        world.schedule_node_up(a, false, SimTime::from_millis(100));
+        world.schedule_node_up(a, true, SimTime::from_millis(200));
+        world.run_for(SimDuration::from_secs(1));
+        assert_eq!(*seen.borrow(), vec![false, true]);
+        assert!(world.node_is_up(a));
+    }
+
+    #[test]
+    fn deterministic_event_counts_across_runs() {
+        let run = || {
+            let message = vec![3u8; 5000];
+            let (mut world, _s, _c) = echo_world(message, 0.02);
+            world.run_for(SimDuration::from_secs(10));
+            world.events_processed()
+        };
+        assert_eq!(run(), run());
+    }
+}

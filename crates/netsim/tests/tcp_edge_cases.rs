@@ -1,0 +1,291 @@
+//! Edge-case integration tests of the TCP stack inside a full world:
+//! backlog recycling under SYN pressure, bidirectional transfers,
+//! connection storms, churn mid-handshake, and stray-segment handling.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use netsim::link::LinkConfig;
+use netsim::packet::{Addr, Packet, Provenance, TcpFlags, TcpHeader};
+use netsim::tcp::TcpEvent;
+use netsim::time::{SimDuration, SimTime};
+use netsim::world::{App, Ctx, World};
+use netsim::Datagram;
+
+const SERVER: Addr = Addr::new(10, 0, 0, 1);
+const CLIENT: Addr = Addr::new(10, 0, 0, 2);
+
+fn two_node_world(seed: u64) -> World {
+    let mut world = World::new(seed);
+    let a = world.add_node(SERVER, "server");
+    let b = world.add_node(CLIENT, "client");
+    world.add_csma_link(&[a, b], LinkConfig::lan_100mbps());
+    world
+}
+
+/// A listener that never answers, plus a raw-SYN spammer: half-open
+/// entries must eventually expire (SYN-ACK retry budget) and free
+/// backlog space rather than wedging the listener forever.
+#[test]
+fn syn_backlog_recycles_after_handshake_timeouts() {
+    struct Silent;
+    impl App for Silent {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.tcp_listen(80, 4);
+        }
+    }
+    struct Spammer {
+        sent: u32,
+    }
+    impl App for Spammer {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(SimDuration::from_millis(10), 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+            // Spoofed source: the SYN-ACK goes nowhere, so the entry can
+            // only clear via the server's handshake retry budget.
+            let header = TcpHeader {
+                src_port: 1000 + self.sent as u16,
+                dst_port: 80,
+                seq: self.sent,
+                ack: 0,
+                flags: TcpFlags::SYN,
+                window: 65_535,
+            };
+            let packet = Packet::tcp(Addr::new(10, 0, 99, 99), SERVER, header, Bytes::new());
+            let _ = ctx.send_raw(packet);
+            self.sent += 1;
+            if self.sent < 4 {
+                ctx.set_timer(SimDuration::from_millis(10), 0);
+            }
+        }
+    }
+    let mut world = two_node_world(1);
+    let server = netsim::NodeId::from_raw(0);
+    let silent = world.add_app(server, Box::new(Silent), Provenance::Benign);
+    let spammer =
+        world.add_app(netsim::NodeId::from_raw(1), Box::new(Spammer { sent: 0 }), Provenance::Malicious);
+    world.start_app(silent, SimTime::ZERO);
+    world.start_app(spammer, SimTime::from_millis(1));
+
+    world.run_for(SimDuration::from_millis(200));
+    let (half_open, _) = world.listener_pressure(server, 80).unwrap();
+    assert_eq!(half_open, 4, "backlog saturated by spoofed SYNs");
+
+    // SYN-ACK retries exhaust (4 retries with exponential backoff well
+    // within a minute) and the half-open entries are reaped.
+    world.run_for(SimDuration::from_secs(60));
+    let (half_open, _) = world.listener_pressure(server, 80).unwrap();
+    assert_eq!(half_open, 0, "backlog recycled after handshake timeouts");
+}
+
+/// Both directions of one connection carry independent byte streams.
+#[test]
+fn bidirectional_transfer_on_one_connection() {
+    #[derive(Default)]
+    struct Stats {
+        server_got: usize,
+        client_got: usize,
+    }
+    struct ServerApp {
+        stats: Rc<RefCell<Stats>>,
+    }
+    impl App for ServerApp {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.tcp_listen(80, 8);
+        }
+        fn on_tcp(&mut self, ctx: &mut Ctx<'_>, event: TcpEvent) {
+            match event {
+                TcpEvent::Accepted { conn, .. } => ctx.tcp_send(conn, &[1u8; 30_000]),
+                TcpEvent::Data { data, .. } => self.stats.borrow_mut().server_got += data.len(),
+                _ => {}
+            }
+        }
+    }
+    struct ClientApp {
+        stats: Rc<RefCell<Stats>>,
+    }
+    impl App for ClientApp {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            let conn = ctx.tcp_connect(SERVER, 80);
+            ctx.tcp_send(conn, &[2u8; 20_000]);
+        }
+        fn on_tcp(&mut self, _ctx: &mut Ctx<'_>, event: TcpEvent) {
+            if let TcpEvent::Data { data, .. } = event {
+                self.stats.borrow_mut().client_got += data.len();
+            }
+        }
+    }
+    let mut world = two_node_world(2);
+    let stats = Rc::new(RefCell::new(Stats::default()));
+    let s = world.add_app(
+        netsim::NodeId::from_raw(0),
+        Box::new(ServerApp { stats: Rc::clone(&stats) }),
+        Provenance::Benign,
+    );
+    let c = world.add_app(
+        netsim::NodeId::from_raw(1),
+        Box::new(ClientApp { stats: Rc::clone(&stats) }),
+        Provenance::Benign,
+    );
+    world.start_app(s, SimTime::ZERO);
+    world.start_app(c, SimTime::from_millis(1));
+    world.run_for(SimDuration::from_secs(10));
+    assert_eq!(stats.borrow().server_got, 20_000);
+    assert_eq!(stats.borrow().client_got, 30_000);
+}
+
+/// Dozens of concurrent connections all complete and close cleanly.
+#[test]
+fn connection_storm_completes() {
+    #[derive(Default)]
+    struct Stats {
+        served: usize,
+        completed: usize,
+    }
+    struct EchoServer {
+        stats: Rc<RefCell<Stats>>,
+    }
+    impl App for EchoServer {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.tcp_listen(80, 64);
+        }
+        fn on_tcp(&mut self, ctx: &mut Ctx<'_>, event: TcpEvent) {
+            match event {
+                TcpEvent::Data { conn, data } => {
+                    ctx.tcp_send(conn, &data);
+                    self.stats.borrow_mut().served += 1;
+                }
+                TcpEvent::PeerClosed { conn } => ctx.tcp_close(conn),
+                _ => {}
+            }
+        }
+    }
+    struct Burst {
+        stats: Rc<RefCell<Stats>>,
+        pending: u32,
+    }
+    impl App for Burst {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for _ in 0..40 {
+                ctx.tcp_connect(SERVER, 80);
+            }
+        }
+        fn on_tcp(&mut self, ctx: &mut Ctx<'_>, event: TcpEvent) {
+            match event {
+                TcpEvent::Connected { conn } => ctx.tcp_send(conn, b"ping"),
+                TcpEvent::Data { conn, .. } => {
+                    self.stats.borrow_mut().completed += 1;
+                    self.pending += 1;
+                    ctx.tcp_close(conn);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut world = two_node_world(3);
+    let stats = Rc::new(RefCell::new(Stats::default()));
+    let s = world.add_app(
+        netsim::NodeId::from_raw(0),
+        Box::new(EchoServer { stats: Rc::clone(&stats) }),
+        Provenance::Benign,
+    );
+    let c = world.add_app(
+        netsim::NodeId::from_raw(1),
+        Box::new(Burst { stats: Rc::clone(&stats), pending: 0 }),
+        Provenance::Benign,
+    );
+    world.start_app(s, SimTime::ZERO);
+    world.start_app(c, SimTime::from_millis(1));
+    world.run_for(SimDuration::from_secs(20));
+    assert_eq!(stats.borrow().completed, 40, "all 40 echoes returned");
+    // Both sides end with no live connections.
+    world.run_for(SimDuration::from_secs(30));
+    assert_eq!(world.tcp_conn_count(netsim::NodeId::from_raw(0)), 0);
+    assert_eq!(world.tcp_conn_count(netsim::NodeId::from_raw(1)), 0);
+}
+
+/// A node churning out mid-handshake leaves the peer to fail cleanly.
+#[test]
+fn churn_mid_handshake_fails_cleanly() {
+    struct Listener;
+    impl App for Listener {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.tcp_listen(80, 8);
+        }
+    }
+    struct Dialer {
+        outcome: Rc<RefCell<Option<&'static str>>>,
+    }
+    impl App for Dialer {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.tcp_connect(SERVER, 80);
+        }
+        fn on_tcp(&mut self, _ctx: &mut Ctx<'_>, event: TcpEvent) {
+            let mut outcome = self.outcome.borrow_mut();
+            match event {
+                TcpEvent::Connected { .. } => *outcome = Some("connected"),
+                TcpEvent::ConnectFailed { .. } => *outcome = Some("failed"),
+                TcpEvent::Closed { .. } => *outcome = Some("closed"),
+                _ => {}
+            }
+        }
+    }
+    let mut world = two_node_world(4);
+    let server = netsim::NodeId::from_raw(0);
+    let outcome = Rc::new(RefCell::new(None));
+    let l = world.add_app(server, Box::new(Listener), Provenance::Benign);
+    let d = world.add_app(
+        netsim::NodeId::from_raw(1),
+        Box::new(Dialer { outcome: Rc::clone(&outcome) }),
+        Provenance::Benign,
+    );
+    world.start_app(l, SimTime::ZERO);
+    // The server churns out exactly when the dial begins.
+    world.schedule_node_up(server, false, SimTime::from_millis(1));
+    world.start_app(d, SimTime::from_millis(1));
+    world.run_for(SimDuration::from_secs(60));
+    assert_eq!(*outcome.borrow(), Some("failed"), "SYN retries exhaust against a dead host");
+}
+
+/// UDP to an unbound port is counted, and bound sockets receive
+/// datagrams with the sender's (possibly spoofed) address.
+#[test]
+fn udp_delivery_and_unreachable_accounting() {
+    struct Sink {
+        got: Rc<RefCell<Vec<Datagram>>>,
+    }
+    impl App for Sink {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            assert!(ctx.udp_bind(5353));
+        }
+        fn on_udp(&mut self, _ctx: &mut Ctx<'_>, datagram: Datagram) {
+            self.got.borrow_mut().push(datagram);
+        }
+    }
+    struct Blaster;
+    impl App for Blaster {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.udp_send(4000, SERVER, 5353, Bytes::from_static(b"hello"));
+            ctx.udp_send(4000, SERVER, 9, Bytes::from_static(b"void")); // unbound
+        }
+    }
+    let mut world = two_node_world(5);
+    let got = Rc::new(RefCell::new(Vec::new()));
+    let sink = world.add_app(
+        netsim::NodeId::from_raw(0),
+        Box::new(Sink { got: Rc::clone(&got) }),
+        Provenance::Benign,
+    );
+    let blaster =
+        world.add_app(netsim::NodeId::from_raw(1), Box::new(Blaster), Provenance::Benign);
+    world.start_app(sink, SimTime::ZERO);
+    world.start_app(blaster, SimTime::from_millis(1));
+    world.run_for(SimDuration::from_secs(1));
+    let got = got.borrow();
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].src, CLIENT);
+    assert_eq!(got[0].src_port, 4000);
+    assert_eq!(&got[0].payload[..], b"hello");
+}

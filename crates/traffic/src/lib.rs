@@ -1,0 +1,25 @@
+//! # traffic — benign IoT traffic generators
+//!
+//! The benign half of the DDoShield-IoT dataset: an Apache-like HTTP
+//! object server ([`http`]), an Nginx-RTMP-like streaming server
+//! ([`video`]) and a customized passive-mode FTP server ([`ftp`]) run on
+//! the TServer container, while IoT devices run the matching closed-loop
+//! client workloads ([`workload::install_device_clients`]). All
+//! randomness (think times, object popularity, file sizes, bitrates) is
+//! seeded, so workloads are reproducible.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ftp;
+pub mod http;
+pub mod protocol;
+pub mod stats;
+pub mod video;
+pub mod workload;
+
+pub use ftp::{FtpClient, FtpServer, FTP_PORT};
+pub use http::{Catalogue, HttpClient, HttpServer, HTTP_PORT};
+pub use stats::{ClientStats, ServerStats};
+pub use video::{VideoClient, VideoServer, VIDEO_PORT};
+pub use workload::{install_device_client_mix, install_device_clients, install_tserver, ClientStatsBundle, ServerStatsBundle, WorkloadConfig};

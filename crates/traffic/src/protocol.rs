@@ -1,0 +1,201 @@
+//! Tiny text-protocol framing shared by the application servers.
+//!
+//! All three benign protocols in the testbed frame their control messages
+//! as CRLF-terminated ASCII lines, with bulk payload framed by an explicit
+//! length (HTTP `Content-Length`) or by connection close (FTP data
+//! channels). [`LineBuffer`] accumulates stream bytes and yields complete
+//! lines; [`BodyReader`] accumulates an explicitly sized body.
+
+use bytes::Bytes;
+
+/// Accumulates stream bytes and yields complete CRLF-terminated lines.
+///
+/// ```
+/// use traffic::protocol::LineBuffer;
+///
+/// let mut buf = LineBuffer::new();
+/// buf.push(b"GET /a HTT");
+/// assert_eq!(buf.next_line(), None);
+/// buf.push(b"P/1.1\r\nHost: x\r\n");
+/// assert_eq!(buf.next_line().as_deref(), Some("GET /a HTTP/1.1"));
+/// assert_eq!(buf.next_line().as_deref(), Some("Host: x"));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct LineBuffer {
+    data: Vec<u8>,
+}
+
+impl LineBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends stream bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete line (without its CRLF), if one is buffered.
+    /// Non-UTF-8 lines are replaced lossily.
+    pub fn next_line(&mut self) -> Option<String> {
+        let pos = self.data.windows(2).position(|w| w == b"\r\n")?;
+        let line = String::from_utf8_lossy(&self.data[..pos]).into_owned();
+        self.data.drain(..pos + 2);
+        Some(line)
+    }
+
+    /// Takes all remaining buffered bytes (for switching to body mode).
+    pub fn take_rest(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.data)
+    }
+
+    /// Number of buffered bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Accumulates an explicitly sized payload.
+#[derive(Debug, Clone)]
+pub struct BodyReader {
+    expected: usize,
+    received: usize,
+}
+
+impl BodyReader {
+    /// Starts reading a body of `expected` bytes.
+    pub fn new(expected: usize) -> Self {
+        BodyReader { expected, received: 0 }
+    }
+
+    /// Feeds stream bytes; returns `true` once the body is complete.
+    pub fn push(&mut self, bytes: &[u8]) -> bool {
+        self.received += bytes.len();
+        self.is_complete()
+    }
+
+    /// `true` once at least `expected` bytes arrived.
+    pub fn is_complete(&self) -> bool {
+        self.received >= self.expected
+    }
+
+    /// Bytes received so far.
+    pub fn received(&self) -> usize {
+        self.received
+    }
+
+    /// Bytes expected in total.
+    pub fn expected(&self) -> usize {
+        self.expected
+    }
+}
+
+/// Builds an HTTP/1.1-style response head plus a generated body.
+pub fn http_response(status: u16, reason: &str, body_len: usize) -> Bytes {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nServer: ddoshield-tserver\r\nContent-Length: {body_len}\r\n\r\n"
+    );
+    let mut out = Vec::with_capacity(head.len() + body_len);
+    out.extend_from_slice(head.as_bytes());
+    out.extend(generated_body(body_len));
+    Bytes::from(out)
+}
+
+/// Parses a `Content-Length` header value out of a header line.
+pub fn parse_content_length(line: &str) -> Option<usize> {
+    let (name, value) = line.split_once(':')?;
+    if name.trim().eq_ignore_ascii_case("content-length") {
+        value.trim().parse().ok()
+    } else {
+        None
+    }
+}
+
+/// Deterministic filler payload of the given length (a repeating pattern,
+/// so tests can verify integrity cheaply).
+pub fn generated_body(len: usize) -> impl Iterator<Item = u8> {
+    (0..len).map(|i| (i % 251) as u8)
+}
+
+/// Verifies that `bytes` is a prefix of the deterministic filler pattern
+/// starting at `offset`.
+pub fn body_matches(offset: usize, bytes: &[u8]) -> bool {
+    bytes.iter().enumerate().all(|(i, &b)| b == ((offset + i) % 251) as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_buffer_handles_split_crlf() {
+        let mut buf = LineBuffer::new();
+        buf.push(b"hello\r");
+        assert_eq!(buf.next_line(), None);
+        buf.push(b"\nworld\r\n");
+        assert_eq!(buf.next_line().as_deref(), Some("hello"));
+        assert_eq!(buf.next_line().as_deref(), Some("world"));
+        assert_eq!(buf.next_line(), None);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn line_buffer_take_rest_returns_leftover() {
+        let mut buf = LineBuffer::new();
+        buf.push(b"head\r\nbody-bytes");
+        assert_eq!(buf.next_line().as_deref(), Some("head"));
+        assert_eq!(buf.take_rest(), b"body-bytes");
+        assert_eq!(buf.len(), 0);
+    }
+
+    #[test]
+    fn body_reader_counts_to_completion() {
+        let mut body = BodyReader::new(10);
+        assert!(!body.push(&[0; 4]));
+        assert!(!body.is_complete());
+        assert!(body.push(&[0; 6]));
+        assert_eq!(body.received(), 10);
+        assert_eq!(body.expected(), 10);
+    }
+
+    #[test]
+    fn http_response_is_parseable() {
+        let resp = http_response(200, "OK", 5);
+        let mut buf = LineBuffer::new();
+        buf.push(&resp);
+        assert_eq!(buf.next_line().as_deref(), Some("HTTP/1.1 200 OK"));
+        let mut content_length = None;
+        while let Some(line) = buf.next_line() {
+            if line.is_empty() {
+                break;
+            }
+            if let Some(n) = parse_content_length(&line) {
+                content_length = Some(n);
+            }
+        }
+        assert_eq!(content_length, Some(5));
+        assert_eq!(buf.take_rest().len(), 5);
+    }
+
+    #[test]
+    fn parse_content_length_is_case_insensitive() {
+        assert_eq!(parse_content_length("CONTENT-LENGTH: 42"), Some(42));
+        assert_eq!(parse_content_length("content-length:7"), Some(7));
+        assert_eq!(parse_content_length("Host: x"), None);
+        assert_eq!(parse_content_length("nonsense"), None);
+    }
+
+    #[test]
+    fn generated_body_roundtrips_with_matcher() {
+        let body: Vec<u8> = generated_body(600).collect();
+        assert!(body_matches(0, &body));
+        assert!(body_matches(100, &body[100..]));
+        assert!(!body_matches(1, &body));
+    }
+}

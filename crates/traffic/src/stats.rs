@@ -1,0 +1,150 @@
+//! Shared counters for traffic generators.
+//!
+//! Applications run boxed inside the [`netsim::world::World`], so
+//! orchestration code observes them through cheaply clonable shared
+//! handles rather than downcasting.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Counters kept by a client workload (one per protocol per scenario).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientCounters {
+    /// Transactions started (requests sent, streams opened, files asked).
+    pub started: u64,
+    /// Transactions completed successfully.
+    pub completed: u64,
+    /// Transactions that failed (connect failure, reset, device churn).
+    pub failed: u64,
+    /// Application payload bytes received.
+    pub bytes_received: u64,
+    /// Application payload bytes sent.
+    pub bytes_sent: u64,
+}
+
+/// A shared handle onto one workload's counters.
+#[derive(Debug, Clone, Default)]
+pub struct ClientStats {
+    inner: Rc<RefCell<ClientCounters>>,
+}
+
+impl ClientStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of the counters.
+    pub fn snapshot(&self) -> ClientCounters {
+        *self.inner.borrow()
+    }
+
+    /// Records a started transaction.
+    pub fn add_started(&self) {
+        self.inner.borrow_mut().started += 1;
+    }
+
+    /// Records a completed transaction.
+    pub fn add_completed(&self) {
+        self.inner.borrow_mut().completed += 1;
+    }
+
+    /// Records a failed transaction.
+    pub fn add_failed(&self) {
+        self.inner.borrow_mut().failed += 1;
+    }
+
+    /// Records received payload bytes.
+    pub fn add_bytes_received(&self, n: u64) {
+        self.inner.borrow_mut().bytes_received += n;
+    }
+
+    /// Records sent payload bytes.
+    pub fn add_bytes_sent(&self, n: u64) {
+        self.inner.borrow_mut().bytes_sent += n;
+    }
+}
+
+/// Counters kept by a server application.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerCounters {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Malformed or unserviceable requests.
+    pub errors: u64,
+    /// Application payload bytes sent.
+    pub bytes_sent: u64,
+}
+
+/// A shared handle onto one server's counters.
+#[derive(Debug, Clone, Default)]
+pub struct ServerStats {
+    inner: Rc<RefCell<ServerCounters>>,
+}
+
+impl ServerStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of the counters.
+    pub fn snapshot(&self) -> ServerCounters {
+        *self.inner.borrow()
+    }
+
+    /// Records an accepted connection.
+    pub fn add_accepted(&self) {
+        self.inner.borrow_mut().accepted += 1;
+    }
+
+    /// Records a served request.
+    pub fn add_served(&self) {
+        self.inner.borrow_mut().served += 1;
+    }
+
+    /// Records an error.
+    pub fn add_error(&self) {
+        self.inner.borrow_mut().errors += 1;
+    }
+
+    /// Records sent payload bytes.
+    pub fn add_bytes_sent(&self, n: u64) {
+        self.inner.borrow_mut().bytes_sent += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_handles_share_state() {
+        let a = ClientStats::new();
+        let b = a.clone();
+        b.add_started();
+        b.add_completed();
+        b.add_bytes_received(100);
+        let snap = a.snapshot();
+        assert_eq!(snap.started, 1);
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.bytes_received, 100);
+    }
+
+    #[test]
+    fn server_handles_share_state() {
+        let a = ServerStats::new();
+        let b = a.clone();
+        b.add_accepted();
+        b.add_served();
+        b.add_bytes_sent(42);
+        b.add_error();
+        let snap = a.snapshot();
+        assert_eq!(snap.accepted, 1);
+        assert_eq!(snap.served, 1);
+        assert_eq!(snap.bytes_sent, 42);
+        assert_eq!(snap.errors, 1);
+    }
+}

@@ -1,0 +1,224 @@
+//! Video-streaming traffic: an Nginx-RTMP-like chunked push server and a
+//! viewer workload.
+//!
+//! A viewer connects, names a stream, and the server pushes fixed-rate
+//! chunks (bitrate / chunk interval) until the viewer departs. Viewers
+//! watch for exponentially distributed durations and re-join after think
+//! pauses. This is the paper's "video traffic" benign class.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use netsim::packet::Addr;
+use netsim::rng::SimRng;
+use netsim::time::SimDuration;
+use netsim::world::{App, Ctx};
+use netsim::{ConnId, TcpEvent};
+
+use crate::protocol::LineBuffer;
+use crate::stats::{ClientStats, ServerStats};
+
+/// The TServer's streaming port (RTMP's registered port).
+pub const VIDEO_PORT: u16 = 1935;
+
+/// Interval between pushed chunks.
+pub const CHUNK_INTERVAL: SimDuration = SimDuration::from_millis(100);
+
+/// Available stream bitrates in kbit/s (SD → HD ladder).
+pub const BITRATE_LADDER_KBPS: [u32; 4] = [400, 800, 1500, 3000];
+
+#[derive(Debug)]
+struct StreamSession {
+    bitrate_bps: u64,
+    buffer: LineBuffer,
+    playing: bool,
+}
+
+/// The RTMP-like streaming server.
+#[derive(Debug, Default)]
+pub struct VideoServer {
+    stats: ServerStats,
+    sessions: HashMap<ConnId, StreamSession>,
+}
+
+impl VideoServer {
+    /// Creates a streaming server.
+    pub fn new(stats: ServerStats) -> Self {
+        VideoServer { stats, sessions: HashMap::new() }
+    }
+
+    fn chunk_for(bitrate_bps: u64) -> Bytes {
+        let bytes_per_chunk = (bitrate_bps as f64 / 8.0 * CHUNK_INTERVAL.as_secs_f64()) as usize;
+        Bytes::from(vec![0xabu8; bytes_per_chunk.max(1)])
+    }
+}
+
+impl App for VideoServer {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        assert!(ctx.tcp_listen(VIDEO_PORT, 64), "video port already bound");
+    }
+
+    fn on_tcp(&mut self, ctx: &mut Ctx<'_>, event: TcpEvent) {
+        match event {
+            TcpEvent::Accepted { conn, .. } => {
+                self.stats.add_accepted();
+                self.sessions.insert(
+                    conn,
+                    StreamSession { bitrate_bps: 0, buffer: LineBuffer::new(), playing: false },
+                );
+            }
+            TcpEvent::Data { conn, data } => {
+                let Some(session) = self.sessions.get_mut(&conn) else { return };
+                session.buffer.push(&data);
+                while let Some(line) = session.buffer.next_line() {
+                    if let Some(rest) = line.strip_prefix("PLAY ") {
+                        let ladder_idx: usize = rest.trim().parse().unwrap_or(0);
+                        let kbps = BITRATE_LADDER_KBPS
+                            [ladder_idx.min(BITRATE_LADDER_KBPS.len() - 1)];
+                        session.bitrate_bps = kbps as u64 * 1000;
+                        if !session.playing {
+                            session.playing = true;
+                            self.stats.add_served();
+                            // Kick off the chunk clock for this session.
+                            ctx.set_timer(CHUNK_INTERVAL, conn.as_raw());
+                        }
+                    }
+                }
+            }
+            TcpEvent::PeerClosed { conn } => {
+                ctx.tcp_close(conn);
+                self.sessions.remove(&conn);
+            }
+            TcpEvent::Closed { conn } => {
+                self.sessions.remove(&conn);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let conn = ConnId::from_raw(token);
+        let Some(session) = self.sessions.get(&conn) else { return };
+        if !session.playing {
+            return;
+        }
+        let chunk = Self::chunk_for(session.bitrate_bps);
+        self.stats.add_bytes_sent(chunk.len() as u64);
+        ctx.tcp_send(conn, &chunk);
+        ctx.set_timer(CHUNK_INTERVAL, token);
+    }
+}
+
+/// A closed-loop video viewer: join, watch, leave, think, repeat.
+#[derive(Debug)]
+pub struct VideoClient {
+    server: Addr,
+    think_mean: f64,
+    watch_mean: f64,
+    stats: ClientStats,
+    rng: SimRng,
+    current: Option<ConnId>,
+    session_bytes: u64,
+}
+
+/// Timer token: start a new viewing session.
+const TOKEN_JOIN: u64 = u64::MAX;
+/// Timer token: leave the current session.
+const TOKEN_LEAVE: u64 = u64::MAX - 1;
+
+impl VideoClient {
+    /// Creates a viewer targeting `server` with the given mean think and
+    /// watch durations (seconds).
+    pub fn new(server: Addr, think_mean: f64, watch_mean: f64, stats: ClientStats, rng: SimRng) -> Self {
+        VideoClient { server, think_mean, watch_mean, stats, rng, current: None, session_bytes: 0 }
+    }
+
+    fn schedule_join(&mut self, ctx: &mut Ctx<'_>) {
+        let delay = SimDuration::from_secs_f64(self.rng.exponential(self.think_mean));
+        ctx.set_timer(delay, TOKEN_JOIN);
+    }
+}
+
+impl App for VideoClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.schedule_join(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            TOKEN_JOIN => {
+                if self.current.is_some() || !ctx.is_up() {
+                    self.schedule_join(ctx);
+                    return;
+                }
+                self.stats.add_started();
+                self.session_bytes = 0;
+                let conn = ctx.tcp_connect(self.server, VIDEO_PORT);
+                self.current = Some(conn);
+            }
+            TOKEN_LEAVE => {
+                if let Some(conn) = self.current.take() {
+                    ctx.tcp_close(conn);
+                    if self.session_bytes > 0 {
+                        self.stats.add_completed();
+                    } else {
+                        self.stats.add_failed();
+                    }
+                    self.schedule_join(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_tcp(&mut self, ctx: &mut Ctx<'_>, event: TcpEvent) {
+        if Some(event.conn()) != self.current {
+            return;
+        }
+        match event {
+            TcpEvent::Connected { conn } => {
+                let ladder = self.rng.below(BITRATE_LADDER_KBPS.len() as u64);
+                let play = format!("PLAY {ladder}\r\n");
+                self.stats.add_bytes_sent(play.len() as u64);
+                ctx.tcp_send(conn, play.as_bytes());
+                let watch = SimDuration::from_secs_f64(self.rng.exponential(self.watch_mean));
+                ctx.set_timer(watch, TOKEN_LEAVE);
+            }
+            TcpEvent::Data { data, .. } => {
+                self.session_bytes += data.len() as u64;
+                self.stats.add_bytes_received(data.len() as u64);
+            }
+            TcpEvent::ConnectFailed { .. } | TcpEvent::Closed { .. } => {
+                self.current = None;
+                self.stats.add_failed();
+                self.schedule_join(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_link_state(&mut self, _ctx: &mut Ctx<'_>, up: bool) {
+        if !up {
+            self.current = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_size_matches_bitrate() {
+        // 800 kbit/s at 100 ms chunks = 10 kB/chunk.
+        let chunk = VideoServer::chunk_for(800_000);
+        assert_eq!(chunk.len(), 10_000);
+    }
+
+    #[test]
+    fn ladder_indices_clamp() {
+        assert_eq!(BITRATE_LADDER_KBPS[3], 3000);
+        let idx = 99usize.min(BITRATE_LADDER_KBPS.len() - 1);
+        assert_eq!(BITRATE_LADDER_KBPS[idx], 3000);
+    }
+}

@@ -1,0 +1,127 @@
+//! Bring-your-own-IDS: the paper releases DDoShield-IoT so researchers
+//! can "test their own IDS implementations". This example plugs a
+//! hand-written threshold detector into the Real-Time IDS Unit in place
+//! of the three built-in models, using the same `Classifier` interface.
+//!
+//! Run with: `cargo run --release --example custom_ids`
+
+use capture::sniffer::{sniffer_pair, SnifferFilter};
+use ddoshield::{ScenarioConfig, Testbed};
+use features::extract::{windows_of, BASIC_FEATURES};
+use ids::pipeline::WindowDetection;
+use ml::classifier::Classifier;
+use netsim::time::SimDuration;
+
+/// A transparent two-rule detector: a packet is malicious if its window
+/// shows flood-scale flow churn or the window's packet volume is extreme.
+///
+/// (Feature indices: the statistical half of the vector starts at
+/// `BASIC_FEATURES`; index 0 of the stats is `packet_count` and index 8
+/// is `flow_rate` — see `features::window::STAT_FEATURE_NAMES`.)
+struct ThresholdIds {
+    packet_count_cutoff: f64,
+    flow_rate_cutoff: f64,
+}
+
+impl Classifier for ThresholdIds {
+    fn name(&self) -> &'static str {
+        "Threshold"
+    }
+
+    fn predict(&self, features: &[f64]) -> usize {
+        let packet_count = features[BASIC_FEATURES];
+        let flow_rate = features[BASIC_FEATURES + 8];
+        usize::from(packet_count > self.packet_count_cutoff || flow_rate > self.flow_rate_cutoff)
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut blob = Vec::new();
+        blob.extend_from_slice(&self.packet_count_cutoff.to_le_bytes());
+        blob.extend_from_slice(&self.flow_rate_cutoff.to_le_bytes());
+        blob
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        16
+    }
+}
+
+fn main() {
+    // Capture a labelled run to pick thresholds from.
+    let mut testbed = Testbed::deploy(ScenarioConfig::paper_default(7));
+    testbed.run_infection_lead();
+    let dataset = testbed.run_capture(SimDuration::from_secs(60));
+    println!("captured {} packets for threshold calibration", dataset.len());
+
+    // Calibrate: place cutoffs above the benign windows' maxima.
+    let windows = windows_of(&dataset, 1);
+    let benign_max = |f: fn(&features::window::WindowStats) -> f64| {
+        windows
+            .iter()
+            .filter(|w| w.majority_label() == capture::Label::Benign)
+            .map(|w| f(&w.stats))
+            .fold(0.0f64, f64::max)
+    };
+    let detector = ThresholdIds {
+        packet_count_cutoff: benign_max(|s| s.packet_count) * 1.2,
+        flow_rate_cutoff: benign_max(|s| s.flow_rate) * 1.2,
+    };
+    println!(
+        "calibrated: packet_count > {:.0} or flow_rate > {:.0} ⇒ malicious",
+        detector.packet_count_cutoff, detector.flow_rate_cutoff
+    );
+
+    // Evaluate on a *fresh* run, window by window, without any scaling
+    // (raw thresholds want raw features).
+    let mut live = Testbed::deploy(ScenarioConfig::paper_default(8));
+    let (tap, handle) = sniffer_pair(SnifferFilter::Involving(live.tserver_addr()));
+    live.runtime_mut().world_mut().add_tap(Box::new(tap));
+    live.run_infection_lead();
+    let _ = handle.drain();
+    live.runtime_mut().run_for(SimDuration::from_secs(60));
+    let live_dataset = capture::Dataset::from_records(handle.drain());
+
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    let mut worst: Option<WindowDetection> = None;
+    for window in windows_of(&live_dataset, 1) {
+        let truth = window.labels();
+        let predictions: Vec<usize> =
+            window.feature_matrix().iter().map(|row| detector.predict(row)).collect();
+        let window_correct = predictions.iter().zip(&truth).filter(|(p, t)| p == t).count();
+        correct += window_correct;
+        total += truth.len();
+        let det = WindowDetection {
+            window_index: window.index,
+            packets: truth.len(),
+            correct: window_correct,
+            predicted_malicious: predictions.iter().filter(|&&p| p == 1).count(),
+            truth_malicious: truth.iter().filter(|&&t| t == 1).count(),
+            malicious_correct: predictions
+                .iter()
+                .zip(&truth)
+                .filter(|(&p, &t)| p == 1 && t == 1)
+                .count(),
+            mixed: window.is_mixed(),
+            majority_truth: window.majority_label(),
+        };
+        if worst.as_ref().is_none_or(|w| det.accuracy() < w.accuracy()) {
+            worst = Some(det);
+        }
+    }
+    println!(
+        "custom IDS live accuracy: {:.2}% over {} packets (model size {} bytes)",
+        100.0 * correct as f64 / total as f64,
+        total,
+        detector.encode().len()
+    );
+    if let Some(w) = worst {
+        println!(
+            "worst window: #{} accuracy {:.1}% ({} packets, mixed={})",
+            w.window_index,
+            w.accuracy() * 100.0,
+            w.packets,
+            w.mixed
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! IDS comparison: train all three of the paper's models on one capture
+//! and pit them against the same live detection run — a miniature
+//! Table I + Table II in one program.
+//!
+//! Run with: `cargo run --release --example ids_comparison`
+
+use ddoshield::experiments::{run_full_evaluation, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::quick();
+    println!(
+        "training for {} virtual seconds, live detection for {} virtual seconds...\n",
+        scale.capture_secs, scale.live_secs
+    );
+
+    let report = run_full_evaluation(42, &scale);
+
+    println!(
+        "training capture: {} packets ({:.1}% malicious)\n",
+        report.dataset.total(),
+        100.0 * report.dataset.malicious_fraction()
+    );
+
+    println!(
+        "{:<8} {:>10} {:>10} {:>12} {:>12} {:>14}",
+        "model", "train acc", "live acc", "min window", "memory (Kb)", "model size (Kb)"
+    );
+    for m in &report.models {
+        println!(
+            "{:<8} {:>9.2}% {:>9.2}% {:>11.1}% {:>12.2} {:>14.2}",
+            m.name,
+            m.train_metrics.accuracy * 100.0,
+            m.accuracy_percent(),
+            m.log.min_accuracy() * 100.0,
+            m.sustainability.memory_kb,
+            m.sustainability.model_size_kb,
+        );
+    }
+
+    println!();
+    println!("paper (Table I): RF 61.22%  K-Means 94.82%  CNN 95.47%");
+    println!("the shape to look for: RF far below K-Means and CNN in real time,");
+    println!("despite near-perfect train-time metrics, and the K-Means model");
+    println!("smaller than the others by more than an order of magnitude.");
+}

@@ -1,0 +1,165 @@
+//! Integration tests of the IDS pipeline against real testbed captures:
+//! training, persistence (the PKL analogue), window ablation and the
+//! live Real-Time IDS Unit running inside the IDS container.
+
+use ddoshield::experiments::{
+    run_window_ablation, training_scenario, ExperimentScale,
+};
+use ddoshield::Testbed;
+use ids::pipeline::{IdsConfig, ModelKind, TrainedIds};
+use ml::classifier::Classifier;
+use ml::cnn::Cnn;
+use ml::kmeans::{KMeansConfig, KMeansDetector};
+use ml::rf::{ForestConfig, RandomForest};
+use netsim::rng::SimRng;
+use netsim::time::SimDuration;
+
+fn small_capture(seed: u64) -> capture::Dataset {
+    let mut testbed = Testbed::deploy(training_scenario(seed, 40));
+    testbed.run_infection_lead();
+    testbed.run_capture(SimDuration::from_secs(40))
+}
+
+/// Models persisted to bytes (the paper's PKL files) reload and keep
+/// their predictions, end to end on real capture features.
+#[test]
+fn model_persistence_roundtrips_on_real_features() {
+    let capture = small_capture(21);
+    let config = IdsConfig { max_train_samples: 2_000, ..IdsConfig::default() };
+    let (x, _) = features::extract::extract_dataset(&capture, 1);
+    let sample: Vec<Vec<f64>> = x.into_iter().take(500).collect();
+
+    // RF
+    let mut rng = SimRng::seed_from(1);
+    let outcome = TrainedIds::train(
+        &capture,
+        &ModelKind::RandomForest(ForestConfig { n_trees: 8, ..Default::default() }),
+        config,
+        &mut rng,
+    )
+    .expect("training works");
+    let blob = outcome.ids.model().encode();
+    let restored = RandomForest::decode(&blob).expect("decodes");
+    let mut scaled = sample.clone();
+    for row in &mut scaled {
+        outcome.ids.scaler().transform_row(row);
+    }
+    for row in &scaled {
+        assert_eq!(outcome.ids.model().predict(row), restored.predict(row));
+    }
+
+    // K-Means
+    let mut rng = SimRng::seed_from(1);
+    let outcome =
+        TrainedIds::train(&capture, &ModelKind::KMeans(KMeansConfig::default()), config, &mut rng)
+            .expect("training works");
+    let restored = KMeansDetector::decode(&outcome.ids.model().encode()).expect("decodes");
+    let mut scaled = sample.clone();
+    for row in &mut scaled {
+        outcome.ids.scaler().transform_row(row);
+    }
+    for row in &scaled {
+        assert_eq!(outcome.ids.model().predict(row), restored.predict(row));
+    }
+
+    // CNN
+    let mut rng = SimRng::seed_from(1);
+    let outcome = TrainedIds::train(
+        &capture,
+        &ModelKind::Cnn(ml::cnn::CnnConfig { epochs: 2, ..Default::default() }),
+        config,
+        &mut rng,
+    )
+    .expect("training works");
+    let restored = Cnn::decode(&outcome.ids.model().encode()).expect("decodes");
+    let mut scaled = sample;
+    for row in &mut scaled {
+        outcome.ids.scaler().transform_row(row);
+    }
+    for row in &scaled {
+        assert_eq!(outcome.ids.model().predict(row), restored.predict(row));
+    }
+}
+
+/// E7's shape: recomputing statistical features less often costs less
+/// CPU in the live IDS.
+#[test]
+fn window_ablation_reduces_cpu() {
+    let scale = ExperimentScale {
+        capture_secs: 40,
+        live_secs: 40,
+        max_train_samples: 2_000,
+        cnn_epochs: 2,
+    };
+    let points = run_window_ablation(31, &scale, &[1, 10]);
+    assert_eq!(points.len(), 2);
+    let w1 = &points[0];
+    let w10 = &points[1];
+    assert!(w1.cpu_percent > 0.0, "CPU work is measured: {}", w1.cpu_percent);
+    assert!(
+        w10.cpu_percent < w1.cpu_percent,
+        "period-10 stats ({:.4}%) should cost less than per-second stats ({:.4}%)",
+        w10.cpu_percent,
+        w1.cpu_percent
+    );
+    // Detection still works at both window lengths.
+    assert!(w1.accuracy_percent > 70.0, "period-1 accuracy {}", w1.accuracy_percent);
+    assert!(w10.accuracy_percent > 60.0, "period-10 accuracy {}", w10.accuracy_percent);
+}
+
+/// The live IDS unit (hosted app in the IDS container) logs one window
+/// per second of virtual time.
+#[test]
+fn realtime_ids_logs_every_second() {
+    let capture = small_capture(41);
+    let config = IdsConfig { max_train_samples: 2_000, ..IdsConfig::default() };
+    let mut rng = SimRng::seed_from(2);
+    let outcome =
+        TrainedIds::train(&capture, &ModelKind::KMeans(KMeansConfig::default()), config, &mut rng)
+            .expect("training works");
+
+    let mut live = Testbed::deploy(training_scenario(77, 30));
+    live.run_infection_lead();
+    let report = live.run_live(SimDuration::from_secs(30), outcome.ids);
+    // One window per second, minus the first (still aggregating) and any
+    // trailing partial window.
+    assert!(
+        (25..=31).contains(&report.log.len()),
+        "expected ~30 windows, got {}",
+        report.log.len()
+    );
+    assert!(report.sustainability.cpu_percent > 0.0);
+    assert!(report.sustainability.model_size_kb > 0.0);
+    // Every logged window actually contains packets.
+    assert!(report.log.results().iter().all(|d| d.packets > 0));
+}
+
+/// Alerts over a real live run: the m-of-n policy fires on the
+/// scheduled floods, measures time-to-detect, and raises no false
+/// alarms during the quiet periods.
+#[test]
+fn alerts_fire_on_real_attacks() {
+    use ids::alerts::{summarize, AlertPolicy};
+
+    let capture = small_capture(61);
+    let config = IdsConfig { max_train_samples: 3_000, ..IdsConfig::default() };
+    let mut rng = SimRng::seed_from(3);
+    let outcome = TrainedIds::train(
+        &capture,
+        &ModelKind::KMeans(KMeansConfig { k_max: 24, ..KMeansConfig::default() }),
+        config,
+        &mut rng,
+    )
+    .expect("training works");
+
+    // Same-distribution live run (same scenario family, later seed): the
+    // alerts should catch the scheduled attacks promptly.
+    let mut live = Testbed::deploy(training_scenario(61, 40));
+    live.run_infection_lead();
+    let report = live.run_live(SimDuration::from_secs(40), outcome.ids);
+    let summary = summarize(&report.log.results(), &AlertPolicy::default());
+    assert!(summary.attacks >= 1, "the schedule contains attacks: {summary:?}");
+    assert_eq!(summary.detected, summary.attacks, "every attack alerted: {summary:?}");
+    assert!(summary.mean_latency_windows <= 5.0, "prompt detection: {summary:?}");
+    assert_eq!(summary.false_alarms, 0, "quiet periods stay quiet: {summary:?}");
+}
