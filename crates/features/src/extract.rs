@@ -18,6 +18,7 @@
 
 use capture::dataset::Dataset;
 use capture::record::{Label, PacketRecord};
+use ml::matrix::FeatureMatrix;
 use netsim::packet::{Protocol, TcpFlags};
 
 use crate::window::{WindowStats, STAT_FEATURES, STAT_FEATURE_NAMES};
@@ -70,12 +71,24 @@ pub fn basic_features(r: &PacketRecord) -> [f64; BASIC_FEATURES] {
     ]
 }
 
+/// Writes one packet's full feature vector into a caller-provided
+/// buffer — the allocation-free primitive behind [`feature_vector`] and
+/// the matrix extractors.
+///
+/// # Panics
+///
+/// Panics if `out.len() != TOTAL_FEATURES`.
+pub fn fill_feature_row(r: &PacketRecord, stats: &WindowStats, out: &mut [f64]) {
+    assert_eq!(out.len(), TOTAL_FEATURES, "feature arity mismatch");
+    out[..BASIC_FEATURES].copy_from_slice(&basic_features(r));
+    out[BASIC_FEATURES..].copy_from_slice(&stats.as_features());
+}
+
 /// Builds one packet's full feature vector from its basic features and
 /// its window's statistics.
 pub fn feature_vector(r: &PacketRecord, stats: &WindowStats) -> Vec<f64> {
-    let mut v = Vec::with_capacity(TOTAL_FEATURES);
-    v.extend_from_slice(&basic_features(r));
-    v.extend_from_slice(&stats.as_features());
+    let mut v = vec![0.0; TOTAL_FEATURES];
+    fill_feature_row(r, stats, &mut v);
     v
 }
 
@@ -94,6 +107,21 @@ impl Window {
     /// Feature vectors for every packet in the window.
     pub fn feature_matrix(&self) -> Vec<Vec<f64>> {
         self.records.iter().map(|r| feature_vector(r, &self.stats)).collect()
+    }
+
+    /// Appends every packet's feature row to a flat matrix — no per-row
+    /// allocation, so a cleared scratch matrix can be reused window after
+    /// window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` was not created with [`TOTAL_FEATURES`] columns.
+    pub fn append_features(&self, out: &mut FeatureMatrix) {
+        let mut row = [0.0; TOTAL_FEATURES];
+        for r in &self.records {
+            fill_feature_row(r, &self.stats, &mut row);
+            out.push_row(&row);
+        }
     }
 
     /// Ground-truth labels (0 = benign, 1 = malicious), packet-aligned.
@@ -238,6 +266,19 @@ pub fn extract_dataset(dataset: &Dataset, window_secs: u64) -> (Vec<Vec<f64>>, V
     (features, labels)
 }
 
+/// Extracts the dataset's features straight into one flat row-major
+/// matrix (row values identical to [`extract_dataset`], without the
+/// per-packet `Vec` allocations).
+pub fn extract_matrix(dataset: &Dataset, window_secs: u64) -> (FeatureMatrix, Vec<usize>) {
+    let mut features = FeatureMatrix::with_capacity(dataset.len(), TOTAL_FEATURES);
+    let mut labels = Vec::with_capacity(dataset.len());
+    for window in windows_of(dataset, window_secs) {
+        window.append_features(&mut features);
+        labels.extend(window.labels());
+    }
+    (features, labels)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,6 +359,22 @@ mod tests {
         // The statistical tail of both vectors is identical — the paper's
         // central design decision (and source of boundary noise).
         assert_eq!(features[0][BASIC_FEATURES..], features[1][BASIC_FEATURES..]);
+    }
+
+    #[test]
+    fn matrix_extraction_matches_row_extraction() {
+        let records: Vec<PacketRecord> = (0..200)
+            .map(|i| record(i * 23, if i % 4 == 0 { Label::Malicious } else { Label::Benign }))
+            .collect();
+        let ds = Dataset::from_records(records);
+        let (rows, row_labels) = extract_dataset(&ds, 1);
+        let (flat, flat_labels) = extract_matrix(&ds, 1);
+        assert_eq!(row_labels, flat_labels);
+        assert_eq!(flat.n_rows(), rows.len());
+        assert_eq!(flat.n_cols(), TOTAL_FEATURES);
+        for (a, b) in rows.iter().zip(flat.rows()) {
+            assert_eq!(a.as_slice(), b, "rows must be bit-identical");
+        }
     }
 
     #[test]

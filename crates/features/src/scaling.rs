@@ -4,6 +4,7 @@
 //! detection time (fitting on live traffic would leak the test
 //! distribution).
 
+use ml::matrix::FeatureMatrix;
 use serde::{Deserialize, Serialize};
 
 /// The scaling method.
@@ -96,6 +97,85 @@ impl Scaler {
         scaler
     }
 
+    /// Fits a scaler on a flat feature matrix. Accumulation runs per
+    /// column in row order, so the fitted parameters are bit-identical
+    /// to [`Scaler::fit`] on the same rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has no rows.
+    pub fn fit_matrix(method: ScalingMethod, data: &FeatureMatrix) -> Self {
+        assert!(!data.is_empty(), "cannot fit a scaler on no data");
+        let dims = data.n_cols();
+        let params = match method {
+            ScalingMethod::MinMax => {
+                let mut lo = vec![f64::INFINITY; dims];
+                let mut hi = vec![f64::NEG_INFINITY; dims];
+                for row in data.rows() {
+                    for (j, &v) in row.iter().enumerate() {
+                        lo[j] = lo[j].min(v);
+                        hi[j] = hi[j].max(v);
+                    }
+                }
+                lo.iter()
+                    .zip(&hi)
+                    .map(|(&lo, &hi)| {
+                        let span = hi - lo;
+                        (lo, if span.abs() < 1e-12 { 1.0 } else { span })
+                    })
+                    .collect()
+            }
+            ScalingMethod::ZScore => {
+                let n = data.n_rows() as f64;
+                let mut sums = vec![0.0; dims];
+                for row in data.rows() {
+                    for (s, &v) in sums.iter_mut().zip(row) {
+                        *s += v;
+                    }
+                }
+                let means: Vec<f64> = sums.iter().map(|s| s / n).collect();
+                let mut sq = vec![0.0; dims];
+                for row in data.rows() {
+                    for (j, &v) in row.iter().enumerate() {
+                        sq[j] += (v - means[j]).powi(2);
+                    }
+                }
+                means
+                    .iter()
+                    .zip(&sq)
+                    .map(|(&mean, &sq)| {
+                        let std = (sq / n).sqrt();
+                        (mean, if std < 1e-12 { 1.0 } else { std })
+                    })
+                    .collect()
+            }
+        };
+        Scaler { method, params }
+    }
+
+    /// Transforms a flat matrix in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix arity differs from the fitted arity.
+    pub fn transform_matrix(&self, data: &mut FeatureMatrix) {
+        for row in data.rows_mut() {
+            self.transform_row(row);
+        }
+    }
+
+    /// Fits on a flat matrix and transforms it in place, returning the
+    /// scaler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has no rows.
+    pub fn fit_transform_matrix(method: ScalingMethod, data: &mut FeatureMatrix) -> Self {
+        let scaler = Scaler::fit_matrix(method, data);
+        scaler.transform_matrix(data);
+        scaler
+    }
+
     /// The element-wise mean of several compatible scalers — the shared
     /// preprocessing used in federated settings where no party may pool
     /// raw data to fit a global scaler.
@@ -177,5 +257,19 @@ mod tests {
         let scaler = Scaler::fit(ScalingMethod::MinMax, &matrix());
         let mut row = vec![1.0];
         scaler.transform_row(&mut row);
+    }
+
+    #[test]
+    fn matrix_fit_matches_row_fit_exactly() {
+        for method in [ScalingMethod::MinMax, ScalingMethod::ZScore] {
+            let mut rows = matrix();
+            let mut flat = FeatureMatrix::from_rows(&rows).unwrap();
+            let by_rows = Scaler::fit_transform(method, &mut rows);
+            let by_matrix = Scaler::fit_transform_matrix(method, &mut flat);
+            assert_eq!(by_rows, by_matrix);
+            for (a, b) in rows.iter().zip(flat.rows()) {
+                assert_eq!(a.as_slice(), b, "transformed values must be bit-identical");
+            }
+        }
     }
 }

@@ -11,10 +11,11 @@
 //! parameters travel — which is the privacy property the paper is after.
 
 use capture::dataset::Dataset;
-use features::extract::extract_dataset;
+use features::extract::extract_matrix;
 use features::scaling::{Scaler, ScalingMethod};
-use ml::classifier::{evaluate, TrainError};
+use ml::classifier::{evaluate_view, TrainError};
 use ml::cnn::{Cnn, CnnConfig};
+use ml::matrix::FeatureMatrix;
 use ml::metrics::MetricsReport;
 use netsim::rng::SimRng;
 use serde::{Deserialize, Serialize};
@@ -75,9 +76,9 @@ pub fn train_federated(
     rng: &mut SimRng,
 ) -> Result<FederatedOutcome, TrainError> {
     // Per-client feature extraction (local preprocessing).
-    let mut shards: Vec<(Vec<Vec<f64>>, Vec<usize>)> = Vec::new();
+    let mut shards: Vec<(FeatureMatrix, Vec<usize>)> = Vec::new();
     for dataset in clients {
-        let (x, y) = extract_dataset(dataset, config.window_secs);
+        let (x, y) = extract_matrix(dataset, config.window_secs);
         if !x.is_empty() && y.contains(&0) && y.contains(&1) {
             shards.push((x, y));
         }
@@ -88,22 +89,22 @@ pub fn train_federated(
 
     // Per-client scaler fits, averaged into the shared preprocessing.
     let scalers: Vec<Scaler> =
-        shards.iter().map(|(x, _)| Scaler::fit(ScalingMethod::MinMax, x)).collect();
+        shards.iter().map(|(x, _)| Scaler::fit_matrix(ScalingMethod::MinMax, x)).collect();
     let scaler = Scaler::average(&scalers).expect("at least one scaler");
     for (x, _) in &mut shards {
-        scaler.transform(x);
+        scaler.transform_matrix(x);
     }
 
-    let (mut xh, yh) = extract_dataset(holdout, config.window_secs);
-    scaler.transform(&mut xh);
+    let (mut xh, yh) = extract_matrix(holdout, config.window_secs);
+    scaler.transform_matrix(&mut xh);
 
-    let dims = shards[0].0[0].len();
+    let dims = shards[0].0.n_cols();
     let mut cnn_config = config.cnn;
     cnn_config.input_len = dims;
     cnn_config.epochs = config.local_epochs;
     let mut global = Cnn::init(cnn_config, rng);
 
-    let client_samples: Vec<usize> = shards.iter().map(|(x, _)| x.len()).collect();
+    let client_samples: Vec<usize> = shards.iter().map(|(x, _)| x.n_rows()).collect();
     let weights: Vec<f64> = client_samples.iter().map(|&n| n as f64).collect();
     let mut round_metrics = Vec::with_capacity(config.rounds);
 
@@ -113,14 +114,14 @@ pub fn train_federated(
             .iter()
             .map(|(x, y)| {
                 let mut local = global.clone();
-                local.train(x, y, rng);
+                local.train_view(x.view(), y, rng);
                 local
             })
             .collect();
         // FedAvg aggregation.
         global = Cnn::federated_average(&locals, &weights).expect("uniform architectures");
         if !xh.is_empty() {
-            round_metrics.push(evaluate(&global, &xh, &yh));
+            round_metrics.push(evaluate_view(&global, xh.view(), &yh));
         }
     }
 

@@ -3,10 +3,11 @@
 
 use capture::dataset::Dataset;
 use capture::record::Label;
-use features::extract::{extract_dataset, Window};
+use features::extract::{extract_matrix, Window, TOTAL_FEATURES};
 use features::scaling::{Scaler, ScalingMethod};
 use ml::autoencoder::{Autoencoder, AutoencoderConfig};
-use ml::classifier::{evaluate, Classifier, TrainError};
+use ml::classifier::{evaluate_view, Classifier, TrainError};
+use ml::matrix::{gather, FeatureMatrix, MatrixView};
 use ml::cnn::{Cnn, CnnConfig};
 use ml::iforest::{IsolationForest, IsolationForestConfig};
 use ml::kmeans::{KMeansConfig, KMeansDetector};
@@ -144,37 +145,38 @@ impl TrainedIds {
         config: IdsConfig,
         rng: &mut SimRng,
     ) -> Result<TrainingOutcome, TrainError> {
-        let (mut x, y) = extract_dataset(dataset, config.window_secs);
+        let (mut x, y) = extract_matrix(dataset, config.window_secs);
         if x.is_empty() {
             return Err(TrainError::EmptyDataset);
         }
-        let scaler = Scaler::fit_transform(config.scaling, &mut x);
+        let scaler = Scaler::fit_transform_matrix(config.scaling, &mut x);
 
         // Hold out a random fraction for the paper's train-time metrics.
-        let mut indices: Vec<usize> = (0..x.len()).collect();
+        // Both splits are index views into the shared matrix — no feature
+        // value is copied.
+        let mut indices: Vec<usize> = (0..x.n_rows()).collect();
         rng.shuffle(&mut indices);
-        let holdout = ((x.len() as f64 * config.holdout_fraction) as usize).min(x.len() / 2);
+        let holdout =
+            ((x.n_rows() as f64 * config.holdout_fraction) as usize).min(x.n_rows() / 2);
         let (test_idx, train_idx) = indices.split_at(holdout);
 
         // Stratified cap on training samples.
         let train_idx = stratified_cap(train_idx, &y, config.max_train_samples, rng);
-        let xt: Vec<Vec<f64>> = train_idx.iter().map(|&i| x[i].clone()).collect();
-        let yt: Vec<usize> = train_idx.iter().map(|&i| y[i]).collect();
+        let yt = gather(&y, &train_idx);
 
-        let model = train_model(kind, &xt, &yt, rng)?;
+        let model = train_model_view(kind, x.subset(&train_idx), &yt, rng)?;
 
-        let xh: Vec<Vec<f64>> = test_idx.iter().map(|&i| x[i].clone()).collect();
-        let yh: Vec<usize> = test_idx.iter().map(|&i| y[i]).collect();
-        let holdout_metrics = if xh.is_empty() {
-            evaluate(model.as_ref(), &xt, &yt)
+        let holdout_metrics = if test_idx.is_empty() {
+            evaluate_view(model.as_ref(), x.subset(&train_idx), &yt)
         } else {
-            evaluate(model.as_ref(), &xh, &yh)
+            let yh = gather(&y, test_idx);
+            evaluate_view(model.as_ref(), x.subset(test_idx), &yh)
         };
 
         Ok(TrainingOutcome {
             ids: TrainedIds { model, scaler, config },
             holdout_metrics,
-            train_samples: xt.len(),
+            train_samples: train_idx.len(),
         })
     }
 
@@ -201,11 +203,27 @@ impl TrainedIds {
     /// Classifies every packet of a completed window, returning the
     /// per-window detection result (the paper's per-second accuracy).
     pub fn classify_window(&self, window: &Window) -> WindowDetection {
-        let mut matrix = window.feature_matrix();
-        for row in &mut matrix {
-            self.scaler.transform_row(row);
-        }
-        let predictions = self.model.predict_batch(&matrix);
+        let mut scratch = FeatureMatrix::new(TOTAL_FEATURES);
+        self.classify_window_into(window, &mut scratch)
+    }
+
+    /// Like [`TrainedIds::classify_window`], but extracts features into a
+    /// caller-owned scratch matrix so a detection loop allocates nothing
+    /// per window after warm-up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` was not created with [`TOTAL_FEATURES`]
+    /// columns.
+    pub fn classify_window_into(
+        &self,
+        window: &Window,
+        scratch: &mut FeatureMatrix,
+    ) -> WindowDetection {
+        scratch.clear();
+        window.append_features(scratch);
+        self.scaler.transform_matrix(scratch);
+        let predictions = self.model.predict_view(scratch.view());
         let truth = window.labels();
         let correct = predictions.iter().zip(&truth).filter(|(p, t)| p == t).count();
         let predicted_malicious = predictions.iter().filter(|&&p| p == 1).count();
@@ -242,6 +260,27 @@ pub fn train_model(
         ModelKind::Svm(config) => Box::new(LinearSvm::fit(x, y, config, rng)?),
         ModelKind::IsolationForest(config) => Box::new(IsolationForest::fit(x, y, config, rng)?),
         ModelKind::Autoencoder(config) => Box::new(Autoencoder::fit(x, y, config, rng)?),
+    })
+}
+
+/// Trains the concrete model on the rows of a matrix view — the
+/// zero-copy companion of [`train_model`], used with
+/// [`FeatureMatrix::subset`] splits.
+pub fn train_model_view(
+    kind: &ModelKind,
+    view: MatrixView<'_>,
+    y: &[usize],
+    rng: &mut SimRng,
+) -> Result<Box<dyn Classifier>, TrainError> {
+    Ok(match kind {
+        ModelKind::RandomForest(config) => Box::new(RandomForest::fit_view(view, y, config, rng)?),
+        ModelKind::KMeans(config) => Box::new(KMeansDetector::fit_view(view, y, config, rng)?),
+        ModelKind::Cnn(config) => Box::new(Cnn::fit_view(view, y, config, rng)?),
+        ModelKind::Svm(config) => Box::new(LinearSvm::fit_view(view, y, config, rng)?),
+        ModelKind::IsolationForest(config) => {
+            Box::new(IsolationForest::fit_view(view, y, config, rng)?)
+        }
+        ModelKind::Autoencoder(config) => Box::new(Autoencoder::fit_view(view, y, config, rng)?),
     })
 }
 

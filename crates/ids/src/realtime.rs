@@ -13,7 +13,8 @@ use std::time::Instant;
 
 use capture::sniffer::SnifferHandle;
 use containers::meter::ResourceMeter;
-use features::extract::WindowAggregator;
+use features::extract::{WindowAggregator, TOTAL_FEATURES};
+use ml::matrix::FeatureMatrix;
 use netsim::time::SimDuration;
 use netsim::world::{App, Ctx};
 
@@ -113,6 +114,9 @@ pub struct RealTimeIds {
     aggregator: WindowAggregator,
     meter: ResourceMeter,
     log: DetectionLog,
+    /// Feature scratch reused every window — the steady-state detection
+    /// loop performs no per-window feature allocation.
+    scratch: FeatureMatrix,
 }
 
 impl std::fmt::Debug for RealTimeIds {
@@ -134,6 +138,7 @@ impl RealTimeIds {
             aggregator: WindowAggregator::new(window_secs).with_stats_refresh(refresh),
             meter,
             log,
+            scratch: FeatureMatrix::new(TOTAL_FEATURES),
         }
     }
 
@@ -148,7 +153,7 @@ impl RealTimeIds {
         // Feature extraction + inference, measured for the CPU metric.
         let mut buffered_bytes = 0u64;
         for window in &completed {
-            let detection = self.ids.classify_window(window);
+            let detection = self.ids.classify_window_into(window, &mut self.scratch);
             buffered_bytes += window.records.len() as u64 * 64; // record footprint
             self.log.push(detection);
         }

@@ -50,6 +50,21 @@ pub struct Autoencoder {
 }
 
 impl Autoencoder {
+    /// Trains on the rows of a matrix view (materialises the rows; SGD
+    /// over the benign subset is inherently sequential).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TrainError`] for unusable training data.
+    pub fn fit_view(
+        view: crate::matrix::MatrixView<'_>,
+        y: &[usize],
+        config: &AutoencoderConfig,
+        rng: &mut SimRng,
+    ) -> Result<Self, TrainError> {
+        Autoencoder::fit(&view.to_rows(), y, config, rng)
+    }
+
     /// Trains on the benign subset of `(x, y)` and calibrates the error
     /// threshold on both classes.
     ///

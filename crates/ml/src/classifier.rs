@@ -1,23 +1,34 @@
 //! The common interface the IDS uses to drive any of the three models.
 
 use crate::codec::DecodeError;
+use crate::matrix::MatrixView;
 use crate::metrics::{ConfusionMatrix, MetricsReport};
+use crate::par;
 
 /// A trained binary traffic classifier (0 = benign, 1 = malicious).
 ///
 /// Object-safe so the IDS can hold `Box<dyn Classifier>` and swap models
 /// at deployment time, the way the paper's IDS container selects one of
-/// RF / K-Means / CNN "based on user needs".
-pub trait Classifier {
+/// RF / K-Means / CNN "based on user needs". `Send + Sync` is a
+/// supertrait so batch prediction can fan rows out across threads
+/// (models are plain parameter data; none hold interior mutability).
+pub trait Classifier: Send + Sync {
     /// Human-readable model name ("RF", "K-Means", "CNN").
     fn name(&self) -> &'static str;
 
     /// Classifies one feature vector.
     fn predict(&self, features: &[f64]) -> usize;
 
-    /// Classifies a batch (default: row-by-row).
+    /// Classifies a batch (default: rows in parallel, results in row
+    /// order — identical output at any thread count).
     fn predict_batch(&self, features: &[Vec<f64>]) -> Vec<usize> {
-        features.iter().map(|row| self.predict(row)).collect()
+        par::par_map_indexed(features.len(), |i| self.predict(&features[i]))
+    }
+
+    /// Classifies every row visible through a matrix view (default: rows
+    /// in parallel, results in row order).
+    fn predict_view(&self, view: MatrixView<'_>) -> Vec<usize> {
+        par::par_map_indexed(view.n_rows(), |i| self.predict(view.row(i)))
     }
 
     /// Serialises the model (the PKL-file analogue). The blob length is
@@ -33,6 +44,14 @@ pub trait Classifier {
 /// train-time metric row.
 pub fn evaluate(model: &dyn Classifier, x: &[Vec<f64>], y: &[usize]) -> MetricsReport {
     let predictions = model.predict_batch(x);
+    let m = ConfusionMatrix::from_predictions(y, &predictions);
+    MetricsReport::from_confusion(&m)
+}
+
+/// Evaluates a classifier on the rows of a matrix view — the zero-copy
+/// companion of [`evaluate`].
+pub fn evaluate_view(model: &dyn Classifier, view: MatrixView<'_>, y: &[usize]) -> MetricsReport {
+    let predictions = model.predict_view(view);
     let m = ConfusionMatrix::from_predictions(y, &predictions);
     MetricsReport::from_confusion(&m)
 }
@@ -82,12 +101,28 @@ pub fn validate_training_set(x: &[Vec<f64>], y: &[usize]) -> Result<usize, Train
     Ok(dims)
 }
 
+/// Validates a supervised training view, returning its feature arity
+/// (views are rectangular by construction, so ragged rows cannot occur).
+pub fn validate_matrix(view: MatrixView<'_>, y: &[usize]) -> Result<usize, TrainError> {
+    if view.is_empty() {
+        return Err(TrainError::EmptyDataset);
+    }
+    if view.n_rows() != y.len() {
+        return Err(TrainError::LabelMismatch);
+    }
+    if y.iter().all(|&l| l == y[0]) {
+        return Err(TrainError::SingleClass);
+    }
+    Ok(view.n_cols())
+}
+
 /// Error loading a serialised model.
 pub type LoadError = DecodeError;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matrix::FeatureMatrix;
 
     struct Always(usize);
     impl Classifier for Always {
@@ -115,6 +150,19 @@ mod tests {
     }
 
     #[test]
+    fn evaluate_view_matches_row_evaluation() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![1, 0, 1, 0];
+        let m = FeatureMatrix::from_rows(&x).unwrap();
+        let by_rows = evaluate(&Always(1), &x, &y);
+        let by_view = evaluate_view(&Always(1), m.view(), &y);
+        assert_eq!(by_rows.accuracy, by_view.accuracy);
+        let subset = vec![0, 2];
+        let sub = evaluate_view(&Always(1), m.subset(&subset), &[1, 1]);
+        assert!((sub.accuracy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn training_set_validation() {
         assert_eq!(validate_training_set(&[], &[]), Err(TrainError::EmptyDataset));
         assert_eq!(
@@ -130,5 +178,15 @@ mod tests {
             Err(TrainError::SingleClass)
         );
         assert_eq!(validate_training_set(&[vec![1.0], vec![2.0]], &[0, 1]), Ok(1));
+    }
+
+    #[test]
+    fn matrix_validation_mirrors_row_validation() {
+        let m = FeatureMatrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        assert_eq!(validate_matrix(m.view(), &[0]), Err(TrainError::LabelMismatch));
+        assert_eq!(validate_matrix(m.view(), &[1, 1]), Err(TrainError::SingleClass));
+        assert_eq!(validate_matrix(m.view(), &[0, 1]), Ok(1));
+        let empty: Vec<usize> = Vec::new();
+        assert_eq!(validate_matrix(m.subset(&empty), &[]), Err(TrainError::EmptyDataset));
     }
 }

@@ -13,15 +13,27 @@
 //! A feature vector is treated as a 1-channel signal of length
 //! `input_len`, so convolution mixes neighbouring features — local
 //! connections and weight sharing, as the paper describes.
+//!
+//! Mini-batch gradients are computed in parallel: each batch is cut into
+//! fixed [`MICRO_BATCH`]-example chunks, one partial [`Grads`] per chunk,
+//! folded in chunk order before the Adam step — so the fitted network is
+//! identical at any thread count.
 
 use netsim::rng::SimRng;
 use serde::{Deserialize, Serialize};
 
-use crate::classifier::{validate_training_set, Classifier, TrainError};
+use crate::classifier::{validate_matrix, validate_training_set, Classifier, TrainError};
+use crate::matrix::{FeatureMatrix, MatrixView};
 use crate::nn::{relu, relu_grad, softmax, Adam, Dense};
 use crate::codec::{DecodeError, Decoder, Encoder};
+use crate::par;
 
 const CNN_MAGIC: u32 = 0x636e_6e31; // "cnn1"
+
+/// Examples per parallel gradient work unit. Fixed (never derived from
+/// the thread count) so partial-gradient sums always fold in the same
+/// order.
+const MICRO_BATCH: usize = 16;
 
 /// Architecture and training hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -217,6 +229,26 @@ impl Grads {
         }
     }
 
+    /// Element-wise accumulation of another gradient set (folding the
+    /// per-micro-batch partials).
+    fn add(&mut self, other: &Grads) {
+        let pairs: [(&mut Vec<f64>, &Vec<f64>); 8] = [
+            (&mut self.c1w, &other.c1w),
+            (&mut self.c1b, &other.c1b),
+            (&mut self.c2w, &other.c2w),
+            (&mut self.c2b, &other.c2b),
+            (&mut self.f1w, &other.f1w),
+            (&mut self.f1b, &other.f1b),
+            (&mut self.f2w, &other.f2w),
+            (&mut self.f2b, &other.f2b),
+        ];
+        for (dst, src) in pairs {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+    }
+
     fn scale(&mut self, factor: f64) {
         for g in [
             &mut self.c1w,
@@ -260,6 +292,25 @@ impl Cnn {
         }
     }
 
+    /// Trains a CNN on the rows of a matrix view.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TrainError`] for unusable training data.
+    pub fn fit_view(
+        view: MatrixView<'_>,
+        y: &[usize],
+        config: &CnnConfig,
+        rng: &mut SimRng,
+    ) -> Result<Self, TrainError> {
+        let dims = validate_matrix(view, y)?;
+        let mut config = *config;
+        config.input_len = dims;
+        let mut net = Cnn::init(config, rng);
+        net.train_view(view, y, rng);
+        Ok(net)
+    }
+
     /// Trains a CNN on labelled feature vectors.
     ///
     /// # Errors
@@ -271,16 +322,26 @@ impl Cnn {
         config: &CnnConfig,
         rng: &mut SimRng,
     ) -> Result<Self, TrainError> {
-        let dims = validate_training_set(x, y)?;
-        let mut config = *config;
-        config.input_len = dims;
-        let mut net = Cnn::init(config, rng);
-        net.train(x, y, rng);
-        Ok(net)
+        validate_training_set(x, y)?;
+        let m = FeatureMatrix::from_rows(x)?;
+        Cnn::fit_view(m.view(), y, config, rng)
     }
 
     /// Runs additional training epochs on the given data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are ragged.
     pub fn train(&mut self, x: &[Vec<f64>], y: &[usize], rng: &mut SimRng) {
+        if x.is_empty() {
+            return;
+        }
+        let m = FeatureMatrix::from_rows(x).expect("rectangular training data");
+        self.train_view(m.view(), y, rng);
+    }
+
+    /// Runs additional training epochs on the rows of a matrix view.
+    pub fn train_view(&mut self, view: MatrixView<'_>, y: &[usize], rng: &mut SimRng) {
         let mut adam = (
             Adam::new(self.conv1.w.len()),
             Adam::new(self.conv1.b.len()),
@@ -292,15 +353,11 @@ impl Cnn {
             Adam::new(self.fc2.b.len()),
         );
         let mut t = 0usize;
-        let mut indices: Vec<usize> = (0..x.len()).collect();
+        let mut indices: Vec<usize> = (0..view.n_rows()).collect();
         for _ in 0..self.config.epochs {
             rng.shuffle(&mut indices);
             for batch in indices.chunks(self.config.batch_size.max(1)) {
-                let mut grads = Grads::zero_like(self);
-                for &i in batch {
-                    let cache = self.forward(&x[i]);
-                    self.backward(&cache, y[i], &mut grads);
-                }
+                let mut grads = self.batch_grads(view, y, batch);
                 grads.scale(1.0 / batch.len() as f64);
                 t += 1;
                 let lr = self.config.learning_rate;
@@ -314,6 +371,29 @@ impl Cnn {
                 adam.7.step(&mut self.fc2.b, &grads.f2b, lr, t);
             }
         }
+    }
+
+    /// Summed (unscaled) gradients over one mini-batch: fixed
+    /// [`MICRO_BATCH`]-example chunks in parallel, partials folded in
+    /// chunk order.
+    fn batch_grads(&self, view: MatrixView<'_>, y: &[usize], batch: &[usize]) -> Grads {
+        let n_micro = batch.len().div_ceil(MICRO_BATCH);
+        let partials = par::par_map_indexed(n_micro, |m| {
+            let lo = m * MICRO_BATCH;
+            let hi = (lo + MICRO_BATCH).min(batch.len());
+            let mut g = Grads::zero_like(self);
+            for &i in &batch[lo..hi] {
+                let cache = self.forward(view.row(i));
+                self.backward(&cache, y[i], &mut g);
+            }
+            g
+        });
+        let mut parts = partials.into_iter();
+        let mut grads = parts.next().unwrap_or_else(|| Grads::zero_like(self));
+        for p in parts {
+            grads.add(&p);
+        }
+        grads
     }
 
     fn forward(&self, features: &[f64]) -> ForwardCache {
@@ -693,5 +773,20 @@ mod tests {
             Cnn::fit(&x, &y, &config, &mut rng).unwrap().encode()
         };
         assert_eq!(run(), run());
+    }
+
+    /// Batches larger than one micro-batch must fold their partial
+    /// gradients identically at any thread budget.
+    #[test]
+    fn training_is_thread_count_invariant() {
+        let run = |threads: usize| {
+            crate::par::with_threads(threads, || {
+                let mut rng = SimRng::seed_from(8);
+                let (x, y) = separable_data(200, 8, &mut rng);
+                let config = CnnConfig { epochs: 2, batch_size: 64, ..tiny_config() };
+                Cnn::fit(&x, &y, &config, &mut rng).unwrap().encode()
+            })
+        };
+        assert_eq!(run(1), run(4));
     }
 }

@@ -131,6 +131,22 @@ pub struct IsolationForest {
 }
 
 impl IsolationForest {
+    /// Fits on the rows of a matrix view (materialises the rows; tree
+    /// sampling draws from one shared rng stream, so the build stays
+    /// sequential).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TrainError`] for unusable training data.
+    pub fn fit_view(
+        view: crate::matrix::MatrixView<'_>,
+        y: &[usize],
+        config: &IsolationForestConfig,
+        rng: &mut SimRng,
+    ) -> Result<Self, TrainError> {
+        IsolationForest::fit(&view.to_rows(), y, config, rng)
+    }
+
     /// Fits the forest on all samples and calibrates the score threshold
     /// on the labels.
     ///

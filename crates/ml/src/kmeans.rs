@@ -12,14 +12,25 @@
 //! For IDS use the learned clusters are mapped to classes post-hoc by
 //! majority ground-truth label ([`KMeansDetector`]), the standard recipe
 //! for unsupervised intrusion detection.
+//!
+//! The Lloyd iterations are chunk-parallel: assignment and centroid
+//! accumulation run over fixed-size row chunks ([`CHUNK`] rows) whose
+//! partial results fold in chunk order — same input, same seed, same
+//! model at any thread count.
 
 use netsim::rng::SimRng;
 use serde::{Deserialize, Serialize};
 
 use crate::classifier::{Classifier, TrainError};
 use crate::codec::{DecodeError, Decoder, Encoder};
+use crate::matrix::{FeatureMatrix, MatrixView};
+use crate::par;
 
 const KMEANS_MAGIC: u32 = 0x6b6d_6e73; // "kmns"
+
+/// Rows per parallel work unit. Fixed (never derived from the thread
+/// count) so floating-point partial sums always fold in the same order.
+const CHUNK: usize = 1024;
 
 /// Hyper-parameters for Lloyd / U-K-Means.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -61,41 +72,41 @@ pub struct KMeans {
 }
 
 impl KMeans {
-    /// Fits with k-means++ initialisation and entropy-penalised Lloyd
-    /// iterations (set `beta = 0` for the classic algorithm).
+    /// Fits on a matrix view with k-means++ initialisation and
+    /// entropy-penalised Lloyd iterations (set `beta = 0` for the classic
+    /// algorithm).
     ///
     /// # Errors
     ///
-    /// Returns [`TrainError::EmptyDataset`] / [`TrainError::RaggedFeatures`]
-    /// on unusable input.
-    pub fn fit(x: &[Vec<f64>], config: &KMeansConfig, rng: &mut SimRng) -> Result<Self, TrainError> {
-        if x.is_empty() {
+    /// Returns [`TrainError::EmptyDataset`] on an empty view.
+    pub fn fit_view(
+        view: MatrixView<'_>,
+        config: &KMeansConfig,
+        rng: &mut SimRng,
+    ) -> Result<Self, TrainError> {
+        let n = view.n_rows();
+        if n == 0 {
             return Err(TrainError::EmptyDataset);
         }
-        let dims = x[0].len();
-        if x.iter().any(|row| row.len() != dims) {
-            return Err(TrainError::RaggedFeatures);
-        }
-        let k0 = config.k_max.clamp(1, x.len());
-        let mut centroids = kmeans_plus_plus(x, k0, rng);
+        let dims = view.n_cols();
+        let k0 = config.k_max.clamp(1, n);
+        let mut centroids = kmeans_plus_plus(view, k0, rng);
         let mut proportions = vec![1.0 / k0 as f64; k0];
         let mut beta = config.beta;
-        let mut assignments = vec![0usize; x.len()];
+        let mut assignments = vec![0usize; n];
         let mut iterations = 0;
 
         for iter in 0..config.max_iters {
             iterations = iter + 1;
             // Assignment step: distance biased by -beta * ln(alpha_k).
-            for (i, xi) in x.iter().enumerate() {
-                assignments[i] = best_cluster(xi, &centroids, &proportions, beta);
-            }
+            assign_all(view, &centroids, &proportions, beta, &mut assignments);
             // Update proportions and prune collapsed clusters.
             let k = centroids.len();
             let mut counts = vec![0usize; k];
             for &a in &assignments {
                 counts[a] += 1;
             }
-            proportions = counts.iter().map(|&c| c as f64 / x.len() as f64).collect();
+            proportions = counts.iter().map(|&c| c as f64 / n as f64).collect();
             if beta > 0.0 && k > 1 {
                 let keep: Vec<usize> =
                     (0..k).filter(|&j| proportions[j] >= config.min_proportion).collect();
@@ -103,19 +114,34 @@ impl KMeans {
                     centroids = keep.iter().map(|&j| centroids[j].clone()).collect();
                     let total: f64 = keep.iter().map(|&j| proportions[j]).sum();
                     proportions = keep.iter().map(|&j| proportions[j] / total).collect();
-                    for (i, xi) in x.iter().enumerate() {
-                        assignments[i] = best_cluster(xi, &centroids, &proportions, beta);
-                    }
+                    assign_all(view, &centroids, &proportions, beta, &mut assignments);
                 }
             }
-            // Centroid update.
+            // Centroid update: per-chunk partial (sums, counts) folded in
+            // chunk order.
             let k = centroids.len();
+            let partials = par::par_chunks(n, CHUNK, |range| {
+                let mut sums = vec![vec![0.0; dims]; k];
+                let mut counts = vec![0usize; k];
+                for i in range {
+                    let a = assignments[i];
+                    counts[a] += 1;
+                    for (s, v) in sums[a].iter_mut().zip(view.row(i)) {
+                        *s += v;
+                    }
+                }
+                (sums, counts)
+            });
             let mut sums = vec![vec![0.0; dims]; k];
             let mut counts = vec![0usize; k];
-            for (xi, &a) in x.iter().zip(&assignments) {
-                counts[a] += 1;
-                for (s, v) in sums[a].iter_mut().zip(xi) {
-                    *s += v;
+            for (part_sums, part_counts) in partials {
+                for (acc, part) in sums.iter_mut().zip(&part_sums) {
+                    for (a, p) in acc.iter_mut().zip(part) {
+                        *a += p;
+                    }
+                }
+                for (a, p) in counts.iter_mut().zip(&part_counts) {
+                    *a += p;
                 }
             }
             let mut movement: f64 = 0.0;
@@ -135,22 +161,48 @@ impl KMeans {
             }
         }
 
-        let inertia = x
-            .iter()
-            .map(|xi| {
-                centroids
-                    .iter()
-                    .map(|c| squared_distance(xi, c))
-                    .fold(f64::INFINITY, f64::min)
-            })
-            .sum();
+        let inertia = par::par_chunks(n, CHUNK, |range| {
+            range
+                .map(|i| {
+                    let xi = view.row(i);
+                    centroids
+                        .iter()
+                        .map(|c| squared_distance(xi, c))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .sum::<f64>()
+        })
+        .into_iter()
+        .fold(0.0, |acc, s| acc + s);
         let k = centroids.len();
-        let mut counts = vec![0usize; k];
-        for xi in x {
-            counts[nearest(xi, &centroids)] += 1;
-        }
-        let proportions = counts.iter().map(|&c| c as f64 / x.len() as f64).collect();
+        let counts = par::par_chunks(n, CHUNK, |range| {
+            let mut counts = vec![0usize; k];
+            for i in range {
+                counts[nearest(view.row(i), &centroids)] += 1;
+            }
+            counts
+        })
+        .into_iter()
+        .fold(vec![0usize; k], |mut acc, part| {
+            for (a, p) in acc.iter_mut().zip(&part) {
+                *a += p;
+            }
+            acc
+        });
+        let proportions = counts.iter().map(|&c| c as f64 / n as f64).collect();
         Ok(KMeans { centroids, proportions, inertia, iterations })
+    }
+
+    /// Fits on row-of-`Vec`s data (copies once into a flat matrix, then
+    /// delegates to [`KMeans::fit_view`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::EmptyDataset`] / [`TrainError::RaggedFeatures`]
+    /// on unusable input.
+    pub fn fit(x: &[Vec<f64>], config: &KMeansConfig, rng: &mut SimRng) -> Result<Self, TrainError> {
+        let m = FeatureMatrix::from_rows(x)?;
+        KMeans::fit_view(m.view(), config, rng)
     }
 
     /// The surviving cluster count.
@@ -181,6 +233,27 @@ impl KMeans {
     /// Index of the nearest centroid.
     pub fn assign(&self, x: &[f64]) -> usize {
         nearest(x, &self.centroids)
+    }
+}
+
+/// Chunk-parallel assignment of every row to its best cluster, written
+/// into `out` in row order.
+fn assign_all(
+    view: MatrixView<'_>,
+    centroids: &[Vec<f64>],
+    proportions: &[f64],
+    beta: f64,
+    out: &mut Vec<usize>,
+) {
+    let n = view.n_rows();
+    let parts = par::par_chunks(n, CHUNK, |range| {
+        range
+            .map(|i| best_cluster(view.row(i), centroids, proportions, beta))
+            .collect::<Vec<usize>>()
+    });
+    out.clear();
+    for part in parts {
+        out.extend(part);
     }
 }
 
@@ -215,18 +288,20 @@ fn best_cluster(x: &[f64], centroids: &[Vec<f64>], proportions: &[f64], beta: f6
     best
 }
 
-/// k-means++ seeding.
-fn kmeans_plus_plus(x: &[Vec<f64>], k: usize, rng: &mut SimRng) -> Vec<Vec<f64>> {
-    let mut centroids = Vec::with_capacity(k);
-    centroids.push(x[rng.below(x.len() as u64) as usize].clone());
-    let mut dist: Vec<f64> = x.iter().map(|xi| squared_distance(xi, &centroids[0])).collect();
+/// k-means++ seeding (serial: each draw conditions on the previous one).
+fn kmeans_plus_plus(view: MatrixView<'_>, k: usize, rng: &mut SimRng) -> Vec<Vec<f64>> {
+    let n = view.n_rows();
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(view.row(rng.below(n as u64) as usize).to_vec());
+    let mut dist: Vec<f64> =
+        (0..n).map(|i| squared_distance(view.row(i), &centroids[0])).collect();
     while centroids.len() < k {
         let total: f64 = dist.iter().sum();
         let next = if total <= 0.0 {
-            rng.below(x.len() as u64) as usize
+            rng.below(n as u64) as usize
         } else {
             let mut draw = rng.uniform() * total;
-            let mut chosen = x.len() - 1;
+            let mut chosen = n - 1;
             for (i, &d) in dist.iter().enumerate() {
                 draw -= d;
                 if draw <= 0.0 {
@@ -236,9 +311,10 @@ fn kmeans_plus_plus(x: &[Vec<f64>], k: usize, rng: &mut SimRng) -> Vec<Vec<f64>>
             }
             chosen
         };
-        centroids.push(x[next].clone());
-        for (i, xi) in x.iter().enumerate() {
-            dist[i] = dist[i].min(squared_distance(xi, centroids.last().expect("just pushed")));
+        centroids.push(view.row(next).to_vec());
+        let newest = centroids.last().expect("just pushed");
+        for (i, d) in dist.iter_mut().enumerate() {
+            *d = d.min(squared_distance(view.row(i), newest));
         }
     }
     centroids
@@ -253,8 +329,37 @@ pub struct KMeansDetector {
 }
 
 impl KMeansDetector {
+    /// Clusters the view's rows unsupervised, then labels each cluster
+    /// with the majority class of its members.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TrainError`] for unusable training data.
+    pub fn fit_view(
+        view: MatrixView<'_>,
+        y: &[usize],
+        config: &KMeansConfig,
+        rng: &mut SimRng,
+    ) -> Result<Self, TrainError> {
+        if view.n_rows() != y.len() {
+            return Err(TrainError::LabelMismatch);
+        }
+        let model = KMeans::fit_view(view, config, rng)?;
+        let k = model.k();
+        let mut positives = vec![0usize; k];
+        let mut totals = vec![0usize; k];
+        for (i, &yi) in y.iter().enumerate() {
+            let c = model.assign(view.row(i));
+            totals[c] += 1;
+            positives[c] += usize::from(yi == 1);
+        }
+        let cluster_labels =
+            (0..k).map(|j| usize::from(positives[j] * 2 > totals[j].max(1))).collect();
+        Ok(KMeansDetector { model, cluster_labels })
+    }
+
     /// Clusters `x` unsupervised, then labels each cluster with the
-    /// majority class of its members.
+    /// majority class of its members (row-of-`Vec`s adapter).
     ///
     /// # Errors
     ///
@@ -268,18 +373,8 @@ impl KMeansDetector {
         if x.len() != y.len() {
             return Err(TrainError::LabelMismatch);
         }
-        let model = KMeans::fit(x, config, rng)?;
-        let k = model.k();
-        let mut positives = vec![0usize; k];
-        let mut totals = vec![0usize; k];
-        for (xi, &yi) in x.iter().zip(y) {
-            let c = model.assign(xi);
-            totals[c] += 1;
-            positives[c] += usize::from(yi == 1);
-        }
-        let cluster_labels =
-            (0..k).map(|j| usize::from(positives[j] * 2 > totals[j].max(1))).collect();
-        Ok(KMeansDetector { model, cluster_labels })
+        let m = FeatureMatrix::from_rows(x)?;
+        KMeansDetector::fit_view(m.view(), y, config, rng)
     }
 
     /// The underlying clustering.
@@ -448,5 +543,20 @@ mod tests {
             KMeansDetector::fit(&x, &y, &KMeansConfig::default(), &mut rng).unwrap().encode()
         };
         assert_eq!(run(), run());
+    }
+
+    /// Chunked reductions must make the fit independent of the thread
+    /// budget, even with several chunks in play (n > CHUNK).
+    #[test]
+    fn fit_is_thread_count_invariant() {
+        let run = |threads: usize| {
+            par::with_threads(threads, || {
+                let mut rng = SimRng::seed_from(9);
+                let (x, y) =
+                    blobs(CHUNK + 600, &[(-5.0, 0.0), (0.0, 5.0), (5.0, 0.0)], &mut rng);
+                KMeansDetector::fit(&x, &y, &KMeansConfig::default(), &mut rng).unwrap().encode()
+            })
+        };
+        assert_eq!(run(1), run(4));
     }
 }

@@ -18,8 +18,11 @@
 //!
 //! Supporting modules: [`metrics`] (accuracy/precision/recall/F1 with
 //! the paper's division-by-zero caveat made explicit), [`codec`] (the
-//! PKL-file analogue used for the Model-Size metric) and
-//! [`classifier`] (the object-safe interface the IDS drives).
+//! PKL-file analogue used for the Model-Size metric), [`classifier`]
+//! (the object-safe interface the IDS drives), [`matrix`] (the flat
+//! row-major [`FeatureMatrix`] the training/inference hot paths run on)
+//! and [`par`] (deterministic, thread-count-invariant data-parallel
+//! helpers the trainers fan work out with).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,12 +33,15 @@ pub mod cnn;
 pub mod codec;
 pub mod iforest;
 pub mod kmeans;
+pub mod matrix;
 pub mod metrics;
 pub mod nn;
+pub mod par;
 pub mod rf;
 pub mod svm;
 
-pub use classifier::{evaluate, Classifier, TrainError};
+pub use classifier::{evaluate, evaluate_view, Classifier, TrainError};
+pub use matrix::{gather, FeatureMatrix, MatrixView};
 pub use cnn::{Cnn, CnnConfig};
 pub use codec::{DecodeError, Decoder, Encoder};
 pub use kmeans::{KMeans, KMeansConfig, KMeansDetector};

@@ -1,12 +1,24 @@
 //! Random Forest: CART decision trees with Gini impurity, bootstrap
 //! bagging and per-split feature subsampling — the mechanisms the paper
 //! describes for its RF model (§III-B).
+//!
+//! The training hot path is built for speed: samples live in a flat
+//! [`FeatureMatrix`] accessed through zero-copy [`MatrixView`]s, each
+//! tree presorts every feature **once** (so split search walks sorted
+//! order with prefix counts in O(features · n) per node instead of
+//! re-sorting in O(features · n log n)), and the forest fits its trees
+//! in parallel. Each tree derives a private RNG stream from the master
+//! seed *before* the parallel region and results are collected in tree
+//! order, so the same seed yields a bit-identical forest at any thread
+//! count.
 
 use netsim::rng::SimRng;
 use serde::{Deserialize, Serialize};
 
-use crate::classifier::{validate_training_set, Classifier, TrainError};
+use crate::classifier::{validate_matrix, validate_training_set, Classifier, TrainError};
 use crate::codec::{DecodeError, Decoder, Encoder};
+use crate::matrix::{FeatureMatrix, MatrixView};
+use crate::par;
 
 const TREE_MAGIC: u32 = 0x7472_6565; // "tree"
 const FOREST_MAGIC: u32 = 0x666f_7273; // "fors"
@@ -62,6 +74,60 @@ pub struct DecisionTree {
 }
 
 impl DecisionTree {
+    /// Fits a tree on the view's rows restricted to `indices` (positions
+    /// into the view, repeats allowed — a bootstrap bag). `y` is aligned
+    /// with the view's rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or the view has no columns.
+    pub fn fit_view(
+        view: MatrixView<'_>,
+        y: &[usize],
+        indices: &[usize],
+        config: &TreeConfig,
+        rng: &mut SimRng,
+    ) -> Self {
+        assert!(!indices.is_empty(), "cannot fit a tree on no samples");
+        let dims = view.n_cols();
+        assert!(dims > 0, "cannot fit a tree on zero features");
+        let n = indices.len();
+
+        // Gather the bag into a column-major cache so split search streams
+        // each feature contiguously, and presort every feature once.
+        let mut columns = vec![0.0f64; dims * n];
+        let mut labels = vec![0u8; n];
+        for (p, &i) in indices.iter().enumerate() {
+            let row = view.row(i);
+            for (f, &v) in row.iter().enumerate() {
+                columns[f * n + p] = v;
+            }
+            labels[p] = u8::from(y[i] == 1);
+        }
+        let sorted: Vec<Vec<u32>> = (0..dims)
+            .map(|f| {
+                let col = &columns[f * n..(f + 1) * n];
+                let mut order: Vec<u32> = (0..n as u32).collect();
+                // total_cmp gives a total order even with NaNs present
+                // (they sort to the edges and are skipped by split search).
+                order.sort_unstable_by(|&a, &b| col[a as usize].total_cmp(&col[b as usize]));
+                order
+            })
+            .collect();
+
+        let mut builder = TreeBuilder {
+            columns: &columns,
+            labels: &labels,
+            n,
+            dims,
+            config: *config,
+            nodes: Vec::new(),
+            boundaries: Vec::new(),
+        };
+        builder.grow(sorted, 0, rng);
+        DecisionTree { nodes: builder.nodes, dims }
+    }
+
     /// Fits a tree on `(x, y)` restricted to `indices`.
     ///
     /// # Panics
@@ -75,11 +141,8 @@ impl DecisionTree {
         rng: &mut SimRng,
     ) -> Self {
         assert!(!indices.is_empty(), "cannot fit a tree on no samples");
-        let dims = x[0].len();
-        let mut tree = DecisionTree { nodes: Vec::new(), dims };
-        let root_indices: Vec<usize> = indices.to_vec();
-        tree.grow(x, y, root_indices, 0, config, rng);
-        tree
+        let m = FeatureMatrix::from_rows(x).expect("non-empty, rectangular training rows");
+        DecisionTree::fit_view(m.view(), y, indices, config, rng)
     }
 
     /// Fits a tree on the full training set.
@@ -98,43 +161,9 @@ impl DecisionTree {
         Ok(DecisionTree::fit_on(x, y, &indices, config, rng))
     }
 
-    fn grow(
-        &mut self,
-        x: &[Vec<f64>],
-        y: &[usize],
-        indices: Vec<usize>,
-        depth: usize,
-        config: &TreeConfig,
-        rng: &mut SimRng,
-    ) -> u32 {
-        let majority = majority_class(y, &indices);
-        let node_id = self.nodes.len() as u32;
-        if depth >= config.max_depth
-            || indices.len() < config.min_samples_split
-            || is_pure(y, &indices)
-        {
-            self.nodes.push(Node::Leaf { class: majority });
-            return node_id;
-        }
-        let Some((feature, threshold)) = best_split(x, y, &indices, config, rng) else {
-            self.nodes.push(Node::Leaf { class: majority });
-            return node_id;
-        };
-        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
-            indices.iter().partition(|&&i| x[i][feature] <= threshold);
-        if left_idx.is_empty() || right_idx.is_empty() {
-            self.nodes.push(Node::Leaf { class: majority });
-            return node_id;
-        }
-        // Reserve the split slot, then grow children.
-        self.nodes.push(Node::Leaf { class: majority });
-        let left = self.grow(x, y, left_idx, depth + 1, config, rng);
-        let right = self.grow(x, y, right_idx, depth + 1, config, rng);
-        self.nodes[node_id as usize] = Node::Split { feature, threshold, left, right };
-        node_id
-    }
-
-    /// Predicts the class of one sample.
+    /// Predicts the class of one sample. A NaN feature value fails every
+    /// `x <= threshold` test and therefore always routes right, matching
+    /// how split search counts NaNs during training.
     pub fn predict(&self, features: &[f64]) -> usize {
         let mut node = 0u32;
         loop {
@@ -210,14 +239,159 @@ impl DecisionTree {
     }
 }
 
-fn majority_class(y: &[usize], indices: &[usize]) -> usize {
-    let positives = indices.iter().filter(|&&i| y[i] == 1).count();
-    usize::from(positives * 2 > indices.len())
+/// Per-tree growth state: the bag's features cached column-major plus the
+/// arena under construction. Each node receives its samples as
+/// per-feature *presorted* position lists; partitioning a node stably
+/// splits every list, so children stay sorted without re-sorting.
+struct TreeBuilder<'a> {
+    /// `dims × n` feature values of the bag, column-major.
+    columns: &'a [f64],
+    /// Per-bag-position class labels (0/1).
+    labels: &'a [u8],
+    n: usize,
+    dims: usize,
+    config: TreeConfig,
+    nodes: Vec<Node>,
+    /// Reusable distinct-value boundary buffer for split search, so the
+    /// hot loop performs no per-(node, feature) allocation.
+    boundaries: Vec<(f64, usize, usize)>,
 }
 
-fn is_pure(y: &[usize], indices: &[usize]) -> bool {
-    let first = y[indices[0]];
-    indices.iter().all(|&i| y[i] == first)
+impl TreeBuilder<'_> {
+    fn column(&self, feature: usize) -> &[f64] {
+        &self.columns[feature * self.n..(feature + 1) * self.n]
+    }
+
+    fn grow(&mut self, sorted: Vec<Vec<u32>>, depth: usize, rng: &mut SimRng) -> u32 {
+        let size = sorted[0].len();
+        let positives =
+            sorted[0].iter().filter(|&&p| self.labels[p as usize] == 1).count();
+        let majority = usize::from(positives * 2 > size);
+        let node_id = self.nodes.len() as u32;
+        let pure = positives == 0 || positives == size;
+        if depth >= self.config.max_depth || size < self.config.min_samples_split || pure {
+            self.nodes.push(Node::Leaf { class: majority });
+            return node_id;
+        }
+        let Some((feature, threshold)) = self.best_split(&sorted, positives, rng) else {
+            self.nodes.push(Node::Leaf { class: majority });
+            return node_id;
+        };
+        // Stable-partition every feature's sorted list by the split
+        // predicate: children inherit sortedness for free. Every list
+        // holds the same positions, so the left/right sizes computed on
+        // the first feature pre-size the allocations for all of them.
+        let split_col = self.column(feature);
+        let left_n =
+            sorted[0].iter().filter(|&&p| split_col[p as usize] <= threshold).count();
+        let right_n = size - left_n;
+        let mut left_sorted = Vec::with_capacity(self.dims);
+        let mut right_sorted = Vec::with_capacity(self.dims);
+        for per_feature in &sorted {
+            let mut l = Vec::with_capacity(left_n);
+            let mut r = Vec::with_capacity(right_n);
+            for &p in per_feature {
+                if split_col[p as usize] <= threshold {
+                    l.push(p);
+                } else {
+                    r.push(p);
+                }
+            }
+            left_sorted.push(l);
+            right_sorted.push(r);
+        }
+        if left_sorted[0].is_empty() || right_sorted[0].is_empty() {
+            self.nodes.push(Node::Leaf { class: majority });
+            return node_id;
+        }
+        drop(sorted);
+        // Reserve the split slot, then grow children.
+        self.nodes.push(Node::Leaf { class: majority });
+        let left = self.grow(left_sorted, depth + 1, rng);
+        let right = self.grow(right_sorted, depth + 1, rng);
+        self.nodes[node_id as usize] = Node::Split { feature, threshold, left, right };
+        node_id
+    }
+
+    /// Finds the (feature, threshold) minimising weighted Gini impurity.
+    /// One sweep over each feature's presorted positions yields the
+    /// distinct values *and* the left-side counts of every candidate
+    /// threshold via prefix sums — no per-node sorting, no per-threshold
+    /// counting pass.
+    fn best_split(
+        &mut self,
+        sorted: &[Vec<u32>],
+        total_pos: usize,
+        rng: &mut SimRng,
+    ) -> Option<(usize, f64)> {
+        let total = sorted[0].len();
+        let n_features = self.config.max_features.unwrap_or(self.dims).min(self.dims);
+        let mut features: Vec<usize> = (0..self.dims).collect();
+        rng.shuffle(&mut features);
+        features.truncate(n_features);
+
+        let parent = gini(total_pos, total);
+        let mut best: Option<(f64, usize, f64)> = None;
+        for &feature in &features {
+            // boundaries[c] = (distinct value, samples ≤ it, positives ≤ it).
+            // NaNs are skipped: they fail `x <= t` for every t and so sit
+            // on the right of every split, exactly as `predict` routes them.
+            let mut boundaries = std::mem::take(&mut self.boundaries);
+            boundaries.clear();
+            let col = self.column(feature);
+            let mut cum_n = 0usize;
+            let mut cum_pos = 0usize;
+            for &p in &sorted[feature] {
+                let v = col[p as usize];
+                if v.is_nan() {
+                    continue;
+                }
+                cum_n += 1;
+                cum_pos += usize::from(self.labels[p as usize] == 1);
+                match boundaries.last_mut() {
+                    Some(last) if last.0 == v => {
+                        last.1 = cum_n;
+                        last.2 = cum_pos;
+                    }
+                    _ => boundaries.push((v, cum_n, cum_pos)),
+                }
+            }
+            if boundaries.len() < 2 {
+                self.boundaries = boundaries;
+                continue;
+            }
+            // Midpoints between consecutive distinct values are the only
+            // thresholds worth trying; evenly subsample when there are
+            // more than the candidate budget.
+            let n_mid = boundaries.len() - 1;
+            let budget = self.config.threshold_candidates.max(1);
+            for slot in 0..n_mid.min(budget) {
+                let c = if n_mid <= budget { slot } else { slot * (n_mid - 1) / (budget - 1).max(1) };
+                let threshold = (boundaries[c].0 + boundaries[c + 1].0) / 2.0;
+                if !threshold.is_finite() {
+                    continue; // infinite values midpoint to ±inf or NaN
+                }
+                // FP rounding can land the midpoint on the upper distinct
+                // value; `x <= t` then captures that group on the left too.
+                let b = if threshold >= boundaries[c + 1].0 { c + 1 } else { c };
+                let (_, left_n, left_pos) = boundaries[b];
+                let right_n = total - left_n;
+                if left_n == 0 || right_n == 0 {
+                    continue;
+                }
+                let right_pos = total_pos - left_pos;
+                let weighted = (left_n as f64 * gini(left_pos, left_n)
+                    + right_n as f64 * gini(right_pos, right_n))
+                    / total as f64;
+                let gain = parent - weighted;
+                if gain > 1e-12 && best.is_none_or(|(g, _, _)| gain > g) {
+                    best = Some((gain, feature, threshold));
+                }
+            }
+            self.boundaries = boundaries;
+        }
+        best.map(|(_, feature, threshold)| (feature, threshold))
+    }
 }
 
 fn gini(pos: usize, total: usize) -> f64 {
@@ -228,73 +402,6 @@ fn gini(pos: usize, total: usize) -> f64 {
     2.0 * p * (1.0 - p)
 }
 
-/// Finds the (feature, threshold) minimising weighted Gini impurity over
-/// sampled candidate thresholds.
-fn best_split(
-    x: &[Vec<f64>],
-    y: &[usize],
-    indices: &[usize],
-    config: &TreeConfig,
-    rng: &mut SimRng,
-) -> Option<(usize, f64)> {
-    let dims = x[0].len();
-    let n_features = config.max_features.unwrap_or(dims).min(dims);
-    let mut features: Vec<usize> = (0..dims).collect();
-    rng.shuffle(&mut features);
-    features.truncate(n_features);
-
-    let total = indices.len();
-    let total_pos = indices.iter().filter(|&&i| y[i] == 1).count();
-    let parent = gini(total_pos, total);
-
-    let mut best: Option<(f64, usize, f64)> = None;
-    for &feature in &features {
-        // Midpoints between consecutive *distinct* values are the only
-        // thresholds worth trying (handles binary/discrete features that
-        // evenly spaced order statistics would miss).
-        let mut values: Vec<f64> = indices.iter().map(|&i| x[i][feature]).collect();
-        values.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
-        values.dedup();
-        if values.len() < 2 {
-            continue;
-        }
-        let midpoints: Vec<f64> =
-            values.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect();
-        // Evenly subsample if there are more midpoints than the budget.
-        let budget = config.threshold_candidates.max(1);
-        let chosen: Vec<f64> = if midpoints.len() <= budget {
-            midpoints
-        } else {
-            (0..budget)
-                .map(|c| midpoints[c * (midpoints.len() - 1) / (budget - 1).max(1)])
-                .collect()
-        };
-        for threshold in chosen {
-            let mut left_n = 0usize;
-            let mut left_pos = 0usize;
-            for &i in indices {
-                if x[i][feature] <= threshold {
-                    left_n += 1;
-                    left_pos += usize::from(y[i] == 1);
-                }
-            }
-            let right_n = total - left_n;
-            if left_n == 0 || right_n == 0 {
-                continue;
-            }
-            let right_pos = total_pos - left_pos;
-            let weighted = (left_n as f64 * gini(left_pos, left_n)
-                + right_n as f64 * gini(right_pos, right_n))
-                / total as f64;
-            let gain = parent - weighted;
-            if gain > 1e-12 && best.is_none_or(|(g, _, _)| gain > g) {
-                best = Some((gain, feature, threshold));
-            }
-        }
-    }
-    best.map(|(_, feature, threshold)| (feature, threshold))
-}
-
 /// A bagged ensemble of CART trees with majority voting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RandomForest {
@@ -303,7 +410,49 @@ pub struct RandomForest {
 }
 
 impl RandomForest {
-    /// Trains a forest.
+    /// Trains a forest on a matrix view (zero-copy over subsets).
+    ///
+    /// Bootstrap bags and per-tree RNG streams are derived serially from
+    /// `rng`, then the trees fit in parallel and are collected in tree
+    /// order — the same seed produces a bit-identical forest no matter
+    /// how many threads run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TrainError`] for unusable training data.
+    pub fn fit_view(
+        view: MatrixView<'_>,
+        y: &[usize],
+        config: &ForestConfig,
+        rng: &mut SimRng,
+    ) -> Result<Self, TrainError> {
+        let dims = validate_matrix(view, y)?;
+        let mut tree_config = config.tree;
+        if tree_config.max_features.is_none() {
+            // The classic √d default for classification forests.
+            tree_config.max_features = Some((dims as f64).sqrt().ceil() as usize);
+        }
+        let n = view.n_rows();
+        let tasks: Vec<(Vec<usize>, SimRng)> = (0..config.n_trees.max(1))
+            .map(|_| {
+                let bag: Vec<usize> = if config.bootstrap {
+                    (0..n).map(|_| rng.below(n as u64) as usize).collect()
+                } else {
+                    (0..n).collect()
+                };
+                (bag, rng.fork())
+            })
+            .collect();
+        let trees = par::par_map_indexed(tasks.len(), |t| {
+            let (bag, tree_rng) = &tasks[t];
+            let mut tree_rng = tree_rng.clone();
+            DecisionTree::fit_view(view, y, bag, &tree_config, &mut tree_rng)
+        });
+        Ok(RandomForest { trees, dims })
+    }
+
+    /// Trains a forest on row-of-`Vec`s data (copies once into a flat
+    /// matrix, then delegates to [`RandomForest::fit_view`]).
     ///
     /// # Errors
     ///
@@ -314,24 +463,9 @@ impl RandomForest {
         config: &ForestConfig,
         rng: &mut SimRng,
     ) -> Result<Self, TrainError> {
-        let dims = validate_training_set(x, y)?;
-        let mut tree_config = config.tree;
-        if tree_config.max_features.is_none() {
-            // The classic √d default for classification forests.
-            tree_config.max_features = Some((dims as f64).sqrt().ceil() as usize);
-        }
-        let n = x.len();
-        let trees = (0..config.n_trees.max(1))
-            .map(|_| {
-                let indices: Vec<usize> = if config.bootstrap {
-                    (0..n).map(|_| rng.below(n as u64) as usize).collect()
-                } else {
-                    (0..n).collect()
-                };
-                DecisionTree::fit_on(x, y, &indices, &tree_config, rng)
-            })
-            .collect();
-        Ok(RandomForest { trees, dims })
+        validate_training_set(x, y)?;
+        let m = FeatureMatrix::from_rows(x).expect("validated above");
+        RandomForest::fit_view(m.view(), y, config, rng)
     }
 
     /// Number of trees.
@@ -392,6 +526,7 @@ impl Classifier for RandomForest {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matrix::gather;
 
     /// Two Gaussian-ish blobs separable on feature 0.
     fn blobs(n: usize, rng: &mut SimRng) -> (Vec<Vec<f64>>, Vec<usize>) {
@@ -506,5 +641,62 @@ mod tests {
             RandomForest::fit(&x, &y, &ForestConfig::default(), &mut rng).unwrap().encode()
         };
         assert_eq!(build(), build());
+    }
+
+    /// Regression test for the historical NaN panic: split search used
+    /// `partial_cmp(..).expect("finite features")`, so a single NaN cell
+    /// aborted training. NaNs now sort via `total_cmp`, are excluded
+    /// from candidate thresholds, and route right at predict time.
+    #[test]
+    fn nan_features_train_without_panicking() {
+        let mut rng = SimRng::seed_from(9);
+        let (mut x, y) = blobs(120, &mut rng);
+        for i in (0..x.len()).step_by(7) {
+            x[i][1] = f64::NAN;
+        }
+        let forest = RandomForest::fit(&x, &y, &ForestConfig { n_trees: 5, ..Default::default() }, &mut rng)
+            .unwrap();
+        // Clean rows still classify well — blobs separate on feature 0.
+        let clean: Vec<usize> = (0..x.len()).filter(|i| i % 7 != 0).collect();
+        let correct =
+            clean.iter().filter(|&&i| forest.predict(&x[i]) == y[i]).count();
+        assert!(correct as f64 / clean.len() as f64 > 0.9);
+        // A NaN probe routes to *some* leaf rather than panicking.
+        let _ = forest.predict(&[f64::NAN, f64::NAN]);
+    }
+
+    /// The zero-copy subset path must behave exactly like materialising
+    /// the subset rows and training on the copy.
+    #[test]
+    fn subset_view_training_matches_materialized_copy() {
+        let mut rng = SimRng::seed_from(10);
+        let (x, y) = blobs(200, &mut rng);
+        let subset: Vec<usize> = (0..x.len()).filter(|i| i % 3 != 0).collect();
+        let m = FeatureMatrix::from_rows(&x).unwrap();
+        let ys = gather(&y, &subset);
+
+        let mut rng_a = SimRng::seed_from(11);
+        let via_view =
+            RandomForest::fit_view(m.subset(&subset), &ys, &ForestConfig::default(), &mut rng_a)
+                .unwrap();
+        let rows: Vec<Vec<f64>> = subset.iter().map(|&i| x[i].clone()).collect();
+        let mut rng_b = SimRng::seed_from(11);
+        let via_copy = RandomForest::fit(&rows, &ys, &ForestConfig::default(), &mut rng_b).unwrap();
+        assert_eq!(via_view.encode(), via_copy.encode());
+    }
+
+    /// Same seed ⇒ bit-identical forest at any thread budget.
+    #[test]
+    fn training_is_thread_count_invariant() {
+        let build = |threads: usize| {
+            par::with_threads(threads, || {
+                let mut rng = SimRng::seed_from(12);
+                let (x, y) = xor(200, &mut rng);
+                RandomForest::fit(&x, &y, &ForestConfig { n_trees: 8, ..Default::default() }, &mut rng)
+                    .unwrap()
+                    .encode()
+            })
+        };
+        assert_eq!(build(1), build(4));
     }
 }

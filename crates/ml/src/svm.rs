@@ -38,6 +38,21 @@ pub struct LinearSvm {
 }
 
 impl LinearSvm {
+    /// Trains on the rows of a matrix view (materialises the rows; the
+    /// Pegasos loop itself is inherently sequential).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TrainError`] for unusable training data.
+    pub fn fit_view(
+        view: crate::matrix::MatrixView<'_>,
+        y: &[usize],
+        config: &SvmConfig,
+        rng: &mut SimRng,
+    ) -> Result<Self, TrainError> {
+        LinearSvm::fit(&view.to_rows(), y, config, rng)
+    }
+
     /// Trains with Pegasos sub-gradient descent.
     ///
     /// # Errors

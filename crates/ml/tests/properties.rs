@@ -147,6 +147,61 @@ proptest! {
         prop_assert!(model.proportions().iter().all(|&p| (0.0..=1.0).contains(&p)));
     }
 
+    /// Thread-count invariance: the serialized bytes of every parallel
+    /// trainer are a pure function of the seed, whether the data-parallel
+    /// helpers run on one thread or many. This is the repo's determinism
+    /// contract for the rayon-based hot path — `DDOSHIELD_SEED` must mean
+    /// the same model on a laptop and a 64-core runner.
+    #[test]
+    fn parallel_training_is_thread_count_invariant(seed in any::<u64>()) {
+        let (x, y) = two_blobs(90, 2.0, seed);
+        let m = ml::matrix::FeatureMatrix::from_rows(&x).unwrap();
+
+        let forest_config = ForestConfig { n_trees: 6, ..ForestConfig::default() };
+        let rf = |threads: usize| {
+            ml::par::with_threads(threads, || {
+                let mut rng = SimRng::seed_from(seed ^ 5);
+                RandomForest::fit_view(m.view(), &y, &forest_config, &mut rng).unwrap().encode()
+            })
+        };
+        prop_assert_eq!(rf(1), rf(4));
+
+        let kmeans_config = KMeansConfig { k_max: 6, ..KMeansConfig::default() };
+        let km = |threads: usize| {
+            ml::par::with_threads(threads, || {
+                let mut rng = SimRng::seed_from(seed ^ 6);
+                KMeansDetector::fit_view(m.view(), &y, &kmeans_config, &mut rng)
+                    .unwrap()
+                    .encode()
+            })
+        };
+        prop_assert_eq!(km(1), km(4));
+
+        // The CNN needs a few pooling stages of width, so tile the two
+        // blob coordinates out to eight features.
+        let wide: Vec<Vec<f64>> =
+            x.iter().map(|row| row.iter().cycle().copied().take(8).collect()).collect();
+        let mw = ml::matrix::FeatureMatrix::from_rows(&wide).unwrap();
+        let cnn_config = ml::cnn::CnnConfig {
+            input_len: 8,
+            conv1_filters: 2,
+            conv2_filters: 2,
+            kernel: 3,
+            dilation2: 1,
+            hidden: 4,
+            epochs: 1,
+            batch_size: 32,
+            learning_rate: 1e-3,
+        };
+        let cnn = |threads: usize| {
+            ml::par::with_threads(threads, || {
+                let mut rng = SimRng::seed_from(seed ^ 7);
+                ml::cnn::Cnn::fit_view(mw.view(), &y, &cnn_config, &mut rng).unwrap().encode()
+            })
+        };
+        prop_assert_eq!(cnn(1), cnn(4));
+    }
+
     /// CNN probabilities are a distribution for arbitrary finite inputs.
     #[test]
     fn cnn_probabilities_are_distributions(

@@ -1,0 +1,291 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the macro/builder API of the real crate (`criterion_group!`,
+//! `criterion_main!`, benchmark groups, `bench_with_input`) but measures
+//! simply: per benchmark it warms up once, sizes an iteration batch to a
+//! time budget, takes `sample_size` samples, and reports the fastest
+//! sample's mean nanoseconds-per-iteration (minimum-of-means is robust
+//! against scheduler noise). Results print to stdout and accumulate in a
+//! process-global registry; setting `CRITERION_JSON_OUT=<path>` writes
+//! them as a JSON array at exit of `criterion_main!`, which is how the
+//! repo's `BENCH_ml.json` trajectory file is produced.
+
+use std::fmt;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function` or `group/function/param`.
+    pub id: String,
+    /// Nanoseconds per iteration (fastest sample mean).
+    pub ns_per_iter: f64,
+    /// Total iterations executed across all samples.
+    pub iterations: u64,
+}
+
+/// Drains every result recorded so far (used by custom bench mains that
+/// post-process timings).
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut *RESULTS.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+fn record(result: BenchResult) {
+    println!(
+        "{:<55} {:>14}/iter ({} iters)",
+        result.id,
+        format_ns(result.ns_per_iter),
+        result.iterations
+    );
+    RESULTS.lock().unwrap_or_else(|e| e.into_inner()).push(result);
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Writes all accumulated results to `CRITERION_JSON_OUT` if set.
+/// Called by `criterion_main!` after every group has run.
+pub fn write_json_summary() {
+    let Ok(path) = std::env::var("CRITERION_JSON_OUT") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"iterations\": {}}}{}\n",
+            r.id.replace('"', "'"),
+            r.ns_per_iter,
+            r.iterations,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion: failed to write {path}: {e}");
+    }
+}
+
+/// Identifies a parameterized benchmark: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Accepts both `&str` names and [`BenchmarkId`]s.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Runs closures and accumulates timing samples.
+pub struct Bencher {
+    sample_size: usize,
+    /// (total duration, iterations) per sample.
+    samples: Vec<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its return value alive via a sink so the
+    /// optimizer cannot delete the work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + batch sizing: target ~40ms per sample, at least 1 iter.
+        let warmup_start = Instant::now();
+        let _keep = routine();
+        let once = warmup_start.elapsed().max(Duration::from_nanos(20));
+        let per_sample = (Duration::from_millis(40).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push((start.elapsed(), per_sample));
+        }
+    }
+
+    fn best_ns_per_iter(&self) -> (f64, u64) {
+        let total: u64 = self.samples.iter().map(|(_, n)| n).sum();
+        let best = self
+            .samples
+            .iter()
+            .map(|(d, n)| d.as_nanos() as f64 / *n as f64)
+            .fold(f64::INFINITY, f64::min);
+        (best, total)
+    }
+}
+
+/// A named family of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let mut bencher = Bencher { sample_size: self.criterion.sample_size, samples: Vec::new() };
+        f(&mut bencher);
+        let (ns, iters) = bencher.best_ns_per_iter();
+        record(BenchResult { id: full, ns_per_iter: ns, iterations: iters });
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness handle passed to every benchmark function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Accepted for API compatibility; command-line parsing is not
+    /// modelled.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), criterion: self }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { sample_size: self.sample_size, samples: Vec::new() };
+        f(&mut bencher);
+        let (ns, iters) = bencher.best_ns_per_iter();
+        record(BenchResult { id: id.into_id(), ns_per_iter: ns, iterations: iters });
+        self
+    }
+}
+
+/// Re-export so `criterion::black_box` callers keep working; benches in
+/// this repo import `std::hint::black_box` directly.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::write_json_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_n", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("top_level", |b| b.iter(|| 2 + 2));
+    }
+
+    #[test]
+    fn harness_records_results() {
+        let mut c = Criterion::default().sample_size(3);
+        smoke(&mut c);
+        let results = take_results();
+        assert!(results.iter().any(|r| r.id == "smoke/sum"));
+        assert!(results.iter().any(|r| r.id == "smoke/sum_n/50"));
+        assert!(results.iter().any(|r| r.id == "top_level"));
+        assert!(results.iter().all(|r| r.ns_per_iter >= 0.0 && r.iterations > 0));
+    }
+}

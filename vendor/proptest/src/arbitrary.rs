@@ -1,0 +1,95 @@
+//! `any::<T>()`: default strategies per type.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Mixes IEEE special values with wide-dynamic-range finite values,
+    /// mirroring real proptest's habit of surfacing NaN/∞ edge cases.
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        match rng.below(16) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => 0.0,
+            4 => -0.0,
+            5 => f64::MAX,
+            6 => f64::MIN,
+            7 => f64::MIN_POSITIVE,
+            _ => {
+                let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+                let exponent = rng.below(601) as i32 - 300;
+                sign * rng.uniform() * 10f64.powi(exponent)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_any_produces_specials_and_finites() {
+        let mut rng = TestRng::seed_from(1);
+        let samples: Vec<f64> = (0..2_000).map(|_| f64::arbitrary(&mut rng)).collect();
+        assert!(samples.iter().any(|v| v.is_nan()));
+        assert!(samples.iter().any(|v| v.is_infinite()));
+        assert!(samples.iter().any(|v| v.is_finite() && *v != 0.0));
+    }
+
+    #[test]
+    fn uint_any_spans_the_domain() {
+        let mut rng = TestRng::seed_from(2);
+        let bytes: Vec<u8> = (0..4_000).map(|_| u8::arbitrary(&mut rng)).collect();
+        let distinct: std::collections::HashSet<u8> = bytes.iter().copied().collect();
+        assert!(distinct.len() > 200, "only {} distinct bytes", distinct.len());
+    }
+}

@@ -1,0 +1,252 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy/property-test subset the workspace's test
+//! suites use: `proptest!`, `prop_compose!`, `prop_oneof!`,
+//! `prop_assert!`/`prop_assert_eq!`, `any::<T>()`, range and collection
+//! strategies, a mini character-class string strategy, and the
+//! `prop_map`/`prop_filter`/`prop_flat_map` combinators.
+//!
+//! Semantics differ from real proptest in two deliberate ways: cases are
+//! generated from a fixed per-test seed (fully deterministic runs, no
+//! persistence files), and failing cases are reported without shrinking.
+//! Every failure message carries the case number and seed so a failure
+//! reproduces exactly by re-running the test.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use arbitrary::any;
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest};
+}
+
+/// Runs one property: `cases` generated inputs through `body`.
+/// Used by the `proptest!` macro expansion; not public API in real
+/// proptest, but keeping it a function keeps the macro small.
+pub fn run_property<F>(name: &str, config: &test_runner::ProptestConfig, mut body: F)
+where
+    F: FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+{
+    let seed = test_runner::seed_for(name);
+    let mut rng = test_runner::TestRng::seed_from(seed);
+    for case in 0..config.cases {
+        if let Err(e) = body(&mut rng) {
+            panic!("property `{name}` failed at case {case} (seed {seed:#x}): {e}");
+        }
+    }
+}
+
+/// `proptest! { ... }`: a block of deterministic property tests.
+#[macro_export]
+macro_rules! proptest {
+    // The internal rule must come first: the public catch-all below
+    // matches any token stream (including `@with_config ...`), so trying
+    // it first would re-wrap the dispatch forever.
+    (@with_config ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                $crate::run_property(stringify!($name), &config, |prop_rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), prop_rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `prop_compose! { fn name(outer...)(bindings in strategies...) -> T { ... } }`
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($p:ident: $pty:ty),* $(,)?)($($arg:pat in $strat:expr),+ $(,)?) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($p: $pty),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::FnStrategy::new(move |prop_rng: &mut $crate::test_runner::TestRng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), prop_rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// `prop_oneof![a, b, c]`: uniform choice between same-valued strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, fmt, ...)`: fail the case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)`: fail the case when `left != right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// `prop_assert_ne!(left, right)`: fail the case when `left == right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn point(scale: f64)(x in 0.0f64..1.0, y in 0.0f64..1.0) -> (f64, f64) {
+            (x * scale, y * scale)
+        }
+    }
+
+    fn small_vec() -> impl Strategy<Value = Vec<u8>> {
+        crate::collection::vec(any::<u8>(), 0..4)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(v in 3u32..17, f in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&v));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn composed_points_scale(p in point(10.0)) {
+            prop_assert!((0.0..10.0).contains(&p.0));
+            prop_assert!((0.0..10.0).contains(&p.1));
+        }
+
+        #[test]
+        fn vec_sizes_respect_range(v in crate::collection::vec(any::<u64>(), 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+        }
+
+        #[test]
+        fn exact_vec_size(v in crate::collection::vec(any::<u8>(), 6)) {
+            prop_assert_eq!(v.len(), 6);
+        }
+
+        #[test]
+        fn oneof_and_just(v in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(v == 1 || v == 2);
+        }
+
+        #[test]
+        fn filter_upholds_predicate(
+            v in any::<f64>().prop_filter("finite", |x| x.is_finite()),
+        ) {
+            prop_assert!(v.is_finite());
+        }
+
+        #[test]
+        fn flat_map_chains(v in (1usize..5).prop_flat_map(|n| crate::collection::vec(Just(0u8), n))) {
+            prop_assert!((1..5).contains(&v.len()));
+        }
+
+        #[test]
+        fn string_regex_class(s in "[a-c]{2,4}") {
+            prop_assert!((2..=4).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn vec_of_strategies_is_a_strategy(
+            v in crate::collection::vec(any::<u8>(), 1..4).prop_flat_map(|seeds| {
+                let parts: Vec<_> = seeds.iter().map(|_| point(1.0)).collect();
+                parts
+            }),
+        ) {
+            prop_assert!(!v.is_empty());
+        }
+
+        #[test]
+        fn tuples_generate_componentwise(pair in (0usize..2, 5u64..7)) {
+            prop_assert!(pair.0 < 2);
+            prop_assert!((5..7).contains(&pair.1));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+
+        #[test]
+        fn config_form_compiles(v in small_vec()) {
+            prop_assert!(v.len() < 4);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let collect = || {
+            let mut out = Vec::new();
+            let config = ProptestConfig::with_cases(10);
+            crate::run_property("determinism_probe", &config, |rng| {
+                out.push(Strategy::generate(&(0u64..1000), rng));
+                Ok(())
+            });
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails`")]
+    fn failures_panic_with_case_info() {
+        let config = ProptestConfig::with_cases(2);
+        crate::run_property("always_fails", &config, |_| {
+            Err(crate::test_runner::TestCaseError::fail("nope".to_string()))
+        });
+    }
+}

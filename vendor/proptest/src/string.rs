@@ -1,0 +1,150 @@
+//! A mini regex-as-generator: enough of the syntax to serve string
+//! strategies like `"[a-z ]{0,30}"`.
+//!
+//! Supported: literal characters, `[...]` classes with ranges, and the
+//! quantifiers `{n}`, `{n,m}`, `*`, `+`, `?` (starred forms cap at 8
+//! repetitions). Anything fancier panics loudly rather than generating
+//! strings that silently fail to match.
+
+use crate::test_runner::TestRng;
+
+struct Element {
+    /// The characters this element may produce.
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Element> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut elements = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unterminated character class in {pattern:?}"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "reversed class range in {pattern:?}");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty character class in {pattern:?}");
+                i = close + 1;
+                set
+            }
+            '\\' => {
+                let escaped = *chars.get(i + 1).unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                i += 2;
+                vec![escaped]
+            }
+            c => {
+                assert!(
+                    !matches!(c, '(' | ')' | '|' | '.' | '^' | '$'),
+                    "unsupported regex syntax {c:?} in {pattern:?}"
+                );
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let parsed = match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("quantifier lower bound"),
+                        hi.trim().parse().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("exact quantifier");
+                        (n, n)
+                    }
+                };
+                i = close + 1;
+                parsed
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "reversed quantifier in {pattern:?}");
+        elements.push(Element { choices, min, max });
+    }
+    elements
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for element in parse(pattern) {
+        let count = if element.max > element.min {
+            element.min + rng.below((element.max - element.min + 1) as u64) as usize
+        } else {
+            element.min
+        };
+        for _ in 0..count {
+            let pick = rng.below(element.choices.len() as u64) as usize;
+            out.push(element.choices[pick]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_with_space_and_bounds() {
+        let mut rng = TestRng::seed_from(3);
+        for _ in 0..200 {
+            let s = generate_matching("[a-z ]{0,30}", &mut rng);
+            assert!(s.len() <= 30);
+            assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let mut rng = TestRng::seed_from(4);
+        let s = generate_matching("ab{3}c?", &mut rng);
+        assert!(s.starts_with("abbb"));
+        assert!(s.len() <= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex syntax")]
+    fn alternation_is_rejected() {
+        let mut rng = TestRng::seed_from(5);
+        let _ = generate_matching("a|b", &mut rng);
+    }
+}

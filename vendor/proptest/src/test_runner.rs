@@ -1,0 +1,130 @@
+//! Deterministic case generation: the RNG, per-test seeding, config and
+//! the case-failure error type.
+
+use std::fmt;
+
+/// Configuration for one `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Attempts a `prop_filter` may spend before giving up on a case.
+    pub max_filter_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64, max_filter_rejects: 1_000 }
+    }
+}
+
+/// A failed test case (early return from `prop_assert!` and friends).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Stable seed per property name (FNV-1a), so every test draws its own
+/// reproducible stream independent of declaration order.
+pub fn seed_for(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The generator strategies draw from: xoroshiro128++, seeded via
+/// SplitMix64. Small, fast, and good enough for test-input generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s0: u64,
+    s1: u64,
+}
+
+impl TestRng {
+    pub fn seed_from(seed: u64) -> Self {
+        let mut state = seed;
+        let mut split = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s0 = split();
+        let mut s1 = split();
+        if s0 == 0 && s1 == 0 {
+            s1 = 1;
+        }
+        TestRng { s0, s1 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let (s0, mut s1) = (self.s0, self.s1);
+        let result = s0.wrapping_add(s1).rotate_left(17).wrapping_add(s0);
+        s1 ^= s0;
+        self.s0 = s0.rotate_left(49) ^ s1 ^ (s1 << 21);
+        self.s1 = s1.rotate_left(28);
+        result
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let wide = self.next_u64() as u128 * n as u128;
+            if (wide as u64) >= threshold {
+                return (wide >> 64) as u64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_differ_by_name() {
+        assert_ne!(seed_for("alpha"), seed_for("beta"));
+        assert_eq!(seed_for("alpha"), seed_for("alpha"));
+    }
+
+    #[test]
+    fn below_is_bounded_and_reaches_ends() {
+        let mut rng = TestRng::seed_from(1);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            seen[rng.below(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

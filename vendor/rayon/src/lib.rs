@@ -1,0 +1,77 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Supplies the fork-join primitive the ML layer builds on:
+//! [`join`] runs two closures potentially in parallel (scoped threads, so
+//! borrows work exactly like rayon's) and [`current_num_threads`]
+//! reports the parallelism budget, honouring `RAYON_NUM_THREADS` like
+//! the real crate. There is no work-stealing pool — callers are expected
+//! to split work coarsely (the `ml::par` helpers do), at which point a
+//! scoped thread per branch costs microseconds against the
+//! hundreds-of-milliseconds training tasks it parallelizes.
+
+use std::sync::OnceLock;
+
+/// Runs both closures, the second on a freshly scoped thread when the
+/// parallelism budget allows, and returns both results. Panics in either
+/// closure propagate to the caller, as with real rayon.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let handle_b = scope.spawn(oper_b);
+        let ra = oper_a();
+        match handle_b.join() {
+            Ok(rb) => (ra, rb),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
+}
+
+/// The number of threads `join` may use, mirroring rayon's global-pool
+/// sizing: `RAYON_NUM_THREADS` when set to a positive integer, otherwise
+/// the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    static BUDGET: OnceLock<usize> = OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let data = [1u64, 2, 3, 4];
+        let (a, b) = join(|| data[..2].iter().sum::<u64>(), || data[2..].iter().sum::<u64>());
+        assert_eq!((a, b), (3, 7));
+    }
+
+    #[test]
+    fn join_nests() {
+        let ((a, b), (c, d)) = join(|| join(|| 1, || 2), || join(|| 3, || 4));
+        assert_eq!((a, b, c, d), (1, 2, 3, 4));
+    }
+
+    #[test]
+    fn thread_budget_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}
