@@ -22,5 +22,5 @@ pub mod trace;
 pub use dataset::{ClassCounts, Dataset};
 pub use pcap::{synthesize_frame, write_pcap};
 pub use record::{Label, PacketRecord};
-pub use sniffer::{sniffer_pair, Sniffer, SnifferFilter, SnifferHandle};
+pub use sniffer::{bounded_sniffer_pair, sniffer_pair, Sniffer, SnifferFilter, SnifferHandle};
 pub use trace::{format_packet, trace_pair, TextTrace, TraceHandle};

@@ -40,6 +40,10 @@ impl SnifferFilter {
 struct SnifferState {
     records: Vec<PacketRecord>,
     captured_total: u64,
+    /// `None` = unbounded (offline capture); `Some(n)` = ring-buffer-less
+    /// tail drop once `records.len()` reaches `n` (live IDS feed).
+    capacity: Option<usize>,
+    dropped_overflow: u64,
 }
 
 /// The tap half: installed into the world.
@@ -69,12 +73,28 @@ pub fn sniffer_pair(filter: SnifferFilter) -> (Sniffer, SnifferHandle) {
     (Sniffer { filter, state: Rc::clone(&state) }, SnifferHandle { state })
 }
 
+/// Creates a sniffer/handle pair whose buffer tail-drops beyond
+/// `capacity` undrained records, mirroring a real capture socket's
+/// finite kernel buffer. Drops are counted, never silent — see
+/// [`SnifferHandle::dropped_overflow`].
+pub fn bounded_sniffer_pair(filter: SnifferFilter, capacity: usize) -> (Sniffer, SnifferHandle) {
+    let (tap, handle) = sniffer_pair(filter);
+    handle.set_capacity(Some(capacity));
+    (tap, handle)
+}
+
 impl PacketTap for Sniffer {
     fn on_packet(&mut self, meta: &TapMeta, packet: &Packet) {
         if !self.filter.matches(packet) {
             return;
         }
         let mut state = self.state.borrow_mut();
+        if let Some(capacity) = state.capacity {
+            if state.records.len() >= capacity {
+                state.dropped_overflow += 1;
+                return;
+            }
+        }
         state.captured_total += 1;
         state.records.push(PacketRecord::from_packet(meta.time, packet));
     }
@@ -94,6 +114,23 @@ impl SnifferHandle {
     /// Total packets ever captured through this sniffer.
     pub fn captured_total(&self) -> u64 {
         self.state.borrow().captured_total
+    }
+
+    /// Sets (or clears) the buffer capacity. A consumer that drains on
+    /// a cadence bounds its worst-case memory; packets arriving while
+    /// the buffer is full are dropped and counted.
+    pub fn set_capacity(&self, capacity: Option<usize>) {
+        self.state.borrow_mut().capacity = capacity;
+    }
+
+    /// The current capacity bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.state.borrow().capacity
+    }
+
+    /// Packets discarded because the buffer was at capacity.
+    pub fn dropped_overflow(&self) -> u64 {
+        self.state.borrow().dropped_overflow
     }
 }
 
@@ -130,6 +167,36 @@ mod tests {
         tap.on_packet(&meta(), &udp(victim, Addr::new(1, 0, 0, 1))); // from
         tap.on_packet(&meta(), &udp(Addr::new(1, 0, 0, 1), Addr::new(9, 0, 0, 9))); // unrelated
         assert_eq!(handle.buffered(), 2);
+    }
+
+    #[test]
+    fn bounded_buffer_tail_drops_and_counts() {
+        let (mut tap, handle) = bounded_sniffer_pair(SnifferFilter::All, 2);
+        for _ in 0..5 {
+            tap.on_packet(&meta(), &udp(Addr::new(1, 0, 0, 1), Addr::new(2, 0, 0, 1)));
+        }
+        assert_eq!(handle.buffered(), 2);
+        assert_eq!(handle.captured_total(), 2);
+        assert_eq!(handle.dropped_overflow(), 3);
+        // Draining frees the buffer; capture resumes.
+        handle.drain();
+        tap.on_packet(&meta(), &udp(Addr::new(1, 0, 0, 1), Addr::new(2, 0, 0, 1)));
+        assert_eq!(handle.buffered(), 1);
+        assert_eq!(handle.dropped_overflow(), 3);
+    }
+
+    #[test]
+    fn capacity_can_be_changed_live() {
+        let (mut tap, handle) = sniffer_pair(SnifferFilter::All);
+        assert_eq!(handle.capacity(), None);
+        for _ in 0..4 {
+            tap.on_packet(&meta(), &udp(Addr::new(1, 0, 0, 1), Addr::new(2, 0, 0, 1)));
+        }
+        assert_eq!(handle.buffered(), 4);
+        handle.set_capacity(Some(4));
+        tap.on_packet(&meta(), &udp(Addr::new(1, 0, 0, 1), Addr::new(2, 0, 0, 1)));
+        assert_eq!(handle.buffered(), 4);
+        assert_eq!(handle.dropped_overflow(), 1);
     }
 
     #[test]

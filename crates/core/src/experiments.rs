@@ -21,8 +21,11 @@ use netsim::rng::SimRng;
 use netsim::time::SimDuration;
 use serde::{Deserialize, Serialize};
 
-use crate::scenario::{rotation, ScenarioConfig};
-use crate::testbed::Testbed;
+use crate::scenario::{
+    rotation, CpuPressureSpec, FaultPlanConfig, JitterSpec, LinkFlapSpec, LossRampSpec,
+    ScenarioConfig, ThrottleSpec,
+};
+use crate::testbed::{LiveReport, Testbed};
 
 /// How long the capture and detection phases run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -383,6 +386,99 @@ pub fn run_vector_detectability(seed: u64, scale: &ExperimentScale) -> Vec<Vecto
             }
         })
         .collect()
+}
+
+/// The detection scenario under chaos: the standard live run plus a
+/// full fault plan — a bridge outage mid-flood, a transient loss ramp,
+/// a latency-jitter ramp, a bandwidth throttle, and a CPU-pressure
+/// spike on the IDS node strong enough to drive windows into
+/// `degraded`. All offsets are relative to the end of the infection
+/// lead, scaled to land inside the live phase.
+pub fn chaos_scenario(seed: u64, live_secs: u64, epoch_offset_secs: u64) -> ScenarioConfig {
+    let mut config = detection_scenario(seed, live_secs, epoch_offset_secs);
+    let live_start = epoch_offset_secs; // live phase begins after the epoch gap
+    let at = |frac: f64| SimDuration::from_secs_f64(live_start as f64 + live_secs as f64 * frac);
+    config.faults = FaultPlanConfig {
+        flaps: vec![LinkFlapSpec { start: at(0.20), down_for: SimDuration::from_secs(2) }],
+        random_flap: None,
+        loss_ramps: vec![LossRampSpec {
+            start: at(0.40),
+            duration: SimDuration::from_secs(6),
+            peak: 0.25,
+            steps: 6,
+        }],
+        jitter: vec![JitterSpec {
+            start: at(0.55),
+            duration: SimDuration::from_secs(6),
+            peak: SimDuration::from_millis(40),
+            steps: 6,
+        }],
+        throttles: vec![ThrottleSpec {
+            start: at(0.70),
+            duration: SimDuration::from_secs(5),
+            factor: 0.25,
+        }],
+        ids_pressure: vec![CpuPressureSpec {
+            start: at(0.30),
+            duration: SimDuration::from_secs(10),
+            factor: 5_000.0,
+        }],
+    };
+    config
+}
+
+/// The outcome of a chaos detection run (E11).
+#[derive(Debug)]
+pub struct ChaosOutcome {
+    /// The live phase's detection log, sustainability and robustness.
+    pub live: LiveReport,
+    /// Bridge counters after the run — fault drops are visible as
+    /// `drops_link_down` and the loss ramp as `drops_lost`.
+    pub bridge_stats: netsim::link::LinkStats,
+    /// The exact scenario that ran (fault plan included).
+    pub scenario: ScenarioConfig,
+}
+
+/// E11: the detection pipeline under injected faults. Trains on a clean
+/// capture, then deploys the live run with the [`chaos_scenario`] fault
+/// plan. The whole run is a pure function of `seed`: repeated
+/// invocations produce byte-identical detection logs
+/// ([`ids::realtime::DetectionLog::serialize_compact`]) and link counters.
+pub fn run_chaos_detection(seed: u64, scale: &ExperimentScale) -> ChaosOutcome {
+    run_kmeans_live(seed, scale, true)
+}
+
+/// The fault-free twin of [`run_chaos_detection`]: identical training,
+/// identical scenario, empty fault plan. Pairing the two isolates the
+/// effect of the injected chaos on the same traffic.
+pub fn run_baseline_detection(seed: u64, scale: &ExperimentScale) -> ChaosOutcome {
+    run_kmeans_live(seed, scale, false)
+}
+
+fn run_kmeans_live(seed: u64, scale: &ExperimentScale, with_faults: bool) -> ChaosOutcome {
+    let capture = run_training_capture(seed, scale);
+    let ids_config = IdsConfig { max_train_samples: scale.max_train_samples, ..IdsConfig::default() };
+    let mut rng = SimRng::seed_from(seed ^ 0x7ea1);
+    let outcome = TrainedIds::train(
+        &capture,
+        &ModelKind::KMeans(KMeansConfig { k_max: 24, ..KMeansConfig::default() }),
+        ids_config,
+        &mut rng,
+    )
+    .expect("training capture contains both classes");
+
+    let epoch_offset = scale.capture_secs + 5;
+    let scenario = if with_faults {
+        chaos_scenario(seed, scale.live_secs, epoch_offset)
+    } else {
+        detection_scenario(seed, scale.live_secs, epoch_offset)
+    };
+    let mut live = Testbed::deploy(scenario.clone());
+    live.run_infection_lead();
+    let _ = live.run_capture(SimDuration::from_secs(epoch_offset));
+    let report = live.run_live(SimDuration::from_secs(scale.live_secs), outcome.ids);
+    let bridge_stats = live.bridge_stats();
+    ChaosOutcome { live: report, bridge_stats, scenario }
 }
 
 /// Runs just the training capture (E3's dataset statistics).

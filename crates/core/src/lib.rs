@@ -30,6 +30,12 @@ pub mod experiments;
 pub mod scenario;
 pub mod testbed;
 
-pub use experiments::{run_full_evaluation, ExperimentScale, FullReport, ModelReport};
-pub use scenario::{rotation, AttackPhase, ScenarioConfig};
+pub use experiments::{
+    run_baseline_detection, run_chaos_detection, run_full_evaluation, ChaosOutcome,
+    ExperimentScale, FullReport, ModelReport,
+};
+pub use scenario::{
+    rotation, AttackPhase, CpuPressureSpec, FaultPlanConfig, JitterSpec, LinkFlapSpec,
+    LossRampSpec, RandomFlapSpec, ScenarioConfig, ThrottleSpec,
+};
 pub use testbed::{LiveReport, Testbed};

@@ -3,8 +3,11 @@
 use botnet::commands::AttackVector;
 use botnet::flood::FloodConfig;
 use containers::runtime::BridgeMedium;
+use netsim::faults::FaultPlan;
 use netsim::link::LinkConfig;
+use netsim::rng::SimRng;
 use netsim::time::SimDuration;
+use netsim::{LinkId, NodeId};
 use serde::{Deserialize, Serialize};
 use traffic::workload::WorkloadConfig;
 
@@ -19,6 +22,199 @@ pub struct AttackPhase {
     pub duration_secs: u32,
     /// Packets per second per bot.
     pub pps: u32,
+}
+
+/// A deterministic bridge outage: down at `start`, restored `down_for`
+/// later. Offsets are relative to the end of the infection lead, like
+/// [`AttackPhase::start`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkFlapSpec {
+    /// Offset from the end of the infection lead.
+    pub start: SimDuration,
+    /// Outage length.
+    pub down_for: SimDuration,
+}
+
+/// Randomised bridge flapping over an interval (exponential up/down
+/// holding times, drawn from the scenario seed at deploy time).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomFlapSpec {
+    /// Offset from the end of the infection lead.
+    pub start: SimDuration,
+    /// End of the flapping interval (the link is restored here).
+    pub until: SimDuration,
+    /// Mean up-time between outages, seconds.
+    pub mean_up_secs: f64,
+    /// Mean outage length, seconds.
+    pub mean_down_secs: f64,
+}
+
+/// A transient triangular loss ramp on the bridge.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossRampSpec {
+    /// Offset from the end of the infection lead.
+    pub start: SimDuration,
+    /// Ramp length.
+    pub duration: SimDuration,
+    /// Peak loss probability at the ramp midpoint.
+    pub peak: f64,
+    /// Number of equal ramp segments.
+    pub steps: usize,
+}
+
+/// A transient latency-jitter ramp on the bridge.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JitterSpec {
+    /// Offset from the end of the infection lead.
+    pub start: SimDuration,
+    /// Ramp length.
+    pub duration: SimDuration,
+    /// Approximate peak extra one-way delay.
+    pub peak: SimDuration,
+    /// Number of equal ramp segments.
+    pub steps: usize,
+}
+
+/// A bandwidth throttle interval on the bridge.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThrottleSpec {
+    /// Offset from the end of the infection lead.
+    pub start: SimDuration,
+    /// Throttle length.
+    pub duration: SimDuration,
+    /// Bandwidth multiplier in `(0, 1]` (0.25 = quarter speed).
+    pub factor: f64,
+}
+
+/// A CPU-pressure interval on the IDS node: modelled detection compute
+/// is stretched by `factor` while active, driving the overload policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuPressureSpec {
+    /// Offset from the end of the infection lead.
+    pub start: SimDuration,
+    /// Pressure interval length.
+    pub duration: SimDuration,
+    /// Compute-time multiplier (1.0 = unloaded).
+    pub factor: f64,
+}
+
+/// Declarative fault injection for a scenario: which chaos the bridge
+/// and the IDS node endure, scheduled relative to the end of the
+/// infection lead. Deploy compiles this into a [`FaultPlan`] of
+/// concrete timestamped actions, so two runs of the same seed inject
+/// byte-identical fault schedules.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlanConfig {
+    /// Deterministic bridge outages.
+    pub flaps: Vec<LinkFlapSpec>,
+    /// Seed-driven random flapping, if any.
+    pub random_flap: Option<RandomFlapSpec>,
+    /// Transient loss ramps.
+    pub loss_ramps: Vec<LossRampSpec>,
+    /// Latency-jitter ramps.
+    pub jitter: Vec<JitterSpec>,
+    /// Bandwidth throttles.
+    pub throttles: Vec<ThrottleSpec>,
+    /// CPU pressure on the IDS container's node.
+    pub ids_pressure: Vec<CpuPressureSpec>,
+}
+
+impl FaultPlanConfig {
+    /// `true` if no faults are configured.
+    pub fn is_empty(&self) -> bool {
+        self.flaps.is_empty()
+            && self.random_flap.is_none()
+            && self.loss_ramps.is_empty()
+            && self.jitter.is_empty()
+            && self.throttles.is_empty()
+            && self.ids_pressure.is_empty()
+    }
+
+    /// Compiles the declarative config into concrete fault actions
+    /// against `bridge` and `ids_node`, shifting every offset by `lead`
+    /// (the infection lead). Random draws (flap holding times, jitter
+    /// wobble) are taken from `rng` *now*; the returned plan is plain
+    /// data.
+    pub fn to_fault_plan(
+        &self,
+        bridge: LinkId,
+        ids_node: NodeId,
+        lead: SimDuration,
+        rng: &mut SimRng,
+    ) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        for flap in &self.flaps {
+            plan.link_flap(bridge, lead + flap.start, flap.down_for);
+        }
+        if let Some(random) = &self.random_flap {
+            plan.link_flap_random(
+                bridge,
+                lead + random.start,
+                lead + random.until,
+                random.mean_up_secs,
+                random.mean_down_secs,
+                rng,
+            );
+        }
+        for ramp in &self.loss_ramps {
+            plan.loss_ramp(bridge, lead + ramp.start, ramp.duration, ramp.peak, ramp.steps);
+        }
+        for jitter in &self.jitter {
+            plan.delay_jitter_ramp(
+                bridge,
+                lead + jitter.start,
+                jitter.duration,
+                jitter.peak,
+                jitter.steps,
+                rng,
+            );
+        }
+        for throttle in &self.throttles {
+            plan.throttle(bridge, lead + throttle.start, throttle.duration, throttle.factor);
+        }
+        for pressure in &self.ids_pressure {
+            plan.cpu_pressure(ids_node, lead + pressure.start, pressure.duration, pressure.factor);
+        }
+        plan
+    }
+
+    /// Appends this config's validation problems to `problems`.
+    fn validate_into(&self, problems: &mut Vec<String>) {
+        if let Some(random) = &self.random_flap {
+            if random.mean_up_secs <= 0.0 || random.mean_down_secs <= 0.0 {
+                problems.push("random_flap means must be positive".to_owned());
+            }
+            if random.until <= random.start {
+                problems.push("random_flap interval is empty".to_owned());
+            }
+        }
+        for (i, ramp) in self.loss_ramps.iter().enumerate() {
+            if !(0.0..=1.0).contains(&ramp.peak) {
+                problems.push(format!("loss ramp {i} peak {} outside [0, 1]", ramp.peak));
+            }
+            if ramp.steps == 0 {
+                problems.push(format!("loss ramp {i} has zero steps"));
+            }
+        }
+        for (i, jitter) in self.jitter.iter().enumerate() {
+            if jitter.steps == 0 {
+                problems.push(format!("jitter ramp {i} has zero steps"));
+            }
+        }
+        for (i, throttle) in self.throttles.iter().enumerate() {
+            if !(throttle.factor > 0.0 && throttle.factor <= 1.0) {
+                problems.push(format!("throttle {i} factor {} outside (0, 1]", throttle.factor));
+            }
+        }
+        for (i, pressure) in self.ids_pressure.iter().enumerate() {
+            if !(pressure.factor.is_finite() && pressure.factor >= 0.0) {
+                problems.push(format!(
+                    "cpu pressure {i} factor {} must be finite and non-negative",
+                    pressure.factor
+                ));
+            }
+        }
+    }
 }
 
 /// Full configuration of one testbed deployment.
@@ -54,6 +250,8 @@ pub struct ScenarioConfig {
     pub churn_mean_down: SimDuration,
     /// Target port of SYN/ACK floods (the TServer's HTTP port).
     pub attack_port: u16,
+    /// Declarative fault injection (empty = a fault-free run).
+    pub faults: FaultPlanConfig,
 }
 
 impl ScenarioConfig {
@@ -90,6 +288,7 @@ impl ScenarioConfig {
             churn_rate_per_min: 0.0,
             churn_mean_down: SimDuration::from_secs(5),
             attack_port: 80,
+            faults: FaultPlanConfig::default(),
         }
     }
 
@@ -134,6 +333,7 @@ impl ScenarioConfig {
         if !(0.0..=1.0).contains(&self.link.loss_rate) {
             problems.push(format!("link loss_rate {} outside [0, 1]", self.link.loss_rate));
         }
+        self.faults.validate_into(&mut problems);
         if problems.is_empty() {
             Ok(())
         } else {
@@ -216,5 +416,85 @@ mod tests {
         // Round-trips through the serde data model (config files).
         let clone = config.clone();
         assert_eq!(clone, config);
+    }
+
+    fn full_fault_config() -> FaultPlanConfig {
+        FaultPlanConfig {
+            flaps: vec![LinkFlapSpec {
+                start: SimDuration::from_secs(5),
+                down_for: SimDuration::from_secs(2),
+            }],
+            random_flap: Some(RandomFlapSpec {
+                start: SimDuration::from_secs(10),
+                until: SimDuration::from_secs(30),
+                mean_up_secs: 4.0,
+                mean_down_secs: 1.0,
+            }),
+            loss_ramps: vec![LossRampSpec {
+                start: SimDuration::from_secs(12),
+                duration: SimDuration::from_secs(6),
+                peak: 0.3,
+                steps: 6,
+            }],
+            jitter: vec![JitterSpec {
+                start: SimDuration::from_secs(15),
+                duration: SimDuration::from_secs(4),
+                peak: SimDuration::from_millis(30),
+                steps: 4,
+            }],
+            throttles: vec![ThrottleSpec {
+                start: SimDuration::from_secs(20),
+                duration: SimDuration::from_secs(5),
+                factor: 0.5,
+            }],
+            ids_pressure: vec![CpuPressureSpec {
+                start: SimDuration::from_secs(8),
+                duration: SimDuration::from_secs(10),
+                factor: 3.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn fault_config_validation_catches_bad_specs() {
+        let mut config = ScenarioConfig::paper_default(1);
+        config.faults = full_fault_config();
+        config.validate().expect("full fault config is valid");
+
+        config.faults.random_flap.as_mut().unwrap().mean_up_secs = 0.0;
+        config.faults.random_flap.as_mut().unwrap().until = SimDuration::from_secs(1);
+        config.faults.loss_ramps[0].peak = 1.5;
+        config.faults.jitter[0].steps = 0;
+        config.faults.throttles[0].factor = 0.0;
+        config.faults.ids_pressure[0].factor = f64::NAN;
+        let problems = config.validate().unwrap_err();
+        assert!(problems.len() >= 6, "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("random_flap means")));
+        assert!(problems.iter().any(|p| p.contains("interval is empty")));
+        assert!(problems.iter().any(|p| p.contains("peak")));
+        assert!(problems.iter().any(|p| p.contains("zero steps")));
+        assert!(problems.iter().any(|p| p.contains("throttle")));
+        assert!(problems.iter().any(|p| p.contains("cpu pressure")));
+    }
+
+    #[test]
+    fn fault_plan_compilation_is_deterministic() {
+        let faults = full_fault_config();
+        let bridge = LinkId::from_raw(0);
+        let node = NodeId::from_raw(3);
+        let lead = SimDuration::from_secs(20);
+        let a = faults.to_fault_plan(bridge, node, lead, &mut SimRng::seed_from(99));
+        let b = faults.to_fault_plan(bridge, node, lead, &mut SimRng::seed_from(99));
+        assert!(!a.entries().is_empty());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        // A different seed draws different random holding times.
+        let c = faults.to_fault_plan(bridge, node, lead, &mut SimRng::seed_from(100));
+        assert_ne!(format!("{a:?}"), format!("{c:?}"));
+    }
+
+    #[test]
+    fn empty_fault_config_reports_empty() {
+        assert!(FaultPlanConfig::default().is_empty());
+        assert!(!full_fault_config().is_empty());
     }
 }

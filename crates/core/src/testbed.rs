@@ -17,7 +17,7 @@ use containers::meter::ResourceMeter;
 use containers::runtime::{ContainerId, ContainerSpec, Role, Runtime};
 use ids::pipeline::TrainedIds;
 use ids::realtime::{DetectionLog, RealTimeIds};
-use ids::resources::SustainabilityReport;
+use ids::resources::{RobustnessReport, SustainabilityReport};
 use netsim::rng::SimRng;
 use netsim::time::{SimDuration, SimTime};
 use netsim::Addr;
@@ -143,6 +143,23 @@ impl Testbed {
         let (tap, sniffer) = sniffer_pair(SnifferFilter::Involving(tserver_addr));
         rt.world_mut().add_tap(Box::new(tap));
 
+        // Fault injection: compile the declarative config into concrete
+        // timestamped actions against the bridge and the IDS node. The
+        // plan is scheduled up front, so the same seed always injects
+        // the same chaos.
+        if !config.faults.is_empty() {
+            let bridge = rt.bridge();
+            let ids_node = rt.node(ids_container);
+            let mut fault_rng = rng.fork();
+            let plan = config.faults.to_fault_plan(
+                bridge,
+                ids_node,
+                config.infection_lead,
+                &mut fault_rng,
+            );
+            rt.world_mut().apply_fault_plan(&plan);
+        }
+
         Testbed {
             rt,
             config,
@@ -255,7 +272,14 @@ impl Testbed {
             memory_kb: meter.memory_peak_bytes() as f64 / 1024.0,
             model_size_kb,
         };
-        LiveReport { log, sustainability, meter }
+        let robustness = RobustnessReport::collect(&log, &self.sniffer);
+        LiveReport { log, sustainability, robustness, meter }
+    }
+
+    /// Link counters of the shared bridge (fault-injection drops show
+    /// up here as `drops_link_down`).
+    pub fn bridge_stats(&self) -> netsim::link::LinkStats {
+        self.rt.world().link_stats(self.rt.bridge())
     }
 
     /// Per-second received throughput at the TServer so far, in bytes.
@@ -280,6 +304,9 @@ pub struct LiveReport {
     pub log: DetectionLog,
     /// The paper's Table II row for this model.
     pub sustainability: SustainabilityReport,
+    /// Overload/feed accounting: every window classified or degraded,
+    /// every shed packet counted.
+    pub robustness: RobustnessReport,
     /// The IDS container's meter (for further inspection).
     pub meter: ResourceMeter,
 }

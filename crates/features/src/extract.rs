@@ -21,7 +21,7 @@ use capture::record::{Label, PacketRecord};
 use ml::matrix::FeatureMatrix;
 use netsim::packet::{Protocol, TcpFlags};
 
-use crate::window::{WindowStats, STAT_FEATURES, STAT_FEATURE_NAMES};
+use crate::window::{AckGrace, WindowStats, STAT_FEATURES, STAT_FEATURE_NAMES};
 
 /// Number of basic per-packet features.
 pub const BASIC_FEATURES: usize = 13;
@@ -160,11 +160,18 @@ impl Window {
 pub struct WindowAggregator {
     window_secs: u64,
     stats_refresh: usize,
+    ack_grace_secs: f64,
+    ack_carry: AckGrace,
     windows_emitted: usize,
     cached_stats: Option<WindowStats>,
     current_index: Option<u64>,
     current: Vec<PacketRecord>,
 }
+
+/// Default cross-window handshake grace, in seconds: a SYN this close
+/// to a window boundary waits for its ACK in the next window before
+/// being counted as unanswered.
+pub const DEFAULT_ACK_GRACE_SECS: f64 = 0.1;
 
 impl WindowAggregator {
     /// Creates an aggregator with the given window length in seconds
@@ -173,11 +180,27 @@ impl WindowAggregator {
         WindowAggregator {
             window_secs: window_secs.max(1),
             stats_refresh: 1,
+            ack_grace_secs: DEFAULT_ACK_GRACE_SECS,
+            ack_carry: AckGrace::default(),
             windows_emitted: 0,
             cached_stats: None,
             current_index: None,
             current: Vec::new(),
         }
+    }
+
+    /// Overrides the cross-window handshake grace (seconds). `0.0`
+    /// restores strict per-window `syn_without_ack` accounting, where a
+    /// handshake whose ACK lands just across the boundary is (wrongly)
+    /// counted as unanswered.
+    pub fn with_ack_grace(mut self, grace_secs: f64) -> Self {
+        self.ack_grace_secs = grace_secs.max(0.0);
+        self
+    }
+
+    /// The configured cross-window handshake grace, in seconds.
+    pub fn ack_grace_secs(&self) -> f64 {
+        self.ack_grace_secs
     }
 
     /// Recomputes the statistical features only every `refresh`-th
@@ -205,7 +228,7 @@ impl WindowAggregator {
     pub fn push(&mut self, record: PacketRecord) -> Option<Window> {
         let index = record.window_index(self.window_secs);
         let completed = match self.current_index {
-            Some(current) if index != current => self.take_window(),
+            Some(current) if index != current => self.take_window(false),
             _ => None,
         };
         self.current_index = Some(index);
@@ -213,25 +236,50 @@ impl WindowAggregator {
         completed
     }
 
-    /// Completes and returns the in-progress window, if any.
+    /// Completes and returns the in-progress window, if any. The final
+    /// window is usually *partial*: its rate features are computed over
+    /// the span it actually covers, not the nominal window length, and
+    /// handshake deferral is disabled (there is no next window for an
+    /// ACK to land in).
     pub fn flush(&mut self) -> Option<Window> {
-        self.take_window()
+        self.take_window(true)
     }
 
-    fn take_window(&mut self) -> Option<Window> {
+    fn take_window(&mut self, is_flush: bool) -> Option<Window> {
         let index = self.current_index?;
         if self.current.is_empty() {
             return None;
         }
         let records = std::mem::take(&mut self.current);
         self.current_index = None;
+        let nominal = self.window_secs as f64;
+        let window_start = (index * self.window_secs) as f64;
+        let (span, window_end) = if is_flush {
+            let last_ts = records.last().expect("non-empty window").ts.as_secs_f64();
+            // The actual covered span, never beyond the nominal window
+            // and floored so rates stay finite for a single packet.
+            ((last_ts - window_start).clamp(1e-3, nominal), f64::INFINITY)
+        } else {
+            (nominal, window_start + nominal)
+        };
         let refresh_due =
             self.cached_stats.is_none() || self.windows_emitted.is_multiple_of(self.stats_refresh);
         let stats = if refresh_due {
-            let stats = WindowStats::compute(&records, self.window_secs as f64);
+            let (stats, carry) = WindowStats::compute_streaming(
+                &records,
+                span,
+                window_end,
+                self.ack_grace_secs,
+                &self.ack_carry,
+            );
+            self.ack_carry = carry;
             self.cached_stats = Some(stats);
             stats
         } else {
+            // Cached stats are reused, but the handshake carry must
+            // still track this window or the next fresh computation
+            // would resolve SYNs against a stale boundary.
+            self.ack_carry = self.ack_carry.advance(&records, window_end, self.ack_grace_secs);
             self.cached_stats.expect("cache checked above")
         };
         self.windows_emitted += 1;
@@ -375,6 +423,67 @@ mod tests {
         for (a, b) in rows.iter().zip(flat.rows()) {
             assert_eq!(a.as_slice(), b, "rows must be bit-identical");
         }
+    }
+
+    #[test]
+    fn flushed_partial_window_uses_actual_span() {
+        // 250 ms of traffic inside window 3 (3.0 s – 3.25 s), then flush.
+        let mut agg = WindowAggregator::new(1);
+        for i in 0..5u64 {
+            agg.push(record(3_000 + i * 62, Label::Benign));
+        }
+        let w = agg.flush().expect("partial window flushes");
+        assert_eq!(w.index, 3);
+        let span = 0.248; // last ts 3.248 s − window start 3.0 s
+        let expected_rate = 5.0 * 100.0 / span;
+        assert!(
+            (w.stats.byte_rate - expected_rate).abs() < 1e-6,
+            "rate over actual span, got {} expected {expected_rate}",
+            w.stats.byte_rate
+        );
+        // The nominal-length division would claim a 4× lower rate.
+        assert!(w.stats.byte_rate > 3.9 * 500.0);
+    }
+
+    #[test]
+    fn single_packet_flush_keeps_rates_finite() {
+        let mut agg = WindowAggregator::new(1);
+        agg.push(record(2_000, Label::Benign));
+        let w = agg.flush().unwrap();
+        assert!(w.stats.byte_rate.is_finite());
+        assert!(w.stats.flow_rate.is_finite());
+        // Clamped at the 1 ms span floor: 100 bytes / 1e-3 s.
+        assert!((w.stats.byte_rate - 100_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn aggregator_carries_handshake_grace_across_windows() {
+        // The handshaking endpoint is 10.0.0.1:6000; the window filler
+        // comes from an unrelated endpoint so it cannot answer the SYN.
+        let syn = |ts_ms: u64| PacketRecord {
+            ts: SimTime::from_millis(ts_ms),
+            src_port: 6000,
+            flags: TcpFlags::SYN,
+            ..record(0, Label::Benign)
+        };
+        let ack = |ts_ms: u64| PacketRecord { src_port: 6000, ..record(ts_ms, Label::Benign) };
+        let filler = |ts_ms: u64| PacketRecord { src_port: 7777, ..record(ts_ms, Label::Benign) };
+
+        let mut agg = WindowAggregator::new(1);
+        agg.push(filler(100));
+        agg.push(syn(950));
+        // The ACK lands 20 ms into the next window.
+        let w0 = agg.push(ack(1_020)).expect("window 0 closes");
+        assert_eq!(w0.stats.syn_without_ack, 0.0, "boundary handshake not miscounted");
+        let w1 = agg.flush().unwrap();
+        assert_eq!(w1.stats.syn_without_ack, 0.0, "resolved by the grace carry");
+
+        // Strict mode (grace off) reproduces the old misattribution.
+        let mut strict = WindowAggregator::new(1).with_ack_grace(0.0);
+        strict.push(filler(100));
+        strict.push(syn(950));
+        let w0 = strict.push(ack(1_020)).expect("window 0 closes");
+        assert_eq!(w0.stats.syn_without_ack, 1.0);
     }
 
     #[test]

@@ -22,4 +22,4 @@ pub use extract::{
     WindowAggregator, BASIC_FEATURES, TOTAL_FEATURES,
 };
 pub use scaling::{Scaler, ScalingMethod};
-pub use window::{entropy, mean_std, WindowStats, STAT_FEATURES};
+pub use window::{entropy, mean_std, AckGrace, WindowStats, STAT_FEATURES};

@@ -51,17 +51,107 @@ pub struct WindowStats {
 /// Number of statistical features.
 pub const STAT_FEATURES: usize = 13;
 
+/// Handshake state carried between adjacent windows so that a SYN
+/// answered by an ACK *just across* the window boundary is not counted
+/// as unanswered (see [`WindowStats::compute_streaming`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AckGrace {
+    /// The window boundary (in seconds) at which these SYNs were
+    /// deferred; an ACK within the grace period of this instant
+    /// resolves them.
+    boundary_secs: f64,
+    /// Per-endpoint `(src_addr, src_port)` count of bare SYNs still
+    /// awaiting an ACK across the boundary.
+    pending: HashMap<(u32, u16), u64>,
+}
+
+impl AckGrace {
+    /// `true` if no handshakes straddle the boundary.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Total SYNs awaiting cross-boundary resolution.
+    pub fn pending_syns(&self) -> u64 {
+        self.pending.values().sum()
+    }
+
+    /// Advances the carry across a window *without* recomputing its
+    /// statistics — the cheap companion of
+    /// [`WindowStats::compute_streaming`] for aggregators that reuse
+    /// cached stats (`stats_refresh > 1`). Produces the same carry the
+    /// full computation would, so the next freshly computed window sees
+    /// identical handshake state.
+    pub fn advance(
+        &self,
+        records: &[PacketRecord],
+        window_end_secs: f64,
+        grace_secs: f64,
+    ) -> AckGrace {
+        let mut pending: HashMap<(u32, u16), u64> = HashMap::new();
+        if grace_secs > 0.0 && window_end_secs.is_finite() {
+            let mut syns: HashMap<(u32, u16), (u64, f64)> = HashMap::new();
+            let mut acked: std::collections::HashSet<(u32, u16)> = std::collections::HashSet::new();
+            for r in records {
+                if r.protocol != Protocol::Tcp {
+                    continue;
+                }
+                let endpoint = (r.src.to_bits(), r.src_port);
+                if r.is_bare_syn() {
+                    let entry = syns.entry(endpoint).or_insert((0, 0.0));
+                    entry.0 += 1;
+                    entry.1 = r.ts.as_secs_f64();
+                } else if r.flags.contains(TcpFlags::ACK) {
+                    acked.insert(endpoint);
+                }
+            }
+            let defer_after = window_end_secs - grace_secs;
+            for (endpoint, (count, last_ts)) in syns {
+                if !acked.contains(&endpoint) && last_ts > defer_after {
+                    pending.insert(endpoint, count);
+                }
+            }
+        }
+        AckGrace { boundary_secs: window_end_secs, pending }
+    }
+}
+
 impl WindowStats {
     /// Computes the statistics of a window's packets.
     ///
-    /// `window_secs` is the nominal window length used for the rate
-    /// features. Returns the default (all zeros) for an empty window.
+    /// `window_secs` is the window span used for the rate features —
+    /// pass the *actual* covered span for a partial (flushed) final
+    /// window, not the nominal length, or its rates read artificially
+    /// low. Returns the default (all zeros) for an empty window.
     pub fn compute(records: &[PacketRecord], window_secs: f64) -> Self {
+        Self::compute_streaming(records, window_secs, f64::INFINITY, 0.0, &AckGrace::default()).0
+    }
+
+    /// Streaming form of [`WindowStats::compute`] with cross-window
+    /// handshake grace.
+    ///
+    /// A bare SYN within `grace_secs` of the window end (`window_end_secs`,
+    /// absolute) is *deferred* into the returned [`AckGrace`] instead of
+    /// being counted: if the endpoint's ACK lands within `grace_secs`
+    /// after the boundary, the handshake was answered and is never
+    /// counted; otherwise the deferred SYN is added to the *next*
+    /// window's `syn_without_ack`. Totals over a run are preserved —
+    /// only the boundary misattribution is fixed. `grace_secs = 0.0`
+    /// reproduces the plain per-window accounting exactly, and an
+    /// infinite `window_end_secs` disables deferral (used for the final
+    /// flushed window, which has no successor).
+    pub fn compute_streaming(
+        records: &[PacketRecord],
+        span_secs: f64,
+        window_end_secs: f64,
+        grace_secs: f64,
+        carry: &AckGrace,
+    ) -> (Self, AckGrace) {
         if records.is_empty() {
-            return WindowStats::default();
+            return (WindowStats::default(), carry.clone());
         }
         let n = records.len() as f64;
-        let secs = window_secs.max(1e-9);
+        let secs = span_secs.max(1e-9);
 
         let total_bytes: u64 = records.iter().map(|r| r.wire_len as u64).sum();
 
@@ -69,7 +159,8 @@ impl WindowStats {
         let mut src_addrs: HashMap<u32, u64> = HashMap::new();
         let mut flows: HashMap<(u32, u16, u32, u16, u8), u64> = HashMap::new();
         let mut syns_per_source: HashMap<(u32, u16), u64> = HashMap::new();
-        let mut acks_from_source: HashMap<(u32, u16), bool> = HashMap::new();
+        let mut last_syn_ts: HashMap<(u32, u16), f64> = HashMap::new();
+        let mut first_ack_ts: HashMap<(u32, u16), f64> = HashMap::new();
         let mut seq_values: Vec<f64> = Vec::new();
         let mut udp_count = 0u64;
 
@@ -86,28 +177,57 @@ impl WindowStats {
                     let endpoint = (r.src.to_bits(), r.src_port);
                     if r.is_bare_syn() {
                         *syns_per_source.entry(endpoint).or_default() += 1;
+                        last_syn_ts.insert(endpoint, r.ts.as_secs_f64());
                     } else if r.flags.contains(TcpFlags::ACK) {
-                        acks_from_source.insert(endpoint, true);
+                        first_ack_ts.entry(endpoint).or_insert_with(|| r.ts.as_secs_f64());
                     }
                 }
             }
         }
+
+        // SYNs deferred at the previous boundary: answered if the
+        // endpoint ACKed within the grace period of that boundary,
+        // otherwise they count against this window.
+        let unresolved_carry: u64 = carry
+            .pending
+            .iter()
+            .filter(|(endpoint, _)| match first_ack_ts.get(*endpoint) {
+                Some(&ts) => ts > carry.boundary_secs + grace_secs,
+                None => true,
+            })
+            .map(|(_, &count)| count)
+            .sum();
+
+        // SYNs near this window's end with no ACK yet: defer rather
+        // than count — their ACK may land just across the boundary.
+        let defer_after = window_end_secs - grace_secs;
+        let mut next_carry = AckGrace { boundary_secs: window_end_secs, pending: HashMap::new() };
+        let syn_without_ack: u64 = unresolved_carry
+            + syns_per_source
+                .iter()
+                .filter(|(endpoint, _)| !first_ack_ts.contains_key(*endpoint))
+                .map(|(endpoint, &count)| {
+                    if grace_secs > 0.0
+                        && last_syn_ts.get(endpoint).is_some_and(|&ts| ts > defer_after)
+                    {
+                        next_carry.pending.insert(*endpoint, count);
+                        0
+                    } else {
+                        count
+                    }
+                })
+                .sum::<u64>();
 
         let dst_port_entropy = entropy(dst_ports.values().copied());
         let src_addr_entropy = entropy(src_addrs.values().copied());
         let top_dst_port = dst_ports.values().copied().max().unwrap_or(0) as f64;
         let short_lived = flows.values().filter(|&&c| c <= 2).count() as f64;
         let repeated_syn = syns_per_source.values().filter(|&&c| c > 1).count() as f64;
-        let syn_without_ack: u64 = syns_per_source
-            .iter()
-            .filter(|(endpoint, _)| !acks_from_source.contains_key(*endpoint))
-            .map(|(_, &count)| count)
-            .sum();
 
         let (mean_len, std_len) = mean_std(records.iter().map(|r| r.wire_len as f64));
         let (_, seq_std) = mean_std(seq_values.iter().copied());
 
-        WindowStats {
+        let stats = WindowStats {
             packet_count: n,
             byte_rate: total_bytes as f64 / secs,
             dst_port_entropy,
@@ -121,7 +241,8 @@ impl WindowStats {
             mean_pkt_len: mean_len,
             std_pkt_len: std_len,
             udp_fraction: udp_count as f64 / n,
-        }
+        };
+        (stats, next_carry)
     }
 
     /// The statistics as a feature slice, in [`STAT_FEATURE_NAMES`] order.
@@ -306,6 +427,68 @@ mod tests {
         let two = WindowStats::compute(&records, 2.0);
         assert!((one.byte_rate - 2.0 * two.byte_rate).abs() < 1e-9);
         assert!((one.flow_rate - 2.0 * two.flow_rate).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_ack_within_grace_is_not_a_missed_handshake() {
+        // SYN at 0.95 s (window 0), the client's ACK at 1.02 s (window 1):
+        // a perfectly normal handshake straddling the boundary.
+        let syn = PacketRecord { ts: SimTime::from_millis(950), ..record(8, 9000, 80, TcpFlags::SYN, 1) };
+        let ack =
+            PacketRecord { ts: SimTime::from_millis(1_020), ..record(8, 9000, 80, TcpFlags::ACK, 2) };
+
+        // Strict per-window accounting miscounts the SYN as unanswered.
+        let strict = WindowStats::compute(&[syn], 1.0);
+        assert_eq!(strict.syn_without_ack, 1.0);
+
+        // With grace, window 0 defers the SYN...
+        let (w0, carry) =
+            WindowStats::compute_streaming(&[syn], 1.0, 1.0, 0.1, &AckGrace::default());
+        assert_eq!(w0.syn_without_ack, 0.0);
+        assert_eq!(carry.pending_syns(), 1);
+        // ...and window 1's early ACK resolves it silently.
+        let (w1, carry) = WindowStats::compute_streaming(&[ack], 1.0, 2.0, 0.1, &carry);
+        assert_eq!(w1.syn_without_ack, 0.0);
+        assert!(carry.is_empty());
+    }
+
+    #[test]
+    fn deferred_syn_with_no_ack_lands_in_the_next_window() {
+        let syn = PacketRecord { ts: SimTime::from_millis(980), ..record(8, 9100, 80, TcpFlags::SYN, 1) };
+        // Unrelated traffic in window 1, never an ACK from the SYN's endpoint.
+        let other = PacketRecord {
+            ts: SimTime::from_millis(1_500),
+            ..record(9, 1234, 80, TcpFlags::ACK | TcpFlags::PSH, 5)
+        };
+        let (w0, carry) =
+            WindowStats::compute_streaming(&[syn], 1.0, 1.0, 0.1, &AckGrace::default());
+        assert_eq!(w0.syn_without_ack, 0.0, "deferred, not dropped");
+        let (w1, carry) = WindowStats::compute_streaming(&[other], 1.0, 2.0, 0.1, &carry);
+        assert_eq!(w1.syn_without_ack, 1.0, "the run's total is preserved");
+        assert!(carry.is_empty());
+    }
+
+    #[test]
+    fn late_ack_beyond_grace_does_not_resolve() {
+        let syn = PacketRecord { ts: SimTime::from_millis(950), ..record(8, 9200, 80, TcpFlags::SYN, 1) };
+        // ACK 400 ms after the boundary: far beyond handshake latency.
+        let ack =
+            PacketRecord { ts: SimTime::from_millis(1_400), ..record(8, 9200, 80, TcpFlags::ACK, 2) };
+        let (_, carry) =
+            WindowStats::compute_streaming(&[syn], 1.0, 1.0, 0.1, &AckGrace::default());
+        let (w1, _) = WindowStats::compute_streaming(&[ack], 1.0, 2.0, 0.1, &carry);
+        assert_eq!(w1.syn_without_ack, 1.0);
+    }
+
+    #[test]
+    fn zero_grace_reproduces_strict_accounting() {
+        let records: Vec<PacketRecord> =
+            (0..20).map(|i| record(3, 2000 + i as u16, 80, TcpFlags::SYN, i * 7)).collect();
+        let strict = WindowStats::compute(&records, 1.0);
+        let (streaming, carry) =
+            WindowStats::compute_streaming(&records, 1.0, 1.0, 0.0, &AckGrace::default());
+        assert_eq!(strict, streaming);
+        assert!(carry.is_empty());
     }
 
     #[test]

@@ -21,5 +21,5 @@ pub mod resources;
 pub use alerts::{alert_episodes, detection_latencies, summarize, AlertPolicy, AlertSummary};
 pub use federated::{train_federated, FederatedConfig, FederatedOutcome};
 pub use pipeline::{train_model, IdsConfig, ModelKind, TrainedIds, TrainingOutcome, WindowDetection};
-pub use realtime::{DetectionLog, RealTimeIds};
-pub use resources::SustainabilityReport;
+pub use realtime::{DetectionLog, OverloadPolicy, RealTimeIds};
+pub use resources::{RobustnessReport, SustainabilityReport};

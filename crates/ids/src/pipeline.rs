@@ -242,6 +242,7 @@ impl TrainedIds {
             malicious_correct,
             mixed: window.is_mixed(),
             majority_truth: window.majority_label(),
+            degraded: false,
         }
     }
 }
@@ -323,6 +324,11 @@ pub struct WindowDetection {
     pub mixed: bool,
     /// The window's majority ground truth.
     pub majority_truth: Label,
+    /// `true` if the detector's modelled compute for this window
+    /// exceeded the window interval (overload): the result is still
+    /// recorded, but it arrived late and downstream consumers should
+    /// treat it as best-effort.
+    pub degraded: bool,
 }
 
 impl WindowDetection {
@@ -443,6 +449,7 @@ mod tests {
             malicious_correct: 4,
             mixed: true,
             majority_truth: Label::Malicious,
+            degraded: false,
         };
         assert!((det.accuracy() - 0.7).abs() < 1e-12);
         let empty = WindowDetection { packets: 0, correct: 0, ..det };

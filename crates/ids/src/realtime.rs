@@ -11,6 +11,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Instant;
 
+use capture::record::Label;
 use capture::sniffer::SnifferHandle;
 use containers::meter::ResourceMeter;
 use features::extract::{WindowAggregator, TOTAL_FEATURES};
@@ -105,6 +106,84 @@ impl DetectionLog {
             Some(pure.iter().sum::<f64>() / pure.len() as f64)
         }
     }
+
+    /// Number of windows whose detection ran overloaded.
+    pub fn degraded_count(&self) -> usize {
+        self.inner.borrow().iter().filter(|d| d.degraded).count()
+    }
+
+    /// Serialises the log as stable, human-diffable text: one line per
+    /// window, integer fields only, in window order. Two runs of the
+    /// same seeded scenario must produce byte-identical output — CI
+    /// diffs this to catch determinism regressions.
+    pub fn serialize_compact(&self) -> String {
+        use std::fmt::Write as _;
+        let results = self.inner.borrow();
+        let mut out = String::with_capacity(results.len() * 64);
+        for d in results.iter() {
+            let maj = match d.majority_truth {
+                Label::Benign => 'B',
+                Label::Malicious => 'M',
+            };
+            writeln!(
+                out,
+                "w={} p={} c={} pm={} tm={} mc={} mixed={} maj={} deg={}",
+                d.window_index,
+                d.packets,
+                d.correct,
+                d.predicted_malicious,
+                d.truth_malicious,
+                d.malicious_correct,
+                u8::from(d.mixed),
+                maj,
+                u8::from(d.degraded),
+            )
+            .expect("writing to String cannot fail");
+        }
+        out
+    }
+}
+
+/// Deterministic model of the detector's per-window compute cost.
+///
+/// The real loop's wall-clock time (`Instant`) feeds the sustainability
+/// meter but may *never* influence control flow — that would make runs
+/// host-dependent. Overload is instead decided from this modelled cost
+/// scaled by the node's injected CPU pressure
+/// ([`netsim::world::Ctx::cpu_pressure`]): a window whose modelled
+/// detection time exceeds the window interval is marked
+/// [`degraded`](WindowDetection::degraded) instead of silently skewing
+/// the next drain.
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadPolicy {
+    /// Modelled cost per classified packet, in seconds.
+    pub per_packet_cost_secs: f64,
+    /// Modelled fixed cost per window (drain + aggregation), in seconds.
+    pub per_window_overhead_secs: f64,
+    /// Bound applied to the sniffer feed on start: packets arriving
+    /// while this many records are undrained are dropped (and counted
+    /// by the sniffer) rather than growing the buffer without limit.
+    /// `None` leaves the feed unbounded.
+    pub feed_capacity: Option<usize>,
+}
+
+impl Default for OverloadPolicy {
+    fn default() -> Self {
+        OverloadPolicy {
+            per_packet_cost_secs: 2e-6,
+            per_window_overhead_secs: 1e-4,
+            feed_capacity: Some(65_536),
+        }
+    }
+}
+
+impl OverloadPolicy {
+    /// Modelled detection time for a window of `packets` packets on a
+    /// node under `pressure` (1.0 = unloaded).
+    pub fn modelled_cost_secs(&self, packets: usize, pressure: f64) -> f64 {
+        (self.per_window_overhead_secs + self.per_packet_cost_secs * packets as f64)
+            * pressure.max(0.0)
+    }
 }
 
 /// The real-time IDS application hosted in the IDS container.
@@ -114,6 +193,7 @@ pub struct RealTimeIds {
     aggregator: WindowAggregator,
     meter: ResourceMeter,
     log: DetectionLog,
+    overload: OverloadPolicy,
     /// Feature scratch reused every window — the steady-state detection
     /// loop performs no per-window feature allocation.
     scratch: FeatureMatrix,
@@ -126,8 +206,20 @@ impl std::fmt::Debug for RealTimeIds {
 }
 
 impl RealTimeIds {
-    /// Creates the IDS app over a trained model and a sniffer feed.
+    /// Creates the IDS app over a trained model and a sniffer feed,
+    /// with the default [`OverloadPolicy`].
     pub fn new(ids: TrainedIds, feed: SnifferHandle, meter: ResourceMeter, log: DetectionLog) -> Self {
+        Self::with_overload(ids, feed, meter, log, OverloadPolicy::default())
+    }
+
+    /// Creates the IDS app with an explicit overload policy.
+    pub fn with_overload(
+        ids: TrainedIds,
+        feed: SnifferHandle,
+        meter: ResourceMeter,
+        log: DetectionLog,
+        overload: OverloadPolicy,
+    ) -> Self {
         let window_secs = ids.window_secs();
         let refresh = ids.stats_refresh();
         // The model's resident footprint counts against the container.
@@ -138,6 +230,7 @@ impl RealTimeIds {
             aggregator: WindowAggregator::new(window_secs).with_stats_refresh(refresh),
             meter,
             log,
+            overload,
             scratch: FeatureMatrix::new(TOTAL_FEATURES),
         }
     }
@@ -150,15 +243,23 @@ impl RealTimeIds {
                 completed.push(window);
             }
         }
-        // Feature extraction + inference, measured for the CPU metric.
+        // Overload is decided from the modelled cost under the node's
+        // injected CPU pressure — never from wall-clock time, which
+        // would make the detection log host-dependent.
+        let pressure = ctx.cpu_pressure();
+        let window_interval_secs = self.ids.window_secs() as f64;
         let mut buffered_bytes = 0u64;
         for window in &completed {
-            let detection = self.ids.classify_window_into(window, &mut self.scratch);
+            let mut detection = self.ids.classify_window_into(window, &mut self.scratch);
+            detection.degraded = self.overload.modelled_cost_secs(window.records.len(), pressure)
+                > window_interval_secs;
             buffered_bytes += window.records.len() as u64 * 64; // record footprint
             self.log.push(detection);
         }
+        // Wall-clock busy time, stretched by the injected pressure,
+        // feeds the sustainability meter only (reporting, not control).
         let busy = started.elapsed().as_secs_f64();
-        self.meter.record_cpu_seconds(busy);
+        self.meter.record_cpu_seconds(busy * pressure.max(0.0));
         self.meter
             .set_memory_bytes(self.ids.model().memory_bytes() + buffered_bytes);
 
@@ -172,6 +273,9 @@ impl RealTimeIds {
 
 impl App for RealTimeIds {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(capacity) = self.overload.feed_capacity {
+            self.feed.set_capacity(Some(capacity));
+        }
         self.meter.begin_window(ctx.now());
         ctx.set_timer(SimDuration::from_secs(self.ids.window_secs()), 0);
     }
@@ -197,6 +301,7 @@ mod tests {
             malicious_correct: 0,
             mixed,
             majority_truth: Label::Benign,
+            degraded: false,
         }
     }
 
@@ -227,5 +332,48 @@ mod tests {
         let b = a.clone();
         b.push(detection(1, 1, false));
         assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn degraded_windows_are_counted() {
+        let log = DetectionLog::new();
+        log.push(detection(1, 1, false));
+        log.push(WindowDetection { degraded: true, ..detection(2, 2, false) });
+        assert_eq!(log.degraded_count(), 1);
+    }
+
+    #[test]
+    fn serialize_compact_is_stable_text() {
+        let log = DetectionLog::new();
+        log.push(WindowDetection {
+            window_index: 3,
+            packets: 10,
+            correct: 9,
+            predicted_malicious: 4,
+            truth_malicious: 5,
+            malicious_correct: 4,
+            mixed: true,
+            majority_truth: Label::Malicious,
+            degraded: true,
+        });
+        log.push(detection(1, 1, false));
+        let text = log.serialize_compact();
+        assert_eq!(
+            text,
+            "w=3 p=10 c=9 pm=4 tm=5 mc=4 mixed=1 maj=M deg=1\n\
+             w=0 p=1 c=1 pm=0 tm=0 mc=0 mixed=0 maj=B deg=0\n"
+        );
+        // Identical logs serialise byte-identically.
+        let again = log.serialize_compact();
+        assert_eq!(text, again);
+    }
+
+    #[test]
+    fn overload_policy_scales_with_pressure() {
+        let policy = OverloadPolicy::default();
+        // Unloaded: 1 000 packets cost ~2.1 ms, far below a 1 s window.
+        assert!(policy.modelled_cost_secs(1_000, 1.0) < 1.0);
+        // A 500× pressure spike pushes the same window past the interval.
+        assert!(policy.modelled_cost_secs(1_000, 500.0) > 1.0);
     }
 }

@@ -1,8 +1,13 @@
-//! Sustainability metrics: the paper's Table II row for one model.
+//! Sustainability metrics: the paper's Table II row for one model,
+//! plus the robustness accounting that proves the detection loop held
+//! up under injected faults and overload.
 
+use capture::sniffer::SnifferHandle;
 use containers::meter::ResourceMeter;
 use ml::classifier::Classifier;
 use serde::{Deserialize, Serialize};
+
+use crate::realtime::DetectionLog;
 
 /// The three sustainability metrics the paper reports per model:
 /// CPU usage (%), occupied RAM (Kb) and model size (Kb).
@@ -34,6 +39,43 @@ impl std::fmt::Display for SustainabilityReport {
             f,
             "cpu={:.2}% mem={:.2}Kb model={:.2}Kb",
             self.cpu_percent, self.memory_kb, self.model_size_kb
+        )
+    }
+}
+
+/// How the real-time loop held up under load: every window must be
+/// accounted for (classified or degraded), and any packets the bounded
+/// feed shed are counted rather than vanishing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RobustnessReport {
+    /// Windows the IDS logged (classified, whether healthy or degraded).
+    pub windows_total: usize,
+    /// Of those, windows marked degraded by the overload policy.
+    pub windows_degraded: usize,
+    /// Packets the bounded sniffer feed dropped at capacity.
+    pub feed_dropped: u64,
+    /// Packets the sniffer captured into the feed.
+    pub feed_captured: u64,
+}
+
+impl RobustnessReport {
+    /// Assembles the report from the detection log and the sniffer feed.
+    pub fn collect(log: &DetectionLog, feed: &SnifferHandle) -> Self {
+        RobustnessReport {
+            windows_total: log.len(),
+            windows_degraded: log.degraded_count(),
+            feed_dropped: feed.dropped_overflow(),
+            feed_captured: feed.captured_total(),
+        }
+    }
+}
+
+impl std::fmt::Display for RobustnessReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "windows={} degraded={} feed_captured={} feed_dropped={}",
+            self.windows_total, self.windows_degraded, self.feed_captured, self.feed_dropped
         )
     }
 }

@@ -30,6 +30,7 @@ prop_compose! {
             } else {
                 Label::Benign
             },
+            degraded: false,
         }
     }
 }

@@ -8,6 +8,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::faults::FaultAction;
 use crate::ids::{AppId, ConnId, LinkId, NodeId, TimerId};
 use crate::packet::Packet;
 use crate::time::SimTime;
@@ -60,6 +61,12 @@ pub enum Event {
         node: NodeId,
         /// `true` to bring the node up, `false` to take it down.
         up: bool,
+    },
+    /// A scheduled fault-plan transition fires (link flap, loss
+    /// override, throttle, CPU pressure — see [`FaultAction`]).
+    Fault {
+        /// The transition to apply.
+        action: FaultAction,
     },
 }
 

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub mod event;
+pub mod faults;
 pub mod ids;
 pub mod link;
 pub mod node;
@@ -44,6 +45,7 @@ pub mod time;
 pub mod udp;
 pub mod world;
 
+pub use faults::{FaultAction, FaultEntry, FaultPlan};
 pub use ids::{AppId, ConnId, LinkId, NodeId, TimerId};
 pub use link::LinkConfig;
 pub use packet::{Addr, FiveTuple, Packet, Protocol, Provenance, TcpFlags};

@@ -85,6 +85,8 @@ pub enum DropReason {
     Unroutable,
     /// The sending or receiving node was administratively down.
     NodeDown,
+    /// The link itself was administratively down (fault-plan flap).
+    LinkDown,
 }
 
 /// Traffic counters for a link.
@@ -104,6 +106,8 @@ pub struct LinkStats {
     pub drops_lost: u64,
     /// Packets addressed to nobody on the link.
     pub drops_unroutable: u64,
+    /// Packets rejected or destroyed because the link was down.
+    pub drops_link_down: u64,
 }
 
 #[derive(Debug)]
@@ -146,6 +150,19 @@ pub struct Link {
     config: LinkConfig,
     lanes: Vec<Lane>,
     stats: LinkStats,
+    /// Administrative state; fault plans flap this.
+    up: bool,
+    /// Fault-plan replacement for `config.loss_rate` while `Some`.
+    loss_override: Option<f64>,
+    /// Fault-plan bandwidth multiplier (1.0 = nominal).
+    bandwidth_scale: f64,
+    /// Fault-plan extra one-way delay on top of `config.delay`.
+    extra_delay: SimDuration,
+    /// Private RNG for channel-loss draws. One value is consumed per
+    /// transmitted frame regardless of loss configuration or queue
+    /// state, so enabling loss on this link never shifts the random
+    /// stream of any other component.
+    loss_rng: SimRng,
 }
 
 /// Minimal view of a node the link needs for delivery resolution.
@@ -170,15 +187,31 @@ impl<F: Fn(NodeId) -> EndpointInfo> EndpointResolver for F {
 }
 
 impl Link {
-    /// Creates a full-duplex point-to-point link between `a` and `b`.
-    pub fn p2p(id: LinkId, a: NodeId, b: NodeId, config: LinkConfig) -> Self {
+    /// Seed for a link's private loss RNG when none is supplied via
+    /// [`Link::seed_loss_rng`] (golden-ratio mix of the link id, the
+    /// same idiom as the Wi-Fi backoff LCG).
+    fn default_loss_seed(id: LinkId) -> u64 {
+        0x9e37_79b9_7f4a_7c15u64.wrapping_mul(id.as_raw() as u64 + 1)
+    }
+
+    fn with_kind(id: LinkId, kind: LinkKind, config: LinkConfig, lanes: Vec<Lane>) -> Self {
         Link {
             id,
-            kind: LinkKind::P2p { a, b },
+            kind,
             config,
-            lanes: vec![Lane::new(a), Lane::new(b)],
+            lanes,
             stats: LinkStats::default(),
+            up: true,
+            loss_override: None,
+            bandwidth_scale: 1.0,
+            extra_delay: SimDuration::ZERO,
+            loss_rng: SimRng::seed_from(Self::default_loss_seed(id)),
         }
+    }
+
+    /// Creates a full-duplex point-to-point link between `a` and `b`.
+    pub fn p2p(id: LinkId, a: NodeId, b: NodeId, config: LinkConfig) -> Self {
+        Link::with_kind(id, LinkKind::P2p { a, b }, config, vec![Lane::new(a), Lane::new(b)])
     }
 
     /// Creates a shared CSMA bus over `members`.
@@ -187,30 +220,34 @@ impl Link {
     /// [`Link::add_member`] (containers join the testbed bridge one at a
     /// time as they are deployed).
     pub fn csma(id: LinkId, members: &[NodeId], config: LinkConfig) -> Self {
-        Link {
+        Link::with_kind(
             id,
-            kind: LinkKind::Csma { bus_busy: false, rr_next: 0 },
+            LinkKind::Csma { bus_busy: false, rr_next: 0 },
             config,
-            lanes: members.iter().copied().map(Lane::new).collect(),
-            stats: LinkStats::default(),
-        }
+            members.iter().copied().map(Lane::new).collect(),
+        )
     }
 
     /// Creates an 802.11-style shared medium over `members` (DDoSim's
     /// Wi-Fi network option): CSMA semantics plus DIFS + random backoff
     /// per frame, so contention overhead and jitter are modelled.
     pub fn wifi(id: LinkId, members: &[NodeId], config: LinkConfig) -> Self {
-        Link {
+        Link::with_kind(
             id,
-            kind: LinkKind::Wifi {
+            LinkKind::Wifi {
                 medium_busy: false,
                 rr_next: 0,
                 backoff_state: 0x9e37_79b9_7f4a_7c15 ^ id.as_raw() as u64,
             },
             config,
-            lanes: members.iter().copied().map(Lane::new).collect(),
-            stats: LinkStats::default(),
-        }
+            members.iter().copied().map(Lane::new).collect(),
+        )
+    }
+
+    /// Reseeds the private loss RNG (the world mixes its root seed in at
+    /// link creation so whole runs stay a pure function of one seed).
+    pub fn seed_loss_rng(&mut self, seed: u64) {
+        self.loss_rng = SimRng::seed_from(seed);
     }
 
     /// The link's identifier.
@@ -226,6 +263,58 @@ impl Link {
     /// Current traffic counters.
     pub fn stats(&self) -> LinkStats {
         self.stats
+    }
+
+    /// Whether the link is administratively up.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Raises or cuts the link. Cutting destroys nothing that is
+    /// already queued, but frames finishing serialisation while the
+    /// link is down are destroyed (counted in `drops_link_down`), and
+    /// new enqueues are rejected. Restoring the link restarts any
+    /// stalled lanes.
+    pub fn set_up(&mut self, now: SimTime, up: bool, queue: &mut EventQueue) {
+        if self.up == up {
+            return;
+        }
+        self.up = up;
+        if up {
+            self.try_start_tx(now, queue);
+        }
+    }
+
+    /// Overrides the configured loss rate (`None` restores it).
+    pub fn set_loss_override(&mut self, rate: Option<f64>) {
+        self.loss_override = rate.map(|r| r.clamp(0.0, 1.0));
+    }
+
+    /// The loss probability currently in force.
+    pub fn effective_loss_rate(&self) -> f64 {
+        self.loss_override.unwrap_or(self.config.loss_rate)
+    }
+
+    /// Scales the effective bandwidth (throttling). Clamped to a small
+    /// positive floor so serialisation time stays finite.
+    pub fn set_bandwidth_scale(&mut self, scale: f64) {
+        self.bandwidth_scale = scale.max(1e-6);
+    }
+
+    /// The current bandwidth multiplier.
+    pub fn bandwidth_scale(&self) -> f64 {
+        self.bandwidth_scale
+    }
+
+    /// Sets extra one-way delay on top of the configured propagation
+    /// delay (latency jitter).
+    pub fn set_extra_delay(&mut self, delay: SimDuration) {
+        self.extra_delay = delay;
+    }
+
+    /// The extra one-way delay currently in force.
+    pub fn extra_delay(&self) -> SimDuration {
+        self.extra_delay
     }
 
     /// Nodes attached to this link.
@@ -274,6 +363,10 @@ impl Link {
         queue: &mut EventQueue,
     ) -> Result<(), DropReason> {
         let lane_idx = self.lane_of(from).expect("sender is not attached to link");
+        if !self.up {
+            self.stats.drops_link_down += 1;
+            return Err(DropReason::LinkDown);
+        }
         if self.lanes[lane_idx].queue.len() >= self.config.queue_packets {
             self.stats.drops_queue_full += 1;
             return Err(DropReason::QueueFull);
@@ -285,6 +378,9 @@ impl Link {
 
     /// Starts transmissions on any idle lane/bus with pending packets.
     fn try_start_tx(&mut self, now: SimTime, queue: &mut EventQueue) {
+        if !self.up {
+            return;
+        }
         match &mut self.kind {
             LinkKind::P2p { .. } => {
                 for lane_idx in 0..self.lanes.len() {
@@ -348,7 +444,12 @@ impl Link {
         queue: &mut EventQueue,
     ) {
         let packet = self.lanes[lane_idx].queue.pop_front().expect("checked non-empty");
-        let ser = self.config.serialization_time(packet.wire_len());
+        let base = self.config.serialization_time(packet.wire_len());
+        let ser = if self.bandwidth_scale == 1.0 {
+            base
+        } else {
+            SimDuration::from_secs_f64(base.as_secs_f64() / self.bandwidth_scale)
+        };
         self.lanes[lane_idx].in_flight = Some(packet);
         queue.schedule(
             now + access_overhead + ser,
@@ -364,7 +465,6 @@ impl Link {
         lane_idx: usize,
         resolver: &R,
         queue: &mut EventQueue,
-        rng: &mut SimRng,
     ) {
         let packet = self.lanes[lane_idx]
             .in_flight
@@ -380,7 +480,15 @@ impl Link {
             LinkKind::P2p { .. } => {}
         }
 
-        if self.config.loss_rate > 0.0 && rng.chance(self.config.loss_rate) {
+        // Exactly one draw per transmitted frame, unconditionally: the
+        // stream position is a function of the frame sequence alone, so
+        // loss configuration (or a fault-plan override toggling mid-run)
+        // never shifts which later frames get lost.
+        let lost = self.loss_rng.chance(self.effective_loss_rate());
+        if !self.up {
+            // The link was cut while the frame was on the wire.
+            self.stats.drops_link_down += 1;
+        } else if lost {
             self.stats.drops_lost += 1;
         } else {
             self.deliver_targets(now, sender, packet, resolver, queue);
@@ -397,7 +505,7 @@ impl Link {
         resolver: &R,
         queue: &mut EventQueue,
     ) {
-        let arrive = now + self.config.delay;
+        let arrive = now + self.config.delay + self.extra_delay;
         match self.kind {
             LinkKind::P2p { a, b } => {
                 let target = if sender == a { b } else { a };
@@ -454,12 +562,11 @@ mod tests {
         link: &mut Link,
         queue: &mut EventQueue,
         resolver: &impl EndpointResolver,
-        rng: &mut SimRng,
     ) -> Vec<(SimTime, NodeId, Packet)> {
         let mut deliveries = Vec::new();
         while let Some((t, ev)) = queue.pop() {
             match ev {
-                Event::LinkTxComplete { lane, .. } => link.on_tx_complete(t, lane, resolver, queue, rng),
+                Event::LinkTxComplete { lane, .. } => link.on_tx_complete(t, lane, resolver, queue),
                 Event::Deliver { node, packet, .. } => deliveries.push((t, node, packet)),
                 other => panic!("unexpected event {other:?}"),
             }
@@ -486,14 +593,13 @@ mod tests {
         };
         let mut link = Link::p2p(LinkId::from_raw(0), a, b, cfg);
         let mut queue = EventQueue::new();
-        let mut rng = SimRng::seed_from(1);
         let res = resolver(vec![(a, Addr::new(10, 0, 0, 1)), (b, Addr::new(10, 0, 0, 2))]);
 
         let p = packet(Addr::new(10, 0, 0, 2), 972); // 1000 bytes on the wire
         let wire = p.wire_len();
         assert_eq!(wire, 1000);
         link.enqueue(SimTime::ZERO, a, p, &mut queue).unwrap();
-        let deliveries = drain(&mut link, &mut queue, &res, &mut rng);
+        let deliveries = drain(&mut link, &mut queue, &res);
         assert_eq!(deliveries.len(), 1);
         let (t, node, _) = &deliveries[0];
         assert_eq!(*node, b);
@@ -530,7 +636,6 @@ mod tests {
         };
         let mut link = Link::csma(LinkId::from_raw(0), &nodes, cfg);
         let mut queue = EventQueue::new();
-        let mut rng = SimRng::seed_from(2);
         let res = resolver(nodes.iter().copied().zip(addrs.iter().copied()).collect());
 
         // Nodes 0 and 1 both flood node 2; transmissions must interleave.
@@ -538,7 +643,7 @@ mod tests {
             link.enqueue(SimTime::ZERO, nodes[0], packet(addrs[2], 100), &mut queue).unwrap();
             link.enqueue(SimTime::ZERO, nodes[1], packet(addrs[2], 100), &mut queue).unwrap();
         }
-        let deliveries = drain(&mut link, &mut queue, &res, &mut rng);
+        let deliveries = drain(&mut link, &mut queue, &res);
         assert_eq!(deliveries.len(), 6);
         // Delivery times strictly increase: the bus serialises one at a time.
         for w in deliveries.windows(2) {
@@ -551,13 +656,12 @@ mod tests {
         let nodes: Vec<NodeId> = (0..2).map(NodeId::from_raw).collect();
         let mut link = Link::csma(LinkId::from_raw(0), &nodes, LinkConfig::lan_100mbps());
         let mut queue = EventQueue::new();
-        let mut rng = SimRng::seed_from(3);
         let res = resolver(vec![
             (nodes[0], Addr::new(10, 0, 0, 1)),
             (nodes[1], Addr::new(10, 0, 0, 2)),
         ]);
         link.enqueue(SimTime::ZERO, nodes[0], packet(Addr::new(10, 0, 0, 99), 100), &mut queue).unwrap();
-        let deliveries = drain(&mut link, &mut queue, &res, &mut rng);
+        let deliveries = drain(&mut link, &mut queue, &res);
         assert!(deliveries.is_empty());
         assert_eq!(link.stats().drops_unroutable, 1);
     }
@@ -567,10 +671,9 @@ mod tests {
         let nodes: Vec<NodeId> = (0..4).map(NodeId::from_raw).collect();
         let mut link = Link::csma(LinkId::from_raw(0), &nodes, LinkConfig::lan_100mbps());
         let mut queue = EventQueue::new();
-        let mut rng = SimRng::seed_from(4);
         let res = resolver(nodes.iter().map(|&n| (n, Addr::new(10, 0, 0, n.as_raw() as u8 + 1))).collect());
         link.enqueue(SimTime::ZERO, nodes[0], packet(Addr::BROADCAST, 10), &mut queue).unwrap();
-        let deliveries = drain(&mut link, &mut queue, &res, &mut rng);
+        let deliveries = drain(&mut link, &mut queue, &res);
         let mut receivers: Vec<u32> = deliveries.iter().map(|(_, n, _)| n.as_raw()).collect();
         receivers.sort_unstable();
         assert_eq!(receivers, vec![1, 2, 3]);
@@ -583,12 +686,11 @@ mod tests {
         let cfg = LinkConfig { loss_rate: 1.0, ..LinkConfig::lan_100mbps() };
         let mut link = Link::p2p(LinkId::from_raw(0), a, b, cfg);
         let mut queue = EventQueue::new();
-        let mut rng = SimRng::seed_from(5);
         let res = resolver(vec![(a, Addr::new(10, 0, 0, 1)), (b, Addr::new(10, 0, 0, 2))]);
         for _ in 0..5 {
             link.enqueue(SimTime::ZERO, a, packet(Addr::new(10, 0, 0, 2), 100), &mut queue).unwrap();
         }
-        let deliveries = drain(&mut link, &mut queue, &res, &mut rng);
+        let deliveries = drain(&mut link, &mut queue, &res);
         assert!(deliveries.is_empty());
         assert_eq!(link.stats().drops_lost, 5);
     }
@@ -608,11 +710,10 @@ mod tests {
         let res = resolver(nodes.iter().copied().zip(addrs.iter().copied()).collect());
         let finish = |mut link: Link| {
             let mut queue = EventQueue::new();
-            let mut rng = SimRng::seed_from(9);
             for _ in 0..20 {
                 link.enqueue(SimTime::ZERO, nodes[0], packet(addrs[1], 100), &mut queue).unwrap();
             }
-            let deliveries = drain(&mut link, &mut queue, &res, &mut rng);
+            let deliveries = drain(&mut link, &mut queue, &res);
             assert_eq!(deliveries.len(), 20);
             deliveries.last().unwrap().0
         };
@@ -634,16 +735,172 @@ mod tests {
         let run = || {
             let mut link = Link::wifi(LinkId::from_raw(3), &nodes, LinkConfig::wifi_54mbps());
             let mut queue = EventQueue::new();
-            let mut rng = SimRng::seed_from(1);
             for _ in 0..10 {
                 link.enqueue(SimTime::ZERO, nodes[0], packet(addrs[1], 200), &mut queue).unwrap();
             }
-            drain(&mut link, &mut queue, &res, &mut rng)
+            drain(&mut link, &mut queue, &res)
                 .into_iter()
                 .map(|(t, _, _)| t)
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn loss_on_one_link_does_not_perturb_another() {
+        // Two independent links share one event queue. Enabling heavy
+        // loss on link A must leave link B's deliveries — times and
+        // loss pattern — completely unchanged, because each link draws
+        // from its own private RNG stream.
+        let run = |loss_a: f64| -> Vec<(SimTime, u32)> {
+            let a0 = NodeId::from_raw(0);
+            let a1 = NodeId::from_raw(1);
+            let b0 = NodeId::from_raw(2);
+            let b1 = NodeId::from_raw(3);
+            let cfg_a = LinkConfig { loss_rate: loss_a, ..LinkConfig::lan_100mbps() };
+            let cfg_b = LinkConfig { loss_rate: 0.3, ..LinkConfig::lan_100mbps() };
+            let mut link_a = Link::p2p(LinkId::from_raw(0), a0, a1, cfg_a);
+            let mut link_b = Link::p2p(LinkId::from_raw(1), b0, b1, cfg_b);
+            let mut queue = EventQueue::new();
+            let res = resolver(vec![
+                (a0, Addr::new(10, 0, 0, 1)),
+                (a1, Addr::new(10, 0, 0, 2)),
+                (b0, Addr::new(10, 0, 1, 1)),
+                (b1, Addr::new(10, 0, 1, 2)),
+            ]);
+            for _ in 0..30 {
+                link_a.enqueue(SimTime::ZERO, a0, packet(Addr::new(10, 0, 0, 2), 100), &mut queue).unwrap();
+                link_b.enqueue(SimTime::ZERO, b0, packet(Addr::new(10, 0, 1, 2), 100), &mut queue).unwrap();
+            }
+            let mut deliveries = Vec::new();
+            while let Some((t, ev)) = queue.pop() {
+                match ev {
+                    Event::LinkTxComplete { link, lane } => {
+                        if link == LinkId::from_raw(0) {
+                            link_a.on_tx_complete(t, lane, &res, &mut queue);
+                        } else {
+                            link_b.on_tx_complete(t, lane, &res, &mut queue);
+                        }
+                    }
+                    Event::Deliver { node, .. } if node == b1 => {
+                        deliveries.push((t, node.as_raw()));
+                    }
+                    Event::Deliver { .. } => {}
+                    other => panic!("unexpected event {other:?}"),
+                }
+            }
+            deliveries
+        };
+        assert_eq!(run(0.0), run(0.9));
+    }
+
+    #[test]
+    fn loss_stream_position_is_per_frame_regardless_of_config() {
+        // The loss draw consumes exactly one RNG value per transmitted
+        // frame even while loss is zero, so toggling an override mid-run
+        // reproduces the same per-frame loss pattern as an uninterrupted
+        // lossy run at the same frame positions.
+        let a = NodeId::from_raw(0);
+        let b = NodeId::from_raw(1);
+        let res = resolver(vec![(a, Addr::new(10, 0, 0, 1)), (b, Addr::new(10, 0, 0, 2))]);
+        let send_batch = |link: &mut Link, queue: &mut EventQueue, n: usize| {
+            for _ in 0..n {
+                link.enqueue(SimTime::ZERO, a, packet(Addr::new(10, 0, 0, 2), 100), queue).unwrap();
+            }
+        };
+
+        // Reference: 40 frames, all at loss 0.5.
+        let cfg = LinkConfig { loss_rate: 0.5, ..LinkConfig::lan_100mbps() };
+        let mut reference = Link::p2p(LinkId::from_raw(7), a, b, cfg);
+        let mut queue = EventQueue::new();
+        send_batch(&mut reference, &mut queue, 40);
+        drain(&mut reference, &mut queue, &res);
+        let reference_lost = reference.stats().drops_lost;
+
+        // Same link id (same private seed): 20 lossless frames, then an
+        // override for the last 20. Lost count over frames 20..40 must
+        // match the reference's draws at the same positions.
+        let mut toggled =
+            Link::p2p(LinkId::from_raw(7), a, b, LinkConfig::lan_100mbps());
+        let mut queue = EventQueue::new();
+        send_batch(&mut toggled, &mut queue, 20);
+        drain(&mut toggled, &mut queue, &res);
+        assert_eq!(toggled.stats().drops_lost, 0);
+        toggled.set_loss_override(Some(0.5));
+        send_batch(&mut toggled, &mut queue, 20);
+        drain(&mut toggled, &mut queue, &res);
+
+        // Count the reference's losses among its last 20 frames only.
+        let cfg_first_half = LinkConfig { loss_rate: 0.5, ..LinkConfig::lan_100mbps() };
+        let mut first_half = Link::p2p(LinkId::from_raw(7), a, b, cfg_first_half);
+        let mut queue = EventQueue::new();
+        send_batch(&mut first_half, &mut queue, 20);
+        drain(&mut first_half, &mut queue, &res);
+        let reference_last_20 = reference_lost - first_half.stats().drops_lost;
+        assert_eq!(toggled.stats().drops_lost, reference_last_20);
+    }
+
+    #[test]
+    fn down_link_rejects_and_destroys_frames() {
+        let a = NodeId::from_raw(0);
+        let b = NodeId::from_raw(1);
+        let mut link = Link::p2p(LinkId::from_raw(0), a, b, LinkConfig::lan_100mbps());
+        let mut queue = EventQueue::new();
+        let res = resolver(vec![(a, Addr::new(10, 0, 0, 1)), (b, Addr::new(10, 0, 0, 2))]);
+
+        // One frame goes in flight, then the link is cut: the in-flight
+        // frame is destroyed at tx-complete time.
+        link.enqueue(SimTime::ZERO, a, packet(Addr::new(10, 0, 0, 2), 100), &mut queue).unwrap();
+        link.set_up(SimTime::ZERO, false, &mut queue);
+        assert_eq!(
+            link.enqueue(SimTime::ZERO, a, packet(Addr::new(10, 0, 0, 2), 100), &mut queue),
+            Err(DropReason::LinkDown)
+        );
+        let deliveries = drain(&mut link, &mut queue, &res);
+        assert!(deliveries.is_empty());
+        assert_eq!(link.stats().drops_link_down, 2);
+
+        // Restoring the link lets traffic flow again.
+        link.set_up(SimTime::from_secs(1), true, &mut queue);
+        link.enqueue(SimTime::from_secs(1), a, packet(Addr::new(10, 0, 0, 2), 100), &mut queue).unwrap();
+        let deliveries = drain(&mut link, &mut queue, &res);
+        assert_eq!(deliveries.len(), 1);
+    }
+
+    #[test]
+    fn throttle_and_jitter_stretch_delivery() {
+        let a = NodeId::from_raw(0);
+        let b = NodeId::from_raw(1);
+        let cfg = LinkConfig {
+            bandwidth_bps: 8_000_000,
+            delay: SimDuration::from_millis(1),
+            queue_packets: 10,
+            loss_rate: 0.0,
+        };
+        let res = resolver(vec![(a, Addr::new(10, 0, 0, 1)), (b, Addr::new(10, 0, 0, 2))]);
+        let deliver_at = |scale: Option<f64>, extra: Option<SimDuration>| {
+            let mut link = Link::p2p(LinkId::from_raw(0), a, b, cfg);
+            if let Some(s) = scale {
+                link.set_bandwidth_scale(s);
+            }
+            if let Some(d) = extra {
+                link.set_extra_delay(d);
+            }
+            let mut queue = EventQueue::new();
+            link.enqueue(SimTime::ZERO, a, packet(Addr::new(10, 0, 0, 2), 972), &mut queue).unwrap();
+            drain(&mut link, &mut queue, &res)[0].0
+        };
+        let nominal = deliver_at(None, None);
+        // Quartering the bandwidth quadruples the 1000 µs serialisation time.
+        assert_eq!(
+            deliver_at(Some(0.25), None) - nominal,
+            SimDuration::from_micros(3000)
+        );
+        // Extra delay shifts arrival one-for-one.
+        assert_eq!(
+            deliver_at(None, Some(SimDuration::from_millis(5))) - nominal,
+            SimDuration::from_millis(5)
+        );
     }
 
     #[test]

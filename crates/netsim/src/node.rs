@@ -49,6 +49,9 @@ pub struct Node {
     pub udp: UdpHost,
     /// Traffic counters.
     pub stats: NodeStats,
+    /// CPU-pressure factor injected by fault plans: modelled compute on
+    /// this node costs `cpu_pressure ×` its nominal time (1.0 = unloaded).
+    pub cpu_pressure: f64,
 }
 
 impl Node {
@@ -65,6 +68,7 @@ impl Node {
             tcp: TcpHost::new(),
             udp: UdpHost::new(),
             stats: NodeStats::default(),
+            cpu_pressure: 1.0,
         }
     }
 

@@ -200,6 +200,12 @@ pub struct TcpConn {
     rto: SimDuration,
     retries: u32,
     rtt_probe: Option<(u32, SimTime)>,
+    /// NewReno recovery point: `snd_nxt` at the moment loss was detected.
+    /// While `Some`, a partial ACK (below this point) means the next
+    /// in-sequence segment is also lost, so it is retransmitted at once
+    /// instead of waiting out another full RTO — without this, a burst
+    /// loss (link flap) recovers one segment per RTO.
+    recover_point: Option<u32>,
     close_requested: bool,
     fin_sent: bool,
     fin_seq: u32,
@@ -294,6 +300,7 @@ impl TcpConn {
             rto: cfg.initial_rto,
             retries: 0,
             rtt_probe: None,
+            recover_point: None,
             close_requested: false,
             fin_sent: false,
             fin_seq: 0,
@@ -560,6 +567,20 @@ impl TcpConn {
             self.snd_una = ack;
             self.retries = 0;
             self.dup_acks = 0;
+            // RFC 6298 §5.7: exponential backoff is abandoned as soon as
+            // new data is acknowledged (Karn's rule blocks RTT samples
+            // during recovery, so without this the RTO stays pinned at
+            // its backed-off value for the rest of the transfer).
+            self.rto = self.computed_rto(cfg);
+            if let Some(rp) = self.recover_point {
+                if seq_lt(ack, rp) {
+                    // NewReno partial ACK: the hole right above `ack` was
+                    // part of the same loss burst; resend it immediately.
+                    self.retransmit_head(cfg, effects);
+                } else {
+                    self.recover_point = None;
+                }
+            }
             // Congestion control: slow start below ssthresh, then AIMD.
             if self.cwnd < self.ssthresh {
                 self.cwnd += drained.min(cfg.mss);
@@ -576,6 +597,7 @@ impl TcpConn {
             self.dup_acks += 1;
             if self.dup_acks == 3 {
                 // Fast retransmit.
+                self.recover_point = Some(self.snd_nxt);
                 self.retransmit_head(cfg, effects);
                 let flight = self.unacked.len();
                 self.ssthresh = (flight / 2).max(2 * cfg.mss);
@@ -595,10 +617,17 @@ impl TcpConn {
                 self.srtt = Some(0.875 * srtt + 0.125 * r);
             }
         }
-        let rto = SimDuration::from_secs_f64(
-            (self.srtt.expect("just set") + 4.0 * self.rttvar).max(1e-9),
-        );
-        self.rto = rto.clamp(cfg.min_rto, cfg.max_rto);
+        self.rto = self.computed_rto(cfg);
+    }
+
+    /// The un-backed-off RTO implied by the current RTT estimate (the
+    /// configured initial RTO before any sample exists).
+    fn computed_rto(&self, cfg: &TcpConfig) -> SimDuration {
+        match self.srtt {
+            Some(srtt) => SimDuration::from_secs_f64((srtt + 4.0 * self.rttvar).max(1e-9))
+                .clamp(cfg.min_rto, cfg.max_rto),
+            None => cfg.initial_rto,
+        }
     }
 
     fn process_payload(&mut self, seq: u32, payload: Bytes, cfg: &TcpConfig, effects: &mut TcpEffects) {
@@ -712,6 +741,7 @@ impl TcpConn {
                 ));
             }
             _ => {
+                self.recover_point = Some(self.snd_nxt);
                 self.retransmit_head(cfg, effects);
                 // Multiplicative decrease on loss.
                 self.ssthresh = (self.unacked.len() / 2).max(2 * cfg.mss);

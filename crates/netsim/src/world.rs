@@ -12,6 +12,7 @@ use std::collections::HashSet;
 use bytes::Bytes;
 
 use crate::event::{Event, EventQueue};
+use crate::faults::{FaultAction, FaultPlan};
 use crate::ids::{AppId, ConnId, LinkId, NodeId, TimerId};
 use crate::link::{DropReason, EndpointInfo, Link, LinkConfig, LinkStats};
 use crate::node::{Node, NodeStats};
@@ -56,6 +57,7 @@ enum AppEvent {
 pub struct Kernel {
     clock: SimTime,
     queue: EventQueue,
+    root_seed: u64,
     nodes: Vec<Node>,
     links: Vec<Link>,
     taps: Vec<Box<dyn PacketTap>>,
@@ -86,6 +88,7 @@ impl Kernel {
         Kernel {
             clock: SimTime::ZERO,
             queue: EventQueue::new(),
+            root_seed: seed,
             nodes: Vec::new(),
             links: Vec::new(),
             taps: Vec::new(),
@@ -149,7 +152,28 @@ impl Kernel {
             addr: nodes[node.index()].addr,
             up: nodes[node.index()].up,
         };
-        links[link.index()].on_tx_complete(self.clock, lane, &resolver, &mut self.queue, &mut self.rng);
+        links[link.index()].on_tx_complete(self.clock, lane, &resolver, &mut self.queue);
+    }
+
+    fn apply_fault(&mut self, action: FaultAction) {
+        let clock = self.clock;
+        match action {
+            FaultAction::SetLinkUp { link, up } => {
+                self.links[link.index()].set_up(clock, up, &mut self.queue);
+            }
+            FaultAction::SetLossOverride { link, rate } => {
+                self.links[link.index()].set_loss_override(rate);
+            }
+            FaultAction::SetBandwidthScale { link, scale } => {
+                self.links[link.index()].set_bandwidth_scale(scale);
+            }
+            FaultAction::SetExtraDelay { link, delay } => {
+                self.links[link.index()].set_extra_delay(delay);
+            }
+            FaultAction::SetCpuPressure { node, factor } => {
+                self.nodes[node.index()].cpu_pressure = factor.max(0.0);
+            }
+        }
     }
 
     fn deliver(&mut self, link: LinkId, node_id: NodeId, packet: Packet) -> Vec<(AppId, AppEvent)> {
@@ -402,10 +426,20 @@ impl World {
         id
     }
 
+    /// Mixes the world's root seed into a link's private loss RNG so
+    /// loss patterns vary with the run seed while staying independent
+    /// of every other random stream.
+    fn seed_link(&mut self, id: LinkId) {
+        let mix = 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(id.as_raw() as u64 + 1);
+        let seed = self.kernel.root_seed ^ mix;
+        self.kernel.links[id.index()].seed_loss_rng(seed);
+    }
+
     /// Creates a CSMA bus over the given nodes and attaches them.
     pub fn add_csma_link(&mut self, members: &[NodeId], config: LinkConfig) -> LinkId {
         let id = LinkId::from_raw(self.kernel.links.len() as u32);
         self.kernel.links.push(Link::csma(id, members, config));
+        self.seed_link(id);
         for &m in members {
             self.kernel.nodes[m.index()].attach(id);
         }
@@ -417,6 +451,7 @@ impl World {
     pub fn add_wifi_link(&mut self, members: &[NodeId], config: LinkConfig) -> LinkId {
         let id = LinkId::from_raw(self.kernel.links.len() as u32);
         self.kernel.links.push(Link::wifi(id, members, config));
+        self.seed_link(id);
         for &m in members {
             self.kernel.nodes[m.index()].attach(id);
         }
@@ -427,6 +462,7 @@ impl World {
     pub fn add_p2p_link(&mut self, a: NodeId, b: NodeId, config: LinkConfig) -> LinkId {
         let id = LinkId::from_raw(self.kernel.links.len() as u32);
         self.kernel.links.push(Link::p2p(id, a, b, config));
+        self.seed_link(id);
         self.kernel.nodes[a.index()].attach(id);
         self.kernel.nodes[b.index()].attach(id);
         id
@@ -469,6 +505,21 @@ impl World {
         self.kernel.queue.schedule(at, Event::SetNodeUp { node, up });
     }
 
+    /// Schedules every entry of a [`FaultPlan`] relative to the current
+    /// virtual time. Fault transitions become ordinary queue events, so
+    /// they interleave deterministically with traffic.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        let now = self.kernel.clock;
+        for entry in plan.entries() {
+            self.kernel.queue.schedule(now + entry.at, Event::Fault { action: entry.action });
+        }
+    }
+
+    /// Schedules a single fault action at an absolute time.
+    pub fn schedule_fault(&mut self, at: SimTime, action: FaultAction) {
+        self.kernel.queue.schedule(at, Event::Fault { action });
+    }
+
     /// Immediately changes a node's administrative state.
     pub fn set_node_up(&mut self, node: NodeId, up: bool) {
         let notifications = self.kernel.set_node_up(node, up);
@@ -493,6 +544,16 @@ impl World {
     /// Traffic counters of a link.
     pub fn link_stats(&self, link: LinkId) -> LinkStats {
         self.kernel.links[link.index()].stats()
+    }
+
+    /// Whether a link is administratively up (fault plans flap this).
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.kernel.links[link.index()].is_up()
+    }
+
+    /// A node's current CPU-pressure factor (1.0 = unloaded).
+    pub fn cpu_pressure(&self, node: NodeId) -> f64 {
+        self.kernel.nodes[node.index()].cpu_pressure
     }
 
     /// Packets currently queued or in flight on a link's lanes.
@@ -552,6 +613,10 @@ impl World {
             }
             Event::AppStart { app } => vec![(app, AppEvent::Start)],
             Event::SetNodeUp { node, up } => self.kernel.set_node_up(node, up),
+            Event::Fault { action } => {
+                self.kernel.apply_fault(action);
+                Vec::new()
+            }
         };
         self.dispatch_notifications(notifications);
         true
@@ -784,6 +849,23 @@ impl<'a> Ctx<'a> {
     pub fn conn_bytes_received(&self, conn: ConnId) -> Option<u64> {
         self.kernel.nodes[self.node.index()].tcp.conns.get(&conn).map(|c| c.bytes_received())
     }
+
+    /// Segments retransmitted so far on a connection (diagnostics).
+    pub fn conn_retransmitted(&self, conn: ConnId) -> Option<u64> {
+        self.kernel.nodes[self.node.index()]
+            .tcp
+            .conns
+            .get(&conn)
+            .map(|c| c.retransmitted_segments())
+    }
+
+    /// The hosting node's CPU-pressure factor (1.0 = unloaded). Apps
+    /// that model compute cost — the realtime IDS — multiply their
+    /// nominal per-window cost by this, so injected pressure stretches
+    /// metered compute deterministically.
+    pub fn cpu_pressure(&self) -> f64 {
+        self.kernel.nodes[self.node.index()].cpu_pressure
+    }
 }
 
 #[cfg(test)]
@@ -1012,5 +1094,90 @@ mod tests {
             world.events_processed()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fault_plan_flap_blocks_then_restores_traffic() {
+        use crate::faults::FaultPlan;
+
+        let message = vec![4u8; 500_000];
+        let (mut world, _server_state, client_state) = echo_world(message.clone(), 0.0);
+        let bridge = LinkId::from_raw(0);
+        let mut plan = FaultPlan::new();
+        plan.link_flap(bridge, SimDuration::from_millis(5), SimDuration::from_secs(2));
+        world.apply_fault_plan(&plan);
+
+        // Mid-flap: the link is down and the transfer is stalled.
+        world.run_for(SimDuration::from_secs(1));
+        assert!(!world.link_is_up(bridge));
+        let echoed_mid_flap = client_state.borrow().echoed.len();
+        assert!(echoed_mid_flap < message.len());
+        assert!(world.link_stats(bridge).drops_link_down > 0);
+
+        // After restoration, RTO-driven retransmission recovers the
+        // whole transfer.
+        world.run_for(SimDuration::from_secs(120));
+        assert!(world.link_is_up(bridge));
+        assert_eq!(client_state.borrow().echoed, message);
+    }
+
+    #[test]
+    fn fault_plan_runs_are_byte_reproducible() {
+        use crate::faults::FaultPlan;
+
+        let run = || {
+            let message = vec![6u8; 100_000];
+            let (mut world, _s, client_state) = echo_world(message, 0.01);
+            let bridge = LinkId::from_raw(0);
+            let mut plan = FaultPlan::new();
+            let mut plan_rng = SimRng::seed_from(99);
+            plan.link_flap_random(
+                bridge,
+                SimDuration::from_millis(10),
+                SimDuration::from_secs(20),
+                4.0,
+                1.0,
+                &mut plan_rng,
+            );
+            plan.loss_ramp(bridge, SimDuration::from_secs(2), SimDuration::from_secs(5), 0.2, 4);
+            plan.throttle(bridge, SimDuration::from_secs(8), SimDuration::from_secs(3), 0.2);
+            world.apply_fault_plan(&plan);
+            world.run_for(SimDuration::from_secs(60));
+            let echoed = client_state.borrow().echoed.len();
+            (world.events_processed(), world.link_stats(bridge), echoed)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn cpu_pressure_reaches_apps_and_relaxes() {
+        use crate::faults::FaultPlan;
+
+        struct PressureProbe {
+            seen: Rc<RefCell<Vec<f64>>>,
+        }
+        impl App for PressureProbe {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_secs(1), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+                self.seen.borrow_mut().push(ctx.cpu_pressure());
+                ctx.set_timer(SimDuration::from_secs(1), 0);
+            }
+        }
+        let mut world = World::new(3);
+        let a = world.add_node(Addr::new(10, 0, 0, 1), "a");
+        let b = world.add_node(Addr::new(10, 0, 0, 2), "b");
+        world.add_csma_link(&[a, b], LinkConfig::lan_100mbps());
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let app =
+            world.add_app(a, Box::new(PressureProbe { seen: Rc::clone(&seen) }), Provenance::Benign);
+        world.start_app(app, SimTime::ZERO);
+        let mut plan = FaultPlan::new();
+        plan.cpu_pressure(a, SimDuration::from_millis(1500), SimDuration::from_secs(2), 50.0);
+        world.apply_fault_plan(&plan);
+        world.run_for(SimDuration::from_millis(4500));
+        assert_eq!(*seen.borrow(), vec![1.0, 50.0, 50.0, 1.0]);
+        assert_eq!(world.cpu_pressure(a), 1.0);
     }
 }

@@ -249,6 +249,122 @@ fn churn_mid_handshake_fails_cleanly() {
     assert_eq!(*outcome.borrow(), Some("failed"), "SYN retries exhaust against a dead host");
 }
 
+/// A bulk transfer rides out a two-second link outage: RTO backoff
+/// spans the down interval, retransmissions are observed, and the
+/// full payload still arrives once the link comes back.
+#[test]
+fn transfer_recovers_across_link_flap() {
+    use netsim::faults::FaultPlan;
+
+    const PAYLOAD: usize = 200_000;
+
+    #[derive(Default)]
+    struct Progress {
+        received: usize,
+        retransmitted: Option<u64>,
+    }
+    struct Receiver {
+        progress: Rc<RefCell<Progress>>,
+    }
+    impl App for Receiver {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.tcp_listen(80, 4);
+        }
+        fn on_tcp(&mut self, _ctx: &mut Ctx<'_>, event: TcpEvent) {
+            if let TcpEvent::Data { data, .. } = event {
+                self.progress.borrow_mut().received += data.len();
+            }
+        }
+    }
+    struct Sender {
+        progress: Rc<RefCell<Progress>>,
+        conn: Option<netsim::ConnId>,
+    }
+    impl App for Sender {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            let conn = ctx.tcp_connect(SERVER, 80);
+            ctx.tcp_send(conn, &vec![7u8; PAYLOAD]);
+            self.conn = Some(conn);
+            ctx.set_timer(SimDuration::from_secs(55), 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+            self.progress.borrow_mut().retransmitted =
+                self.conn.and_then(|c| ctx.conn_retransmitted(c));
+        }
+    }
+
+    let mut world = World::new(11);
+    let a = world.add_node(SERVER, "server");
+    let b = world.add_node(CLIENT, "client");
+    let link = world.add_p2p_link(a, b, LinkConfig::lan_100mbps());
+
+    let progress = Rc::new(RefCell::new(Progress::default()));
+    let r = world.add_app(a, Box::new(Receiver { progress: Rc::clone(&progress) }), Provenance::Benign);
+    let s = world.add_app(
+        b,
+        Box::new(Sender { progress: Rc::clone(&progress), conn: None }),
+        Provenance::Benign,
+    );
+    world.start_app(r, SimTime::ZERO);
+    world.start_app(s, SimTime::from_millis(1));
+
+    // Cut the link mid-transfer for two full seconds.
+    let mut plan = FaultPlan::new();
+    plan.link_flap(link, SimDuration::from_millis(5), SimDuration::from_secs(2));
+    world.apply_fault_plan(&plan);
+
+    world.run_for(SimDuration::from_secs(60));
+
+    let progress = progress.borrow();
+    assert_eq!(progress.received, PAYLOAD, "full payload delivered despite the outage");
+    let retransmitted = progress.retransmitted.expect("connection still queryable");
+    assert!(retransmitted > 0, "the outage must have forced retransmissions");
+    let stats = world.link_stats(link);
+    assert!(stats.drops_link_down > 0, "frames hit the downed link");
+}
+
+/// Aborting a connection with retransmission timers in flight must not
+/// resurrect it: the pending `TcpTimer` events carry a stale generation
+/// and are ignored.
+#[test]
+fn stale_retransmit_timer_after_abort_is_ignored() {
+    struct Listener;
+    impl App for Listener {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.tcp_listen(80, 4);
+        }
+    }
+    struct AbortingSender {
+        conn: Option<netsim::ConnId>,
+    }
+    impl App for AbortingSender {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            let conn = ctx.tcp_connect(SERVER, 80);
+            // Queue data so the retransmission timer is armed...
+            ctx.tcp_send(conn, &[9u8; 50_000]);
+            self.conn = Some(conn);
+            // ...then abort while segments (and their timer) are in flight.
+            ctx.set_timer(SimDuration::from_millis(3), 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+            if let Some(conn) = self.conn.take() {
+                ctx.tcp_abort(conn);
+            }
+        }
+    }
+    let mut world = two_node_world(12);
+    let server = netsim::NodeId::from_raw(0);
+    let client = netsim::NodeId::from_raw(1);
+    let l = world.add_app(server, Box::new(Listener), Provenance::Benign);
+    let s = world.add_app(client, Box::new(AbortingSender { conn: None }), Provenance::Benign);
+    world.start_app(l, SimTime::ZERO);
+    world.start_app(s, SimTime::from_millis(1));
+    // Run long past the largest possible backed-off RTO: stale timers
+    // must fire as no-ops rather than panicking or re-opening state.
+    world.run_for(SimDuration::from_secs(120));
+    assert_eq!(world.tcp_conn_count(client), 0, "aborted connection fully reaped");
+}
+
 /// UDP to an unbound port is counted, and bound sockets receive
 /// datagrams with the sender's (possibly spoofed) address.
 #[test]

@@ -1,0 +1,97 @@
+//! Chaos integration tests: deterministic fault injection and the
+//! overload-hardened IDS loop.
+//!
+//! The fault plan (bridge flap, loss ramp, jitter, throttle, IDS CPU
+//! pressure) is compiled from the scenario config at deploy time and
+//! driven entirely by the simulated clock and seeded RNG, so every run
+//! of the same seed endures byte-identical chaos — and the IDS must
+//! account for every window even while overloaded.
+
+use ddoshield::experiments::{
+    run_baseline_detection, run_chaos_detection, ExperimentScale,
+};
+
+/// Two same-seed chaos runs produce byte-identical detection logs and
+/// identical link counters — fault injection does not break the
+/// simulator's determinism contract.
+#[test]
+fn chaos_runs_are_byte_identical() {
+    let scale = ExperimentScale::quick();
+    let a = run_chaos_detection(42, &scale);
+    let b = run_chaos_detection(42, &scale);
+
+    assert!(!a.live.log.is_empty(), "live run produced windows");
+    assert_eq!(
+        a.live.log.serialize_compact(),
+        b.live.log.serialize_compact(),
+        "detection logs must match byte for byte"
+    );
+    assert_eq!(a.bridge_stats, b.bridge_stats, "link counters must match");
+    assert_eq!(a.live.robustness.feed_dropped, b.live.robustness.feed_dropped);
+    assert_eq!(a.live.robustness.windows_degraded, b.live.robustness.windows_degraded);
+
+    // The chaos actually happened: the flap destroyed in-flight frames
+    // and the loss ramp drew extra channel losses.
+    assert!(a.bridge_stats.drops_link_down > 0, "flap drops: {:?}", a.bridge_stats);
+    assert!(a.bridge_stats.drops_lost > 0, "loss-ramp drops: {:?}", a.bridge_stats);
+}
+
+/// Under injected CPU pressure the IDS never loses a window: every
+/// window is either classified normally or marked `degraded`, and the
+/// robustness report's books balance against the log.
+#[test]
+fn overloaded_ids_accounts_for_every_window() {
+    let scale = ExperimentScale::quick();
+    let outcome = run_chaos_detection(7, &scale);
+    let log = &outcome.live.log;
+    let robustness = &outcome.live.robustness;
+
+    assert_eq!(robustness.windows_total, log.len(), "every window is logged");
+    assert_eq!(robustness.windows_degraded, log.degraded_count());
+    assert!(
+        robustness.windows_degraded > 0,
+        "the CPU-pressure spike must push some windows over their interval"
+    );
+    assert!(
+        robustness.windows_degraded < robustness.windows_total,
+        "pressure is transient, so most windows classify in time"
+    );
+    // Degraded windows still carry a verdict — degradation is a flag,
+    // not a dropped result.
+    for w in log.results() {
+        assert!(w.packets > 0, "window {} logged without packets", w.window_index);
+        assert!(w.correct <= w.packets);
+    }
+}
+
+/// §IV / E4 under chaos: windows straddling an attack boundary drag
+/// accuracy below the steady-state windows — and the effect holds both
+/// with and without fault injection on the very same traffic scenario.
+#[test]
+fn attack_boundary_dip_holds_with_and_without_faults() {
+    let scale = ExperimentScale::quick();
+
+    let clean = run_baseline_detection(21, &scale);
+    let chaos = run_chaos_detection(21, &scale);
+
+    for (name, outcome) in [("clean", &clean), ("chaos", &chaos)] {
+        let log = &outcome.live.log;
+        let mixed = log.mean_accuracy_mixed().unwrap_or_else(|| panic!("{name}: no mixed windows"));
+        let pure = log.mean_accuracy_pure().unwrap_or_else(|| panic!("{name}: no pure windows"));
+        assert!(
+            mixed < pure,
+            "{name}: boundary windows ({mixed:.3}) must trail steady-state ({pure:.3})"
+        );
+        assert!(pure > 0.85, "{name}: steady-state accuracy stays high ({pure:.3})");
+        assert!(
+            log.min_accuracy() < log.mean_accuracy(),
+            "{name}: the worst window dips below the mean"
+        );
+    }
+
+    // Only the chaos run flaps the bridge; the baseline keeps it up.
+    assert_eq!(clean.bridge_stats.drops_link_down, 0);
+    assert!(chaos.bridge_stats.drops_link_down > 0);
+    // The baseline suffers no overload, so no window is degraded.
+    assert_eq!(clean.live.robustness.windows_degraded, 0);
+}
