@@ -16,13 +16,17 @@ use netsim::time::{SimDuration, SimTime};
 use netsim::world::{App, Ctx};
 use netsim::{ConnId, TcpEvent};
 
-use crate::commands::{C2Command, C2_PORT, MIRAI_DICTIONARY, TELNET_PORT};
+use crate::commands::{C2Command, C2_HEARTBEAT_TIMEOUT, C2_PORT, MIRAI_DICTIONARY, TELNET_PORT};
 use crate::line::LineBuffer;
 use crate::stats::BotnetStats;
 
 const TOKEN_SCAN: u64 = 1;
+const TOKEN_EVICT: u64 = 2;
 /// Schedule entries use tokens `TOKEN_SCHEDULE_BASE + index`.
 const TOKEN_SCHEDULE_BASE: u64 = 1_000;
+
+/// How often the C2 sweeps bot sessions for missed heartbeats.
+const EVICT_PERIOD: SimDuration = SimDuration::from_secs(5);
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ProbePhase {
@@ -60,6 +64,14 @@ impl Default for AttackerConfig {
     }
 }
 
+/// One registered bot session on the C2 channel.
+#[derive(Debug, Clone, Copy)]
+struct BotSession {
+    addr: Addr,
+    /// Last time the C2 heard anything (REG or PING) on this connection.
+    last_seen: SimTime,
+}
+
 /// The Mirai attacker: scanner + loader + C2 server.
 #[derive(Debug)]
 pub struct Attacker {
@@ -67,9 +79,12 @@ pub struct Attacker {
     stats: BotnetStats,
     rng: SimRng,
     probes: HashMap<ConnId, Probe>,
-    bots: HashMap<ConnId, Addr>,
+    bots: HashMap<ConnId, BotSession>,
     bot_buffers: HashMap<ConnId, LineBuffer>,
     infected_targets: Vec<Addr>,
+    /// When each evicted device was lost, for time-to-reinfection
+    /// accounting (cleared when the scanner re-compromises it).
+    lost_at: HashMap<Addr, SimTime>,
 }
 
 impl Attacker {
@@ -83,6 +98,7 @@ impl Attacker {
             bots: HashMap::new(),
             bot_buffers: HashMap::new(),
             infected_targets: Vec::new(),
+            lost_at: HashMap::new(),
         }
     }
 
@@ -149,6 +165,11 @@ impl Attacker {
                 if !self.infected_targets.contains(&target) {
                     self.infected_targets.push(target);
                 }
+                if let Some(lost) = self.lost_at.remove(&target) {
+                    // An evicted device is back in the botnet: record how
+                    // long the scan → credential → install cycle took.
+                    self.stats.add_reinfection(ctx.now() - lost);
+                }
                 ctx.tcp_close(conn);
             }
             _ => {}
@@ -167,7 +188,10 @@ impl Attacker {
         }
     }
 
-    /// Addresses of devices the loader successfully installed onto.
+    /// Addresses of devices the loader currently believes are infected.
+    /// A device evicted for missed heartbeats leaves this set and
+    /// becomes scannable again, so the set tracks the *live* botnet
+    /// rather than growing monotonically.
     pub fn infected_targets(&self) -> &[Addr] {
         &self.infected_targets
     }
@@ -175,10 +199,46 @@ impl Attacker {
     /// Distinct bot addresses currently connected (a churned-out bot may
     /// briefly have both a stale and a fresh session; count it once).
     fn distinct_bots(&self) -> u64 {
-        let mut addrs: Vec<Addr> = self.bots.values().copied().collect();
+        let mut addrs: Vec<Addr> = self.bots.values().map(|s| s.addr).collect();
         addrs.sort_unstable();
         addrs.dedup();
         addrs.len() as u64
+    }
+
+    /// Drops a bot session. If no other live session carries the same
+    /// device address, the device itself is deemed lost: it becomes
+    /// scannable again and the loss instant is recorded so a later
+    /// re-install yields a time-to-reinfection sample.
+    fn drop_bot_session(&mut self, now: SimTime, conn: ConnId) {
+        let Some(session) = self.bots.remove(&conn) else { return };
+        let addr_still_live = self.bots.values().any(|s| s.addr == session.addr);
+        if !addr_still_live {
+            self.infected_targets.retain(|&a| a != session.addr);
+            self.lost_at.entry(session.addr).or_insert(now);
+            self.stats.add_bot_evicted();
+        }
+        self.stats.set_connected_bots(self.distinct_bots());
+    }
+
+    /// Sweeps bot sessions for missed heartbeats and aborts the dead
+    /// ones. An idle TCP connection to a powered-off peer emits no
+    /// segments, so silence — not a reset — is the only signal the C2
+    /// gets that a device rebooted out of the botnet.
+    fn evict_stale_bots(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let mut stale: Vec<ConnId> = self
+            .bots
+            .iter()
+            .filter(|(_, s)| now - s.last_seen > C2_HEARTBEAT_TIMEOUT)
+            .map(|(&c, _)| c)
+            .collect();
+        stale.sort_unstable();
+        for conn in stale {
+            ctx.tcp_abort(conn);
+            self.bot_buffers.remove(&conn);
+            self.drop_bot_session(now, conn);
+        }
+        ctx.set_timer(EVICT_PERIOD, TOKEN_EVICT);
     }
 }
 
@@ -186,6 +246,7 @@ impl App for Attacker {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         assert!(ctx.tcp_listen(C2_PORT, 256), "C2 port already bound");
         self.schedule_scan(ctx);
+        ctx.set_timer(EVICT_PERIOD, TOKEN_EVICT);
         let now = ctx.now();
         for (i, (at, _)) in self.config.schedule.iter().enumerate() {
             let delay = at.saturating_since(now);
@@ -196,6 +257,8 @@ impl App for Attacker {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         if token == TOKEN_SCAN {
             self.scan_tick(ctx);
+        } else if token == TOKEN_EVICT {
+            self.evict_stale_bots(ctx);
         } else if token >= TOKEN_SCHEDULE_BASE {
             let idx = (token - TOKEN_SCHEDULE_BASE) as usize;
             if let Some((_, command)) = self.config.schedule.get(idx).copied() {
@@ -237,11 +300,15 @@ impl App for Attacker {
                     for line in lines {
                         if let Some(addr) = line.strip_prefix("REG ") {
                             if let Some(addr) = crate::commands::parse_addr(addr.trim()) {
-                                self.bots.insert(conn, addr);
+                                self.bots
+                                    .insert(conn, BotSession { addr, last_seen: ctx.now() });
                                 self.stats.set_connected_bots(self.distinct_bots());
                             }
+                        } else if let Some(session) = self.bots.get_mut(&conn) {
+                            // PING keepalives need no reply, but they
+                            // refresh the session's liveness clock.
+                            session.last_seen = ctx.now();
                         }
-                        // PING keepalives need no reply.
                     }
                 }
             }
@@ -252,9 +319,7 @@ impl App for Attacker {
             TcpEvent::Closed { conn } | TcpEvent::ConnectFailed { conn } => {
                 self.probes.remove(&conn);
                 self.bot_buffers.remove(&conn);
-                if self.bots.remove(&conn).is_some() {
-                    self.stats.set_connected_bots(self.distinct_bots());
-                }
+                self.drop_bot_session(ctx.now(), conn);
             }
             _ => {}
         }

@@ -17,6 +17,17 @@ pub const C2_PORT: u16 = 48_101;
 /// The telnet port scanned and exploited on devices.
 pub const TELNET_PORT: u16 = 23;
 
+/// Interval between `PING` keepalives a bot sends on its C2 connection.
+pub const C2_KEEPALIVE: netsim::time::SimDuration = netsim::time::SimDuration::from_secs(10);
+
+/// How long the C2 tolerates silence on a bot connection before evicting
+/// it as dead (2.5 keepalive periods: one lost PING is forgiven, two are
+/// not). Missed heartbeats — not TCP resets — are what detect a device
+/// that lost power mid-session, because an idle connection to a dead
+/// peer emits no segments at all.
+pub const C2_HEARTBEAT_TIMEOUT: netsim::time::SimDuration =
+    netsim::time::SimDuration::from_secs(25);
+
 /// A DDoS attack vector: the three the paper evaluates plus the
 /// application-level HTTP flood the paper defers ("avoiding more complex
 /// application-level attacks like HTTP Flood ... which necessitate

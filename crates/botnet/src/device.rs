@@ -16,17 +16,20 @@ use netsim::time::{SimDuration, SimTime};
 use netsim::world::{App, Ctx};
 use netsim::{ConnId, TcpEvent};
 
-use crate::commands::{parse_addr, C2Command, TELNET_PORT};
+use crate::commands::{parse_addr, C2Command, C2_KEEPALIVE, TELNET_PORT};
 use crate::flood::{flood_packet, FloodConfig};
 use crate::line::LineBuffer;
 use crate::stats::BotnetStats;
 
 /// Interval between flood generation ticks.
 const FLOOD_TICK: SimDuration = SimDuration::from_millis(10);
-/// Bot keepalive interval.
-const KEEPALIVE: SimDuration = SimDuration::from_secs(10);
-/// Delay before re-dialling a lost C2 connection.
-const RECONNECT_DELAY: SimDuration = SimDuration::from_secs(5);
+/// Bot keepalive interval (shared with the C2's heartbeat bookkeeping).
+const KEEPALIVE: SimDuration = C2_KEEPALIVE;
+/// First re-dial delay after a lost C2 connection; doubles per
+/// consecutive failure up to [`RECONNECT_CAP`].
+const RECONNECT_BASE: SimDuration = SimDuration::from_secs(2);
+/// Ceiling on the exponential reconnect backoff.
+const RECONNECT_CAP: SimDuration = SimDuration::from_secs(60);
 
 const TOKEN_FLOOD_TICK: u64 = 1;
 const TOKEN_KEEPALIVE: u64 = 2;
@@ -72,6 +75,9 @@ pub struct DeviceAgent {
     tick_armed: bool,
     http_conns: Vec<ConnId>,
     http_rr: usize,
+    /// Consecutive failed C2 dials since the last registration; drives
+    /// the exponential reconnect backoff.
+    reconnect_attempts: u32,
 }
 
 impl DeviceAgent {
@@ -100,6 +106,7 @@ impl DeviceAgent {
             tick_armed: false,
             http_conns: Vec::new(),
             http_rr: 0,
+            reconnect_attempts: 0,
         }
     }
 
@@ -120,6 +127,17 @@ impl DeviceAgent {
             let conn = ctx.tcp_connect(addr, port);
             self.c2_conn = Some(conn);
         }
+    }
+
+    /// Arms the reconnect timer with capped exponential backoff plus
+    /// ±25 % jitter drawn from the device's own seeded RNG, so retry
+    /// storms decorrelate across bots while staying reproducible.
+    fn schedule_reconnect(&mut self, ctx: &mut Ctx<'_>) {
+        let doubled = RECONNECT_BASE.as_secs_f64() * f64::from(2u32.pow(self.reconnect_attempts.min(8)));
+        let base = doubled.min(RECONNECT_CAP.as_secs_f64());
+        let jitter = 0.75 + 0.5 * self.rng.uniform();
+        self.reconnect_attempts = self.reconnect_attempts.saturating_add(1);
+        ctx.set_timer(SimDuration::from_secs_f64(base * jitter), TOKEN_RECONNECT);
     }
 
     fn handle_telnet_line(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, line: String) {
@@ -285,6 +303,7 @@ impl App for DeviceAgent {
                 self.reply(ctx, conn, "login:");
             }
             TcpEvent::Connected { conn } if Some(conn) == self.c2_conn => {
+                self.reconnect_attempts = 0;
                 let reg = format!("REG {}\r\n", ctx.addr());
                 ctx.tcp_send(conn, reg.as_bytes());
             }
@@ -322,7 +341,7 @@ impl App for DeviceAgent {
                     self.c2_conn = None;
                     self.c2_buffer = LineBuffer::new();
                     if self.infected {
-                        ctx.set_timer(RECONNECT_DELAY, TOKEN_RECONNECT);
+                        self.schedule_reconnect(ctx);
                     }
                 }
             }
@@ -349,20 +368,22 @@ impl App for DeviceAgent {
         }
     }
 
-    fn on_link_state(&mut self, ctx: &mut Ctx<'_>, up: bool) {
-        if up {
-            // Mirai does not persist across reboots, but DDoSim re-infects
-            // returning devices via the scanner; dialling home directly
-            // models a still-infected device rejoining.
-            if self.infected {
-                self.dial_c2(ctx);
-            }
-        } else {
+    fn on_link_state(&mut self, _ctx: &mut Ctx<'_>, up: bool) {
+        if !up {
+            // Power loss. Mirai is memory-resident and does not persist
+            // across reboots (Antonakakis et al.): the infection, the C2
+            // coordinates and any running flood all evaporate with RAM.
+            // The device boots clean, scannable and re-crackable; only
+            // the attacker's scanner can bring it back into the botnet.
             self.sessions.clear();
+            self.infected = false;
+            self.c2 = None;
             self.c2_conn = None;
+            self.c2_buffer = LineBuffer::new();
             self.attack = None;
             self.tick_armed = false;
             self.http_conns.clear();
+            self.reconnect_attempts = 0;
         }
     }
 }

@@ -3,6 +3,8 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use netsim::time::SimDuration;
+
 /// A point-in-time view of botnet progress.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BotnetCounters {
@@ -12,7 +14,9 @@ pub struct BotnetCounters {
     pub login_attempts: u64,
     /// Successful logins.
     pub logins_ok: u64,
-    /// Devices infected (unique).
+    /// Infection events. A device rebooted out of the botnet and then
+    /// re-compromised counts again (each is a fresh memory-resident
+    /// infection), so this can exceed the number of distinct devices.
     pub infections: u64,
     /// Bots currently connected to the C2 (gauge).
     pub connected_bots: u64,
@@ -20,6 +24,24 @@ pub struct BotnetCounters {
     pub attacks_started: u64,
     /// Flood packets emitted by all bots.
     pub flood_packets: u64,
+    /// Bots the C2 evicted for missed heartbeats or dead connections.
+    pub bots_evicted: u64,
+    /// Evicted devices the scanner re-compromised.
+    pub reinfections: u64,
+    /// Total eviction-to-reinfection latency across all reinfections,
+    /// in nanoseconds (divide by `reinfections` for the mean).
+    pub reinfection_latency_total_nanos: u64,
+}
+
+impl BotnetCounters {
+    /// Mean time from bot eviction to re-infection, or `None` if no
+    /// device has been reinfected yet.
+    pub fn mean_reinfection_latency(&self) -> Option<SimDuration> {
+        if self.reinfections == 0 {
+            return None;
+        }
+        Some(SimDuration::from_nanos(self.reinfection_latency_total_nanos / self.reinfections))
+    }
 }
 
 /// A shared handle onto the botnet counters.
@@ -73,6 +95,20 @@ impl BotnetStats {
     pub fn add_flood_packets(&self, n: u64) {
         self.inner.borrow_mut().flood_packets += n;
     }
+
+    /// Records a bot evicted by the C2 (missed heartbeats or a dead
+    /// connection with no other live session from the same device).
+    pub fn add_bot_evicted(&self) {
+        self.inner.borrow_mut().bots_evicted += 1;
+    }
+
+    /// Records a re-infection of a previously evicted device, with the
+    /// eviction-to-reinfection latency.
+    pub fn add_reinfection(&self, latency: SimDuration) {
+        let mut inner = self.inner.borrow_mut();
+        inner.reinfections += 1;
+        inner.reinfection_latency_total_nanos += latency.as_nanos();
+    }
 }
 
 #[cfg(test)]
@@ -92,5 +128,18 @@ mod tests {
         assert_eq!(snap.infections, 1);
         assert_eq!(snap.connected_bots, 3);
         assert_eq!(snap.flood_packets, 100);
+    }
+
+    #[test]
+    fn reinfection_latency_averages() {
+        let stats = BotnetStats::new();
+        assert_eq!(stats.snapshot().mean_reinfection_latency(), None);
+        stats.add_bot_evicted();
+        stats.add_reinfection(SimDuration::from_secs(10));
+        stats.add_reinfection(SimDuration::from_secs(20));
+        let snap = stats.snapshot();
+        assert_eq!(snap.bots_evicted, 1);
+        assert_eq!(snap.reinfections, 2);
+        assert_eq!(snap.mean_reinfection_latency(), Some(SimDuration::from_secs(15)));
     }
 }

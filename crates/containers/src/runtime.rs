@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 
+use netsim::faults::FaultAction;
 use netsim::link::LinkConfig;
 use netsim::packet::{Addr, Provenance};
 use netsim::time::{SimDuration, SimTime};
@@ -115,6 +116,33 @@ pub struct Container {
     pub meter: ResourceMeter,
 }
 
+/// Lifecycle state of a deployed container.
+///
+/// The state machine is `Running → Down → Running` for crashes with a
+/// manual restart, and `Running → Rebooting → Running` for scheduled
+/// reboots: a rebooting container is down on the network exactly like a
+/// crashed one, but the runtime knows a boot completion is already
+/// scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ContainerState {
+    /// The node is up and its apps are attached to the bridge.
+    Running,
+    /// The node is down with no scheduled restore (crash or `stop`).
+    Down,
+    /// The node is down but a boot completion is pending.
+    Rebooting,
+}
+
+impl std::fmt::Display for ContainerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ContainerState::Running => "running",
+            ContainerState::Down => "down",
+            ContainerState::Rebooting => "rebooting",
+        })
+    }
+}
+
 /// The physical medium of the testbed bridge (DDoSim supports "CSMA and
 /// Wi-Fi networks").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -143,6 +171,9 @@ pub struct Runtime {
     containers: Vec<Container>,
     by_name: HashMap<String, ContainerId>,
     next_host: u32,
+    /// Scheduled boot-completion times per container, so [`Runtime::state`]
+    /// can tell a rebooting container from a crashed one.
+    pending_boots: Vec<(ContainerId, SimTime)>,
 }
 
 impl Runtime {
@@ -158,7 +189,14 @@ impl Runtime {
             BridgeMedium::Csma => world.add_csma_link(&[], bridge_config),
             BridgeMedium::Wifi => world.add_wifi_link(&[], bridge_config),
         };
-        Runtime { world, bridge, containers: Vec::new(), by_name: HashMap::new(), next_host: 2 }
+        Runtime {
+            world,
+            bridge,
+            containers: Vec::new(),
+            by_name: HashMap::new(),
+            next_host: 2,
+            pending_boots: Vec::new(),
+        }
     }
 
     /// The bridge link all containers share.
@@ -278,6 +316,55 @@ impl Runtime {
         self.world.node_is_up(self.containers[id.index()].node)
     }
 
+    /// The container's lifecycle state at the current virtual time.
+    pub fn state(&self, id: ContainerId) -> ContainerState {
+        if self.is_running(id) {
+            return ContainerState::Running;
+        }
+        let now = self.world.now();
+        let boot_pending = self.pending_boots.iter().any(|&(c, at)| c == id && at > now);
+        if boot_pending {
+            ContainerState::Rebooting
+        } else {
+            ContainerState::Down
+        }
+    }
+
+    /// Schedules a hard crash of the container at virtual time `at`.
+    /// The crash fires as an ordinary fault event (no RNG consumed), so
+    /// scheduling it never perturbs any random stream.
+    pub fn schedule_crash(&mut self, id: ContainerId, at: SimTime) {
+        let node = self.containers[id.index()].node;
+        self.world.schedule_fault(at, FaultAction::NodeCrash { node });
+    }
+
+    /// Schedules a crash at `at` followed by a boot completion
+    /// `boot_delay` later. While booting the container reports
+    /// [`ContainerState::Rebooting`].
+    pub fn schedule_reboot(&mut self, id: ContainerId, at: SimTime, boot_delay: SimDuration) {
+        let node = self.containers[id.index()].node;
+        self.world.schedule_fault(at, FaultAction::NodeReboot { node, boot_delay });
+        self.pending_boots.push((id, at + boot_delay));
+    }
+
+    /// Total time the container has spent down so far (crashes, reboots
+    /// and churn all count), including a still-open down interval.
+    pub fn downtime(&self, id: ContainerId) -> SimDuration {
+        self.world.node_downtime(self.containers[id.index()].node)
+    }
+
+    /// Per-container downtime in nanoseconds, sorted by container name —
+    /// integer, deterministic output fit for byte-diffed reports.
+    pub fn downtime_table(&self) -> Vec<(String, u64)> {
+        let mut rows: Vec<(String, u64)> = self
+            .containers
+            .iter()
+            .map(|c| (c.spec.name.clone(), self.downtime(c.id).as_nanos()))
+            .collect();
+        rows.sort();
+        rows
+    }
+
     /// Runs the simulation for a span of virtual time.
     pub fn run_for(&mut self, duration: SimDuration) {
         self.world.run_for(duration);
@@ -381,6 +468,50 @@ mod tests {
         assert!(!rt.is_running(a));
         rt.start(a);
         assert!(rt.is_running(a));
+    }
+
+    #[test]
+    fn scheduled_reboot_walks_the_state_machine() {
+        let mut rt = runtime();
+        let a = rt.deploy(ContainerSpec::new("a", Role::Device));
+        rt.deploy(ContainerSpec::new("b", Role::Device));
+        rt.schedule_reboot(a, SimTime::from_secs(2), SimDuration::from_secs(3));
+
+        assert_eq!(rt.state(a), ContainerState::Running);
+        rt.run_for(SimDuration::from_secs(3)); // t=3: down, boot pending
+        assert_eq!(rt.state(a), ContainerState::Rebooting);
+        assert!(!rt.is_running(a));
+        rt.run_for(SimDuration::from_secs(3)); // t=6: booted
+        assert_eq!(rt.state(a), ContainerState::Running);
+        assert_eq!(rt.downtime(a), SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn scheduled_crash_stays_down_without_a_boot() {
+        let mut rt = runtime();
+        let a = rt.deploy(ContainerSpec::new("a", Role::Device));
+        rt.deploy(ContainerSpec::new("b", Role::Device));
+        rt.schedule_crash(a, SimTime::from_secs(1));
+        rt.run_for(SimDuration::from_secs(4));
+        assert_eq!(rt.state(a), ContainerState::Down);
+        assert_eq!(rt.downtime(a), SimDuration::from_secs(3));
+        // A manual restart recovers it, like `docker start`.
+        rt.start(a);
+        assert_eq!(rt.state(a), ContainerState::Running);
+    }
+
+    #[test]
+    fn downtime_table_is_sorted_and_integer() {
+        let mut rt = runtime();
+        let b = rt.deploy(ContainerSpec::new("b", Role::Device));
+        rt.deploy(ContainerSpec::new("a", Role::Device));
+        rt.schedule_reboot(b, SimTime::from_secs(1), SimDuration::from_secs(2));
+        rt.run_for(SimDuration::from_secs(5));
+        let table = rt.downtime_table();
+        assert_eq!(
+            table,
+            vec![("a".to_string(), 0), ("b".to_string(), 2_000_000_000)]
+        );
     }
 
     #[test]

@@ -22,8 +22,8 @@ use netsim::time::SimDuration;
 use serde::{Deserialize, Serialize};
 
 use crate::scenario::{
-    rotation, CpuPressureSpec, FaultPlanConfig, JitterSpec, LinkFlapSpec, LossRampSpec,
-    ScenarioConfig, ThrottleSpec,
+    rotation, CpuPressureSpec, FaultPlanConfig, JitterSpec, LifecycleTarget, LinkFlapSpec,
+    LossRampSpec, RebootSpec, ScenarioConfig, ThrottleSpec,
 };
 use crate::testbed::{LiveReport, Testbed};
 
@@ -423,8 +423,77 @@ pub fn chaos_scenario(seed: u64, live_secs: u64, epoch_offset_secs: u64) -> Scen
             duration: SimDuration::from_secs(10),
             factor: 5_000.0,
         }],
+        crashes: Vec::new(),
+        reboots: Vec::new(),
     };
     config
+}
+
+/// The detection scenario under container-lifecycle faults: a device
+/// reboots mid-run (losing its memory-resident bot, as a Mirai
+/// infection would), and later the TServer itself reboots, failing
+/// benign transactions until it returns. Offsets are relative to the
+/// end of the infection lead, scaled to land inside the live phase
+/// with enough tail for the C2 to evict the silent bot (heartbeat
+/// timeout, ~25 s) and re-scan the rebooted device.
+pub fn lifecycle_scenario(seed: u64, live_secs: u64, epoch_offset_secs: u64) -> ScenarioConfig {
+    let mut config = detection_scenario(seed, live_secs, epoch_offset_secs);
+    let live_start = epoch_offset_secs;
+    let at = |frac: f64| SimDuration::from_secs_f64(live_start as f64 + live_secs as f64 * frac);
+    config.faults.reboots = vec![
+        RebootSpec {
+            target: LifecycleTarget::Device(0),
+            start: at(0.25),
+            down_for: SimDuration::from_secs(3),
+        },
+        RebootSpec {
+            target: LifecycleTarget::TServer,
+            start: at(0.35),
+            down_for: SimDuration::from_secs(4),
+        },
+    ];
+    config
+}
+
+/// The outcome of a lifecycle chaos run: detection log, robustness
+/// accounting (downtime, benign success rate, eviction/reinfection)
+/// and bridge counters. Like [`run_chaos_detection`], a pure function
+/// of the seed — repeated runs are byte-identical.
+#[derive(Debug)]
+pub struct LifecycleOutcome {
+    /// The live phase's detection log, sustainability and robustness.
+    pub live: LiveReport,
+    /// Bridge counters after the run.
+    pub bridge_stats: netsim::link::LinkStats,
+    /// The exact scenario that ran.
+    pub scenario: ScenarioConfig,
+}
+
+/// E12: the detection pipeline while containers crash and reboot.
+/// Trains the K-Means IDS on a clean capture, then deploys the live
+/// run with the [`lifecycle_scenario`] reboot plan. The robustness
+/// report shows the benign success-rate dip during the TServer outage
+/// and the eviction → reinfection cycle after the device reboot.
+pub fn run_lifecycle_detection(seed: u64, scale: &ExperimentScale) -> LifecycleOutcome {
+    let capture = run_training_capture(seed, scale);
+    let ids_config = IdsConfig { max_train_samples: scale.max_train_samples, ..IdsConfig::default() };
+    let mut rng = SimRng::seed_from(seed ^ 0x7ea1);
+    let outcome = TrainedIds::train(
+        &capture,
+        &ModelKind::KMeans(KMeansConfig { k_max: 24, ..KMeansConfig::default() }),
+        ids_config,
+        &mut rng,
+    )
+    .expect("training capture contains both classes");
+
+    let epoch_offset = scale.capture_secs + 5;
+    let scenario = lifecycle_scenario(seed, scale.live_secs, epoch_offset);
+    let mut live = Testbed::deploy(scenario.clone());
+    live.run_infection_lead();
+    let _ = live.run_capture(SimDuration::from_secs(epoch_offset));
+    let report = live.run_live(SimDuration::from_secs(scale.live_secs), outcome.ids);
+    let bridge_stats = live.bridge_stats();
+    LifecycleOutcome { live: report, bridge_stats, scenario }
 }
 
 /// The outcome of a chaos detection run (E11).

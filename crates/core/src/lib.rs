@@ -31,11 +31,12 @@ pub mod scenario;
 pub mod testbed;
 
 pub use experiments::{
-    run_baseline_detection, run_chaos_detection, run_full_evaluation, ChaosOutcome,
-    ExperimentScale, FullReport, ModelReport,
+    run_baseline_detection, run_chaos_detection, run_full_evaluation, run_lifecycle_detection,
+    ChaosOutcome, ExperimentScale, FullReport, LifecycleOutcome, ModelReport,
 };
 pub use scenario::{
-    rotation, AttackPhase, CpuPressureSpec, FaultPlanConfig, JitterSpec, LinkFlapSpec,
-    LossRampSpec, RandomFlapSpec, ScenarioConfig, ThrottleSpec,
+    rotation, AttackPhase, CpuPressureSpec, CrashSpec, FaultPlanConfig, JitterSpec,
+    LifecycleTarget, LinkFlapSpec, LossRampSpec, RandomFlapSpec, RebootSpec, ScenarioConfig,
+    ThrottleSpec,
 };
 pub use testbed::{LiveReport, Testbed};

@@ -98,11 +98,45 @@ pub struct CpuPressureSpec {
     pub factor: f64,
 }
 
-/// Declarative fault injection for a scenario: which chaos the bridge
-/// and the IDS node endure, scheduled relative to the end of the
-/// infection lead. Deploy compiles this into a [`FaultPlan`] of
-/// concrete timestamped actions, so two runs of the same seed inject
-/// byte-identical fault schedules.
+/// A container that lifecycle faults (crash, reboot) can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LifecycleTarget {
+    /// The TServer container (takes the benign services down with it).
+    TServer,
+    /// Device container `i` (in deployment order, `dev-<i>`).
+    Device(usize),
+}
+
+/// A scheduled container crash: power lost at `start`, never restored.
+/// In-flight connections vanish without emitting segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashSpec {
+    /// Which container loses power.
+    pub target: LifecycleTarget,
+    /// Offset from the end of the infection lead.
+    pub start: SimDuration,
+}
+
+/// A scheduled container reboot: power lost at `start`, back up
+/// `down_for` later. Memory-resident state — including a Mirai
+/// infection — does not survive the reboot, so a rebooted device
+/// becomes scannable again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RebootSpec {
+    /// Which container power-cycles.
+    pub target: LifecycleTarget,
+    /// Offset from the end of the infection lead.
+    pub start: SimDuration,
+    /// Boot delay: how long the container stays dark.
+    pub down_for: SimDuration,
+}
+
+/// Declarative fault injection for a scenario: which chaos the bridge,
+/// the IDS node and the containers endure, scheduled relative to the
+/// end of the infection lead. Deploy compiles this into a [`FaultPlan`]
+/// of concrete timestamped actions (lifecycle events go through the
+/// container runtime so per-container state is tracked), so two runs of
+/// the same seed inject byte-identical fault schedules.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct FaultPlanConfig {
     /// Deterministic bridge outages.
@@ -117,6 +151,10 @@ pub struct FaultPlanConfig {
     pub throttles: Vec<ThrottleSpec>,
     /// CPU pressure on the IDS container's node.
     pub ids_pressure: Vec<CpuPressureSpec>,
+    /// Permanent container crashes.
+    pub crashes: Vec<CrashSpec>,
+    /// Container power-cycles.
+    pub reboots: Vec<RebootSpec>,
 }
 
 impl FaultPlanConfig {
@@ -128,6 +166,8 @@ impl FaultPlanConfig {
             && self.jitter.is_empty()
             && self.throttles.is_empty()
             && self.ids_pressure.is_empty()
+            && self.crashes.is_empty()
+            && self.reboots.is_empty()
     }
 
     /// Compiles the declarative config into concrete fault actions
@@ -179,7 +219,9 @@ impl FaultPlanConfig {
     }
 
     /// Appends this config's validation problems to `problems`.
-    fn validate_into(&self, problems: &mut Vec<String>) {
+    /// `devices` is the scenario's fleet size, for bounds-checking
+    /// lifecycle targets.
+    fn validate_into(&self, devices: usize, problems: &mut Vec<String>) {
         if let Some(random) = &self.random_flap {
             if random.mean_up_secs <= 0.0 || random.mean_down_secs <= 0.0 {
                 problems.push("random_flap means must be positive".to_owned());
@@ -212,6 +254,26 @@ impl FaultPlanConfig {
                     "cpu pressure {i} factor {} must be finite and non-negative",
                     pressure.factor
                 ));
+            }
+        }
+        for (i, reboot) in self.reboots.iter().enumerate() {
+            if reboot.down_for == SimDuration::ZERO {
+                problems.push(format!("reboot {i} has zero boot delay"));
+            }
+        }
+        for (i, target) in self
+            .crashes
+            .iter()
+            .map(|c| c.target)
+            .chain(self.reboots.iter().map(|r| r.target))
+            .enumerate()
+        {
+            if let LifecycleTarget::Device(d) = target {
+                if d >= devices {
+                    problems.push(format!(
+                        "lifecycle fault {i} targets device {d} of a {devices}-device fleet"
+                    ));
+                }
             }
         }
     }
@@ -333,7 +395,7 @@ impl ScenarioConfig {
         if !(0.0..=1.0).contains(&self.link.loss_rate) {
             problems.push(format!("link loss_rate {} outside [0, 1]", self.link.loss_rate));
         }
-        self.faults.validate_into(&mut problems);
+        self.faults.validate_into(self.devices, &mut problems);
         if problems.is_empty() {
             Ok(())
         } else {
@@ -452,6 +514,15 @@ mod tests {
                 duration: SimDuration::from_secs(10),
                 factor: 3.0,
             }],
+            crashes: vec![CrashSpec {
+                target: LifecycleTarget::Device(1),
+                start: SimDuration::from_secs(25),
+            }],
+            reboots: vec![RebootSpec {
+                target: LifecycleTarget::TServer,
+                start: SimDuration::from_secs(18),
+                down_for: SimDuration::from_secs(3),
+            }],
         }
     }
 
@@ -467,14 +538,18 @@ mod tests {
         config.faults.jitter[0].steps = 0;
         config.faults.throttles[0].factor = 0.0;
         config.faults.ids_pressure[0].factor = f64::NAN;
+        config.faults.reboots[0].down_for = SimDuration::ZERO;
+        config.faults.crashes[0].target = LifecycleTarget::Device(99);
         let problems = config.validate().unwrap_err();
-        assert!(problems.len() >= 6, "{problems:?}");
+        assert!(problems.len() >= 8, "{problems:?}");
         assert!(problems.iter().any(|p| p.contains("random_flap means")));
         assert!(problems.iter().any(|p| p.contains("interval is empty")));
         assert!(problems.iter().any(|p| p.contains("peak")));
         assert!(problems.iter().any(|p| p.contains("zero steps")));
         assert!(problems.iter().any(|p| p.contains("throttle")));
         assert!(problems.iter().any(|p| p.contains("cpu pressure")));
+        assert!(problems.iter().any(|p| p.contains("zero boot delay")));
+        assert!(problems.iter().any(|p| p.contains("targets device 99")));
     }
 
     #[test]

@@ -160,6 +160,23 @@ impl Testbed {
             rt.world_mut().apply_fault_plan(&plan);
         }
 
+        // Container lifecycle faults go through the runtime (not the
+        // raw fault plan) so it can track per-container boot state.
+        // Scheduling consumes no randomness, preserving the deploy RNG
+        // stream for scenarios without lifecycle faults.
+        let resolve = |target: crate::scenario::LifecycleTarget| match target {
+            crate::scenario::LifecycleTarget::TServer => tserver,
+            crate::scenario::LifecycleTarget::Device(i) => devices[i],
+        };
+        for crash in &config.faults.crashes {
+            let at = SimTime::ZERO + config.infection_lead + crash.start;
+            rt.schedule_crash(resolve(crash.target), at);
+        }
+        for reboot in &config.faults.reboots {
+            let at = SimTime::ZERO + config.infection_lead + reboot.start;
+            rt.schedule_reboot(resolve(reboot.target), at, reboot.down_for);
+        }
+
         Testbed {
             rt,
             config,
@@ -272,7 +289,25 @@ impl Testbed {
             memory_kb: meter.memory_peak_bytes() as f64 / 1024.0,
             model_size_kb,
         };
-        let robustness = RobustnessReport::collect(&log, &self.sniffer);
+        let mut robustness = RobustnessReport::collect(&log, &self.sniffer);
+        // Lifecycle accounting: container downtime, benign success
+        // rates (cumulative since deploy) and botnet eviction /
+        // reinfection counters. Everything is integer-valued, so two
+        // same-seed runs report byte-identically.
+        robustness.container_downtime = self.rt.downtime_table();
+        let benign = [
+            self.client_stats.http.snapshot(),
+            self.client_stats.video.snapshot(),
+            self.client_stats.ftp.snapshot(),
+        ];
+        robustness.benign_started = benign.iter().map(|c| c.started).sum();
+        robustness.benign_completed = benign.iter().map(|c| c.completed).sum();
+        robustness.benign_failed = benign.iter().map(|c| c.failed).sum();
+        robustness.benign_retried = benign.iter().map(|c| c.retried).sum();
+        let bots = self.botnet_stats.snapshot();
+        robustness.bots_evicted = bots.bots_evicted;
+        robustness.reinfections = bots.reinfections;
+        robustness.reinfection_latency_total_nanos = bots.reinfection_latency_total_nanos;
         LiveReport { log, sustainability, robustness, meter }
     }
 

@@ -43,10 +43,15 @@ impl std::fmt::Display for SustainabilityReport {
     }
 }
 
-/// How the real-time loop held up under load: every window must be
-/// accounted for (classified or degraded), and any packets the bounded
-/// feed shed are counted rather than vanishing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// How the testbed held up under load and injected faults: every IDS
+/// window must be accounted for (classified or degraded), any packets
+/// the bounded feed shed are counted rather than vanishing, and the
+/// container-lifecycle fallout — downtime, benign-client success rate,
+/// bot eviction and reinfection latency — is recorded per run.
+///
+/// All fields are integers so two same-seed runs serialize and print
+/// byte-identically.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RobustnessReport {
     /// Windows the IDS logged (classified, whether healthy or degraded).
     pub windows_total: usize,
@@ -56,17 +61,67 @@ pub struct RobustnessReport {
     pub feed_dropped: u64,
     /// Packets the sniffer captured into the feed.
     pub feed_captured: u64,
+    /// Accumulated downtime per container, `(name, nanoseconds)`, sorted
+    /// by name. Empty when lifecycle accounting was not wired in.
+    pub container_downtime: Vec<(String, u64)>,
+    /// Benign client transactions started.
+    pub benign_started: u64,
+    /// Benign client transactions completed successfully.
+    pub benign_completed: u64,
+    /// Benign client transactions that failed after exhausting retries.
+    pub benign_failed: u64,
+    /// Benign client retry attempts.
+    pub benign_retried: u64,
+    /// Bots the C2 evicted for missed heartbeats or dead connections.
+    pub bots_evicted: u64,
+    /// Evicted devices the scanner re-compromised.
+    pub reinfections: u64,
+    /// Total eviction-to-reinfection latency in nanoseconds.
+    pub reinfection_latency_total_nanos: u64,
 }
 
 impl RobustnessReport {
-    /// Assembles the report from the detection log and the sniffer feed.
+    /// Assembles the IDS-loop half of the report from the detection log
+    /// and the sniffer feed; lifecycle fields start zeroed and are
+    /// filled in by the testbed when it owns the container runtime.
     pub fn collect(log: &DetectionLog, feed: &SnifferHandle) -> Self {
         RobustnessReport {
             windows_total: log.len(),
             windows_degraded: log.degraded_count(),
             feed_dropped: feed.dropped_overflow(),
             feed_captured: feed.captured_total(),
+            container_downtime: Vec::new(),
+            benign_started: 0,
+            benign_completed: 0,
+            benign_failed: 0,
+            benign_retried: 0,
+            bots_evicted: 0,
+            reinfections: 0,
+            reinfection_latency_total_nanos: 0,
         }
+    }
+
+    /// Fraction of benign transactions that completed, or `None` before
+    /// any started.
+    pub fn benign_success_rate(&self) -> Option<f64> {
+        if self.benign_started == 0 {
+            return None;
+        }
+        Some(self.benign_completed as f64 / self.benign_started as f64)
+    }
+
+    /// Total downtime across all containers, in nanoseconds.
+    pub fn total_downtime_nanos(&self) -> u64 {
+        self.container_downtime.iter().map(|(_, ns)| ns).sum()
+    }
+
+    /// Mean eviction-to-reinfection latency in nanoseconds, or `None`
+    /// if no device was reinfected.
+    pub fn mean_reinfection_latency_nanos(&self) -> Option<u64> {
+        if self.reinfections == 0 {
+            return None;
+        }
+        Some(self.reinfection_latency_total_nanos / self.reinfections)
     }
 }
 
@@ -76,7 +131,23 @@ impl std::fmt::Display for RobustnessReport {
             f,
             "windows={} degraded={} feed_captured={} feed_dropped={}",
             self.windows_total, self.windows_degraded, self.feed_captured, self.feed_dropped
-        )
+        )?;
+        write!(
+            f,
+            " benign={}/{} failed={} retried={}",
+            self.benign_completed, self.benign_started, self.benign_failed, self.benign_retried
+        )?;
+        write!(
+            f,
+            " evicted={} reinfections={} reinfection_ns={}",
+            self.bots_evicted, self.reinfections, self.reinfection_latency_total_nanos
+        )?;
+        for (name, ns) in &self.container_downtime {
+            if *ns > 0 {
+                write!(f, " down[{name}]={ns}ns")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -99,6 +170,34 @@ mod tests {
         fn memory_bytes(&self) -> u64 {
             4096
         }
+    }
+
+    #[test]
+    fn robustness_rates_and_totals() {
+        let mut report = RobustnessReport {
+            windows_total: 10,
+            windows_degraded: 1,
+            feed_dropped: 0,
+            feed_captured: 100,
+            container_downtime: vec![("dev-0".into(), 3), ("tserver".into(), 4)],
+            benign_started: 8,
+            benign_completed: 6,
+            benign_failed: 2,
+            benign_retried: 5,
+            bots_evicted: 2,
+            reinfections: 2,
+            reinfection_latency_total_nanos: 30,
+        };
+        assert_eq!(report.benign_success_rate(), Some(0.75));
+        assert_eq!(report.total_downtime_nanos(), 7);
+        assert_eq!(report.mean_reinfection_latency_nanos(), Some(15));
+        let display = report.to_string();
+        assert!(display.contains("benign=6/8"), "{display}");
+        assert!(display.contains("down[tserver]=4ns"), "{display}");
+        report.benign_started = 0;
+        report.reinfections = 0;
+        assert_eq!(report.benign_success_rate(), None);
+        assert_eq!(report.mean_reinfection_latency_nanos(), None);
     }
 
     #[test]

@@ -132,7 +132,10 @@ impl DecisionTree {
     ///
     /// # Panics
     ///
-    /// Panics if `indices` is empty.
+    /// Panics if `indices` is empty, if `x` is empty, or if `x`'s rows
+    /// are ragged (unequal lengths). Callers that cannot guarantee a
+    /// rectangular training set should go through [`DecisionTree::fit`],
+    /// which surfaces those conditions as a [`TrainError`] instead.
     pub fn fit_on(
         x: &[Vec<f64>],
         y: &[usize],
@@ -141,7 +144,8 @@ impl DecisionTree {
         rng: &mut SimRng,
     ) -> Self {
         assert!(!indices.is_empty(), "cannot fit a tree on no samples");
-        let m = FeatureMatrix::from_rows(x).expect("non-empty, rectangular training rows");
+        let m = FeatureMatrix::from_rows(x)
+            .expect("fit_on requires a non-empty, rectangular training set (see `# Panics`)");
         DecisionTree::fit_view(m.view(), y, indices, config, rng)
     }
 
@@ -464,7 +468,11 @@ impl RandomForest {
         rng: &mut SimRng,
     ) -> Result<Self, TrainError> {
         validate_training_set(x, y)?;
-        let m = FeatureMatrix::from_rows(x).expect("validated above");
+        // Invariant: `validate_training_set` already rejected the two
+        // conditions `from_rows` can fail on (empty and ragged input),
+        // so this cannot panic on any path that reaches it.
+        let m = FeatureMatrix::from_rows(x)
+            .expect("validate_training_set rejects empty and ragged rows");
         RandomForest::fit_view(m.view(), y, config, rng)
     }
 

@@ -67,6 +67,26 @@ pub enum FaultAction {
         /// Compute-time multiplier, clamped to be non-negative.
         factor: f64,
     },
+    /// Hard-crash a node: its NIC detaches, every TCP connection it
+    /// held vanishes without emitting a segment, and apps on the node
+    /// are told the link went down. The node stays down until a
+    /// [`FaultAction::NodeReboot`] (or an explicit `set_node_up`)
+    /// restores it.
+    NodeCrash {
+        /// The node that loses power.
+        node: NodeId,
+    },
+    /// Crash a node and bring it back after `boot_delay`: the crash
+    /// half is identical to [`FaultAction::NodeCrash`]; the restore is
+    /// an ordinary node-up event scheduled `boot_delay` later, so apps
+    /// see a clean down → up transition and re-initialise themselves
+    /// (memory-resident state such as a Mirai infection is lost).
+    NodeReboot {
+        /// The node that reboots.
+        node: NodeId,
+        /// Time the node spends booting before it rejoins the network.
+        boot_delay: SimDuration,
+    },
 }
 
 /// A fault action scheduled at an offset from plan attachment.
@@ -264,6 +284,23 @@ impl FaultPlan {
         self.push(start, FaultAction::SetCpuPressure { node, factor });
         self.push(start + duration, FaultAction::SetCpuPressure { node, factor: 1.0 })
     }
+
+    /// Crashes `node` at `start`; nothing brings it back (pair with
+    /// [`FaultPlan::node_reboot`] or a manual restore for recovery
+    /// scenarios).
+    pub fn node_crash(&mut self, node: NodeId, start: SimDuration) -> &mut Self {
+        self.push(start, FaultAction::NodeCrash { node })
+    }
+
+    /// Crashes `node` at `start` and boots it back `boot_delay` later.
+    pub fn node_reboot(
+        &mut self,
+        node: NodeId,
+        start: SimDuration,
+        boot_delay: SimDuration,
+    ) -> &mut Self {
+        self.push(start, FaultAction::NodeReboot { node, boot_delay })
+    }
 }
 
 /// Triangular envelope over `steps` segments: 0-based segment `i` maps
@@ -376,6 +413,26 @@ mod tests {
         assert_eq!(
             plan.entries()[3].action,
             FaultAction::SetCpuPressure { node: NodeId::from_raw(3), factor: 1.0 }
+        );
+    }
+
+    #[test]
+    fn crash_and_reboot_builders_schedule_single_entries() {
+        let node = NodeId::from_raw(4);
+        let mut plan = FaultPlan::new();
+        plan.node_crash(node, SimDuration::from_secs(3));
+        plan.node_reboot(node, SimDuration::from_secs(9), SimDuration::from_secs(2));
+        assert_eq!(plan.len(), 2);
+        assert_eq!(
+            plan.entries()[0],
+            FaultEntry { at: SimDuration::from_secs(3), action: FaultAction::NodeCrash { node } }
+        );
+        assert_eq!(
+            plan.entries()[1],
+            FaultEntry {
+                at: SimDuration::from_secs(9),
+                action: FaultAction::NodeReboot { node, boot_delay: SimDuration::from_secs(2) },
+            }
         );
     }
 

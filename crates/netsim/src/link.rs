@@ -443,7 +443,13 @@ impl Link {
         access_overhead: SimDuration,
         queue: &mut EventQueue,
     ) {
-        let packet = self.lanes[lane_idx].queue.pop_front().expect("checked non-empty");
+        // Invariant: every caller (`start_lane_if_idle` and the CSMA /
+        // Wi-Fi arbitration loops) selects `lane_idx` only after
+        // observing a non-empty queue, and nothing dequeues in between.
+        let packet = self.lanes[lane_idx]
+            .queue
+            .pop_front()
+            .expect("begin_tx called on a lane whose queue was checked non-empty");
         let base = self.config.serialization_time(packet.wire_len());
         let ser = if self.bandwidth_scale == 1.0 {
             base
@@ -459,6 +465,14 @@ impl Link {
 
     /// Completes the in-flight transmission on `lane`, scheduling delivery
     /// events and starting the next pending transmission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane has no in-flight packet. Each
+    /// `LinkTxComplete` event is scheduled by exactly one `begin_tx`
+    /// (which sets `in_flight`), and nothing else clears the slot, so
+    /// this fires only on a corrupted event stream — e.g. a
+    /// hand-crafted or double-delivered event.
     pub fn on_tx_complete<R: EndpointResolver>(
         &mut self,
         now: SimTime,

@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 use crate::ids::{LinkId, NodeId};
 use crate::packet::Addr;
 use crate::tcp::TcpHost;
+use crate::time::{SimDuration, SimTime};
 use crate::udp::UdpHost;
 
 /// Traffic counters for a node.
@@ -52,6 +53,13 @@ pub struct Node {
     /// CPU-pressure factor injected by fault plans: modelled compute on
     /// this node costs `cpu_pressure ×` its nominal time (1.0 = unloaded).
     pub cpu_pressure: f64,
+    /// When the node last went down (`None` while up). Maintained by
+    /// the kernel on every administrative transition so downtime is
+    /// exact regardless of whether churn, a fault plan or a manual
+    /// call flipped the state.
+    pub down_since: Option<SimTime>,
+    /// Accumulated time spent down over closed down→up intervals.
+    pub downtime_total: SimDuration,
 }
 
 impl Node {
@@ -69,6 +77,17 @@ impl Node {
             udp: UdpHost::new(),
             stats: NodeStats::default(),
             cpu_pressure: 1.0,
+            down_since: None,
+            downtime_total: SimDuration::ZERO,
+        }
+    }
+
+    /// Total time this node has spent administratively down, including
+    /// the still-open interval if it is down at `now`.
+    pub fn downtime(&self, now: SimTime) -> SimDuration {
+        match self.down_since {
+            Some(since) => self.downtime_total + (now - since),
+            None => self.downtime_total,
         }
     }
 

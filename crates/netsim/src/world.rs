@@ -155,23 +155,35 @@ impl Kernel {
         links[link.index()].on_tx_complete(self.clock, lane, &resolver, &mut self.queue);
     }
 
-    fn apply_fault(&mut self, action: FaultAction) {
+    fn apply_fault(&mut self, action: FaultAction) -> Vec<(AppId, AppEvent)> {
         let clock = self.clock;
         match action {
             FaultAction::SetLinkUp { link, up } => {
                 self.links[link.index()].set_up(clock, up, &mut self.queue);
+                Vec::new()
             }
             FaultAction::SetLossOverride { link, rate } => {
                 self.links[link.index()].set_loss_override(rate);
+                Vec::new()
             }
             FaultAction::SetBandwidthScale { link, scale } => {
                 self.links[link.index()].set_bandwidth_scale(scale);
+                Vec::new()
             }
             FaultAction::SetExtraDelay { link, delay } => {
                 self.links[link.index()].set_extra_delay(delay);
+                Vec::new()
             }
             FaultAction::SetCpuPressure { node, factor } => {
                 self.nodes[node.index()].cpu_pressure = factor.max(0.0);
+                Vec::new()
+            }
+            FaultAction::NodeCrash { node } => self.set_node_up(node, false),
+            FaultAction::NodeReboot { node, boot_delay } => {
+                // The restore is an ordinary node-up event so app
+                // notifications flow through the same path as churn.
+                self.queue.schedule(clock + boot_delay, Event::SetNodeUp { node, up: true });
+                self.set_node_up(node, false)
             }
         }
     }
@@ -342,11 +354,19 @@ impl Kernel {
     }
 
     fn set_node_up(&mut self, node_id: NodeId, up: bool) -> Vec<(AppId, AppEvent)> {
+        let clock = self.clock;
         let node = &mut self.nodes[node_id.index()];
         if node.up == up {
             return Vec::new();
         }
         node.up = up;
+        if up {
+            if let Some(since) = node.down_since.take() {
+                node.downtime_total += clock - since;
+            }
+        } else {
+            node.down_since = Some(clock);
+        }
         let mut notifications = Vec::new();
         if !up {
             // Power loss: connections vanish without emitting segments.
@@ -541,6 +561,13 @@ impl World {
         self.kernel.nodes[node.index()].up
     }
 
+    /// Total time a node has spent administratively down so far,
+    /// including any still-open down interval (crashes, reboots and
+    /// churn all accrue here).
+    pub fn node_downtime(&self, node: NodeId) -> SimDuration {
+        self.kernel.nodes[node.index()].downtime(self.kernel.clock)
+    }
+
     /// Traffic counters of a link.
     pub fn link_stats(&self, link: LinkId) -> LinkStats {
         self.kernel.links[link.index()].stats()
@@ -613,10 +640,7 @@ impl World {
             }
             Event::AppStart { app } => vec![(app, AppEvent::Start)],
             Event::SetNodeUp { node, up } => self.kernel.set_node_up(node, up),
-            Event::Fault { action } => {
-                self.kernel.apply_fault(action);
-                Vec::new()
-            }
+            Event::Fault { action } => self.kernel.apply_fault(action),
         };
         self.dispatch_notifications(notifications);
         true
@@ -1147,6 +1171,46 @@ mod tests {
             (world.events_processed(), world.link_stats(bridge), echoed)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn node_reboot_fault_notifies_apps_and_accrues_downtime() {
+        use crate::faults::FaultPlan;
+
+        struct Watcher {
+            seen: Rc<RefCell<Vec<bool>>>,
+        }
+        impl App for Watcher {
+            fn on_link_state(&mut self, _ctx: &mut Ctx<'_>, up: bool) {
+                self.seen.borrow_mut().push(up);
+            }
+        }
+        let mut world = World::new(5);
+        let a = world.add_node(Addr::new(10, 0, 0, 1), "a");
+        let b = world.add_node(Addr::new(10, 0, 0, 2), "b");
+        world.add_csma_link(&[a, b], LinkConfig::lan_100mbps());
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let app = world.add_app(a, Box::new(Watcher { seen: Rc::clone(&seen) }), Provenance::Benign);
+        world.start_app(app, SimTime::ZERO);
+
+        let mut plan = FaultPlan::new();
+        plan.node_reboot(a, SimDuration::from_secs(2), SimDuration::from_secs(3));
+        plan.node_crash(a, SimDuration::from_secs(10));
+        world.apply_fault_plan(&plan);
+
+        world.run_for(SimDuration::from_secs(6));
+        // The reboot produced a clean down → up pair.
+        assert_eq!(*seen.borrow(), vec![false, true]);
+        assert!(world.node_is_up(a));
+        assert_eq!(world.node_downtime(a), SimDuration::from_secs(3));
+
+        // The crash leaves the node down; its open interval accrues.
+        world.run_for(SimDuration::from_secs(6));
+        assert!(!world.node_is_up(a));
+        assert_eq!(*seen.borrow(), vec![false, true, false]);
+        assert_eq!(world.node_downtime(a), SimDuration::from_secs(5));
+        // The untouched node accrued nothing.
+        assert_eq!(world.node_downtime(b), SimDuration::ZERO);
     }
 
     #[test]

@@ -13,10 +13,11 @@ use netsim::packet::Addr;
 use netsim::rng::SimRng;
 use netsim::time::SimDuration;
 use netsim::world::{App, Ctx};
-use netsim::{ConnId, TcpEvent};
+use netsim::{ConnId, TcpEvent, TimerId};
 
 use crate::http::Catalogue;
 use crate::protocol::{generated_body, LineBuffer};
+use crate::retry::RetryPolicy;
 use crate::stats::{ClientStats, ServerStats};
 
 /// The FTP control port.
@@ -222,12 +223,22 @@ enum ClientPhase {
     WaitComplete,
 }
 
-/// A closed-loop FTP download client.
+/// Timer token: think pause elapsed, start a new download session.
+const TOKEN_THINK: u64 = 0;
+/// Timer token: the in-flight session hit its deadline.
+const TOKEN_TIMEOUT: u64 = 1;
+/// Timer token: backoff elapsed, retry the pending session.
+const TOKEN_RETRY: u64 = 2;
+
+/// A closed-loop FTP download client. A session that fails or stalls is
+/// retried from scratch (fresh login) with capped exponential backoff
+/// per its [`RetryPolicy`] before counting as a failure.
 #[derive(Debug)]
 pub struct FtpClient {
     server: Addr,
     think_mean: f64,
     catalogue_len: usize,
+    retry: RetryPolicy,
     stats: ClientStats,
     rng: SimRng,
     phase: ClientPhase,
@@ -237,16 +248,24 @@ pub struct FtpClient {
     file_bytes: u64,
     data_closed: bool,
     got_226: bool,
+    /// `true` from `started` until the transaction completes or exhausts
+    /// its retries — spans the backoff gaps between attempts.
+    in_transaction: bool,
+    /// Attempts already burned by the in-progress transaction.
+    attempts: u32,
+    timeout_timer: Option<TimerId>,
 }
 
 impl FtpClient {
     /// Creates a client targeting `server`, downloading one of
     /// `catalogue_len` files per session with mean think time
-    /// `think_mean` seconds between sessions.
+    /// `think_mean` seconds between sessions, retrying failed sessions
+    /// per `retry`.
     pub fn new(
         server: Addr,
         think_mean: f64,
         catalogue_len: usize,
+        retry: RetryPolicy,
         stats: ClientStats,
         rng: SimRng,
     ) -> Self {
@@ -254,6 +273,7 @@ impl FtpClient {
             server,
             think_mean,
             catalogue_len,
+            retry,
             stats,
             rng,
             phase: ClientPhase::Idle,
@@ -263,12 +283,15 @@ impl FtpClient {
             file_bytes: 0,
             data_closed: false,
             got_226: false,
+            in_transaction: false,
+            attempts: 0,
+            timeout_timer: None,
         }
     }
 
     fn schedule_next(&mut self, ctx: &mut Ctx<'_>) {
         let delay = SimDuration::from_secs_f64(self.rng.exponential(self.think_mean));
-        ctx.set_timer(delay, 0);
+        ctx.set_timer(delay, TOKEN_THINK);
     }
 
     fn reset(&mut self) {
@@ -281,13 +304,42 @@ impl FtpClient {
         self.got_226 = false;
     }
 
+    fn cancel_timeout(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(timer) = self.timeout_timer.take() {
+            ctx.cancel_timer(timer);
+        }
+    }
+
+    /// Dials the control channel for the pending transaction and arms
+    /// its deadline.
+    fn begin_attempt(&mut self, ctx: &mut Ctx<'_>) {
+        self.phase = ClientPhase::Connecting;
+        self.control = Some(ctx.tcp_connect(self.server, FTP_PORT));
+        self.timeout_timer = Some(ctx.set_timer(self.retry.timeout, TOKEN_TIMEOUT));
+    }
+
+    /// One attempt died. Either schedules a backoff retry of the whole
+    /// session or gives up and counts a failure. A down node never
+    /// retries: its transaction died with it.
     fn fail(&mut self, ctx: &mut Ctx<'_>) {
+        self.cancel_timeout(ctx);
         if let Some(conn) = self.control.take() {
             ctx.tcp_abort(conn);
         }
-        self.stats.add_failed();
+        if let Some(conn) = self.data.take() {
+            ctx.tcp_abort(conn);
+        }
         self.reset();
-        self.schedule_next(ctx);
+        self.attempts += 1;
+        if self.retry.allows_retry(self.attempts) && ctx.is_up() {
+            self.stats.add_retried();
+            ctx.set_timer(self.retry.backoff(self.attempts, &mut self.rng), TOKEN_RETRY);
+        } else {
+            self.stats.add_failed();
+            self.in_transaction = false;
+            self.attempts = 0;
+            self.schedule_next(ctx);
+        }
     }
 
     fn send(&mut self, ctx: &mut Ctx<'_>, text: String) {
@@ -299,12 +351,15 @@ impl FtpClient {
 
     fn maybe_complete(&mut self, ctx: &mut Ctx<'_>) {
         if self.data_closed && self.got_226 {
+            self.cancel_timeout(ctx);
             self.stats.add_completed();
             self.send(ctx, "QUIT".to_owned());
             if let Some(conn) = self.control.take() {
                 ctx.tcp_close(conn);
             }
             self.reset();
+            self.in_transaction = false;
+            self.attempts = 0;
             self.schedule_next(ctx);
         }
     }
@@ -358,15 +413,41 @@ impl App for FtpClient {
         self.schedule_next(ctx);
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
-        if self.phase != ClientPhase::Idle || !ctx.is_up() {
-            self.schedule_next(ctx);
-            return;
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            TOKEN_THINK => {
+                if self.phase != ClientPhase::Idle || self.in_transaction || !ctx.is_up() {
+                    self.schedule_next(ctx);
+                    return;
+                }
+                self.stats.add_started();
+                self.in_transaction = true;
+                self.attempts = 0;
+                self.begin_attempt(ctx);
+            }
+            TOKEN_TIMEOUT => {
+                // Cancelled deadlines never fire, so the session is
+                // genuinely stuck mid-protocol.
+                self.timeout_timer = None;
+                if self.phase != ClientPhase::Idle {
+                    self.fail(ctx);
+                }
+            }
+            TOKEN_RETRY => {
+                if !self.in_transaction {
+                    return;
+                }
+                if ctx.is_up() {
+                    self.begin_attempt(ctx);
+                } else {
+                    self.stats.add_failed();
+                    self.in_transaction = false;
+                    self.attempts = 0;
+                    self.schedule_next(ctx);
+                }
+            }
+            _ => {}
         }
-        self.stats.add_started();
-        self.phase = ClientPhase::Connecting;
-        let conn = ctx.tcp_connect(self.server, FTP_PORT);
-        self.control = Some(conn);
     }
 
     fn on_tcp(&mut self, ctx: &mut Ctx<'_>, event: TcpEvent) {

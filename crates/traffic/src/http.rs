@@ -12,9 +12,10 @@ use netsim::packet::Addr;
 use netsim::rng::{SimRng, ZipfTable};
 use netsim::time::SimDuration;
 use netsim::world::{App, Ctx};
-use netsim::{ConnId, TcpEvent};
+use netsim::{ConnId, TcpEvent, TimerId};
 
 use crate::protocol::{http_response, parse_content_length, BodyReader, LineBuffer};
+use crate::retry::RetryPolicy;
 use crate::stats::{ClientStats, ServerStats};
 
 /// The TServer's HTTP port.
@@ -136,25 +137,43 @@ enum FetchPhase {
     Body(BodyReader),
 }
 
-/// A closed-loop HTTP client: think, request, download, repeat.
+/// Timer token: think pause elapsed, start a new transaction.
+const TOKEN_THINK: u64 = 0;
+/// Timer token: the in-flight attempt hit its deadline.
+const TOKEN_TIMEOUT: u64 = 1;
+/// Timer token: backoff elapsed, retry the pending transaction.
+const TOKEN_RETRY: u64 = 2;
+
+/// A closed-loop HTTP client: think, request, download, repeat. Failed
+/// or timed-out requests are retried with capped exponential backoff per
+/// its [`RetryPolicy`] before counting as failures.
 #[derive(Debug)]
 pub struct HttpClient {
     server: Addr,
     think_mean: f64,
     zipf: ZipfTable,
+    retry: RetryPolicy,
     stats: ClientStats,
     rng: SimRng,
     current: Option<(ConnId, FetchPhase)>,
+    /// The object of the in-progress transaction; retries re-request the
+    /// same object. `None` means the client is thinking.
+    pending_object: Option<usize>,
+    /// Attempts already burned by the in-progress transaction.
+    attempts: u32,
+    timeout_timer: Option<TimerId>,
 }
 
 impl HttpClient {
     /// Creates a client targeting `server`, with mean think time
     /// `think_mean` seconds between requests, choosing among
-    /// `catalogue_len` objects with Zipf(1.0) popularity.
+    /// `catalogue_len` objects with Zipf(1.0) popularity, and retrying
+    /// failed requests per `retry`.
     pub fn new(
         server: Addr,
         think_mean: f64,
         catalogue_len: usize,
+        retry: RetryPolicy,
         stats: ClientStats,
         rng: SimRng,
     ) -> Self {
@@ -162,15 +181,33 @@ impl HttpClient {
             server,
             think_mean,
             zipf: ZipfTable::new(catalogue_len, 1.0),
+            retry,
             stats,
             rng,
             current: None,
+            pending_object: None,
+            attempts: 0,
+            timeout_timer: None,
         }
     }
 
     fn schedule_next(&mut self, ctx: &mut Ctx<'_>) {
         let delay = SimDuration::from_secs_f64(self.rng.exponential(self.think_mean));
-        ctx.set_timer(delay, 0);
+        ctx.set_timer(delay, TOKEN_THINK);
+    }
+
+    fn cancel_timeout(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(timer) = self.timeout_timer.take() {
+            ctx.cancel_timer(timer);
+        }
+    }
+
+    /// Opens a connection for the pending transaction and arms its
+    /// deadline.
+    fn begin_attempt(&mut self, ctx: &mut Ctx<'_>) {
+        let conn = ctx.tcp_connect(self.server, HTTP_PORT);
+        self.current = Some((conn, FetchPhase::Head(LineBuffer::new())));
+        self.timeout_timer = Some(ctx.set_timer(self.retry.timeout, TOKEN_TIMEOUT));
     }
 
     fn finish(&mut self, ctx: &mut Ctx<'_>, ok: bool) {
@@ -179,8 +216,26 @@ impl HttpClient {
         } else {
             self.stats.add_failed();
         }
+        self.cancel_timeout(ctx);
         self.current = None;
+        self.pending_object = None;
+        self.attempts = 0;
         self.schedule_next(ctx);
+    }
+
+    /// One attempt died (refused, reset, or timed out). Either schedules
+    /// a backoff retry of the same transaction or gives up and counts a
+    /// failure. A down node never retries: its transaction died with it.
+    fn attempt_failed(&mut self, ctx: &mut Ctx<'_>) {
+        self.cancel_timeout(ctx);
+        self.current = None;
+        self.attempts += 1;
+        if self.retry.allows_retry(self.attempts) && ctx.is_up() {
+            self.stats.add_retried();
+            ctx.set_timer(self.retry.backoff(self.attempts, &mut self.rng), TOKEN_RETRY);
+        } else {
+            self.finish(ctx, false);
+        }
     }
 }
 
@@ -189,14 +244,40 @@ impl App for HttpClient {
         self.schedule_next(ctx);
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
-        if self.current.is_some() || !ctx.is_up() {
-            self.schedule_next(ctx);
-            return;
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            TOKEN_THINK => {
+                if self.current.is_some() || self.pending_object.is_some() || !ctx.is_up() {
+                    self.schedule_next(ctx);
+                    return;
+                }
+                self.stats.add_started();
+                self.attempts = 0;
+                self.pending_object = Some(self.zipf.sample(&mut self.rng));
+                self.begin_attempt(ctx);
+            }
+            TOKEN_TIMEOUT => {
+                // Cancelled deadlines never fire, so the attempt is
+                // genuinely stuck: tear it down (the abort swallows our
+                // own Closed event) and go through the retry path.
+                self.timeout_timer = None;
+                if let Some((conn, _)) = self.current.take() {
+                    ctx.tcp_abort(conn);
+                    self.attempt_failed(ctx);
+                }
+            }
+            TOKEN_RETRY => {
+                if self.pending_object.is_none() {
+                    return;
+                }
+                if ctx.is_up() {
+                    self.begin_attempt(ctx);
+                } else {
+                    self.finish(ctx, false);
+                }
+            }
+            _ => {}
         }
-        self.stats.add_started();
-        let conn = ctx.tcp_connect(self.server, HTTP_PORT);
-        self.current = Some((conn, FetchPhase::Head(LineBuffer::new())));
     }
 
     fn on_tcp(&mut self, ctx: &mut Ctx<'_>, event: TcpEvent) {
@@ -206,7 +287,7 @@ impl App for HttpClient {
         }
         match event {
             TcpEvent::Connected { conn } => {
-                let object = self.zipf.sample(&mut self.rng);
+                let object = self.pending_object.unwrap_or(0);
                 let request = format!("GET /obj/{object} HTTP/1.1\r\nHost: tserver\r\n\r\n");
                 self.stats.add_bytes_sent(request.len() as u64);
                 ctx.tcp_send(conn, request.as_bytes());
@@ -252,19 +333,14 @@ impl App for HttpClient {
                     self.finish(ctx, true);
                 }
             }
-            TcpEvent::ConnectFailed { .. } => self.finish(ctx, false),
+            TcpEvent::ConnectFailed { .. } => self.attempt_failed(ctx),
             TcpEvent::Closed { .. } => {
-                // Closed before the body completed: a failure (unless we
-                // initiated the close, in which case `current` is None).
-                self.finish(ctx, false);
+                // Closed before the body completed: a dead attempt
+                // (unless we initiated the close, in which case
+                // `current` is already None and this event is ignored).
+                self.attempt_failed(ctx);
             }
             _ => {}
-        }
-    }
-
-    fn on_link_state(&mut self, _ctx: &mut Ctx<'_>, up: bool) {
-        if !up {
-            self.current = None;
         }
     }
 }

@@ -14,12 +14,14 @@
 pub mod ftp;
 pub mod http;
 pub mod protocol;
+pub mod retry;
 pub mod stats;
 pub mod video;
 pub mod workload;
 
 pub use ftp::{FtpClient, FtpServer, FTP_PORT};
 pub use http::{Catalogue, HttpClient, HttpServer, HTTP_PORT};
+pub use retry::RetryPolicy;
 pub use stats::{ClientStats, ServerStats};
 pub use video::{VideoClient, VideoServer, VIDEO_PORT};
 pub use workload::{install_device_client_mix, install_device_clients, install_tserver, ClientStatsBundle, ServerStatsBundle, WorkloadConfig};

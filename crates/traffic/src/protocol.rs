@@ -198,4 +198,72 @@ mod tests {
         assert!(body_matches(100, &body[100..]));
         assert!(!body_matches(1, &body));
     }
+
+    /// Property: however a CRLF-framed stream is chunked — including
+    /// splits that land between the `\r` and the `\n` — the sequence of
+    /// parsed lines is identical to feeding the stream in one push.
+    #[test]
+    fn line_buffer_is_chunking_invariant() {
+        use netsim::rng::SimRng;
+
+        let lines = ["GET /obj/1 HTTP/1.1", "Host: tserver", "", "PLAY 2", "x", "226 done"];
+        let stream: Vec<u8> =
+            lines.iter().flat_map(|l| l.bytes().chain(*b"\r\n")).collect();
+
+        let mut whole = LineBuffer::new();
+        whole.push(&stream);
+        let mut expected = Vec::new();
+        while let Some(line) = whole.next_line() {
+            expected.push(line);
+        }
+        assert_eq!(expected, lines);
+
+        let mut rng = SimRng::seed_from(0xc21f);
+        for _ in 0..200 {
+            let mut buf = LineBuffer::new();
+            let mut got = Vec::new();
+            let mut rest = &stream[..];
+            while !rest.is_empty() {
+                let take = rng.int_range(1, rest.len().min(7) as u64) as usize;
+                let (chunk, tail) = rest.split_at(take);
+                buf.push(chunk);
+                while let Some(line) = buf.next_line() {
+                    got.push(line);
+                }
+                rest = tail;
+            }
+            assert_eq!(got, expected);
+            assert!(buf.is_empty(), "nothing left after the final CRLF");
+        }
+    }
+
+    /// Property: `parse_content_length` tolerates arbitrary padding and
+    /// casing around the header name and value, and rejects garbage.
+    #[test]
+    fn parse_content_length_survives_padding_and_case() {
+        use netsim::rng::SimRng;
+
+        let mut rng = SimRng::seed_from(0xc1e4);
+        for _ in 0..200 {
+            let n = rng.below(1_000_000);
+            let name: String = "Content-Length"
+                .chars()
+                .map(|c| {
+                    if rng.below(2) == 0 {
+                        c.to_ascii_uppercase()
+                    } else {
+                        c.to_ascii_lowercase()
+                    }
+                })
+                .collect();
+            let pad = |rng: &mut SimRng| " ".repeat(rng.below(4) as usize);
+            let line =
+                format!("{}{}{}:{}{}{}", pad(&mut rng), name, pad(&mut rng), pad(&mut rng), n, pad(&mut rng));
+            assert_eq!(parse_content_length(&line), Some(n as usize), "{line:?}");
+        }
+        assert_eq!(parse_content_length("Content-Length: -1"), None);
+        assert_eq!(parse_content_length("Content-Length: 12x"), None);
+        assert_eq!(parse_content_length("Content-Length 12"), None);
+        assert_eq!(parse_content_length("Content-Type: 12"), None);
+    }
 }

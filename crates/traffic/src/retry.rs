@@ -1,0 +1,102 @@
+//! Bounded retry with capped exponential backoff for client workloads.
+//!
+//! Real IoT firmware does not give up after one refused connection: HTTP
+//! libraries, streaming SDKs and FTP clients all retry a few times with
+//! growing pauses before reporting failure. [`RetryPolicy`] captures
+//! that behaviour for the benign clients so a rebooting TServer produces
+//! a dip-and-recover success-rate curve instead of a cliff. All jitter
+//! is drawn from the caller's [`SimRng`], keeping runs seed-deterministic.
+
+use netsim::rng::SimRng;
+use netsim::time::SimDuration;
+
+/// Per-transaction timeout and bounded-retry parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Deadline for one attempt (connect + transfer). An attempt still
+    /// in flight when it expires is aborted and counted against
+    /// `max_attempts`.
+    pub timeout: SimDuration,
+    /// Total attempts per transaction, including the first. `1` means
+    /// "no retries".
+    pub max_attempts: u32,
+    /// Backoff before retry `n` (1-based) is `base * 2^(n-1)`, capped at
+    /// [`RetryPolicy::cap`], then jittered to 75–125%.
+    pub base: SimDuration,
+    /// Upper bound on the un-jittered backoff.
+    pub cap: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            timeout: SimDuration::from_secs(10),
+            max_attempts: 3,
+            base: SimDuration::from_millis(500),
+            cap: SimDuration::from_secs(8),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// `true` if a transaction that has already burned `attempts`
+    /// attempts has at least one left.
+    pub fn allows_retry(&self, attempts: u32) -> bool {
+        attempts < self.max_attempts
+    }
+
+    /// The jittered pause before the next attempt, where `attempts` is
+    /// how many attempts have already failed (so the first retry passes
+    /// `1`). Exponent growth is clamped so large attempt counts cannot
+    /// overflow; jitter is uniform in ±25%.
+    pub fn backoff(&self, attempts: u32, rng: &mut SimRng) -> SimDuration {
+        let exp = attempts.saturating_sub(1).min(16);
+        let unjittered =
+            (self.base.as_secs_f64() * f64::from(2u32.pow(exp))).min(self.cap.as_secs_f64());
+        SimDuration::from_secs_f64(unjittered * (0.75 + 0.5 * rng.uniform()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_then_caps() {
+        let policy = RetryPolicy {
+            timeout: SimDuration::from_secs(5),
+            max_attempts: 10,
+            base: SimDuration::from_secs(1),
+            cap: SimDuration::from_secs(6),
+        };
+        let mut rng = SimRng::seed_from(9);
+        for attempts in 1..10u32 {
+            let d = policy.backoff(attempts, &mut rng).as_secs_f64();
+            let unjittered = (2f64.powi(attempts as i32 - 1)).min(6.0);
+            assert!(d >= unjittered * 0.75 - 1e-9, "attempt {attempts}: {d}");
+            assert!(d <= unjittered * 1.25 + 1e-9, "attempt {attempts}: {d}");
+        }
+        // Extreme attempt counts must not overflow.
+        let d = policy.backoff(u32::MAX, &mut rng);
+        assert!(d.as_secs_f64() <= 6.0 * 1.25 + 1e-9);
+    }
+
+    #[test]
+    fn attempt_budget_is_respected() {
+        let policy = RetryPolicy { max_attempts: 3, ..RetryPolicy::default() };
+        assert!(policy.allows_retry(0));
+        assert!(policy.allows_retry(2));
+        assert!(!policy.allows_retry(3));
+        assert!(!policy.allows_retry(4));
+    }
+
+    #[test]
+    fn same_seed_same_backoffs() {
+        let policy = RetryPolicy::default();
+        let mut a = SimRng::seed_from(77);
+        let mut b = SimRng::seed_from(77);
+        for attempts in 1..6u32 {
+            assert_eq!(policy.backoff(attempts, &mut a), policy.backoff(attempts, &mut b));
+        }
+    }
+}

@@ -14,8 +14,12 @@ pub struct ClientCounters {
     pub started: u64,
     /// Transactions completed successfully.
     pub completed: u64,
-    /// Transactions that failed (connect failure, reset, device churn).
+    /// Transactions that failed (connect failure, reset, device churn)
+    /// after exhausting their retry budget.
     pub failed: u64,
+    /// Retry attempts (a transaction that failed twice then succeeded
+    /// counts one started, one completed, two retried).
+    pub retried: u64,
     /// Application payload bytes received.
     pub bytes_received: u64,
     /// Application payload bytes sent.
@@ -52,6 +56,11 @@ impl ClientStats {
     /// Records a failed transaction.
     pub fn add_failed(&self) {
         self.inner.borrow_mut().failed += 1;
+    }
+
+    /// Records a retry attempt.
+    pub fn add_retried(&self) {
+        self.inner.borrow_mut().retried += 1;
     }
 
     /// Records received payload bytes.

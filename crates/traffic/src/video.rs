@@ -13,9 +13,10 @@ use netsim::packet::Addr;
 use netsim::rng::SimRng;
 use netsim::time::SimDuration;
 use netsim::world::{App, Ctx};
-use netsim::{ConnId, TcpEvent};
+use netsim::{ConnId, TcpEvent, TimerId};
 
 use crate::protocol::LineBuffer;
+use crate::retry::RetryPolicy;
 use crate::stats::{ClientStats, ServerStats};
 
 /// The TServer's streaming port (RTMP's registered port).
@@ -109,33 +110,105 @@ impl App for VideoServer {
     }
 }
 
-/// A closed-loop video viewer: join, watch, leave, think, repeat.
+/// A closed-loop video viewer: join, watch, leave, think, repeat. A
+/// refused join or a stream reset mid-watch is retried with capped
+/// exponential backoff per its [`RetryPolicy`] before counting as a
+/// failure.
 #[derive(Debug)]
 pub struct VideoClient {
     server: Addr,
     think_mean: f64,
     watch_mean: f64,
+    retry: RetryPolicy,
     stats: ClientStats,
     rng: SimRng,
     current: Option<ConnId>,
     session_bytes: u64,
+    /// `true` from `started` until the session completes or exhausts its
+    /// retries — spans the backoff gaps between attempts.
+    in_session: bool,
+    /// Attempts already burned by the in-progress session.
+    attempts: u32,
+    connect_timer: Option<TimerId>,
+    leave_timer: Option<TimerId>,
 }
 
 /// Timer token: start a new viewing session.
 const TOKEN_JOIN: u64 = u64::MAX;
 /// Timer token: leave the current session.
 const TOKEN_LEAVE: u64 = u64::MAX - 1;
+/// Timer token: the join attempt hit its connect deadline.
+const TOKEN_TIMEOUT: u64 = u64::MAX - 2;
+/// Timer token: backoff elapsed, retry the pending session.
+const TOKEN_RETRY: u64 = u64::MAX - 3;
 
 impl VideoClient {
     /// Creates a viewer targeting `server` with the given mean think and
-    /// watch durations (seconds).
-    pub fn new(server: Addr, think_mean: f64, watch_mean: f64, stats: ClientStats, rng: SimRng) -> Self {
-        VideoClient { server, think_mean, watch_mean, stats, rng, current: None, session_bytes: 0 }
+    /// watch durations (seconds), retrying dropped sessions per `retry`.
+    pub fn new(
+        server: Addr,
+        think_mean: f64,
+        watch_mean: f64,
+        retry: RetryPolicy,
+        stats: ClientStats,
+        rng: SimRng,
+    ) -> Self {
+        VideoClient {
+            server,
+            think_mean,
+            watch_mean,
+            retry,
+            stats,
+            rng,
+            current: None,
+            session_bytes: 0,
+            in_session: false,
+            attempts: 0,
+            connect_timer: None,
+            leave_timer: None,
+        }
     }
 
     fn schedule_join(&mut self, ctx: &mut Ctx<'_>) {
         let delay = SimDuration::from_secs_f64(self.rng.exponential(self.think_mean));
         ctx.set_timer(delay, TOKEN_JOIN);
+    }
+
+    fn cancel_timers(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(timer) = self.connect_timer.take() {
+            ctx.cancel_timer(timer);
+        }
+        if let Some(timer) = self.leave_timer.take() {
+            ctx.cancel_timer(timer);
+        }
+    }
+
+    /// Dials the streaming server for the pending session and arms the
+    /// connect deadline.
+    fn begin_attempt(&mut self, ctx: &mut Ctx<'_>) {
+        self.session_bytes = 0;
+        self.current = Some(ctx.tcp_connect(self.server, VIDEO_PORT));
+        self.connect_timer = Some(ctx.set_timer(self.retry.timeout, TOKEN_TIMEOUT));
+    }
+
+    /// One attempt died (refused, reset, or stalled). Either schedules a
+    /// backoff retry of the session or gives up and counts a failure. A
+    /// down node never retries: its session died with it.
+    fn attempt_failed(&mut self, ctx: &mut Ctx<'_>) {
+        self.cancel_timers(ctx);
+        if let Some(conn) = self.current.take() {
+            ctx.tcp_abort(conn);
+        }
+        self.attempts += 1;
+        if self.retry.allows_retry(self.attempts) && ctx.is_up() {
+            self.stats.add_retried();
+            ctx.set_timer(self.retry.backoff(self.attempts, &mut self.rng), TOKEN_RETRY);
+        } else {
+            self.stats.add_failed();
+            self.in_session = false;
+            self.attempts = 0;
+            self.schedule_join(ctx);
+        }
     }
 }
 
@@ -147,23 +220,48 @@ impl App for VideoClient {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         match token {
             TOKEN_JOIN => {
-                if self.current.is_some() || !ctx.is_up() {
+                if self.current.is_some() || self.in_session || !ctx.is_up() {
                     self.schedule_join(ctx);
                     return;
                 }
                 self.stats.add_started();
-                self.session_bytes = 0;
-                let conn = ctx.tcp_connect(self.server, VIDEO_PORT);
-                self.current = Some(conn);
+                self.in_session = true;
+                self.attempts = 0;
+                self.begin_attempt(ctx);
             }
             TOKEN_LEAVE => {
+                self.leave_timer = None;
                 if let Some(conn) = self.current.take() {
+                    self.cancel_timers(ctx);
                     ctx.tcp_close(conn);
                     if self.session_bytes > 0 {
                         self.stats.add_completed();
                     } else {
                         self.stats.add_failed();
                     }
+                    self.in_session = false;
+                    self.attempts = 0;
+                    self.schedule_join(ctx);
+                }
+            }
+            TOKEN_TIMEOUT => {
+                // Cancelled deadlines never fire, so the join is
+                // genuinely stuck.
+                self.connect_timer = None;
+                if self.current.is_some() {
+                    self.attempt_failed(ctx);
+                }
+            }
+            TOKEN_RETRY => {
+                if !self.in_session {
+                    return;
+                }
+                if ctx.is_up() {
+                    self.begin_attempt(ctx);
+                } else {
+                    self.stats.add_failed();
+                    self.in_session = false;
+                    self.attempts = 0;
                     self.schedule_join(ctx);
                 }
             }
@@ -177,12 +275,15 @@ impl App for VideoClient {
         }
         match event {
             TcpEvent::Connected { conn } => {
+                if let Some(timer) = self.connect_timer.take() {
+                    ctx.cancel_timer(timer);
+                }
                 let ladder = self.rng.below(BITRATE_LADDER_KBPS.len() as u64);
                 let play = format!("PLAY {ladder}\r\n");
                 self.stats.add_bytes_sent(play.len() as u64);
                 ctx.tcp_send(conn, play.as_bytes());
                 let watch = SimDuration::from_secs_f64(self.rng.exponential(self.watch_mean));
-                ctx.set_timer(watch, TOKEN_LEAVE);
+                self.leave_timer = Some(ctx.set_timer(watch, TOKEN_LEAVE));
             }
             TcpEvent::Data { data, .. } => {
                 self.session_bytes += data.len() as u64;
@@ -190,16 +291,9 @@ impl App for VideoClient {
             }
             TcpEvent::ConnectFailed { .. } | TcpEvent::Closed { .. } => {
                 self.current = None;
-                self.stats.add_failed();
-                self.schedule_join(ctx);
+                self.attempt_failed(ctx);
             }
             _ => {}
-        }
-    }
-
-    fn on_link_state(&mut self, _ctx: &mut Ctx<'_>, up: bool) {
-        if !up {
-            self.current = None;
         }
     }
 }

@@ -10,6 +10,7 @@ use containers::runtime::{ContainerId, Runtime};
 
 use crate::ftp::{FtpClient, FtpServer};
 use crate::http::{Catalogue, HttpClient, HttpServer};
+use crate::retry::RetryPolicy;
 use crate::stats::{ClientStats, ServerStats};
 use crate::video::{VideoClient, VideoServer};
 
@@ -36,6 +37,15 @@ pub struct WorkloadConfig {
     pub ftp_max_bytes: usize,
     /// Mean think time between FTP sessions (seconds).
     pub ftp_think_mean: f64,
+    /// Per-attempt deadline for client transactions (seconds).
+    pub request_timeout_secs: f64,
+    /// Attempts per client transaction, including the first.
+    pub retry_max_attempts: u32,
+    /// Base retry backoff (seconds); doubles per attempt up to
+    /// `retry_cap_secs`.
+    pub retry_base_secs: f64,
+    /// Upper bound on the un-jittered retry backoff (seconds).
+    pub retry_cap_secs: f64,
 }
 
 impl Default for WorkloadConfig {
@@ -51,6 +61,22 @@ impl Default for WorkloadConfig {
             ftp_min_bytes: 5_000,
             ftp_max_bytes: 500_000,
             ftp_think_mean: 3.0,
+            request_timeout_secs: 10.0,
+            retry_max_attempts: 3,
+            retry_base_secs: 0.5,
+            retry_cap_secs: 8.0,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// The per-transaction timeout/retry policy shared by all clients.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            timeout: netsim::time::SimDuration::from_secs_f64(self.request_timeout_secs),
+            max_attempts: self.retry_max_attempts.max(1),
+            base: netsim::time::SimDuration::from_secs_f64(self.retry_base_secs),
+            cap: netsim::time::SimDuration::from_secs_f64(self.retry_cap_secs),
         }
     }
 }
@@ -128,6 +154,7 @@ pub fn install_device_client_mix(
     stats: &ClientStatsBundle,
     rng: &mut SimRng,
 ) {
+    let retry = config.retry_policy();
     for (i, &device) in devices.iter().enumerate() {
         let client_rng = rng.fork();
         let app: Box<dyn netsim::world::App> = match (i + offset) % 3 {
@@ -135,6 +162,7 @@ pub fn install_device_client_mix(
                 tserver_addr,
                 config.http_think_mean,
                 config.http_objects,
+                retry,
                 stats.http.clone(),
                 client_rng,
             )),
@@ -142,6 +170,7 @@ pub fn install_device_client_mix(
                 tserver_addr,
                 config.video_think_mean,
                 config.video_watch_mean,
+                retry,
                 stats.video.clone(),
                 client_rng,
             )),
@@ -149,6 +178,7 @@ pub fn install_device_client_mix(
                 tserver_addr,
                 config.ftp_think_mean,
                 config.ftp_files,
+                retry,
                 stats.ftp.clone(),
                 client_rng,
             )),

@@ -14,7 +14,7 @@ use netsim::world::{App, Ctx};
 use traffic::http::{Catalogue, HttpServer};
 use traffic::stats::{ClientStats, ServerStats};
 use traffic::video::{VideoClient, VideoServer};
-use traffic::{FtpClient, FtpServer, HttpClient};
+use traffic::{FtpClient, FtpServer, HttpClient, RetryPolicy};
 
 fn runtime(seed: u64) -> Runtime {
     Runtime::new(seed, LinkConfig::lan_100mbps())
@@ -90,7 +90,14 @@ fn http_client_loop_completes_every_request() {
     let tserver_addr = rt.addr(tserver);
     rt.install(
         dev,
-        Box::new(HttpClient::new(tserver_addr, 0.1, 20, client_stats.clone(), rng.fork())),
+        Box::new(HttpClient::new(
+            tserver_addr,
+            0.1,
+            20,
+            RetryPolicy::default(),
+            client_stats.clone(),
+            rng.fork(),
+        )),
         Provenance::Benign,
         SimTime::ZERO,
     );
@@ -123,7 +130,14 @@ fn ftp_sessions_do_not_leak_data_listeners() {
     let tserver_addr = rt.addr(tserver);
     rt.install(
         dev,
-        Box::new(FtpClient::new(tserver_addr, 0.5, 5, client_stats.clone(), rng.fork())),
+        Box::new(FtpClient::new(
+            tserver_addr,
+            0.5,
+            5,
+            RetryPolicy::default(),
+            client_stats.clone(),
+            rng.fork(),
+        )),
         Provenance::Benign,
         SimTime::ZERO,
     );
@@ -154,7 +168,14 @@ fn video_streams_serve_concurrent_viewers() {
         let dev = rt.deploy(ContainerSpec::new(format!("dev-{i}"), Role::Device));
         rt.install(
             dev,
-            Box::new(VideoClient::new(tserver_addr, 1.0, 5.0, client_stats.clone(), rng.fork())),
+            Box::new(VideoClient::new(
+                tserver_addr,
+                1.0,
+                5.0,
+                RetryPolicy::default(),
+                client_stats.clone(),
+                rng.fork(),
+            )),
             Provenance::Benign,
             SimTime::ZERO,
         );
@@ -192,7 +213,16 @@ fn clients_survive_server_outage() {
     let tserver_addr = rt.addr(tserver);
     rt.install(
         dev,
-        Box::new(HttpClient::new(tserver_addr, 0.2, 20, client_stats.clone(), rng.fork())),
+        Box::new(HttpClient::new(
+            tserver_addr,
+            0.2,
+            20,
+            // Single-attempt policy: this test is about the bare failure
+            // path, not retries.
+            RetryPolicy { max_attempts: 1, ..RetryPolicy::default() },
+            client_stats.clone(),
+            rng.fork(),
+        )),
         Provenance::Benign,
         SimTime::ZERO,
     );
@@ -210,5 +240,55 @@ fn clients_survive_server_outage() {
     assert!(
         after_recovery > before_outage,
         "requests resumed after recovery: {before_outage} -> {after_recovery}"
+    );
+}
+
+/// A brief TServer outage is absorbed by the retry budget: attempts are
+/// aborted at the request deadline and retried with backoff, so the
+/// transactions in flight during the blip still complete.
+#[test]
+fn clients_retry_through_brief_outage() {
+    let mut rt = runtime(11);
+    let tserver = rt.deploy(ContainerSpec::new("tserver", Role::TServer));
+    let dev = rt.deploy(ContainerSpec::new("dev", Role::Device));
+    let client_stats = ClientStats::new();
+    let mut rng = SimRng::seed_from(12);
+    let catalogue = Catalogue::generate(20, 1_000, 20_000, &mut rng);
+    rt.install(
+        tserver,
+        Box::new(HttpServer::new(catalogue, ServerStats::new())),
+        Provenance::Benign,
+        SimTime::ZERO,
+    );
+    let tserver_addr = rt.addr(tserver);
+    let retry = RetryPolicy {
+        timeout: SimDuration::from_secs(2),
+        max_attempts: 5,
+        base: SimDuration::from_secs(1),
+        cap: SimDuration::from_secs(2),
+    };
+    rt.install(
+        dev,
+        Box::new(HttpClient::new(tserver_addr, 0.2, 20, retry, client_stats.clone(), rng.fork())),
+        Provenance::Benign,
+        SimTime::ZERO,
+    );
+    rt.run_for(SimDuration::from_secs(5));
+    let before_outage = client_stats.snapshot().completed;
+    rt.stop(tserver);
+    rt.run_for(SimDuration::from_secs(3));
+    rt.start(tserver);
+    rt.run_for(SimDuration::from_secs(12));
+    let snapshot = client_stats.snapshot();
+    assert!(snapshot.retried > 0, "attempts were retried during the blip");
+    assert!(
+        snapshot.completed > before_outage,
+        "requests resumed after recovery: {before_outage} -> {}",
+        snapshot.completed
+    );
+    assert!(
+        snapshot.failed <= 1,
+        "the retry budget should absorb a 3 s blip, failed {}",
+        snapshot.failed
     );
 }

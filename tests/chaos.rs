@@ -8,7 +8,7 @@
 //! account for every window even while overloaded.
 
 use ddoshield::experiments::{
-    run_baseline_detection, run_chaos_detection, ExperimentScale,
+    run_baseline_detection, run_chaos_detection, run_lifecycle_detection, ExperimentScale,
 };
 
 /// Two same-seed chaos runs produce byte-identical detection logs and
@@ -94,4 +94,67 @@ fn attack_boundary_dip_holds_with_and_without_faults() {
     assert!(chaos.bridge_stats.drops_link_down > 0);
     // The baseline suffers no overload, so no window is degraded.
     assert_eq!(clean.live.robustness.windows_degraded, 0);
+}
+
+/// Two same-seed lifecycle chaos runs — a device reboot that wipes its
+/// memory-resident bot, then a TServer reboot mid-run — are
+/// byte-identical: the container state machine, C2 eviction sweep,
+/// re-infection and client retry backoff all draw on the seeded clock
+/// and RNG streams only.
+#[test]
+fn lifecycle_runs_are_byte_identical() {
+    let scale = ExperimentScale::quick();
+    let a = run_lifecycle_detection(42, &scale);
+    let b = run_lifecycle_detection(42, &scale);
+
+    assert!(!a.live.log.is_empty(), "live run produced windows");
+    assert_eq!(
+        a.live.log.serialize_compact(),
+        b.live.log.serialize_compact(),
+        "detection logs must match byte for byte"
+    );
+    assert_eq!(a.bridge_stats, b.bridge_stats, "link counters must match");
+    assert_eq!(a.live.robustness, b.live.robustness, "robustness reports must match");
+}
+
+/// The lifecycle scenario actually exercises the recovery machinery:
+/// both containers accrue exactly their configured downtime, the C2
+/// evicts the rebooted device's bot and reinfects it after a positive
+/// delay, and the benign workload degrades but survives the TServer
+/// outage thanks to the retry budget.
+#[test]
+fn reboots_cause_eviction_reinfection_and_benign_recovery() {
+    let scale = ExperimentScale::quick();
+    let outcome = run_lifecycle_detection(42, &scale);
+    let robustness = &outcome.live.robustness;
+
+    // Downtime accounting: each reboot accrues its exact boot delay.
+    let down: std::collections::HashMap<&str, u64> = robustness
+        .container_downtime
+        .iter()
+        .map(|(name, ns)| (name.as_str(), *ns))
+        .collect();
+    assert_eq!(down.get("dev-0"), Some(&3_000_000_000), "device boot delay");
+    assert_eq!(down.get("tserver"), Some(&4_000_000_000), "tserver boot delay");
+    assert!(robustness.total_downtime_nanos() >= 7_000_000_000);
+
+    // The rebooted device lost its memory-resident bot: the C2 evicted
+    // it and the scanner re-compromised it some positive time later.
+    assert!(robustness.bots_evicted >= 1, "eviction: {robustness}");
+    assert!(robustness.reinfections >= 1, "reinfection: {robustness}");
+    let latency = robustness
+        .mean_reinfection_latency_nanos()
+        .expect("reinfection implies a recorded latency");
+    assert!(latency > 0, "time-to-reinfection must be positive, got {latency}ns");
+
+    // Benign clients dipped (failures and retries happened during the
+    // TServer outage) but the success rate recovered.
+    assert!(robustness.benign_retried > 0, "outage triggered retries: {robustness}");
+    assert!(robustness.benign_failed > 0, "outage exhausted some budgets: {robustness}");
+    let rate = robustness.benign_success_rate().expect("clients ran");
+    assert!(rate > 0.95, "benign success rate recovered, got {rate:.4}");
+    assert!(
+        robustness.benign_completed < robustness.benign_started,
+        "the dip is visible: some transactions never completed"
+    );
 }
