@@ -168,7 +168,7 @@ impl Attacker {
                 if let Some(lost) = self.lost_at.remove(&target) {
                     // An evicted device is back in the botnet: record how
                     // long the scan → credential → install cycle took.
-                    self.stats.add_reinfection(ctx.now() - lost);
+                    self.stats.add_reinfection(ctx.now(), target, ctx.now() - lost);
                 }
                 ctx.tcp_close(conn);
             }
@@ -184,7 +184,7 @@ impl Attacker {
             ctx.tcp_send(conn, line.as_bytes());
         }
         if matches!(command, C2Command::Attack(_)) {
-            self.stats.add_attack_started();
+            self.stats.add_attack_started(ctx.now(), self.distinct_bots());
         }
     }
 
@@ -215,7 +215,7 @@ impl Attacker {
         if !addr_still_live {
             self.infected_targets.retain(|&a| a != session.addr);
             self.lost_at.entry(session.addr).or_insert(now);
-            self.stats.add_bot_evicted();
+            self.stats.add_bot_evicted(now, session.addr);
         }
         self.stats.set_connected_bots(self.distinct_bots());
     }

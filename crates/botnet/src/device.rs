@@ -159,7 +159,7 @@ impl DeviceAgent {
                     if let Some(session) = self.sessions.get_mut(&conn) {
                         session.state = TelnetState::Shell;
                     }
-                    self.stats.add_login_ok();
+                    self.stats.add_login_ok(ctx.now(), ctx.addr());
                     self.reply(ctx, conn, "SHELL");
                 } else {
                     self.reply(ctx, conn, "DENIED");
@@ -175,7 +175,7 @@ impl DeviceAgent {
                     if let (Some(addr), Some(port)) = (addr, port) {
                         if !self.infected {
                             self.infected = true;
-                            self.stats.add_infection();
+                            self.stats.add_infection(ctx.now(), ctx.addr());
                             ctx.set_timer(KEEPALIVE, TOKEN_KEEPALIVE);
                         }
                         self.c2 = Some((addr, port));

@@ -3,7 +3,9 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use netsim::time::SimDuration;
+use netsim::packet::Addr;
+use netsim::time::{SimDuration, SimTime};
+use obs::{pow2_bounds, Counter, Gauge, Histogram, Scope};
 
 /// A point-in-time view of botnet progress.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -44,10 +46,56 @@ impl BotnetCounters {
     }
 }
 
+/// Pre-resolved telemetry instruments mirroring [`BotnetCounters`], plus
+/// trace events for the life-cycle transitions (infection, attack start,
+/// eviction, reinfection) stamped with the simulation clock.
+#[derive(Debug)]
+struct BotnetObs {
+    scope: Scope,
+    scan_probes: Counter,
+    login_attempts: Counter,
+    logins_ok: Counter,
+    infections: Counter,
+    connected_bots: Gauge,
+    connected_bots_peak: Gauge,
+    attacks_started: Counter,
+    flood_packets: Counter,
+    bots_evicted: Counter,
+    reinfections: Counter,
+    reinfection_latency_ns: Histogram,
+}
+
+impl BotnetObs {
+    fn new(scope: Scope) -> Self {
+        // Eviction-to-reinfection latency: 1 ms up to ~1100 s.
+        let latency_bounds = pow2_bounds(20, 40);
+        BotnetObs {
+            scan_probes: scope.counter("scan_probes"),
+            login_attempts: scope.counter("login_attempts"),
+            logins_ok: scope.counter("logins_ok"),
+            infections: scope.counter("infections"),
+            connected_bots: scope.gauge("connected_bots"),
+            connected_bots_peak: scope.gauge("connected_bots_peak"),
+            attacks_started: scope.counter("attacks_started"),
+            flood_packets: scope.counter("flood_packets"),
+            bots_evicted: scope.counter("bots_evicted"),
+            reinfections: scope.counter("reinfections"),
+            reinfection_latency_ns: scope.histogram("reinfection_latency_ns", &latency_bounds),
+            scope,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BotnetCounters,
+    obs: Option<BotnetObs>,
+}
+
 /// A shared handle onto the botnet counters.
 #[derive(Debug, Clone, Default)]
 pub struct BotnetStats {
-    inner: Rc<RefCell<BotnetCounters>>,
+    inner: Rc<RefCell<Inner>>,
 }
 
 impl BotnetStats {
@@ -56,58 +104,110 @@ impl BotnetStats {
         Self::default()
     }
 
+    /// Attaches telemetry: every counter update is mirrored into `scope`
+    /// and life-cycle transitions emit sim-clock-stamped trace events.
+    pub fn set_obs(&self, scope: Scope) {
+        self.inner.borrow_mut().obs = Some(BotnetObs::new(scope));
+    }
+
     /// A snapshot of the counters.
     pub fn snapshot(&self) -> BotnetCounters {
-        *self.inner.borrow()
+        self.inner.borrow().counters
     }
 
     /// Records a scan probe.
     pub fn add_scan_probe(&self) {
-        self.inner.borrow_mut().scan_probes += 1;
+        let mut inner = self.inner.borrow_mut();
+        inner.counters.scan_probes += 1;
+        if let Some(obs) = &inner.obs {
+            obs.scan_probes.inc();
+        }
     }
 
     /// Records a credential attempt.
     pub fn add_login_attempt(&self) {
-        self.inner.borrow_mut().login_attempts += 1;
+        let mut inner = self.inner.borrow_mut();
+        inner.counters.login_attempts += 1;
+        if let Some(obs) = &inner.obs {
+            obs.login_attempts.inc();
+        }
     }
 
-    /// Records a successful login.
-    pub fn add_login_ok(&self) {
-        self.inner.borrow_mut().logins_ok += 1;
+    /// Records a successful login on device `dev` at sim time `at`.
+    pub fn add_login_ok(&self, at: SimTime, dev: Addr) {
+        let mut inner = self.inner.borrow_mut();
+        inner.counters.logins_ok += 1;
+        if let Some(obs) = &inner.obs {
+            obs.logins_ok.inc();
+            obs.scope.event(at.as_nanos(), "login_ok", format!("dev={dev}"));
+        }
     }
 
-    /// Records a device infection.
-    pub fn add_infection(&self) {
-        self.inner.borrow_mut().infections += 1;
+    /// Records an infection of device `dev` at sim time `at`.
+    pub fn add_infection(&self, at: SimTime, dev: Addr) {
+        let mut inner = self.inner.borrow_mut();
+        inner.counters.infections += 1;
+        if let Some(obs) = &inner.obs {
+            obs.infections.inc();
+            obs.scope.event(at.as_nanos(), "infection", format!("dev={dev}"));
+        }
     }
 
     /// Updates the connected-bots gauge.
     pub fn set_connected_bots(&self, n: u64) {
-        self.inner.borrow_mut().connected_bots = n;
+        let mut inner = self.inner.borrow_mut();
+        inner.counters.connected_bots = n;
+        if let Some(obs) = &inner.obs {
+            obs.connected_bots.set(n as i64);
+            obs.connected_bots_peak.set_max(n as i64);
+        }
     }
 
-    /// Records a broadcast attack order.
-    pub fn add_attack_started(&self) {
-        self.inner.borrow_mut().attacks_started += 1;
+    /// Records an attack order broadcast at sim time `at` to `bots` bots.
+    pub fn add_attack_started(&self, at: SimTime, bots: u64) {
+        let mut inner = self.inner.borrow_mut();
+        inner.counters.attacks_started += 1;
+        if let Some(obs) = &inner.obs {
+            obs.attacks_started.inc();
+            obs.scope.event(at.as_nanos(), "attack_started", format!("bots={bots}"));
+        }
     }
 
     /// Records emitted flood packets.
     pub fn add_flood_packets(&self, n: u64) {
-        self.inner.borrow_mut().flood_packets += n;
-    }
-
-    /// Records a bot evicted by the C2 (missed heartbeats or a dead
-    /// connection with no other live session from the same device).
-    pub fn add_bot_evicted(&self) {
-        self.inner.borrow_mut().bots_evicted += 1;
-    }
-
-    /// Records a re-infection of a previously evicted device, with the
-    /// eviction-to-reinfection latency.
-    pub fn add_reinfection(&self, latency: SimDuration) {
         let mut inner = self.inner.borrow_mut();
-        inner.reinfections += 1;
-        inner.reinfection_latency_total_nanos += latency.as_nanos();
+        inner.counters.flood_packets += n;
+        if let Some(obs) = &inner.obs {
+            obs.flood_packets.add(n);
+        }
+    }
+
+    /// Records device `dev` evicted by the C2 at sim time `at` (missed
+    /// heartbeats or a dead connection with no other live session).
+    pub fn add_bot_evicted(&self, at: SimTime, dev: Addr) {
+        let mut inner = self.inner.borrow_mut();
+        inner.counters.bots_evicted += 1;
+        if let Some(obs) = &inner.obs {
+            obs.bots_evicted.inc();
+            obs.scope.event(at.as_nanos(), "bot_evicted", format!("dev={dev}"));
+        }
+    }
+
+    /// Records a re-infection of previously evicted device `dev` at sim
+    /// time `at`, with the eviction-to-reinfection latency.
+    pub fn add_reinfection(&self, at: SimTime, dev: Addr, latency: SimDuration) {
+        let mut inner = self.inner.borrow_mut();
+        inner.counters.reinfections += 1;
+        inner.counters.reinfection_latency_total_nanos += latency.as_nanos();
+        if let Some(obs) = &inner.obs {
+            obs.reinfections.inc();
+            obs.reinfection_latency_ns.observe(latency.as_nanos());
+            obs.scope.event(
+                at.as_nanos(),
+                "reinfection",
+                format!("dev={dev} latency_ns={}", latency.as_nanos()),
+            );
+        }
     }
 }
 
@@ -115,12 +215,14 @@ impl BotnetStats {
 mod tests {
     use super::*;
 
+    const DEV: Addr = Addr::new(10, 0, 0, 9);
+
     #[test]
     fn handles_share_counters() {
         let a = BotnetStats::new();
         let b = a.clone();
         b.add_scan_probe();
-        b.add_infection();
+        b.add_infection(SimTime::from_secs(1), DEV);
         b.set_connected_bots(3);
         b.add_flood_packets(100);
         let snap = a.snapshot();
@@ -134,12 +236,37 @@ mod tests {
     fn reinfection_latency_averages() {
         let stats = BotnetStats::new();
         assert_eq!(stats.snapshot().mean_reinfection_latency(), None);
-        stats.add_bot_evicted();
-        stats.add_reinfection(SimDuration::from_secs(10));
-        stats.add_reinfection(SimDuration::from_secs(20));
+        stats.add_bot_evicted(SimTime::from_secs(5), DEV);
+        stats.add_reinfection(SimTime::from_secs(15), DEV, SimDuration::from_secs(10));
+        stats.add_reinfection(SimTime::from_secs(25), DEV, SimDuration::from_secs(20));
         let snap = stats.snapshot();
         assert_eq!(snap.bots_evicted, 1);
         assert_eq!(snap.reinfections, 2);
         assert_eq!(snap.mean_reinfection_latency(), Some(SimDuration::from_secs(15)));
+    }
+
+    #[test]
+    fn obs_mirrors_counters_and_traces_transitions() {
+        let registry = obs::Registry::new();
+        let stats = BotnetStats::new();
+        stats.set_obs(registry.scope("botnet"));
+        stats.add_scan_probe();
+        stats.add_login_attempt();
+        stats.add_login_ok(SimTime::from_secs(2), DEV);
+        stats.add_infection(SimTime::from_secs(3), DEV);
+        stats.set_connected_bots(4);
+        stats.set_connected_bots(2);
+        stats.add_attack_started(SimTime::from_secs(9), 2);
+        stats.add_flood_packets(500);
+        let telemetry = registry.snapshot();
+        assert_eq!(telemetry.counter("botnet.infections"), Some(1));
+        assert_eq!(telemetry.counter("botnet.flood_packets"), Some(500));
+        assert_eq!(telemetry.gauge("botnet.connected_bots"), Some(2));
+        assert_eq!(telemetry.gauge("botnet.connected_bots_peak"), Some(4));
+        let infection =
+            telemetry.events.iter().find(|e| e.name == "infection").expect("traced");
+        assert_eq!(infection.at_nanos, SimTime::from_secs(3).as_nanos());
+        assert_eq!(infection.detail, "dev=10.0.0.9");
+        assert!(telemetry.events.iter().any(|e| e.name == "attack_started"));
     }
 }

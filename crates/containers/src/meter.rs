@@ -16,6 +16,29 @@ use std::rc::Rc;
 
 use parking_lot::Mutex;
 use netsim::time::{SimDuration, SimTime};
+use obs::{Counter, Gauge, Scope};
+
+/// Telemetry mirrors of the meter's *deterministic* accounts. Memory is
+/// bookkept from model/buffer sizes and window counts follow the sim
+/// clock, so both are safe to export byte-identically. CPU busy time may
+/// come from genuine wall-clock measurement and is deliberately left out
+/// of the deterministic export.
+#[derive(Debug)]
+struct MeterObs {
+    mem_bytes: Gauge,
+    mem_peak_bytes: Gauge,
+    cpu_windows: Counter,
+}
+
+impl MeterObs {
+    fn new(scope: &Scope) -> Self {
+        MeterObs {
+            mem_bytes: scope.gauge("mem_bytes"),
+            mem_peak_bytes: scope.gauge("mem_peak_bytes"),
+            cpu_windows: scope.counter("cpu_windows"),
+        }
+    }
+}
 
 #[derive(Debug, Default)]
 struct MeterInner {
@@ -25,6 +48,16 @@ struct MeterInner {
     mem_current: u64,
     mem_peak: u64,
     samples: Vec<CpuSample>,
+    obs: Option<MeterObs>,
+}
+
+impl MeterInner {
+    fn mirror_mem(&self) {
+        if let Some(obs) = &self.obs {
+            obs.mem_bytes.set(self.mem_current as i64);
+            obs.mem_peak_bytes.set(self.mem_peak as i64);
+        }
+    }
 }
 
 /// One completed CPU observation window.
@@ -64,6 +97,16 @@ impl ResourceMeter {
         Self::default()
     }
 
+    /// Attaches telemetry: the deterministic accounts (memory gauges and
+    /// the completed-window counter) are mirrored into `scope`. Measured
+    /// wall-clock CPU percentages stay out of the export on purpose —
+    /// they would break same-seed byte identity.
+    pub fn set_obs(&self, scope: &Scope) {
+        let mut inner = self.inner.lock();
+        inner.obs = Some(MeterObs::new(scope));
+        inner.mirror_mem();
+    }
+
     /// Records `seconds` of CPU work.
     ///
     /// # Panics
@@ -81,12 +124,14 @@ impl ResourceMeter {
         let mut inner = self.inner.lock();
         inner.mem_current += bytes;
         inner.mem_peak = inner.mem_peak.max(inner.mem_current);
+        inner.mirror_mem();
     }
 
     /// Records a memory release of `bytes` (saturating).
     pub fn free(&self, bytes: u64) {
         let mut inner = self.inner.lock();
         inner.mem_current = inner.mem_current.saturating_sub(bytes);
+        inner.mirror_mem();
     }
 
     /// Replaces the current memory figure outright (for components that
@@ -95,6 +140,7 @@ impl ResourceMeter {
         let mut inner = self.inner.lock();
         inner.mem_current = bytes;
         inner.mem_peak = inner.mem_peak.max(bytes);
+        inner.mirror_mem();
     }
 
     /// Currently held memory in bytes.
@@ -135,13 +181,23 @@ impl ResourceMeter {
         self.inner.lock().samples.clone()
     }
 
-    /// Mean CPU utilisation (%) across all completed windows.
+    /// Mean CPU utilisation (%) across all completed windows, weighted
+    /// by each window's span: total busy time over total observed time,
+    /// so a short idle window does not dilute a long busy one (and vice
+    /// versa). With equal-length windows this equals the plain average.
     pub fn mean_cpu_percent(&self) -> f64 {
         let inner = self.inner.lock();
-        if inner.samples.is_empty() {
+        let mut busy = 0.0;
+        let mut observed = 0.0;
+        for s in &inner.samples {
+            let span = s.end.saturating_since(s.start).as_secs_f64();
+            busy += s.cpu_percent / 100.0 * span;
+            observed += span;
+        }
+        if observed == 0.0 {
             return 0.0;
         }
-        inner.samples.iter().map(|s| s.cpu_percent).sum::<f64>() / inner.samples.len() as f64
+        100.0 * busy / observed
     }
 }
 
@@ -158,6 +214,9 @@ fn close_window(inner: &mut MeterInner, now: SimTime) -> Option<CpuSample> {
     };
     inner.samples.push(sample);
     inner.cpu_busy_window = 0.0;
+    if let Some(obs) = &inner.obs {
+        obs.cpu_windows.inc();
+    }
     Some(sample)
 }
 
@@ -213,6 +272,44 @@ mod tests {
     }
 
     #[test]
+    fn mean_cpu_percent_weights_by_window_span() {
+        // 1 s at 100% followed by 3 s idle: 1 busy second out of 4
+        // observed = 25%. The unweighted average of the two samples
+        // would misreport 50%.
+        let m = ResourceMeter::new();
+        m.begin_window(SimTime::from_secs(0));
+        m.record_cpu_seconds(1.0);
+        m.begin_window(SimTime::from_secs(1));
+        m.end_window(SimTime::from_secs(4));
+        assert!((m.mean_cpu_percent() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_cpu_percent_invariant_total_busy_over_total_observed() {
+        // However the observation is sliced into windows, the weighted
+        // mean must equal total busy / total observed.
+        let slice_at = |cuts: &[u64]| {
+            let m = ResourceMeter::new();
+            m.begin_window(SimTime::ZERO);
+            let mut recorded = 0.0;
+            for &c in cuts {
+                // Deterministic, uneven busy pattern: 0.1 s per cut index.
+                let busy = 0.1 * c as f64;
+                m.record_cpu_seconds(busy - recorded);
+                recorded = busy;
+                m.begin_window(SimTime::from_secs(c));
+            }
+            m.record_cpu_seconds(2.0 - recorded);
+            m.end_window(SimTime::from_secs(10));
+            m.mean_cpu_percent()
+        };
+        let expected = 100.0 * 2.0 / 10.0;
+        assert!((slice_at(&[5]) - expected).abs() < 1e-9);
+        assert!((slice_at(&[1, 2, 7]) - expected).abs() < 1e-9);
+        assert!((slice_at(&[9]) - expected).abs() < 1e-9);
+    }
+
+    #[test]
     fn empty_or_zero_length_windows_yield_nothing() {
         let m = ResourceMeter::new();
         assert!(m.end_window(SimTime::from_secs(1)).is_none());
@@ -226,5 +323,26 @@ mod tests {
         let b = a.clone();
         b.alloc(42);
         assert_eq!(a.memory_bytes(), 42);
+    }
+
+    #[test]
+    fn obs_exports_deterministic_accounts_only() {
+        let registry = obs::Registry::new();
+        let m = ResourceMeter::new();
+        m.alloc(1000); // pre-attach state is published on set_obs
+        m.set_obs(&registry.scope("containers.ids"));
+        m.alloc(500);
+        m.free(700);
+        m.begin_window(SimTime::from_secs(0));
+        m.record_cpu_seconds(0.5);
+        m.end_window(SimTime::from_secs(1));
+        let telemetry = registry.snapshot();
+        assert_eq!(telemetry.gauge("containers.ids.mem_bytes"), Some(800));
+        assert_eq!(telemetry.gauge("containers.ids.mem_peak_bytes"), Some(1500));
+        assert_eq!(telemetry.counter("containers.ids.cpu_windows"), Some(1));
+        // Wall-clock-derived CPU percentages must NOT leak into the
+        // deterministic export.
+        let text = telemetry.render_text();
+        assert!(!text.contains("cpu_percent"), "export leaks cpu_percent:\n{text}");
     }
 }

@@ -21,6 +21,7 @@ use ids::resources::{RobustnessReport, SustainabilityReport};
 use netsim::rng::SimRng;
 use netsim::time::{SimDuration, SimTime};
 use netsim::Addr;
+use obs::{Registry, RunTelemetry};
 use traffic::workload::{install_device_client_mix, install_tserver, ClientStatsBundle, ServerStatsBundle};
 
 use crate::scenario::ScenarioConfig;
@@ -37,6 +38,7 @@ pub struct Testbed {
     botnet_stats: BotnetStats,
     server_stats: ServerStatsBundle,
     client_stats: ClientStatsBundle,
+    registry: Registry,
 }
 
 impl std::fmt::Debug for Testbed {
@@ -177,6 +179,15 @@ impl Testbed {
             rt.schedule_reboot(resolve(reboot.target), at, reboot.down_for);
         }
 
+        // Observability: every subsystem reports into one registry under
+        // its own scope. All instruments are sim-clock/counter driven,
+        // so the export is byte-identical across same-seed runs.
+        let registry = Registry::new();
+        rt.world_mut().set_obs(registry.scope("netsim"));
+        botnet_stats.set_obs(registry.scope("botnet"));
+        server_stats.set_obs(&registry.scope("traffic.server"));
+        client_stats.set_obs(&registry.scope("traffic.client"));
+
         Testbed {
             rt,
             config,
@@ -188,6 +199,7 @@ impl Testbed {
             botnet_stats,
             server_stats,
             client_stats,
+            registry,
         }
     }
 
@@ -273,9 +285,11 @@ impl Testbed {
     /// metrics.
     pub fn run_live(&mut self, duration: SimDuration, ids: TrainedIds) -> LiveReport {
         let meter = self.rt.meter(self.ids_container);
+        meter.set_obs(&self.registry.scope("containers.ids"));
         let log = DetectionLog::new();
         let model_size_kb = ids.model().encode().len() as f64 / 1024.0;
-        let app = RealTimeIds::new(ids, self.sniffer.clone(), meter.clone(), log.clone());
+        let mut app = RealTimeIds::new(ids, self.sniffer.clone(), meter.clone(), log.clone());
+        app.set_obs(self.registry.scope("ids"));
         let now = self.rt.now();
         self.rt.install(
             self.ids_container,
@@ -308,7 +322,22 @@ impl Testbed {
         robustness.bots_evicted = bots.bots_evicted;
         robustness.reinfections = bots.reinfections;
         robustness.reinfection_latency_total_nanos = bots.reinfection_latency_total_nanos;
-        LiveReport { log, sustainability, robustness, meter }
+        let telemetry = self.telemetry();
+        LiveReport { log, sustainability, robustness, meter, telemetry }
+    }
+
+    /// A snapshot of the run's telemetry: every counter, gauge and
+    /// histogram across netsim / botnet / traffic / containers / ids,
+    /// plus the sim-clock trace. Deterministic — two same-seed runs
+    /// render byte-identical [`RunTelemetry::render_text`] output.
+    pub fn telemetry(&mut self) -> RunTelemetry {
+        self.rt.world_mut().publish_link_obs();
+        self.registry.snapshot()
+    }
+
+    /// The telemetry registry (for attaching custom instruments).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Link counters of the shared bridge (fault-injection drops show
@@ -344,4 +373,6 @@ pub struct LiveReport {
     pub robustness: RobustnessReport,
     /// The IDS container's meter (for further inspection).
     pub meter: ResourceMeter,
+    /// The run's full telemetry export (see [`Testbed::telemetry`]).
+    pub telemetry: RunTelemetry,
 }

@@ -122,7 +122,9 @@ impl WindowStats {
     /// `window_secs` is the window span used for the rate features —
     /// pass the *actual* covered span for a partial (flushed) final
     /// window, not the nominal length, or its rates read artificially
-    /// low. Returns the default (all zeros) for an empty window.
+    /// low. A non-finite or non-positive span falls back to a nominal
+    /// 1 s denominator. Returns the default (all zeros) for an empty
+    /// window.
     pub fn compute(records: &[PacketRecord], window_secs: f64) -> Self {
         Self::compute_streaming(records, window_secs, f64::INFINITY, 0.0, &AckGrace::default()).0
     }
@@ -151,7 +153,12 @@ impl WindowStats {
             return (WindowStats::default(), carry.clone());
         }
         let n = records.len() as f64;
-        let secs = span_secs.max(1e-9);
+        // Guard the rate denominator: a zero, negative, infinite or NaN
+        // span (a single-timestamp flush, or an uninitialised caller)
+        // must not explode byte_rate/flow_rate by 1e9 or silently zero
+        // them. Fall back to the nominal 1 s window so rates degrade to
+        // per-window totals.
+        let secs = if span_secs.is_finite() && span_secs > 0.0 { span_secs } else { 1.0 };
 
         let total_bytes: u64 = records.iter().map(|r| r.wire_len as u64).sum();
 
@@ -306,7 +313,10 @@ pub fn entropy(counts: impl IntoIterator<Item = u64>) -> f64 {
         .sum::<f64>()
 }
 
-/// Mean and standard deviation of a sample (population form).
+/// Mean and **population** standard deviation (divides the variance by
+/// `n`, not the Bessel-corrected `n - 1`; a single observation yields
+/// deviation 0). Window features describe the complete set of packets in
+/// the window — a population, not a sample drawn from one.
 pub fn mean_std(values: impl Iterator<Item = f64>) -> (f64, f64) {
     let values: Vec<f64> = values.collect();
     if values.is_empty() {
@@ -427,6 +437,34 @@ mod tests {
         let two = WindowStats::compute(&records, 2.0);
         assert!((one.byte_rate - 2.0 * two.byte_rate).abs() < 1e-9);
         assert!((one.flow_rate - 2.0 * two.flow_rate).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_window_span_falls_back_to_nominal_rates() {
+        let records: Vec<PacketRecord> = (0..10).map(|i| udp_record(7, 1000 + i)).collect();
+        let total_bytes = 10.0 * 540.0;
+        // A zero span (all packets share one timestamp) must not blow
+        // the rate up by the 1e-9 clamp's factor of a billion...
+        let zero = WindowStats::compute(&records, 0.0);
+        assert_eq!(zero.byte_rate, total_bytes);
+        assert_eq!(zero.flow_rate, 10.0);
+        // ...nor should infinite or NaN spans zero the rates out.
+        for bad in [f64::INFINITY, f64::NAN, -1.0] {
+            let stats = WindowStats::compute(&records, bad);
+            assert_eq!(stats.byte_rate, total_bytes, "span {bad}");
+            assert_eq!(stats.flow_rate, 10.0, "span {bad}");
+        }
+    }
+
+    #[test]
+    fn mean_std_is_population_form() {
+        // Population deviation of {2, 4}: sqrt(((2-3)² + (4-3)²)/2) = 1,
+        // where the sample (n-1) form would give sqrt(2).
+        let (mean, std) = mean_std([2.0, 4.0].into_iter());
+        assert_eq!(mean, 3.0);
+        assert_eq!(std, 1.0);
+        // A single observation is its own population: deviation 0.
+        assert_eq!(mean_std([7.0].into_iter()), (7.0, 0.0));
     }
 
     #[test]

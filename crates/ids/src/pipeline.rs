@@ -220,10 +220,27 @@ impl TrainedIds {
         window: &Window,
         scratch: &mut FeatureMatrix,
     ) -> WindowDetection {
+        self.classify_window_profiled(window, scratch).0
+    }
+
+    /// Like [`TrainedIds::classify_window_into`], but also returns the
+    /// deterministic work units the model's predict path performed (see
+    /// [`Classifier::predict_with_work`]) — the profiling signal the
+    /// real-time IDS feeds into its telemetry histograms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` was not created with [`TOTAL_FEATURES`]
+    /// columns.
+    pub fn classify_window_profiled(
+        &self,
+        window: &Window,
+        scratch: &mut FeatureMatrix,
+    ) -> (WindowDetection, u64) {
         scratch.clear();
         window.append_features(scratch);
         self.scaler.transform_matrix(scratch);
-        let predictions = self.model.predict_view(scratch.view());
+        let (predictions, work) = self.model.predict_view_with_work(scratch.view());
         let truth = window.labels();
         let correct = predictions.iter().zip(&truth).filter(|(p, t)| p == t).count();
         let predicted_malicious = predictions.iter().filter(|&&p| p == 1).count();
@@ -233,7 +250,7 @@ impl TrainedIds {
             .zip(&truth)
             .filter(|(&p, &t)| p == 1 && t == 1)
             .count();
-        WindowDetection {
+        let detection = WindowDetection {
             window_index: window.index,
             packets: window.records.len(),
             correct,
@@ -243,7 +260,8 @@ impl TrainedIds {
             mixed: window.is_mixed(),
             majority_truth: window.majority_label(),
             degraded: false,
-        }
+        };
+        (detection, work)
     }
 }
 

@@ -18,6 +18,7 @@ use features::extract::{WindowAggregator, TOTAL_FEATURES};
 use ml::matrix::FeatureMatrix;
 use netsim::time::SimDuration;
 use netsim::world::{App, Ctx};
+use obs::{pow2_bounds, Counter, Histogram, Scope};
 
 use crate::pipeline::{TrainedIds, WindowDetection};
 
@@ -186,6 +187,40 @@ impl OverloadPolicy {
     }
 }
 
+/// Telemetry for the per-window detection loop. Every figure is
+/// deterministic: stage timings come from the modelled cost under
+/// injected pressure (the same numbers that decide degradation), and the
+/// predict-path profile counts model work units — wall-clock time never
+/// enters, so the export stays byte-identical across same-seed runs.
+#[derive(Debug)]
+struct IdsObs {
+    scope: Scope,
+    windows: Counter,
+    packets_classified: Counter,
+    budget_exceeded: Counter,
+    extract_ns: Histogram,
+    classify_ns: Histogram,
+    predict_work: Histogram,
+}
+
+impl IdsObs {
+    fn new(scope: Scope) -> Self {
+        // Modelled stage costs: ~1 µs up to ~17 s of modelled time.
+        let ns_bounds = pow2_bounds(10, 34);
+        // Predict work units (nodes / MACs / distance ops) per window.
+        let work_bounds = pow2_bounds(4, 30);
+        IdsObs {
+            windows: scope.counter("windows"),
+            packets_classified: scope.counter("packets_classified"),
+            budget_exceeded: scope.counter("budget_exceeded"),
+            extract_ns: scope.histogram("extract_modelled_ns", &ns_bounds),
+            classify_ns: scope.histogram("classify_modelled_ns", &ns_bounds),
+            predict_work: scope.histogram("predict_work_units", &work_bounds),
+            scope,
+        }
+    }
+}
+
 /// The real-time IDS application hosted in the IDS container.
 pub struct RealTimeIds {
     ids: TrainedIds,
@@ -197,6 +232,7 @@ pub struct RealTimeIds {
     /// Feature scratch reused every window — the steady-state detection
     /// loop performs no per-window feature allocation.
     scratch: FeatureMatrix,
+    obs: Option<IdsObs>,
 }
 
 impl std::fmt::Debug for RealTimeIds {
@@ -232,7 +268,16 @@ impl RealTimeIds {
             log,
             overload,
             scratch: FeatureMatrix::new(TOTAL_FEATURES),
+            obs: None,
         }
+    }
+
+    /// Attaches telemetry (call before installing the app): per-window
+    /// stage histograms, the predict-path work profile, and a trace
+    /// event for every window whose modelled cost blows the interval
+    /// budget.
+    pub fn set_obs(&mut self, scope: Scope) {
+        self.obs = Some(IdsObs::new(scope));
     }
 
     fn tick(&mut self, ctx: &mut Ctx<'_>) {
@@ -250,10 +295,35 @@ impl RealTimeIds {
         let window_interval_secs = self.ids.window_secs() as f64;
         let mut buffered_bytes = 0u64;
         for window in &completed {
-            let mut detection = self.ids.classify_window_into(window, &mut self.scratch);
-            detection.degraded = self.overload.modelled_cost_secs(window.records.len(), pressure)
-                > window_interval_secs;
+            let (mut detection, work) =
+                self.ids.classify_window_profiled(window, &mut self.scratch);
+            let modelled_secs = self.overload.modelled_cost_secs(window.records.len(), pressure);
+            detection.degraded = modelled_secs > window_interval_secs;
             buffered_bytes += window.records.len() as u64 * 64; // record footprint
+            if let Some(obs) = &self.obs {
+                obs.windows.inc();
+                obs.packets_classified.add(window.records.len() as u64);
+                // Stage split of the modelled budget: the fixed overhead
+                // is the drain/extract stage, the per-packet term is
+                // classification.
+                let load = pressure.max(0.0);
+                let extract_ns = (self.overload.per_window_overhead_secs * load * 1e9) as u64;
+                let classify_ns = (self.overload.per_packet_cost_secs
+                    * window.records.len() as f64
+                    * load
+                    * 1e9) as u64;
+                obs.extract_ns.observe(extract_ns);
+                obs.classify_ns.observe(classify_ns);
+                obs.predict_work.observe(work);
+                if detection.degraded {
+                    obs.budget_exceeded.inc();
+                    obs.scope.event(
+                        ctx.now().as_nanos(),
+                        "degraded_window",
+                        format!("w={} packets={}", detection.window_index, detection.packets),
+                    );
+                }
+            }
             self.log.push(detection);
         }
         // Wall-clock busy time, stretched by the injected pressure,

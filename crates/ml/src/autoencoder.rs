@@ -138,8 +138,11 @@ impl Autoencoder {
         // Calibrate: choose the error threshold with the best training
         // accuracy across candidate quantiles.
         let errors: Vec<f64> = x.iter().map(|xi| net.reconstruction_error(xi)).collect();
+        // total_cmp: NaN reconstruction errors (degenerate inputs can
+        // overflow the forward pass) sort last instead of panicking, and
+        // the quantile candidates below come from the finite prefix.
         let mut sorted = errors.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let mut best = (0usize, sorted[sorted.len() / 2]);
         for q in 1..40 {
             let threshold = sorted[(q * sorted.len() / 40).min(sorted.len() - 1)];
@@ -308,6 +311,23 @@ mod tests {
         let net = Autoencoder::fit(&x, &y, &AutoencoderConfig::default(), &mut rng).unwrap();
         let correct = x.iter().zip(&y).filter(|(xi, &yi)| net.predict(xi) == yi).count();
         assert!(correct as f64 / x.len() as f64 > 0.9, "acc {correct}/800");
+    }
+
+    #[test]
+    fn fit_survives_nan_features_in_calibration() {
+        // A NaN feature row (corrupt capture, divide-by-zero upstream)
+        // yields a NaN reconstruction error during threshold calibration.
+        // The quantile sort must order it with total_cmp instead of
+        // panicking in partial_cmp.
+        let mut rng = SimRng::seed_from(4);
+        let (mut x, mut y) = structured_data(200, &mut rng);
+        x.push(vec![f64::NAN, 1.0, 2.0, 3.0]);
+        y.push(1);
+        let config = AutoencoderConfig { epochs: 2, ..AutoencoderConfig::default() };
+        let net = Autoencoder::fit(&x, &y, &config, &mut rng).expect("NaN row must not abort fit");
+        // The calibrated threshold comes from the finite error prefix.
+        assert!(net.threshold.is_finite());
+        assert_eq!(net.predict(&x[1]), net.predict(&x[1]), "model is usable");
     }
 
     #[test]

@@ -19,6 +19,19 @@ pub trait Classifier: Send + Sync {
     /// Classifies one feature vector.
     fn predict(&self, features: &[f64]) -> usize;
 
+    /// Classifies one feature vector and reports the *deterministic*
+    /// work the prediction performed, in model-specific units (RF: tree
+    /// nodes visited; CNN: multiply-accumulates; K-Means: distance
+    /// multiply-adds). Work units are a pure function of the model and
+    /// the input — never wall-clock time — so telemetry built on them
+    /// stays byte-identical across same-seed runs and thread counts.
+    ///
+    /// The default reports zero work for models without an instrumented
+    /// hot path.
+    fn predict_with_work(&self, features: &[f64]) -> (usize, u64) {
+        (self.predict(features), 0)
+    }
+
     /// Classifies a batch (default: rows in parallel, results in row
     /// order — identical output at any thread count).
     fn predict_batch(&self, features: &[Vec<f64>]) -> Vec<usize> {
@@ -29,6 +42,17 @@ pub trait Classifier: Send + Sync {
     /// in parallel, results in row order).
     fn predict_view(&self, view: MatrixView<'_>) -> Vec<usize> {
         par::par_map_indexed(view.n_rows(), |i| self.predict(view.row(i)))
+    }
+
+    /// Classifies every row of a view and totals the deterministic work
+    /// units (see [`Classifier::predict_with_work`]). Rows run in
+    /// parallel; integer summation makes the total independent of
+    /// completion order, so the figure is thread-count invariant.
+    fn predict_view_with_work(&self, view: MatrixView<'_>) -> (Vec<usize>, u64) {
+        let results =
+            par::par_map_indexed(view.n_rows(), |i| self.predict_with_work(view.row(i)));
+        let work = results.iter().map(|&(_, w)| w).sum();
+        (results.into_iter().map(|(class, _)| class).collect(), work)
     }
 
     /// Serialises the model (the PKL-file analogue). The blob length is

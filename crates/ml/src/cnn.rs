@@ -566,6 +566,19 @@ impl Classifier for Cnn {
         usize::from(probs[1] > probs[0])
     }
 
+    fn predict_with_work(&self, features: &[f64]) -> (usize, u64) {
+        // Multiply-accumulates of one forward pass: each conv layer slides
+        // its full weight tensor across its (unclipped) output positions,
+        // and each dense layer touches every weight once. A deterministic
+        // function of the architecture — boundary clipping is ignored.
+        let pooled1 = self.config.input_len / 2;
+        let macs = (self.conv1.w.len() * self.config.input_len
+            + self.conv2.w.len() * pooled1
+            + self.fc1.w.len()
+            + self.fc2.w.len()) as u64;
+        (self.predict(features), macs)
+    }
+
     fn encode(&self) -> Vec<u8> {
         let mut e = Encoder::new();
         e.put_u32(CNN_MAGIC);
@@ -615,6 +628,23 @@ mod tests {
             batch_size: 16,
             learning_rate: 5e-3,
         }
+    }
+
+    /// The profiling hook agrees with `predict` and reports a fixed,
+    /// input-independent MAC count (the architecture is static).
+    #[test]
+    fn predict_with_work_reports_architecture_macs() {
+        let mut rng = SimRng::seed_from(42);
+        let config = tiny_config();
+        let net = Cnn::init(config, &mut rng);
+        let a: Vec<f64> = (0..config.input_len).map(|_| rng.standard_normal()).collect();
+        let b: Vec<f64> = (0..config.input_len).map(|_| rng.standard_normal()).collect();
+        let (class_a, work_a) = net.predict_with_work(&a);
+        let (class_b, work_b) = net.predict_with_work(&b);
+        assert_eq!(class_a, net.predict(&a));
+        assert_eq!(class_b, net.predict(&b));
+        assert!(work_a > 0);
+        assert_eq!(work_a, work_b, "MACs depend only on the architecture");
     }
 
     /// Numerical gradient check on a tiny network: analytic backprop

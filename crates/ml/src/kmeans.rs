@@ -424,6 +424,13 @@ impl Classifier for KMeansDetector {
         self.cluster_labels[self.model.assign(features)]
     }
 
+    fn predict_with_work(&self, features: &[f64]) -> (usize, u64) {
+        // Assignment computes one squared distance per centroid, each a
+        // dims-long multiply-add sweep.
+        let dims = self.model.centroids().first().map_or(0, Vec::len) as u64;
+        (self.predict(features), self.model.k() as u64 * dims)
+    }
+
     fn encode(&self) -> Vec<u8> {
         let mut e = Encoder::new();
         e.put_u32(KMEANS_MAGIC);
@@ -498,6 +505,17 @@ mod tests {
         let detector = KMeansDetector::fit(&x, &y, &KMeansConfig::default(), &mut rng).unwrap();
         let correct = x.iter().zip(&y).filter(|(xi, &yi)| detector.predict(xi) == yi).count();
         assert!(correct as f64 / x.len() as f64 > 0.95, "acc {correct}/500");
+    }
+
+    #[test]
+    fn predict_with_work_counts_distance_multiply_adds() {
+        let mut rng = SimRng::seed_from(14);
+        let (x, y) = blobs(200, &[(-4.0, 0.0), (4.0, 0.0)], &mut rng);
+        let detector = KMeansDetector::fit(&x, &y, &KMeansConfig::default(), &mut rng).unwrap();
+        let (class, work) = detector.predict_with_work(&x[0]);
+        assert_eq!(class, detector.predict(&x[0]));
+        // k centroids × 2 feature dims.
+        assert_eq!(work, detector.model().k() as u64 * 2);
     }
 
     #[test]

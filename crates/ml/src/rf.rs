@@ -169,10 +169,18 @@ impl DecisionTree {
     /// `x <= threshold` test and therefore always routes right, matching
     /// how split search counts NaNs during training.
     pub fn predict(&self, features: &[f64]) -> usize {
+        self.predict_counting(features).0
+    }
+
+    /// Predicts and returns the number of nodes visited on the root-to-
+    /// leaf path (the tree's deterministic work unit).
+    pub fn predict_counting(&self, features: &[f64]) -> (usize, u64) {
         let mut node = 0u32;
+        let mut visited = 0u64;
         loop {
+            visited += 1;
             match &self.nodes[node as usize] {
-                Node::Leaf { class } => return *class,
+                Node::Leaf { class } => return (*class, visited),
                 Node::Split { feature, threshold, left, right } => {
                     node = if features[*feature] <= *threshold { *left } else { *right };
                 }
@@ -514,6 +522,17 @@ impl Classifier for RandomForest {
         usize::from(votes * 2 > self.trees.len())
     }
 
+    fn predict_with_work(&self, features: &[f64]) -> (usize, u64) {
+        let mut votes = 0usize;
+        let mut work = 0u64;
+        for tree in &self.trees {
+            let (class, visited) = tree.predict_counting(features);
+            votes += class;
+            work += visited;
+        }
+        (usize::from(votes * 2 > self.trees.len()), work)
+    }
+
     fn encode(&self) -> Vec<u8> {
         let mut e = Encoder::new();
         e.put_u32(FOREST_MAGIC);
@@ -691,6 +710,23 @@ mod tests {
         let mut rng_b = SimRng::seed_from(11);
         let via_copy = RandomForest::fit(&rows, &ys, &ForestConfig::default(), &mut rng_b).unwrap();
         assert_eq!(via_view.encode(), via_copy.encode());
+    }
+
+    /// The profiling hook agrees with `predict` and reports the nodes
+    /// visited — at least one per tree (the root), at most the forest.
+    #[test]
+    fn predict_with_work_counts_visited_nodes() {
+        let mut rng = SimRng::seed_from(13);
+        let (x, y) = blobs(200, &mut rng);
+        let forest =
+            RandomForest::fit(&x, &y, &ForestConfig { n_trees: 5, ..Default::default() }, &mut rng)
+                .unwrap();
+        for xi in x.iter().take(20) {
+            let (class, work) = forest.predict_with_work(xi);
+            assert_eq!(class, forest.predict(xi));
+            assert!(work >= forest.n_trees() as u64, "work {work}");
+            assert!(work <= forest.total_nodes() as u64, "work {work}");
+        }
     }
 
     /// Same seed ⇒ bit-identical forest at any thread budget.

@@ -1,0 +1,250 @@
+//! The exportable telemetry artifact: stable text and JSON renderings.
+
+use std::fmt::Write as _;
+
+use crate::trace::TraceEvent;
+
+/// A histogram's frozen state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Ascending bucket upper bounds (inclusive).
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; the final slot is the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values (saturating).
+    pub sum: u64,
+}
+
+/// Everything one run recorded, ready to serialise.
+///
+/// Every field is integer-valued and every section is emitted in a
+/// deterministic order (metrics sorted by name, trace events in
+/// emission order), so two same-seed runs render byte-identically —
+/// CI enforces exactly that on this artifact.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RunTelemetry {
+    /// `(full_name, value)`, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(full_name, value)`, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(full_name, snapshot)`, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Kept trace events, in emission order.
+    pub events: Vec<TraceEvent>,
+    /// Events dropped once the trace capacity was reached.
+    pub events_dropped: u64,
+}
+
+impl RunTelemetry {
+    /// Renders the human-diffable text form: one line per instrument,
+    /// empty histogram buckets elided.
+    ///
+    /// ```text
+    /// # telemetry v1
+    /// counter botnet.infections 9
+    /// gauge netsim.link.0.drops_lost 41
+    /// hist ids.window.classify_ns count=70 sum=13440000 le[1048576]=70
+    /// trace t=96000000000 botnet infection dev=10.0.0.5
+    /// events_dropped 0
+    /// ```
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# telemetry v1\n");
+        for (name, value) in &self.counters {
+            writeln!(out, "counter {name} {value}").expect("writing to String cannot fail");
+        }
+        for (name, value) in &self.gauges {
+            writeln!(out, "gauge {name} {value}").expect("writing to String cannot fail");
+        }
+        for (name, h) in &self.histograms {
+            write!(out, "hist {name} count={} sum={}", h.count, h.sum)
+                .expect("writing to String cannot fail");
+            for (i, &c) in h.counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                match h.bounds.get(i) {
+                    Some(bound) => write!(out, " le[{bound}]={c}"),
+                    None => write!(out, " le[inf]={c}"),
+                }
+                .expect("writing to String cannot fail");
+            }
+            out.push('\n');
+        }
+        for e in &self.events {
+            writeln!(out, "trace t={} {} {} {}", e.at_nanos, e.scope, e.name, e.detail)
+                .expect("writing to String cannot fail");
+        }
+        writeln!(out, "events_dropped {}", self.events_dropped)
+            .expect("writing to String cannot fail");
+        out
+    }
+
+    /// Renders the machine-readable JSON form (same content and ordering
+    /// as [`RunTelemetry::render_text`], hand-serialised so it stays
+    /// byte-deterministic).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"version\":1,\"counters\":{");
+        push_entries(&mut out, self.counters.iter().map(|(n, v)| (n.as_str(), v.to_string())));
+        out.push_str("},\"gauges\":{");
+        push_entries(&mut out, self.gauges.iter().map(|(n, v)| (n.as_str(), v.to_string())));
+        out.push_str("},\"histograms\":{");
+        let hists = self.histograms.iter().map(|(n, h)| {
+            let mut v = format!("{{\"count\":{},\"sum\":{},\"buckets\":{{", h.count, h.sum);
+            let buckets = h.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, c)| {
+                let label = h.bounds.get(i).map_or("inf".to_string(), |b| b.to_string());
+                (label, c.to_string())
+            });
+            let mut first = true;
+            for (label, count) in buckets {
+                if !first {
+                    v.push(',');
+                }
+                first = false;
+                write!(v, "{}:{count}", json_string(&label)).expect("writing to String cannot fail");
+            }
+            v.push_str("}}");
+            (n.as_str(), v)
+        });
+        push_entries(&mut out, hists);
+        out.push_str("},\"trace\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(
+                out,
+                "{{\"t\":{},\"scope\":{},\"name\":{},\"detail\":{}}}",
+                e.at_nanos,
+                json_string(&e.scope),
+                json_string(&e.name),
+                json_string(&e.detail)
+            )
+            .expect("writing to String cannot fail");
+        }
+        write!(out, "],\"events_dropped\":{}}}", self.events_dropped)
+            .expect("writing to String cannot fail");
+        out
+    }
+
+    /// Looks up a counter by full name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by full name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram by full name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+}
+
+fn push_entries<'a>(out: &mut String, entries: impl Iterator<Item = (&'a str, String)>) {
+    let mut first = true;
+    for (name, raw_value) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        write!(out, "{}:{raw_value}", json_string(name)).expect("writing to String cannot fail");
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn sample_registry() -> Registry {
+        let registry = Registry::new();
+        let scope = registry.scope("demo");
+        scope.counter("hits").add(3);
+        scope.gauge("depth").set(-2);
+        let h = scope.histogram("lat", &[10, 100]);
+        h.observe(7);
+        h.observe(500);
+        scope.event(42, "phase", "k=v");
+        registry
+    }
+
+    #[test]
+    fn text_rendering_is_stable_and_sorted() {
+        let registry = sample_registry();
+        let text = registry.snapshot().render_text();
+        assert_eq!(
+            text,
+            "# telemetry v1\n\
+             counter demo.hits 3\n\
+             gauge demo.depth -2\n\
+             hist demo.lat count=2 sum=507 le[10]=1 le[inf]=1\n\
+             trace t=42 demo phase k=v\n\
+             events_dropped 0\n"
+        );
+        // Re-snapshotting renders byte-identically.
+        assert_eq!(text, registry.snapshot().render_text());
+    }
+
+    #[test]
+    fn json_rendering_is_stable() {
+        let registry = sample_registry();
+        let json = registry.snapshot().render_json();
+        assert_eq!(
+            json,
+            "{\"version\":1,\"counters\":{\"demo.hits\":3},\
+             \"gauges\":{\"demo.depth\":-2},\
+             \"histograms\":{\"demo.lat\":{\"count\":2,\"sum\":507,\"buckets\":{\"10\":1,\"inf\":1}}},\
+             \"trace\":[{\"t\":42,\"scope\":\"demo\",\"name\":\"phase\",\"detail\":\"k=v\"}],\
+             \"events_dropped\":0}"
+        );
+        assert_eq!(json, registry.snapshot().render_json());
+    }
+
+    #[test]
+    fn lookup_helpers_find_instruments() {
+        let snap = sample_registry().snapshot();
+        assert_eq!(snap.counter("demo.hits"), Some(3));
+        assert_eq!(snap.gauge("demo.depth"), Some(-2));
+        assert_eq!(snap.histogram("demo.lat").map(|h| h.count), Some(2));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn json_escaping_covers_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn empty_telemetry_renders() {
+        let snap = RunTelemetry::default();
+        assert_eq!(snap.render_text(), "# telemetry v1\nevents_dropped 0\n");
+        assert!(snap.render_json().starts_with("{\"version\":1"));
+    }
+}

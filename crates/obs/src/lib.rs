@@ -1,0 +1,34 @@
+//! Deterministic observability: an integer metrics registry plus
+//! sim-clock-stamped structured tracing.
+//!
+//! The testbed's determinism contract — two same-seed runs must be
+//! byte-identical — extends to its telemetry. That rules out the usual
+//! observability stack: wall-clock timestamps, float aggregation whose
+//! result depends on summation order, and unbounded logs whose size
+//! depends on host speed. This crate provides the substrate every
+//! subsystem records into instead:
+//!
+//! * **Counters** and **gauges** are plain integers.
+//! * **Histograms** have fixed integer bucket bounds chosen at creation;
+//!   observations are `u64` values (nanoseconds of *modelled* time,
+//!   work units, queue depths — never measured wall-clock).
+//! * **Trace events** are stamped with the *simulation clock* only and
+//!   kept in a bounded, first-N log (overflow is counted, not kept), so
+//!   the artifact size is a pure function of the run.
+//!
+//! Subsystems hold a [`Scope`] — a dotted name prefix onto a shared
+//! [`Registry`] — and create instruments on demand. At the end of a run
+//! [`Registry::snapshot`] produces a [`RunTelemetry`]: a stable,
+//! human-diffable text rendering plus JSON, with every section emitted
+//! in sorted order. CI byte-diffs this artifact across same-seed runs.
+//!
+//! The registry is deliberately single-threaded (`Rc<RefCell>`): it
+//! lives on the simulator thread, next to the event loop it observes.
+
+pub mod export;
+pub mod metrics;
+pub mod trace;
+
+pub use export::{HistogramSnapshot, RunTelemetry};
+pub use metrics::{linear_bounds, pow2_bounds, Counter, Gauge, Histogram, Registry, Scope};
+pub use trace::TraceEvent;

@@ -1,0 +1,405 @@
+//! The metrics registry: counters, gauges and fixed-bucket histograms,
+//! addressed through dotted-name [`Scope`]s.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::export::{HistogramSnapshot, RunTelemetry};
+use crate::trace::{TraceEvent, TraceLog};
+
+/// Default cap on stored trace events (overflow is counted, not kept).
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+#[derive(Debug)]
+pub(crate) struct HistData {
+    bounds: Vec<u64>,
+    /// One slot per bound plus a final overflow slot.
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl HistData {
+    fn observe(&mut self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct RegistryInner {
+    counters: Vec<u64>,
+    counter_names: BTreeMap<String, usize>,
+    gauges: Vec<i64>,
+    gauge_names: BTreeMap<String, usize>,
+    hists: Vec<HistData>,
+    hist_names: BTreeMap<String, usize>,
+    trace: TraceLog,
+}
+
+impl RegistryInner {
+    fn new(trace_capacity: usize) -> Self {
+        RegistryInner {
+            counters: Vec::new(),
+            counter_names: BTreeMap::new(),
+            gauges: Vec::new(),
+            gauge_names: BTreeMap::new(),
+            hists: Vec::new(),
+            hist_names: BTreeMap::new(),
+            trace: TraceLog::new(trace_capacity),
+        }
+    }
+}
+
+/// The shared metrics store. Cloning is cheap; all clones view the same
+/// instruments.
+///
+/// ```
+/// use obs::Registry;
+///
+/// let registry = Registry::new();
+/// let scope = registry.scope("netsim");
+/// scope.counter("events").add(3);
+/// let telemetry = registry.snapshot();
+/// assert!(telemetry.render_text().contains("counter netsim.events 3"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Registry {
+    inner: Rc<RefCell<RegistryInner>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry with the default trace capacity.
+    pub fn new() -> Self {
+        Self::with_trace_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Creates an empty registry keeping at most `capacity` trace events.
+    pub fn with_trace_capacity(capacity: usize) -> Self {
+        Registry { inner: Rc::new(RefCell::new(RegistryInner::new(capacity))) }
+    }
+
+    /// A scope with the given dotted prefix.
+    pub fn scope(&self, prefix: impl Into<String>) -> Scope {
+        Scope { registry: self.clone(), prefix: prefix.into() }
+    }
+
+    /// Snapshots every instrument and the trace log into an exportable
+    /// [`RunTelemetry`]. Metric sections come out sorted by full name;
+    /// trace events in emission order.
+    pub fn snapshot(&self) -> RunTelemetry {
+        let inner = self.inner.borrow();
+        RunTelemetry {
+            counters: inner
+                .counter_names
+                .iter()
+                .map(|(name, &slot)| (name.clone(), inner.counters[slot]))
+                .collect(),
+            gauges: inner
+                .gauge_names
+                .iter()
+                .map(|(name, &slot)| (name.clone(), inner.gauges[slot]))
+                .collect(),
+            histograms: inner
+                .hist_names
+                .iter()
+                .map(|(name, &slot)| {
+                    let h = &inner.hists[slot];
+                    (
+                        name.clone(),
+                        HistogramSnapshot {
+                            bounds: h.bounds.clone(),
+                            counts: h.counts.clone(),
+                            count: h.count,
+                            sum: h.sum,
+                        },
+                    )
+                })
+                .collect(),
+            events: inner.trace.events.clone(),
+            events_dropped: inner.trace.dropped,
+        }
+    }
+}
+
+/// A dotted-name prefix onto a [`Registry`]. Subsystems receive a scope
+/// and create their instruments under it; `child` derives nested scopes.
+#[derive(Debug, Clone)]
+pub struct Scope {
+    registry: Registry,
+    prefix: String,
+}
+
+impl Scope {
+    /// The underlying registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// A nested scope: `scope("ids").child("window")` names instruments
+    /// `ids.window.*`.
+    pub fn child(&self, name: &str) -> Scope {
+        Scope { registry: self.registry.clone(), prefix: self.full_name(name) }
+    }
+
+    fn full_name(&self, name: &str) -> String {
+        if self.prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}.{name}", self.prefix)
+        }
+    }
+
+    /// Gets or creates the counter `prefix.name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let full = self.full_name(name);
+        let mut inner = self.registry.inner.borrow_mut();
+        let next = inner.counters.len();
+        let slot = *inner.counter_names.entry(full).or_insert(next);
+        if slot == next {
+            inner.counters.push(0);
+        }
+        Counter { inner: Rc::clone(&self.registry.inner), slot }
+    }
+
+    /// Gets or creates the gauge `prefix.name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let full = self.full_name(name);
+        let mut inner = self.registry.inner.borrow_mut();
+        let next = inner.gauges.len();
+        let slot = *inner.gauge_names.entry(full).or_insert(next);
+        if slot == next {
+            inner.gauges.push(0);
+        }
+        Gauge { inner: Rc::clone(&self.registry.inner), slot }
+    }
+
+    /// Gets or creates the histogram `prefix.name` with the given
+    /// ascending integer bucket upper bounds (values above the last
+    /// bound land in an implicit overflow bucket). If the histogram
+    /// already exists its original bounds are kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "histogram bounds must ascend");
+        let full = self.full_name(name);
+        let mut inner = self.registry.inner.borrow_mut();
+        let next = inner.hists.len();
+        let slot = *inner.hist_names.entry(full).or_insert(next);
+        if slot == next {
+            inner.hists.push(HistData {
+                bounds: bounds.to_vec(),
+                counts: vec![0; bounds.len() + 1],
+                count: 0,
+                sum: 0,
+            });
+        }
+        Histogram { inner: Rc::clone(&self.registry.inner), slot }
+    }
+
+    /// Emits a trace event stamped `at_nanos` on the simulation clock.
+    /// Once the registry's trace capacity is reached the event is
+    /// counted as dropped instead of stored.
+    pub fn event(&self, at_nanos: u64, name: &str, detail: impl Into<String>) {
+        self.registry.inner.borrow_mut().trace.push(TraceEvent {
+            at_nanos,
+            scope: self.prefix.clone(),
+            name: name.to_string(),
+            detail: detail.into(),
+        });
+    }
+}
+
+/// A monotone `u64` counter handle.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    inner: Rc<RefCell<RegistryInner>>,
+    slot: usize,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (saturating).
+    pub fn add(&self, n: u64) {
+        let mut inner = self.inner.borrow_mut();
+        let v = &mut inner.counters[self.slot];
+        *v = v.saturating_add(n);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.inner.borrow().counters[self.slot]
+    }
+}
+
+/// A signed gauge handle (set/add semantics).
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    inner: Rc<RefCell<RegistryInner>>,
+    slot: usize,
+}
+
+impl Gauge {
+    /// Replaces the value.
+    pub fn set(&self, value: i64) {
+        self.inner.borrow_mut().gauges[self.slot] = value;
+    }
+
+    /// Adjusts the value (saturating).
+    pub fn add(&self, delta: i64) {
+        let mut inner = self.inner.borrow_mut();
+        let v = &mut inner.gauges[self.slot];
+        *v = v.saturating_add(delta);
+    }
+
+    /// Raises the value to `value` if it is higher (peak tracking).
+    pub fn set_max(&self, value: i64) {
+        let mut inner = self.inner.borrow_mut();
+        let v = &mut inner.gauges[self.slot];
+        *v = (*v).max(value);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        self.inner.borrow().gauges[self.slot]
+    }
+}
+
+/// A fixed-bucket integer histogram handle.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Rc<RefCell<RegistryInner>>,
+    slot: usize,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        self.inner.borrow_mut().hists[self.slot].observe(value);
+    }
+
+    /// Total observations so far.
+    pub fn count(&self) -> u64 {
+        self.inner.borrow().hists[self.slot].count
+    }
+
+    /// Sum of all observed values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.inner.borrow().hists[self.slot].sum
+    }
+}
+
+/// Powers-of-two bucket bounds: `[2^min_pow, 2^(min_pow+1), …, 2^max_pow]`.
+///
+/// The workhorse for nanosecond and work-unit histograms — exponential
+/// coverage with exactly reproducible integer bounds.
+///
+/// # Panics
+///
+/// Panics if `min_pow > max_pow` or `max_pow >= 64`.
+pub fn pow2_bounds(min_pow: u32, max_pow: u32) -> Vec<u64> {
+    assert!(min_pow <= max_pow && max_pow < 64, "invalid pow2 bucket range");
+    (min_pow..=max_pow).map(|p| 1u64 << p).collect()
+}
+
+/// Evenly spaced bucket bounds: `[step, 2*step, …, n*step]`.
+///
+/// # Panics
+///
+/// Panics if `step` is zero or `n` is zero.
+pub fn linear_bounds(step: u64, n: usize) -> Vec<u64> {
+    assert!(step > 0 && n > 0, "invalid linear bucket spec");
+    (1..=n as u64).map(|i| i * step).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let registry = Registry::new();
+        let scope = registry.scope("sub");
+        let c = scope.counter("hits");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.value(), 5);
+        // Same name resolves to the same slot.
+        assert_eq!(scope.counter("hits").value(), 5);
+
+        let g = scope.gauge("depth");
+        g.set(7);
+        g.add(-2);
+        assert_eq!(g.value(), 5);
+        g.set_max(3);
+        assert_eq!(g.value(), 5, "set_max never lowers");
+        g.set_max(9);
+        assert_eq!(g.value(), 9);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let registry = Registry::new();
+        let h = registry.scope("x").histogram("lat", &[10, 100, 1000]);
+        for v in [5, 10, 11, 100, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 5126);
+        let snap = registry.snapshot();
+        let (_, hist) = &snap.histograms[0];
+        // le10=2 (5,10), le100=2 (11,100), le1000=0, overflow=1 (5000).
+        assert_eq!(hist.counts, vec![2, 2, 0, 1]);
+    }
+
+    #[test]
+    fn child_scopes_compose_names() {
+        let registry = Registry::new();
+        let scope = registry.scope("a").child("b");
+        scope.counter("c").inc();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters, vec![("a.b.c".to_string(), 1)]);
+    }
+
+    #[test]
+    fn trace_is_bounded_and_counts_overflow() {
+        let registry = Registry::with_trace_capacity(2);
+        let scope = registry.scope("s");
+        scope.event(1, "e", "first");
+        scope.event(2, "e", "second");
+        scope.event(3, "e", "third");
+        let snap = registry.snapshot();
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.events_dropped, 1);
+        assert_eq!(snap.events[0].detail, "first");
+    }
+
+    #[test]
+    fn bucket_helpers_produce_ascending_bounds() {
+        assert_eq!(pow2_bounds(0, 3), vec![1, 2, 4, 8]);
+        assert_eq!(linear_bounds(5, 3), vec![5, 10, 15]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unsorted_bounds_panic() {
+        let registry = Registry::new();
+        let _ = registry.scope("x").histogram("bad", &[10, 10]);
+    }
+}

@@ -1,0 +1,43 @@
+//! Bounded, sim-clock-stamped structured event log.
+
+/// One structured trace event.
+///
+/// `at_nanos` is nanoseconds on the *simulation* clock — never wall
+/// clock — so two same-seed runs stamp identical times.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation time in nanoseconds since run start.
+    pub at_nanos: u64,
+    /// The emitting subsystem's scope prefix (e.g. `botnet`).
+    pub scope: String,
+    /// Event name (e.g. `infection`).
+    pub name: String,
+    /// Free-form detail, already formatted by the emitter. Must be a
+    /// pure function of simulation state (no wall-clock, no addresses
+    /// of host objects).
+    pub detail: String,
+}
+
+/// First-N event log: once `capacity` events are held, further events
+/// are counted in `dropped` instead of stored, so the artifact size is
+/// bounded and the kept prefix is deterministic.
+#[derive(Debug)]
+pub(crate) struct TraceLog {
+    pub(crate) events: Vec<TraceEvent>,
+    pub(crate) capacity: usize,
+    pub(crate) dropped: u64,
+}
+
+impl TraceLog {
+    pub(crate) fn new(capacity: usize) -> Self {
+        TraceLog { events: Vec::new(), capacity, dropped: 0 }
+    }
+
+    pub(crate) fn push(&mut self, event: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.dropped = self.dropped.saturating_add(1);
+        }
+    }
+}

@@ -7,6 +7,8 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use obs::{Counter, Scope};
+
 /// Counters kept by a client workload (one per protocol per scenario).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClientCounters {
@@ -26,10 +28,44 @@ pub struct ClientCounters {
     pub bytes_sent: u64,
 }
 
+/// Telemetry mirrors of [`ClientCounters`]. The scope carries the
+/// protocol (e.g. `traffic.client.http`), so per-protocol outcome and
+/// retry-exhaustion counters come out separately in the export.
+#[derive(Debug)]
+struct ClientObs {
+    started: Counter,
+    completed: Counter,
+    failed: Counter,
+    retried: Counter,
+    bytes_received: Counter,
+    bytes_sent: Counter,
+}
+
+impl ClientObs {
+    fn new(scope: &Scope) -> Self {
+        ClientObs {
+            started: scope.counter("started"),
+            completed: scope.counter("completed"),
+            // `failed` counts transactions abandoned after the retry
+            // budget ran dry — the retry-exhaustion signal.
+            failed: scope.counter("failed"),
+            retried: scope.counter("retried"),
+            bytes_received: scope.counter("bytes_received"),
+            bytes_sent: scope.counter("bytes_sent"),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ClientInner {
+    counters: ClientCounters,
+    obs: Option<ClientObs>,
+}
+
 /// A shared handle onto one workload's counters.
 #[derive(Debug, Clone, Default)]
 pub struct ClientStats {
-    inner: Rc<RefCell<ClientCounters>>,
+    inner: Rc<RefCell<ClientInner>>,
 }
 
 impl ClientStats {
@@ -38,39 +74,69 @@ impl ClientStats {
         Self::default()
     }
 
+    /// Attaches telemetry: every counter update is mirrored into `scope`
+    /// (one scope per protocol workload).
+    pub fn set_obs(&self, scope: &Scope) {
+        self.inner.borrow_mut().obs = Some(ClientObs::new(scope));
+    }
+
     /// A snapshot of the counters.
     pub fn snapshot(&self) -> ClientCounters {
-        *self.inner.borrow()
+        self.inner.borrow().counters
     }
 
     /// Records a started transaction.
     pub fn add_started(&self) {
-        self.inner.borrow_mut().started += 1;
+        let mut inner = self.inner.borrow_mut();
+        inner.counters.started += 1;
+        if let Some(obs) = &inner.obs {
+            obs.started.inc();
+        }
     }
 
     /// Records a completed transaction.
     pub fn add_completed(&self) {
-        self.inner.borrow_mut().completed += 1;
+        let mut inner = self.inner.borrow_mut();
+        inner.counters.completed += 1;
+        if let Some(obs) = &inner.obs {
+            obs.completed.inc();
+        }
     }
 
-    /// Records a failed transaction.
+    /// Records a failed transaction (retry budget exhausted).
     pub fn add_failed(&self) {
-        self.inner.borrow_mut().failed += 1;
+        let mut inner = self.inner.borrow_mut();
+        inner.counters.failed += 1;
+        if let Some(obs) = &inner.obs {
+            obs.failed.inc();
+        }
     }
 
     /// Records a retry attempt.
     pub fn add_retried(&self) {
-        self.inner.borrow_mut().retried += 1;
+        let mut inner = self.inner.borrow_mut();
+        inner.counters.retried += 1;
+        if let Some(obs) = &inner.obs {
+            obs.retried.inc();
+        }
     }
 
     /// Records received payload bytes.
     pub fn add_bytes_received(&self, n: u64) {
-        self.inner.borrow_mut().bytes_received += n;
+        let mut inner = self.inner.borrow_mut();
+        inner.counters.bytes_received += n;
+        if let Some(obs) = &inner.obs {
+            obs.bytes_received.add(n);
+        }
     }
 
     /// Records sent payload bytes.
     pub fn add_bytes_sent(&self, n: u64) {
-        self.inner.borrow_mut().bytes_sent += n;
+        let mut inner = self.inner.borrow_mut();
+        inner.counters.bytes_sent += n;
+        if let Some(obs) = &inner.obs {
+            obs.bytes_sent.add(n);
+        }
     }
 }
 
@@ -87,10 +153,36 @@ pub struct ServerCounters {
     pub bytes_sent: u64,
 }
 
+/// Telemetry mirrors of [`ServerCounters`].
+#[derive(Debug)]
+struct ServerObs {
+    accepted: Counter,
+    served: Counter,
+    errors: Counter,
+    bytes_sent: Counter,
+}
+
+impl ServerObs {
+    fn new(scope: &Scope) -> Self {
+        ServerObs {
+            accepted: scope.counter("accepted"),
+            served: scope.counter("served"),
+            errors: scope.counter("errors"),
+            bytes_sent: scope.counter("bytes_sent"),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ServerInner {
+    counters: ServerCounters,
+    obs: Option<ServerObs>,
+}
+
 /// A shared handle onto one server's counters.
 #[derive(Debug, Clone, Default)]
 pub struct ServerStats {
-    inner: Rc<RefCell<ServerCounters>>,
+    inner: Rc<RefCell<ServerInner>>,
 }
 
 impl ServerStats {
@@ -99,29 +191,51 @@ impl ServerStats {
         Self::default()
     }
 
+    /// Attaches telemetry: every counter update is mirrored into `scope`
+    /// (one scope per protocol server).
+    pub fn set_obs(&self, scope: &Scope) {
+        self.inner.borrow_mut().obs = Some(ServerObs::new(scope));
+    }
+
     /// A snapshot of the counters.
     pub fn snapshot(&self) -> ServerCounters {
-        *self.inner.borrow()
+        self.inner.borrow().counters
     }
 
     /// Records an accepted connection.
     pub fn add_accepted(&self) {
-        self.inner.borrow_mut().accepted += 1;
+        let mut inner = self.inner.borrow_mut();
+        inner.counters.accepted += 1;
+        if let Some(obs) = &inner.obs {
+            obs.accepted.inc();
+        }
     }
 
     /// Records a served request.
     pub fn add_served(&self) {
-        self.inner.borrow_mut().served += 1;
+        let mut inner = self.inner.borrow_mut();
+        inner.counters.served += 1;
+        if let Some(obs) = &inner.obs {
+            obs.served.inc();
+        }
     }
 
     /// Records an error.
     pub fn add_error(&self) {
-        self.inner.borrow_mut().errors += 1;
+        let mut inner = self.inner.borrow_mut();
+        inner.counters.errors += 1;
+        if let Some(obs) = &inner.obs {
+            obs.errors.inc();
+        }
     }
 
     /// Records sent payload bytes.
     pub fn add_bytes_sent(&self, n: u64) {
-        self.inner.borrow_mut().bytes_sent += n;
+        let mut inner = self.inner.borrow_mut();
+        inner.counters.bytes_sent += n;
+        if let Some(obs) = &inner.obs {
+            obs.bytes_sent.add(n);
+        }
     }
 }
 
@@ -155,5 +269,29 @@ mod tests {
         assert_eq!(snap.served, 1);
         assert_eq!(snap.bytes_sent, 42);
         assert_eq!(snap.errors, 1);
+    }
+
+    #[test]
+    fn obs_mirrors_per_protocol_outcomes() {
+        let registry = obs::Registry::new();
+        let http = ClientStats::new();
+        http.set_obs(&registry.scope("traffic.client.http"));
+        let ftp = ClientStats::new();
+        ftp.set_obs(&registry.scope("traffic.client.ftp"));
+        http.add_started();
+        http.add_completed();
+        ftp.add_started();
+        ftp.add_retried();
+        ftp.add_failed();
+        let server = ServerStats::new();
+        server.set_obs(&registry.scope("traffic.server.http"));
+        server.add_accepted();
+        server.add_bytes_sent(64);
+        let telemetry = registry.snapshot();
+        assert_eq!(telemetry.counter("traffic.client.http.completed"), Some(1));
+        assert_eq!(telemetry.counter("traffic.client.ftp.failed"), Some(1));
+        assert_eq!(telemetry.counter("traffic.client.ftp.retried"), Some(1));
+        assert_eq!(telemetry.counter("traffic.client.http.failed"), Some(0));
+        assert_eq!(telemetry.counter("traffic.server.http.bytes_sent"), Some(64));
     }
 }

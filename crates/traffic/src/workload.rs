@@ -92,6 +92,16 @@ pub struct ServerStatsBundle {
     pub ftp: ServerStats,
 }
 
+impl ServerStatsBundle {
+    /// Attaches per-protocol telemetry under `scope` (e.g.
+    /// `traffic.server.http.*`).
+    pub fn set_obs(&self, scope: &obs::Scope) {
+        self.http.set_obs(&scope.child("http"));
+        self.video.set_obs(&scope.child("video"));
+        self.ftp.set_obs(&scope.child("ftp"));
+    }
+}
+
 /// Stats handles for the device-side client workloads.
 #[derive(Debug, Clone, Default)]
 pub struct ClientStatsBundle {
@@ -101,6 +111,16 @@ pub struct ClientStatsBundle {
     pub video: ClientStats,
     /// FTP client counters.
     pub ftp: ClientStats,
+}
+
+impl ClientStatsBundle {
+    /// Attaches per-protocol telemetry under `scope` (e.g.
+    /// `traffic.client.http.*`).
+    pub fn set_obs(&self, scope: &obs::Scope) {
+        self.http.set_obs(&scope.child("http"));
+        self.video.set_obs(&scope.child("video"));
+        self.ftp.set_obs(&scope.child("ftp"));
+    }
 }
 
 /// Installs Apache-, Nginx/RTMP- and FTP-like servers into the TServer

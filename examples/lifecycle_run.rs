@@ -31,4 +31,6 @@ fn main() {
         outcome.live.log.min_accuracy(),
         outcome.live.log.degraded_count()
     );
+    println!("# telemetry");
+    print!("{}", outcome.live.telemetry.render_text());
 }

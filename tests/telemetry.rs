@@ -1,0 +1,68 @@
+//! Determinism contract of the observability layer: the RunTelemetry
+//! export must be a pure function of the seed — byte-identical across
+//! repeated runs and across thread budgets — and idle instruments must
+//! render as zeros, never NaN.
+
+use ddoshield::experiments::{run_baseline_detection, ExperimentScale};
+use obs::RunTelemetry;
+
+/// Small end-to-end profile: long enough that infection completes and
+/// the live phase logs windows, short enough for a test.
+fn tiny() -> ExperimentScale {
+    ExperimentScale { capture_secs: 40, live_secs: 25, max_train_samples: 1_500, cnn_epochs: 2 }
+}
+
+fn run_telemetry(seed: u64) -> RunTelemetry {
+    run_baseline_detection(seed, &tiny()).live.telemetry
+}
+
+#[test]
+fn telemetry_is_byte_identical_across_same_seed_runs() {
+    let a = run_telemetry(7);
+    let b = run_telemetry(7);
+    assert_eq!(a.render_text(), b.render_text());
+    assert_eq!(a.render_json(), b.render_json());
+
+    // The acceptance surface: event-loop phases, link counters, IDS
+    // stage timings and the ML predict-work profile are all present.
+    let deliver = a.histogram("netsim.phase.deliver.advance_ns").expect("phase histogram");
+    assert!(deliver.count > 0);
+    assert!(a.gauge("netsim.link.0.delivered_packets").expect("link gauge") > 0);
+    assert!(a.counter("ids.windows").expect("ids windows") > 0);
+    assert!(a.histogram("ids.extract_modelled_ns").expect("extract stage").count > 0);
+    assert!(a.histogram("ids.classify_modelled_ns").expect("classify stage").count > 0);
+    assert!(a.histogram("ids.predict_work_units").expect("predict profile").sum > 0);
+    assert!(a.counter("botnet.infections").expect("botnet counter") > 0);
+    assert!(a.counter("traffic.client.http.completed").expect("traffic counter") > 0);
+    assert!(a.counter("containers.ids.cpu_windows").expect("meter counter") > 0);
+}
+
+#[test]
+fn telemetry_is_thread_count_invariant() {
+    let text_at = |threads: usize| {
+        ml::par::with_threads(threads, || run_telemetry(11).render_text())
+    };
+    assert_eq!(text_at(1), text_at(4));
+}
+
+/// A fully-idle scope — instruments registered, nothing recorded — must
+/// export zero-valued metrics, never NaN or missing entries.
+#[test]
+fn idle_instruments_export_zeros_not_nan() {
+    let registry = obs::Registry::new();
+    let scope = registry.scope("ids");
+    let _windows = scope.counter("windows");
+    let _depth = scope.gauge("queue_depth");
+    let _lat = scope.histogram("extract_modelled_ns", &obs::pow2_bounds(10, 20));
+    let telemetry = registry.snapshot();
+    assert_eq!(telemetry.counter("ids.windows"), Some(0));
+    assert_eq!(telemetry.gauge("ids.queue_depth"), Some(0));
+    let hist = telemetry.histogram("ids.extract_modelled_ns").expect("registered");
+    assert_eq!(hist.count, 0);
+    assert_eq!(hist.sum, 0);
+    let text = telemetry.render_text();
+    assert!(text.contains("counter ids.windows 0"), "{text}");
+    assert!(text.contains("hist ids.extract_modelled_ns count=0 sum=0"), "{text}");
+    assert!(!text.contains("NaN"), "{text}");
+    assert!(!telemetry.render_json().contains("NaN"));
+}
