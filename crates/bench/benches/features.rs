@@ -4,8 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddoshield::experiments::{run_training_capture, ExperimentScale};
-use features::extract::windows_of;
+use features::extract::{extract_matrix, windows_of, TOTAL_FEATURES};
 use features::window::WindowStats;
+use ml::matrix::FeatureMatrix;
 use std::hint::black_box;
 
 fn bench_features(c: &mut Criterion) {
@@ -25,14 +26,26 @@ fn bench_features(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("feature_matrix");
     for (name, window) in [("quiet", &quiet), ("busy", &busy)] {
+        let mut rows = FeatureMatrix::with_capacity(window.records.len(), TOTAL_FEATURES);
         group.bench_with_input(BenchmarkId::new(name, window.records.len()), window, |b, w| {
-            b.iter(|| black_box(w.feature_matrix()))
+            b.iter(|| {
+                rows.clear();
+                w.append_features(&mut rows);
+                black_box(rows.n_rows())
+            })
         });
     }
     group.finish();
 
     c.bench_function("windows_of_full_capture", |b| {
         b.iter(|| black_box(windows_of(black_box(&capture), 1).len()))
+    });
+
+    c.bench_function("extract_matrix_full_capture", |b| {
+        b.iter(|| {
+            let (matrix, labels) = extract_matrix(black_box(&capture), 1);
+            black_box((matrix.n_rows(), labels.len()))
+        })
     });
 }
 

@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use ddoshield::experiments::training_scenario;
 use ddoshield::Testbed;
+use features::extract::extract_matrix;
 use netsim::time::SimDuration;
 use std::hint::black_box;
 
@@ -30,6 +31,19 @@ fn bench_simulator(c: &mut Criterion) {
             testbed.run_infection_lead();
             let dataset = testbed.run_capture(SimDuration::from_secs(10));
             black_box(dataset.len())
+        })
+    });
+
+    // The acceptance metric of the zero-copy pipeline: everything from
+    // deploy to a ready feature matrix, i.e. simulate + capture +
+    // window + extract end to end.
+    group.bench_function("simulate_extract_e2e", |b| {
+        b.iter(|| {
+            let mut testbed = Testbed::deploy(training_scenario(13, 30));
+            testbed.run_infection_lead();
+            let dataset = testbed.run_capture(SimDuration::from_secs(10));
+            let (matrix, labels) = extract_matrix(&dataset, 1);
+            black_box((matrix.n_rows(), labels.len()))
         })
     });
 

@@ -75,18 +75,20 @@ pub fn flood_packet(
         }
         AttackVector::UdpFlood => {
             let dst_port = rng.int_range(1, 65_535) as u16;
-            Packet::udp(
-                src,
-                target,
-                ephemeral_port(rng),
-                dst_port,
-                Bytes::from(vec![0u8; UDP_FLOOD_PAYLOAD]),
-            )
+            Packet::udp(src, target, ephemeral_port(rng), dst_port, udp_payload())
         }
         AttackVector::HttpFlood => {
             panic!("HTTP floods use real TCP connections, not raw packets")
         }
     }
+}
+
+/// The shared zero-filled UDP flood body: allocated once per process,
+/// cloned (refcount bump) per packet — a flooding bot never touches the
+/// allocator in its emit loop.
+fn udp_payload() -> Bytes {
+    static PAYLOAD: std::sync::OnceLock<Bytes> = std::sync::OnceLock::new();
+    PAYLOAD.get_or_init(|| Bytes::from(vec![0u8; UDP_FLOOD_PAYLOAD])).clone()
 }
 
 fn ephemeral_port(rng: &mut SimRng) -> u16 {

@@ -40,6 +40,7 @@ impl SnifferFilter {
 struct SnifferState {
     records: Vec<PacketRecord>,
     captured_total: u64,
+    drained_total: u64,
     /// `None` = unbounded (offline capture); `Some(n)` = ring-buffer-less
     /// tail drop once `records.len()` reaches `n` (live IDS feed).
     capacity: Option<usize>,
@@ -102,8 +103,32 @@ impl PacketTap for Sniffer {
 
 impl SnifferHandle {
     /// Removes and returns all buffered records (real-time consumption).
+    ///
+    /// Allocates a fresh buffer per call; steady-state consumers should
+    /// prefer [`SnifferHandle::drain_into`].
     pub fn drain(&self) -> Vec<PacketRecord> {
-        std::mem::take(&mut self.state.borrow_mut().records)
+        let mut out = Vec::new();
+        self.drain_into(&mut out);
+        out
+    }
+
+    /// Moves all buffered records into `out` (cleared first) by
+    /// swapping buffers: the sniffer keeps capturing into the
+    /// allocation `out` brought back, so a consumer draining on a
+    /// cadence ping-pongs two buffers and never allocates after warmup.
+    pub fn drain_into(&self, out: &mut Vec<PacketRecord>) {
+        out.clear();
+        let mut state = self.state.borrow_mut();
+        std::mem::swap(&mut state.records, out);
+        state.drained_total += out.len() as u64;
+    }
+
+    /// Total records handed to consumers via drains so far. Together
+    /// with [`SnifferHandle::buffered`] this must always account for
+    /// every captured record:
+    /// `captured_total == drained_total + buffered`.
+    pub fn drained_total(&self) -> u64 {
+        self.state.borrow().drained_total
     }
 
     /// Number of records currently buffered.
@@ -207,5 +232,58 @@ mod tests {
         assert_eq!(drained.len(), 1);
         assert_eq!(handle.buffered(), 0);
         assert_eq!(handle.captured_total(), 1);
+        assert_eq!(handle.drained_total(), 1);
+    }
+
+    #[test]
+    fn drain_into_swaps_buffers_and_reuses_capacity() {
+        let (mut tap, handle) = sniffer_pair(SnifferFilter::All);
+        let mut buf = Vec::new();
+        for round in 0..3 {
+            for _ in 0..10 {
+                tap.on_packet(&meta(), &udp(Addr::new(1, 0, 0, 1), Addr::new(2, 0, 0, 1)));
+            }
+            handle.drain_into(&mut buf);
+            assert_eq!(buf.len(), 10, "round {round}");
+            assert_eq!(handle.buffered(), 0);
+        }
+        // After warmup both ping-pong buffers hold >= 10 records of
+        // capacity; a fresh round must not grow either.
+        let cap_before = buf.capacity();
+        for _ in 0..10 {
+            tap.on_packet(&meta(), &udp(Addr::new(1, 0, 0, 1), Addr::new(2, 0, 0, 1)));
+        }
+        handle.drain_into(&mut buf);
+        assert_eq!(buf.capacity(), cap_before);
+    }
+
+    #[test]
+    fn drop_accounting_is_conserved_under_overflow() {
+        // Every packet offered to the sniffer is exactly one of:
+        // captured (then drained or still buffered) or dropped on
+        // overflow. The counters must never lose one.
+        let (mut tap, handle) = bounded_sniffer_pair(SnifferFilter::All, 8);
+        let mut buf = Vec::new();
+        let mut offered = 0u64;
+        for round in 0..13 {
+            for _ in 0..5 {
+                tap.on_packet(&meta(), &udp(Addr::new(1, 0, 0, 1), Addr::new(2, 0, 0, 1)));
+                offered += 1;
+            }
+            if round % 3 == 0 {
+                handle.drain_into(&mut buf);
+            }
+            assert_eq!(
+                handle.captured_total(),
+                handle.drained_total() + handle.buffered() as u64,
+                "captured must equal drained + buffered (round {round})"
+            );
+            assert_eq!(
+                offered,
+                handle.captured_total() + handle.dropped_overflow(),
+                "offered must equal captured + dropped (round {round})"
+            );
+        }
+        assert!(handle.dropped_overflow() > 0, "test must exercise overflow");
     }
 }

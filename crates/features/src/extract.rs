@@ -21,7 +21,7 @@ use capture::record::{Label, PacketRecord};
 use ml::matrix::FeatureMatrix;
 use netsim::packet::{Protocol, TcpFlags};
 
-use crate::window::{AckGrace, WindowStats, STAT_FEATURES, STAT_FEATURE_NAMES};
+use crate::window::{AckGrace, WindowAccumulator, WindowStats, STAT_FEATURES, STAT_FEATURE_NAMES};
 
 /// Number of basic per-packet features.
 pub const BASIC_FEATURES: usize = 13;
@@ -104,11 +104,6 @@ pub struct Window {
 }
 
 impl Window {
-    /// Feature vectors for every packet in the window.
-    pub fn feature_matrix(&self) -> Vec<Vec<f64>> {
-        self.records.iter().map(|r| feature_vector(r, &self.stats)).collect()
-    }
-
     /// Appends every packet's feature row to a flat matrix — no per-row
     /// allocation, so a cleared scratch matrix can be reused window after
     /// window.
@@ -166,6 +161,13 @@ pub struct WindowAggregator {
     cached_stats: Option<WindowStats>,
     current_index: Option<u64>,
     current: Vec<PacketRecord>,
+    /// Per-record streaming statistics for the in-progress window; its
+    /// scratch maps are cleared (not dropped) at every window close.
+    accumulator: WindowAccumulator,
+    /// Whether the in-progress window tracks full statistics or only
+    /// handshake state (its stats will come from the refresh cache).
+    /// Decided when the window opens; stable until it closes.
+    full_tracking: bool,
 }
 
 /// Default cross-window handshake grace, in seconds: a SYN this close
@@ -186,6 +188,8 @@ impl WindowAggregator {
             cached_stats: None,
             current_index: None,
             current: Vec::new(),
+            accumulator: WindowAccumulator::new(),
+            full_tracking: true,
         }
     }
 
@@ -231,7 +235,19 @@ impl WindowAggregator {
             Some(current) if index != current => self.take_window(false),
             _ => None,
         };
+        if self.current.is_empty() {
+            // A window is opening: decide its tracking mode now. The
+            // inputs (cache state, emitted count) cannot change until it
+            // closes, so this matches the refresh decision at close.
+            self.full_tracking = self.cached_stats.is_none()
+                || self.windows_emitted.is_multiple_of(self.stats_refresh);
+        }
         self.current_index = Some(index);
+        if self.full_tracking {
+            self.accumulator.push(&record);
+        } else {
+            self.accumulator.push_handshake_only(&record);
+        }
         self.current.push(record);
         completed
     }
@@ -262,10 +278,12 @@ impl WindowAggregator {
         } else {
             (nominal, window_start + nominal)
         };
-        let refresh_due =
-            self.cached_stats.is_none() || self.windows_emitted.is_multiple_of(self.stats_refresh);
+        // The same predicate that selected the window's tracking mode
+        // when it opened, so a fully tracked window always closes with
+        // full statistics and a handshake-only window never needs them.
+        let refresh_due = self.full_tracking;
         let stats = if refresh_due {
-            let (stats, carry) = WindowStats::compute_streaming(
+            let (stats, carry) = self.accumulator.close(
                 &records,
                 span,
                 window_end,
@@ -279,7 +297,7 @@ impl WindowAggregator {
             // Cached stats are reused, but the handshake carry must
             // still track this window or the next fresh computation
             // would resolve SYNs against a stale boundary.
-            self.ack_carry = self.ack_carry.advance(&records, window_end, self.ack_grace_secs);
+            self.ack_carry = self.accumulator.advance_carry(window_end, self.ack_grace_secs);
             self.cached_stats.expect("cache checked above")
         };
         self.windows_emitted += 1;
@@ -303,15 +321,12 @@ pub fn windows_of(dataset: &Dataset, window_secs: u64) -> Vec<Window> {
 }
 
 /// Extracts the full per-packet feature matrix and labels of a dataset —
-/// the model-training input.
+/// the model-training input, as nested rows for callers that need owned
+/// `Vec<f64>` vectors. Routed through [`extract_matrix`]'s flat row-fill;
+/// prefer that directly in hot paths.
 pub fn extract_dataset(dataset: &Dataset, window_secs: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
-    let mut features = Vec::with_capacity(dataset.len());
-    let mut labels = Vec::with_capacity(dataset.len());
-    for window in windows_of(dataset, window_secs) {
-        features.extend(window.feature_matrix());
-        labels.extend(window.labels());
-    }
-    (features, labels)
+    let (matrix, labels) = extract_matrix(dataset, window_secs);
+    (matrix.rows().map(<[f64]>::to_vec).collect(), labels)
 }
 
 /// Extracts the dataset's features straight into one flat row-major
@@ -415,12 +430,22 @@ mod tests {
             .map(|i| record(i * 23, if i % 4 == 0 { Label::Malicious } else { Label::Benign }))
             .collect();
         let ds = Dataset::from_records(records);
+        // Independent reference: per-window feature vectors built one
+        // packet at a time, bypassing the flat-matrix row fill.
+        let mut expected_rows: Vec<Vec<f64>> = Vec::new();
+        let mut expected_labels: Vec<usize> = Vec::new();
+        for window in windows_of(&ds, 1) {
+            expected_rows.extend(window.records.iter().map(|r| feature_vector(r, &window.stats)));
+            expected_labels.extend(window.labels());
+        }
         let (rows, row_labels) = extract_dataset(&ds, 1);
         let (flat, flat_labels) = extract_matrix(&ds, 1);
-        assert_eq!(row_labels, flat_labels);
-        assert_eq!(flat.n_rows(), rows.len());
+        assert_eq!(row_labels, expected_labels);
+        assert_eq!(flat_labels, expected_labels);
+        assert_eq!(rows, expected_rows);
+        assert_eq!(flat.n_rows(), expected_rows.len());
         assert_eq!(flat.n_cols(), TOTAL_FEATURES);
-        for (a, b) in rows.iter().zip(flat.rows()) {
+        for (a, b) in expected_rows.iter().zip(flat.rows()) {
             assert_eq!(a.as_slice(), b, "rows must be bit-identical");
         }
     }

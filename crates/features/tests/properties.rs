@@ -89,7 +89,8 @@ proptest! {
     ) {
         let dataset = Dataset::from_records(records);
         for window in windows_of(&dataset, 1) {
-            let matrix = window.feature_matrix();
+            let matrix: Vec<Vec<f64>> =
+                window.records.iter().map(|r| feature_vector(r, &window.stats)).collect();
             prop_assert_eq!(matrix.len(), window.records.len());
             let first_tail = &matrix[0][features::extract::BASIC_FEATURES..];
             for row in &matrix {
@@ -109,7 +110,7 @@ proptest! {
         let dataset = Dataset::from_records(records);
         let mut matrix: Vec<Vec<f64>> = windows_of(&dataset, 1)
             .iter()
-            .flat_map(|w| w.feature_matrix())
+            .flat_map(|w| w.records.iter().map(|r| feature_vector(r, &w.stats)).collect::<Vec<_>>())
             .collect();
         let scaler = Scaler::fit_transform(ScalingMethod::MinMax, &mut matrix);
         prop_assert_eq!(scaler.dims(), TOTAL_FEATURES);

@@ -11,7 +11,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Instant;
 
-use capture::record::Label;
+use capture::record::{Label, PacketRecord};
 use capture::sniffer::SnifferHandle;
 use containers::meter::ResourceMeter;
 use features::extract::{WindowAggregator, TOTAL_FEATURES};
@@ -232,6 +232,10 @@ pub struct RealTimeIds {
     /// Feature scratch reused every window — the steady-state detection
     /// loop performs no per-window feature allocation.
     scratch: FeatureMatrix,
+    /// Drain scratch swapped with the sniffer buffer every tick
+    /// ([`SnifferHandle::drain_into`]), so the feed ping-pongs two
+    /// buffers instead of allocating one per window.
+    drain_buf: Vec<PacketRecord>,
     obs: Option<IdsObs>,
 }
 
@@ -268,6 +272,7 @@ impl RealTimeIds {
             log,
             overload,
             scratch: FeatureMatrix::new(TOTAL_FEATURES),
+            drain_buf: Vec::new(),
             obs: None,
         }
     }
@@ -283,7 +288,8 @@ impl RealTimeIds {
     fn tick(&mut self, ctx: &mut Ctx<'_>) {
         let started = Instant::now();
         let mut completed = Vec::new();
-        for record in self.feed.drain() {
+        self.feed.drain_into(&mut self.drain_buf);
+        for &record in &self.drain_buf {
             if let Some(window) = self.aggregator.push(record) {
                 completed.push(window);
             }

@@ -10,7 +10,7 @@ use std::collections::BinaryHeap;
 
 use crate::faults::FaultAction;
 use crate::ids::{AppId, ConnId, LinkId, NodeId, TimerId};
-use crate::packet::Packet;
+use crate::pool::PacketId;
 use crate::time::SimTime;
 
 /// A scheduled occurrence inside the simulator.
@@ -24,13 +24,18 @@ pub enum Event {
         lane: usize,
     },
     /// A packet arrives at a node after the link propagation delay.
+    ///
+    /// Carries a pool handle, not the packet body: heap sifts move a
+    /// few machine words, and the body lives in the kernel's
+    /// [`PacketPool`](crate::pool::PacketPool) until the last receiver
+    /// releases it.
     Deliver {
         /// The link the packet travelled on.
         link: LinkId,
         /// The receiving node.
         node: NodeId,
-        /// The packet itself.
-        packet: Packet,
+        /// Pool handle of the delivered packet.
+        packet: PacketId,
     },
     /// A TCP retransmission timer fired.
     TcpTimer {
@@ -186,6 +191,21 @@ mod tests {
             seen.push(app.as_raw());
         }
         assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    /// The whole point of pooling packet bodies: every heap sift moves a
+    /// few machine words. If `Event` (and thus `Scheduled`) ever grows
+    /// back towards carrying a packet body inline — `Packet` alone is
+    /// well over 40 bytes before its payload — this pins the regression.
+    #[test]
+    fn scheduled_events_stay_small() {
+        assert!(
+            std::mem::size_of::<Event>() <= 40,
+            "Event grew to {} bytes; keep packet bodies in the pool",
+            std::mem::size_of::<Event>()
+        );
+        assert!(std::mem::size_of::<Scheduled>() <= 56);
+        assert_eq!(std::mem::size_of::<crate::pool::PacketId>(), 8);
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod ids;
 pub mod link;
 pub mod node;
 pub mod packet;
+pub mod pool;
 pub mod rng;
 pub mod tap;
 pub mod tcp;
@@ -49,6 +50,7 @@ pub use faults::{FaultAction, FaultEntry, FaultPlan};
 pub use ids::{AppId, ConnId, LinkId, NodeId, TimerId};
 pub use link::LinkConfig;
 pub use packet::{Addr, FiveTuple, Packet, Protocol, Provenance, TcpFlags};
+pub use pool::{PacketId, PacketPool};
 pub use rng::SimRng;
 pub use tcp::{TcpEvent, MSS};
 pub use time::{SimDuration, SimTime};

@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 use crate::event::{Event, EventQueue};
 use crate::ids::{LinkId, NodeId};
 use crate::packet::{Addr, Packet};
+use crate::pool::{PacketId, PacketPool};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
@@ -110,11 +111,21 @@ pub struct LinkStats {
     pub drops_link_down: u64,
 }
 
+/// A queued transmission: the pool handle plus the two packet fields
+/// the link layer needs (serialisation length and routing target),
+/// cached so the hot path never dereferences the pool.
+#[derive(Debug, Clone, Copy)]
+struct QueuedFrame {
+    id: PacketId,
+    wire_len: u32,
+    dst: Addr,
+}
+
 #[derive(Debug)]
 struct Lane {
     owner: NodeId,
-    queue: VecDeque<Packet>,
-    in_flight: Option<Packet>,
+    queue: VecDeque<QueuedFrame>,
+    in_flight: Option<QueuedFrame>,
 }
 
 impl Lane {
@@ -350,7 +361,9 @@ impl Link {
 
     /// Accepts a packet from `from` for transmission.
     ///
-    /// Returns the drop reason if the packet was not accepted.
+    /// Returns the drop reason if the packet was not accepted. The
+    /// packet body enters `pool` only on acceptance: drop paths never
+    /// touch the pool, so rejected packets cost no slot churn.
     ///
     /// # Panics
     ///
@@ -360,6 +373,7 @@ impl Link {
         now: SimTime,
         from: NodeId,
         packet: Packet,
+        pool: &mut PacketPool,
         queue: &mut EventQueue,
     ) -> Result<(), DropReason> {
         let lane_idx = self.lane_of(from).expect("sender is not attached to link");
@@ -371,7 +385,12 @@ impl Link {
             self.stats.drops_queue_full += 1;
             return Err(DropReason::QueueFull);
         }
-        self.lanes[lane_idx].queue.push_back(packet);
+        let frame = QueuedFrame {
+            wire_len: packet.wire_len() as u32,
+            dst: packet.dst,
+            id: pool.insert(packet),
+        };
+        self.lanes[lane_idx].queue.push_back(frame);
         self.try_start_tx(now, queue);
         Ok(())
     }
@@ -446,17 +465,17 @@ impl Link {
         // Invariant: every caller (`start_lane_if_idle` and the CSMA /
         // Wi-Fi arbitration loops) selects `lane_idx` only after
         // observing a non-empty queue, and nothing dequeues in between.
-        let packet = self.lanes[lane_idx]
+        let frame = self.lanes[lane_idx]
             .queue
             .pop_front()
             .expect("begin_tx called on a lane whose queue was checked non-empty");
-        let base = self.config.serialization_time(packet.wire_len());
+        let base = self.config.serialization_time(frame.wire_len as usize);
         let ser = if self.bandwidth_scale == 1.0 {
             base
         } else {
             SimDuration::from_secs_f64(base.as_secs_f64() / self.bandwidth_scale)
         };
-        self.lanes[lane_idx].in_flight = Some(packet);
+        self.lanes[lane_idx].in_flight = Some(frame);
         queue.schedule(
             now + access_overhead + ser,
             Event::LinkTxComplete { link: self.id, lane: lane_idx },
@@ -478,14 +497,15 @@ impl Link {
         now: SimTime,
         lane_idx: usize,
         resolver: &R,
+        pool: &mut PacketPool,
         queue: &mut EventQueue,
     ) {
-        let packet = self.lanes[lane_idx]
+        let frame = self.lanes[lane_idx]
             .in_flight
             .take()
             .expect("tx-complete event for an idle lane");
         self.stats.tx_packets += 1;
-        self.stats.tx_bytes += packet.wire_len() as u64;
+        self.stats.tx_bytes += frame.wire_len as u64;
         let sender = self.lanes[lane_idx].owner;
 
         match &mut self.kind {
@@ -502,10 +522,12 @@ impl Link {
         if !self.up {
             // The link was cut while the frame was on the wire.
             self.stats.drops_link_down += 1;
+            pool.release(frame.id);
         } else if lost {
             self.stats.drops_lost += 1;
+            pool.release(frame.id);
         } else {
-            self.deliver_targets(now, sender, packet, resolver, queue);
+            self.deliver_targets(now, sender, frame, resolver, pool, queue);
         }
 
         self.try_start_tx(now, queue);
@@ -515,8 +537,9 @@ impl Link {
         &mut self,
         now: SimTime,
         sender: NodeId,
-        packet: Packet,
+        frame: QueuedFrame,
         resolver: &R,
+        pool: &mut PacketPool,
         queue: &mut EventQueue,
     ) {
         let arrive = now + self.config.delay + self.extra_delay;
@@ -524,31 +547,48 @@ impl Link {
             LinkKind::P2p { a, b } => {
                 let target = if sender == a { b } else { a };
                 self.stats.delivered_packets += 1;
-                self.stats.delivered_bytes += packet.wire_len() as u64;
-                queue.schedule(arrive, Event::Deliver { link: self.id, node: target, packet });
+                self.stats.delivered_bytes += frame.wire_len as u64;
+                queue.schedule(arrive, Event::Deliver { link: self.id, node: target, packet: frame.id });
             }
             LinkKind::Csma { .. } | LinkKind::Wifi { .. } => {
-                if packet.dst == Addr::BROADCAST {
-                    let targets: Vec<NodeId> =
-                        self.lanes.iter().map(|l| l.owner).filter(|&n| n != sender).collect();
-                    for target in targets {
+                if frame.dst == Addr::BROADCAST {
+                    // Fan-out bumps the pool refcount per extra receiver
+                    // instead of cloning the packet body; the last
+                    // receiver's `release` recycles the slot.
+                    let mut targets = 0u32;
+                    for i in 0..self.lanes.len() {
+                        let target = self.lanes[i].owner;
+                        if target == sender {
+                            continue;
+                        }
+                        if targets > 0 {
+                            pool.retain(frame.id);
+                        }
+                        targets += 1;
                         self.stats.delivered_packets += 1;
-                        self.stats.delivered_bytes += packet.wire_len() as u64;
+                        self.stats.delivered_bytes += frame.wire_len as u64;
                         queue.schedule(
                             arrive,
-                            Event::Deliver { link: self.id, node: target, packet: packet.clone() },
+                            Event::Deliver { link: self.id, node: target, packet: frame.id },
                         );
+                    }
+                    if targets == 0 {
+                        // A one-member bus: nobody to receive.
+                        pool.release(frame.id);
                     }
                 } else {
                     let target =
-                        self.lanes.iter().map(|l| l.owner).find(|&n| resolver.endpoint(n).addr == packet.dst);
+                        self.lanes.iter().map(|l| l.owner).find(|&n| resolver.endpoint(n).addr == frame.dst);
                     match target {
                         Some(target) => {
                             self.stats.delivered_packets += 1;
-                            self.stats.delivered_bytes += packet.wire_len() as u64;
-                            queue.schedule(arrive, Event::Deliver { link: self.id, node: target, packet });
+                            self.stats.delivered_bytes += frame.wire_len as u64;
+                            queue.schedule(arrive, Event::Deliver { link: self.id, node: target, packet: frame.id });
                         }
-                        None => self.stats.drops_unroutable += 1,
+                        None => {
+                            self.stats.drops_unroutable += 1;
+                            pool.release(frame.id);
+                        }
                     }
                 }
             }
@@ -574,17 +614,25 @@ mod tests {
 
     fn drain(
         link: &mut Link,
+        pool: &mut PacketPool,
         queue: &mut EventQueue,
         resolver: &impl EndpointResolver,
     ) -> Vec<(SimTime, NodeId, Packet)> {
         let mut deliveries = Vec::new();
         while let Some((t, ev)) = queue.pop() {
             match ev {
-                Event::LinkTxComplete { lane, .. } => link.on_tx_complete(t, lane, resolver, queue),
-                Event::Deliver { node, packet, .. } => deliveries.push((t, node, packet)),
+                Event::LinkTxComplete { lane, .. } => {
+                    link.on_tx_complete(t, lane, resolver, pool, queue)
+                }
+                Event::Deliver { node, packet, .. } => {
+                    let body = pool.get(packet).clone();
+                    pool.release(packet);
+                    deliveries.push((t, node, body));
+                }
                 other => panic!("unexpected event {other:?}"),
             }
         }
+        assert_eq!(pool.live(), link.queued_packets(), "pool leaks packets beyond queued frames");
         deliveries
     }
 
@@ -606,14 +654,15 @@ mod tests {
             loss_rate: 0.0,
         };
         let mut link = Link::p2p(LinkId::from_raw(0), a, b, cfg);
+        let mut pool = PacketPool::new();
         let mut queue = EventQueue::new();
         let res = resolver(vec![(a, Addr::new(10, 0, 0, 1)), (b, Addr::new(10, 0, 0, 2))]);
 
         let p = packet(Addr::new(10, 0, 0, 2), 972); // 1000 bytes on the wire
         let wire = p.wire_len();
         assert_eq!(wire, 1000);
-        link.enqueue(SimTime::ZERO, a, p, &mut queue).unwrap();
-        let deliveries = drain(&mut link, &mut queue, &res);
+        link.enqueue(SimTime::ZERO, a, p, &mut pool, &mut queue).unwrap();
+        let deliveries = drain(&mut link, &mut pool, &mut queue, &res);
         assert_eq!(deliveries.len(), 1);
         let (t, node, _) = &deliveries[0];
         assert_eq!(*node, b);
@@ -628,14 +677,17 @@ mod tests {
         let b = NodeId::from_raw(1);
         let cfg = LinkConfig { queue_packets: 2, ..LinkConfig::lan_100mbps() };
         let mut link = Link::p2p(LinkId::from_raw(0), a, b, cfg);
+        let mut pool = PacketPool::new();
         let mut queue = EventQueue::new();
 
         // First fill: one in flight + two queued, the rest dropped.
         for _ in 0..5 {
-            let _ = link.enqueue(SimTime::ZERO, a, packet(Addr::new(10, 0, 0, 2), 100), &mut queue);
+            let _ = link.enqueue(SimTime::ZERO, a, packet(Addr::new(10, 0, 0, 2), 100), &mut pool, &mut queue);
         }
         assert_eq!(link.stats().drops_queue_full, 2);
         assert_eq!(link.queued_packets(), 3);
+        // Tail-dropped packets never entered the pool.
+        assert_eq!(pool.live(), 3);
     }
 
     #[test]
@@ -649,15 +701,16 @@ mod tests {
             loss_rate: 0.0,
         };
         let mut link = Link::csma(LinkId::from_raw(0), &nodes, cfg);
+        let mut pool = PacketPool::new();
         let mut queue = EventQueue::new();
         let res = resolver(nodes.iter().copied().zip(addrs.iter().copied()).collect());
 
         // Nodes 0 and 1 both flood node 2; transmissions must interleave.
         for _ in 0..3 {
-            link.enqueue(SimTime::ZERO, nodes[0], packet(addrs[2], 100), &mut queue).unwrap();
-            link.enqueue(SimTime::ZERO, nodes[1], packet(addrs[2], 100), &mut queue).unwrap();
+            link.enqueue(SimTime::ZERO, nodes[0], packet(addrs[2], 100), &mut pool, &mut queue).unwrap();
+            link.enqueue(SimTime::ZERO, nodes[1], packet(addrs[2], 100), &mut pool, &mut queue).unwrap();
         }
-        let deliveries = drain(&mut link, &mut queue, &res);
+        let deliveries = drain(&mut link, &mut pool, &mut queue, &res);
         assert_eq!(deliveries.len(), 6);
         // Delivery times strictly increase: the bus serialises one at a time.
         for w in deliveries.windows(2) {
@@ -669,13 +722,14 @@ mod tests {
     fn csma_unroutable_is_counted_not_delivered() {
         let nodes: Vec<NodeId> = (0..2).map(NodeId::from_raw).collect();
         let mut link = Link::csma(LinkId::from_raw(0), &nodes, LinkConfig::lan_100mbps());
+        let mut pool = PacketPool::new();
         let mut queue = EventQueue::new();
         let res = resolver(vec![
             (nodes[0], Addr::new(10, 0, 0, 1)),
             (nodes[1], Addr::new(10, 0, 0, 2)),
         ]);
-        link.enqueue(SimTime::ZERO, nodes[0], packet(Addr::new(10, 0, 0, 99), 100), &mut queue).unwrap();
-        let deliveries = drain(&mut link, &mut queue, &res);
+        link.enqueue(SimTime::ZERO, nodes[0], packet(Addr::new(10, 0, 0, 99), 100), &mut pool, &mut queue).unwrap();
+        let deliveries = drain(&mut link, &mut pool, &mut queue, &res);
         assert!(deliveries.is_empty());
         assert_eq!(link.stats().drops_unroutable, 1);
     }
@@ -684,13 +738,17 @@ mod tests {
     fn csma_broadcast_reaches_everyone_but_sender() {
         let nodes: Vec<NodeId> = (0..4).map(NodeId::from_raw).collect();
         let mut link = Link::csma(LinkId::from_raw(0), &nodes, LinkConfig::lan_100mbps());
+        let mut pool = PacketPool::new();
         let mut queue = EventQueue::new();
         let res = resolver(nodes.iter().map(|&n| (n, Addr::new(10, 0, 0, n.as_raw() as u8 + 1))).collect());
-        link.enqueue(SimTime::ZERO, nodes[0], packet(Addr::BROADCAST, 10), &mut queue).unwrap();
-        let deliveries = drain(&mut link, &mut queue, &res);
+        link.enqueue(SimTime::ZERO, nodes[0], packet(Addr::BROADCAST, 10), &mut pool, &mut queue).unwrap();
+        let deliveries = drain(&mut link, &mut pool, &mut queue, &res);
         let mut receivers: Vec<u32> = deliveries.iter().map(|(_, n, _)| n.as_raw()).collect();
         receivers.sort_unstable();
         assert_eq!(receivers, vec![1, 2, 3]);
+        // Fan-out shared one pool slot; all receivers released it.
+        assert_eq!(pool.live(), 0);
+        assert_eq!(pool.capacity(), 1);
     }
 
     #[test]
@@ -699,14 +757,17 @@ mod tests {
         let b = NodeId::from_raw(1);
         let cfg = LinkConfig { loss_rate: 1.0, ..LinkConfig::lan_100mbps() };
         let mut link = Link::p2p(LinkId::from_raw(0), a, b, cfg);
+        let mut pool = PacketPool::new();
         let mut queue = EventQueue::new();
         let res = resolver(vec![(a, Addr::new(10, 0, 0, 1)), (b, Addr::new(10, 0, 0, 2))]);
         for _ in 0..5 {
-            link.enqueue(SimTime::ZERO, a, packet(Addr::new(10, 0, 0, 2), 100), &mut queue).unwrap();
+            link.enqueue(SimTime::ZERO, a, packet(Addr::new(10, 0, 0, 2), 100), &mut pool, &mut queue).unwrap();
         }
-        let deliveries = drain(&mut link, &mut queue, &res);
+        let deliveries = drain(&mut link, &mut pool, &mut queue, &res);
         assert!(deliveries.is_empty());
         assert_eq!(link.stats().drops_lost, 5);
+        // Lost frames were released back to the pool.
+        assert_eq!(pool.live(), 0);
     }
 
     #[test]
@@ -723,11 +784,12 @@ mod tests {
         };
         let res = resolver(nodes.iter().copied().zip(addrs.iter().copied()).collect());
         let finish = |mut link: Link| {
+            let mut pool = PacketPool::new();
             let mut queue = EventQueue::new();
             for _ in 0..20 {
-                link.enqueue(SimTime::ZERO, nodes[0], packet(addrs[1], 100), &mut queue).unwrap();
+                link.enqueue(SimTime::ZERO, nodes[0], packet(addrs[1], 100), &mut pool, &mut queue).unwrap();
             }
-            let deliveries = drain(&mut link, &mut queue, &res);
+            let deliveries = drain(&mut link, &mut pool, &mut queue, &res);
             assert_eq!(deliveries.len(), 20);
             deliveries.last().unwrap().0
         };
@@ -748,11 +810,12 @@ mod tests {
         let res = resolver(nodes.iter().copied().zip(addrs.iter().copied()).collect());
         let run = || {
             let mut link = Link::wifi(LinkId::from_raw(3), &nodes, LinkConfig::wifi_54mbps());
+            let mut pool = PacketPool::new();
             let mut queue = EventQueue::new();
             for _ in 0..10 {
-                link.enqueue(SimTime::ZERO, nodes[0], packet(addrs[1], 200), &mut queue).unwrap();
+                link.enqueue(SimTime::ZERO, nodes[0], packet(addrs[1], 200), &mut pool, &mut queue).unwrap();
             }
-            drain(&mut link, &mut queue, &res)
+            drain(&mut link, &mut pool, &mut queue, &res)
                 .into_iter()
                 .map(|(t, _, _)| t)
                 .collect::<Vec<_>>()
@@ -775,6 +838,7 @@ mod tests {
             let cfg_b = LinkConfig { loss_rate: 0.3, ..LinkConfig::lan_100mbps() };
             let mut link_a = Link::p2p(LinkId::from_raw(0), a0, a1, cfg_a);
             let mut link_b = Link::p2p(LinkId::from_raw(1), b0, b1, cfg_b);
+            let mut pool = PacketPool::new();
             let mut queue = EventQueue::new();
             let res = resolver(vec![
                 (a0, Addr::new(10, 0, 0, 1)),
@@ -783,26 +847,29 @@ mod tests {
                 (b1, Addr::new(10, 0, 1, 2)),
             ]);
             for _ in 0..30 {
-                link_a.enqueue(SimTime::ZERO, a0, packet(Addr::new(10, 0, 0, 2), 100), &mut queue).unwrap();
-                link_b.enqueue(SimTime::ZERO, b0, packet(Addr::new(10, 0, 1, 2), 100), &mut queue).unwrap();
+                link_a.enqueue(SimTime::ZERO, a0, packet(Addr::new(10, 0, 0, 2), 100), &mut pool, &mut queue).unwrap();
+                link_b.enqueue(SimTime::ZERO, b0, packet(Addr::new(10, 0, 1, 2), 100), &mut pool, &mut queue).unwrap();
             }
             let mut deliveries = Vec::new();
             while let Some((t, ev)) = queue.pop() {
                 match ev {
                     Event::LinkTxComplete { link, lane } => {
                         if link == LinkId::from_raw(0) {
-                            link_a.on_tx_complete(t, lane, &res, &mut queue);
+                            link_a.on_tx_complete(t, lane, &res, &mut pool, &mut queue);
                         } else {
-                            link_b.on_tx_complete(t, lane, &res, &mut queue);
+                            link_b.on_tx_complete(t, lane, &res, &mut pool, &mut queue);
                         }
                     }
-                    Event::Deliver { node, .. } if node == b1 => {
-                        deliveries.push((t, node.as_raw()));
+                    Event::Deliver { node, packet, .. } => {
+                        if node == b1 {
+                            deliveries.push((t, node.as_raw()));
+                        }
+                        pool.release(packet);
                     }
-                    Event::Deliver { .. } => {}
                     other => panic!("unexpected event {other:?}"),
                 }
             }
+            assert_eq!(pool.live(), 0);
             deliveries
         };
         assert_eq!(run(0.0), run(0.9));
@@ -817,18 +884,19 @@ mod tests {
         let a = NodeId::from_raw(0);
         let b = NodeId::from_raw(1);
         let res = resolver(vec![(a, Addr::new(10, 0, 0, 1)), (b, Addr::new(10, 0, 0, 2))]);
-        let send_batch = |link: &mut Link, queue: &mut EventQueue, n: usize| {
+        let send_batch = |link: &mut Link, pool: &mut PacketPool, queue: &mut EventQueue, n: usize| {
             for _ in 0..n {
-                link.enqueue(SimTime::ZERO, a, packet(Addr::new(10, 0, 0, 2), 100), queue).unwrap();
+                link.enqueue(SimTime::ZERO, a, packet(Addr::new(10, 0, 0, 2), 100), pool, queue).unwrap();
             }
         };
 
         // Reference: 40 frames, all at loss 0.5.
         let cfg = LinkConfig { loss_rate: 0.5, ..LinkConfig::lan_100mbps() };
         let mut reference = Link::p2p(LinkId::from_raw(7), a, b, cfg);
+        let mut pool = PacketPool::new();
         let mut queue = EventQueue::new();
-        send_batch(&mut reference, &mut queue, 40);
-        drain(&mut reference, &mut queue, &res);
+        send_batch(&mut reference, &mut pool, &mut queue, 40);
+        drain(&mut reference, &mut pool, &mut queue, &res);
         let reference_lost = reference.stats().drops_lost;
 
         // Same link id (same private seed): 20 lossless frames, then an
@@ -837,19 +905,19 @@ mod tests {
         let mut toggled =
             Link::p2p(LinkId::from_raw(7), a, b, LinkConfig::lan_100mbps());
         let mut queue = EventQueue::new();
-        send_batch(&mut toggled, &mut queue, 20);
-        drain(&mut toggled, &mut queue, &res);
+        send_batch(&mut toggled, &mut pool, &mut queue, 20);
+        drain(&mut toggled, &mut pool, &mut queue, &res);
         assert_eq!(toggled.stats().drops_lost, 0);
         toggled.set_loss_override(Some(0.5));
-        send_batch(&mut toggled, &mut queue, 20);
-        drain(&mut toggled, &mut queue, &res);
+        send_batch(&mut toggled, &mut pool, &mut queue, 20);
+        drain(&mut toggled, &mut pool, &mut queue, &res);
 
         // Count the reference's losses among its last 20 frames only.
         let cfg_first_half = LinkConfig { loss_rate: 0.5, ..LinkConfig::lan_100mbps() };
         let mut first_half = Link::p2p(LinkId::from_raw(7), a, b, cfg_first_half);
         let mut queue = EventQueue::new();
-        send_batch(&mut first_half, &mut queue, 20);
-        drain(&mut first_half, &mut queue, &res);
+        send_batch(&mut first_half, &mut pool, &mut queue, 20);
+        drain(&mut first_half, &mut pool, &mut queue, &res);
         let reference_last_20 = reference_lost - first_half.stats().drops_lost;
         assert_eq!(toggled.stats().drops_lost, reference_last_20);
     }
@@ -859,25 +927,27 @@ mod tests {
         let a = NodeId::from_raw(0);
         let b = NodeId::from_raw(1);
         let mut link = Link::p2p(LinkId::from_raw(0), a, b, LinkConfig::lan_100mbps());
+        let mut pool = PacketPool::new();
         let mut queue = EventQueue::new();
         let res = resolver(vec![(a, Addr::new(10, 0, 0, 1)), (b, Addr::new(10, 0, 0, 2))]);
 
         // One frame goes in flight, then the link is cut: the in-flight
         // frame is destroyed at tx-complete time.
-        link.enqueue(SimTime::ZERO, a, packet(Addr::new(10, 0, 0, 2), 100), &mut queue).unwrap();
+        link.enqueue(SimTime::ZERO, a, packet(Addr::new(10, 0, 0, 2), 100), &mut pool, &mut queue).unwrap();
         link.set_up(SimTime::ZERO, false, &mut queue);
         assert_eq!(
-            link.enqueue(SimTime::ZERO, a, packet(Addr::new(10, 0, 0, 2), 100), &mut queue),
+            link.enqueue(SimTime::ZERO, a, packet(Addr::new(10, 0, 0, 2), 100), &mut pool, &mut queue),
             Err(DropReason::LinkDown)
         );
-        let deliveries = drain(&mut link, &mut queue, &res);
+        let deliveries = drain(&mut link, &mut pool, &mut queue, &res);
         assert!(deliveries.is_empty());
         assert_eq!(link.stats().drops_link_down, 2);
+        assert_eq!(pool.live(), 0, "destroyed in-flight frame must be released");
 
         // Restoring the link lets traffic flow again.
         link.set_up(SimTime::from_secs(1), true, &mut queue);
-        link.enqueue(SimTime::from_secs(1), a, packet(Addr::new(10, 0, 0, 2), 100), &mut queue).unwrap();
-        let deliveries = drain(&mut link, &mut queue, &res);
+        link.enqueue(SimTime::from_secs(1), a, packet(Addr::new(10, 0, 0, 2), 100), &mut pool, &mut queue).unwrap();
+        let deliveries = drain(&mut link, &mut pool, &mut queue, &res);
         assert_eq!(deliveries.len(), 1);
     }
 
@@ -900,9 +970,10 @@ mod tests {
             if let Some(d) = extra {
                 link.set_extra_delay(d);
             }
+            let mut pool = PacketPool::new();
             let mut queue = EventQueue::new();
-            link.enqueue(SimTime::ZERO, a, packet(Addr::new(10, 0, 0, 2), 972), &mut queue).unwrap();
-            drain(&mut link, &mut queue, &res)[0].0
+            link.enqueue(SimTime::ZERO, a, packet(Addr::new(10, 0, 0, 2), 972), &mut pool, &mut queue).unwrap();
+            drain(&mut link, &mut pool, &mut queue, &res)[0].0
         };
         let nominal = deliver_at(None, None);
         // Quartering the bandwidth quadruples the 1000 µs serialisation time.

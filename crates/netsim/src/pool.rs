@@ -1,0 +1,239 @@
+//! Slab-backed packet pool with generation-stamped handles.
+//!
+//! The event queue and link lanes do not carry [`Packet`]s by value:
+//! they carry 8-byte [`PacketId`] handles into a [`PacketPool`] owned
+//! by the kernel. This keeps `Scheduled` (and therefore every binary
+//! heap sift) small, and lets a CSMA/Wi-Fi broadcast fan out to N
+//! receivers by bumping a refcount instead of cloning the packet N
+//! times.
+//!
+//! Invariants (see DESIGN.md §10):
+//!
+//! - Every `PacketId` is created by [`PacketPool::insert`] with one
+//!   reference, and dies on the [`PacketPool::release`] call that
+//!   drops the last reference. At that point the slot's generation is
+//!   bumped and its index joins the free list, so any leaked stale id
+//!   panics loudly on [`PacketPool::get`] instead of silently reading
+//!   a recycled packet.
+//! - Floods reuse slots: steady-state traffic allocates nothing once
+//!   the pool has grown to its high-water mark.
+//! - The pool never hands out owned `Packet`s except on final release,
+//!   so taps and sniffers observe `&Packet` borrows, never copies.
+
+use crate::packet::Packet;
+
+/// A handle to a pooled packet: slot index plus generation stamp.
+///
+/// `Copy` and 8 bytes, so events and lane queues move handles, not
+/// packet bodies. A `PacketId` is only valid against the pool that
+/// issued it, and only until the last reference is released.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketId {
+    index: u32,
+    generation: u32,
+}
+
+#[derive(Debug)]
+struct Slot {
+    generation: u32,
+    refs: u32,
+    packet: Option<Packet>,
+}
+
+/// A free-list slab of in-flight packets.
+///
+/// ```
+/// use netsim::packet::{Addr, Packet};
+/// use netsim::pool::PacketPool;
+/// use bytes::Bytes;
+///
+/// let mut pool = PacketPool::new();
+/// let id = pool.insert(Packet::udp(Addr::new(1, 1, 1, 1), Addr::new(2, 2, 2, 2), 1, 2, Bytes::new()));
+/// assert_eq!(pool.get(id).transport.dst_port(), 2);
+/// let packet = pool.release(id).expect("last reference returns the packet");
+/// assert_eq!(packet.transport.dst_port(), 2);
+/// assert_eq!(pool.live(), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct PacketPool {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
+    high_water: usize,
+    inserted_total: u64,
+    reused_total: u64,
+}
+
+impl PacketPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores `packet`, returning a handle holding one reference.
+    ///
+    /// Reuses a free slot when one exists (no allocation); otherwise
+    /// grows the slab.
+    pub fn insert(&mut self, packet: Packet) -> PacketId {
+        self.inserted_total += 1;
+        self.live += 1;
+        if self.live > self.high_water {
+            self.high_water = self.live;
+        }
+        if let Some(index) = self.free.pop() {
+            self.reused_total += 1;
+            let slot = &mut self.slots[index as usize];
+            debug_assert!(slot.packet.is_none(), "free-list slot still occupied");
+            slot.refs = 1;
+            slot.packet = Some(packet);
+            return PacketId { index, generation: slot.generation };
+        }
+        let index = u32::try_from(self.slots.len()).expect("packet pool exceeds u32 slots");
+        self.slots.push(Slot { generation: 0, refs: 1, packet: Some(packet) });
+        PacketId { index, generation: 0 }
+    }
+
+    /// Borrows the packet behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale (its last reference was released) —
+    /// that is always a kernel bug, never a recoverable condition.
+    pub fn get(&self, id: PacketId) -> &Packet {
+        let slot = &self.slots[id.index as usize];
+        assert_eq!(slot.generation, id.generation, "stale PacketId {id:?}");
+        slot.packet.as_ref().expect("live generation implies occupied slot")
+    }
+
+    /// Adds a reference to `id` (broadcast fan-out: one per extra
+    /// receiver).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale.
+    pub fn retain(&mut self, id: PacketId) {
+        let slot = &mut self.slots[id.index as usize];
+        assert_eq!(slot.generation, id.generation, "stale PacketId {id:?}");
+        slot.refs += 1;
+    }
+
+    /// Drops one reference to `id`. Returns the owned packet when this
+    /// was the last reference (the slot is recycled), `None` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale.
+    pub fn release(&mut self, id: PacketId) -> Option<Packet> {
+        let slot = &mut self.slots[id.index as usize];
+        assert_eq!(slot.generation, id.generation, "stale PacketId {id:?}");
+        slot.refs -= 1;
+        if slot.refs > 0 {
+            return None;
+        }
+        let packet = slot.packet.take().expect("live generation implies occupied slot");
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(id.index);
+        self.live -= 1;
+        Some(packet)
+    }
+
+    /// Number of live packets currently in the pool.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Maximum number of simultaneously live packets ever observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total packets ever inserted.
+    pub fn inserted_total(&self) -> u64 {
+        self.inserted_total
+    }
+
+    /// Inserts that reused a free slot instead of growing the slab.
+    pub fn reused_total(&self) -> u64 {
+        self.reused_total
+    }
+
+    /// Number of slots the slab has grown to (live + free).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Addr;
+    use bytes::Bytes;
+
+    fn udp(port: u16) -> Packet {
+        Packet::udp(Addr::new(10, 0, 0, 1), Addr::new(10, 0, 0, 2), 1000, port, Bytes::new())
+    }
+
+    #[test]
+    fn insert_get_release_roundtrip() {
+        let mut pool = PacketPool::new();
+        let id = pool.insert(udp(80));
+        assert_eq!(pool.get(id).transport.dst_port(), 80);
+        assert_eq!(pool.live(), 1);
+        let packet = pool.release(id).expect("sole reference");
+        assert_eq!(packet.transport.dst_port(), 80);
+        assert_eq!(pool.live(), 0);
+        assert_eq!(pool.capacity(), 1);
+    }
+
+    #[test]
+    fn slots_are_reused_after_release() {
+        let mut pool = PacketPool::new();
+        for round in 0..100u16 {
+            let id = pool.insert(udp(round));
+            pool.release(id);
+        }
+        assert_eq!(pool.capacity(), 1, "steady-state traffic must not grow the slab");
+        assert_eq!(pool.high_water(), 1);
+        assert_eq!(pool.inserted_total(), 100);
+        assert_eq!(pool.reused_total(), 99);
+    }
+
+    #[test]
+    fn retain_defers_recycling_until_last_release() {
+        let mut pool = PacketPool::new();
+        let id = pool.insert(udp(53));
+        pool.retain(id);
+        pool.retain(id);
+        assert!(pool.release(id).is_none());
+        assert!(pool.release(id).is_none());
+        assert_eq!(pool.get(id).transport.dst_port(), 53);
+        assert!(pool.release(id).is_some());
+        assert_eq!(pool.live(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale PacketId")]
+    fn stale_id_panics_on_get() {
+        let mut pool = PacketPool::new();
+        let id = pool.insert(udp(1));
+        pool.release(id);
+        // The slot is recycled under a new generation; the old handle
+        // must not resolve.
+        let _ = pool.insert(udp(2));
+        let _ = pool.get(id);
+    }
+
+    #[test]
+    fn high_water_tracks_concurrent_liveness() {
+        let mut pool = PacketPool::new();
+        let ids: Vec<PacketId> = (0..8).map(|i| pool.insert(udp(i))).collect();
+        assert_eq!(pool.high_water(), 8);
+        for id in ids {
+            pool.release(id);
+        }
+        let id = pool.insert(udp(9));
+        assert_eq!(pool.high_water(), 8, "high water is a maximum, not current");
+        assert_eq!(pool.live(), 1);
+        pool.release(id);
+    }
+}

@@ -169,6 +169,105 @@ impl TcpEffects {
     }
 }
 
+/// A FIFO byte queue stored as refcounted [`Bytes`] chunks.
+///
+/// Application writes and transmitted segments enter as whole chunks;
+/// segmentation carves them up with zero-copy slices. Only a segment
+/// that straddles two application writes (coalescing small writes, or a
+/// retransmission after a partial ACK) pays a copy — the steady-state
+/// streaming path moves payload bytes zero times between the sending
+/// app's buffer and the wire.
+#[derive(Debug, Default)]
+struct ChunkQueue {
+    chunks: VecDeque<Bytes>,
+    len: usize,
+}
+
+impl ChunkQueue {
+    /// Total queued bytes.
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn push(&mut self, data: Bytes) {
+        if data.is_empty() {
+            return;
+        }
+        self.len += data.len();
+        self.chunks.push_back(data);
+    }
+
+    /// Removes and returns the first `take` bytes (`take <= len`). Stays
+    /// within one chunk → zero-copy slice; straddles chunks → one copy.
+    fn pop_front_bytes(&mut self, take: usize) -> Bytes {
+        debug_assert!(take > 0 && take <= self.len);
+        self.len -= take;
+        let front = self.chunks.front_mut().expect("queue holds >= take bytes");
+        if front.len() > take {
+            let head = front.slice(..take);
+            *front = front.slice(take..);
+            return head;
+        }
+        let first = self.chunks.pop_front().expect("queue holds >= take bytes");
+        if first.len() == take {
+            return first;
+        }
+        let mut buf = Vec::with_capacity(take);
+        buf.extend_from_slice(&first);
+        while buf.len() < take {
+            let need = take - buf.len();
+            let chunk = self.chunks.front_mut().expect("queue holds >= take bytes");
+            if chunk.len() > need {
+                buf.extend_from_slice(&chunk[..need]);
+                *chunk = chunk.slice(need..);
+            } else {
+                buf.extend_from_slice(chunk);
+                self.chunks.pop_front();
+            }
+        }
+        Bytes::from(buf)
+    }
+
+    /// Returns the first `take` bytes without consuming them.
+    fn peek_front_bytes(&self, take: usize) -> Bytes {
+        debug_assert!(take > 0 && take <= self.len);
+        let front = self.chunks.front().expect("queue holds >= take bytes");
+        if front.len() >= take {
+            return front.slice(..take);
+        }
+        let mut buf = Vec::with_capacity(take);
+        for chunk in &self.chunks {
+            let need = take - buf.len();
+            if chunk.len() >= need {
+                buf.extend_from_slice(&chunk[..need]);
+                break;
+            }
+            buf.extend_from_slice(chunk);
+        }
+        Bytes::from(buf)
+    }
+
+    /// Discards the first `n` bytes (`n <= len`).
+    fn drain_front(&mut self, n: usize) {
+        debug_assert!(n <= self.len);
+        self.len -= n;
+        let mut rem = n;
+        while rem > 0 {
+            let front = self.chunks.front_mut().expect("queue holds >= n bytes");
+            if front.len() > rem {
+                *front = front.slice(rem..);
+                return;
+            }
+            rem -= front.len();
+            self.chunks.pop_front();
+        }
+    }
+}
+
 /// One endpoint of a TCP connection.
 #[derive(Debug)]
 pub struct TcpConn {
@@ -189,8 +288,8 @@ pub struct TcpConn {
     // Send side.
     snd_una: u32,
     snd_nxt: u32,
-    unacked: VecDeque<u8>,
-    unsent: VecDeque<u8>,
+    unacked: ChunkQueue,
+    unsent: ChunkQueue,
     cwnd: usize,
     ssthresh: usize,
     peer_window: usize,
@@ -289,8 +388,8 @@ impl TcpConn {
             accepted_from_listener: false,
             snd_una: iss,
             snd_nxt: iss,
-            unacked: VecDeque::new(),
-            unsent: VecDeque::new(),
+            unacked: ChunkQueue::default(),
+            unsent: ChunkQueue::default(),
             cwnd: cfg.initial_cwnd,
             ssthresh: cfg.initial_ssthresh,
             peer_window: cfg.recv_window as usize,
@@ -398,13 +497,21 @@ impl TcpConn {
         Packet::tcp(self.local.0, self.remote.0, header, payload).with_provenance(self.provenance)
     }
 
-    /// Queues application bytes for transmission.
+    /// Queues application bytes for transmission (copies once, into a
+    /// fresh chunk). Callers that already hold a [`Bytes`] should prefer
+    /// [`TcpConn::send_bytes`].
     pub fn send(&mut self, data: &[u8], now: SimTime, cfg: &TcpConfig, effects: &mut TcpEffects) {
+        self.send_bytes(Bytes::from(data.to_vec()), now, cfg, effects);
+    }
+
+    /// Queues an owned buffer for transmission without copying it: the
+    /// chunk is sliced (refcount bumps) as it is segmented onto the wire.
+    pub fn send_bytes(&mut self, data: Bytes, now: SimTime, cfg: &TcpConfig, effects: &mut TcpEffects) {
         if matches!(self.state, TcpState::Closed | TcpState::FinWait | TcpState::LastAck) {
             return;
         }
         self.bytes_sent += data.len() as u64;
-        self.unsent.extend(data.iter().copied());
+        self.unsent.push(data);
         self.try_transmit(now, cfg, effects);
     }
 
@@ -441,14 +548,17 @@ impl TcpConn {
             if take == 0 {
                 break;
             }
-            let chunk: Vec<u8> = self.unsent.drain(..take).collect();
+            let chunk = self.unsent.pop_front_bytes(take);
             let seq = self.snd_nxt;
             self.snd_nxt = self.snd_nxt.wrapping_add(take as u32);
-            self.unacked.extend(chunk.iter().copied());
+            // The in-flight copy is the same refcounted chunk that rides
+            // the wire, so unacked chunk boundaries == segment boundaries
+            // and a head retransmission is usually a pure slice.
+            self.unacked.push(chunk.clone());
             if self.rtt_probe.is_none() && self.retries == 0 {
                 self.rtt_probe = Some((self.snd_nxt, now));
             }
-            effects.segments.push(self.data_segment(seq, Bytes::from(chunk), cfg));
+            effects.segments.push(self.data_segment(seq, chunk, cfg));
         }
         if self.close_requested && !self.fin_sent && self.unsent.is_empty() {
             self.fin_seq = self.snd_nxt;
@@ -563,7 +673,7 @@ impl TcpConn {
                 advanced = advanced.saturating_sub(1);
             }
             let drained = advanced.min(self.unacked.len());
-            self.unacked.drain(..drained);
+            self.unacked.drain_front(drained);
             self.snd_una = ack;
             self.retries = 0;
             self.dup_acks = 0;
@@ -692,9 +802,9 @@ impl TcpConn {
     fn retransmit_head(&mut self, cfg: &TcpConfig, effects: &mut TcpEffects) {
         if !self.unacked.is_empty() {
             let take = self.unacked.len().min(cfg.mss);
-            let chunk: Vec<u8> = self.unacked.iter().take(take).copied().collect();
+            let chunk = self.unacked.peek_front_bytes(take);
             self.retransmitted_segments += 1;
-            effects.segments.push(self.data_segment(self.snd_una, Bytes::from(chunk), cfg));
+            effects.segments.push(self.data_segment(self.snd_una, chunk, cfg));
         } else if self.fin_sent && !self.fin_acked {
             self.retransmitted_segments += 1;
             let fin = self.control_segment(self.fin_seq, self.rcv_nxt, TcpFlags::FIN | TcpFlags::ACK, cfg);

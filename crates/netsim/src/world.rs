@@ -18,6 +18,7 @@ use crate::ids::{AppId, ConnId, LinkId, NodeId, TimerId};
 use crate::link::{DropReason, EndpointInfo, Link, LinkConfig, LinkStats};
 use crate::node::{Node, NodeStats};
 use crate::packet::{Addr, Packet, Provenance, TcpFlags, TcpHeader, Transport};
+use crate::pool::{PacketId, PacketPool};
 use crate::rng::SimRng;
 use crate::tap::{PacketTap, TapMeta};
 use crate::tcp::{Listener, TcpConfig, TcpConn, TcpEffects, TcpEvent};
@@ -74,11 +75,54 @@ fn phase_index(event: &Event) -> usize {
 /// Everything recorded here is a pure function of simulation state:
 /// event counts per dispatch phase, virtual-clock advance per phase,
 /// and link transmit-queue depths sampled at link events.
+///
+/// The per-event path records into plain local accumulators (no
+/// registry access); [`WorldObs::flush`] folds them into the shared
+/// registry before a snapshot. The flushed result is byte-identical to
+/// having updated the registry per event.
 struct WorldObs {
     scope: Scope,
     phase_events: [Counter; 7],
     phase_advance_ns: [Histogram; 7],
     queue_depth: Histogram,
+    local_events: [u64; 7],
+    local_advance: [LocalHist; 7],
+    local_depth: LocalHist,
+}
+
+/// A histogram accumulator private to the event loop: same bucketing as
+/// the registry histogram it flushes into, but plain memory — no
+/// `Rc<RefCell>` traffic per event.
+#[derive(Debug)]
+struct LocalHist {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl LocalHist {
+    fn new(bounds: &[u64]) -> Self {
+        LocalHist { bounds: bounds.to_vec(), counts: vec![0; bounds.len() + 1], count: 0, sum: 0 }
+    }
+
+    #[inline]
+    fn observe(&mut self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    fn flush_into(&mut self, hist: &Histogram) {
+        if self.count == 0 {
+            return;
+        }
+        hist.add_batch(&self.counts, self.count, self.sum);
+        self.counts.fill(0);
+        self.count = 0;
+        self.sum = 0;
+    }
 }
 
 impl WorldObs {
@@ -92,7 +136,30 @@ impl WorldObs {
         let phase_advance_ns =
             PHASE_NAMES.map(|name| phases.child(name).histogram("advance_ns", &advance_bounds));
         let queue_depth = scope.child("link").histogram("queue_depth", &depth_bounds);
-        WorldObs { scope, phase_events, phase_advance_ns, queue_depth }
+        WorldObs {
+            scope,
+            phase_events,
+            phase_advance_ns,
+            queue_depth,
+            local_events: [0; 7],
+            local_advance: std::array::from_fn(|_| LocalHist::new(&advance_bounds)),
+            local_depth: LocalHist::new(&depth_bounds),
+        }
+    }
+
+    /// Folds the locally accumulated per-event records into the shared
+    /// registry. Must run before the registry is snapshotted.
+    fn flush(&mut self) {
+        for (counter, n) in self.phase_events.iter().zip(&mut self.local_events) {
+            if *n > 0 {
+                counter.add(*n);
+                *n = 0;
+            }
+        }
+        for (hist, local) in self.phase_advance_ns.iter().zip(&mut self.local_advance) {
+            local.flush_into(hist);
+        }
+        self.local_depth.flush_into(&self.queue_depth);
     }
 }
 
@@ -106,6 +173,10 @@ pub struct Kernel {
     root_seed: u64,
     nodes: Vec<Node>,
     links: Vec<Link>,
+    /// In-flight packet bodies, shared by every link and the delivery
+    /// path. The event queue and lane queues hold [`PacketId`] handles
+    /// into this pool.
+    pool: PacketPool,
     taps: Vec<Box<dyn PacketTap>>,
     rng: SimRng,
     tcp_config: TcpConfig,
@@ -116,6 +187,16 @@ pub struct Kernel {
     app_provenance: Vec<Provenance>,
     events_processed: u64,
     obs: Option<WorldObs>,
+    /// Reusable buffer for notifications produced inside [`Ctx`]
+    /// callbacks (socket calls re-entering the kernel), so the hot path
+    /// never allocates a fresh `Vec` per call.
+    ctx_scratch: Vec<(AppId, AppEvent)>,
+    /// Reusable [`TcpEffects`] sink shared by every TCP entry point
+    /// (segment input, RTO expiry, socket calls). Drained by
+    /// [`Kernel::finish_conn_activity`] before being handed back, so
+    /// connection activity reuses two warm `Vec`s instead of allocating
+    /// per event.
+    effects_scratch: TcpEffects,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -138,6 +219,7 @@ impl Kernel {
             root_seed: seed,
             nodes: Vec::new(),
             links: Vec::new(),
+            pool: PacketPool::new(),
             taps: Vec::new(),
             rng: SimRng::seed_from(seed),
             tcp_config: TcpConfig::default(),
@@ -148,6 +230,8 @@ impl Kernel {
             app_provenance: Vec::new(),
             events_processed: 0,
             obs: None,
+            ctx_scratch: Vec::new(),
+            effects_scratch: TcpEffects::new(),
         }
     }
 
@@ -190,81 +274,99 @@ impl Kernel {
         node.stats.sent_packets += 1;
         node.stats.sent_bytes += packet.wire_len() as u64;
         let clock = self.clock;
-        self.links[link_id.index()].enqueue(clock, node_id, packet, &mut self.queue)
+        self.links[link_id.index()].enqueue(clock, node_id, packet, &mut self.pool, &mut self.queue)
     }
 
     fn handle_tx_complete(&mut self, link: LinkId, lane: usize) {
-        // Split borrows: the link needs an endpoint resolver over nodes.
-        let (nodes, links) = (&self.nodes, &mut self.links);
+        // Split borrows: the link needs an endpoint resolver over nodes
+        // while it mutates the pool and the queue.
+        let Kernel { nodes, links, pool, queue, clock, .. } = self;
         let resolver = |node: NodeId| EndpointInfo {
             addr: nodes[node.index()].addr,
             up: nodes[node.index()].up,
         };
-        links[link.index()].on_tx_complete(self.clock, lane, &resolver, &mut self.queue);
+        links[link.index()].on_tx_complete(*clock, lane, &resolver, pool, queue);
     }
 
-    fn apply_fault(&mut self, action: FaultAction) -> Vec<(AppId, AppEvent)> {
+    fn apply_fault(&mut self, action: FaultAction, out: &mut Vec<(AppId, AppEvent)>) {
         let clock = self.clock;
         match action {
             FaultAction::SetLinkUp { link, up } => {
                 self.links[link.index()].set_up(clock, up, &mut self.queue);
-                Vec::new()
             }
             FaultAction::SetLossOverride { link, rate } => {
                 self.links[link.index()].set_loss_override(rate);
-                Vec::new()
             }
             FaultAction::SetBandwidthScale { link, scale } => {
                 self.links[link.index()].set_bandwidth_scale(scale);
-                Vec::new()
             }
             FaultAction::SetExtraDelay { link, delay } => {
                 self.links[link.index()].set_extra_delay(delay);
-                Vec::new()
             }
             FaultAction::SetCpuPressure { node, factor } => {
                 self.nodes[node.index()].cpu_pressure = factor.max(0.0);
-                Vec::new()
             }
-            FaultAction::NodeCrash { node } => self.set_node_up(node, false),
+            FaultAction::NodeCrash { node } => self.set_node_up(node, false, out),
             FaultAction::NodeReboot { node, boot_delay } => {
                 // The restore is an ordinary node-up event so app
                 // notifications flow through the same path as churn.
                 self.queue.schedule(clock + boot_delay, Event::SetNodeUp { node, up: true });
-                self.set_node_up(node, false)
+                self.set_node_up(node, false, out);
             }
         }
     }
 
-    fn deliver(&mut self, link: LinkId, node_id: NodeId, packet: Packet) -> Vec<(AppId, AppEvent)> {
-        let meta = TapMeta { time: self.clock, link, receiver: node_id };
-        for tap in &mut self.taps {
-            tap.on_packet(&meta, &packet);
+    fn deliver(
+        &mut self,
+        link: LinkId,
+        node_id: NodeId,
+        packet_id: PacketId,
+        out: &mut Vec<(AppId, AppEvent)>,
+    ) {
+        {
+            let meta = TapMeta { time: self.clock, link, receiver: node_id };
+            let packet = self.pool.get(packet_id);
+            for tap in &mut self.taps {
+                tap.on_packet(&meta, packet);
+            }
         }
+        let wire_len = self.pool.get(packet_id).wire_len() as u64;
         let node = &mut self.nodes[node_id.index()];
         if !node.up {
             node.stats.dropped_down += 1;
-            return Vec::new();
+            self.pool.release(packet_id);
+            return;
         }
         node.stats.recv_packets += 1;
-        node.stats.recv_bytes += packet.wire_len() as u64;
-        match packet.transport {
-            Transport::Tcp(header) => self.tcp_input(node_id, header, packet),
+        node.stats.recv_bytes += wire_len;
+        // This receiver is done with the pool slot. If it was the last
+        // one, `release` hands back the owned body and the payload moves
+        // without touching the refcount; a broadcast sibling still
+        // holding the slot costs one payload `Bytes` clone (refcount
+        // bump, not a copy).
+        let (src, transport, provenance, payload) = match self.pool.release(packet_id) {
+            Some(packet) => (packet.src, packet.transport, packet.provenance, packet.payload),
+            None => {
+                let packet = self.pool.get(packet_id);
+                (packet.src, packet.transport, packet.provenance, packet.payload.clone())
+            }
+        };
+        match transport {
+            Transport::Tcp(header) => self.tcp_input(node_id, header, src, provenance, payload, out),
             Transport::Udp(header) => {
                 let node = &mut self.nodes[node_id.index()];
                 match node.udp.lookup(header.dst_port) {
-                    Some(app) => vec![(
+                    Some(app) => out.push((
                         app,
                         AppEvent::Udp(Datagram {
-                            src: packet.src,
+                            src,
                             src_port: header.src_port,
                             dst_port: header.dst_port,
-                            payload: packet.payload,
+                            payload,
                         }),
-                    )],
+                    )),
                     None => {
                         node.udp.unreachable += 1;
-                        Vec::new()
                     }
                 }
             }
@@ -275,17 +377,22 @@ impl Kernel {
         &mut self,
         node_id: NodeId,
         header: TcpHeader,
-        packet: Packet,
-    ) -> Vec<(AppId, AppEvent)> {
-        let key = (header.dst_port, packet.src, header.src_port);
+        src: Addr,
+        provenance: Provenance,
+        payload: Bytes,
+        out: &mut Vec<(AppId, AppEvent)>,
+    ) {
+        let key = (header.dst_port, src, header.src_port);
+        let mut effects = std::mem::take(&mut self.effects_scratch);
         let node = &mut self.nodes[node_id.index()];
 
         if let Some(&conn_id) = node.tcp.by_key.get(&key) {
-            let mut effects = TcpEffects::new();
             let cfg = self.tcp_config;
             let conn = node.tcp.conns.get_mut(&conn_id).expect("demux table is consistent");
-            conn.on_segment(self.clock, &header, packet.payload, &cfg, &mut effects);
-            return self.finish_conn_activity(node_id, conn_id, effects);
+            conn.on_segment(self.clock, &header, payload, &cfg, &mut effects);
+            self.finish_conn_activity(node_id, conn_id, &mut effects, out);
+            self.effects_scratch = effects;
+            return;
         }
 
         // No connection: a SYN may create one via a listener.
@@ -295,21 +402,21 @@ impl Kernel {
                 if !listener.has_capacity() {
                     // SYN backlog exhausted: the flood is winning. Drop.
                     listener.syn_drops += 1;
-                    return Vec::new();
+                    self.effects_scratch = effects;
+                    return;
                 }
                 let app = listener.app;
                 let local = (node.addr, header.dst_port);
-                let remote = (packet.src, header.src_port);
+                let remote = (src, header.src_port);
                 let conn_id = self.alloc_conn_id();
                 let iss = self.rng.next_u64() as u32;
-                let mut effects = TcpEffects::new();
                 let cfg = self.tcp_config;
                 let conn = TcpConn::open_passive(
                     conn_id,
                     app,
                     local,
                     remote,
-                    packet.provenance,
+                    provenance,
                     iss,
                     header.seq,
                     &cfg,
@@ -324,12 +431,16 @@ impl Kernel {
                     .expect("listener just seen")
                     .half_open
                     .push(conn_id);
-                return self.finish_conn_activity(node_id, conn_id, effects);
+                self.finish_conn_activity(node_id, conn_id, &mut effects, out);
+                self.effects_scratch = effects;
+                return;
             }
         }
+        self.effects_scratch = effects;
 
         // Stray segment: answer with RST (but never RST a RST).
         if !header.flags.contains(TcpFlags::RST) {
+            let node = &mut self.nodes[node_id.index()];
             node.tcp.rst_sent += 1;
             let rst_header = TcpHeader {
                 src_port: header.dst_port,
@@ -340,30 +451,30 @@ impl Kernel {
                 window: 0,
             };
             let node_addr = node.addr;
-            let rst = Packet::tcp(node_addr, packet.src, rst_header, Bytes::new())
-                .with_provenance(packet.provenance);
+            let rst = Packet::tcp(node_addr, src, rst_header, Bytes::new())
+                .with_provenance(provenance);
             let _ = self.send_packet(node_id, rst);
         }
-        Vec::new()
     }
 
     /// Sends a connection's queued segments, re-arms its timer, promotes
-    /// or reaps it, and converts TCP events into app notifications.
+    /// or reaps it, and converts TCP events into app notifications
+    /// (pushed onto `out`).
     fn finish_conn_activity(
         &mut self,
         node_id: NodeId,
         conn_id: ConnId,
-        effects: TcpEffects,
-    ) -> Vec<(AppId, AppEvent)> {
-        for segment in effects.segments {
+        effects: &mut TcpEffects,
+        out: &mut Vec<(AppId, AppEvent)>,
+    ) {
+        for segment in effects.segments.drain(..) {
             let _ = self.send_packet(node_id, segment);
         }
-        let mut notifications = Vec::with_capacity(effects.events.len());
-        for (app, event) in effects.events {
+        for (app, event) in effects.events.drain(..) {
             if let TcpEvent::Accepted { conn, local_port, .. } = event {
                 self.nodes[node_id.index()].tcp.promote_half_open(local_port, conn);
             }
-            notifications.push((app, AppEvent::Tcp(event)));
+            out.push((app, AppEvent::Tcp(event)));
         }
         let node = &mut self.nodes[node_id.index()];
         if let Some(conn) = node.tcp.conns.get_mut(&conn_id) {
@@ -379,7 +490,6 @@ impl Kernel {
                 conn.next_timer_generation();
             }
         }
-        notifications
     }
 
     fn handle_tcp_timer(
@@ -387,25 +497,25 @@ impl Kernel {
         node_id: NodeId,
         conn_id: ConnId,
         generation: u64,
-    ) -> Vec<(AppId, AppEvent)> {
+        out: &mut Vec<(AppId, AppEvent)>,
+    ) {
         let cfg = self.tcp_config;
+        let mut effects = std::mem::take(&mut self.effects_scratch);
         let node = &mut self.nodes[node_id.index()];
-        let Some(conn) = node.tcp.conns.get_mut(&conn_id) else {
-            return Vec::new();
-        };
-        if conn.timer_generation() != generation {
-            return Vec::new();
+        if let Some(conn) = node.tcp.conns.get_mut(&conn_id) {
+            if conn.timer_generation() == generation {
+                conn.on_rto(self.clock, &cfg, &mut effects);
+                self.finish_conn_activity(node_id, conn_id, &mut effects, out);
+            }
         }
-        let mut effects = TcpEffects::new();
-        conn.on_rto(self.clock, &cfg, &mut effects);
-        self.finish_conn_activity(node_id, conn_id, effects)
+        self.effects_scratch = effects;
     }
 
-    fn set_node_up(&mut self, node_id: NodeId, up: bool) -> Vec<(AppId, AppEvent)> {
+    fn set_node_up(&mut self, node_id: NodeId, up: bool, out: &mut Vec<(AppId, AppEvent)>) {
         let clock = self.clock;
         let node = &mut self.nodes[node_id.index()];
         if node.up == up {
-            return Vec::new();
+            return;
         }
         node.up = up;
         if up {
@@ -415,14 +525,13 @@ impl Kernel {
         } else {
             node.down_since = Some(clock);
         }
-        let mut notifications = Vec::new();
         if !up {
             // Power loss: connections vanish without emitting segments.
             let mut conn_ids: Vec<ConnId> = node.tcp.conns.keys().copied().collect();
             conn_ids.sort_unstable();
             for conn_id in conn_ids {
                 let conn = node.tcp.conns.get(&conn_id).expect("key just collected");
-                notifications.push((conn.app, AppEvent::Tcp(TcpEvent::Closed { conn: conn_id })));
+                out.push((conn.app, AppEvent::Tcp(TcpEvent::Closed { conn: conn_id })));
                 node.tcp.remove_conn(conn_id);
             }
         }
@@ -436,9 +545,8 @@ impl Kernel {
             .collect();
         apps.sort_unstable();
         for app in apps {
-            notifications.push((app, AppEvent::LinkState(up)));
+            out.push((app, AppEvent::LinkState(up)));
         }
-        notifications
     }
 }
 
@@ -460,6 +568,10 @@ impl Kernel {
 pub struct World {
     kernel: Kernel,
     apps: Vec<Option<Box<dyn App>>>,
+    /// Reusable notification buffer for the event loop: filled by the
+    /// kernel during [`World::step`], drained by dispatch, kept around
+    /// so steady-state stepping never allocates.
+    notify_scratch: Vec<(AppId, AppEvent)>,
 }
 
 impl std::fmt::Debug for World {
@@ -471,7 +583,7 @@ impl std::fmt::Debug for World {
 impl World {
     /// Creates an empty world with the given deterministic root seed.
     pub fn new(seed: u64) -> Self {
-        World { kernel: Kernel::new(seed), apps: Vec::new() }
+        World { kernel: Kernel::new(seed), apps: Vec::new(), notify_scratch: Vec::new() }
     }
 
     /// Current virtual time.
@@ -590,8 +702,11 @@ impl World {
 
     /// Immediately changes a node's administrative state.
     pub fn set_node_up(&mut self, node: NodeId, up: bool) {
-        let notifications = self.kernel.set_node_up(node, up);
-        self.dispatch_notifications(notifications);
+        let mut notifications = std::mem::take(&mut self.notify_scratch);
+        notifications.clear();
+        self.kernel.set_node_up(node, up, &mut notifications);
+        self.dispatch_notifications(&mut notifications);
+        self.notify_scratch = notifications;
     }
 
     /// Traffic counters of a node.
@@ -669,7 +784,9 @@ impl World {
     /// `<scope>.link.<id>.*`. Idempotent; call once before snapshotting
     /// the registry.
     pub fn publish_link_obs(&mut self) {
-        let Some(obs) = &self.kernel.obs else { return };
+        let Some(obs) = &mut self.kernel.obs else { return };
+        obs.flush();
+        let obs = &*obs;
         let links_scope = obs.scope.child("link");
         for link in &self.kernel.links {
             let scope = links_scope.child(&link.id().as_raw().to_string());
@@ -685,6 +802,19 @@ impl World {
             scope.gauge("up").set(link.is_up() as i64);
             scope.gauge("queued_packets").set(link.queued_packets() as i64);
         }
+        // Packet-pool health: all pure functions of simulation state.
+        let pool_scope = obs.scope.child("pool");
+        let pool = &self.kernel.pool;
+        pool_scope.gauge("live").set(pool.live() as i64);
+        pool_scope.gauge("high_water").set(pool.high_water() as i64);
+        pool_scope.gauge("capacity").set(pool.capacity() as i64);
+        pool_scope.gauge("inserted_total").set(pool.inserted_total() as i64);
+        pool_scope.gauge("reused_total").set(pool.reused_total() as i64);
+    }
+
+    /// The kernel's packet pool (slot-reuse and high-water diagnostics).
+    pub fn packet_pool(&self) -> &PacketPool {
+        &self.kernel.pool
     }
 
     /// Mutable access to the kernel RNG, for orchestration code.
@@ -705,42 +835,46 @@ impl World {
             Event::LinkTxComplete { link, .. } | Event::Deliver { link, .. } => Some(*link),
             _ => None,
         };
-        if let Some(obs) = &self.kernel.obs {
-            obs.phase_events[phase].inc();
-            obs.phase_advance_ns[phase].observe(advance_ns);
+        if let Some(obs) = &mut self.kernel.obs {
+            obs.local_events[phase] += 1;
+            obs.local_advance[phase].observe(advance_ns);
         }
         self.kernel.clock = time;
         self.kernel.events_processed += 1;
-        let notifications = match event {
+        let mut notifications = std::mem::take(&mut self.notify_scratch);
+        notifications.clear();
+        match event {
             Event::LinkTxComplete { link, lane } => {
                 self.kernel.handle_tx_complete(link, lane);
-                Vec::new()
             }
-            Event::Deliver { link, node, packet } => self.kernel.deliver(link, node, packet),
+            Event::Deliver { link, node, packet } => {
+                self.kernel.deliver(link, node, packet, &mut notifications)
+            }
             Event::TcpTimer { node, conn, generation } => {
-                self.kernel.handle_tcp_timer(node, conn, generation)
+                self.kernel.handle_tcp_timer(node, conn, generation, &mut notifications)
             }
             Event::AppTimer { app, token, timer } => {
-                if self.kernel.cancelled_timers.remove(&timer) {
-                    Vec::new()
-                } else {
-                    vec![(app, AppEvent::Timer(token))]
+                if !self.kernel.cancelled_timers.remove(&timer) {
+                    notifications.push((app, AppEvent::Timer(token)));
                 }
             }
-            Event::AppStart { app } => vec![(app, AppEvent::Start)],
-            Event::SetNodeUp { node, up } => self.kernel.set_node_up(node, up),
-            Event::Fault { action } => self.kernel.apply_fault(action),
+            Event::AppStart { app } => notifications.push((app, AppEvent::Start)),
+            Event::SetNodeUp { node, up } => {
+                self.kernel.set_node_up(node, up, &mut notifications)
+            }
+            Event::Fault { action } => self.kernel.apply_fault(action, &mut notifications),
         };
-        if let (Some(obs), Some(link)) = (&self.kernel.obs, touched_link) {
+        if let (Some(obs), Some(link)) = (&mut self.kernel.obs, touched_link) {
             let depth = self.kernel.links[link.index()].queued_packets() as u64;
-            obs.queue_depth.observe(depth);
+            obs.local_depth.observe(depth);
         }
-        self.dispatch_notifications(notifications);
+        self.dispatch_notifications(&mut notifications);
+        self.notify_scratch = notifications;
         true
     }
 
-    fn dispatch_notifications(&mut self, notifications: Vec<(AppId, AppEvent)>) {
-        for (app_id, event) in notifications {
+    fn dispatch_notifications(&mut self, notifications: &mut Vec<(AppId, AppEvent)>) {
+        for (app_id, event) in notifications.drain(..) {
             let Some(slot) = self.apps.get_mut(app_id.index()) else { continue };
             let Some(mut app) = slot.take() else { continue };
             let node = self.kernel.app_nodes[app_id.index()];
@@ -871,54 +1005,95 @@ impl<'a> Ctx<'a> {
         let conn_id = self.kernel.alloc_conn_id();
         let iss = self.kernel.rng.next_u64() as u32;
         let cfg = self.kernel.tcp_config;
+        let mut effects = std::mem::take(&mut self.kernel.effects_scratch);
         let node = &mut self.kernel.nodes[self.node.index()];
         let local_port = node.tcp.alloc_ephemeral((dst, port));
         let local = (node.addr, local_port);
-        let mut effects = TcpEffects::new();
         let conn =
             TcpConn::open_active(conn_id, self.app, local, (dst, port), provenance, iss, &cfg, &mut effects);
         node.tcp.conns.insert(conn_id, conn);
         node.tcp.by_key.insert((local_port, dst, port), conn_id);
-        let notifications = self.kernel.finish_conn_activity(self.node, conn_id, effects);
-        debug_assert!(notifications.is_empty(), "open_active produced app events");
+        self.finish_quiet(conn_id, &mut effects, "open_active");
+        self.kernel.effects_scratch = effects;
         conn_id
+    }
+
+    /// Runs [`Kernel::finish_conn_activity`] through the kernel's
+    /// reusable scratch buffer, asserting the call produced no app
+    /// events (socket calls made *by* an app never notify one).
+    fn finish_quiet(&mut self, conn: ConnId, effects: &mut TcpEffects, what: &str) {
+        let mut scratch = std::mem::take(&mut self.kernel.ctx_scratch);
+        scratch.clear();
+        self.kernel.finish_conn_activity(self.node, conn, effects, &mut scratch);
+        debug_assert!(scratch.is_empty(), "{what} produced app events");
+        scratch.clear();
+        self.kernel.ctx_scratch = scratch;
     }
 
     /// Queues bytes on an open connection.
     pub fn tcp_send(&mut self, conn: ConnId, data: &[u8]) {
         let cfg = self.kernel.tcp_config;
         let now = self.kernel.clock;
+        let mut effects = std::mem::take(&mut self.kernel.effects_scratch);
         let node = &mut self.kernel.nodes[self.node.index()];
-        let mut effects = TcpEffects::new();
         if let Some(c) = node.tcp.conns.get_mut(&conn) {
             c.send(data, now, &cfg, &mut effects);
         }
-        let notifications = self.kernel.finish_conn_activity(self.node, conn, effects);
-        debug_assert!(notifications.is_empty(), "send produced app events");
+        self.finish_quiet(conn, &mut effects, "send");
+        self.kernel.effects_scratch = effects;
+    }
+
+    /// Queues an owned buffer on an open connection without copying it:
+    /// the connection slices the chunk (refcount bumps) as it segments
+    /// it onto the wire. Use for large or repeated payloads a sender
+    /// already holds as [`Bytes`] (streaming chunks, cached bodies).
+    pub fn tcp_send_bytes(&mut self, conn: ConnId, data: Bytes) {
+        let cfg = self.kernel.tcp_config;
+        let now = self.kernel.clock;
+        let mut effects = std::mem::take(&mut self.kernel.effects_scratch);
+        let node = &mut self.kernel.nodes[self.node.index()];
+        if let Some(c) = node.tcp.conns.get_mut(&conn) {
+            c.send_bytes(data, now, &cfg, &mut effects);
+        }
+        self.finish_quiet(conn, &mut effects, "send");
+        self.kernel.effects_scratch = effects;
     }
 
     /// Gracefully closes a connection (FIN after queued data drains).
     pub fn tcp_close(&mut self, conn: ConnId) {
         let cfg = self.kernel.tcp_config;
         let now = self.kernel.clock;
+        let mut effects = std::mem::take(&mut self.kernel.effects_scratch);
         let node = &mut self.kernel.nodes[self.node.index()];
-        let mut effects = TcpEffects::new();
         if let Some(c) = node.tcp.conns.get_mut(&conn) {
             c.close(now, &cfg, &mut effects);
         }
-        let _ = self.kernel.finish_conn_activity(self.node, conn, effects);
+        self.finish_swallowed(conn, &mut effects);
+        self.kernel.effects_scratch = effects;
+    }
+
+    /// Like [`Ctx::finish_quiet`] but discards any produced events (the
+    /// app initiated the transition, so its own notifications are
+    /// swallowed).
+    fn finish_swallowed(&mut self, conn: ConnId, effects: &mut TcpEffects) {
+        let mut scratch = std::mem::take(&mut self.kernel.ctx_scratch);
+        scratch.clear();
+        self.kernel.finish_conn_activity(self.node, conn, effects, &mut scratch);
+        scratch.clear();
+        self.kernel.ctx_scratch = scratch;
     }
 
     /// Aborts a connection with a RST.
     pub fn tcp_abort(&mut self, conn: ConnId) {
         let cfg = self.kernel.tcp_config;
+        let mut effects = std::mem::take(&mut self.kernel.effects_scratch);
         let node = &mut self.kernel.nodes[self.node.index()];
-        let mut effects = TcpEffects::new();
         if let Some(c) = node.tcp.conns.get_mut(&conn) {
             c.abort(&cfg, &mut effects);
         }
         // The app initiated the abort; swallow its own Closed event.
-        let _ = self.kernel.finish_conn_activity(self.node, conn, effects);
+        self.finish_swallowed(conn, &mut effects);
+        self.kernel.effects_scratch = effects;
     }
 
     /// Binds a UDP port. Returns `false` if the port is taken.

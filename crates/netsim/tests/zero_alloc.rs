@@ -1,0 +1,121 @@
+//! Proof that the packet hot path is allocation-free at steady state.
+//!
+//! A counting global allocator wraps the system allocator; a UDP flood
+//! app sends packets at a fixed cadence to an unbound port on a peer
+//! node, driving the full pipeline — timer dispatch, `udp_send`, link
+//! enqueue (pool insert), transmit scheduling, delivery (pool release),
+//! and the `udp.unreachable` drop. After a warmup run that grows every
+//! reusable buffer (event heap, lane queues, pool slab, notification
+//! scratch) to its working set, a 10 000-packet steady-state run must
+//! perform **zero** heap allocations.
+//!
+//! This is the teeth behind DESIGN.md §10's "floods reuse slots"
+//! invariant: any regression that reintroduces a per-packet `Vec`,
+//! `Box` or `Packet` clone on the hot path fails this test rather than
+//! just showing up as a bench slowdown.
+//!
+//! (The crate's `#![forbid(unsafe_code)]` covers `src/`; the allocator
+//! shim below needs `unsafe` and lives in this integration test only.)
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use netsim::link::LinkConfig;
+use netsim::packet::{Addr, Provenance};
+use netsim::time::{SimDuration, SimTime};
+use netsim::world::{App, Ctx, World};
+
+/// Counts every allocation and reallocation (frees are irrelevant: the
+/// invariant is "no new memory", not "no memory").
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Sends one empty UDP datagram per millisecond to an unbound port on
+/// the target — the simplest traffic that exercises the entire
+/// enqueue → transmit → deliver → drop pipeline.
+struct FloodApp {
+    target: Addr,
+    payload: Bytes,
+}
+
+impl App for FloodApp {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(SimDuration::from_millis(1), 0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        // `Bytes` clone is a refcount bump, and the empty buffer is a
+        // process-wide shared allocation: no per-packet heap traffic.
+        ctx.udp_send(5555, self.target, 9, self.payload.clone());
+        ctx.set_timer(SimDuration::from_millis(1), 0);
+    }
+}
+
+#[test]
+fn steady_state_flood_allocates_nothing() {
+    let mut world = World::new(42);
+    let sender_addr = Addr::new(10, 0, 0, 1);
+    let sink_addr = Addr::new(10, 0, 0, 2);
+    let sender = world.add_node(sender_addr, "sender");
+    let sink = world.add_node(sink_addr, "sink");
+    world.add_p2p_link(sender, sink, LinkConfig::lan_100mbps());
+
+    let app = world.add_app(
+        sender,
+        Box::new(FloodApp { target: sink_addr, payload: Bytes::new() }),
+        Provenance::Benign,
+    );
+    world.start_app(app, SimTime::ZERO);
+
+    // Warmup: 2 000 packets grow the event heap, the lane queue, the
+    // pool slab and the notification scratch to their working set.
+    world.run_until(SimTime::from_secs(2));
+    let warmed_recv = world.node_stats(sink).recv_packets;
+    assert!(warmed_recv > 1_000, "warmup must move packets (got {warmed_recv})");
+
+    // Steady state: 10 s of simulated flood = 10 000 more packets, with
+    // the allocator watching.
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    world.run_until(SimTime::from_secs(12));
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    let delivered = world.node_stats(sink).recv_packets - warmed_recv;
+    assert!(delivered >= 10_000, "flood must deliver 10k packets (got {delivered})");
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state hot path allocated {} times over {delivered} packets",
+        after - before
+    );
+
+    // The pool recycled one slot the whole time instead of growing.
+    let pool = world.packet_pool();
+    assert!(pool.capacity() <= 4, "flood must reuse pool slots (capacity {})", pool.capacity());
+    assert!(pool.reused_total() > 10_000);
+}

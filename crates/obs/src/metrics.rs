@@ -27,6 +27,19 @@ impl HistData {
         self.count += 1;
         self.sum = self.sum.saturating_add(value);
     }
+
+    fn add_batch(&mut self, bucket_counts: &[u64], count: u64, sum: u64) {
+        assert_eq!(
+            bucket_counts.len(),
+            self.counts.len(),
+            "batch bucket layout must match the histogram (bounds + overflow)"
+        );
+        for (slot, add) in self.counts.iter_mut().zip(bucket_counts) {
+            *slot += add;
+        }
+        self.count += count;
+        self.sum = self.sum.saturating_add(sum);
+    }
 }
 
 #[derive(Debug)]
@@ -294,6 +307,24 @@ impl Histogram {
         self.inner.borrow_mut().hists[self.slot].observe(value);
     }
 
+    /// Folds a pre-bucketed batch of observations into the histogram in
+    /// one registry access. `bucket_counts` must hold one slot per bound
+    /// plus the final overflow slot, bucketed against this histogram's
+    /// own bounds (`partition_point(|b| b < value)`); `count`/`sum` are
+    /// the batch's observation count and value sum. Hot loops that
+    /// observe per event accumulate locally and flush through this
+    /// before the registry is snapshotted — the merged result is
+    /// indistinguishable from having called [`Histogram::observe`] per
+    /// value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bucket_counts` does not match the histogram's bucket
+    /// layout.
+    pub fn add_batch(&self, bucket_counts: &[u64], count: u64, sum: u64) {
+        self.inner.borrow_mut().hists[self.slot].add_batch(bucket_counts, count, sum);
+    }
+
     /// Total observations so far.
     pub fn count(&self) -> u64 {
         self.inner.borrow().hists[self.slot].count
@@ -366,6 +397,45 @@ mod tests {
         let (_, hist) = &snap.histograms[0];
         // le10=2 (5,10), le100=2 (11,100), le1000=0, overflow=1 (5000).
         assert_eq!(hist.counts, vec![2, 2, 0, 1]);
+    }
+
+    #[test]
+    fn add_batch_matches_per_value_observes() {
+        let bounds = [10u64, 100, 1000];
+        let values = [5u64, 10, 11, 100, 5000];
+
+        let registry = Registry::new();
+        let direct = registry.scope("x").histogram("direct", &bounds);
+        for v in values {
+            direct.observe(v);
+        }
+
+        // Pre-bucket the same values locally, exactly as a hot loop
+        // would, then fold them in with one call.
+        let batched = registry.scope("x").histogram("batched", &bounds);
+        let mut buckets = vec![0u64; bounds.len() + 1];
+        let mut sum = 0u64;
+        for v in values {
+            buckets[bounds.partition_point(|b| *b < v)] += 1;
+            sum += v;
+        }
+        batched.add_batch(&buckets, values.len() as u64, sum);
+
+        let snap = registry.snapshot();
+        let by_name = |n: &str| &snap.histograms.iter().find(|(name, _)| name == n).unwrap().1;
+        let direct_hist = by_name("x.direct");
+        let batched_hist = by_name("x.batched");
+        assert_eq!(direct_hist.counts, batched_hist.counts);
+        assert_eq!(direct_hist.count, batched_hist.count);
+        assert_eq!(direct_hist.sum, batched_hist.sum);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch bucket layout")]
+    fn add_batch_rejects_mismatched_layout() {
+        let registry = Registry::new();
+        let h = registry.scope("x").histogram("lat", &[10, 100]);
+        h.add_batch(&[1, 2], 3, 6); // needs bounds + overflow = 3 slots
     }
 
     #[test]

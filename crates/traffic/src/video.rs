@@ -33,6 +33,10 @@ struct StreamSession {
     bitrate_bps: u64,
     buffer: LineBuffer,
     playing: bool,
+    /// The fixed-rate chunk pushed every tick. Built once per `PLAY`;
+    /// each tick hands the connection a refcounted clone, so streaming
+    /// never re-allocates (or copies) the chunk body.
+    chunk: Bytes,
 }
 
 /// The RTMP-like streaming server.
@@ -65,7 +69,12 @@ impl App for VideoServer {
                 self.stats.add_accepted();
                 self.sessions.insert(
                     conn,
-                    StreamSession { bitrate_bps: 0, buffer: LineBuffer::new(), playing: false },
+                    StreamSession {
+                        bitrate_bps: 0,
+                        buffer: LineBuffer::new(),
+                        playing: false,
+                        chunk: Bytes::new(),
+                    },
                 );
             }
             TcpEvent::Data { conn, data } => {
@@ -77,6 +86,7 @@ impl App for VideoServer {
                         let kbps = BITRATE_LADDER_KBPS
                             [ladder_idx.min(BITRATE_LADDER_KBPS.len() - 1)];
                         session.bitrate_bps = kbps as u64 * 1000;
+                        session.chunk = Self::chunk_for(session.bitrate_bps);
                         if !session.playing {
                             session.playing = true;
                             self.stats.add_served();
@@ -103,9 +113,9 @@ impl App for VideoServer {
         if !session.playing {
             return;
         }
-        let chunk = Self::chunk_for(session.bitrate_bps);
+        let chunk = session.chunk.clone();
         self.stats.add_bytes_sent(chunk.len() as u64);
-        ctx.tcp_send(conn, &chunk);
+        ctx.tcp_send_bytes(conn, chunk);
         ctx.set_timer(CHUNK_INTERVAL, token);
     }
 }

@@ -7,7 +7,8 @@
 
 use capture::sniffer::{sniffer_pair, SnifferFilter};
 use ddoshield::{ScenarioConfig, Testbed};
-use features::extract::{windows_of, BASIC_FEATURES};
+use features::extract::{windows_of, BASIC_FEATURES, TOTAL_FEATURES};
+use ml::matrix::FeatureMatrix;
 use ids::pipeline::WindowDetection;
 use ml::classifier::Classifier;
 use netsim::time::SimDuration;
@@ -84,10 +85,14 @@ fn main() {
     let mut correct = 0usize;
     let mut total = 0usize;
     let mut worst: Option<WindowDetection> = None;
+    // One flat scratch matrix reused across windows: cleared, not
+    // reallocated, per window.
+    let mut rows = FeatureMatrix::with_capacity(0, TOTAL_FEATURES);
     for window in windows_of(&live_dataset, 1) {
         let truth = window.labels();
-        let predictions: Vec<usize> =
-            window.feature_matrix().iter().map(|row| detector.predict(row)).collect();
+        rows.clear();
+        window.append_features(&mut rows);
+        let predictions: Vec<usize> = rows.rows().map(|row| detector.predict(row)).collect();
         let window_correct = predictions.iter().zip(&truth).filter(|(p, t)| p == t).count();
         correct += window_correct;
         total += truth.len();

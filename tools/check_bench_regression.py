@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Guard against netsim hot-path benchmark regressions.
+
+Compares freshly measured criterion-shim JSON files against the
+committed reference (BENCH_netsim.json) and fails if any shared bench
+id got more than TOLERANCE slower. New benches (present only in the
+fresh run) and retired ones (present only in the reference) are
+reported but never fail the check — the reference is updated by
+committing a new BENCH_netsim.json alongside the change that moved it.
+
+Usage: check_bench_regression.py REFERENCE FRESH [FRESH...]
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.20  # fail when fresh is >20% slower than the reference
+
+
+def load(path):
+    with open(path) as fh:
+        return {entry["id"]: entry["ns_per_iter"] for entry in json.load(fh)}
+
+
+def main(argv):
+    if len(argv) < 3:
+        sys.exit(f"usage: {argv[0]} REFERENCE FRESH [FRESH...]")
+    reference = load(argv[1])
+    fresh = {}
+    for path in argv[2:]:
+        fresh.update(load(path))
+
+    failures = []
+    for bench_id, ref_ns in sorted(reference.items()):
+        if bench_id not in fresh:
+            print(f"SKIP {bench_id}: not in fresh run")
+            continue
+        new_ns = fresh[bench_id]
+        ratio = new_ns / ref_ns
+        status = "FAIL" if ratio > 1.0 + TOLERANCE else "ok"
+        print(f"{status:4} {bench_id}: {ref_ns:.0f} -> {new_ns:.0f} ns/iter ({ratio:.2f}x)")
+        if status == "FAIL":
+            failures.append(bench_id)
+    for bench_id in sorted(set(fresh) - set(reference)):
+        print(f"NEW  {bench_id}: {fresh[bench_id]:.0f} ns/iter (no reference)")
+
+    if failures:
+        sys.exit(f"benchmark regression >{TOLERANCE:.0%} in: {', '.join(failures)}")
+    print("no regressions beyond tolerance")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -3,42 +3,77 @@
 //! Provides the [`Bytes`] subset the packet model uses: an immutable,
 //! cheaply-cloneable byte buffer. Cloning shares the underlying
 //! allocation via `Arc`, which matters because simulated packets are
-//! cloned on every hop and capture.
+//! cloned on every hop and capture. [`Bytes::slice`] additionally
+//! shares the allocation for sub-ranges, so TCP segmentation can carve
+//! mss-sized payloads out of an application write without copying.
 
 use std::fmt;
-use std::ops::Deref;
-use std::sync::Arc;
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::{Arc, OnceLock};
 
-/// An immutable, reference-counted byte buffer.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// An immutable, reference-counted byte buffer (a view into a shared
+/// allocation).
+#[derive(Clone)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    offset: usize,
+    len: usize,
 }
 
+/// All empty buffers share one allocation, so constructing empty
+/// payloads (bare SYN/ACK/RST segments, probe datagrams) on a hot path
+/// never touches the allocator.
+static EMPTY: OnceLock<Arc<[u8]>> = OnceLock::new();
+
 impl Bytes {
-    /// An empty buffer (no allocation is shared until content exists).
+    fn from_arc(data: Arc<[u8]>) -> Self {
+        let len = data.len();
+        Bytes { data, offset: 0, len }
+    }
+
+    /// An empty buffer (shares a single process-wide allocation).
     pub fn new() -> Self {
-        Bytes { data: Arc::from(&[][..]) }
+        Bytes::from_arc(Arc::clone(EMPTY.get_or_init(|| Arc::from(&[][..]))))
     }
 
     /// Wraps a static byte slice.
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes { data: Arc::from(bytes) }
+        Bytes::from_arc(Arc::from(bytes))
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// `true` when the buffer holds no bytes.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     /// Copies the contents into a fresh `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_ref().to_vec()
+    }
+
+    /// A view of `range` sharing this buffer's allocation (no copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range falls outside the buffer.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(start <= end && end <= self.len, "slice {start}..{end} out of bounds (len {})", self.len);
+        Bytes { data: Arc::clone(&self.data), offset: self.offset + start, len: end - start }
     }
 }
 
@@ -52,19 +87,45 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.offset..self.offset + self.len]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_ref().cmp(other.as_ref())
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v) }
+        Bytes::from_arc(Arc::from(v))
     }
 }
 
@@ -83,7 +144,7 @@ impl<const N: usize> From<&'static [u8; N]> for Bytes {
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.as_ref() {
             if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
                 write!(f, "{}", b as char)?;
             } else {
@@ -115,6 +176,51 @@ mod tests {
         let b = a.clone();
         assert_eq!(a, b);
         assert_eq!(a.as_ref().as_ptr(), b.as_ref().as_ptr());
+    }
+
+    #[test]
+    fn empty_buffers_share_one_allocation() {
+        let a = Bytes::new();
+        let b = Bytes::default();
+        assert_eq!(a.as_ref().as_ptr(), b.as_ref().as_ptr());
+    }
+
+    #[test]
+    fn slices_share_storage_without_copying() {
+        let a = Bytes::from((0u8..=99).collect::<Vec<u8>>());
+        let mid = a.slice(10..20);
+        assert_eq!(mid.len(), 10);
+        assert_eq!(&mid[..], &(10u8..20).collect::<Vec<u8>>()[..]);
+        // The view points into the parent's allocation.
+        assert_eq!(mid.as_ref().as_ptr(), a.as_ref()[10..].as_ptr());
+        // Slicing a slice composes offsets.
+        let inner = mid.slice(5..);
+        assert_eq!(&inner[..], &[15, 16, 17, 18, 19]);
+        // Open-ended and full ranges.
+        assert_eq!(a.slice(..).len(), 100);
+        assert_eq!(a.slice(95..).len(), 5);
+        assert!(a.slice(40..40).is_empty());
+    }
+
+    #[test]
+    fn equality_and_hash_follow_contents_not_offsets() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let a = Bytes::from(vec![0, 7, 7, 0]).slice(1..3);
+        let b = Bytes::from(vec![7, 7]);
+        assert_eq!(a, b);
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+        assert!(Bytes::from(vec![1]) < Bytes::from(vec![2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let _ = Bytes::from(vec![1u8, 2, 3]).slice(2..5);
     }
 
     #[test]
