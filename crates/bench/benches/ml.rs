@@ -303,7 +303,7 @@ fn bench_ml(c: &mut Criterion) {
     let mut group = c.benchmark_group("predict_batch");
     group.sample_size(20);
     group.bench_function("rf", |b| {
-        b.iter(|| black_box(forest.predict_view(matrix.view())))
+        b.iter(|| black_box(forest.predict_batch(matrix.view())))
     });
     group.finish();
 }

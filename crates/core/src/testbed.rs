@@ -290,6 +290,11 @@ impl Testbed {
         let model_size_kb = ids.model().encode().len() as f64 / 1024.0;
         let mut app = RealTimeIds::new(ids, self.sniffer.clone(), meter.clone(), log.clone());
         app.set_obs(self.registry.scope("ids"));
+        // Wall-clock predict latency lives in its own registry: the
+        // measured numbers are host-dependent, and mixing them into the
+        // deterministic registry would break byte-identical exports.
+        let wall_registry = Registry::new();
+        app.set_wallclock_obs(wall_registry.scope("ids.wallclock"));
         let now = self.rt.now();
         self.rt.install(
             self.ids_container,
@@ -323,7 +328,8 @@ impl Testbed {
         robustness.reinfections = bots.reinfections;
         robustness.reinfection_latency_total_nanos = bots.reinfection_latency_total_nanos;
         let telemetry = self.telemetry();
-        LiveReport { log, sustainability, robustness, meter, telemetry }
+        let wallclock = wall_registry.snapshot();
+        LiveReport { log, sustainability, robustness, meter, telemetry, wallclock }
     }
 
     /// A snapshot of the run's telemetry: every counter, gauge and
@@ -375,4 +381,9 @@ pub struct LiveReport {
     pub meter: ResourceMeter,
     /// The run's full telemetry export (see [`Testbed::telemetry`]).
     pub telemetry: RunTelemetry,
+    /// Wall-clock reporting telemetry (per-model predict latency
+    /// histograms under `ids.wallclock.*`). Host-dependent by design and
+    /// therefore exported separately: it must never be byte-diffed or
+    /// mixed into the deterministic `telemetry` export.
+    pub wallclock: RunTelemetry,
 }

@@ -11,7 +11,9 @@
 //! the accuracy dips at attack boundaries the paper reports (mixed
 //! windows give both classes the same statistical half).
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::hash::Hash;
 
 use capture::record::PacketRecord;
 use netsim::packet::{Protocol, TcpFlags};
@@ -272,33 +274,232 @@ impl WindowStats {
     }
 }
 
+/// Stale-entry cull threshold for [`GenMap::clear`]: compact when the
+/// backing map holds this many times more keys than the window touched
+/// (plus a flat floor so small windows over a rich key history don't
+/// thrash the cull).
+const GENMAP_COMPACT_FACTOR: usize = 4;
+const GENMAP_COMPACT_MIN: usize = 256;
+
+/// A deterministic multiply-rotate hasher for the window count maps.
+///
+/// The accumulator hashes millions of tiny keys per capture — `u16`
+/// ports, `u32` addresses, 13-byte flow tuples — where the default
+/// SipHash costs more than the table probe it guards. This is the
+/// classic Fx construction (`state = (rotl5(state) ^ word) * K`): two
+/// or three cycles per word, good avalanche on low bits for
+/// power-of-two tables, and *unkeyed*, so hashing — like everything
+/// else in the pipeline — is deterministic across runs and platforms.
+/// DoS keying is irrelevant here: the keys come from the simulator, not
+/// an adversary with knowledge of the process's hash seed.
+///
+/// Nothing order-sensitive ever folds over these maps (see
+/// [`GenMap`]), so the change of iteration order vs SipHash is
+/// unobservable in any output.
+#[derive(Debug, Default, Clone, Copy)]
+struct FxHasher {
+    hash: u64,
+}
+
+/// 2^64 / φ, the usual Fibonacci-hashing multiplier.
+const FX_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut rest = bytes;
+        while rest.len() >= 8 {
+            let (word, tail) = rest.split_at(8);
+            self.add(u64::from_le_bytes(word.try_into().expect("8-byte chunk")));
+            rest = tail;
+        }
+        let mut last = 0u64;
+        for &b in rest.iter().rev() {
+            last = last << 8 | u64::from(b);
+        }
+        if !rest.is_empty() {
+            self.add(last);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+type FxBuild = std::hash::BuildHasherDefault<FxHasher>;
+
+/// A generation-stamped map: per-window values over a *persistent* key
+/// set.
+///
+/// The hash map stores only a `(generation, slot)` stamp per key; the
+/// window's values live in a dense `vals` vec aligned with the
+/// `touched` key log. A lookup only sees slots stamped with the current
+/// generation, and the first touch of a key in a generation appends a
+/// fresh slot. Clearing a window is therefore O(touched) — bump the
+/// generation, truncate the dense vecs — instead of the O(capacity)
+/// sweep of `HashMap::clear`; a flow that reappears window after window
+/// reuses its existing hash slot without any insertion or rehash; and
+/// close-time folds iterate the *dense* value vec, never re-hashing a
+/// key (this matters: under spoofed-source floods nearly every record
+/// touches a distinct key, so a per-key re-hash at close would cost as
+/// much as the pushes themselves). Iteration is in first-touch order,
+/// so callers must only fold it with order-insensitive reductions.
+///
+/// Keys that stop appearing linger with a stale stamp; `clear` culls
+/// them (deterministically, purely from `len`/`touched` counts) once
+/// they outnumber live keys by [`GENMAP_COMPACT_FACTOR`].
+#[derive(Debug, Default)]
+struct GenMap<K, V> {
+    /// Per-key `(generation, index into vals)` stamp — 8 bytes, so a
+    /// small-key entry spans one cache line's worth of table slot.
+    map: HashMap<K, (u32, u32), FxBuild>,
+    /// Keys first-touched in the current generation, in touch order.
+    touched: Vec<K>,
+    /// Current-generation values, aligned with `touched`.
+    vals: Vec<V>,
+    gen: u32,
+}
+
+impl<K: Eq + Hash + Copy, V: Copy> GenMap<K, V> {
+    /// Mutable value for `key`, initialised to `init` on the first touch
+    /// of the current window.
+    fn entry_or(&mut self, key: K, init: V) -> &mut V {
+        let slot = match self.map.entry(key) {
+            Entry::Occupied(e) => {
+                let stamp = e.into_mut();
+                if stamp.0 != self.gen {
+                    *stamp = (self.gen, self.touched.len() as u32);
+                    self.touched.push(key);
+                    self.vals.push(init);
+                }
+                stamp.1
+            }
+            Entry::Vacant(e) => {
+                e.insert((self.gen, self.touched.len() as u32));
+                self.touched.push(key);
+                self.vals.push(init);
+                self.touched.len() as u32 - 1
+            }
+        };
+        &mut self.vals[slot as usize]
+    }
+
+    /// Overwrites `key`'s value for the current window.
+    fn insert(&mut self, key: K, value: V) {
+        *self.entry_or(key, value) = value;
+    }
+
+    /// Current-window value of `key`, if it was touched.
+    fn get(&self, key: &K) -> Option<&V> {
+        match self.map.get(key) {
+            Some((g, slot)) if *g == self.gen => Some(&self.vals[*slot as usize]),
+            _ => None,
+        }
+    }
+
+    /// `true` if `key` was touched in the current window.
+    fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Distinct keys touched in the current window.
+    fn len(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Current-window values, in first-touch order.
+    fn values(&self) -> impl Iterator<Item = &V> + '_ {
+        self.vals.iter()
+    }
+
+    /// Current-window entries, in first-touch order.
+    fn iter(&self) -> impl Iterator<Item = (&K, &V)> + '_ {
+        self.touched.iter().zip(self.vals.iter())
+    }
+
+    /// Ends the window: O(touched), plus an occasional stale-key cull.
+    fn clear(&mut self) {
+        if self.map.len() > GENMAP_COMPACT_FACTOR * self.touched.len() + GENMAP_COMPACT_MIN {
+            let live = self.gen;
+            self.map.retain(|_, (g, _)| *g == live);
+        }
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            // A u32 generation wrapped (2^32 windows): drop every stamp
+            // rather than let ancient entries alias the fresh generation.
+            self.map.clear();
+            self.gen = 1;
+        }
+        self.touched.clear();
+        self.vals.clear();
+    }
+}
+
 /// Streaming per-record accumulator behind the window aggregator's hot
 /// path.
 ///
 /// [`WindowStats::compute_streaming`] rebuilds every count map from
 /// scratch each window — O(packets) hash inserts *and* O(windows) map
 /// allocations. The accumulator instead absorbs each record as it
-/// arrives ([`WindowAccumulator::push`]) into maps that are **cleared,
-/// never dropped**, so steady-state windows allocate nothing once the
-/// maps have grown to the traffic's working set, and
-/// [`WindowAccumulator::close`] only walks the distinct keys (plus the
-/// two-pass mean/std sweeps over the record slice, which are
-/// unavoidable for bit-identical results — see DESIGN.md §10).
+/// arrives ([`WindowAccumulator::push`]) into generation-stamped
+/// [`GenMap`]s whose key sets **persist across windows**: a flow, port
+/// or endpoint seen before reuses its hash slot, window turnover is
+/// O(keys touched) rather than O(map capacity), and steady-state
+/// windows allocate nothing once the maps have grown to the traffic's
+/// working set. [`WindowAccumulator::close`] only walks the touched
+/// keys (plus the two-pass mean/std sweeps over the record slice, which
+/// are unavoidable for bit-identical results — see DESIGN.md §10).
 ///
 /// `close` reproduces the exact float-operation order of
 /// `compute_streaming`: entropy counts are sorted before summation,
 /// mean/std run two passes in record order, and all integer tallies are
-/// exact. Same input stream → bit-identical [`WindowStats`], which the
+/// exact (every reduction over a map is order-insensitive, so the
+/// touch-order iteration cannot leak in). Same input stream →
+/// bit-identical [`WindowStats`], which the
 /// `accumulator_matches_batch_computation` test and the repo-level
 /// identity test both pin.
 #[derive(Debug, Default)]
 pub struct WindowAccumulator {
-    dst_ports: HashMap<u16, u64>,
-    src_addrs: HashMap<u32, u64>,
-    flows: HashMap<(u32, u16, u32, u16, u8), u64>,
-    syns_per_source: HashMap<(u32, u16), u64>,
-    last_syn_ts: HashMap<(u32, u16), f64>,
-    first_ack_ts: HashMap<(u32, u16), f64>,
+    dst_ports: GenMap<u16, u64>,
+    src_addrs: GenMap<u32, u64>,
+    flows: GenMap<(u32, u16, u32, u16, u8), u64>,
+    syns_per_source: GenMap<(u32, u16), u64>,
+    last_syn_ts: GenMap<(u32, u16), f64>,
+    first_ack_ts: GenMap<(u32, u16), f64>,
     total_bytes: u64,
     udp_count: u64,
     /// Reusable scratch for entropy's sorted-count summation.
@@ -314,12 +515,11 @@ impl WindowAccumulator {
     /// Absorbs one record of the current window.
     pub fn push(&mut self, r: &PacketRecord) {
         self.total_bytes += r.wire_len as u64;
-        *self.dst_ports.entry(r.dst_port).or_default() += 1;
-        *self.src_addrs.entry(r.src.to_bits()).or_default() += 1;
+        *self.dst_ports.entry_or(r.dst_port, 0) += 1;
+        *self.src_addrs.entry_or(r.src.to_bits(), 0) += 1;
         *self
             .flows
-            .entry((r.src.to_bits(), r.src_port, r.dst.to_bits(), r.dst_port, r.protocol.number()))
-            .or_default() += 1;
+            .entry_or((r.src.to_bits(), r.src_port, r.dst.to_bits(), r.dst_port, r.protocol.number()), 0) += 1;
         match r.protocol {
             Protocol::Udp => self.udp_count += 1,
             Protocol::Tcp => self.track_handshake(r),
@@ -341,10 +541,12 @@ impl WindowAccumulator {
     fn track_handshake(&mut self, r: &PacketRecord) {
         let endpoint = (r.src.to_bits(), r.src_port);
         if r.is_bare_syn() {
-            *self.syns_per_source.entry(endpoint).or_default() += 1;
+            *self.syns_per_source.entry_or(endpoint, 0) += 1;
             self.last_syn_ts.insert(endpoint, r.ts.as_secs_f64());
         } else if r.flags.contains(TcpFlags::ACK) {
-            self.first_ack_ts.entry(endpoint).or_insert_with(|| r.ts.as_secs_f64());
+            // First touch wins: `entry_or` only writes the timestamp the
+            // first time this window sees the endpoint ACK.
+            self.first_ack_ts.entry_or(endpoint, r.ts.as_secs_f64());
         }
     }
 
@@ -441,7 +643,7 @@ impl WindowAccumulator {
         let mut pending: HashMap<(u32, u16), u64> = HashMap::new();
         if grace_secs > 0.0 && window_end_secs.is_finite() {
             let defer_after = window_end_secs - grace_secs;
-            for (endpoint, &count) in &self.syns_per_source {
+            for (endpoint, &count) in self.syns_per_source.iter() {
                 if !self.first_ack_ts.contains_key(endpoint)
                     && self.last_syn_ts.get(endpoint).is_some_and(|&ts| ts > defer_after)
                 {
@@ -453,7 +655,9 @@ impl WindowAccumulator {
         AckGrace { boundary_secs: window_end_secs, pending }
     }
 
-    /// Drops all per-window state, retaining map and scratch capacity.
+    /// Ends the window: O(keys touched this window), not O(map
+    /// capacity). Key sets (and map/scratch capacity) persist so that
+    /// recurring flows keep their hash slots across windows.
     pub fn clear(&mut self) {
         self.dst_ports.clear();
         self.src_addrs.clear();
@@ -859,6 +1063,58 @@ mod tests {
             }
             let advanced = acc.advance_carry(end, 0.1);
             assert_eq!(advanced, reference);
+        }
+    }
+
+    /// Persistent keys must never leak *values* across windows: an ACK
+    /// timestamp recorded for an endpoint in one window sits in the map
+    /// with a stale generation afterwards, and a bare SYN from the same
+    /// endpoint in the next window must still count as unanswered.
+    #[test]
+    fn stale_generation_handshake_state_is_invisible() {
+        let mut acc = WindowAccumulator::new();
+        let ack = record(8, 9000, 80, TcpFlags::ACK, 2);
+        acc.push(&ack);
+        let (w0, carry) = acc.close(
+            std::slice::from_ref(&ack), 1.0, 1.0, 0.1, &AckGrace::default());
+        assert_eq!(w0.syn_without_ack, 0.0);
+
+        // Same endpoint, next window, SYN never answered — and sent well
+        // before the boundary so the grace deferral doesn't apply.
+        let syn = record(8, 9000, 80, TcpFlags::SYN, 3);
+        acc.push(&syn);
+        let (w1, _) = acc.close(std::slice::from_ref(&syn), 1.0, 2.0, 0.1, &carry);
+        assert_eq!(w1.syn_without_ack, 1.0, "stale first-ACK timestamp must not resolve a new SYN");
+    }
+
+    /// A huge key burst followed by many sparse windows crosses the
+    /// stale-key compaction threshold; the culled accumulator must keep
+    /// matching the batch computation exactly.
+    #[test]
+    fn accumulator_survives_stale_key_compaction() {
+        let mut acc = WindowAccumulator::new();
+        let mut carry = AckGrace::default();
+        let mut batch_carry = AckGrace::default();
+        for round in 0..40u32 {
+            let window: Vec<PacketRecord> = if round == 0 {
+                // ~2 000 distinct flows/endpoints in one window.
+                (0..2000u32)
+                    .map(|i| record((i % 200) as u8, 1024 + (i % 40000) as u16, 80, TcpFlags::SYN, i))
+                    .collect()
+            } else {
+                (0..5u32).map(|i| record(1, 5000 + (round * 5 + i) as u16, 80, TcpFlags::SYN, i)).collect()
+            };
+            let end = (round + 1) as f64;
+            for r in &window {
+                acc.push(r);
+            }
+            let (acc_stats, acc_next) = acc.close(&window, 1.0, end, 0.1, &carry);
+            let (batch_stats, batch_next) =
+                WindowStats::compute_streaming(&window, 1.0, end, 0.1, &batch_carry);
+            assert_eq!(acc_stats, batch_stats, "round {round}");
+            assert_eq!(acc_next, batch_next, "round {round}");
+            carry = acc_next;
+            batch_carry = batch_next;
         }
     }
 

@@ -204,12 +204,14 @@ impl TrainedIds {
     /// per-window detection result (the paper's per-second accuracy).
     pub fn classify_window(&self, window: &Window) -> WindowDetection {
         let mut scratch = FeatureMatrix::new(TOTAL_FEATURES);
-        self.classify_window_into(window, &mut scratch)
+        let mut predictions = Vec::new();
+        self.classify_window_into(window, &mut scratch, &mut predictions)
     }
 
     /// Like [`TrainedIds::classify_window`], but extracts features into a
-    /// caller-owned scratch matrix so a detection loop allocates nothing
-    /// per window after warm-up.
+    /// caller-owned scratch matrix and predicts into a caller-owned
+    /// buffer, so a detection loop allocates nothing per window after
+    /// warm-up.
     ///
     /// # Panics
     ///
@@ -219,14 +221,19 @@ impl TrainedIds {
         &self,
         window: &Window,
         scratch: &mut FeatureMatrix,
+        predictions: &mut Vec<usize>,
     ) -> WindowDetection {
-        self.classify_window_profiled(window, scratch).0
+        self.classify_window_profiled(window, scratch, predictions).0
     }
 
     /// Like [`TrainedIds::classify_window_into`], but also returns the
-    /// deterministic work units the model's predict path performed (see
+    /// window's [`WindowProfile`]: the deterministic work units the
+    /// model's predict path performed (see
     /// [`Classifier::predict_with_work`]) — the profiling signal the
-    /// real-time IDS feeds into its telemetry histograms.
+    /// real-time IDS feeds into its telemetry histograms — plus the
+    /// wall-clock time the predict call took, which may only ever feed
+    /// reporting surfaces (never control flow or deterministic
+    /// telemetry).
     ///
     /// # Panics
     ///
@@ -236,11 +243,15 @@ impl TrainedIds {
         &self,
         window: &Window,
         scratch: &mut FeatureMatrix,
-    ) -> (WindowDetection, u64) {
+        predictions: &mut Vec<usize>,
+    ) -> (WindowDetection, WindowProfile) {
         scratch.clear();
         window.append_features(scratch);
         self.scaler.transform_matrix(scratch);
-        let (predictions, work) = self.model.predict_view_with_work(scratch.view());
+        let predict_started = std::time::Instant::now();
+        let work = self.model.predict_batch_into(scratch.view(), predictions);
+        let predict_wall_ns = predict_started.elapsed().as_nanos() as u64;
+        let predictions = &*predictions;
         let truth = window.labels();
         let correct = predictions.iter().zip(&truth).filter(|(p, t)| p == t).count();
         let predicted_malicious = predictions.iter().filter(|&&p| p == 1).count();
@@ -261,8 +272,21 @@ impl TrainedIds {
             majority_truth: window.majority_label(),
             degraded: false,
         };
-        (detection, work)
+        (detection, WindowProfile { work_units: work, predict_wall_ns })
     }
+}
+
+/// Profiling signals of one classified window.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowProfile {
+    /// Deterministic model work units (RF: nodes visited; CNN: MACs;
+    /// K-Means: distance multiply-adds). A pure function of model and
+    /// input — safe to export in byte-identical telemetry.
+    pub work_units: u64,
+    /// Wall-clock nanoseconds the predict call took. Host-dependent:
+    /// feeds the wall-clock reporting registry and the sustainability
+    /// meter only, never deterministic telemetry or control flow.
+    pub predict_wall_ns: u64,
 }
 
 /// Trains the concrete model behind the [`Classifier`] interface.

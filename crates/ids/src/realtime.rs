@@ -221,6 +221,28 @@ impl IdsObs {
     }
 }
 
+/// Wall-clock telemetry for the predict hot path, kept in a registry
+/// *separate* from the deterministic one: the measured latency is
+/// host-dependent by nature, so it must never share an export with the
+/// byte-identity-pinned metrics. One histogram per model, named after
+/// the model (`<Model>.predict_wall_ns`), makes the batch-predict
+/// speedups visible in exported telemetry rather than only in criterion
+/// output.
+#[derive(Debug)]
+struct WallclockObs {
+    predict_wall_ns: Histogram,
+}
+
+impl WallclockObs {
+    fn new(scope: &Scope, model: &str) -> Self {
+        // Measured predict latency: ~0.25 µs up to ~17 s.
+        let ns_bounds = pow2_bounds(8, 34);
+        WallclockObs {
+            predict_wall_ns: scope.child(model).histogram("predict_wall_ns", &ns_bounds),
+        }
+    }
+}
+
 /// The real-time IDS application hosted in the IDS container.
 pub struct RealTimeIds {
     ids: TrainedIds,
@@ -232,11 +254,15 @@ pub struct RealTimeIds {
     /// Feature scratch reused every window — the steady-state detection
     /// loop performs no per-window feature allocation.
     scratch: FeatureMatrix,
+    /// Prediction scratch reused every window (the serial, allocation-
+    /// free [`ml::classifier::Classifier::predict_batch_into`] path).
+    predictions: Vec<usize>,
     /// Drain scratch swapped with the sniffer buffer every tick
     /// ([`SnifferHandle::drain_into`]), so the feed ping-pongs two
     /// buffers instead of allocating one per window.
     drain_buf: Vec<PacketRecord>,
     obs: Option<IdsObs>,
+    wall_obs: Option<WallclockObs>,
 }
 
 impl std::fmt::Debug for RealTimeIds {
@@ -272,8 +298,10 @@ impl RealTimeIds {
             log,
             overload,
             scratch: FeatureMatrix::new(TOTAL_FEATURES),
+            predictions: Vec::new(),
             drain_buf: Vec::new(),
             obs: None,
+            wall_obs: None,
         }
     }
 
@@ -283,6 +311,14 @@ impl RealTimeIds {
     /// budget.
     pub fn set_obs(&mut self, scope: Scope) {
         self.obs = Some(IdsObs::new(scope));
+    }
+
+    /// Attaches the wall-clock reporting scope (call before installing
+    /// the app). Must come from a registry separate from the
+    /// deterministic one — measured predict latency is host-dependent
+    /// and would break byte-identical telemetry exports if mixed in.
+    pub fn set_wallclock_obs(&mut self, scope: Scope) {
+        self.wall_obs = Some(WallclockObs::new(&scope, self.ids.model().name()));
     }
 
     fn tick(&mut self, ctx: &mut Ctx<'_>) {
@@ -301,8 +337,12 @@ impl RealTimeIds {
         let window_interval_secs = self.ids.window_secs() as f64;
         let mut buffered_bytes = 0u64;
         for window in &completed {
-            let (mut detection, work) =
-                self.ids.classify_window_profiled(window, &mut self.scratch);
+            let (mut detection, profile) =
+                self.ids
+                    .classify_window_profiled(window, &mut self.scratch, &mut self.predictions);
+            if let Some(wall) = &self.wall_obs {
+                wall.predict_wall_ns.observe(profile.predict_wall_ns);
+            }
             let modelled_secs = self.overload.modelled_cost_secs(window.records.len(), pressure);
             detection.degraded = modelled_secs > window_interval_secs;
             buffered_bytes += window.records.len() as u64 * 64; // record footprint
@@ -320,7 +360,7 @@ impl RealTimeIds {
                     * 1e9) as u64;
                 obs.extract_ns.observe(extract_ns);
                 obs.classify_ns.observe(classify_ns);
-                obs.predict_work.observe(work);
+                obs.predict_work.observe(profile.work_units);
                 if detection.degraded {
                     obs.budget_exceeded.inc();
                     obs.scope.event(

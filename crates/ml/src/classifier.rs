@@ -32,15 +32,12 @@ pub trait Classifier: Send + Sync {
         (self.predict(features), 0)
     }
 
-    /// Classifies a batch (default: rows in parallel, results in row
-    /// order — identical output at any thread count).
-    fn predict_batch(&self, features: &[Vec<f64>]) -> Vec<usize> {
-        par::par_map_indexed(features.len(), |i| self.predict(&features[i]))
-    }
-
-    /// Classifies every row visible through a matrix view (default: rows
-    /// in parallel, results in row order).
-    fn predict_view(&self, view: MatrixView<'_>) -> Vec<usize> {
+    /// Classifies every row visible through a flat matrix view (default:
+    /// rows in parallel, results in row order — identical output at any
+    /// thread count). All batch feature data travels as
+    /// [`crate::matrix::FeatureMatrix`] rows; there is no nested-`Vec`
+    /// batch path.
+    fn predict_batch(&self, view: MatrixView<'_>) -> Vec<usize> {
         par::par_map_indexed(view.n_rows(), |i| self.predict(view.row(i)))
     }
 
@@ -48,11 +45,29 @@ pub trait Classifier: Send + Sync {
     /// units (see [`Classifier::predict_with_work`]). Rows run in
     /// parallel; integer summation makes the total independent of
     /// completion order, so the figure is thread-count invariant.
-    fn predict_view_with_work(&self, view: MatrixView<'_>) -> (Vec<usize>, u64) {
+    fn predict_batch_with_work(&self, view: MatrixView<'_>) -> (Vec<usize>, u64) {
         let results =
             par::par_map_indexed(view.n_rows(), |i| self.predict_with_work(view.row(i)));
         let work = results.iter().map(|&(_, w)| w).sum();
         (results.into_iter().map(|(class, _)| class).collect(), work)
+    }
+
+    /// Serial, allocation-free batch prediction into a caller-owned
+    /// buffer: `out` is cleared and refilled, reusing its capacity. This
+    /// is the real-time IDS hot path — after warm-up a steady-state
+    /// window classifies without touching the allocator. Returns the
+    /// summed deterministic work units; row order (and therefore the
+    /// work total) matches [`Classifier::predict_batch_with_work`].
+    fn predict_batch_into(&self, view: MatrixView<'_>, out: &mut Vec<usize>) -> u64 {
+        out.clear();
+        out.reserve(view.n_rows());
+        let mut work = 0u64;
+        for i in 0..view.n_rows() {
+            let (class, w) = self.predict_with_work(view.row(i));
+            out.push(class);
+            work += w;
+        }
+        work
     }
 
     /// Serialises the model (the PKL-file analogue). The blob length is
@@ -64,18 +79,10 @@ pub trait Classifier: Send + Sync {
     fn memory_bytes(&self) -> u64;
 }
 
-/// Evaluates a classifier on labelled data, producing the paper's
-/// train-time metric row.
-pub fn evaluate(model: &dyn Classifier, x: &[Vec<f64>], y: &[usize]) -> MetricsReport {
-    let predictions = model.predict_batch(x);
-    let m = ConfusionMatrix::from_predictions(y, &predictions);
-    MetricsReport::from_confusion(&m)
-}
-
-/// Evaluates a classifier on the rows of a matrix view — the zero-copy
-/// companion of [`evaluate`].
+/// Evaluates a classifier on the labelled rows of a matrix view,
+/// producing the paper's train-time metric row.
 pub fn evaluate_view(model: &dyn Classifier, view: MatrixView<'_>, y: &[usize]) -> MetricsReport {
-    let predictions = model.predict_view(view);
+    let predictions = model.predict_batch(view);
     let m = ConfusionMatrix::from_predictions(y, &predictions);
     MetricsReport::from_confusion(&m)
 }
@@ -168,22 +175,42 @@ mod tests {
     fn evaluate_scores_a_constant_model() {
         let x = vec![vec![0.0]; 4];
         let y = vec![1, 1, 0, 0];
-        let report = evaluate(&Always(1), &x, &y);
+        let m = FeatureMatrix::from_rows(&x).unwrap();
+        let report = evaluate_view(&Always(1), m.view(), &y);
         assert!((report.accuracy - 0.5).abs() < 1e-12);
         assert!((report.recall - 1.0).abs() < 1e-12);
     }
 
     #[test]
-    fn evaluate_view_matches_row_evaluation() {
+    fn evaluate_view_covers_subsets() {
         let x = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
         let y = vec![1, 0, 1, 0];
         let m = FeatureMatrix::from_rows(&x).unwrap();
-        let by_rows = evaluate(&Always(1), &x, &y);
-        let by_view = evaluate_view(&Always(1), m.view(), &y);
-        assert_eq!(by_rows.accuracy, by_view.accuracy);
+        let full = evaluate_view(&Always(1), m.view(), &y);
+        assert!((full.accuracy - 0.5).abs() < 1e-12);
         let subset = vec![0, 2];
         let sub = evaluate_view(&Always(1), m.subset(&subset), &[1, 1]);
         assert!((sub.accuracy - 1.0).abs() < 1e-12);
+    }
+
+    /// The three batch entry points agree row-for-row, and the into-
+    /// variant reuses its output buffer without reallocating.
+    #[test]
+    fn batch_entry_points_agree() {
+        let x = vec![vec![0.5], vec![1.5], vec![2.5]];
+        let m = FeatureMatrix::from_rows(&x).unwrap();
+        let model = Always(1);
+        let batch = model.predict_batch(m.view());
+        let (with_work, work) = model.predict_batch_with_work(m.view());
+        let mut into = Vec::with_capacity(8);
+        let into_work = model.predict_batch_into(m.view(), &mut into);
+        assert_eq!(batch, vec![1, 1, 1]);
+        assert_eq!(batch, with_work);
+        assert_eq!(batch, into);
+        assert_eq!(work, into_work);
+        let ptr = into.as_ptr();
+        let _ = model.predict_batch_into(m.view(), &mut into);
+        assert_eq!(ptr, into.as_ptr(), "into-variant must reuse its buffer");
     }
 
     #[test]

@@ -19,12 +19,14 @@
 //! folded in chunk order before the Adam step — so the fitted network is
 //! identical at any thread count.
 
+use std::cell::RefCell;
+
 use netsim::rng::SimRng;
 use serde::{Deserialize, Serialize};
 
 use crate::classifier::{validate_matrix, validate_training_set, Classifier, TrainError};
-use crate::matrix::{FeatureMatrix, MatrixView};
-use crate::nn::{relu, relu_grad, softmax, Adam, Dense};
+use crate::matrix::{matmul_nt, FeatureMatrix, MatrixView};
+use crate::nn::{relu, relu_grad, softmax, softmax_into, Adam, Dense};
 use crate::codec::{DecodeError, Decoder, Encoder};
 use crate::par;
 
@@ -124,6 +126,31 @@ impl Conv1d {
         out
     }
 
+    /// Writes the zero-padded im2col patch matrix for `input` (flat
+    /// channel-major `[in_ch][len]`): row `p` is the receptive field of
+    /// output position `p`, laid out `[i * kernel + k]` — exactly the
+    /// index order of one weight row, so `matmul_nt(w, patches, ..)`
+    /// accumulates in the same order as the scalar [`Conv1d::forward`].
+    fn im2col(&self, input: &[f64], len: usize, patches: &mut Vec<f64>) {
+        let half = (self.kernel / 2) as isize;
+        let k_total = self.in_ch * self.kernel;
+        patches.resize(len * k_total, 0.0);
+        for p in 0..len {
+            let row = &mut patches[p * k_total..(p + 1) * k_total];
+            for i in 0..self.in_ch {
+                let channel = &input[i * len..(i + 1) * len];
+                for k in 0..self.kernel {
+                    let src = p as isize + (k as isize - half) * self.dilation as isize;
+                    row[i * self.kernel + k] = if src >= 0 && (src as usize) < len {
+                        channel[src as usize]
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
+    }
+
     /// Backward pass: returns gradient wrt input; accumulates parameter
     /// gradients into `gw`/`gb`.
     fn backward(
@@ -179,6 +206,23 @@ fn maxpool2(x: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<Vec<usize>>) {
     (out, arg)
 }
 
+/// Max pool (window 2, stride 2) over a flat channel-major `[channels][len]`
+/// buffer, refilling `out` as `[channels][len / 2]`. Ties prefer the left
+/// element, matching [`maxpool2`]. No argmax: the flat path is
+/// inference-only.
+fn maxpool2_flat(x: &[f64], channels: usize, len: usize, out: &mut Vec<f64>) {
+    let out_len = len / 2;
+    out.clear();
+    out.reserve(channels * out_len);
+    for c in 0..channels {
+        let channel = &x[c * len..(c + 1) * len];
+        for p in 0..out_len {
+            let (a, b) = (channel[2 * p], channel[2 * p + 1]);
+            out.push(if a >= b { a } else { b });
+        }
+    }
+}
+
 fn maxpool2_backward(grad_out: &[Vec<f64>], arg: &[Vec<usize>], in_len: usize) -> Vec<Vec<f64>> {
     let mut grad_in = vec![vec![0.0; in_len]; grad_out.len()];
     for c in 0..grad_out.len() {
@@ -187,6 +231,37 @@ fn maxpool2_backward(grad_out: &[Vec<f64>], arg: &[Vec<usize>], in_len: usize) -
         }
     }
     grad_in
+}
+
+/// Reusable buffers for the flat im2col inference path
+/// ([`Cnn::forward_scratch`]). All `Vec`s are cleared and refilled on
+/// each call, so a warmed-up scratch makes repeated prediction
+/// allocation-free.
+#[derive(Debug, Default)]
+pub struct CnnScratch {
+    /// im2col patch matrix (shared by both conv layers).
+    patches: Vec<f64>,
+    /// Conv1 pre/post-activation, flat `[out_ch][len]`.
+    z1: Vec<f64>,
+    /// Pooled conv1 activations, flat `[out_ch][len / 2]`.
+    p1: Vec<f64>,
+    /// Conv2 pre/post-activation, flat `[out_ch][len / 2]`.
+    z2: Vec<f64>,
+    /// Pooled conv2 activations — already the dense layer's flat input.
+    p2: Vec<f64>,
+    /// Hidden dense pre/post-activation.
+    z3: Vec<f64>,
+    /// Output logits.
+    logits: Vec<f64>,
+    /// Softmax class probabilities — the forward pass result.
+    probs: Vec<f64>,
+}
+
+thread_local! {
+    /// Per-thread scratch backing [`Cnn::predict`] / [`Cnn::predict_proba`],
+    /// so steady-state inference allocates nothing without threading a
+    /// buffer through the [`Classifier`] trait.
+    static PREDICT_SCRATCH: RefCell<CnnScratch> = RefCell::new(CnnScratch::default());
 }
 
 struct ForwardCache {
@@ -442,6 +517,36 @@ impl Cnn {
         let _ = self.conv1.backward(&cache.x0, &da1, &mut grads.c1w, &mut grads.c1b);
     }
 
+    /// The flat inference pass: im2col + [`matmul_nt`] per conv layer,
+    /// flat max-pooling, then the dense head, all into `scratch`'s
+    /// reused buffers (`scratch.probs` holds the result). Every
+    /// floating-point accumulation happens in the same order as the
+    /// nested-`Vec` [`Cnn::forward`], so the two produce bit-identical
+    /// probabilities; `forward` stays as the golden reference (and the
+    /// training path, which needs the cached activations).
+    pub fn forward_scratch(&self, features: &[f64], scratch: &mut CnnScratch) {
+        let len = features.len();
+        self.conv1.im2col(features, len, &mut scratch.patches);
+        let k1 = self.conv1.in_ch * self.conv1.kernel;
+        matmul_nt(&self.conv1.w, &scratch.patches, k1, &self.conv1.b, &mut scratch.z1);
+        relu(&mut scratch.z1);
+        maxpool2_flat(&scratch.z1, self.conv1.out_ch, len, &mut scratch.p1);
+
+        let pooled1 = len / 2;
+        self.conv2.im2col(&scratch.p1, pooled1, &mut scratch.patches);
+        let k2 = self.conv2.in_ch * self.conv2.kernel;
+        matmul_nt(&self.conv2.w, &scratch.patches, k2, &self.conv2.b, &mut scratch.z2);
+        relu(&mut scratch.z2);
+        // The pooled channel-major buffer *is* the reference's flatten
+        // order, so it feeds the dense head directly.
+        maxpool2_flat(&scratch.z2, self.conv2.out_ch, pooled1, &mut scratch.p2);
+
+        self.fc1.forward_into(&scratch.p2, &mut scratch.z3);
+        relu(&mut scratch.z3);
+        self.fc2.forward_into(&scratch.z3, &mut scratch.logits);
+        softmax_into(&scratch.logits, &mut scratch.probs);
+    }
+
     /// Cross-entropy loss on one sample (used by the gradient check).
     pub fn loss(&self, features: &[f64], label: usize) -> f64 {
         let cache = self.forward(features);
@@ -450,7 +555,11 @@ impl Cnn {
 
     /// Class probabilities for one sample.
     pub fn predict_proba(&self, features: &[f64]) -> Vec<f64> {
-        self.forward(features).probs
+        PREDICT_SCRATCH.with(|s| {
+            let mut s = s.borrow_mut();
+            self.forward_scratch(features, &mut s);
+            s.probs.clone()
+        })
     }
 
     /// The architecture configuration.
@@ -562,8 +671,11 @@ impl Classifier for Cnn {
     }
 
     fn predict(&self, features: &[f64]) -> usize {
-        let probs = self.predict_proba(features);
-        usize::from(probs[1] > probs[0])
+        PREDICT_SCRATCH.with(|s| {
+            let mut s = s.borrow_mut();
+            self.forward_scratch(features, &mut s);
+            usize::from(s.probs[1] > s.probs[0])
+        })
     }
 
     fn predict_with_work(&self, features: &[f64]) -> (usize, u64) {
@@ -749,6 +861,35 @@ mod tests {
         let net = Cnn::fit(&x, &y, &tiny_config(), &mut rng).unwrap();
         let correct = x.iter().zip(&y).filter(|(xi, &yi)| net.predict(xi) == yi).count();
         assert!(correct as f64 / x.len() as f64 > 0.95, "train acc {correct}/300");
+    }
+
+    /// The im2col scratch path must reproduce the nested-`Vec` reference
+    /// forward pass bit for bit — on freshly initialised and on trained
+    /// networks, across seeds, including the zero-padded borders.
+    #[test]
+    fn forward_scratch_matches_reference_bits_across_seeds() {
+        let bits = |probs: &[f64]| probs.iter().map(|p| p.to_bits()).collect::<Vec<_>>();
+        for seed in 31..36 {
+            let mut rng = SimRng::seed_from(seed);
+            let config = tiny_config();
+            let init = Cnn::init(config, &mut rng);
+            let (x, y) = separable_data(80, config.input_len, &mut rng);
+            let trained =
+                Cnn::fit(&x, &y, &CnnConfig { epochs: 3, ..config }, &mut rng).unwrap();
+            let mut scratch = CnnScratch::default();
+            for net in [&init, &trained] {
+                for xi in &x {
+                    let reference = net.forward(xi).probs;
+                    net.forward_scratch(xi, &mut scratch);
+                    assert_eq!(
+                        bits(&reference),
+                        bits(&scratch.probs),
+                        "seed {seed}: scratch path diverged from reference"
+                    );
+                    assert_eq!(net.predict(xi), usize::from(reference[1] > reference[0]));
+                }
+            }
+        }
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod par;
 pub mod rf;
 pub mod svm;
 
-pub use classifier::{evaluate, evaluate_view, Classifier, TrainError};
+pub use classifier::{evaluate_view, Classifier, TrainError};
 pub use matrix::{gather, FeatureMatrix, MatrixView};
 pub use cnn::{Cnn, CnnConfig};
 pub use codec::{DecodeError, Decoder, Encoder};

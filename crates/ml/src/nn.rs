@@ -27,16 +27,24 @@ impl Dense {
 
     /// `y = W x + b`.
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
-        (0..self.output)
-            .map(|o| {
-                self.b[o]
-                    + self.w[o * self.input..(o + 1) * self.input]
-                        .iter()
-                        .zip(x)
-                        .map(|(w, v)| w * v)
-                        .sum::<f64>()
-            })
-            .collect()
+        let mut out = Vec::with_capacity(self.output);
+        self.forward_into(x, &mut out);
+        out
+    }
+
+    /// `y = W x + b` into a caller-owned buffer (cleared and refilled,
+    /// reusing capacity). Accumulation order is identical to
+    /// [`Dense::forward`] — the two produce bit-identical outputs.
+    pub fn forward_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.output).map(|o| {
+            self.b[o]
+                + self.w[o * self.input..(o + 1) * self.input]
+                    .iter()
+                    .zip(x)
+                    .map(|(w, v)| w * v)
+                    .sum::<f64>()
+        }));
     }
 
     /// Backpropagates `grad_out`, accumulating parameter gradients into
@@ -75,10 +83,22 @@ pub fn relu_grad(pre: &[f64], grad: &mut [f64]) {
 
 /// Numerically stable softmax.
 pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(logits.len());
+    softmax_into(logits, &mut out);
+    out
+}
+
+/// Numerically stable softmax into a caller-owned buffer (cleared and
+/// refilled, reusing capacity). Operation order matches [`softmax`]
+/// exactly, so the two produce bit-identical distributions.
+pub fn softmax_into(logits: &[f64], out: &mut Vec<f64>) {
     let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let exps: Vec<f64> = logits.iter().map(|&l| (l - max).exp()).collect();
-    let sum: f64 = exps.iter().sum();
-    exps.into_iter().map(|e| e / sum).collect()
+    out.clear();
+    out.extend(logits.iter().map(|&l| (l - max).exp()));
+    let sum: f64 = out.iter().sum();
+    for e in out.iter_mut() {
+        *e /= sum;
+    }
 }
 
 /// Per-parameter-group Adam state.

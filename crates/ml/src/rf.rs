@@ -23,6 +23,19 @@ use crate::par;
 const TREE_MAGIC: u32 = 0x7472_6565; // "tree"
 const FOREST_MAGIC: u32 = 0x666f_7273; // "fors"
 
+/// Marks a leaf in the structure-of-arrays node pool's `feature` lane.
+const LEAF_SENTINEL: u32 = u32::MAX;
+
+/// Rows per parallel block in batch prediction. A fixed constant (never
+/// derived from the thread count) keeps the work split — and therefore
+/// the result concatenation order — identical on every machine.
+const BATCH_ROWS: usize = 64;
+
+/// Rows walked in lockstep per tree inside a block. Small enough that
+/// the lane cursors live in registers, wide enough to overlap one
+/// lane's node loads with its neighbours'.
+const PREDICT_LANES: usize = 8;
+
 /// Hyper-parameters of a single CART tree.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TreeConfig {
@@ -414,11 +427,248 @@ fn gini(pos: usize, total: usize) -> f64 {
     2.0 * p * (1.0 - p)
 }
 
+/// Every tree of the forest lowered into one flat structure-of-arrays
+/// node pool: parallel lanes indexed by absolute node id, plus the root
+/// id and max depth of each tree. Splits keep their children as
+/// absolute indices so a walk never touches a per-tree base offset.
+/// Leaves are *self-looping*: their `left`/`right` point back at the
+/// leaf itself and their `step_feature` is `0`, so the lockstep batch
+/// walker advances every lane with the same load/compare/select step —
+/// no leaf test, no data-dependent branch — and lanes that finish early
+/// simply park on their leaf. The leaf's class and its distance from
+/// the root live in dedicated `class_of`/`depth_of` lanes, which also
+/// moves work accounting out of the hot loop: a row's visited-node
+/// count is exactly `depth_of[leaf]`.
+///
+/// The lanes are contiguous (`u32`/`f64` slices), so batch prediction
+/// streams the whole ensemble through cache instead of chasing
+/// `Vec<Node>` pointers tree by tree.
+///
+/// The pool is derived from the trees at construction time and never
+/// serialized — [`RandomForest::decode`] rebuilds it.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct NodePool {
+    /// Split feature per node; [`LEAF_SENTINEL`] marks a leaf.
+    feature: Vec<u32>,
+    /// Split feature again, but `0` (a valid column) for leaves — the
+    /// branch-free lane the lockstep walker indexes rows with.
+    step_feature: Vec<u32>,
+    /// Split threshold per node (`0.0` for leaves).
+    threshold: Vec<f64>,
+    /// Absolute left-child id per node; leaves point at themselves.
+    left: Vec<u32>,
+    /// Absolute right-child id per node; leaves point at themselves.
+    right: Vec<u32>,
+    /// Leaf class (0/1) per node; `0` for splits.
+    class_of: Vec<u32>,
+    /// Nodes on the root-to-here path, inclusive — a leaf's entry is
+    /// the exact visited-node count of any walk ending there.
+    depth_of: Vec<u32>,
+    /// Absolute root id of each tree.
+    roots: Vec<u32>,
+    /// Maximum depth of each tree (nodes on the longest root-to-leaf
+    /// path) — the lockstep batch walker's iteration bound.
+    depths: Vec<u32>,
+}
+
+impl NodePool {
+    fn from_trees(trees: &[DecisionTree]) -> Self {
+        let total = trees.iter().map(|t| t.nodes.len()).sum();
+        let mut pool = NodePool {
+            feature: Vec::with_capacity(total),
+            step_feature: Vec::with_capacity(total),
+            threshold: Vec::with_capacity(total),
+            left: Vec::with_capacity(total),
+            right: Vec::with_capacity(total),
+            class_of: Vec::with_capacity(total),
+            depth_of: Vec::with_capacity(total),
+            roots: Vec::with_capacity(trees.len()),
+            depths: Vec::with_capacity(trees.len()),
+        };
+        for tree in trees {
+            let base = pool.feature.len() as u32;
+            pool.roots.push(base);
+            pool.depths.push(tree.depth() as u32);
+            for (id, node) in tree.nodes.iter().enumerate() {
+                let abs = base + id as u32;
+                match node {
+                    Node::Leaf { class } => {
+                        pool.feature.push(LEAF_SENTINEL);
+                        pool.step_feature.push(0);
+                        pool.threshold.push(0.0);
+                        pool.left.push(abs);
+                        pool.right.push(abs);
+                        pool.class_of.push(*class as u32);
+                    }
+                    Node::Split { feature, threshold, left, right } => {
+                        pool.feature.push(*feature as u32);
+                        pool.step_feature.push(*feature as u32);
+                        pool.threshold.push(*threshold);
+                        pool.left.push(base + *left);
+                        pool.right.push(base + *right);
+                        pool.class_of.push(0);
+                    }
+                }
+            }
+            // Per-node path depths, root = 1. Children may precede their
+            // parent in `nodes`, so walk explicitly instead of assuming
+            // a topological order.
+            let n = tree.nodes.len();
+            let mut stack = vec![(0u32, 1u32)];
+            let mut depth_rel = vec![0u32; n];
+            if n == 0 {
+                stack.clear();
+            }
+            while let Some((id, d)) = stack.pop() {
+                depth_rel[id as usize] = d;
+                if let Node::Split { left, right, .. } = &tree.nodes[id as usize] {
+                    stack.push((*left, d + 1));
+                    stack.push((*right, d + 1));
+                }
+            }
+            pool.depth_of.extend_from_slice(&depth_rel);
+        }
+        pool
+    }
+
+    /// Walks one tree root-to-leaf, returning the leaf class and the
+    /// number of nodes visited — the same count, node for node, as the
+    /// reference [`DecisionTree::predict_counting`], because the pool is
+    /// a pure re-layout of the same topology.
+    #[inline]
+    fn walk(&self, root: u32, features: &[f64]) -> (u32, u64) {
+        let mut idx = root as usize;
+        let mut visited = 0u64;
+        loop {
+            visited += 1;
+            let f = self.feature[idx];
+            if f == LEAF_SENTINEL {
+                return (self.class_of[idx], visited);
+            }
+            let l = self.left[idx];
+            let r = self.right[idx];
+            // Branchless child select: `<=` is false for NaN, so NaN
+            // features route right exactly like the reference walker.
+            idx = if features[f as usize] <= self.threshold[idx] { l } else { r } as usize;
+        }
+    }
+
+    /// Majority vote over all trees for one row, plus visited-node work.
+    fn predict_with_work(&self, features: &[f64]) -> (usize, u64) {
+        let mut votes = 0usize;
+        let mut work = 0u64;
+        for &root in &self.roots {
+            let (class, visited) = self.walk(root, features);
+            votes += class as usize;
+            work += visited;
+        }
+        (usize::from(votes * 2 > self.roots.len()), work)
+    }
+
+    /// Accumulates per-row votes for a block of at most [`BATCH_ROWS`]
+    /// rows, walking every tree over all rows in lockstep: each pass of
+    /// the inner loop advances every row by one level, so the
+    /// dependent-load chain of a single root-to-leaf walk is hidden
+    /// behind the independent loads of its 63 neighbours. The pass count
+    /// is the tree's precomputed max depth and rows that reach a leaf
+    /// early self-loop there via the same select as the child step —
+    /// the body has no data-dependent branches at all.
+    ///
+    /// `votes` is overwritten; `work` accrues the same visited-node
+    /// count, node for node, as the one-row [`Self::walk`]: each row
+    /// pays `depth_of` of the leaf it lands on — its exact path length.
+    fn predict_block(&self, rows: &[&[f64]], votes: &mut [u32], work: &mut u64) {
+        let m = rows.len();
+        debug_assert!(m <= BATCH_ROWS && votes.len() == m);
+        votes.fill(0);
+        let mut w = 0u64;
+        for (&root, &depth) in self.roots.iter().zip(&self.depths) {
+            let mut i = 0;
+            while i + PREDICT_LANES <= m {
+                let group: [&[f64]; PREDICT_LANES] =
+                    rows[i..i + PREDICT_LANES].try_into().expect("group width");
+                let leaves = self.walk_group(&group, root, depth);
+                for &leaf in &leaves {
+                    debug_assert_eq!(self.feature[leaf as usize], LEAF_SENTINEL);
+                    w += u64::from(self.depth_of[leaf as usize]);
+                }
+                for lane in 0..PREDICT_LANES {
+                    votes[i + lane] += self.class_of[leaves[lane] as usize];
+                }
+                i += PREDICT_LANES;
+            }
+            // Ragged tail: the plain serial walk, which counts its own
+            // exact path length.
+            for r in i..m {
+                let (class, visited) = self.walk(root, rows[r]);
+                votes[r] += class;
+                w += visited;
+            }
+        }
+        *work += w;
+    }
+
+    /// Walks `LANES` rows down one tree in lockstep, returning each
+    /// lane's leaf id. Each pass of the outer loop advances every lane
+    /// by one level, so the dependent-load chain of a single
+    /// root-to-leaf walk is hidden behind the independent loads of its
+    /// neighbours. The pass count is the tree's precomputed max depth;
+    /// lanes that reach a leaf early park there via the leaf's
+    /// self-loop children — the step body is the same
+    /// load/compare/select for every node kind, with no data-dependent
+    /// branch and no work bookkeeping (the caller reads `depth_of`).
+    #[inline]
+    fn walk_group<const LANES: usize>(
+        &self,
+        group: &[&[f64]; LANES],
+        root: u32,
+        depth: u32,
+    ) -> [u32; LANES] {
+        let mut cur = [root; LANES];
+        // A path of d nodes needs d-1 advances; `depth` bounds d.
+        for _ in 1..depth {
+            for lane in 0..LANES {
+                let node = cur[lane] as usize;
+                let f = self.step_feature[node] as usize;
+                // Branchless child select: `<=` is false for NaN, so
+                // NaN features route right like the reference walker
+                // (leaves self-loop either way). Both children load
+                // unconditionally so the pick lowers to a select, not a
+                // branch.
+                let go_left = group[lane][f] <= self.threshold[node];
+                let l = self.left[node];
+                let r = self.right[node];
+                cur[lane] = if go_left { l } else { r };
+            }
+        }
+        cur
+    }
+
+    /// Classifies a block of rows via [`Self::predict_block`].
+    fn predict_rows(&self, view: MatrixView<'_>, rows: std::ops::Range<usize>) -> (Vec<usize>, u64) {
+        let m = rows.len();
+        let mut row_refs: [&[f64]; BATCH_ROWS] = [&[]; BATCH_ROWS];
+        for (i, r) in rows.enumerate() {
+            row_refs[i] = view.row(r);
+        }
+        let mut votes = [0u32; BATCH_ROWS];
+        let mut work = 0u64;
+        self.predict_block(&row_refs[..m], &mut votes[..m], &mut work);
+        let n = self.roots.len();
+        (votes[..m].iter().map(|&v| usize::from(v as usize * 2 > n)).collect(), work)
+    }
+}
+
 /// A bagged ensemble of CART trees with majority voting.
+///
+/// The `trees` keep the pointer-style arena representation (the golden
+/// reference for traversal order, work counting and the codec); `pool`
+/// is the flat SoA lowering every prediction path actually walks.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RandomForest {
     trees: Vec<DecisionTree>,
     dims: usize,
+    pool: NodePool,
 }
 
 impl RandomForest {
@@ -460,7 +710,14 @@ impl RandomForest {
             let mut tree_rng = tree_rng.clone();
             DecisionTree::fit_view(view, y, bag, &tree_config, &mut tree_rng)
         });
-        Ok(RandomForest { trees, dims })
+        Ok(RandomForest::from_trees(trees, dims))
+    }
+
+    /// Assembles a forest from fitted trees, lowering them into the flat
+    /// SoA node pool that prediction walks.
+    fn from_trees(trees: Vec<DecisionTree>, dims: usize) -> Self {
+        let pool = NodePool::from_trees(&trees);
+        RandomForest { trees, dims, pool }
     }
 
     /// Trains a forest on row-of-`Vec`s data (copies once into a flat
@@ -507,8 +764,9 @@ impl RandomForest {
         if count > 1 << 16 {
             return Err(DecodeError::Corrupt("tree count"));
         }
-        let trees = (0..count).map(|_| DecisionTree::decode_from(&mut d)).collect::<Result<_, _>>()?;
-        Ok(RandomForest { trees, dims })
+        let trees: Vec<DecisionTree> =
+            (0..count).map(|_| DecisionTree::decode_from(&mut d)).collect::<Result<_, _>>()?;
+        Ok(RandomForest::from_trees(trees, dims))
     }
 }
 
@@ -518,19 +776,65 @@ impl Classifier for RandomForest {
     }
 
     fn predict(&self, features: &[f64]) -> usize {
-        let votes: usize = self.trees.iter().map(|t| t.predict(features)).sum();
-        usize::from(votes * 2 > self.trees.len())
+        self.pool.predict_with_work(features).0
     }
 
     fn predict_with_work(&self, features: &[f64]) -> (usize, u64) {
-        let mut votes = 0usize;
+        self.pool.predict_with_work(features)
+    }
+
+    fn predict_batch(&self, view: MatrixView<'_>) -> Vec<usize> {
+        self.predict_batch_with_work(view).0
+    }
+
+    fn predict_batch_with_work(&self, view: MatrixView<'_>) -> (Vec<usize>, u64) {
+        // Fixed-size row blocks keep the split deterministic at any
+        // thread count; each block walks the shared SoA pool in lockstep.
+        let parts = par::par_chunks(view.n_rows(), BATCH_ROWS, |r| self.pool.predict_rows(view, r));
+        let mut classes = Vec::with_capacity(view.n_rows());
         let mut work = 0u64;
-        for tree in &self.trees {
-            let (class, visited) = tree.predict_counting(features);
-            votes += class;
-            work += visited;
+        for (part, w) in parts {
+            classes.extend(part);
+            work += w;
         }
-        (usize::from(votes * 2 > self.trees.len()), work)
+        (classes, work)
+    }
+
+    fn predict_batch_into(&self, view: MatrixView<'_>, out: &mut Vec<usize>) -> u64 {
+        // Serial lockstep with the trees on the OUTER loop: each tree's
+        // node lanes are pulled into cache once and stay hot across the
+        // whole matrix, instead of being re-fetched per row block. The
+        // walks and work totals are node-for-node identical to the
+        // parallel batch; `out` doubles as the vote accumulator, so the
+        // only heap touch is its one-time growth to `n_rows`.
+        let n_rows = view.n_rows();
+        out.clear();
+        out.resize(n_rows, 0);
+        let n = self.pool.roots.len();
+        let mut work = 0u64;
+        for (&root, &depth) in self.pool.roots.iter().zip(&self.pool.depths) {
+            let mut i = 0;
+            while i + PREDICT_LANES <= n_rows {
+                let group: [&[f64]; PREDICT_LANES] = std::array::from_fn(|l| view.row(i + l));
+                let leaves = self.pool.walk_group(&group, root, depth);
+                for &leaf in &leaves {
+                    work += u64::from(self.pool.depth_of[leaf as usize]);
+                }
+                for lane in 0..PREDICT_LANES {
+                    out[i + lane] += self.pool.class_of[leaves[lane] as usize] as usize;
+                }
+                i += PREDICT_LANES;
+            }
+            for (r, votes) in out.iter_mut().enumerate().skip(i) {
+                let (class, visited) = self.pool.walk(root, view.row(r));
+                *votes += class as usize;
+                work += visited;
+            }
+        }
+        for votes in out.iter_mut() {
+            *votes = usize::from(*votes * 2 > n);
+        }
+        work
     }
 
     fn encode(&self) -> Vec<u8> {
@@ -726,6 +1030,42 @@ mod tests {
             assert_eq!(class, forest.predict(xi));
             assert!(work >= forest.n_trees() as u64, "work {work}");
             assert!(work <= forest.total_nodes() as u64, "work {work}");
+        }
+    }
+
+    /// The flat SoA walker is a pure re-layout: across seeds (and with
+    /// NaN probes mixed in) it must agree with the pointer-chasing
+    /// reference trees on every class *and* every visited-node count —
+    /// the counts feed the byte-pinned predict-work telemetry.
+    #[test]
+    fn soa_walker_matches_reference_trees_across_seeds() {
+        for seed in [21u64, 22, 23, 24, 25] {
+            let mut rng = SimRng::seed_from(seed);
+            let (mut x, y) = xor(250, &mut rng);
+            for i in (0..x.len()).step_by(11) {
+                x[i][0] = f64::NAN;
+            }
+            let forest =
+                RandomForest::fit(&x, &y, &ForestConfig { n_trees: 9, ..Default::default() }, &mut rng)
+                    .unwrap();
+            let m = FeatureMatrix::from_rows(&x).unwrap();
+            let (batch, batch_work) = forest.predict_batch_with_work(m.view());
+            let mut reference_work = 0u64;
+            for (i, xi) in x.iter().enumerate() {
+                let mut votes = 0usize;
+                let mut work = 0u64;
+                for tree in &forest.trees {
+                    let (class, visited) = tree.predict_counting(xi);
+                    votes += class;
+                    work += visited;
+                }
+                let reference = usize::from(votes * 2 > forest.trees.len());
+                assert_eq!(forest.predict(xi), reference, "row {i} seed {seed}");
+                assert_eq!(forest.predict_with_work(xi), (reference, work), "row {i} seed {seed}");
+                assert_eq!(batch[i], reference, "batch row {i} seed {seed}");
+                reference_work += work;
+            }
+            assert_eq!(batch_work, reference_work, "seed {seed}");
         }
     }
 

@@ -1,0 +1,128 @@
+//! Proof that steady-state batch prediction is allocation-free.
+//!
+//! A counting global allocator wraps the system allocator (the same
+//! harness as `netsim`'s flood test; the crate-level
+//! `#![forbid(unsafe_code)]` covers `src/`, the shim lives in this
+//! integration test only). After one warm-up pass grows every reusable
+//! buffer — the caller's prediction `Vec`, the CNN's thread-local
+//! im2col scratch — repeated `predict_batch_into` sweeps over a random
+//! forest and repeated single-row CNN predictions must perform **zero**
+//! heap allocations.
+//!
+//! This is the teeth behind ISSUE 6's inference memory model: the SoA
+//! node pool walks flat slices, the im2col path reuses one scratch per
+//! thread, and any regression that reintroduces a per-row or per-layer
+//! `Vec` fails here rather than showing up only as a bench slowdown.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ml::classifier::Classifier;
+use ml::cnn::{Cnn, CnnConfig};
+use ml::matrix::FeatureMatrix;
+use ml::rf::{ForestConfig, RandomForest};
+use netsim::rng::SimRng;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// `true` only on the test thread (both measured paths are serial) —
+    /// the libtest main thread lazily allocates channel-wait state at a
+    /// wall-clock-dependent moment, which must not count against us.
+    /// Const-initialised so the allocator's read never itself allocates.
+    static COUNTING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn count_here() {
+    if COUNTING.try_with(std::cell::Cell::get).unwrap_or(false) {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_here();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count_here();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_here();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+const DIMS: usize = 23;
+
+fn synth(n: usize, seed: u64) -> (FeatureMatrix, Vec<usize>) {
+    let mut rng = SimRng::seed_from(seed);
+    let mut matrix = FeatureMatrix::new(DIMS);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let class = rng.chance(0.5);
+        let shift = if class { 0.8 } else { 0.0 };
+        let row: Vec<f64> = (0..DIMS).map(|_| rng.standard_normal() + shift).collect();
+        matrix.push_row(&row);
+        labels.push(usize::from(class));
+    }
+    (matrix, labels)
+}
+
+#[test]
+fn steady_state_prediction_allocates_nothing() {
+    let (matrix, labels) = synth(400, 99);
+    let mut rng = SimRng::seed_from(7);
+    let forest = RandomForest::fit_view(
+        matrix.view(),
+        &labels,
+        &ForestConfig { n_trees: 9, ..ForestConfig::default() },
+        &mut rng,
+    )
+    .unwrap();
+    let cnn_config = CnnConfig { input_len: DIMS, epochs: 1, ..CnnConfig::default() };
+    let cnn = Cnn::fit_view(matrix.view(), &labels, &cnn_config, &mut rng).unwrap();
+
+    // Warm-up: grow the caller's output buffer and the CNN's
+    // thread-local im2col scratch to their working set.
+    let mut predictions = Vec::new();
+    let warm_work = forest.predict_batch_into(matrix.view(), &mut predictions);
+    assert!(warm_work > 0);
+    assert_eq!(predictions.len(), matrix.n_rows());
+    let warm_class = cnn.predict(matrix.row(0));
+
+    // Steady state: full-dataset forest sweeps and per-row CNN calls,
+    // with the allocator watching.
+    COUNTING.with(|c| c.set(true));
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut checksum = 0usize;
+    for _ in 0..5 {
+        forest.predict_batch_into(matrix.view(), &mut predictions);
+        checksum += predictions.iter().sum::<usize>();
+    }
+    for i in 0..matrix.n_rows() {
+        checksum += cnn.predict(matrix.row(i));
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    COUNTING.with(|c| c.set(false));
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state prediction allocated {} times (checksum {checksum})",
+        after - before
+    );
+    assert_eq!(cnn.predict(matrix.row(0)), warm_class);
+}

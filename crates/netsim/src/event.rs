@@ -4,9 +4,19 @@
 //! [`World`](crate::world::World) loop. Ties at equal timestamps break on
 //! a monotonically increasing sequence number, which makes execution order
 //! a *total* order and therefore the whole simulation deterministic.
+//!
+//! The queue itself is a hierarchical timer wheel (4 levels × 64 slots,
+//! ~1 µs ticks) with a [`BinaryHeap`] spillover for far-future events:
+//! `schedule`/`pop` touch one slot instead of sifting a heap of every
+//! pending event. Wheel entries live in one slab arena threaded through
+//! intrusive free/slot lists, so constructing a queue allocates nothing,
+//! cascading a slot is pure pointer relinking, and a warmed-up
+//! simulation schedules and pops without allocating (the arena, ready
+//! run and overflow heap all keep their high-water capacity).
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+use std::mem;
 
 use crate::faults::FaultAction;
 use crate::ids::{AppId, ConnId, LinkId, NodeId, TimerId};
@@ -102,7 +112,60 @@ impl Ord for Scheduled {
     }
 }
 
+/// Tick granularity: 2^10 ns ≈ 1 µs. Coarser than packet timestamps, so
+/// ordering *within* a tick always comes from the `(time, seq)` sort of
+/// the drained slot, never from slot placement.
+const TICK_SHIFT: u32 = 10;
+/// log2 of the slots per wheel level.
+const LEVEL_BITS: u32 = 6;
+/// Slots per level (must match the `u64` occupancy bitmap).
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Wheel levels; spans `SLOTS^LEVELS` ticks ≈ 17 s of simulated time
+/// before events spill into the overflow heap.
+const LEVELS: usize = 4;
+const SLOT_MASK: u64 = (SLOTS - 1) as u64;
+/// Null link in the slab arena's intrusive lists.
+const NIL: u32 = u32::MAX;
+
+/// One slab-arena cell: a scheduled event plus the intrusive link that
+/// threads it onto a slot list (or the free list once recycled). Cells
+/// are never deallocated individually — freeing pushes the index onto
+/// the free list, so a warmed-up wheel recycles nodes without touching
+/// the allocator. Keeping the link inline (rather than a `Vec` per
+/// slot) is what lets 256 slots exist with zero up-front allocation.
+#[derive(Debug)]
+struct Node {
+    item: Scheduled,
+    next: u32,
+}
+
+#[inline]
+fn tick_of(time: SimTime) -> u64 {
+    time.as_nanos() >> TICK_SHIFT
+}
+
+/// Smallest occupied slot strictly after `idx`, if any.
+#[inline]
+fn next_occupied(occ: u64, idx: usize) -> Option<usize> {
+    let ahead = if idx + 1 >= SLOTS { 0 } else { occ & (u64::MAX << (idx + 1)) };
+    if ahead == 0 {
+        None
+    } else {
+        Some(ahead.trailing_zeros() as usize)
+    }
+}
+
 /// A deterministic time-ordered event queue.
+///
+/// Internally a hierarchical timer wheel: level `k` holds events whose
+/// tick shares the cursor's `64^(k+1)`-tick window but not the
+/// `64^k`-tick one, slotted by tick digit `k`. Events beyond the top
+/// window live in a spillover min-heap; events at or before the cursor
+/// sit in a sorted ready run. The cursor only moves forward, hopping
+/// directly to the next occupied slot (no tick-by-tick idling), and
+/// every slot drain re-sorts by `(time, seq)` — so pops are globally
+/// ordered and same-time events still pop in insertion order, exactly
+/// like the plain binary heap this replaces.
 ///
 /// ```
 /// use netsim::event::{Event, EventQueue};
@@ -115,11 +178,46 @@ impl Ord for Scheduled {
 /// let (t, _) = q.pop().unwrap();
 /// assert_eq!(t, SimTime::from_secs(1));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Scheduled>,
+    /// Events with tick ≤ `cur`, sorted by `(time, seq)` — the pop front.
+    ready: VecDeque<Scheduled>,
+    /// Slab storage for every event filed in the wheel.
+    arena: Vec<Node>,
+    /// Head of the intrusive free list of recycled arena cells.
+    free_head: u32,
+    /// Per-slot list heads into `arena`; `NIL` exactly where `occupied`
+    /// has a clear bit.
+    heads: [[u32; SLOTS]; LEVELS],
+    /// Per-level occupancy bitmaps.
+    occupied: [u64; LEVELS],
+    /// Far-future events (tick outside the cursor's top-level window).
+    overflow: BinaryHeap<Scheduled>,
+    /// Reused buffer for sorting a drained level-0 slot.
+    scratch: Vec<Scheduled>,
+    /// Cursor tick. Monotonic; all wheel events are strictly after it.
+    cur: u64,
+    len: usize,
     next_seq: u64,
     scheduled_total: u64,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue {
+            ready: VecDeque::new(),
+            arena: Vec::new(),
+            free_head: NIL,
+            heads: [[NIL; SLOTS]; LEVELS],
+            occupied: [0; LEVELS],
+            overflow: BinaryHeap::new(),
+            scratch: Vec::new(),
+            cur: 0,
+            len: 0,
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
 }
 
 impl EventQueue {
@@ -133,32 +231,208 @@ impl EventQueue {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(Scheduled { time, seq, event });
+        self.len += 1;
+        self.insert(Scheduled { time, seq, event });
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        self.heap.pop().map(|s| (s.time, s.event))
+        self.refill_ready();
+        let s = self.ready.pop_front()?;
+        self.len -= 1;
+        Some((s.time, s.event))
     }
 
     /// Timestamp of the earliest pending event.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.time)
+    ///
+    /// Takes `&mut self`: peeking may advance the wheel cursor to the
+    /// next occupied slot (which never changes *what* is earliest, only
+    /// where it is stored).
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.refill_ready();
+        self.ready.front().map(|s| s.time)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Total number of events ever scheduled (including processed ones).
     pub fn scheduled_total(&self) -> u64 {
         self.scheduled_total
+    }
+
+    /// Files one event into the ready run, the wheel, or the overflow.
+    ///
+    /// Level choice is by *window sharing*, not delta: the event goes to
+    /// the smallest level whose window (tick with the low `6·(k+1)` bits
+    /// dropped) matches the cursor's. Delta-based placement would let an
+    /// event land in a slot the cursor has already passed this rotation;
+    /// window sharing makes every chosen slot strictly ahead of the
+    /// cursor's index at that level.
+    fn insert(&mut self, s: Scheduled) {
+        let t = tick_of(s.time);
+        if t <= self.cur {
+            let pos = self.ready.partition_point(|e| (e.time, e.seq) < (s.time, s.seq));
+            self.ready.insert(pos, s);
+            return;
+        }
+        if let Some((k, slot)) = self.wheel_home(t) {
+            let idx = self.alloc_node(s);
+            self.link(k, slot, idx);
+            return;
+        }
+        self.overflow.push(s);
+    }
+
+    /// `(level, slot)` for tick `t`, or `None` when `t` lies outside the
+    /// cursor's top-level window (→ overflow heap). Level choice is the
+    /// window-sharing rule documented on [`Self::insert`].
+    #[inline]
+    fn wheel_home(&self, t: u64) -> Option<(usize, usize)> {
+        for k in 0..LEVELS {
+            let window_shift = LEVEL_BITS * (k as u32 + 1);
+            if t >> window_shift == self.cur >> window_shift {
+                let slot = ((t >> (LEVEL_BITS * k as u32)) & SLOT_MASK) as usize;
+                return Some((k, slot));
+            }
+        }
+        None
+    }
+
+    /// Takes a cell from the free list, or grows the slab.
+    fn alloc_node(&mut self, item: Scheduled) -> u32 {
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            let node = &mut self.arena[idx as usize];
+            self.free_head = node.next;
+            node.item = item;
+            return idx;
+        }
+        debug_assert!(self.arena.len() < NIL as usize, "slab index space exhausted");
+        self.arena.push(Node { item, next: NIL });
+        (self.arena.len() - 1) as u32
+    }
+
+    /// Returns a cell to the free list (its stale item stays in place
+    /// until the cell is reused).
+    fn free_node(&mut self, idx: u32) {
+        self.arena[idx as usize].next = self.free_head;
+        self.free_head = idx;
+    }
+
+    /// Pushes cell `idx` onto the head of a slot list.
+    fn link(&mut self, level: usize, slot: usize, idx: u32) {
+        self.arena[idx as usize].next = self.heads[level][slot];
+        self.heads[level][slot] = idx;
+        self.occupied[level] |= 1 << slot;
+    }
+
+    /// Moves the event out of cell `idx`, leaving a placeholder.
+    fn take_item(&mut self, idx: u32) -> Scheduled {
+        let placeholder =
+            Scheduled { time: SimTime::ZERO, seq: 0, event: Event::AppStart { app: AppId::from_raw(0) } };
+        mem::replace(&mut self.arena[idx as usize].item, placeholder)
+    }
+
+    /// Re-files one cascading cell after a cursor jump: relinks it into
+    /// its new (strictly lower) wheel slot without touching the event,
+    /// or — when its tick now sits at the cursor — recycles the cell and
+    /// moves the event into the ready run.
+    fn refile(&mut self, idx: u32) {
+        let t = tick_of(self.arena[idx as usize].item.time);
+        if t > self.cur {
+            if let Some((k, slot)) = self.wheel_home(t) {
+                self.link(k, slot, idx);
+                return;
+            }
+            // Unreachable in practice: a cascaded event shared the old
+            // cursor's window and the cursor only moved forward inside
+            // it. `insert` below still files it correctly if not.
+        }
+        let s = self.take_item(idx);
+        self.free_node(idx);
+        self.insert(s);
+    }
+
+    /// Ensures the ready run is non-empty unless the queue is drained.
+    fn refill_ready(&mut self) {
+        while self.ready.is_empty() {
+            if !self.advance() {
+                return;
+            }
+        }
+    }
+
+    /// One cursor hop toward the next pending event. Drains the nearest
+    /// occupied level-0 slot into the ready run, or cascades one
+    /// higher-level slot (re-filing its events a level down), or pulls
+    /// the next top-level window out of the overflow heap. Returns
+    /// `false` when nothing is pending outside the ready run.
+    ///
+    /// Lower levels are always exhausted first: a level-k event shares
+    /// the cursor's level-k window but not its level-(k-1) window, so it
+    /// is strictly later than every event still filed below level k.
+    fn advance(&mut self) -> bool {
+        // Level 0 drains straight into the ready run.
+        let idx0 = (self.cur & SLOT_MASK) as usize;
+        if let Some(slot) = next_occupied(self.occupied[0], idx0) {
+            self.cur = (self.cur & !SLOT_MASK) | slot as u64;
+            self.occupied[0] &= !(1 << slot);
+            let mut idx = mem::replace(&mut self.heads[0][slot], NIL);
+            debug_assert!(self.scratch.is_empty());
+            while idx != NIL {
+                let next = self.arena[idx as usize].next;
+                let item = self.take_item(idx);
+                self.free_node(idx);
+                self.scratch.push(item);
+                idx = next;
+            }
+            self.scratch.sort_unstable_by_key(|e| (e.time, e.seq));
+            self.ready.extend(self.scratch.drain(..));
+            return true;
+        }
+        // Higher levels cascade: jump the cursor to the slot's window
+        // start, then re-file each event. It lands a level down — a pure
+        // relink of the same slab cell — or, when it sits exactly on the
+        // new cursor tick, moves into the ready run.
+        for k in 1..LEVELS {
+            let shift = LEVEL_BITS * k as u32;
+            let idx_k = ((self.cur >> shift) & SLOT_MASK) as usize;
+            if let Some(slot) = next_occupied(self.occupied[k], idx_k) {
+                let window = 1u64 << (shift + LEVEL_BITS);
+                self.cur = (self.cur & !(window - 1)) | ((slot as u64) << shift);
+                self.occupied[k] &= !(1 << slot);
+                let mut idx = mem::replace(&mut self.heads[k][slot], NIL);
+                while idx != NIL {
+                    let next = self.arena[idx as usize].next;
+                    self.refile(idx);
+                    idx = next;
+                }
+                return true;
+            }
+        }
+        // Wheel exhausted: jump to the earliest far-future window and
+        // pull every overflow event that shares it.
+        let Some(min) = self.overflow.peek() else {
+            return false;
+        };
+        let top_shift = LEVEL_BITS * LEVELS as u32;
+        self.cur = (tick_of(min.time) >> top_shift) << top_shift;
+        while let Some(top) = self.overflow.peek() {
+            if tick_of(top.time) >> top_shift != self.cur >> top_shift {
+                break;
+            }
+            let e = self.overflow.pop().expect("peeked entry");
+            self.insert(e);
+        }
+        true
     }
 }
 
@@ -205,7 +479,61 @@ mod tests {
             std::mem::size_of::<Event>()
         );
         assert!(std::mem::size_of::<Scheduled>() <= 56);
+        assert!(std::mem::size_of::<Node>() <= 64, "slab cell outgrew a cache line");
         assert_eq!(std::mem::size_of::<crate::pool::PacketId>(), 8);
+    }
+
+    /// Randomized schedule/pop interleavings against a sorted-`Vec`
+    /// reference queue: deltas span every wheel level plus the overflow
+    /// heap, with duplicate timestamps to exercise the FIFO tie-break,
+    /// and pops may be followed by scheduling "in the past" relative to
+    /// the wheel cursor (the ready-run insert path).
+    #[test]
+    fn wheel_matches_sorted_reference_across_random_workloads() {
+        for seed in 0..8u64 {
+            let mut rng = crate::rng::SimRng::seed_from(seed);
+            let mut q = EventQueue::new();
+            let mut reference: Vec<(SimTime, u64, u32)> = Vec::new();
+            let mut seq = 0u64;
+            let mut id = 0u32;
+            let mut now = 0u64;
+            let mut ops = 0;
+            while ops < 3000 || !reference.is_empty() {
+                ops += 1;
+                let scheduling = ops < 3000 && (reference.is_empty() || rng.chance(0.55));
+                if scheduling {
+                    let delta = match rng.below(5) {
+                        0 => 0, // exact duplicate of `now`
+                        1 => rng.below(1 << 8),
+                        2 => rng.below(1 << 14), // level 1-2 spans
+                        3 => rng.below(1 << 24), // level 3 span
+                        _ => rng.below(1 << 38), // overflow heap
+                    };
+                    let t = SimTime::from_nanos(now + delta);
+                    q.schedule(t, start(id));
+                    reference.push((t, seq, id));
+                    seq += 1;
+                    id += 1;
+                } else {
+                    let min = reference
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| (e.0, e.1))
+                        .map(|(i, _)| i)
+                        .expect("reference non-empty");
+                    let (rt, _, rid) = reference.remove(min);
+                    assert_eq!(q.peek_time(), Some(rt), "seed {seed} op {ops}");
+                    let (t, Event::AppStart { app }) = q.pop().expect("queue non-empty") else {
+                        panic!("unexpected event kind");
+                    };
+                    assert_eq!((t, app.as_raw()), (rt, rid), "seed {seed} op {ops}");
+                    now = t.as_nanos();
+                }
+                assert_eq!(q.len(), reference.len());
+            }
+            assert!(q.is_empty());
+            assert_eq!(q.peek_time(), None);
+        }
     }
 
     #[test]

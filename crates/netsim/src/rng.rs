@@ -143,13 +143,7 @@ impl SimRng {
     ///
     /// Panics if the shape is not positive or `lo >= hi`.
     pub fn bounded_pareto(&mut self, shape: f64, lo: f64, hi: f64) -> f64 {
-        assert!(shape > 0.0, "invalid pareto shape: {shape}");
-        assert!(lo > 0.0 && lo < hi, "invalid pareto bounds [{lo}, {hi}]");
-        let u = self.uniform();
-        let la = lo.powf(shape);
-        let ha = hi.powf(shape);
-        // Inverse CDF of the truncated Pareto distribution.
-        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / shape)
+        BoundedPareto::new(shape, lo, hi).sample(self)
     }
 
     /// A Zipf-distributed rank in `[0, n)` with exponent `s` (popularity
@@ -196,6 +190,41 @@ impl RngCore for SimRng {
     }
 }
 
+/// A bounded Pareto sampler with the bound powers precomputed.
+///
+/// [`SimRng::bounded_pareto`] pays two `powf` calls per draw just to
+/// re-derive `lo^shape` and `hi^shape`; batch users (catalogue
+/// generation draws hundreds of sizes with fixed bounds) build one of
+/// these instead. Per-sample arithmetic is identical expression for
+/// expression, so the sampler produces bit-for-bit the same variates as
+/// the convenience method.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedPareto {
+    la: f64,
+    ha: f64,
+    neg_inv_shape: f64,
+}
+
+impl BoundedPareto {
+    /// Precomputes the sampler for `shape` over `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not positive or `lo >= hi`.
+    pub fn new(shape: f64, lo: f64, hi: f64) -> Self {
+        assert!(shape > 0.0, "invalid pareto shape: {shape}");
+        assert!(lo > 0.0 && lo < hi, "invalid pareto bounds [{lo}, {hi}]");
+        BoundedPareto { la: lo.powf(shape), ha: hi.powf(shape), neg_inv_shape: -1.0 / shape }
+    }
+
+    /// Draws one variate (consumes exactly one uniform from `rng`).
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        let u = rng.uniform();
+        // Inverse CDF of the truncated Pareto distribution.
+        (-(u * self.ha - u * self.la - self.ha) / (self.ha * self.la)).powf(self.neg_inv_shape)
+    }
+}
+
 /// Precomputed cumulative weights for repeated Zipf sampling.
 #[derive(Debug, Clone)]
 pub struct ZipfTable {
@@ -212,9 +241,19 @@ impl ZipfTable {
         assert!(n > 0, "zipf over empty support");
         let mut cdf = Vec::with_capacity(n);
         let mut total = 0.0;
-        for rank in 1..=n {
-            total += 1.0 / (rank as f64).powf(s);
-            cdf.push(total);
+        if s == 1.0 {
+            // `powf(x, 1.0)` returns `x` exactly (IEEE 754 pow special
+            // case), so the classic-Zipf fast path is bit-identical to
+            // the general one while skipping a `powf` per rank.
+            for rank in 1..=n {
+                total += 1.0 / rank as f64;
+                cdf.push(total);
+            }
+        } else {
+            for rank in 1..=n {
+                total += 1.0 / (rank as f64).powf(s);
+                cdf.push(total);
+            }
         }
         for w in &mut cdf {
             *w /= total;

@@ -132,9 +132,10 @@ impl WorldObs {
         let advance_bounds = pow2_bounds(0, 32);
         // Per-link transmit queue depth: 1 up to 1024 packets.
         let depth_bounds = pow2_bounds(0, 10);
-        let phase_events = PHASE_NAMES.map(|name| phases.child(name).counter("events"));
+        let phase_scopes = PHASE_NAMES.map(|name| phases.child(name));
+        let phase_events = std::array::from_fn(|i| phase_scopes[i].counter("events"));
         let phase_advance_ns =
-            PHASE_NAMES.map(|name| phases.child(name).histogram("advance_ns", &advance_bounds));
+            std::array::from_fn(|i| phase_scopes[i].histogram("advance_ns", &advance_bounds));
         let queue_depth = scope.child("link").histogram("queue_depth", &depth_bounds);
         WorldObs {
             scope,

@@ -2,7 +2,7 @@
 //! addressed through dotted-name [`Scope`]s.
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::rc::Rc;
 
 use crate::export::{HistogramSnapshot, RunTelemetry};
@@ -42,14 +42,18 @@ impl HistData {
     }
 }
 
+/// Instrument names resolve through hash maps (creation-time cost is on
+/// the testbed-deploy path); the export sorts once at snapshot time, so
+/// rendered telemetry stays in the same lexicographic order a `BTreeMap`
+/// would give.
 #[derive(Debug)]
 pub(crate) struct RegistryInner {
     counters: Vec<u64>,
-    counter_names: BTreeMap<String, usize>,
+    counter_names: HashMap<String, usize>,
     gauges: Vec<i64>,
-    gauge_names: BTreeMap<String, usize>,
+    gauge_names: HashMap<String, usize>,
     hists: Vec<HistData>,
-    hist_names: BTreeMap<String, usize>,
+    hist_names: HashMap<String, usize>,
     trace: TraceLog,
 }
 
@@ -57,11 +61,11 @@ impl RegistryInner {
     fn new(trace_capacity: usize) -> Self {
         RegistryInner {
             counters: Vec::new(),
-            counter_names: BTreeMap::new(),
+            counter_names: HashMap::new(),
             gauges: Vec::new(),
-            gauge_names: BTreeMap::new(),
+            gauge_names: HashMap::new(),
             hists: Vec::new(),
-            hist_names: BTreeMap::new(),
+            hist_names: HashMap::new(),
             trace: TraceLog::new(trace_capacity),
         }
     }
@@ -111,33 +115,39 @@ impl Registry {
     /// trace events in emission order.
     pub fn snapshot(&self) -> RunTelemetry {
         let inner = self.inner.borrow();
+        let mut counters: Vec<(String, u64)> = inner
+            .counter_names
+            .iter()
+            .map(|(name, &slot)| (name.clone(), inner.counters[slot]))
+            .collect();
+        counters.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut gauges: Vec<(String, i64)> = inner
+            .gauge_names
+            .iter()
+            .map(|(name, &slot)| (name.clone(), inner.gauges[slot]))
+            .collect();
+        gauges.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut histograms: Vec<(String, HistogramSnapshot)> = inner
+            .hist_names
+            .iter()
+            .map(|(name, &slot)| {
+                let h = &inner.hists[slot];
+                (
+                    name.clone(),
+                    HistogramSnapshot {
+                        bounds: h.bounds.clone(),
+                        counts: h.counts.clone(),
+                        count: h.count,
+                        sum: h.sum,
+                    },
+                )
+            })
+            .collect();
+        histograms.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         RunTelemetry {
-            counters: inner
-                .counter_names
-                .iter()
-                .map(|(name, &slot)| (name.clone(), inner.counters[slot]))
-                .collect(),
-            gauges: inner
-                .gauge_names
-                .iter()
-                .map(|(name, &slot)| (name.clone(), inner.gauges[slot]))
-                .collect(),
-            histograms: inner
-                .hist_names
-                .iter()
-                .map(|(name, &slot)| {
-                    let h = &inner.hists[slot];
-                    (
-                        name.clone(),
-                        HistogramSnapshot {
-                            bounds: h.bounds.clone(),
-                            counts: h.counts.clone(),
-                            count: h.count,
-                            sum: h.sum,
-                        },
-                    )
-                })
-                .collect(),
+            counters,
+            gauges,
+            histograms,
             events: inner.trace.events.clone(),
             events_dropped: inner.trace.dropped,
         }
@@ -168,7 +178,11 @@ impl Scope {
         if self.prefix.is_empty() {
             name.to_string()
         } else {
-            format!("{}.{name}", self.prefix)
+            let mut full = String::with_capacity(self.prefix.len() + 1 + name.len());
+            full.push_str(&self.prefix);
+            full.push('.');
+            full.push_str(name);
+            full
         }
     }
 

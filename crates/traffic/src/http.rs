@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 
 use netsim::packet::Addr;
-use netsim::rng::{SimRng, ZipfTable};
+use netsim::rng::{BoundedPareto, SimRng, ZipfTable};
 use netsim::time::SimDuration;
 use netsim::world::{App, Ctx};
 use netsim::{ConnId, TcpEvent, TimerId};
@@ -35,9 +35,8 @@ impl Catalogue {
     /// Panics if `n == 0` or the bounds are invalid.
     pub fn generate(n: usize, min: usize, max: usize, rng: &mut SimRng) -> Self {
         assert!(n > 0, "empty catalogue");
-        let sizes = (0..n)
-            .map(|_| rng.bounded_pareto(1.2, min as f64, max as f64).round() as usize)
-            .collect();
+        let pareto = BoundedPareto::new(1.2, min as f64, max as f64);
+        let sizes = (0..n).map(|_| pareto.sample(rng).round() as usize).collect();
         Catalogue { sizes }
     }
 

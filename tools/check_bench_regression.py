@@ -1,16 +1,22 @@
 #!/usr/bin/env python3
-"""Guard against netsim hot-path benchmark regressions.
+"""Guard against hot-path benchmark regressions.
 
-Compares freshly measured criterion-shim JSON files against the
-committed reference (BENCH_netsim.json) and fails if any shared bench
-id got more than TOLERANCE slower. New benches (present only in the
-fresh run) and retired ones (present only in the reference) are
-reported but never fail the check — the reference is updated by
-committing a new BENCH_netsim.json alongside the change that moved it.
+Compares freshly measured criterion-shim JSON files against one or more
+committed references (BENCH_netsim.json, BENCH_ml.json) and fails if
+any shared bench id got more than TOLERANCE slower. By default, new
+benches (present only in the fresh run) and retired ones (present only
+in a reference) are reported but never fail the check — the reference
+is updated by committing a new BENCH file alongside the change that
+moved it. With --require-baselines, a fresh bench id with no committed
+baseline is an error: the smoke jobs use this so a renamed or
+newly-added bench cannot silently run unguarded.
 
-Usage: check_bench_regression.py REFERENCE FRESH [FRESH...]
+Usage:
+  check_bench_regression.py -r REFERENCE [-r REFERENCE...] \
+      [--require-baselines] FRESH [FRESH...]
 """
 
+import argparse
 import json
 import sys
 
@@ -23,11 +29,27 @@ def load(path):
 
 
 def main(argv):
-    if len(argv) < 3:
-        sys.exit(f"usage: {argv[0]} REFERENCE FRESH [FRESH...]")
-    reference = load(argv[1])
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-r",
+        "--reference",
+        action="append",
+        required=True,
+        help="committed baseline JSON (repeatable)",
+    )
+    parser.add_argument(
+        "--require-baselines",
+        action="store_true",
+        help="fail when a fresh bench id has no committed baseline",
+    )
+    parser.add_argument("fresh", nargs="+", help="criterion-shim JSON from this run")
+    args = parser.parse_args(argv[1:])
+
+    reference = {}
+    for path in args.reference:
+        reference.update(load(path))
     fresh = {}
-    for path in argv[2:]:
+    for path in args.fresh:
         fresh.update(load(path))
 
     failures = []
@@ -41,11 +63,15 @@ def main(argv):
         print(f"{status:4} {bench_id}: {ref_ns:.0f} -> {new_ns:.0f} ns/iter ({ratio:.2f}x)")
         if status == "FAIL":
             failures.append(bench_id)
-    for bench_id in sorted(set(fresh) - set(reference)):
+
+    unbaselined = sorted(set(fresh) - set(reference))
+    for bench_id in unbaselined:
         print(f"NEW  {bench_id}: {fresh[bench_id]:.0f} ns/iter (no reference)")
 
     if failures:
         sys.exit(f"benchmark regression >{TOLERANCE:.0%} in: {', '.join(failures)}")
+    if args.require_baselines and unbaselined:
+        sys.exit(f"benches without a committed baseline: {', '.join(unbaselined)}")
     print("no regressions beyond tolerance")
 
 
