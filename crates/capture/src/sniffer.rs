@@ -10,9 +10,10 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use netsim::buggify::{stream_seed, DecisionPoint};
 use netsim::packet::Packet;
 use netsim::tap::{PacketTap, TapMeta};
-use netsim::Addr;
+use netsim::{Addr, SimRng};
 
 use crate::record::PacketRecord;
 
@@ -36,6 +37,38 @@ impl SnifferFilter {
     }
 }
 
+/// Buggify-style perturbation of the capture path, keyed off the same
+/// `(swarm_seed, decision-point name)` stream derivation as the kernel's
+/// [`netsim::buggify`] layer so a swarm seed replays identically here
+/// too. Two independent streams: one decides whether a drain is
+/// partial, one decides whether a record's wire length is truncated.
+#[derive(Debug)]
+struct DrainChaos {
+    drain_rng: SimRng,
+    truncate_rng: SimRng,
+    intensity: f64,
+    partial_drains: u64,
+    truncated_records: u64,
+}
+
+impl DrainChaos {
+    fn new(swarm_seed: u64, intensity: f64) -> Self {
+        DrainChaos {
+            drain_rng: SimRng::seed_from(stream_seed(
+                swarm_seed,
+                DecisionPoint::CaptureDrainPartial.name(),
+            )),
+            truncate_rng: SimRng::seed_from(stream_seed(
+                swarm_seed,
+                DecisionPoint::CaptureRecordTruncate.name(),
+            )),
+            intensity,
+            partial_drains: 0,
+            truncated_records: 0,
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct SnifferState {
     records: Vec<PacketRecord>,
@@ -45,6 +78,8 @@ struct SnifferState {
     /// tail drop once `records.len()` reaches `n` (live IDS feed).
     capacity: Option<usize>,
     dropped_overflow: u64,
+    /// Optional perturbation layer; `None` keeps the hot path chaos-free.
+    chaos: Option<DrainChaos>,
 }
 
 /// The tap half: installed into the world.
@@ -97,7 +132,19 @@ impl PacketTap for Sniffer {
             }
         }
         state.captured_total += 1;
-        state.records.push(PacketRecord::from_packet(meta.time, packet));
+        let mut record = PacketRecord::from_packet(meta.time, packet);
+        if let Some(chaos) = state.chaos.as_mut() {
+            let p = DecisionPoint::CaptureRecordTruncate.base_probability() * chaos.intensity;
+            if chaos.truncate_rng.chance(p) {
+                // A truncated write: the record survives but reports a
+                // snaplen-style clipped wire length (never below the
+                // payload accounting's 1-byte floor).
+                let frac = chaos.truncate_rng.uniform_range(0.1, 0.9);
+                record.wire_len = ((record.wire_len as f64 * frac) as u32).max(1);
+                chaos.truncated_records += 1;
+            }
+        }
+        state.records.push(record);
     }
 }
 
@@ -119,8 +166,39 @@ impl SnifferHandle {
     pub fn drain_into(&self, out: &mut Vec<PacketRecord>) {
         out.clear();
         let mut state = self.state.borrow_mut();
+        let state = &mut *state;
         std::mem::swap(&mut state.records, out);
+        if let Some(chaos) = state.chaos.as_mut() {
+            let p = DecisionPoint::CaptureDrainPartial.base_probability() * chaos.intensity;
+            if out.len() >= 2 && chaos.drain_rng.chance(p) {
+                // Partial drain: a random suffix stays buffered, as if
+                // the consumer's read returned short. Conservation is
+                // preserved — the suffix counts as buffered, not drained.
+                let keep = chaos.drain_rng.int_range(1, out.len() as u64 - 1) as usize;
+                state.records.extend(out.drain(out.len() - keep..));
+                chaos.partial_drains += 1;
+            }
+        }
         state.drained_total += out.len() as u64;
+    }
+
+    /// Arms capture-path chaos (partial drains, truncated records) for
+    /// a swarm run. The streams are keyed by the same
+    /// [`netsim::buggify::stream_seed`] derivation as the kernel's
+    /// decision points, so one swarm seed drives the whole testbed.
+    pub fn set_chaos(&self, swarm_seed: u64, intensity: f64) {
+        self.state.borrow_mut().chaos = Some(DrainChaos::new(swarm_seed, intensity));
+    }
+
+    /// Disarms capture-path chaos.
+    pub fn clear_chaos(&self) {
+        self.state.borrow_mut().chaos = None;
+    }
+
+    /// `(partial_drains, truncated_records)` fired so far, or `None`
+    /// when chaos is disarmed.
+    pub fn chaos_counts(&self) -> Option<(u64, u64)> {
+        self.state.borrow().chaos.as_ref().map(|c| (c.partial_drains, c.truncated_records))
     }
 
     /// Total records handed to consumers via drains so far. Together
@@ -285,5 +363,75 @@ mod tests {
             );
         }
         assert!(handle.dropped_overflow() > 0, "test must exercise overflow");
+    }
+
+    #[test]
+    fn chaos_partial_drains_preserve_conservation() {
+        let (mut tap, handle) = sniffer_pair(SnifferFilter::All);
+        handle.set_chaos(1234, 20.0); // inflate so partial drains fire often
+        let mut buf = Vec::new();
+        let mut offered = 0u64;
+        for round in 0..50 {
+            for _ in 0..6 {
+                tap.on_packet(&meta(), &udp(Addr::new(1, 0, 0, 1), Addr::new(2, 0, 0, 1)));
+                offered += 1;
+            }
+            handle.drain_into(&mut buf);
+            assert_eq!(
+                handle.captured_total(),
+                handle.drained_total() + handle.buffered() as u64,
+                "conservation must survive chaos (round {round})"
+            );
+            assert_eq!(offered, handle.captured_total() + handle.dropped_overflow());
+        }
+        let (partials, _) = handle.chaos_counts().unwrap();
+        assert!(partials > 0, "chaos at 20x intensity must fire at least once");
+    }
+
+    #[test]
+    fn chaos_truncation_clips_wire_len_but_loses_no_record() {
+        let (mut tap, handle) = sniffer_pair(SnifferFilter::All);
+        handle.set_chaos(77, 100.0); // 100x => truncation probability 1.0
+        for _ in 0..20 {
+            tap.on_packet(&meta(), &udp(Addr::new(1, 0, 0, 1), Addr::new(2, 0, 0, 1)));
+        }
+        // Drain-partial chaos also always fires at this intensity, so
+        // keep draining until the buffer empties.
+        let mut records = Vec::new();
+        while handle.buffered() > 0 {
+            records.extend(handle.drain());
+        }
+        assert_eq!(records.len(), 20, "truncation must never drop records");
+        let (_, truncated) = handle.chaos_counts().unwrap();
+        assert_eq!(truncated, 20);
+        let untouched = {
+            let (mut tap2, handle2) = sniffer_pair(SnifferFilter::All);
+            tap2.on_packet(&meta(), &udp(Addr::new(1, 0, 0, 1), Addr::new(2, 0, 0, 1)));
+            handle2.drain()[0].wire_len
+        };
+        for r in &records {
+            assert!(r.wire_len >= 1);
+            assert!(r.wire_len < untouched, "truncated record must report a shorter wire");
+        }
+    }
+
+    #[test]
+    fn chaos_replays_identically_per_swarm_seed() {
+        let run = |seed: u64| {
+            let (mut tap, handle) = sniffer_pair(SnifferFilter::All);
+            handle.set_chaos(seed, 10.0);
+            let mut buf = Vec::new();
+            let mut trace = Vec::new();
+            for _ in 0..40 {
+                for _ in 0..4 {
+                    tap.on_packet(&meta(), &udp(Addr::new(1, 0, 0, 1), Addr::new(2, 0, 0, 1)));
+                }
+                handle.drain_into(&mut buf);
+                trace.push((buf.len(), handle.buffered()));
+            }
+            (trace, handle.chaos_counts().unwrap())
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
     }
 }

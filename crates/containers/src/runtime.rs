@@ -214,6 +214,12 @@ impl Runtime {
         &mut self.world
     }
 
+    /// Installs buggify decision-point perturbation on the underlying
+    /// world (swarm testing). Call before any container app starts.
+    pub fn set_buggify(&mut self, cfg: netsim::buggify::BuggifyConfig) {
+        self.world.set_buggify(cfg);
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.world.now()

@@ -46,6 +46,13 @@ impl ExperimentScale {
         ExperimentScale { capture_secs: 90, live_secs: 70, max_train_samples: 4_000, cnn_epochs: 4 }
     }
 
+    /// The swarm-testing profile: the shortest run that still trains a
+    /// two-class model and pushes a handful of windows through the live
+    /// IDS. A thousand-seed swarm must finish locally in minutes.
+    pub fn swarm() -> Self {
+        ExperimentScale { capture_secs: 30, live_secs: 30, max_train_samples: 1_500, cnn_epochs: 1 }
+    }
+
     /// The default benchmarking profile.
     pub fn standard() -> Self {
         ExperimentScale { capture_secs: 140, live_secs: 70, max_train_samples: 12_000, cnn_epochs: 6 }

@@ -28,6 +28,7 @@
 
 pub mod experiments;
 pub mod scenario;
+pub mod swarm;
 pub mod testbed;
 
 pub use experiments::{

@@ -3,6 +3,7 @@
 use botnet::commands::AttackVector;
 use botnet::flood::FloodConfig;
 use containers::runtime::BridgeMedium;
+use netsim::buggify::BuggifyConfig;
 use netsim::faults::FaultPlan;
 use netsim::link::LinkConfig;
 use netsim::rng::SimRng;
@@ -314,6 +315,11 @@ pub struct ScenarioConfig {
     pub attack_port: u16,
     /// Declarative fault injection (empty = a fault-free run).
     pub faults: FaultPlanConfig,
+    /// Buggify perturbation layer for swarm testing (disabled by
+    /// default, in which case the run is byte-identical to a build
+    /// without the layer).
+    #[serde(default)]
+    pub buggify: BuggifyConfig,
 }
 
 impl ScenarioConfig {
@@ -351,6 +357,7 @@ impl ScenarioConfig {
             churn_mean_down: SimDuration::from_secs(5),
             attack_port: 80,
             faults: FaultPlanConfig::default(),
+            buggify: BuggifyConfig::default(),
         }
     }
 
@@ -396,6 +403,12 @@ impl ScenarioConfig {
             problems.push(format!("link loss_rate {} outside [0, 1]", self.link.loss_rate));
         }
         self.faults.validate_into(self.devices, &mut problems);
+        if !(self.buggify.intensity.is_finite() && (0.0..=1.0).contains(&self.buggify.intensity)) {
+            problems.push(format!(
+                "buggify intensity {} outside [0, 1]",
+                self.buggify.intensity
+            ));
+        }
         if problems.is_empty() {
             Ok(())
         } else {

@@ -1,0 +1,304 @@
+//! Seed-swarm testing: the golden scenarios under buggify perturbation.
+//!
+//! A swarm run executes one golden scenario (chaos or lifecycle) with
+//! the [`netsim::buggify`] layer armed under a *swarm seed*, then checks
+//! machine-readable invariants: the run must not panic, the IDS must
+//! stay live (every window classified or degraded, indices strictly
+//! increasing), the sniffer feed must conserve records, the packet pool
+//! must stay healthy, and the virtual clock must land exactly where the
+//! phase arithmetic says. Monotone-clock and ChunkQueue-accounting
+//! checks ride along as `debug_assert!`s, which is why swarm binaries
+//! are built with debug assertions on (the `swarm` profile).
+//!
+//! A failing swarm seed replays bit-identically:
+//! [`SwarmReport::repro_command`] prints the exact command.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ids::pipeline::{IdsConfig, ModelKind, TrainedIds};
+use ml::kmeans::KMeansConfig;
+use netsim::buggify::BuggifyConfig;
+use netsim::rng::SimRng;
+use netsim::time::{SimDuration, SimTime};
+
+use crate::experiments::{chaos_scenario, lifecycle_scenario, run_training_capture, ExperimentScale};
+use crate::testbed::Testbed;
+
+/// Which golden scenario a swarm run perturbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwarmCase {
+    /// [`chaos_scenario`]: bridge outage, loss/jitter ramps, throttle,
+    /// CPU-pressure spike on the IDS.
+    Chaos,
+    /// [`lifecycle_scenario`]: device and TServer reboots mid-run.
+    Lifecycle,
+}
+
+impl SwarmCase {
+    /// All cases, in runner order.
+    pub const ALL: [SwarmCase; 2] = [SwarmCase::Chaos, SwarmCase::Lifecycle];
+
+    /// The case's stable command-line name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SwarmCase::Chaos => "chaos",
+            SwarmCase::Lifecycle => "lifecycle",
+        }
+    }
+
+    /// Parses a command-line name.
+    pub fn parse(s: &str) -> Option<SwarmCase> {
+        match s {
+            "chaos" => Some(SwarmCase::Chaos),
+            "lifecycle" => Some(SwarmCase::Lifecycle),
+            _ => None,
+        }
+    }
+}
+
+/// One violated invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwarmViolation {
+    /// Stable invariant name (`no-panic`, `ids-liveness`,
+    /// `feed-conservation`, `pool-health`, `clock-horizon`,
+    /// `determinism`).
+    pub invariant: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// The machine-readable outcome of one swarm run.
+#[derive(Debug, Clone)]
+pub struct SwarmReport {
+    /// Which golden scenario ran.
+    pub case: SwarmCase,
+    /// The scenario seed (fixed across a swarm).
+    pub scenario_seed: u64,
+    /// The buggify swarm seed (varies across a swarm).
+    pub swarm_seed: u64,
+    /// Every invariant violation found (empty = the run passed).
+    pub violations: Vec<SwarmViolation>,
+    /// Detection windows logged.
+    pub windows: usize,
+    /// Windows that ran degraded.
+    pub degraded: usize,
+    /// Total buggify decision-point fires.
+    pub buggify_fires: u64,
+    /// FNV-1a fingerprint over the detection log and deterministic
+    /// telemetry, for same-seed determinism comparisons.
+    pub fingerprint: u64,
+}
+
+impl SwarmReport {
+    /// `true` when every invariant held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The copy-pasteable command replaying this exact run.
+    pub fn repro_command(&self) -> String {
+        format!(
+            "cargo run --profile swarm --example swarm_run -- --case {} --seed {} --swarm-seed {}",
+            self.case.name(),
+            self.scenario_seed,
+            self.swarm_seed
+        )
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Trains the swarm's K-Means IDS once for a scenario seed. Every swarm
+/// seed replays the *same* trained model (training happens before the
+/// perturbed phase), so a runner trains once per scenario seed and
+/// clones per run.
+pub fn swarm_trained_ids(scenario_seed: u64, scale: &ExperimentScale) -> TrainedIds {
+    let capture = run_training_capture(scenario_seed, scale);
+    let ids_config =
+        IdsConfig { max_train_samples: scale.max_train_samples, ..IdsConfig::default() };
+    let mut rng = SimRng::seed_from(scenario_seed ^ 0x7ea1);
+    TrainedIds::train(
+        &capture,
+        &ModelKind::KMeans(KMeansConfig { k_max: 24, ..KMeansConfig::default() }),
+        ids_config,
+        &mut rng,
+    )
+    .expect("training capture contains both classes")
+    .ids
+}
+
+/// Runs one golden scenario under one buggify swarm seed and checks
+/// every invariant. Pure function of its arguments — a failing seed
+/// replays bit-identically.
+pub fn run_swarm_case(
+    case: SwarmCase,
+    scenario_seed: u64,
+    swarm_seed: u64,
+    scale: &ExperimentScale,
+    ids: &TrainedIds,
+) -> SwarmReport {
+    let epoch_offset = scale.capture_secs + 5;
+    let mut scenario = match case {
+        SwarmCase::Chaos => chaos_scenario(scenario_seed, scale.live_secs, epoch_offset),
+        SwarmCase::Lifecycle => lifecycle_scenario(scenario_seed, scale.live_secs, epoch_offset),
+    };
+    scenario.buggify = BuggifyConfig::swarm(swarm_seed);
+
+    let mut violations = Vec::new();
+    let ids = ids.clone();
+    let lead = scenario.infection_lead;
+    let live_secs = scale.live_secs;
+    let run = catch_unwind(AssertUnwindSafe(move || {
+        let mut tb = Testbed::deploy(scenario);
+        tb.run_infection_lead();
+        let _ = tb.run_capture(SimDuration::from_secs(epoch_offset));
+        let report = tb.run_live(SimDuration::from_secs(live_secs), ids);
+        let sniffer = tb.sniffer();
+        let feed = (
+            sniffer.captured_total(),
+            sniffer.drained_total(),
+            sniffer.buffered() as u64,
+            sniffer.dropped_overflow(),
+        );
+        let pool = tb.runtime().world().packet_pool();
+        let pool_health = (pool.live(), pool.high_water(), pool.capacity());
+        let fires: u64 =
+            tb.runtime().world().buggify_counts().iter().map(|&(_, _, f)| f).sum();
+        let now = tb.runtime().now();
+        let log_text = report.log.serialize_compact();
+        let liveness = report.log.liveness_violation();
+        let telemetry_text = report.telemetry.render_text();
+        let windows = report.log.len();
+        let degraded = report.log.degraded_count();
+        (feed, pool_health, fires, now, log_text, liveness, telemetry_text, windows, degraded)
+    }));
+
+    let (windows, degraded, fires, fingerprint) = match run {
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            violations.push(SwarmViolation { invariant: "no-panic", detail: msg });
+            (0, 0, 0, 0)
+        }
+        Ok((feed, pool, fires, now, log_text, liveness, telemetry_text, windows, degraded)) => {
+            let (captured, drained, buffered, _dropped) = feed;
+            if captured != drained + buffered {
+                violations.push(SwarmViolation {
+                    invariant: "feed-conservation",
+                    detail: format!(
+                        "captured {captured} != drained {drained} + buffered {buffered}"
+                    ),
+                });
+            }
+            let (live, high_water, capacity) = pool;
+            if !(live <= high_water && high_water <= capacity) {
+                violations.push(SwarmViolation {
+                    invariant: "pool-health",
+                    detail: format!(
+                        "live {live} <= high_water {high_water} <= capacity {capacity} violated"
+                    ),
+                });
+            }
+            if let Some(detail) = liveness {
+                violations.push(SwarmViolation { invariant: "ids-liveness", detail });
+            }
+            let expected =
+                SimTime::ZERO + lead + SimDuration::from_secs(epoch_offset + live_secs);
+            if now != expected {
+                violations.push(SwarmViolation {
+                    invariant: "clock-horizon",
+                    detail: format!("clock ended at {now:?}, expected {expected:?}"),
+                });
+            }
+            let mut fp = fnv1a(log_text.as_bytes());
+            fp ^= fnv1a(telemetry_text.as_bytes()).rotate_left(17);
+            (windows, degraded, fires, fp)
+        }
+    };
+
+    SwarmReport {
+        case,
+        scenario_seed,
+        swarm_seed,
+        violations,
+        windows,
+        degraded,
+        buggify_fires: fires,
+        fingerprint,
+    }
+}
+
+/// Runs a swarm seed twice and reports a `determinism` violation if the
+/// two runs' fingerprints differ. Used by the runner on a sample of
+/// seeds — the double run costs a full extra execution.
+pub fn check_determinism(
+    case: SwarmCase,
+    scenario_seed: u64,
+    swarm_seed: u64,
+    scale: &ExperimentScale,
+    ids: &TrainedIds,
+) -> Option<SwarmViolation> {
+    let a = run_swarm_case(case, scenario_seed, swarm_seed, scale, ids);
+    let b = run_swarm_case(case, scenario_seed, swarm_seed, scale, ids);
+    if a.fingerprint != b.fingerprint {
+        return Some(SwarmViolation {
+            invariant: "determinism",
+            detail: format!(
+                "same swarm seed {} produced fingerprints {:#018x} and {:#018x}",
+                swarm_seed, a.fingerprint, b.fingerprint
+            ),
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> ExperimentScale {
+        ExperimentScale::swarm()
+    }
+
+    #[test]
+    fn case_names_round_trip() {
+        for case in SwarmCase::ALL {
+            assert_eq!(SwarmCase::parse(case.name()), Some(case));
+        }
+        assert_eq!(SwarmCase::parse("nope"), None);
+    }
+
+    #[test]
+    fn swarm_run_engages_buggify_and_passes_invariants() {
+        let scale = tiny_scale();
+        let ids = swarm_trained_ids(11, &scale);
+        let report = run_swarm_case(SwarmCase::Chaos, 11, 1, &scale, &ids);
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert!(report.buggify_fires > 0, "the perturbation layer must engage");
+        assert!(report.windows > 0, "the IDS must classify windows");
+        assert!(report.repro_command().contains("--swarm-seed 1"));
+    }
+
+    #[test]
+    fn same_swarm_seed_reports_identical_fingerprints() {
+        let scale = tiny_scale();
+        let ids = swarm_trained_ids(11, &scale);
+        assert_eq!(check_determinism(SwarmCase::Chaos, 11, 2, &scale, &ids), None);
+        let a = run_swarm_case(SwarmCase::Chaos, 11, 3, &scale, &ids);
+        let b = run_swarm_case(SwarmCase::Chaos, 11, 4, &scale, &ids);
+        assert_ne!(
+            a.fingerprint, b.fingerprint,
+            "different swarm seeds must perturb the run differently"
+        );
+    }
+}

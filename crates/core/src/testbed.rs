@@ -145,6 +145,15 @@ impl Testbed {
         let (tap, sniffer) = sniffer_pair(SnifferFilter::Involving(tserver_addr));
         rt.world_mut().add_tap(Box::new(tap));
 
+        // Buggify swarm perturbation: armed before any app starts so
+        // every decision-point stream observes the run from its first
+        // event. One swarm seed drives both the kernel's decision
+        // points and the capture path's drain/truncate chaos.
+        if config.buggify.enabled {
+            rt.set_buggify(config.buggify);
+            sniffer.set_chaos(config.buggify.swarm_seed, config.buggify.intensity);
+        }
+
         // Fault injection: compile the declarative config into concrete
         // timestamped actions against the bridge and the IDS node. The
         // plan is scheduled up front, so the same seed always injects
@@ -338,6 +347,14 @@ impl Testbed {
     /// render byte-identical [`RunTelemetry::render_text`] output.
     pub fn telemetry(&mut self) -> RunTelemetry {
         self.rt.world_mut().publish_link_obs();
+        // Capture-path chaos counters mirror the kernel's buggify
+        // gauges: present only when armed, so baseline telemetry stays
+        // byte-identical to the golden fixtures.
+        if let Some((partial_drains, truncated_records)) = self.sniffer.chaos_counts() {
+            let scope = self.registry.scope("capture.chaos");
+            scope.gauge("partial_drains").set(partial_drains as i64);
+            scope.gauge("truncated_records").set(truncated_records as i64);
+        }
         self.registry.snapshot()
     }
 

@@ -98,6 +98,7 @@ impl Default for IdsConfig {
 }
 
 /// A trained IDS: scaler + model, ready for real-time detection.
+#[derive(Clone)]
 pub struct TrainedIds {
     model: Box<dyn Classifier>,
     scaler: Scaler,

@@ -113,6 +113,41 @@ impl DetectionLog {
         self.inner.borrow().iter().filter(|d| d.degraded).count()
     }
 
+    /// Checks the IDS liveness invariant for swarm runs: window indices
+    /// strictly increase (no window is processed twice or out of order,
+    /// none regresses), and every logged window carries a terminal
+    /// verdict — it was classified over at least one packet, or was
+    /// explicitly marked degraded. Returns the first violation as a
+    /// human-readable description, or `None` when the log is sane.
+    pub fn liveness_violation(&self) -> Option<String> {
+        let results = self.inner.borrow();
+        let mut prev: Option<u64> = None;
+        for d in results.iter() {
+            if let Some(p) = prev {
+                if d.window_index <= p {
+                    return Some(format!(
+                        "window index regressed: {} after {}",
+                        d.window_index, p
+                    ));
+                }
+            }
+            prev = Some(d.window_index);
+            if d.packets == 0 && !d.degraded {
+                return Some(format!(
+                    "window {} terminated with no packets and no degraded mark",
+                    d.window_index
+                ));
+            }
+            if d.correct > d.packets {
+                return Some(format!(
+                    "window {} claims {} correct of {} packets",
+                    d.window_index, d.correct, d.packets
+                ));
+            }
+        }
+        None
+    }
+
     /// Serialises the log as stable, human-diffable text: one line per
     /// window, integer fields only, in window order. Two runs of the
     /// same seeded scenario must produce byte-identical output — CI
@@ -482,6 +517,31 @@ mod tests {
         // Identical logs serialise byte-identically.
         let again = log.serialize_compact();
         assert_eq!(text, again);
+    }
+
+    #[test]
+    fn liveness_violation_flags_regression_and_lost_windows() {
+        let sane = DetectionLog::new();
+        sane.push(WindowDetection { window_index: 1, ..detection(1, 1, false) });
+        sane.push(WindowDetection { window_index: 2, ..detection(2, 2, false) });
+        assert_eq!(sane.liveness_violation(), None);
+
+        let regressed = DetectionLog::new();
+        regressed.push(WindowDetection { window_index: 5, ..detection(1, 1, false) });
+        regressed.push(WindowDetection { window_index: 5, ..detection(1, 1, false) });
+        assert!(regressed.liveness_violation().unwrap().contains("regressed"));
+
+        let lost = DetectionLog::new();
+        lost.push(WindowDetection { window_index: 1, packets: 0, ..detection(0, 0, false) });
+        assert!(lost.liveness_violation().unwrap().contains("no packets"));
+
+        let degraded_empty = DetectionLog::new();
+        degraded_empty.push(WindowDetection {
+            window_index: 1,
+            degraded: true,
+            ..detection(0, 0, false)
+        });
+        assert_eq!(degraded_empty.liveness_violation(), None, "degraded counts as terminal");
     }
 
     #[test]

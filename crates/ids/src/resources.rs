@@ -170,6 +170,9 @@ mod tests {
         fn memory_bytes(&self) -> u64 {
             4096
         }
+        fn clone_box(&self) -> Box<dyn Classifier> {
+            Box::new(Fixed)
+        }
     }
 
     #[test]

@@ -257,6 +257,10 @@ impl Classifier for Autoencoder {
             .sum();
         (params * std::mem::size_of::<f64>()) as u64
     }
+
+    fn clone_box(&self) -> Box<dyn Classifier> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -77,6 +77,17 @@ pub trait Classifier: Send + Sync {
     /// Approximate resident memory of the model's parameters and
     /// buffers, in bytes (the paper's "Memory" metric).
     fn memory_bytes(&self) -> u64;
+
+    /// Clones the model behind the trait object, so one training phase
+    /// can feed several independent deployments (e.g. a swarm of
+    /// buggify runs replaying the same trained IDS under many seeds).
+    fn clone_box(&self) -> Box<dyn Classifier>;
+}
+
+impl Clone for Box<dyn Classifier> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// Evaluates a classifier on the labelled rows of a matrix view,
@@ -168,6 +179,9 @@ mod tests {
         }
         fn memory_bytes(&self) -> u64 {
             1
+        }
+        fn clone_box(&self) -> Box<dyn Classifier> {
+            Box::new(Always(self.0))
         }
     }
 

@@ -722,6 +722,10 @@ impl Classifier for Cnn {
             + CLASSES * 2;
         ((self.parameter_count() + activations) * std::mem::size_of::<f64>()) as u64
     }
+
+    fn clone_box(&self) -> Box<dyn Classifier> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

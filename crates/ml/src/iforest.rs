@@ -285,6 +285,10 @@ impl Classifier for IsolationForest {
         let nodes: usize = self.trees.iter().map(|t| t.nodes.len()).sum();
         (nodes * std::mem::size_of::<Node>()) as u64
     }
+
+    fn clone_box(&self) -> Box<dyn Classifier> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

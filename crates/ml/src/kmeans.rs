@@ -448,6 +448,10 @@ impl Classifier for KMeansDetector {
         ((self.model.k() * dims + self.model.k()) * std::mem::size_of::<f64>()
             + self.cluster_labels.len() * std::mem::size_of::<usize>()) as u64
     }
+
+    fn clone_box(&self) -> Box<dyn Classifier> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -852,6 +852,10 @@ impl Classifier for RandomForest {
         // Arena nodes dominate: tag + feature + threshold + child ids.
         (self.total_nodes() * std::mem::size_of::<Node>()) as u64
     }
+
+    fn clone_box(&self) -> Box<dyn Classifier> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

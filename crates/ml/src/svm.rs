@@ -141,6 +141,10 @@ impl Classifier for LinearSvm {
     fn memory_bytes(&self) -> u64 {
         ((self.weights.len() + 1) * std::mem::size_of::<f64>()) as u64
     }
+
+    fn clone_box(&self) -> Box<dyn Classifier> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,359 @@
+//! FoundationDB-style buggify: deterministic decision-point perturbation.
+//!
+//! A *buggify* layer is the inverse of a declarative [`crate::faults`]
+//! plan: instead of the scenario author naming the hostile conditions in
+//! advance, the simulator itself perturbs every awkward decision point —
+//! link deliveries, TCP timers, container lifecycle, the sniffer feed,
+//! scheduler tie-breaks — under a dedicated *swarm seed*. Running the
+//! same golden scenario over thousands of swarm seeds exposes schedule
+//! bugs that a fixed fault plan never reaches, and because every draw is
+//! deterministic, a failing seed replays bit-identically.
+//!
+//! ## Stream discipline
+//!
+//! Each named [`DecisionPoint`] owns a private [`SimRng`] stream seeded
+//! by [`stream_seed`]`(swarm_seed, name)`. Points never share a stream,
+//! so adding a decision point (or changing how often one fires) cannot
+//! shift the draws of any other point, and none of the simulation's own
+//! RNG streams are touched: with buggify disabled the hot path pays one
+//! branch on a flag and consumes zero randomness, keeping byte-identity
+//! fixtures valid.
+//!
+//! ## Observability
+//!
+//! Every point counts evaluations and fires. The world exports them as
+//! `netsim.buggify.<point>.{evals,fires}` gauges — only when buggify is
+//! enabled, so disabled telemetry stays byte-identical to the golden
+//! fixtures while swarm telemetry stays byte-stable per seed.
+
+use crate::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Scenario-level buggify knob, carried through `ScenarioConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BuggifyConfig {
+    /// Master switch. Disabled costs one branch per decision point and
+    /// consumes no randomness.
+    #[serde(default)]
+    pub enabled: bool,
+    /// Swarm seed keying every decision-point stream. Independent of
+    /// the scenario seed: the same workload can be replayed under many
+    /// different perturbation schedules.
+    #[serde(default)]
+    pub swarm_seed: u64,
+    /// Global scale on every point's base fire probability, in
+    /// `[0, 1]`. `1.0` is the standard swarm intensity.
+    #[serde(default = "default_intensity")]
+    pub intensity: f64,
+}
+
+fn default_intensity() -> f64 {
+    1.0
+}
+
+impl Default for BuggifyConfig {
+    fn default() -> Self {
+        BuggifyConfig { enabled: false, swarm_seed: 0, intensity: default_intensity() }
+    }
+}
+
+impl BuggifyConfig {
+    /// An enabled config at standard intensity for the given swarm seed.
+    pub fn swarm(swarm_seed: u64) -> Self {
+        BuggifyConfig { enabled: true, swarm_seed, intensity: 1.0 }
+    }
+}
+
+/// Derives the RNG seed for one decision-point stream.
+///
+/// FNV-1a over the point name, golden-ratio mixed, xored with the swarm
+/// seed: distinct names get decorrelated streams, and the mapping is a
+/// stable part of the swarm format (a failing seed replays across
+/// builds as long as the point keeps its name).
+pub fn stream_seed(swarm_seed: u64, name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    swarm_seed ^ h.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Named decision points, one per perturbation the kernel can inject.
+///
+/// The `&'static str` names are the stable identity of each stream (see
+/// [`stream_seed`]) and the label under which fire counters export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum DecisionPoint {
+    /// Hold a delivered frame back by a link-scale extra latency.
+    LinkExtraDelay,
+    /// Reschedule a delivery a few microseconds later, swapping its
+    /// order with close neighbours (reorder within bounds).
+    LinkReorder,
+    /// Deliver one frame twice.
+    LinkDuplicate,
+    /// Fire a TCP retransmission timer before its RTO elapses.
+    TcpRtoEarly,
+    /// Fire a TCP retransmission timer after its RTO elapses.
+    TcpRtoLate,
+    /// Stretch a pure ACK's delivery (delayed-ACK behaviour).
+    TcpAckStretch,
+    /// Crash the receiving container mid-transfer (brief down/up blip).
+    CtrCrashTransfer,
+    /// Reboot the receiving container while a handshake SYN is in
+    /// flight.
+    CtrRebootHandshake,
+    /// Nudge an application timer by a few nanoseconds, breaking
+    /// same-instant scheduling ties the other way.
+    SchedTiebreak,
+    /// Sniffer feed: drain only a prefix of the buffered records.
+    CaptureDrainPartial,
+    /// Sniffer feed: record a truncated wire length for one packet.
+    CaptureRecordTruncate,
+}
+
+/// Number of decision points.
+pub const POINT_COUNT: usize = 11;
+
+/// All decision points, in export order.
+pub const ALL_POINTS: [DecisionPoint; POINT_COUNT] = [
+    DecisionPoint::LinkExtraDelay,
+    DecisionPoint::LinkReorder,
+    DecisionPoint::LinkDuplicate,
+    DecisionPoint::TcpRtoEarly,
+    DecisionPoint::TcpRtoLate,
+    DecisionPoint::TcpAckStretch,
+    DecisionPoint::CtrCrashTransfer,
+    DecisionPoint::CtrRebootHandshake,
+    DecisionPoint::SchedTiebreak,
+    DecisionPoint::CaptureDrainPartial,
+    DecisionPoint::CaptureRecordTruncate,
+];
+
+impl DecisionPoint {
+    /// The stable stream / export name of this point.
+    pub fn name(self) -> &'static str {
+        match self {
+            DecisionPoint::LinkExtraDelay => "link.deliver.extra_delay",
+            DecisionPoint::LinkReorder => "link.deliver.reorder",
+            DecisionPoint::LinkDuplicate => "link.deliver.duplicate",
+            DecisionPoint::TcpRtoEarly => "tcp.rto.early",
+            DecisionPoint::TcpRtoLate => "tcp.rto.late",
+            DecisionPoint::TcpAckStretch => "tcp.ack.stretch",
+            DecisionPoint::CtrCrashTransfer => "ctr.crash.mid_transfer",
+            DecisionPoint::CtrRebootHandshake => "ctr.reboot.handshake",
+            DecisionPoint::SchedTiebreak => "sched.tiebreak",
+            DecisionPoint::CaptureDrainPartial => "capture.drain.partial",
+            DecisionPoint::CaptureRecordTruncate => "capture.record.truncate",
+        }
+    }
+
+    /// Base fire probability per evaluation, before the config's
+    /// intensity scale. Evaluation sites differ wildly in frequency
+    /// (every delivery vs. every RTO re-arm), so each point is tuned
+    /// to yield a handful-to-hundreds of fires per golden run.
+    pub fn base_probability(self) -> f64 {
+        match self {
+            DecisionPoint::LinkExtraDelay => 0.01,
+            DecisionPoint::LinkReorder => 0.01,
+            DecisionPoint::LinkDuplicate => 0.005,
+            DecisionPoint::TcpRtoEarly => 0.05,
+            DecisionPoint::TcpRtoLate => 0.05,
+            DecisionPoint::TcpAckStretch => 0.02,
+            DecisionPoint::CtrCrashTransfer => 2e-5,
+            DecisionPoint::CtrRebootHandshake => 1e-4,
+            DecisionPoint::SchedTiebreak => 0.01,
+            DecisionPoint::CaptureDrainPartial => 0.05,
+            DecisionPoint::CaptureRecordTruncate => 0.01,
+        }
+    }
+}
+
+/// One decision point's private stream and fire accounting.
+#[derive(Debug, Clone)]
+struct PointState {
+    rng: SimRng,
+    evals: u64,
+    fires: u64,
+}
+
+/// The kernel-owned buggify state: per-point streams plus counters.
+///
+/// Constructed disabled by default; [`Buggify::enabled`] is the single
+/// branch the hot path pays when the layer is off.
+#[derive(Debug, Clone)]
+pub struct Buggify {
+    cfg: BuggifyConfig,
+    points: Vec<PointState>,
+}
+
+impl Default for Buggify {
+    fn default() -> Self {
+        Buggify::disabled()
+    }
+}
+
+impl Buggify {
+    /// A disabled instance: no streams are seeded, every fire is `false`.
+    pub fn disabled() -> Self {
+        Buggify { cfg: BuggifyConfig::default(), points: Vec::new() }
+    }
+
+    /// Builds the per-point streams for a config. A disabled config
+    /// produces the same state as [`Buggify::disabled`].
+    pub fn new(cfg: BuggifyConfig) -> Self {
+        if !cfg.enabled {
+            return Buggify { cfg, points: Vec::new() };
+        }
+        let points = ALL_POINTS
+            .iter()
+            .map(|p| PointState {
+                rng: SimRng::seed_from(stream_seed(cfg.swarm_seed, p.name())),
+                evals: 0,
+                fires: 0,
+            })
+            .collect();
+        Buggify { cfg, points }
+    }
+
+    /// `true` when perturbations are active.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> BuggifyConfig {
+        self.cfg
+    }
+
+    /// Evaluates a decision point: one Bernoulli draw from the point's
+    /// private stream. Always `false` (and drawless) when disabled.
+    #[inline]
+    pub fn fire(&mut self, point: DecisionPoint) -> bool {
+        if !self.cfg.enabled {
+            return false;
+        }
+        let p = point.base_probability() * self.cfg.intensity;
+        let state = &mut self.points[point as usize];
+        state.evals += 1;
+        let hit = state.rng.chance(p);
+        if hit {
+            state.fires += 1;
+        }
+        hit
+    }
+
+    /// A uniform draw in `[lo, hi)` from the point's private stream,
+    /// for sizing the perturbation after [`Buggify::fire`] returned
+    /// `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buggify is disabled (callers must gate on `fire`).
+    pub fn magnitude(&mut self, point: DecisionPoint, lo: f64, hi: f64) -> f64 {
+        assert!(self.cfg.enabled, "magnitude() on disabled buggify");
+        self.points[point as usize].rng.uniform_range(lo, hi)
+    }
+
+    /// Per-point `(name, evals, fires)` counters, in export order.
+    /// Empty when disabled.
+    pub fn counts(&self) -> Vec<(&'static str, u64, u64)> {
+        ALL_POINTS
+            .iter()
+            .zip(self.points.iter())
+            .map(|(p, s)| (p.name(), s.evals, s.fires))
+            .collect()
+    }
+
+    /// Total fires across all points.
+    pub fn total_fires(&self) -> u64 {
+        self.points.iter().map(|s| s.fires).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_never_fires_and_counts_nothing() {
+        let mut b = Buggify::disabled();
+        for _ in 0..1_000 {
+            assert!(!b.fire(DecisionPoint::LinkExtraDelay));
+        }
+        assert!(b.counts().is_empty());
+        assert_eq!(b.total_fires(), 0);
+    }
+
+    #[test]
+    fn same_swarm_seed_same_fire_sequence() {
+        let mut a = Buggify::new(BuggifyConfig::swarm(77));
+        let mut b = Buggify::new(BuggifyConfig::swarm(77));
+        for i in 0..10_000 {
+            let p = ALL_POINTS[i % POINT_COUNT];
+            assert_eq!(a.fire(p), b.fire(p), "draw {i} diverged");
+        }
+        assert_eq!(a.counts(), b.counts());
+    }
+
+    #[test]
+    fn streams_are_keyed_per_point_not_shared() {
+        // Evaluating point A must not shift point B's stream: a run
+        // that only touches B sees the same B-sequence as a run that
+        // interleaves A draws.
+        let mut only_b = Buggify::new(BuggifyConfig::swarm(5));
+        let mut interleaved = Buggify::new(BuggifyConfig::swarm(5));
+        let mut seq1 = Vec::new();
+        let mut seq2 = Vec::new();
+        for _ in 0..500 {
+            seq1.push(only_b.fire(DecisionPoint::TcpRtoEarly));
+            interleaved.fire(DecisionPoint::LinkDuplicate);
+            seq2.push(interleaved.fire(DecisionPoint::TcpRtoEarly));
+        }
+        assert_eq!(seq1, seq2);
+    }
+
+    #[test]
+    fn different_swarm_seeds_diverge() {
+        let mut a = Buggify::new(BuggifyConfig::swarm(1));
+        let mut b = Buggify::new(BuggifyConfig::swarm(2));
+        let fires_a: Vec<bool> =
+            (0..2_000).map(|_| a.fire(DecisionPoint::LinkExtraDelay)).collect();
+        let fires_b: Vec<bool> =
+            (0..2_000).map(|_| b.fire(DecisionPoint::LinkExtraDelay)).collect();
+        assert_ne!(fires_a, fires_b);
+    }
+
+    #[test]
+    fn stream_seed_separates_names() {
+        assert_ne!(stream_seed(9, "tcp.rto.early"), stream_seed(9, "tcp.rto.late"));
+        assert_ne!(stream_seed(9, "a"), stream_seed(10, "a"));
+    }
+
+    #[test]
+    fn intensity_zero_evaluates_but_never_fires() {
+        let cfg = BuggifyConfig { enabled: true, swarm_seed: 3, intensity: 0.0 };
+        let mut b = Buggify::new(cfg);
+        for _ in 0..1_000 {
+            assert!(!b.fire(DecisionPoint::SchedTiebreak));
+        }
+        let counts = b.counts();
+        let sched = counts.iter().find(|(n, _, _)| *n == "sched.tiebreak").unwrap();
+        assert_eq!(sched.1, 1_000);
+        assert_eq!(sched.2, 0);
+        assert_eq!(b.total_fires(), 0);
+    }
+
+    #[test]
+    fn config_defaults_are_disabled_full_intensity() {
+        let d = BuggifyConfig::default();
+        assert!(!d.enabled);
+        assert_eq!(d.swarm_seed, 0);
+        assert_eq!(d.intensity, 1.0);
+        let s = BuggifyConfig::swarm(42);
+        assert!(s.enabled);
+        assert_eq!(s.swarm_seed, 42);
+    }
+}

@@ -83,6 +83,16 @@ pub enum Event {
         /// The transition to apply.
         action: FaultAction,
     },
+    /// An active open failed before any segment left the node (e.g.
+    /// ephemeral-port exhaustion). Delivered through the queue so the
+    /// caller of `tcp_connect` observes `ConnectFailed` asynchronously,
+    /// like every other failed open, instead of re-entrantly.
+    TcpConnectFailed {
+        /// The application that attempted the connect.
+        app: AppId,
+        /// The connection id handed back to the caller.
+        conn: ConnId,
+    },
 }
 
 #[derive(Debug)]

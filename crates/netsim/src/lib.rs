@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod buggify;
 pub mod event;
 pub mod faults;
 pub mod ids;
@@ -46,6 +47,7 @@ pub mod time;
 pub mod udp;
 pub mod world;
 
+pub use buggify::BuggifyConfig;
 pub use faults::{FaultAction, FaultEntry, FaultPlan};
 pub use ids::{AppId, ConnId, LinkId, NodeId, TimerId};
 pub use link::LinkConfig;

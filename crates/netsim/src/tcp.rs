@@ -199,6 +199,21 @@ impl ChunkQueue {
         }
         self.len += data.len();
         self.chunks.push_back(data);
+        self.assert_accounting();
+    }
+
+    /// Debug-only accounting check: the cached byte count must equal the
+    /// sum of chunk lengths. Every `expect("queue holds >= ...")` in this
+    /// file relies on this invariant, so each mutation re-verifies it
+    /// under `debug_assertions` (swarm runs build with them on).
+    #[inline]
+    fn assert_accounting(&self) {
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            self.len,
+            self.chunks.iter().map(Bytes::len).sum::<usize>(),
+            "ChunkQueue len diverged from chunk contents"
+        );
     }
 
     /// Removes and returns the first `take` bytes (`take <= len`). Stays
@@ -210,10 +225,12 @@ impl ChunkQueue {
         if front.len() > take {
             let head = front.slice(..take);
             *front = front.slice(take..);
+            self.assert_accounting();
             return head;
         }
         let first = self.chunks.pop_front().expect("queue holds >= take bytes");
         if first.len() == take {
+            self.assert_accounting();
             return first;
         }
         let mut buf = Vec::with_capacity(take);
@@ -229,6 +246,7 @@ impl ChunkQueue {
                 self.chunks.pop_front();
             }
         }
+        self.assert_accounting();
         Bytes::from(buf)
     }
 
@@ -260,11 +278,12 @@ impl ChunkQueue {
             let front = self.chunks.front_mut().expect("queue holds >= n bytes");
             if front.len() > rem {
                 *front = front.slice(rem..);
-                return;
+                break;
             }
             rem -= front.len();
             self.chunks.pop_front();
         }
+        self.assert_accounting();
     }
 }
 
@@ -743,14 +762,26 @@ impl TcpConn {
     fn process_payload(&mut self, seq: u32, payload: Bytes, cfg: &TcpConfig, effects: &mut TcpEffects) {
         if seq == self.rcv_nxt {
             self.accept_in_order(payload, effects);
-            // Drain any now-contiguous out-of-order segments.
+            // Drain any now-contiguous out-of-order segments. The
+            // `expect` is sound because `first_key_value` just returned
+            // the key and nothing between the two calls mutates the map.
             while let Some((&next_seq, _)) = self.ooo.first_key_value() {
                 if next_seq == self.rcv_nxt {
                     let data = self.ooo.remove(&next_seq).expect("key just seen");
                     self.accept_in_order(data, effects);
                 } else if seq_lt(next_seq, self.rcv_nxt) {
-                    // Stale overlap; discard.
-                    self.ooo.remove(&next_seq);
+                    // Overlap: `rcv_nxt` advanced past this segment's
+                    // start. Retransmissions re-chunk the stream (an
+                    // RTO resend packs up to a full MSS from `snd_una`
+                    // regardless of original boundaries), so a buffered
+                    // segment can be *partially* stale. Deliver its
+                    // unseen tail rather than dropping it and waiting
+                    // for yet another retransmission of those bytes.
+                    let data = self.ooo.remove(&next_seq).expect("key just seen");
+                    let overlap = self.rcv_nxt.wrapping_sub(next_seq) as usize;
+                    if overlap < data.len() {
+                        self.accept_in_order(data.slice(overlap..), effects);
+                    }
                 } else {
                     break;
                 }
@@ -909,6 +940,8 @@ pub struct TcpHost {
     next_ephemeral: u16,
     /// RSTs this host sent in response to stray segments.
     pub rst_sent: u64,
+    /// Active opens that failed because no ephemeral port was free.
+    pub ephemeral_exhausted: u64,
 }
 
 impl TcpHost {
@@ -917,17 +950,21 @@ impl TcpHost {
         TcpHost { next_ephemeral: 49_152, ..TcpHost::default() }
     }
 
-    /// Allocates an ephemeral source port not currently in use.
-    pub fn alloc_ephemeral(&mut self, remote: (Addr, u16)) -> u16 {
+    /// Allocates an ephemeral source port not currently in use, or
+    /// `None` when all 16 384 ports towards `remote` are taken. Callers
+    /// surface the failure as a `ConnectFailed` (feeding retry backoff)
+    /// rather than aborting the simulation.
+    pub fn alloc_ephemeral(&mut self, remote: (Addr, u16)) -> Option<u16> {
         for _ in 0..16_384 {
             let port = self.next_ephemeral;
             self.next_ephemeral =
                 if self.next_ephemeral == u16::MAX { 49_152 } else { self.next_ephemeral + 1 };
             if !self.by_key.contains_key(&(port, remote.0, remote.1)) {
-                return port;
+                return Some(port);
             }
         }
-        panic!("ephemeral port space exhausted towards {}:{}", remote.0, remote.1);
+        self.ephemeral_exhausted += 1;
+        None
     }
 
     /// Removes a connection and its demux entry.
@@ -1259,10 +1296,149 @@ mod tests {
     fn ephemeral_ports_do_not_collide() {
         let mut host = TcpHost::new();
         let remote = (B, 80);
-        let p1 = host.alloc_ephemeral(remote);
+        let p1 = host.alloc_ephemeral(remote).expect("fresh host has free ports");
         host.by_key.insert((p1, remote.0, remote.1), ConnId::from_raw(1));
-        let p2 = host.alloc_ephemeral(remote);
+        let p2 = host.alloc_ephemeral(remote).expect("one port used, 16383 free");
         assert_ne!(p1, p2);
+    }
+
+    /// Regression (swarm bugfix sweep): exhausting the 16 384-port
+    /// ephemeral range towards one remote used to `panic!` and abort the
+    /// whole simulation; it now reports failure so the caller can emit
+    /// `ConnectFailed` into retry backoff.
+    #[test]
+    fn ephemeral_exhaustion_returns_none_instead_of_panicking() {
+        let mut host = TcpHost::new();
+        let remote = (B, 80);
+        for _ in 0..16_384 {
+            let p = host.alloc_ephemeral(remote).expect("range not yet full");
+            host.by_key.insert((p, remote.0, remote.1), ConnId::from_raw(p as u64));
+        }
+        assert_eq!(host.alloc_ephemeral(remote), None);
+        assert_eq!(host.ephemeral_exhausted, 1);
+        // A different remote still has its whole range free.
+        assert!(host.alloc_ephemeral((A, 80)).is_some());
+    }
+
+    /// Property test: random push/pop/peek/drain sequences keep the
+    /// ChunkQueue byte-for-byte equal to a flat reference Vec, and the
+    /// internal length accounting (checked by debug asserts inside every
+    /// mutation) never diverges.
+    #[test]
+    fn chunk_queue_matches_flat_reference_under_random_ops() {
+        use crate::rng::SimRng;
+        for seed in 0..16u64 {
+            let mut rng = SimRng::seed_from(seed);
+            let mut q = ChunkQueue::default();
+            let mut reference: Vec<u8> = Vec::new();
+            let mut next_byte = 0u8;
+            for _ in 0..400 {
+                match rng.below(4) {
+                    0 => {
+                        let n = rng.int_range(0, 3 * MSS as u64) as usize;
+                        let chunk: Vec<u8> = (0..n)
+                            .map(|_| {
+                                next_byte = next_byte.wrapping_add(1);
+                                next_byte
+                            })
+                            .collect();
+                        reference.extend_from_slice(&chunk);
+                        q.push(Bytes::from(chunk));
+                    }
+                    1 if !q.is_empty() => {
+                        let take = rng.int_range(1, q.len() as u64) as usize;
+                        let got = q.pop_front_bytes(take);
+                        let want: Vec<u8> = reference.drain(..take).collect();
+                        assert_eq!(&got[..], &want[..], "seed {seed} pop mismatch");
+                    }
+                    2 if !q.is_empty() => {
+                        let take = rng.int_range(1, q.len() as u64) as usize;
+                        let got = q.peek_front_bytes(take);
+                        assert_eq!(&got[..], &reference[..take], "seed {seed} peek mismatch");
+                    }
+                    3 if !q.is_empty() => {
+                        let n = rng.int_range(0, q.len() as u64) as usize;
+                        q.drain_front(n);
+                        reference.drain(..n);
+                    }
+                    _ => {}
+                }
+                assert_eq!(q.len(), reference.len(), "seed {seed} length diverged");
+            }
+        }
+    }
+
+    /// Property test for the reassembly path the buggify layer stresses:
+    /// deliver a multi-segment message with random reordering and
+    /// duplication (whole segments, as the simulator produces them) and
+    /// require the receiver to deliver exactly the original bytes, with
+    /// no `expect` panics from the ooo map.
+    #[test]
+    fn reassembly_survives_random_reorder_and_duplication() {
+        use crate::packet::Transport;
+        use crate::rng::SimRng;
+        let cfg = TcpConfig { initial_cwnd: 64 * MSS, ..TcpConfig::default() };
+        for seed in 0..24u64 {
+            let mut rng = SimRng::seed_from(0xb1ff ^ seed);
+            let (mut client, mut server, _) = pair(&cfg);
+            let message: Vec<u8> = (0..20 * MSS).map(|i| (i % 251) as u8).collect();
+            let mut fx = TcpEffects::new();
+            client.send(&message, SimTime::ZERO, &cfg, &mut fx);
+            let mut segs = fx.segments;
+            // Duplicate a few segments, then shuffle the whole batch.
+            for _ in 0..4 {
+                let pick = rng.below(segs.len() as u64) as usize;
+                let dup = segs[pick].clone();
+                segs.push(dup);
+            }
+            rng.shuffle(&mut segs);
+            let mut fx_b = TcpEffects::new();
+            for seg in segs {
+                if let Transport::Tcp(h) = seg.transport {
+                    server.on_segment(SimTime::ZERO, &h, seg.payload, &cfg, &mut fx_b);
+                }
+            }
+            let received: Vec<u8> = fx_b
+                .events
+                .iter()
+                .filter_map(|(_, e)| match e {
+                    TcpEvent::Data { data, .. } => Some(data.to_vec()),
+                    _ => None,
+                })
+                .flatten()
+                .collect();
+            assert_eq!(received.len(), message.len(), "seed {seed} byte count");
+            assert_eq!(received, message, "seed {seed} content");
+        }
+    }
+
+    /// Shaken out by the buggify swarm (tcp.rto.early + link reorder):
+    /// an RTO resend re-chunks the stream from `snd_una`, so a buffered
+    /// out-of-order segment can be *partially* covered by the resend.
+    /// The drain loop used to drop such a segment whole, losing its
+    /// unseen tail until yet another retransmission round-trip.
+    #[test]
+    fn partially_stale_ooo_segment_delivers_its_unseen_tail() {
+        let cfg = TcpConfig::default();
+        let (_client, mut server, _) = pair(&cfg);
+        let mut fx = TcpEffects::new();
+        let base = server.rcv_nxt;
+        // Original segment [100, 200) arrives first, buffered in ooo.
+        server.process_payload(base.wrapping_add(100), Bytes::from(vec![1u8; 100]), &cfg, &mut fx);
+        // The RTO resend re-chunks from snd_una: [0, 150) fills the gap
+        // and overlaps the buffered segment's first 50 bytes.
+        server.process_payload(base, Bytes::from(vec![2u8; 150]), &cfg, &mut fx);
+        let delivered: usize = fx
+            .events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                TcpEvent::Data { data, .. } => Some(data.len()),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(delivered, 200, "the unseen tail [150, 200) must deliver, not drop");
+        assert_eq!(server.rcv_nxt, base.wrapping_add(200));
+        assert!(server.ooo.is_empty());
     }
 
     #[test]

@@ -12,6 +12,7 @@ use std::collections::HashSet;
 use bytes::Bytes;
 use obs::{pow2_bounds, Counter, Histogram, Scope};
 
+use crate::buggify::{Buggify, BuggifyConfig, DecisionPoint};
 use crate::event::{Event, EventQueue};
 use crate::faults::{FaultAction, FaultPlan};
 use crate::ids::{AppId, ConnId, LinkId, NodeId, TimerId};
@@ -61,7 +62,11 @@ fn phase_index(event: &Event) -> usize {
     match event {
         Event::LinkTxComplete { .. } => 0,
         Event::Deliver { .. } => 1,
-        Event::TcpTimer { .. } => 2,
+        // Deferred connect failures account under the tcp_timer phase:
+        // they are TCP bookkeeping events, and PHASE_NAMES is part of
+        // the exported telemetry schema (golden fixtures pin it), so a
+        // rare event does not get a name of its own.
+        Event::TcpTimer { .. } | Event::TcpConnectFailed { .. } => 2,
         Event::AppTimer { .. } => 3,
         Event::AppStart { .. } => 4,
         Event::SetNodeUp { .. } => 5,
@@ -198,6 +203,10 @@ pub struct Kernel {
     /// connection activity reuses two warm `Vec`s instead of allocating
     /// per event.
     effects_scratch: TcpEffects,
+    /// Deterministic decision-point perturbation layer. Disabled by
+    /// default: the hot path pays one branch per decision point and
+    /// consumes no randomness (see [`crate::buggify`]).
+    buggify: Buggify,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -233,6 +242,7 @@ impl Kernel {
             obs: None,
             ctx_scratch: Vec::new(),
             effects_scratch: TcpEffects::new(),
+            buggify: Buggify::disabled(),
         }
     }
 
@@ -314,6 +324,87 @@ impl Kernel {
                 self.queue.schedule(clock + boot_delay, Event::SetNodeUp { node, up: true });
                 self.set_node_up(node, false, out);
             }
+        }
+    }
+
+    /// Evaluates buggify decision points against a just-popped event.
+    /// Returns `true` when the event was *deferred* (rescheduled into
+    /// the near future) and must not be dispatched now; side-effect
+    /// perturbations (duplicates, lifecycle blips) schedule extra
+    /// events and return `false` so the original still dispatches.
+    ///
+    /// Only called when buggify is enabled, so the disabled hot path
+    /// pays exactly one branch in [`World::step`]. Deferred events are
+    /// re-evaluated on their next pop; fire probabilities are well
+    /// below 1, so repeated deferral terminates almost surely.
+    fn buggify_perturb(&mut self, time: SimTime, event: &Event) -> bool {
+        match *event {
+            Event::Deliver { node, packet, .. } => {
+                let (pure_ack, is_syn, has_payload) = {
+                    let p = self.pool.get(packet);
+                    match p.transport {
+                        Transport::Tcp(ref h) => (
+                            h.flags == TcpFlags::ACK && p.payload.is_empty(),
+                            h.flags.contains(TcpFlags::SYN),
+                            !p.payload.is_empty(),
+                        ),
+                        Transport::Udp(_) => (false, false, !p.payload.is_empty()),
+                    }
+                };
+                if pure_ack && self.buggify.fire(DecisionPoint::TcpAckStretch) {
+                    // Delayed-ACK stretch: 1–40 ms.
+                    let ns = self.buggify.magnitude(DecisionPoint::TcpAckStretch, 1e6, 4e7);
+                    self.queue.schedule(time + SimDuration::from_nanos(ns as u64), event.clone());
+                    return true;
+                }
+                if self.buggify.fire(DecisionPoint::LinkExtraDelay) {
+                    // Link-scale extra latency: 0.1–20 ms.
+                    let ns = self.buggify.magnitude(DecisionPoint::LinkExtraDelay, 1e5, 2e7);
+                    self.queue.schedule(time + SimDuration::from_nanos(ns as u64), event.clone());
+                    return true;
+                }
+                if self.buggify.fire(DecisionPoint::LinkReorder) {
+                    // Small nudge: 1–200 µs, enough to swap with close
+                    // neighbours but bounded well under an RTT.
+                    let ns = self.buggify.magnitude(DecisionPoint::LinkReorder, 1e3, 2e5);
+                    self.queue.schedule(time + SimDuration::from_nanos(ns as u64), event.clone());
+                    return true;
+                }
+                if self.buggify.fire(DecisionPoint::LinkDuplicate) {
+                    // Deliver the frame twice: the copy holds its own
+                    // pool reference and arrives 1–50 µs later.
+                    self.pool.retain(packet);
+                    let ns = self.buggify.magnitude(DecisionPoint::LinkDuplicate, 1e3, 5e4);
+                    self.queue.schedule(time + SimDuration::from_nanos(ns as u64), event.clone());
+                }
+                if is_syn && self.buggify.fire(DecisionPoint::CtrRebootHandshake) {
+                    // Reboot the receiver right after the SYN lands:
+                    // down for 20–200 ms, then back up.
+                    let ns = self.buggify.magnitude(DecisionPoint::CtrRebootHandshake, 2e7, 2e8);
+                    self.queue.schedule(time, Event::SetNodeUp { node, up: false });
+                    self.queue
+                        .schedule(time + SimDuration::from_nanos(ns as u64), Event::SetNodeUp { node, up: true });
+                } else if has_payload && self.buggify.fire(DecisionPoint::CtrCrashTransfer) {
+                    // Crash mid-transfer: a watchdog-style blip of
+                    // 50–500 ms before the container returns.
+                    let ns = self.buggify.magnitude(DecisionPoint::CtrCrashTransfer, 5e7, 5e8);
+                    self.queue.schedule(time, Event::SetNodeUp { node, up: false });
+                    self.queue
+                        .schedule(time + SimDuration::from_nanos(ns as u64), Event::SetNodeUp { node, up: true });
+                }
+                false
+            }
+            Event::AppTimer { .. } => {
+                if self.buggify.fire(DecisionPoint::SchedTiebreak) {
+                    // Nudge by up to one scheduler tick: same-instant
+                    // ties break the other way.
+                    let ns = self.buggify.magnitude(DecisionPoint::SchedTiebreak, 1.0, 1024.0);
+                    self.queue.schedule(time + SimDuration::from_nanos(ns as u64), event.clone());
+                    return true;
+                }
+                false
+            }
+            _ => false,
         }
     }
 
@@ -483,7 +574,18 @@ impl Kernel {
                 node.tcp.remove_conn(conn_id);
             } else if conn.needs_timer() {
                 let generation = conn.next_timer_generation();
-                let rto = conn.rto();
+                let mut rto = conn.rto();
+                if self.buggify.enabled() {
+                    // Perturb only the scheduled deadline, never the
+                    // connection's own RTO estimate: early fires look
+                    // like spurious timeouts, late fires like a stalled
+                    // timer wheel.
+                    if self.buggify.fire(DecisionPoint::TcpRtoEarly) {
+                        rto = rto.mul_f64(self.buggify.magnitude(DecisionPoint::TcpRtoEarly, 0.25, 0.95));
+                    } else if self.buggify.fire(DecisionPoint::TcpRtoLate) {
+                        rto = rto.mul_f64(self.buggify.magnitude(DecisionPoint::TcpRtoLate, 1.05, 3.0));
+                    }
+                }
                 let when = self.clock + rto;
                 self.queue.schedule(when, Event::TcpTimer { node: node_id, conn: conn_id, generation });
             } else {
@@ -811,11 +913,40 @@ impl World {
         pool_scope.gauge("capacity").set(pool.capacity() as i64);
         pool_scope.gauge("inserted_total").set(pool.inserted_total() as i64);
         pool_scope.gauge("reused_total").set(pool.reused_total() as i64);
+        // Buggify fire counters, only when the layer is active: the
+        // gauges must not appear in baseline telemetry, which is pinned
+        // byte-for-byte by the golden fixtures.
+        if self.kernel.buggify.enabled() {
+            let bscope = obs.scope.child("buggify");
+            for (name, evals, fires) in self.kernel.buggify.counts() {
+                let pscope = bscope.child(name);
+                pscope.gauge("evals").set(evals as i64);
+                pscope.gauge("fires").set(fires as i64);
+            }
+        }
     }
 
     /// The kernel's packet pool (slot-reuse and high-water diagnostics).
     pub fn packet_pool(&self) -> &PacketPool {
         &self.kernel.pool
+    }
+
+    /// Installs (or clears, when `cfg.enabled` is false) the buggify
+    /// perturbation layer. Call before the workload starts so every
+    /// decision-point stream observes the run from the beginning.
+    pub fn set_buggify(&mut self, cfg: BuggifyConfig) {
+        self.kernel.buggify = Buggify::new(cfg);
+    }
+
+    /// Whether buggify perturbation is active.
+    pub fn buggify_enabled(&self) -> bool {
+        self.kernel.buggify.enabled()
+    }
+
+    /// Per-decision-point `(name, evaluations, fires)` counters.
+    /// Empty when buggify is disabled.
+    pub fn buggify_counts(&self) -> Vec<(&'static str, u64, u64)> {
+        self.kernel.buggify.counts()
     }
 
     /// Mutable access to the kernel RNG, for orchestration code.
@@ -830,6 +961,12 @@ impl World {
             return false;
         };
         debug_assert!(time >= self.kernel.clock, "time went backwards");
+        // Buggify runs before any accounting: a deferred event is not
+        // "processed" (it will be popped again later), so the per-phase
+        // counters still partition `events_processed` exactly.
+        if self.kernel.buggify.enabled() && self.kernel.buggify_perturb(time, &event) {
+            return true;
+        }
         let advance_ns = time.as_nanos().saturating_sub(self.kernel.clock.as_nanos());
         let phase = phase_index(&event);
         let touched_link = match &event {
@@ -864,6 +1001,9 @@ impl World {
                 self.kernel.set_node_up(node, up, &mut notifications)
             }
             Event::Fault { action } => self.kernel.apply_fault(action, &mut notifications),
+            Event::TcpConnectFailed { app, conn } => {
+                notifications.push((app, AppEvent::Tcp(TcpEvent::ConnectFailed { conn })));
+            }
         };
         if let (Some(obs), Some(link)) = (&mut self.kernel.obs, touched_link) {
             let depth = self.kernel.links[link.index()].queued_packets() as u64;
@@ -1008,7 +1148,15 @@ impl<'a> Ctx<'a> {
         let cfg = self.kernel.tcp_config;
         let mut effects = std::mem::take(&mut self.kernel.effects_scratch);
         let node = &mut self.kernel.nodes[self.node.index()];
-        let local_port = node.tcp.alloc_ephemeral((dst, port));
+        let Some(local_port) = node.tcp.alloc_ephemeral((dst, port)) else {
+            // Ephemeral ports exhausted: fail the open asynchronously so
+            // the caller sees the same `ConnectFailed` path as any other
+            // failed connect (socket calls never notify re-entrantly).
+            self.kernel.effects_scratch = effects;
+            let now = self.kernel.clock;
+            self.kernel.queue.schedule(now, Event::TcpConnectFailed { app: self.app, conn: conn_id });
+            return conn_id;
+        };
         let local = (node.addr, local_port);
         let conn =
             TcpConn::open_active(conn_id, self.app, local, (dst, port), provenance, iss, &cfg, &mut effects);
@@ -1547,5 +1695,76 @@ mod tests {
         world.run_for(SimDuration::from_millis(4500));
         assert_eq!(*seen.borrow(), vec![1.0, 50.0, 50.0, 1.0]);
         assert_eq!(world.cpu_pressure(a), 1.0);
+    }
+
+    #[test]
+    fn ephemeral_port_exhaustion_reports_connect_failed() {
+        // Regression: exhausting the ephemeral range used to panic the
+        // kernel. Now the open fails asynchronously via ConnectFailed.
+        struct Exhauster {
+            failures: Rc<RefCell<usize>>,
+        }
+        impl App for Exhauster {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                // One more connect than the range (32768..49152) holds.
+                for _ in 0..16_385u32 {
+                    ctx.tcp_connect(Addr::new(10, 0, 0, 1), 80);
+                }
+            }
+            fn on_tcp(&mut self, _ctx: &mut Ctx<'_>, event: TcpEvent) {
+                if matches!(event, TcpEvent::ConnectFailed { .. }) {
+                    *self.failures.borrow_mut() += 1;
+                }
+            }
+        }
+        let mut world = World::new(2);
+        let a = world.add_node(Addr::new(10, 0, 0, 1), "server");
+        let b = world.add_node(Addr::new(10, 0, 0, 2), "client");
+        world.add_csma_link(&[a, b], LinkConfig::lan_100mbps());
+        let failures = Rc::new(RefCell::new(0usize));
+        let app =
+            world.add_app(b, Box::new(Exhauster { failures: Rc::clone(&failures) }), Provenance::Benign);
+        world.start_app(app, SimTime::ZERO);
+        // Short horizon: the exhaustion failure is scheduled at `now`,
+        // long before any SYN retransmission timer would fire.
+        world.run_for(SimDuration::from_millis(1));
+        assert!(*failures.borrow() >= 1, "exhausted connect must fail, not panic");
+    }
+
+    #[test]
+    fn buggify_enabled_echo_still_delivers_every_byte() {
+        // Chaos may delay, reorder, duplicate and crash, but TCP still
+        // delivers the exact byte stream.
+        let message = vec![11u8; 30_000];
+        let (mut world, _server_state, client_state) = echo_world(message.clone(), 0.0);
+        let mut cfg = BuggifyConfig::swarm(424242);
+        // Keep lifecycle blips out of this test: a crash on the server
+        // kills the echo connection outright, which is exercised (and
+        // asserted on) by the swarm harness instead.
+        cfg.intensity = 1.0;
+        world.set_buggify(cfg);
+        world.run_for(SimDuration::from_secs(240));
+        let echoed = client_state.borrow().echoed.clone();
+        if echoed != message {
+            // A lifecycle blip may legitimately kill the transfer;
+            // in that case the connection must at least have closed
+            // cleanly rather than wedged.
+            assert!(client_state.borrow().closed, "transfer neither completed nor closed");
+        }
+        assert!(world.buggify_counts().iter().any(|&(_, evals, _)| evals > 0));
+    }
+
+    #[test]
+    fn buggify_runs_are_byte_reproducible_per_swarm_seed() {
+        let run = |swarm_seed: u64| {
+            let message = vec![13u8; 40_000];
+            let (mut world, _s, client_state) = echo_world(message, 0.01);
+            world.set_buggify(BuggifyConfig::swarm(swarm_seed));
+            world.run_for(SimDuration::from_secs(60));
+            let echoed = client_state.borrow().echoed.len();
+            (world.events_processed(), world.buggify_counts(), echoed)
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9).1, run(10).1, "different swarm seeds must perturb differently");
     }
 }

@@ -19,6 +19,7 @@ use netsim::time::SimDuration;
 /// (Feature indices: the statistical half of the vector starts at
 /// `BASIC_FEATURES`; index 0 of the stats is `packet_count` and index 8
 /// is `flow_rate` — see `features::window::STAT_FEATURE_NAMES`.)
+#[derive(Clone)]
 struct ThresholdIds {
     packet_count_cutoff: f64,
     flow_rate_cutoff: f64,
@@ -44,6 +45,10 @@ impl Classifier for ThresholdIds {
 
     fn memory_bytes(&self) -> u64 {
         16
+    }
+
+    fn clone_box(&self) -> Box<dyn Classifier> {
+        Box::new(self.clone())
     }
 }
 
