@@ -12,13 +12,20 @@
 //! show on multi-core hosts; on a single-core runner the presort is the
 //! measurable win and the rayon path degrades gracefully to serial.
 
+use capture::dataset::Dataset;
+use capture::record::{Label, PacketRecord};
 use criterion::{criterion_group, criterion_main, Criterion};
+use features::extract::WindowAggregator;
+use ids::pipeline::{IdsConfig, ModelKind, TrainedIds};
+use ids::serving::{BackpressurePolicy, IngestQueue};
 use ml::classifier::Classifier;
 use ml::cnn::{Cnn, CnnConfig};
 use ml::kmeans::{KMeans, KMeansConfig};
 use ml::matrix::FeatureMatrix;
 use ml::rf::{ForestConfig, RandomForest};
+use netsim::packet::{Addr, Protocol};
 use netsim::rng::SimRng;
+use netsim::time::SimTime;
 use std::hint::black_box;
 
 /// Feature arity: matches the paper's 23-dimensional windowed set.
@@ -304,6 +311,92 @@ fn bench_ml(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("rf", |b| {
         b.iter(|| black_box(forest.predict_batch(matrix.view())))
+    });
+    group.finish();
+
+    bench_serving_window(c);
+}
+
+/// Synthetic labeled packet stream: `per_window` packets per second for
+/// `secs` seconds, benign HTTP-ish flows mixed with a malicious flood.
+fn synth_packets(secs: u64, per_window: u64, seed: u64) -> Vec<PacketRecord> {
+    let mut rng = SimRng::seed_from(seed);
+    let mut records = Vec::with_capacity((secs * per_window) as usize);
+    for s in 0..secs {
+        for i in 0..per_window {
+            let malicious = rng.chance(0.4);
+            let (src, dst_port, wire_len, label) = if malicious {
+                (Addr::new(10, 0, 1, 1 + rng.below(8) as u8), 80, 60, Label::Malicious)
+            } else {
+                (
+                    Addr::new(10, 0, 0, 1 + rng.below(8) as u8),
+                    1024 + rng.below(4000) as u16,
+                    200 + rng.below(1000) as u32,
+                    Label::Benign,
+                )
+            };
+            records.push(PacketRecord {
+                ts: SimTime::from_millis(s * 1000 + i * 1000 / per_window.max(1)),
+                src,
+                src_port: 1024 + rng.below(30_000) as u16,
+                dst: Addr::new(10, 0, 0, 250),
+                dst_port,
+                protocol: Protocol::Udp,
+                flags: Default::default(),
+                wire_len,
+                payload_len: wire_len.saturating_sub(42),
+                seq: 0,
+                label,
+            });
+        }
+    }
+    records
+}
+
+/// The serving layer's per-window hot path, end to end: offer a
+/// window's records into the bounded ingest queue, drain them through
+/// the window aggregator, and classify the completed window against a
+/// trained model — the work [`ids::serving::IdsService`] does per tick
+/// and per tenant, minus the simulator around it.
+fn bench_serving_window(c: &mut Criterion) {
+    let train = Dataset::from_records(synth_packets(20, 400, 44));
+    let config = IdsConfig { holdout_fraction: 0.0, max_train_samples: 4_000, ..IdsConfig::default() };
+    let kind = ModelKind::KMeans(KMeansConfig { k_max: 8, ..KMeansConfig::default() });
+    let mut rng = SimRng::seed_from(45);
+    let model: TrainedIds =
+        TrainedIds::train(&train, &kind, config, &mut rng).expect("two-class synth trains").ids;
+
+    // One window of live records plus the first record of the next
+    // second, which closes the window inside the aggregator.
+    let mut live = synth_packets(1, 1_000, 46);
+    let mut closer = live[0];
+    closer.ts = SimTime::from_millis(1_000);
+    live.push(closer);
+
+    let mut scratch = FeatureMatrix::new(features::extract::TOTAL_FEATURES);
+    let mut predictions = Vec::new();
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(20);
+    group.bench_function("serving_window_e2e", |b| {
+        b.iter(|| {
+            let mut queue = IngestQueue::new(2_048, BackpressurePolicy::DropOldest, 1);
+            let mut aggregator = WindowAggregator::new(1);
+            for record in &live {
+                queue.offer(*record);
+            }
+            let mut detections = 0u64;
+            while let Some(record) = queue.pop() {
+                if let Some(window) = aggregator.push(record) {
+                    let (detection, _) = model
+                        .try_classify_window_profiled(&window, &mut scratch, &mut predictions)
+                        .expect("arity matches");
+                    black_box(detection);
+                    detections += 1;
+                }
+            }
+            assert!(queue.conservation_violation().is_none());
+            black_box(detections)
+        })
     });
     group.finish();
 }

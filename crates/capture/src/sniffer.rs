@@ -182,6 +182,35 @@ impl SnifferHandle {
         state.drained_total += out.len() as u64;
     }
 
+    /// Moves up to `max` of the oldest buffered records into `out`
+    /// (cleared first), leaving the rest buffered. The serving layer's
+    /// block-upstream backpressure uses this to drain only what its
+    /// ingestion queue has room for; records left behind stay subject to
+    /// the sniffer's own capacity/tail-drop accounting. Partial-drain
+    /// chaos applies here too (same stream as [`drain_into`]): a fired
+    /// draw shortens the take further, conservation preserved.
+    ///
+    /// [`drain_into`]: SnifferHandle::drain_into
+    pub fn drain_up_to(&self, max: usize, out: &mut Vec<PacketRecord>) {
+        out.clear();
+        if max == 0 {
+            return;
+        }
+        let mut state = self.state.borrow_mut();
+        let state = &mut *state;
+        let mut take = state.records.len().min(max);
+        if let Some(chaos) = state.chaos.as_mut() {
+            let p = DecisionPoint::CaptureDrainPartial.base_probability() * chaos.intensity;
+            if take >= 2 && chaos.drain_rng.chance(p) {
+                let keep = chaos.drain_rng.int_range(1, take as u64 - 1) as usize;
+                take -= keep;
+                chaos.partial_drains += 1;
+            }
+        }
+        out.extend(state.records.drain(..take));
+        state.drained_total += take as u64;
+    }
+
     /// Arms capture-path chaos (partial drains, truncated records) for
     /// a swarm run. The streams are keyed by the same
     /// [`netsim::buggify::stream_seed`] derivation as the kernel's
@@ -413,6 +442,66 @@ mod tests {
             assert!(r.wire_len >= 1);
             assert!(r.wire_len < untouched, "truncated record must report a shorter wire");
         }
+    }
+
+    #[test]
+    fn drain_up_to_caps_the_take_and_conserves() {
+        let (mut tap, handle) = sniffer_pair(SnifferFilter::All);
+        for _ in 0..10 {
+            tap.on_packet(&meta(), &udp(Addr::new(1, 0, 0, 1), Addr::new(2, 0, 0, 1)));
+        }
+        let mut buf = Vec::new();
+        handle.drain_up_to(4, &mut buf);
+        assert_eq!(buf.len(), 4);
+        assert_eq!(handle.buffered(), 6);
+        assert_eq!(handle.drained_total(), 4);
+        handle.drain_up_to(0, &mut buf);
+        assert!(buf.is_empty());
+        assert_eq!(handle.buffered(), 6);
+        handle.drain_up_to(usize::MAX, &mut buf);
+        assert_eq!(buf.len(), 6);
+        assert_eq!(handle.buffered(), 0);
+        assert_eq!(handle.captured_total(), handle.drained_total());
+    }
+
+    #[test]
+    fn drain_up_to_keeps_oldest_first_order() {
+        let (mut tap, handle) = sniffer_pair(SnifferFilter::All);
+        for i in 0..6u64 {
+            let m = TapMeta {
+                time: SimTime::from_secs(i),
+                link: LinkId::from_raw(0),
+                receiver: NodeId::from_raw(0),
+            };
+            tap.on_packet(&m, &udp(Addr::new(1, 0, 0, 1), Addr::new(2, 0, 0, 1)));
+        }
+        let mut buf = Vec::new();
+        handle.drain_up_to(3, &mut buf);
+        let first: Vec<_> = buf.iter().map(|r| r.ts).collect();
+        handle.drain_up_to(3, &mut buf);
+        let second: Vec<_> = buf.iter().map(|r| r.ts).collect();
+        assert!(first.iter().max() < second.iter().min());
+    }
+
+    #[test]
+    fn drain_up_to_chaos_preserves_conservation() {
+        let (mut tap, handle) = sniffer_pair(SnifferFilter::All);
+        handle.set_chaos(99, 20.0);
+        let mut buf = Vec::new();
+        for round in 0..50 {
+            for _ in 0..6 {
+                tap.on_packet(&meta(), &udp(Addr::new(1, 0, 0, 1), Addr::new(2, 0, 0, 1)));
+            }
+            handle.drain_up_to(4, &mut buf);
+            assert!(buf.len() <= 4, "round {round}");
+            assert_eq!(
+                handle.captured_total(),
+                handle.drained_total() + handle.buffered() as u64,
+                "conservation must survive capped chaos drains (round {round})"
+            );
+        }
+        let (partials, _) = handle.chaos_counts().unwrap();
+        assert!(partials > 0);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use crate::scenario::{
     rotation, CpuPressureSpec, FaultPlanConfig, JitterSpec, LifecycleTarget, LinkFlapSpec,
     LossRampSpec, RebootSpec, ScenarioConfig, ThrottleSpec,
 };
-use crate::testbed::{LiveReport, Testbed};
+use crate::testbed::{LiveReport, ServingRunReport, ServingTenantTarget, Testbed};
 
 /// How long the capture and detection phases run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -555,6 +555,110 @@ fn run_kmeans_live(seed: u64, scale: &ExperimentScale, with_faults: bool) -> Cha
     let report = live.run_live(SimDuration::from_secs(scale.live_secs), outcome.ids);
     let bridge_stats = live.bridge_stats();
     ChaosOutcome { live: report, bridge_stats, scenario }
+}
+
+/// Champion and challenger for a serving run, trained deterministically
+/// from one capture: the champion is the standard K-Means IDS, the
+/// challenger a coarser (cheaper) K-Means fitted from an independent
+/// RNG stream.
+pub fn train_serving_models(
+    capture: &capture::dataset::Dataset,
+    scale: &ExperimentScale,
+    seed: u64,
+) -> (TrainedIds, TrainedIds) {
+    let ids_config = IdsConfig { max_train_samples: scale.max_train_samples, ..IdsConfig::default() };
+    let mut rng = SimRng::seed_from(seed ^ 0x7ea1);
+    let champion = TrainedIds::train(
+        capture,
+        &ModelKind::KMeans(KMeansConfig { k_max: 24, ..KMeansConfig::default() }),
+        ids_config,
+        &mut rng,
+    )
+    .expect("training capture contains both classes");
+    let mut rng = SimRng::seed_from(seed ^ 0xc4a1);
+    let challenger = TrainedIds::train(
+        capture,
+        &ModelKind::KMeans(KMeansConfig { k_max: 8, ..KMeansConfig::default() }),
+        ids_config,
+        &mut rng,
+    )
+    .expect("training capture contains both classes");
+    (champion.ids, challenger.ids)
+}
+
+/// The outcome of a serving-layer run (E13).
+#[derive(Debug)]
+pub struct ServingOutcome {
+    /// Per-tenant logs, accounting, swap history and telemetry.
+    pub report: ServingRunReport,
+    /// Bridge counters after the run.
+    pub bridge_stats: netsim::link::LinkStats,
+    /// The exact scenario that ran.
+    pub scenario: ScenarioConfig,
+}
+
+/// E13: the long-lived serving layer under the full chaos plan (CPU
+/// pressure spike + link flap + loss/jitter/throttle ramps). Trains a
+/// champion and a cheaper challenger, deploys a two-tenant
+/// [`ids::serving::IdsService`] — the TServer link on a drop-oldest
+/// bounded queue, one device link on sampled degradation — promotes the
+/// challenger mid-run (a boundary hot-swap that bumps the generation in
+/// the `DetectionLog`), and retrains in the background from the replay
+/// buffer. Budgets are sized so the flood phases actually overflow the
+/// queues: the run exercises every shed/degrade path while conservation
+/// (`ingested == classified + degraded + shed`) holds exactly.
+///
+/// A pure function of `seed`: repeated runs (and runs under different
+/// `ml::par` thread counts) are byte-identical.
+pub fn run_serving_detection(seed: u64, scale: &ExperimentScale) -> ServingOutcome {
+    let capture = run_training_capture(seed, scale);
+    let (champion, challenger) = train_serving_models(&capture, scale, seed);
+
+    let epoch_offset = scale.capture_secs + 5;
+    let scenario = chaos_scenario(seed, scale.live_secs, epoch_offset);
+    let mut live = Testbed::deploy(scenario.clone());
+    live.run_infection_lead();
+    let _ = live.run_capture(SimDuration::from_secs(epoch_offset));
+
+    let mut config = ids::serving::ServingConfig::new(champion);
+    config.challenger = Some(challenger);
+    config.promote_challenger_at_tick = Some(scale.live_secs / 2);
+    config.promote_delay_ticks = 2;
+    config.retrain = Some(ids::serving::RetrainPolicy {
+        every_windows: (scale.live_secs / 4).max(4),
+        delay_windows: 2,
+        kind: ModelKind::KMeans(KMeansConfig { k_max: 8, ..KMeansConfig::default() }),
+        replay_capacity: scale.max_train_samples.min(4_000),
+        rng_salt: seed ^ 0x5e47e,
+    });
+    if scenario.buggify.enabled {
+        config.chaos = Some((scenario.buggify.swarm_seed, scenario.buggify.intensity));
+    }
+    let tenants = vec![
+        (
+            {
+                let mut t = ids::serving::TenantConfig::new("tserver");
+                t.queue_capacity = 512;
+                t.policy = ids::serving::BackpressurePolicy::DropOldest;
+                t.budget.drain_records_per_tick = 256;
+                t
+            },
+            ServingTenantTarget::TServer,
+        ),
+        (
+            {
+                let mut t = ids::serving::TenantConfig::new("dev0");
+                t.queue_capacity = 256;
+                t.policy = ids::serving::BackpressurePolicy::DegradeSampled { keep: 2 };
+                t.budget.drain_records_per_tick = 128;
+                t
+            },
+            ServingTenantTarget::Device(0),
+        ),
+    ];
+    let report = live.run_live_serving(SimDuration::from_secs(scale.live_secs), config, tenants);
+    let bridge_stats = live.bridge_stats();
+    ServingOutcome { report, bridge_stats, scenario }
 }
 
 /// Runs just the training capture (E3's dataset statistics).

@@ -33,11 +33,12 @@ pub mod testbed;
 
 pub use experiments::{
     run_baseline_detection, run_chaos_detection, run_full_evaluation, run_lifecycle_detection,
-    ChaosOutcome, ExperimentScale, FullReport, LifecycleOutcome, ModelReport,
+    run_serving_detection, ChaosOutcome, ExperimentScale, FullReport, LifecycleOutcome,
+    ModelReport, ServingOutcome,
 };
 pub use scenario::{
     rotation, AttackPhase, CpuPressureSpec, CrashSpec, FaultPlanConfig, JitterSpec,
     LifecycleTarget, LinkFlapSpec, LossRampSpec, RandomFlapSpec, RebootSpec, ScenarioConfig,
     ThrottleSpec,
 };
-pub use testbed::{LiveReport, Testbed};
+pub use testbed::{LiveReport, ServingRunReport, ServingTenantTarget, TenantReport, Testbed};

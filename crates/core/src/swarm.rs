@@ -21,8 +21,11 @@ use netsim::buggify::BuggifyConfig;
 use netsim::rng::SimRng;
 use netsim::time::{SimDuration, SimTime};
 
-use crate::experiments::{chaos_scenario, lifecycle_scenario, run_training_capture, ExperimentScale};
-use crate::testbed::Testbed;
+use crate::experiments::{
+    chaos_scenario, lifecycle_scenario, run_training_capture, train_serving_models,
+    ExperimentScale,
+};
+use crate::testbed::{ServingTenantTarget, Testbed};
 
 /// Which golden scenario a swarm run perturbs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,17 +35,22 @@ pub enum SwarmCase {
     Chaos,
     /// [`lifecycle_scenario`]: device and TServer reboots mid-run.
     Lifecycle,
+    /// The serving layer under [`chaos_scenario`]: two tenants with
+    /// bounded queues, a mid-run champion hot-swap, and the two
+    /// `serve.*` decision points armed alongside the kernel's.
+    Serving,
 }
 
 impl SwarmCase {
     /// All cases, in runner order.
-    pub const ALL: [SwarmCase; 2] = [SwarmCase::Chaos, SwarmCase::Lifecycle];
+    pub const ALL: [SwarmCase; 3] = [SwarmCase::Chaos, SwarmCase::Lifecycle, SwarmCase::Serving];
 
     /// The case's stable command-line name.
     pub fn name(self) -> &'static str {
         match self {
             SwarmCase::Chaos => "chaos",
             SwarmCase::Lifecycle => "lifecycle",
+            SwarmCase::Serving => "serving",
         }
     }
 
@@ -51,6 +59,7 @@ impl SwarmCase {
         match s {
             "chaos" => Some(SwarmCase::Chaos),
             "lifecycle" => Some(SwarmCase::Lifecycle),
+            "serving" => Some(SwarmCase::Serving),
             _ => None,
         }
     }
@@ -61,7 +70,8 @@ impl SwarmCase {
 pub struct SwarmViolation {
     /// Stable invariant name (`no-panic`, `ids-liveness`,
     /// `feed-conservation`, `pool-health`, `clock-horizon`,
-    /// `determinism`).
+    /// `determinism`; serving case also: `serving-conservation`,
+    /// `generation-monotone`, `swap-landed`).
     pub invariant: &'static str,
     /// Human-readable detail.
     pub detail: String,
@@ -115,10 +125,29 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Trains the swarm's K-Means IDS once for a scenario seed. Every swarm
-/// seed replays the *same* trained model (training happens before the
-/// perturbed phase), so a runner trains once per scenario seed and
-/// clones per run.
+/// The models a swarm runner trains once per scenario seed: the
+/// champion every case deploys, plus the cheaper challenger the serving
+/// case hot-swaps in. Every swarm seed replays the *same* trained
+/// models (training happens before the perturbed phase), so a runner
+/// trains once per scenario seed and clones per run.
+#[derive(Debug, Clone)]
+pub struct SwarmModels {
+    /// The standard K-Means IDS (all cases).
+    pub champion: TrainedIds,
+    /// The coarser shadow model (serving case only).
+    pub challenger: TrainedIds,
+}
+
+/// Trains the swarm's champion + challenger once for a scenario seed.
+pub fn swarm_models(scenario_seed: u64, scale: &ExperimentScale) -> SwarmModels {
+    let capture = run_training_capture(scenario_seed, scale);
+    let (champion, challenger) = train_serving_models(&capture, scale, scenario_seed);
+    SwarmModels { champion, challenger }
+}
+
+/// Trains the swarm's K-Means IDS once for a scenario seed (the
+/// champion of [`swarm_models`], for callers that only deploy the
+/// single-model cases).
 pub fn swarm_trained_ids(scenario_seed: u64, scale: &ExperimentScale) -> TrainedIds {
     let capture = run_training_capture(scenario_seed, scale);
     let ids_config =
@@ -142,17 +171,21 @@ pub fn run_swarm_case(
     scenario_seed: u64,
     swarm_seed: u64,
     scale: &ExperimentScale,
-    ids: &TrainedIds,
+    models: &SwarmModels,
 ) -> SwarmReport {
+    if case == SwarmCase::Serving {
+        return run_swarm_serving(scenario_seed, swarm_seed, scale, models);
+    }
     let epoch_offset = scale.capture_secs + 5;
     let mut scenario = match case {
         SwarmCase::Chaos => chaos_scenario(scenario_seed, scale.live_secs, epoch_offset),
         SwarmCase::Lifecycle => lifecycle_scenario(scenario_seed, scale.live_secs, epoch_offset),
+        SwarmCase::Serving => unreachable!("dispatched above"),
     };
     scenario.buggify = BuggifyConfig::swarm(swarm_seed);
 
     let mut violations = Vec::new();
-    let ids = ids.clone();
+    let ids = models.champion.clone();
     let lead = scenario.infection_lead;
     let live_secs = scale.live_secs;
     let run = catch_unwind(AssertUnwindSafe(move || {
@@ -238,6 +271,219 @@ pub fn run_swarm_case(
     }
 }
 
+/// The serving-layer swarm case: [`chaos_scenario`] + kernel buggify +
+/// the two `serve.*` decision points, against a two-tenant
+/// [`ids::serving::IdsService`] with a mid-run challenger promotion.
+/// On top of the shared invariants it checks *serving conservation*
+/// (per tenant, `windows_ingested == windows_classified +
+/// windows_degraded + windows_shed`, via both the handle and the
+/// telemetry export), *generation monotonicity* in every log, and that
+/// the staged hot-swap actually landed despite `serve.model_swap_delay`
+/// perturbation.
+fn run_swarm_serving(
+    scenario_seed: u64,
+    swarm_seed: u64,
+    scale: &ExperimentScale,
+    models: &SwarmModels,
+) -> SwarmReport {
+    let epoch_offset = scale.capture_secs + 5;
+    let mut scenario = chaos_scenario(scenario_seed, scale.live_secs, epoch_offset);
+    scenario.buggify = BuggifyConfig::swarm(swarm_seed);
+
+    let mut violations = Vec::new();
+    let champion = models.champion.clone();
+    let challenger = models.challenger.clone();
+    let lead = scenario.infection_lead;
+    let live_secs = scale.live_secs;
+    let run = catch_unwind(AssertUnwindSafe(move || {
+        let mut tb = Testbed::deploy(scenario.clone());
+        tb.run_infection_lead();
+        let _ = tb.run_capture(SimDuration::from_secs(epoch_offset));
+
+        let mut config = ids::serving::ServingConfig::new(champion);
+        config.challenger = Some(challenger);
+        config.promote_challenger_at_tick = Some(live_secs / 2);
+        config.promote_delay_ticks = 2;
+        config.chaos = Some((scenario.buggify.swarm_seed, scenario.buggify.intensity));
+        let tenants = vec![
+            (
+                {
+                    let mut t = ids::serving::TenantConfig::new("tserver");
+                    t.queue_capacity = 512;
+                    t.policy = ids::serving::BackpressurePolicy::DropOldest;
+                    t.budget.drain_records_per_tick = 256;
+                    t
+                },
+                ServingTenantTarget::TServer,
+            ),
+            (
+                {
+                    let mut t = ids::serving::TenantConfig::new("dev0");
+                    t.queue_capacity = 256;
+                    t.policy = ids::serving::BackpressurePolicy::DegradeSampled { keep: 2 };
+                    t.budget.drain_records_per_tick = 128;
+                    t
+                },
+                ServingTenantTarget::Device(0),
+            ),
+        ];
+        let report = tb.run_live_serving(SimDuration::from_secs(live_secs), config, tenants);
+
+        let sniffer = tb.sniffer();
+        let feed = (
+            sniffer.captured_total(),
+            sniffer.drained_total(),
+            sniffer.buffered() as u64,
+            sniffer.dropped_overflow(),
+        );
+        let pool = tb.runtime().world().packet_pool();
+        let pool_health = (pool.live(), pool.high_water(), pool.capacity());
+        let fires: u64 =
+            tb.runtime().world().buggify_counts().iter().map(|&(_, _, f)| f).sum();
+        let now = tb.runtime().now();
+
+        let serving_conservation = report.handle.conservation_violation();
+        let mut log_text = String::new();
+        let mut liveness = None;
+        let mut generation_violation = None;
+        let mut windows = 0usize;
+        let mut degraded = 0usize;
+        let mut telemetry_conservation = None;
+        for tenant in &report.tenants {
+            log_text.push_str(&format!("== {} ==\n", tenant.name));
+            log_text.push_str(&tenant.log.serialize_compact());
+            windows += tenant.log.len();
+            degraded += tenant.log.degraded_count();
+            if liveness.is_none() {
+                liveness = tenant.log.liveness_violation();
+            }
+            if generation_violation.is_none() {
+                generation_violation = tenant.log.generation_violation();
+            }
+            // The same conservation equation, read back from the obs
+            // export: every shed window must be accounted in telemetry,
+            // not only in the in-process counters.
+            if telemetry_conservation.is_none() {
+                let prefix = format!("ids.serving.{}.", tenant.name);
+                let get = |name: &str| {
+                    report.telemetry.counter(&format!("{prefix}{name}")).unwrap_or(0)
+                };
+                let ingested = get("windows_ingested");
+                let out = get("windows_classified") + get("windows_degraded")
+                    + get("windows_shed");
+                if ingested != out {
+                    telemetry_conservation = Some(format!(
+                        "telemetry {prefix}: ingested {ingested} != accounted {out}"
+                    ));
+                }
+            }
+        }
+        let swap_landed = report.swaps >= 1 && report.generation >= 1;
+        let telemetry_text = report.telemetry.render_text();
+        (
+            feed,
+            pool_health,
+            fires,
+            now,
+            log_text,
+            liveness,
+            serving_conservation,
+            generation_violation,
+            telemetry_conservation,
+            swap_landed,
+            telemetry_text,
+            windows,
+            degraded,
+        )
+    }));
+
+    let (windows, degraded, fires, fingerprint) = match run {
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            violations.push(SwarmViolation { invariant: "no-panic", detail: msg });
+            (0, 0, 0, 0)
+        }
+        Ok((
+            feed,
+            pool,
+            fires,
+            now,
+            log_text,
+            liveness,
+            serving_conservation,
+            generation_violation,
+            telemetry_conservation,
+            swap_landed,
+            telemetry_text,
+            windows,
+            degraded,
+        )) => {
+            let (captured, drained, buffered, _dropped) = feed;
+            if captured != drained + buffered {
+                violations.push(SwarmViolation {
+                    invariant: "feed-conservation",
+                    detail: format!(
+                        "captured {captured} != drained {drained} + buffered {buffered}"
+                    ),
+                });
+            }
+            let (live, high_water, capacity) = pool;
+            if !(live <= high_water && high_water <= capacity) {
+                violations.push(SwarmViolation {
+                    invariant: "pool-health",
+                    detail: format!(
+                        "live {live} <= high_water {high_water} <= capacity {capacity} violated"
+                    ),
+                });
+            }
+            if let Some(detail) = liveness {
+                violations.push(SwarmViolation { invariant: "ids-liveness", detail });
+            }
+            if let Some(detail) = serving_conservation {
+                violations.push(SwarmViolation { invariant: "serving-conservation", detail });
+            }
+            if let Some(detail) = telemetry_conservation {
+                violations.push(SwarmViolation { invariant: "serving-conservation", detail });
+            }
+            if let Some(detail) = generation_violation {
+                violations.push(SwarmViolation { invariant: "generation-monotone", detail });
+            }
+            if !swap_landed {
+                violations.push(SwarmViolation {
+                    invariant: "swap-landed",
+                    detail: "the staged challenger promotion never swapped in".to_owned(),
+                });
+            }
+            let expected =
+                SimTime::ZERO + lead + SimDuration::from_secs(epoch_offset + live_secs);
+            if now != expected {
+                violations.push(SwarmViolation {
+                    invariant: "clock-horizon",
+                    detail: format!("clock ended at {now:?}, expected {expected:?}"),
+                });
+            }
+            let mut fp = fnv1a(log_text.as_bytes());
+            fp ^= fnv1a(telemetry_text.as_bytes()).rotate_left(17);
+            (windows, degraded, fires, fp)
+        }
+    };
+
+    SwarmReport {
+        case: SwarmCase::Serving,
+        scenario_seed,
+        swarm_seed,
+        violations,
+        windows,
+        degraded,
+        buggify_fires: fires,
+        fingerprint,
+    }
+}
+
 /// Runs a swarm seed twice and reports a `determinism` violation if the
 /// two runs' fingerprints differ. Used by the runner on a sample of
 /// seeds — the double run costs a full extra execution.
@@ -246,10 +492,10 @@ pub fn check_determinism(
     scenario_seed: u64,
     swarm_seed: u64,
     scale: &ExperimentScale,
-    ids: &TrainedIds,
+    models: &SwarmModels,
 ) -> Option<SwarmViolation> {
-    let a = run_swarm_case(case, scenario_seed, swarm_seed, scale, ids);
-    let b = run_swarm_case(case, scenario_seed, swarm_seed, scale, ids);
+    let a = run_swarm_case(case, scenario_seed, swarm_seed, scale, models);
+    let b = run_swarm_case(case, scenario_seed, swarm_seed, scale, models);
     if a.fingerprint != b.fingerprint {
         return Some(SwarmViolation {
             invariant: "determinism",
@@ -281,8 +527,8 @@ mod tests {
     #[test]
     fn swarm_run_engages_buggify_and_passes_invariants() {
         let scale = tiny_scale();
-        let ids = swarm_trained_ids(11, &scale);
-        let report = run_swarm_case(SwarmCase::Chaos, 11, 1, &scale, &ids);
+        let models = swarm_models(11, &scale);
+        let report = run_swarm_case(SwarmCase::Chaos, 11, 1, &scale, &models);
         assert!(report.passed(), "violations: {:?}", report.violations);
         assert!(report.buggify_fires > 0, "the perturbation layer must engage");
         assert!(report.windows > 0, "the IDS must classify windows");
@@ -290,15 +536,33 @@ mod tests {
     }
 
     #[test]
+    fn serving_swarm_run_passes_its_invariants() {
+        let scale = tiny_scale();
+        let models = swarm_models(11, &scale);
+        let report = run_swarm_case(SwarmCase::Serving, 11, 1, &scale, &models);
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert!(report.buggify_fires > 0, "the perturbation layer must engage");
+        assert!(report.windows > 0, "the service must classify windows");
+        assert!(report.repro_command().contains("--case serving"));
+    }
+
+    #[test]
     fn same_swarm_seed_reports_identical_fingerprints() {
         let scale = tiny_scale();
-        let ids = swarm_trained_ids(11, &scale);
-        assert_eq!(check_determinism(SwarmCase::Chaos, 11, 2, &scale, &ids), None);
-        let a = run_swarm_case(SwarmCase::Chaos, 11, 3, &scale, &ids);
-        let b = run_swarm_case(SwarmCase::Chaos, 11, 4, &scale, &ids);
+        let models = swarm_models(11, &scale);
+        assert_eq!(check_determinism(SwarmCase::Chaos, 11, 2, &scale, &models), None);
+        let a = run_swarm_case(SwarmCase::Chaos, 11, 3, &scale, &models);
+        let b = run_swarm_case(SwarmCase::Chaos, 11, 4, &scale, &models);
         assert_ne!(
             a.fingerprint, b.fingerprint,
             "different swarm seeds must perturb the run differently"
         );
+    }
+
+    #[test]
+    fn serving_same_swarm_seed_is_deterministic() {
+        let scale = tiny_scale();
+        let models = swarm_models(11, &scale);
+        assert_eq!(check_determinism(SwarmCase::Serving, 11, 5, &scale, &models), None);
     }
 }

@@ -18,6 +18,7 @@ use containers::runtime::{ContainerId, ContainerSpec, Role, Runtime};
 use ids::pipeline::TrainedIds;
 use ids::realtime::{DetectionLog, RealTimeIds};
 use ids::resources::{RobustnessReport, SustainabilityReport};
+use ids::serving::{serving_pair, ServingConfig, ServingHandle, TenantConfig, TenantCounters};
 use netsim::rng::SimRng;
 use netsim::time::{SimDuration, SimTime};
 use netsim::Addr;
@@ -341,6 +342,135 @@ impl Testbed {
         LiveReport { log, sustainability, robustness, meter, telemetry, wallclock }
     }
 
+    /// Runs the long-lived serving phase: installs an
+    /// [`ids::serving::IdsService`] with one tenant per monitored link,
+    /// runs for `duration`, finalizes the service (graceful drain) and
+    /// returns the per-tenant logs, accounting, and the usual
+    /// sustainability / robustness / telemetry reports.
+    ///
+    /// The first tenant targeting [`ServingTenantTarget::TServer`]
+    /// reuses the testbed's existing TServer tap (so the feed
+    /// conservation accounting stays whole); device tenants get their
+    /// own taps, added when this method runs. Targets should be
+    /// distinct — two tenants sharing one feed would steal each other's
+    /// records.
+    pub fn run_live_serving(
+        &mut self,
+        duration: SimDuration,
+        config: ServingConfig,
+        tenants: Vec<(TenantConfig, ServingTenantTarget)>,
+    ) -> ServingRunReport {
+        let meter = self.rt.meter(self.ids_container);
+        meter.set_obs(&self.registry.scope("containers.ids"));
+        let model_size_kb = config.champion.model().encode().len() as f64 / 1024.0;
+        let mut feeds = Vec::new();
+        let mut wired = Vec::new();
+        for (tenant_config, target) in tenants {
+            let feed = match target {
+                ServingTenantTarget::TServer => self.sniffer.clone(),
+                ServingTenantTarget::Device(i) => {
+                    let addr = self.rt.addr(self.devices[i]);
+                    let (tap, handle) = sniffer_pair(SnifferFilter::Involving(addr));
+                    self.rt.world_mut().add_tap(Box::new(tap));
+                    if self.config.buggify.enabled {
+                        handle.set_chaos(
+                            self.config.buggify.swarm_seed,
+                            self.config.buggify.intensity,
+                        );
+                    }
+                    handle
+                }
+            };
+            feeds.push(feed.clone());
+            wired.push((tenant_config, feed));
+        }
+        let (mut app, handle) = serving_pair(config, wired, meter.clone());
+        app.set_obs(self.registry.scope("ids.serving"));
+        let now = self.rt.now();
+        self.rt.install(
+            self.ids_container,
+            Box::new(app),
+            netsim::packet::Provenance::Benign,
+            now,
+        );
+        self.rt.run_for(duration);
+        handle.finalize();
+
+        let sustainability = SustainabilityReport {
+            cpu_percent: meter.mean_cpu_percent(),
+            memory_kb: meter.memory_peak_bytes() as f64 / 1024.0,
+            model_size_kb,
+        };
+        let tenant_reports: Vec<TenantReport> = handle
+            .all_counters()
+            .into_iter()
+            .map(|(name, counters)| {
+                let log = handle.tenant_log(&name).expect("tenant came from the handle");
+                TenantReport { name, log, counters }
+            })
+            .collect();
+        let mut robustness = RobustnessReport {
+            windows_total: tenant_reports.iter().map(|t| t.log.len()).sum(),
+            windows_degraded: tenant_reports.iter().map(|t| t.log.degraded_count()).sum(),
+            windows_shed: tenant_reports
+                .iter()
+                .map(|t| t.counters.windows_shed as usize)
+                .sum(),
+            records_shed: tenant_reports.iter().map(|t| t.counters.records_shed).sum(),
+            records_sampled_out: tenant_reports
+                .iter()
+                .map(|t| t.counters.records_sampled_out)
+                .sum(),
+            feed_dropped: feeds.iter().map(|f| f.dropped_overflow()).sum(),
+            feed_captured: feeds.iter().map(|f| f.captured_total()).sum(),
+            container_downtime: self.rt.downtime_table(),
+            benign_started: 0,
+            benign_completed: 0,
+            benign_failed: 0,
+            benign_retried: 0,
+            bots_evicted: 0,
+            reinfections: 0,
+            reinfection_latency_total_nanos: 0,
+        };
+        let benign = [
+            self.client_stats.http.snapshot(),
+            self.client_stats.video.snapshot(),
+            self.client_stats.ftp.snapshot(),
+        ];
+        robustness.benign_started = benign.iter().map(|c| c.started).sum();
+        robustness.benign_completed = benign.iter().map(|c| c.completed).sum();
+        robustness.benign_failed = benign.iter().map(|c| c.failed).sum();
+        robustness.benign_retried = benign.iter().map(|c| c.retried).sum();
+        let bots = self.botnet_stats.snapshot();
+        robustness.bots_evicted = bots.bots_evicted;
+        robustness.reinfections = bots.reinfections;
+        robustness.reinfection_latency_total_nanos = bots.reinfection_latency_total_nanos;
+
+        // Serving-chaos counters follow the capture-chaos convention:
+        // exported only when armed, keeping baseline telemetry
+        // fixture-identical.
+        if let Some((swap_delay_fires, queue_full_fires)) = handle.chaos_counts() {
+            let scope = self.registry.scope("ids.serving.chaos");
+            scope.gauge("swap_delay_fires").set(swap_delay_fires as i64);
+            scope.gauge("queue_full_fires").set(queue_full_fires as i64);
+        }
+        let (swaps, retrains, retrains_failed) = handle.swap_counts();
+        let generation = handle.generation();
+        let telemetry = self.telemetry();
+        ServingRunReport {
+            tenants: tenant_reports,
+            generation,
+            swaps,
+            retrains,
+            retrains_failed,
+            handle,
+            sustainability,
+            robustness,
+            meter,
+            telemetry,
+        }
+    }
+
     /// A snapshot of the run's telemetry: every counter, gauge and
     /// histogram across netsim / botnet / traffic / containers / ids,
     /// plus the sim-clock trace. Deterministic — two same-seed runs
@@ -382,6 +512,53 @@ impl Testbed {
             .listener_pressure(self.rt.node(self.tserver), self.config.attack_port)
             .unwrap_or((0, 0))
     }
+}
+
+/// Which link a serving tenant monitors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServingTenantTarget {
+    /// The TServer's traffic (the testbed's primary tap).
+    TServer,
+    /// Everything involving the i-th device container.
+    Device(usize),
+}
+
+/// One tenant's slice of a serving run.
+#[derive(Debug)]
+pub struct TenantReport {
+    /// Tenant name (matches its [`TenantConfig`]).
+    pub name: String,
+    /// Per-window detection results, generation-stamped.
+    pub log: DetectionLog,
+    /// Ingestion/backpressure accounting; conservation holds exactly
+    /// (the service was finalized before this was read).
+    pub counters: TenantCounters,
+}
+
+/// The outcome of a long-lived serving phase.
+#[derive(Debug)]
+pub struct ServingRunReport {
+    /// Per-tenant logs and accounting, in service order.
+    pub tenants: Vec<TenantReport>,
+    /// The champion's final model generation.
+    pub generation: u64,
+    /// Boundary swaps applied.
+    pub swaps: u64,
+    /// Background retrains staged successfully.
+    pub retrains: u64,
+    /// Retrains that failed recoverably (e.g. single-class corpus).
+    pub retrains_failed: u64,
+    /// The live service handle (post-run inspection, conservation
+    /// checks).
+    pub handle: ServingHandle,
+    /// The paper's Table II row for the serving deployment.
+    pub sustainability: SustainabilityReport,
+    /// Overload/shed/feed accounting across every tenant.
+    pub robustness: RobustnessReport,
+    /// The IDS container's meter.
+    pub meter: ResourceMeter,
+    /// The run's deterministic telemetry export.
+    pub telemetry: RunTelemetry,
 }
 
 /// The outcome of a real-time detection phase.

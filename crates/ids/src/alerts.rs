@@ -191,6 +191,7 @@ mod tests {
             malicious_correct: 0,
             mixed: false,
             majority_truth: truth,
+            generation: 0,
             degraded: false,
         }
     }

@@ -17,9 +17,14 @@ pub mod federated;
 pub mod pipeline;
 pub mod realtime;
 pub mod resources;
+pub mod serving;
 
 pub use alerts::{alert_episodes, detection_latencies, summarize, AlertPolicy, AlertSummary};
 pub use federated::{train_federated, FederatedConfig, FederatedOutcome};
 pub use pipeline::{train_model, IdsConfig, ModelKind, TrainedIds, TrainingOutcome, WindowDetection};
 pub use realtime::{DetectionLog, OverloadPolicy, RealTimeIds};
 pub use resources::{RobustnessReport, SustainabilityReport};
+pub use serving::{
+    serving_pair, Admission, BackpressurePolicy, IdsService, IngestQueue, RetrainPolicy,
+    ServingConfig, ServingHandle, TenantBudget, TenantConfig, TenantCounters,
+};

@@ -239,13 +239,53 @@ impl TrainedIds {
     /// # Panics
     ///
     /// Panics if `scratch` was not created with [`TOTAL_FEATURES`]
-    /// columns.
+    /// columns or the fitted scaler's arity does not match the feature
+    /// layout. Long-lived serving loops should prefer
+    /// [`TrainedIds::try_classify_window_profiled`], which reports those
+    /// conditions as a [`ClassifyError`] instead so a bad hot-swapped
+    /// model degrades windows rather than killing the service.
     pub fn classify_window_profiled(
         &self,
         window: &Window,
         scratch: &mut FeatureMatrix,
         predictions: &mut Vec<usize>,
     ) -> (WindowDetection, WindowProfile) {
+        self.try_classify_window_profiled(window, scratch, predictions)
+            .unwrap_or_else(|e| panic!("classify_window: {e}"))
+    }
+
+    /// Fallible core of [`TrainedIds::classify_window_profiled`]: arity
+    /// mismatches between the scratch matrix, the fitted scaler, and the
+    /// feature layout come back as a [`ClassifyError`] instead of a
+    /// panic, so overload paths can account the window as degraded and
+    /// keep serving.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClassifyError::ScratchArity`] when `scratch` was not
+    /// created with [`TOTAL_FEATURES`] columns, and
+    /// [`ClassifyError::ScalerArity`] when the fitted scaler expects a
+    /// different feature count (e.g. a model assembled via
+    /// [`TrainedIds::from_parts`] from an incompatible pipeline was
+    /// swapped in).
+    pub fn try_classify_window_profiled(
+        &self,
+        window: &Window,
+        scratch: &mut FeatureMatrix,
+        predictions: &mut Vec<usize>,
+    ) -> Result<(WindowDetection, WindowProfile), ClassifyError> {
+        if scratch.n_cols() != TOTAL_FEATURES {
+            return Err(ClassifyError::ScratchArity {
+                expected: TOTAL_FEATURES,
+                got: scratch.n_cols(),
+            });
+        }
+        if self.scaler.dims() != TOTAL_FEATURES {
+            return Err(ClassifyError::ScalerArity {
+                expected: TOTAL_FEATURES,
+                got: self.scaler.dims(),
+            });
+        }
         scratch.clear();
         window.append_features(scratch);
         self.scaler.transform_matrix(scratch);
@@ -271,11 +311,48 @@ impl TrainedIds {
             malicious_correct,
             mixed: window.is_mixed(),
             majority_truth: window.majority_label(),
+            generation: 0,
             degraded: false,
         };
-        (detection, WindowProfile { work_units: work, predict_wall_ns })
+        Ok((detection, WindowProfile { work_units: work, predict_wall_ns }))
     }
 }
+
+/// Why a window could not be classified (recoverable — the serving
+/// layer accounts the window as degraded instead of panicking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassifyError {
+    /// The caller-owned scratch matrix has the wrong column count.
+    ScratchArity {
+        /// Expected column count ([`TOTAL_FEATURES`]).
+        expected: usize,
+        /// The scratch matrix's actual column count.
+        got: usize,
+    },
+    /// The fitted scaler expects a different feature arity than the
+    /// extraction layout produces.
+    ScalerArity {
+        /// Expected feature count ([`TOTAL_FEATURES`]).
+        expected: usize,
+        /// The scaler's fitted dimensionality.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ClassifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClassifyError::ScratchArity { expected, got } => {
+                write!(f, "scratch matrix has {got} columns, feature layout needs {expected}")
+            }
+            ClassifyError::ScalerArity { expected, got } => {
+                write!(f, "scaler fitted for {got} features, feature layout needs {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClassifyError {}
 
 /// Profiling signals of one classified window.
 #[derive(Debug, Clone, Copy)]
@@ -367,6 +444,11 @@ pub struct WindowDetection {
     pub mixed: bool,
     /// The window's majority ground truth.
     pub majority_truth: Label,
+    /// Model generation that scored this window (0 for the initial
+    /// model; bumped by every hot-swap — see `ml::handle::SwapHandle`).
+    /// Every window is classified by exactly one generation.
+    #[serde(default)]
+    pub generation: u64,
     /// `true` if the detector's modelled compute for this window
     /// exceeded the window interval (overload): the result is still
     /// recorded, but it arrived late and downstream consumers should
@@ -492,11 +574,59 @@ mod tests {
             malicious_correct: 4,
             mixed: true,
             majority_truth: Label::Malicious,
+            generation: 0,
             degraded: false,
         };
         assert!((det.accuracy() - 0.7).abs() < 1e-12);
         let empty = WindowDetection { packets: 0, correct: 0, ..det };
         assert_eq!(empty.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error_not_a_panic() {
+        // A model assembled from an incompatible pipeline (2-feature
+        // scaler vs. the TOTAL_FEATURES layout) must come back as a
+        // recoverable ClassifyError so a bad hot-swap degrades windows
+        // instead of killing the serving loop.
+        let mut rows = vec![vec![0.0, 0.0], vec![0.1, 0.0], vec![5.0, 5.0], vec![5.1, 5.0]];
+        let labels = vec![0usize, 0, 1, 1];
+        let mut rng = SimRng::seed_from(9);
+        let bad_scaler = Scaler::fit_transform(ScalingMethod::MinMax, &mut rows);
+        let model = train_model(
+            &ModelKind::KMeans(KMeansConfig { k_max: 2, ..KMeansConfig::default() }),
+            &rows,
+            &labels,
+            &mut rng,
+        )
+        .unwrap();
+        let bad_ids = TrainedIds::from_parts(model, bad_scaler, IdsConfig::default());
+
+        let live = synthetic_capture(2, 2);
+        let windows = features::extract::windows_of(&live, 1);
+        let mut scratch = FeatureMatrix::new(TOTAL_FEATURES);
+        let mut predictions = Vec::new();
+        let err = bad_ids
+            .try_classify_window_profiled(&windows[0], &mut scratch, &mut predictions)
+            .unwrap_err();
+        assert_eq!(err, ClassifyError::ScalerArity { expected: TOTAL_FEATURES, got: 2 });
+        assert!(err.to_string().contains("scaler fitted for 2 features"));
+
+        // Wrong scratch arity is likewise recoverable.
+        let good = synthetic_capture(6, 3);
+        let mut rng = SimRng::seed_from(10);
+        let outcome = TrainedIds::train(
+            &good,
+            &ModelKind::KMeans(KMeansConfig::default()),
+            IdsConfig { max_train_samples: 2_000, ..IdsConfig::default() },
+            &mut rng,
+        )
+        .unwrap();
+        let mut bad_scratch = FeatureMatrix::new(3);
+        let err = outcome
+            .ids
+            .try_classify_window_profiled(&windows[0], &mut bad_scratch, &mut predictions)
+            .unwrap_err();
+        assert_eq!(err, ClassifyError::ScratchArity { expected: TOTAL_FEATURES, got: 3 });
     }
 
     #[test]

@@ -113,6 +113,41 @@ impl DetectionLog {
         self.inner.borrow().iter().filter(|d| d.degraded).count()
     }
 
+    /// The distinct model generations that scored windows, in first-use
+    /// order (a hot-swap run reports more than one).
+    pub fn generations(&self) -> Vec<u64> {
+        let results = self.inner.borrow();
+        let mut out: Vec<u64> = Vec::new();
+        for d in results.iter() {
+            if out.last() != Some(&d.generation) {
+                out.push(d.generation);
+            }
+        }
+        out
+    }
+
+    /// Checks the serving-layer generation invariant: model generations
+    /// stamped into the log must be non-decreasing (swaps happen at
+    /// window boundaries only, and a window is never scored by a mix of
+    /// generations — each carries exactly one). Returns the first
+    /// violation, or `None` when the log is sane.
+    pub fn generation_violation(&self) -> Option<String> {
+        let results = self.inner.borrow();
+        let mut prev: Option<u64> = None;
+        for d in results.iter() {
+            if let Some(p) = prev {
+                if d.generation < p {
+                    return Some(format!(
+                        "window {} scored by generation {} after generation {}",
+                        d.window_index, d.generation, p
+                    ));
+                }
+            }
+            prev = Some(d.generation);
+        }
+        None
+    }
+
     /// Checks the IDS liveness invariant for swarm runs: window indices
     /// strictly increase (no window is processed twice or out of order,
     /// none regresses), and every logged window carries a terminal
@@ -163,7 +198,7 @@ impl DetectionLog {
             };
             writeln!(
                 out,
-                "w={} p={} c={} pm={} tm={} mc={} mixed={} maj={} deg={}",
+                "w={} p={} c={} pm={} tm={} mc={} mixed={} maj={} gen={} deg={}",
                 d.window_index,
                 d.packets,
                 d.correct,
@@ -172,6 +207,7 @@ impl DetectionLog {
                 d.malicious_correct,
                 u8::from(d.mixed),
                 maj,
+                d.generation,
                 u8::from(d.degraded),
             )
             .expect("writing to String cannot fail");
@@ -233,6 +269,7 @@ struct IdsObs {
     windows: Counter,
     packets_classified: Counter,
     budget_exceeded: Counter,
+    classify_errors: Counter,
     extract_ns: Histogram,
     classify_ns: Histogram,
     predict_work: Histogram,
@@ -248,6 +285,7 @@ impl IdsObs {
             windows: scope.counter("windows"),
             packets_classified: scope.counter("packets_classified"),
             budget_exceeded: scope.counter("budget_exceeded"),
+            classify_errors: scope.counter("classify_errors"),
             extract_ns: scope.histogram("extract_modelled_ns", &ns_bounds),
             classify_ns: scope.histogram("classify_modelled_ns", &ns_bounds),
             predict_work: scope.histogram("predict_work_units", &work_bounds),
@@ -372,9 +410,40 @@ impl RealTimeIds {
         let window_interval_secs = self.ids.window_secs() as f64;
         let mut buffered_bytes = 0u64;
         for window in &completed {
-            let (mut detection, profile) =
-                self.ids
-                    .classify_window_profiled(window, &mut self.scratch, &mut self.predictions);
+            // A classify failure (e.g. an arity-incompatible model) is
+            // recoverable: the window is logged as degraded with zero
+            // classified packets instead of panicking the service.
+            let (mut detection, profile) = match self.ids.try_classify_window_profiled(
+                window,
+                &mut self.scratch,
+                &mut self.predictions,
+            ) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    if let Some(obs) = &self.obs {
+                        obs.classify_errors.inc();
+                        obs.windows.inc();
+                        obs.scope.event(
+                            ctx.now().as_nanos(),
+                            "classify_error",
+                            format!("w={} {e}", window.index),
+                        );
+                    }
+                    self.log.push(WindowDetection {
+                        window_index: window.index,
+                        packets: window.records.len(),
+                        correct: 0,
+                        predicted_malicious: 0,
+                        truth_malicious: 0,
+                        malicious_correct: 0,
+                        mixed: window.is_mixed(),
+                        majority_truth: window.majority_label(),
+                        generation: 0,
+                        degraded: true,
+                    });
+                    continue;
+                }
+            };
             if let Some(wall) = &self.wall_obs {
                 wall.predict_wall_ns.observe(profile.predict_wall_ns);
             }
@@ -452,6 +521,7 @@ mod tests {
             malicious_correct: 0,
             mixed,
             majority_truth: Label::Benign,
+            generation: 0,
             degraded: false,
         }
     }
@@ -505,14 +575,15 @@ mod tests {
             malicious_correct: 4,
             mixed: true,
             majority_truth: Label::Malicious,
+            generation: 2,
             degraded: true,
         });
         log.push(detection(1, 1, false));
         let text = log.serialize_compact();
         assert_eq!(
             text,
-            "w=3 p=10 c=9 pm=4 tm=5 mc=4 mixed=1 maj=M deg=1\n\
-             w=0 p=1 c=1 pm=0 tm=0 mc=0 mixed=0 maj=B deg=0\n"
+            "w=3 p=10 c=9 pm=4 tm=5 mc=4 mixed=1 maj=M gen=2 deg=1\n\
+             w=0 p=1 c=1 pm=0 tm=0 mc=0 mixed=0 maj=B gen=0 deg=0\n"
         );
         // Identical logs serialise byte-identically.
         let again = log.serialize_compact();
@@ -542,6 +613,24 @@ mod tests {
             ..detection(0, 0, false)
         });
         assert_eq!(degraded_empty.liveness_violation(), None, "degraded counts as terminal");
+    }
+
+    #[test]
+    fn generation_tracking_and_violation() {
+        let log = DetectionLog::new();
+        log.push(WindowDetection { window_index: 1, generation: 0, ..detection(1, 1, false) });
+        log.push(WindowDetection { window_index: 2, generation: 0, ..detection(1, 1, false) });
+        log.push(WindowDetection { window_index: 3, generation: 1, ..detection(1, 1, false) });
+        assert_eq!(log.generations(), vec![0, 1]);
+        assert_eq!(log.generation_violation(), None);
+
+        let regressed = DetectionLog::new();
+        regressed
+            .push(WindowDetection { window_index: 1, generation: 2, ..detection(1, 1, false) });
+        regressed
+            .push(WindowDetection { window_index: 2, generation: 1, ..detection(1, 1, false) });
+        let v = regressed.generation_violation().unwrap();
+        assert!(v.contains("generation 1 after generation 2"), "{v}");
     }
 
     #[test]

@@ -57,6 +57,18 @@ pub struct RobustnessReport {
     pub windows_total: usize,
     /// Of those, windows marked degraded by the overload policy.
     pub windows_degraded: usize,
+    /// Windows the serving layer shed whole under backpressure — never
+    /// classified, but never silently lost (zero outside serving runs).
+    #[serde(default)]
+    pub windows_shed: usize,
+    /// Records the serving layer's bounded ingestion queues shed under
+    /// the drop-oldest policy (zero outside serving runs).
+    #[serde(default)]
+    pub records_shed: u64,
+    /// Records the degrade-to-sampled policy deliberately skipped while
+    /// its queue ran hot (zero outside serving runs).
+    #[serde(default)]
+    pub records_sampled_out: u64,
     /// Packets the bounded sniffer feed dropped at capacity.
     pub feed_dropped: u64,
     /// Packets the sniffer captured into the feed.
@@ -88,6 +100,9 @@ impl RobustnessReport {
         RobustnessReport {
             windows_total: log.len(),
             windows_degraded: log.degraded_count(),
+            windows_shed: 0,
+            records_shed: 0,
+            records_sampled_out: 0,
             feed_dropped: feed.dropped_overflow(),
             feed_captured: feed.captured_total(),
             container_downtime: Vec::new(),
@@ -129,9 +144,20 @@ impl std::fmt::Display for RobustnessReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "windows={} degraded={} feed_captured={} feed_dropped={}",
-            self.windows_total, self.windows_degraded, self.feed_captured, self.feed_dropped
+            "windows={} degraded={} shed={} feed_captured={} feed_dropped={}",
+            self.windows_total,
+            self.windows_degraded,
+            self.windows_shed,
+            self.feed_captured,
+            self.feed_dropped
         )?;
+        if self.records_shed > 0 || self.records_sampled_out > 0 {
+            write!(
+                f,
+                " records_shed={} records_sampled_out={}",
+                self.records_shed, self.records_sampled_out
+            )?;
+        }
         write!(
             f,
             " benign={}/{} failed={} retried={}",
@@ -180,6 +206,9 @@ mod tests {
         let mut report = RobustnessReport {
             windows_total: 10,
             windows_degraded: 1,
+            windows_shed: 2,
+            records_shed: 7,
+            records_sampled_out: 3,
             feed_dropped: 0,
             feed_captured: 100,
             container_downtime: vec![("dev-0".into(), 3), ("tserver".into(), 4)],
@@ -197,6 +226,8 @@ mod tests {
         let display = report.to_string();
         assert!(display.contains("benign=6/8"), "{display}");
         assert!(display.contains("down[tserver]=4ns"), "{display}");
+        assert!(display.contains("shed=2"), "{display}");
+        assert!(display.contains("records_shed=7 records_sampled_out=3"), "{display}");
         report.benign_started = 0;
         report.reinfections = 0;
         assert_eq!(report.benign_success_rate(), None);

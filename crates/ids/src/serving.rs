@@ -1,0 +1,1397 @@
+//! The long-lived IDS serving layer: bounded ingestion, model
+//! hot-swap, shadow evaluation, and multi-link tenancy.
+//!
+//! [`IdsService`] restructures the per-run [`crate::realtime`] pipeline
+//! into a production-style service:
+//!
+//! * **Bounded ingestion.** Each tenant owns an [`IngestQueue`] between
+//!   its sniffer drain and feature extraction, with an explicit
+//!   [`BackpressurePolicy`] — block upstream (records wait in the
+//!   sniffer's own bounded buffer), drop oldest, or degrade to sampled
+//!   admission. Every shed record and window is counted, never silently
+//!   lost: per tenant, `windows_ingested == windows_classified +
+//!   windows_degraded + windows_shed` holds exactly after
+//!   [`ServingHandle::finalize`].
+//! * **Model hot-swap.** The champion model lives behind an
+//!   [`ml::handle::SwapHandle`]; retrains are staged deterministically
+//!   on the sim clock and swapped in at a tick (= window) boundary, so
+//!   every window is classified by exactly one model generation — the
+//!   generation is stamped into the [`DetectionLog`].
+//! * **Champion/challenger shadow evaluation.** An optional challenger
+//!   scores the same windows without emitting alerts; verdict and
+//!   packet-level disagreements export through `obs`.
+//! * **Multi-link tenancy.** One service instance monitors several
+//!   links; budgets (per-tick processing budget, modelled cost) are per
+//!   tenant, so one tenant's overload degrades only its own windows.
+//!
+//! Determinism contract: all control flow runs on modelled cost, the
+//! sim clock, and buggify-style chaos streams keyed by
+//! [`netsim::buggify::stream_seed`]. Wall-clock time feeds the
+//! sustainability meter only. Same seed ⇒ byte-identical detection logs
+//! and telemetry, regardless of `ml::par` thread counts.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::time::Instant;
+
+use capture::dataset::Dataset;
+use capture::record::PacketRecord;
+use capture::sniffer::SnifferHandle;
+use containers::meter::ResourceMeter;
+use features::extract::{WindowAggregator, Window, TOTAL_FEATURES};
+use ml::handle::SwapHandle;
+use ml::matrix::FeatureMatrix;
+use netsim::buggify::{stream_seed, DecisionPoint};
+use netsim::rng::SimRng;
+use netsim::time::{SimDuration, SimTime};
+use netsim::world::{App, Ctx};
+use obs::{Counter, Gauge, Scope};
+
+use crate::pipeline::{ModelKind, TrainedIds, WindowDetection};
+use crate::realtime::DetectionLog;
+
+/// What a tenant does when its ingestion queue is full (or chaos
+/// pretends it is).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// Leave records upstream in the sniffer's bounded buffer; drain
+    /// only what the queue has room for. Upstream overflow is the
+    /// sniffer's tail-drop accounting (`feed_dropped`).
+    BlockUpstream,
+    /// Admit the new record and shed the oldest queued one. Shed
+    /// records are counted and their windows accounted (degraded if the
+    /// window still classifies, shed if it never does).
+    DropOldest,
+    /// Once the queue runs past half capacity, admit only every `keep`
+    /// -th record until it drains below the high-water mark. Sampled
+    /// windows classify on the admitted subset and are marked degraded.
+    DegradeSampled {
+        /// Admit every `keep`-th record while sampling (≥ 2).
+        keep: usize,
+    },
+}
+
+impl BackpressurePolicy {
+    /// Stable name for telemetry and display.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackpressurePolicy::BlockUpstream => "block_upstream",
+            BackpressurePolicy::DropOldest => "drop_oldest",
+            BackpressurePolicy::DegradeSampled { .. } => "degrade_sampled",
+        }
+    }
+}
+
+/// Per-tenant modelled compute budget. Mirrors
+/// [`crate::realtime::OverloadPolicy`], with one extra rung on the
+/// degradation ladder: a window whose modelled cost exceeds
+/// `shed_factor ×` the window interval is shed whole (accounted, never
+/// classified) instead of merely marked degraded.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantBudget {
+    /// Records the tenant may move from its queue into feature
+    /// extraction per service tick. The queue absorbs the rest — this
+    /// is what makes the bound meaningful under flood.
+    pub drain_records_per_tick: usize,
+    /// Modelled cost per classified packet, in seconds.
+    pub per_packet_cost_secs: f64,
+    /// Modelled fixed cost per window, in seconds.
+    pub per_window_overhead_secs: f64,
+    /// Multiple of the window interval beyond which a window is shed
+    /// whole rather than classified late.
+    pub shed_factor: f64,
+}
+
+impl Default for TenantBudget {
+    fn default() -> Self {
+        TenantBudget {
+            drain_records_per_tick: 4_096,
+            per_packet_cost_secs: 2e-6,
+            per_window_overhead_secs: 1e-4,
+            shed_factor: 8.0,
+        }
+    }
+}
+
+impl TenantBudget {
+    /// Modelled detection seconds for a window of `packets` packets
+    /// under `pressure`.
+    pub fn modelled_cost_secs(&self, packets: usize, pressure: f64) -> f64 {
+        (self.per_window_overhead_secs + self.per_packet_cost_secs * packets as f64)
+            * pressure.max(0.0)
+    }
+}
+
+/// Static configuration of one tenant (one monitored link).
+#[derive(Debug, Clone)]
+pub struct TenantConfig {
+    /// Stable tenant name (telemetry scope suffix, report key).
+    pub name: String,
+    /// Ingestion queue bound, in records.
+    pub queue_capacity: usize,
+    /// What happens when the queue is full.
+    pub policy: BackpressurePolicy,
+    /// The tenant's compute budget.
+    pub budget: TenantBudget,
+    /// Bound applied to the tenant's sniffer feed on start (`None`
+    /// leaves it unbounded).
+    pub feed_capacity: Option<usize>,
+}
+
+impl TenantConfig {
+    /// A tenant with the given name and defaults everywhere else:
+    /// 8192-record queue, drop-oldest, default budget, 65536-record
+    /// feed bound.
+    pub fn new(name: impl Into<String>) -> Self {
+        TenantConfig {
+            name: name.into(),
+            queue_capacity: 8_192,
+            policy: BackpressurePolicy::DropOldest,
+            budget: TenantBudget::default(),
+            feed_capacity: Some(65_536),
+        }
+    }
+}
+
+/// What [`IngestQueue::offer`] did with a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Queued normally.
+    Admitted,
+    /// Queued, but the oldest queued record was shed to make room
+    /// (drop-oldest at capacity); carries the shed record's window
+    /// index so its window can be marked degraded.
+    AdmittedSheddingOldest(u64),
+    /// Deliberately skipped by sampled admission.
+    SampledOut,
+    /// Rejected outright (block-upstream offered past its room).
+    Shed,
+}
+
+/// The bounded ingestion queue between sniffer drain and feature
+/// extraction. Pure data structure — deterministic, allocation-stable,
+/// fully accounted: `offered == admitted + shed + sampled_out`, and
+/// `len() ≤ capacity` always.
+#[derive(Debug)]
+pub struct IngestQueue {
+    queue: VecDeque<PacketRecord>,
+    capacity: usize,
+    policy: BackpressurePolicy,
+    window_secs: u64,
+    /// Forced-full latch for the current tick (chaos or test-injected).
+    forced_full: bool,
+    /// Offered-record counter used for sampled admission.
+    sample_phase: usize,
+    /// Whether degrade-to-sampled is currently shedding.
+    sampling_active: bool,
+    // Accounting. Every offered record reaches exactly one terminal
+    // disposition — popped into extraction, shed, or sampled out — or
+    // is still queued: `offered == popped + shed + sampled_out + len`.
+    offered: u64,
+    admitted: u64,
+    popped: u64,
+    shed: u64,
+    sampled_out: u64,
+    high_water: usize,
+    /// Distinct window indices seen among offered records.
+    windows_ingested: u64,
+    last_offered_index: Option<u64>,
+}
+
+impl IngestQueue {
+    /// Creates an empty queue with the given bound and policy.
+    /// `window_secs` maps record timestamps to window indices for the
+    /// shed-window accounting.
+    pub fn new(capacity: usize, policy: BackpressurePolicy, window_secs: u64) -> Self {
+        IngestQueue {
+            queue: VecDeque::new(),
+            capacity: capacity.max(1),
+            policy,
+            window_secs: window_secs.max(1),
+            forced_full: false,
+            sample_phase: 0,
+            sampling_active: false,
+            offered: 0,
+            admitted: 0,
+            popped: 0,
+            shed: 0,
+            sampled_out: 0,
+            high_water: 0,
+            windows_ingested: 0,
+            last_offered_index: None,
+        }
+    }
+
+    /// Records currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The queue bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many records the upstream drain may offer right now without
+    /// forcing the policy to act. Only [`BackpressurePolicy::BlockUpstream`]
+    /// limits the drain; the other policies accept everything and act
+    /// at admission.
+    pub fn drain_room(&self) -> usize {
+        match self.policy {
+            BackpressurePolicy::BlockUpstream => {
+                if self.forced_full {
+                    0
+                } else {
+                    self.capacity - self.queue.len()
+                }
+            }
+            _ => usize::MAX,
+        }
+    }
+
+    /// Latches the queue as "momentarily full" for the current tick
+    /// (the `serve.ingest_queue_full` chaos point): block-upstream
+    /// drains nothing, drop-oldest sheds for every admission, sampled
+    /// admission engages regardless of occupancy.
+    pub fn force_full(&mut self) {
+        self.forced_full = true;
+    }
+
+    /// Clears the forced-full latch (start of every tick).
+    pub fn clear_forced_full(&mut self) {
+        self.forced_full = false;
+    }
+
+    /// Offers one record; applies the backpressure policy. The caller
+    /// gets back what happened for window-level accounting.
+    pub fn offer(&mut self, record: PacketRecord) -> Admission {
+        self.offered += 1;
+        let index = record.window_index(self.window_secs);
+        if self.last_offered_index != Some(index) {
+            self.last_offered_index = Some(index);
+            self.windows_ingested += 1;
+        }
+        let effectively_full =
+            self.forced_full || self.queue.len() >= self.capacity;
+        let outcome = match self.policy {
+            BackpressurePolicy::BlockUpstream => {
+                if effectively_full {
+                    // Only reachable when the caller ignored drain_room
+                    // (or chaos latched mid-drain): account as shed
+                    // rather than exceeding the bound.
+                    self.shed += 1;
+                    return Admission::Shed;
+                }
+                self.queue.push_back(record);
+                self.admitted += 1;
+                Admission::Admitted
+            }
+            BackpressurePolicy::DropOldest => {
+                if effectively_full {
+                    if let Some(oldest) = self.queue.pop_front() {
+                        self.shed += 1;
+                        self.queue.push_back(record);
+                        self.admitted += 1;
+                        return Admission::AdmittedSheddingOldest(
+                            oldest.window_index(self.window_secs),
+                        );
+                    }
+                    // Capacity 0 edge: nothing to evict, shed the offer.
+                    self.shed += 1;
+                    return Admission::Shed;
+                }
+                self.queue.push_back(record);
+                self.admitted += 1;
+                Admission::Admitted
+            }
+            BackpressurePolicy::DegradeSampled { keep } => {
+                let high_water = self.capacity / 2;
+                if self.sampling_active && self.queue.len() * 4 <= self.capacity {
+                    self.sampling_active = false; // recovered: low-water at 1/4
+                }
+                if effectively_full || self.queue.len() >= high_water {
+                    self.sampling_active = true;
+                }
+                if self.sampling_active {
+                    self.sample_phase += 1;
+                    let keeper = self.sample_phase.is_multiple_of(keep.max(2));
+                    if !keeper || self.queue.len() >= self.capacity {
+                        self.sampled_out += 1;
+                        return Admission::SampledOut;
+                    }
+                }
+                self.queue.push_back(record);
+                self.admitted += 1;
+                Admission::Admitted
+            }
+        };
+        self.high_water = self.high_water.max(self.queue.len());
+        outcome
+    }
+
+    /// Pops the oldest admitted record for feature extraction.
+    pub fn pop(&mut self) -> Option<PacketRecord> {
+        let record = self.queue.pop_front();
+        if record.is_some() {
+            self.popped += 1;
+        }
+        record
+    }
+
+    /// `(offered, admitted, popped, shed, sampled_out)` record
+    /// accounting.
+    pub fn record_counts(&self) -> (u64, u64, u64, u64, u64) {
+        (self.offered, self.admitted, self.popped, self.shed, self.sampled_out)
+    }
+
+    /// Distinct window indices seen among offered records.
+    pub fn windows_ingested(&self) -> u64 {
+        self.windows_ingested
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Checks the queue's conservation invariant: every offered record
+    /// reached exactly one terminal disposition (popped, shed, sampled
+    /// out) or is still queued, and the bound was never exceeded.
+    /// Returns the first violation, or `None`.
+    pub fn conservation_violation(&self) -> Option<String> {
+        let accounted = self.popped + self.shed + self.sampled_out + self.queue.len() as u64;
+        if self.offered != accounted {
+            return Some(format!(
+                "queue records unaccounted: offered {} != popped {} + shed {} + sampled {} + queued {}",
+                self.offered,
+                self.popped,
+                self.shed,
+                self.sampled_out,
+                self.queue.len()
+            ));
+        }
+        if self.high_water > self.capacity {
+            return Some(format!(
+                "queue bound exceeded: high water {} > capacity {}",
+                self.high_water, self.capacity
+            ));
+        }
+        None
+    }
+}
+
+/// Deterministic background-retrain schedule. Training itself runs
+/// synchronously at stage time (the sim has no real background
+/// threads), but the *swap* lands `delay_windows` ticks later — the
+/// modelled training latency — and only ever at a tick boundary.
+#[derive(Debug, Clone)]
+pub struct RetrainPolicy {
+    /// Stage a retrain every this many service ticks (≥ 1).
+    pub every_windows: u64,
+    /// Ticks between staging and the atomic swap (modelled training
+    /// latency; the `serve.model_swap_delay` chaos point stretches it).
+    pub delay_windows: u64,
+    /// Model family to retrain.
+    pub kind: ModelKind,
+    /// Most recent admitted records (with ground-truth labels) kept as
+    /// the retrain corpus.
+    pub replay_capacity: usize,
+    /// Salt folded into the per-retrain RNG seed.
+    pub rng_salt: u64,
+}
+
+/// Frozen snapshot of one tenant's accounting, embedded in reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TenantCounters {
+    /// Distinct window indices offered at ingestion.
+    pub windows_ingested: u64,
+    /// Windows classified healthy.
+    pub windows_classified: u64,
+    /// Windows classified but marked degraded (overload, shed-affected,
+    /// sampled, or classify error).
+    pub windows_degraded: u64,
+    /// Windows shed whole — never classified.
+    pub windows_shed: u64,
+    /// Records offered to the ingest queue.
+    pub records_offered: u64,
+    /// Records admitted.
+    pub records_admitted: u64,
+    /// Records popped from the queue into feature extraction.
+    pub records_processed: u64,
+    /// Records shed (drop-oldest or forced-full).
+    pub records_shed: u64,
+    /// Records deliberately skipped by sampled admission.
+    pub records_sampled_out: u64,
+    /// Classify failures converted to degraded windows.
+    pub classify_errors: u64,
+    /// Challenger windows scored in shadow.
+    pub challenger_windows: u64,
+    /// Windows where champion and challenger majority verdicts differ.
+    pub verdict_disagreements: u64,
+    /// Packet-level prediction disagreements between the two models.
+    pub packet_disagreements: u64,
+}
+
+impl TenantCounters {
+    /// Checks the serving conservation invariant: every ingested window
+    /// is exactly one of classified / degraded / shed, and every record
+    /// is accounted. Valid after [`ServingHandle::finalize`].
+    pub fn conservation_violation(&self) -> Option<String> {
+        let out = self.windows_classified + self.windows_degraded + self.windows_shed;
+        if self.windows_ingested != out {
+            return Some(format!(
+                "windows unaccounted: ingested {} != classified {} + degraded {} + shed {}",
+                self.windows_ingested,
+                self.windows_classified,
+                self.windows_degraded,
+                self.windows_shed
+            ));
+        }
+        if self.records_offered
+            != self.records_processed + self.records_shed + self.records_sampled_out
+        {
+            return Some(format!(
+                "records unaccounted: offered {} != processed {} + shed {} + sampled {}",
+                self.records_offered,
+                self.records_processed,
+                self.records_shed,
+                self.records_sampled_out
+            ));
+        }
+        None
+    }
+}
+
+/// Per-tenant deterministic telemetry instruments.
+#[derive(Debug)]
+struct TenantObs {
+    scope: Scope,
+    records_offered: Counter,
+    records_admitted: Counter,
+    records_processed: Counter,
+    records_shed: Counter,
+    records_sampled_out: Counter,
+    windows_ingested: Counter,
+    windows_classified: Counter,
+    windows_degraded: Counter,
+    windows_shed: Counter,
+    classify_errors: Counter,
+    queue_depth: Gauge,
+    queue_high_water: Gauge,
+    challenger_windows: Counter,
+    verdict_disagreements: Counter,
+    packet_disagreements: Counter,
+}
+
+impl TenantObs {
+    fn new(scope: Scope) -> Self {
+        let challenger = scope.child("challenger");
+        TenantObs {
+            records_offered: scope.counter("records_offered"),
+            records_admitted: scope.counter("records_admitted"),
+            records_processed: scope.counter("records_processed"),
+            records_shed: scope.counter("records_shed"),
+            records_sampled_out: scope.counter("records_sampled_out"),
+            windows_ingested: scope.counter("windows_ingested"),
+            windows_classified: scope.counter("windows_classified"),
+            windows_degraded: scope.counter("windows_degraded"),
+            windows_shed: scope.counter("windows_shed"),
+            classify_errors: scope.counter("classify_errors"),
+            queue_depth: scope.gauge("queue_depth"),
+            queue_high_water: scope.gauge("queue_high_water"),
+            challenger_windows: challenger.counter("windows"),
+            verdict_disagreements: challenger.counter("verdict_disagreements"),
+            packet_disagreements: challenger.counter("packet_disagreements"),
+            scope,
+        }
+    }
+}
+
+/// One tenant's live state.
+struct TenantState {
+    config: TenantConfig,
+    feed: SnifferHandle,
+    queue: IngestQueue,
+    aggregator: WindowAggregator,
+    log: DetectionLog,
+    /// Window indices with at least one shed or sampled-out record that
+    /// have not yet reached a terminal verdict. Classified → degraded;
+    /// never classified → shed (settled at finalize).
+    affected_pending: BTreeSet<u64>,
+    counters: TenantCounters,
+    obs: Option<TenantObs>,
+}
+
+/// Serving-layer chaos: the two `serve.*` decision points, evaluated
+/// from private streams keyed exactly like the kernel's buggify layer
+/// (same swarm seed ⇒ same perturbation schedule), since the service
+/// runs above the kernel and cannot reach its `Buggify` state.
+#[derive(Debug)]
+struct ServingChaos {
+    swap_rng: SimRng,
+    queue_rng: SimRng,
+    intensity: f64,
+    swap_delay_fires: u64,
+    queue_full_fires: u64,
+}
+
+impl ServingChaos {
+    fn new(swarm_seed: u64, intensity: f64) -> Self {
+        ServingChaos {
+            swap_rng: SimRng::seed_from(stream_seed(
+                swarm_seed,
+                DecisionPoint::ServeModelSwapDelay.name(),
+            )),
+            queue_rng: SimRng::seed_from(stream_seed(
+                swarm_seed,
+                DecisionPoint::ServeIngestQueueFull.name(),
+            )),
+            intensity,
+            swap_delay_fires: 0,
+            queue_full_fires: 0,
+        }
+    }
+}
+
+/// A model staged for the next boundary swap.
+struct StagedSwap {
+    ids: TrainedIds,
+    ready_tick: u64,
+}
+
+/// Service-level deterministic instruments.
+#[derive(Debug)]
+struct ServiceObs {
+    scope: Scope,
+    swaps: Counter,
+    retrains: Counter,
+    retrains_failed: Counter,
+    generation: Gauge,
+}
+
+impl ServiceObs {
+    fn new(scope: Scope) -> Self {
+        ServiceObs {
+            swaps: scope.counter("swaps"),
+            retrains: scope.counter("retrains"),
+            retrains_failed: scope.counter("retrains_failed"),
+            generation: scope.gauge("generation"),
+            scope,
+        }
+    }
+}
+
+/// Configuration of an [`IdsService`] (everything but the feeds).
+pub struct ServingConfig {
+    /// The initial champion.
+    pub champion: TrainedIds,
+    /// Optional shadow challenger.
+    pub challenger: Option<TrainedIds>,
+    /// Promote the challenger to champion at this service tick
+    /// (staged, then swapped after the modelled delay).
+    pub promote_challenger_at_tick: Option<u64>,
+    /// Ticks between staging a promotion and its swap.
+    pub promote_delay_ticks: u64,
+    /// Optional deterministic background retraining.
+    pub retrain: Option<RetrainPolicy>,
+    /// Serving-layer chaos `(swarm_seed, intensity)`; `None` disarmed.
+    pub chaos: Option<(u64, f64)>,
+}
+
+impl ServingConfig {
+    /// A service with just a champion: no challenger, no promotion, no
+    /// retraining, chaos disarmed.
+    pub fn new(champion: TrainedIds) -> Self {
+        ServingConfig {
+            champion,
+            challenger: None,
+            promote_challenger_at_tick: None,
+            promote_delay_ticks: 1,
+            retrain: None,
+            chaos: None,
+        }
+    }
+}
+
+/// Shared core state: the [`IdsService`] app ticks it on the sim
+/// clock; the [`ServingHandle`] reads (and finalizes) it afterwards.
+struct ServingCore {
+    tenants: Vec<TenantState>,
+    champion: SwapHandle<TrainedIds>,
+    challenger: Option<SwapHandle<TrainedIds>>,
+    promote_challenger_at_tick: Option<u64>,
+    promote_delay_ticks: u64,
+    retrain: Option<RetrainPolicy>,
+    replay: VecDeque<PacketRecord>,
+    staged: Option<StagedSwap>,
+    chaos: Option<ServingChaos>,
+    tick_index: u64,
+    swaps: u64,
+    retrains: u64,
+    retrains_failed: u64,
+    window_secs: u64,
+    last_pressure: f64,
+    last_now: SimTime,
+    finalized: bool,
+    obs: Option<ServiceObs>,
+    // Scratch reused across tenants and windows.
+    scratch: FeatureMatrix,
+    predictions: Vec<usize>,
+    challenger_scratch: FeatureMatrix,
+    challenger_predictions: Vec<usize>,
+    drain_buf: Vec<PacketRecord>,
+    completed: Vec<Window>,
+}
+
+impl ServingCore {
+    /// Stages `ids` for a boundary swap `delay` ticks from now; the
+    /// `serve.model_swap_delay` chaos point may stretch the delay.
+    fn stage(&mut self, ids: TrainedIds, delay: u64) {
+        let mut delay = delay;
+        if let Some(chaos) = self.chaos.as_mut() {
+            let p = DecisionPoint::ServeModelSwapDelay.base_probability() * chaos.intensity;
+            if chaos.swap_rng.chance(p) {
+                delay += chaos.swap_rng.int_range(1, 4);
+                chaos.swap_delay_fires += 1;
+            }
+        }
+        self.staged = Some(StagedSwap { ids, ready_tick: self.tick_index + delay });
+    }
+
+    /// Applies a due staged swap. Called at tick start, before any
+    /// window of the tick classifies — the window-boundary guarantee.
+    fn apply_due_swap(&mut self, now: SimTime) {
+        let due = matches!(&self.staged, Some(s) if s.ready_tick <= self.tick_index);
+        if !due {
+            return;
+        }
+        let staged = self.staged.take().expect("checked above");
+        let generation = self.champion.swap(staged.ids);
+        self.swaps += 1;
+        if let Some(obs) = &self.obs {
+            obs.swaps.inc();
+            obs.generation.set(generation as i64);
+            obs.scope.event(
+                now.as_nanos(),
+                "model_swap",
+                format!("generation={generation} tick={}", self.tick_index),
+            );
+        }
+    }
+
+    /// Stages a deterministic retrain from the replay buffer.
+    fn maybe_retrain(&mut self, now: SimTime) {
+        let Some(policy) = self.retrain.clone() else { return };
+        if self.tick_index == 0
+            || !self.tick_index.is_multiple_of(policy.every_windows.max(1))
+            || self.staged.is_some()
+        {
+            return;
+        }
+        let dataset = Dataset::from_records(self.replay.iter().copied().collect::<Vec<_>>());
+        let retrain_index = self.retrains + self.retrains_failed;
+        let mut rng = SimRng::seed_from(
+            policy.rng_salt ^ (retrain_index.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        );
+        let champion = self.champion.load();
+        let config = crate::pipeline::IdsConfig {
+            window_secs: self.window_secs,
+            scaling: champion.value.scaler().method(),
+            max_train_samples: policy.replay_capacity,
+            holdout_fraction: 0.0,
+            stats_refresh: champion.value.stats_refresh(),
+        };
+        match TrainedIds::train(&dataset, &policy.kind, config, &mut rng) {
+            Ok(outcome) => {
+                self.retrains += 1;
+                if let Some(obs) = &self.obs {
+                    obs.retrains.inc();
+                    obs.scope.event(
+                        now.as_nanos(),
+                        "retrain_staged",
+                        format!("tick={} samples={}", self.tick_index, outcome.train_samples),
+                    );
+                }
+                self.stage(outcome.ids, policy.delay_windows);
+            }
+            Err(e) => {
+                // Recoverable: a single-class replay buffer (e.g. pure
+                // flood) cannot train — keep serving the old champion.
+                self.retrains_failed += 1;
+                if let Some(obs) = &self.obs {
+                    obs.retrains_failed.inc();
+                    obs.scope.event(
+                        now.as_nanos(),
+                        "retrain_failed",
+                        format!("tick={} error={e}", self.tick_index),
+                    );
+                }
+            }
+        }
+    }
+
+    /// One service tick: swap if due, then per tenant (fixed order)
+    /// drain → admit → budgeted extract → classify/shed.
+    fn tick(&mut self, now: SimTime, pressure: f64) -> u64 {
+        self.tick_index += 1;
+        self.last_pressure = pressure;
+        self.last_now = now;
+        if let Some(tick) = self.promote_challenger_at_tick {
+            if self.tick_index == tick {
+                if let Some(challenger) = &self.challenger {
+                    let promoted = challenger.load().value.clone();
+                    if let Some(obs) = &self.obs {
+                        obs.scope.event(
+                            now.as_nanos(),
+                            "challenger_promotion_staged",
+                            format!("tick={tick}"),
+                        );
+                    }
+                    self.stage(promoted, self.promote_delay_ticks);
+                }
+            }
+        }
+        self.maybe_retrain(now);
+        self.apply_due_swap(now);
+
+        let mut classified_packets = 0u64;
+        for t in 0..self.tenants.len() {
+            classified_packets += self.tick_tenant(t, now, pressure);
+        }
+        classified_packets
+    }
+
+    /// Runs one tenant's tick. Returns packets classified (for the
+    /// meter's memory model).
+    fn tick_tenant(&mut self, t: usize, now: SimTime, pressure: f64) -> u64 {
+        // Per-tick chaos: maybe latch the queue as full.
+        let mut forced = false;
+        if let Some(chaos) = self.chaos.as_mut() {
+            let p = DecisionPoint::ServeIngestQueueFull.base_probability() * chaos.intensity;
+            if chaos.queue_rng.chance(p) {
+                chaos.queue_full_fires += 1;
+                forced = true;
+            }
+        }
+        let tenant = &mut self.tenants[t];
+        tenant.queue.clear_forced_full();
+        if forced {
+            tenant.queue.force_full();
+            if let Some(obs) = &tenant.obs {
+                obs.scope.event(
+                    now.as_nanos(),
+                    "queue_forced_full",
+                    format!("tick={}", self.tick_index),
+                );
+            }
+        }
+
+        // Ingest: drain what the policy allows, offer record by record.
+        let room = tenant.queue.drain_room();
+        tenant.feed.drain_up_to(room, &mut self.drain_buf);
+        for &record in &self.drain_buf {
+            let index = record.window_index(self.window_secs);
+            match tenant.queue.offer(record) {
+                Admission::Admitted => {}
+                Admission::AdmittedSheddingOldest(shed_index) => {
+                    tenant.affected_pending.insert(shed_index);
+                }
+                Admission::SampledOut | Admission::Shed => {
+                    tenant.affected_pending.insert(index);
+                }
+            }
+        }
+        // The primary tenant feeds the retrain replay buffer.
+        if t == 0 {
+            if let Some(policy) = &self.retrain {
+                for &record in &self.drain_buf {
+                    if self.replay.len() >= policy.replay_capacity {
+                        self.replay.pop_front();
+                    }
+                    self.replay.push_back(record);
+                }
+            }
+        }
+
+        // Budgeted extraction: move at most the tenant's per-tick record
+        // budget into the aggregator; the queue holds the rest.
+        let tenant = &mut self.tenants[t];
+        self.completed.clear();
+        let mut budget = tenant.config.budget.drain_records_per_tick;
+        while budget > 0 {
+            let Some(record) = tenant.queue.pop() else { break };
+            budget -= 1;
+            if let Some(window) = tenant.aggregator.push(record) {
+                self.completed.push(window);
+            }
+        }
+
+        let completed = std::mem::take(&mut self.completed);
+        let packets = self.classify_completed(t, &completed, now, pressure);
+        self.completed = completed;
+        self.completed.clear();
+
+        let tenant = &self.tenants[t];
+        if let Some(obs) = &tenant.obs {
+            obs.queue_depth.set(tenant.queue.len() as i64);
+            obs.queue_high_water.set_max(tenant.queue.high_water() as i64);
+        }
+        packets
+    }
+
+    /// Classifies (or sheds) a batch of completed windows for tenant
+    /// `t`. Loads the champion snapshot per window: a swap can only
+    /// land at a tick boundary, so every window still sees exactly one
+    /// generation — and the stamp proves it.
+    fn classify_completed(
+        &mut self,
+        t: usize,
+        completed: &[Window],
+        now: SimTime,
+        pressure: f64,
+    ) -> u64 {
+        let mut packets_total = 0u64;
+        let window_interval_secs = self.window_secs as f64;
+        for window in completed {
+            let tenant = &mut self.tenants[t];
+            let affected = tenant.affected_pending.remove(&window.index);
+            let modelled_secs =
+                tenant.config.budget.modelled_cost_secs(window.records.len(), pressure);
+            let shed_threshold =
+                window_interval_secs * tenant.config.budget.shed_factor.max(1.0);
+            if modelled_secs > shed_threshold {
+                // Too far past budget to be worth classifying late:
+                // shed whole, accounted.
+                tenant.counters.windows_shed += 1;
+                if let Some(obs) = &tenant.obs {
+                    obs.windows_shed.inc();
+                    obs.scope.event(
+                        now.as_nanos(),
+                        "window_shed",
+                        format!("w={} packets={}", window.index, window.records.len()),
+                    );
+                }
+                continue;
+            }
+
+            let champion = self.champion.load();
+            let outcome = champion.value.try_classify_window_profiled(
+                window,
+                &mut self.scratch,
+                &mut self.predictions,
+            );
+            let mut detection = match outcome {
+                Ok((detection, _profile)) => detection,
+                Err(e) => {
+                    tenant.counters.classify_errors += 1;
+                    if let Some(obs) = &tenant.obs {
+                        obs.classify_errors.inc();
+                        obs.scope.event(
+                            now.as_nanos(),
+                            "classify_error",
+                            format!("w={} {e}", window.index),
+                        );
+                    }
+                    WindowDetection {
+                        window_index: window.index,
+                        packets: window.records.len(),
+                        correct: 0,
+                        predicted_malicious: 0,
+                        truth_malicious: 0,
+                        malicious_correct: 0,
+                        mixed: window.is_mixed(),
+                        majority_truth: window.majority_label(),
+                        generation: champion.generation,
+                        degraded: true,
+                    }
+                }
+            };
+            detection.generation = champion.generation;
+            detection.degraded |= modelled_secs > window_interval_secs || affected;
+            packets_total += window.records.len() as u64;
+
+            // Shadow evaluation: the challenger scores the same window
+            // but never emits; only disagreement counters move.
+            if let Some(challenger) = &self.challenger {
+                let challenger = challenger.load();
+                if let Ok((shadow, _)) = challenger.value.try_classify_window_profiled(
+                    window,
+                    &mut self.challenger_scratch,
+                    &mut self.challenger_predictions,
+                ) {
+                    tenant.counters.challenger_windows += 1;
+                    let champion_verdict = detection.predicted_malicious * 2 > detection.packets;
+                    let challenger_verdict = shadow.predicted_malicious * 2 > shadow.packets;
+                    let verdict_differs = champion_verdict != challenger_verdict;
+                    let packet_diffs = self
+                        .predictions
+                        .iter()
+                        .zip(&self.challenger_predictions)
+                        .filter(|(a, b)| a != b)
+                        .count() as u64;
+                    tenant.counters.verdict_disagreements += u64::from(verdict_differs);
+                    tenant.counters.packet_disagreements += packet_diffs;
+                    if let Some(obs) = &tenant.obs {
+                        obs.challenger_windows.inc();
+                        if verdict_differs {
+                            obs.verdict_disagreements.inc();
+                        }
+                        obs.packet_disagreements.add(packet_diffs);
+                    }
+                }
+            }
+
+            if detection.degraded {
+                tenant.counters.windows_degraded += 1;
+            } else {
+                tenant.counters.windows_classified += 1;
+            }
+            if let Some(obs) = &tenant.obs {
+                if detection.degraded {
+                    obs.windows_degraded.inc();
+                } else {
+                    obs.windows_classified.inc();
+                }
+            }
+            tenant.log.push(detection);
+        }
+        packets_total
+    }
+
+    /// Graceful shutdown: drain every queue ignoring budgets, flush the
+    /// aggregators, classify the remainder, and settle shed-window
+    /// accounting so conservation holds exactly.
+    fn finalize(&mut self) {
+        if self.finalized {
+            return;
+        }
+        self.finalized = true;
+        let now = self.last_now;
+        let pressure = self.last_pressure;
+        for t in 0..self.tenants.len() {
+            let tenant = &mut self.tenants[t];
+            self.completed.clear();
+            while let Some(record) = tenant.queue.pop() {
+                if let Some(window) = tenant.aggregator.push(record) {
+                    self.completed.push(window);
+                }
+            }
+            if let Some(window) = tenant.aggregator.flush() {
+                self.completed.push(window);
+            }
+            let completed = std::mem::take(&mut self.completed);
+            self.classify_completed(t, &completed, now, pressure);
+            self.completed = completed;
+            self.completed.clear();
+
+            // Whatever is still marked affected never completed: every
+            // record of those windows was shed or sampled out.
+            let tenant = &mut self.tenants[t];
+            let wholly_shed = tenant.affected_pending.len() as u64;
+            tenant.counters.windows_shed += wholly_shed;
+            if let Some(obs) = &tenant.obs {
+                for _ in 0..wholly_shed {
+                    obs.windows_shed.inc();
+                }
+            }
+            tenant.affected_pending.clear();
+        }
+        self.sync_counters();
+    }
+
+    /// Copies queue-level accounting into the frozen counters and obs.
+    fn sync_counters(&mut self) {
+        for tenant in &mut self.tenants {
+            let (offered, admitted, popped, shed, sampled) = tenant.queue.record_counts();
+            tenant.counters.records_offered = offered;
+            tenant.counters.records_admitted = admitted;
+            tenant.counters.records_processed = popped;
+            tenant.counters.records_shed = shed;
+            tenant.counters.records_sampled_out = sampled;
+            tenant.counters.windows_ingested = tenant.queue.windows_ingested();
+            if let Some(obs) = &tenant.obs {
+                set_counter(&obs.records_offered, offered);
+                set_counter(&obs.records_admitted, admitted);
+                set_counter(&obs.records_processed, popped);
+                set_counter(&obs.records_shed, shed);
+                set_counter(&obs.records_sampled_out, sampled);
+                set_counter(&obs.windows_ingested, tenant.queue.windows_ingested());
+                obs.queue_depth.set(tenant.queue.len() as i64);
+                obs.queue_high_water.set_max(tenant.queue.high_water() as i64);
+            }
+        }
+    }
+}
+
+/// Monotone counters can only `inc`/`add`: top an obs counter up to an
+/// absolute value tracked elsewhere.
+fn set_counter(counter: &Counter, absolute: u64) {
+    let current = counter.value();
+    if absolute > current {
+        counter.add(absolute - current);
+    }
+}
+
+/// The serving-layer application installed into the IDS container: one
+/// instance, many tenants. Pair it with a [`ServingHandle`] via
+/// [`serving_pair`].
+pub struct IdsService {
+    core: Rc<RefCell<ServingCore>>,
+    meter: ResourceMeter,
+}
+
+impl std::fmt::Debug for IdsService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IdsService").finish()
+    }
+}
+
+/// The report/inspection half of a serving deployment, valid while and
+/// after the simulation runs.
+#[derive(Clone)]
+pub struct ServingHandle {
+    core: Rc<RefCell<ServingCore>>,
+}
+
+impl std::fmt::Debug for ServingHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServingHandle").finish()
+    }
+}
+
+/// Creates a connected [`IdsService`] / [`ServingHandle`] pair over a
+/// config and one `(TenantConfig, SnifferHandle)` per monitored link.
+///
+/// # Panics
+///
+/// Panics if `tenants` is empty.
+pub fn serving_pair(
+    config: ServingConfig,
+    tenants: Vec<(TenantConfig, SnifferHandle)>,
+    meter: ResourceMeter,
+) -> (IdsService, ServingHandle) {
+    assert!(!tenants.is_empty(), "a serving deployment needs at least one tenant");
+    let window_secs = config.champion.window_secs();
+    let stats_refresh = config.champion.stats_refresh();
+    let tenant_states = tenants
+        .into_iter()
+        .map(|(cfg, feed)| TenantState {
+            queue: IngestQueue::new(cfg.queue_capacity, cfg.policy, window_secs),
+            aggregator: WindowAggregator::new(window_secs).with_stats_refresh(stats_refresh),
+            log: DetectionLog::new(),
+            affected_pending: BTreeSet::new(),
+            counters: TenantCounters::default(),
+            obs: None,
+            feed,
+            config: cfg,
+        })
+        .collect();
+    let core = ServingCore {
+        tenants: tenant_states,
+        champion: SwapHandle::new(config.champion),
+        challenger: config.challenger.map(SwapHandle::new),
+        promote_challenger_at_tick: config.promote_challenger_at_tick,
+        promote_delay_ticks: config.promote_delay_ticks.max(1),
+        retrain: config.retrain,
+        replay: VecDeque::new(),
+        staged: None,
+        chaos: config.chaos.map(|(seed, intensity)| ServingChaos::new(seed, intensity)),
+        tick_index: 0,
+        swaps: 0,
+        retrains: 0,
+        retrains_failed: 0,
+        window_secs,
+        last_pressure: 1.0,
+        last_now: SimTime::ZERO,
+        finalized: false,
+        obs: None,
+        scratch: FeatureMatrix::new(TOTAL_FEATURES),
+        predictions: Vec::new(),
+        challenger_scratch: FeatureMatrix::new(TOTAL_FEATURES),
+        challenger_predictions: Vec::new(),
+        drain_buf: Vec::new(),
+        completed: Vec::new(),
+    };
+    let core = Rc::new(RefCell::new(core));
+    (IdsService { core: Rc::clone(&core), meter }, ServingHandle { core })
+}
+
+impl IdsService {
+    /// Attaches deterministic telemetry under `scope` (conventionally
+    /// `ids.serving`): service counters plus one child scope per
+    /// tenant. Call before installing the app.
+    pub fn set_obs(&mut self, scope: Scope) {
+        let mut core = self.core.borrow_mut();
+        for tenant in &mut core.tenants {
+            tenant.obs = Some(TenantObs::new(scope.child(&tenant.config.name)));
+        }
+        core.obs = Some(ServiceObs::new(scope));
+    }
+}
+
+impl App for IdsService {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let core = self.core.borrow();
+        for tenant in &core.tenants {
+            if let Some(capacity) = tenant.config.feed_capacity {
+                tenant.feed.set_capacity(Some(capacity));
+            }
+        }
+        let window_secs = core.window_secs;
+        drop(core);
+        self.meter.begin_window(ctx.now());
+        ctx.set_timer(SimDuration::from_secs(window_secs), 0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        let started = Instant::now();
+        let pressure = ctx.cpu_pressure();
+        let mut core = self.core.borrow_mut();
+        let classified_packets = core.tick(ctx.now(), pressure);
+        let window_secs = core.window_secs;
+        // Resident footprint: models plus every tenant's queue.
+        let champion_bytes = core.champion.load().value.model().memory_bytes();
+        let challenger_bytes = core
+            .challenger
+            .as_ref()
+            .map(|c| c.load().value.model().memory_bytes())
+            .unwrap_or(0);
+        let queued: u64 = core.tenants.iter().map(|t| t.queue.len() as u64).sum();
+        drop(core);
+        // Wall-clock busy time, stretched by the injected pressure,
+        // feeds the sustainability meter only (reporting, not control).
+        let busy = started.elapsed().as_secs_f64();
+        self.meter.record_cpu_seconds(busy * pressure.max(0.0));
+        self.meter.set_memory_bytes(
+            champion_bytes + challenger_bytes + (queued + classified_packets) * 64,
+        );
+        self.meter.end_window(ctx.now());
+        self.meter.begin_window(ctx.now());
+        ctx.set_timer(SimDuration::from_secs(window_secs), 0);
+    }
+}
+
+impl ServingHandle {
+    /// Graceful shutdown: drains every queue (ignoring budgets),
+    /// flushes the aggregators, classifies the remainder, and settles
+    /// shed-window accounting. Idempotent. Call after the simulation
+    /// ends, before reading reports — conservation holds exactly from
+    /// then on.
+    pub fn finalize(&self) {
+        self.core.borrow_mut().finalize();
+    }
+
+    /// Tenant names, in service order.
+    pub fn tenant_names(&self) -> Vec<String> {
+        self.core.borrow().tenants.iter().map(|t| t.config.name.clone()).collect()
+    }
+
+    /// A tenant's detection log (shared handle).
+    pub fn tenant_log(&self, name: &str) -> Option<DetectionLog> {
+        let core = self.core.borrow();
+        core.tenants.iter().find(|t| t.config.name == name).map(|t| t.log.clone())
+    }
+
+    /// A tenant's frozen accounting. Call [`ServingHandle::finalize`]
+    /// first for exact conservation.
+    pub fn tenant_counters(&self, name: &str) -> Option<TenantCounters> {
+        let mut core = self.core.borrow_mut();
+        core.sync_counters();
+        core.tenants.iter().find(|t| t.config.name == name).map(|t| t.counters)
+    }
+
+    /// Every tenant's `(name, counters)`, in service order.
+    pub fn all_counters(&self) -> Vec<(String, TenantCounters)> {
+        let mut core = self.core.borrow_mut();
+        core.sync_counters();
+        core.tenants
+            .iter()
+            .map(|t| (t.config.name.clone(), t.counters))
+            .collect()
+    }
+
+    /// The champion's current generation.
+    pub fn generation(&self) -> u64 {
+        self.core.borrow().champion.generation()
+    }
+
+    /// `(swaps, retrains, retrains_failed)` so far.
+    pub fn swap_counts(&self) -> (u64, u64, u64) {
+        let core = self.core.borrow();
+        (core.swaps, core.retrains, core.retrains_failed)
+    }
+
+    /// Serving-chaos `(swap_delay_fires, queue_full_fires)`, or `None`
+    /// when disarmed.
+    pub fn chaos_counts(&self) -> Option<(u64, u64)> {
+        self.core
+            .borrow()
+            .chaos
+            .as_ref()
+            .map(|c| (c.swap_delay_fires, c.queue_full_fires))
+    }
+
+    /// First conservation violation across every tenant and queue, or
+    /// `None` when all accounting is exact. Call after
+    /// [`ServingHandle::finalize`].
+    pub fn conservation_violation(&self) -> Option<String> {
+        {
+            let mut core = self.core.borrow_mut();
+            core.sync_counters();
+        }
+        let core = self.core.borrow();
+        for tenant in &core.tenants {
+            if let Some(v) = tenant.queue.conservation_violation() {
+                return Some(format!("tenant {}: {v}", tenant.config.name));
+            }
+            if let Some(v) = tenant.counters.conservation_violation() {
+                return Some(format!("tenant {}: {v}", tenant.config.name));
+            }
+            let logged = tenant.log.len() as u64;
+            let counted =
+                tenant.counters.windows_classified + tenant.counters.windows_degraded;
+            if logged != counted {
+                return Some(format!(
+                    "tenant {}: log has {logged} windows but counters account {counted}",
+                    tenant.config.name
+                ));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capture::record::Label;
+    use netsim::packet::Protocol;
+    use netsim::Addr;
+
+    fn record(secs: u64, offset_ms: u64) -> PacketRecord {
+        PacketRecord {
+            ts: SimTime::from_millis(secs * 1000 + offset_ms),
+            src: Addr::new(10, 0, 0, 1),
+            src_port: 1000,
+            dst: Addr::new(10, 0, 0, 2),
+            dst_port: 80,
+            protocol: Protocol::Udp,
+            flags: Default::default(),
+            wire_len: 100,
+            payload_len: 60,
+            seq: 0,
+            label: Label::Benign,
+        }
+    }
+
+    #[test]
+    fn queue_bound_is_never_exceeded_drop_oldest() {
+        let mut q = IngestQueue::new(4, BackpressurePolicy::DropOldest, 1);
+        for i in 0..10 {
+            q.offer(record(0, i));
+        }
+        assert_eq!(q.len(), 4);
+        assert!(q.high_water() <= 4);
+        let (offered, admitted, popped, shed, sampled) = q.record_counts();
+        assert_eq!(offered, 10);
+        // drop-oldest admits every offer and sheds older admissions to
+        // make room; each record's terminal disposition is unique.
+        assert_eq!(admitted, 10);
+        assert_eq!(popped, 0);
+        assert_eq!(shed, 6);
+        assert_eq!(sampled, 0);
+        assert_eq!(q.conservation_violation(), None);
+        while q.pop().is_some() {}
+        assert_eq!(q.conservation_violation(), None);
+    }
+
+    #[test]
+    fn queue_conservation_violation_message() {
+        let q = IngestQueue::new(4, BackpressurePolicy::DropOldest, 1);
+        assert_eq!(q.conservation_violation(), None);
+    }
+
+    #[test]
+    fn block_upstream_limits_drain_room() {
+        let mut q = IngestQueue::new(3, BackpressurePolicy::BlockUpstream, 1);
+        assert_eq!(q.drain_room(), 3);
+        q.offer(record(0, 0));
+        q.offer(record(0, 1));
+        assert_eq!(q.drain_room(), 1);
+        q.force_full();
+        assert_eq!(q.drain_room(), 0);
+        q.clear_forced_full();
+        assert_eq!(q.drain_room(), 1);
+    }
+
+    #[test]
+    fn degrade_sampled_engages_at_high_water() {
+        let mut q = IngestQueue::new(8, BackpressurePolicy::DegradeSampled { keep: 2 }, 1);
+        for i in 0..20 {
+            q.offer(record(0, i));
+        }
+        let (offered, admitted, _popped, shed, sampled) = q.record_counts();
+        assert_eq!(offered, 20);
+        assert!(sampled > 0, "sampling must engage past high water");
+        assert_eq!(offered, admitted + shed + sampled);
+        assert!(q.len() <= q.capacity());
+        assert_eq!(q.conservation_violation(), None);
+    }
+
+    #[test]
+    fn forced_full_engages_policy_without_occupancy() {
+        let mut q = IngestQueue::new(100, BackpressurePolicy::DropOldest, 1);
+        q.offer(record(0, 0));
+        q.force_full();
+        let outcome = q.offer(record(0, 1));
+        assert!(matches!(outcome, Admission::AdmittedSheddingOldest(_)));
+        q.clear_forced_full();
+        assert!(matches!(q.offer(record(0, 2)), Admission::Admitted));
+    }
+
+    #[test]
+    fn windows_ingested_counts_distinct_indices() {
+        let mut q = IngestQueue::new(100, BackpressurePolicy::DropOldest, 1);
+        for s in 0..5u64 {
+            for i in 0..3 {
+                q.offer(record(s, i));
+            }
+        }
+        assert_eq!(q.windows_ingested(), 5);
+    }
+
+    #[test]
+    fn tenant_counter_conservation_checks() {
+        let good = TenantCounters {
+            windows_ingested: 10,
+            windows_classified: 6,
+            windows_degraded: 3,
+            windows_shed: 1,
+            records_offered: 100,
+            records_admitted: 96,
+            records_processed: 90,
+            records_shed: 6,
+            records_sampled_out: 4,
+            ..TenantCounters::default()
+        };
+        assert_eq!(good.conservation_violation(), None);
+        let bad = TenantCounters { windows_shed: 0, ..good };
+        assert!(bad.conservation_violation().unwrap().contains("windows unaccounted"));
+        let bad = TenantCounters { records_shed: 0, ..good };
+        assert!(bad.conservation_violation().unwrap().contains("records unaccounted"));
+    }
+
+    #[test]
+    fn policy_names_are_stable() {
+        assert_eq!(BackpressurePolicy::BlockUpstream.name(), "block_upstream");
+        assert_eq!(BackpressurePolicy::DropOldest.name(), "drop_oldest");
+        assert_eq!(BackpressurePolicy::DegradeSampled { keep: 3 }.name(), "degrade_sampled");
+    }
+}

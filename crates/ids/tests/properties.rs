@@ -1,10 +1,14 @@
-//! Property-based tests of the alerting layer and detection-log
-//! aggregates over arbitrary window streams.
+//! Property-based tests of the alerting layer, detection-log
+//! aggregates over arbitrary window streams, and the serving layer's
+//! bounded ingest queue under random push/drain/shed sequences.
 
-use capture::record::Label;
+use capture::record::{Label, PacketRecord};
 use ids::alerts::{alert_episodes, detection_latencies, summarize, AlertPolicy};
 use ids::pipeline::WindowDetection;
 use ids::realtime::DetectionLog;
+use ids::serving::{Admission, BackpressurePolicy, IngestQueue};
+use netsim::packet::{Addr, Protocol};
+use netsim::time::SimTime;
 use proptest::prelude::*;
 
 prop_compose! {
@@ -30,6 +34,7 @@ prop_compose! {
             } else {
                 Label::Benign
             },
+            generation: 0,
             degraded: false,
         }
     }
@@ -41,6 +46,56 @@ fn stream_strategy() -> impl Strategy<Value = Vec<WindowDetection>> {
             seeds.iter().enumerate().map(|(i, _)| window_strategy(i as u64)).collect();
         windows
     })
+}
+
+/// One step of a random ingest-queue schedule.
+#[derive(Debug, Clone, Copy)]
+enum QueueOp {
+    /// Offer `count` records, first advancing the clock by
+    /// `advance_secs` so offers cross window boundaries.
+    Offer { count: usize, advance_secs: u64 },
+    Pop(usize),
+    /// The `serve.ingest_queue_full` chaos latch.
+    ForceFull,
+    ClearForced,
+}
+
+fn op_strategy() -> impl Strategy<Value = QueueOp> {
+    // Two offer arms tilt the mix toward offers so queues actually
+    // fill; the vendored prop_oneof! has no weight syntax.
+    prop_oneof![
+        (1usize..48, 0u64..3)
+            .prop_map(|(count, advance_secs)| QueueOp::Offer { count, advance_secs }),
+        (1usize..96, 0u64..2)
+            .prop_map(|(count, advance_secs)| QueueOp::Offer { count, advance_secs }),
+        (1usize..48).prop_map(QueueOp::Pop),
+        Just(QueueOp::ForceFull),
+        Just(QueueOp::ClearForced),
+    ]
+}
+
+fn policy_strategy() -> impl Strategy<Value = BackpressurePolicy> {
+    prop_oneof![
+        Just(BackpressurePolicy::BlockUpstream),
+        Just(BackpressurePolicy::DropOldest),
+        (2usize..8).prop_map(|keep| BackpressurePolicy::DegradeSampled { keep }),
+    ]
+}
+
+fn queue_record(secs: u64, offset_ms: u64) -> PacketRecord {
+    PacketRecord {
+        ts: SimTime::from_millis(secs * 1000 + offset_ms % 1000),
+        src: Addr::new(10, 0, 0, 1),
+        src_port: 1000,
+        dst: Addr::new(10, 0, 0, 2),
+        dst_port: 80,
+        protocol: Protocol::Udp,
+        flags: Default::default(),
+        wire_len: 100,
+        payload_len: 60,
+        seq: 0,
+        label: Label::Benign,
+    }
 }
 
 proptest! {
@@ -80,6 +135,73 @@ proptest! {
                 prop_assert!(l.attack_start + w <= l.attack_end + 2);
             }
         }
+    }
+
+    /// The bounded ingest queue under an arbitrary interleaving of
+    /// offers, drains and chaos full-latch toggles: the bound is never
+    /// exceeded, and every offered record reaches exactly one terminal
+    /// disposition (popped, shed, sampled out) or is still queued.
+    #[test]
+    fn ingest_queue_bound_and_conservation(
+        capacity in 1usize..96,
+        policy in policy_strategy(),
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+    ) {
+        let mut q = IngestQueue::new(capacity, policy, 1);
+        let mut secs = 0u64;
+        // Independent tally of offer verdicts, cross-checked against
+        // the queue's own counters at the end.
+        let (mut admitted, mut shed, mut sampled_out) = (0u64, 0u64, 0u64);
+        // Drop-oldest evictions: admitted records later shed, so they
+        // never reach `pop`.
+        let mut evicted = 0u64;
+        let mut popped = 0u64;
+        for op in ops {
+            match op {
+                QueueOp::Offer { count, advance_secs } => {
+                    secs += advance_secs;
+                    for i in 0..count {
+                        match q.offer(queue_record(secs, i as u64)) {
+                            Admission::Admitted => admitted += 1,
+                            Admission::AdmittedSheddingOldest(_) => {
+                                admitted += 1;
+                                shed += 1;
+                                evicted += 1;
+                            }
+                            Admission::SampledOut => sampled_out += 1,
+                            Admission::Shed => shed += 1,
+                        }
+                        prop_assert!(q.len() <= q.capacity());
+                    }
+                }
+                QueueOp::Pop(count) => {
+                    for _ in 0..count {
+                        if q.pop().is_some() {
+                            popped += 1;
+                        }
+                    }
+                }
+                QueueOp::ForceFull => q.force_full(),
+                QueueOp::ClearForced => q.clear_forced_full(),
+            }
+            prop_assert!(q.len() <= q.capacity());
+            prop_assert_eq!(q.conservation_violation(), None);
+        }
+        let (q_offered, q_admitted, q_popped, q_shed, q_sampled) = q.record_counts();
+        prop_assert_eq!(q_admitted, admitted);
+        prop_assert_eq!(q_popped, popped);
+        prop_assert_eq!(q_shed, shed);
+        prop_assert_eq!(q_sampled, sampled_out);
+        // Terminal-disposition conservation, exact at every point.
+        prop_assert_eq!(q_offered, q_popped + q_shed + q_sampled + q.len() as u64);
+        prop_assert!(q.high_water() <= capacity);
+        // Drain to empty: every admitted record that was not evicted
+        // by drop-oldest is eventually popped.
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        prop_assert_eq!(popped, admitted - evicted);
+        prop_assert_eq!(q.conservation_violation(), None);
     }
 
     /// DetectionLog aggregates stay within their mathematical ranges.

@@ -1,0 +1,143 @@
+//! `ArcSwap`-style atomic value slot for model hot-swap.
+//!
+//! A [`SwapHandle`] holds an `Arc<Versioned<T>>` behind a vendored
+//! poison-free `RwLock`. Readers [`load`](SwapHandle::load) a cheap
+//! `Arc` clone and keep using it for as long as they like — a window
+//! classified against a loaded snapshot keeps that exact model even if
+//! a writer swaps mid-flight, which is how the serving layer guarantees
+//! every window sees exactly one model generation. Writers
+//! [`swap`](SwapHandle::swap) in a new value; the generation counter is
+//! bumped monotonically and travels with the payload so detections can
+//! stamp the generation they were scored by.
+//!
+//! Determinism note: the handle itself is passive. *When* a swap
+//! happens is decided by the caller on the sim clock (window-boundary
+//! only in `ids::serving`), so the same seed produces the same
+//! generation sequence regardless of wall-clock scheduling.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::classifier::Classifier;
+
+/// A payload tagged with the monotonically increasing generation it was
+/// installed under.
+#[derive(Debug)]
+pub struct Versioned<T> {
+    /// Swap counter: 0 for the initial value, +1 per swap.
+    pub generation: u64,
+    /// The installed payload.
+    pub value: T,
+}
+
+/// A shareable slot whose value can be replaced atomically.
+///
+/// Cloning the handle shares the slot: a swap through one clone is
+/// observed by loads through every other clone.
+#[derive(Debug)]
+pub struct SwapHandle<T> {
+    slot: Arc<RwLock<Arc<Versioned<T>>>>,
+}
+
+impl<T> Clone for SwapHandle<T> {
+    fn clone(&self) -> Self {
+        SwapHandle { slot: Arc::clone(&self.slot) }
+    }
+}
+
+impl<T> SwapHandle<T> {
+    /// Creates a slot holding `value` at generation 0.
+    pub fn new(value: T) -> Self {
+        SwapHandle {
+            slot: Arc::new(RwLock::new(Arc::new(Versioned { generation: 0, value }))),
+        }
+    }
+
+    /// Loads the current snapshot. The returned `Arc` stays valid (and
+    /// keeps its generation) across later swaps.
+    pub fn load(&self) -> Arc<Versioned<T>> {
+        Arc::clone(&self.slot.read())
+    }
+
+    /// The current generation without retaining the payload.
+    pub fn generation(&self) -> u64 {
+        self.slot.read().generation
+    }
+
+    /// Atomically installs `value`, bumping the generation. Returns the
+    /// new generation. In-flight snapshots from [`load`](Self::load)
+    /// are unaffected.
+    pub fn swap(&self, value: T) -> u64 {
+        let mut slot = self.slot.write();
+        let generation = slot.generation + 1;
+        *slot = Arc::new(Versioned { generation, value });
+        generation
+    }
+}
+
+/// The serving layer's model slot: any object-safe classifier behind a
+/// swap handle.
+pub type ModelHandle = SwapHandle<Box<dyn Classifier>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::{KMeansConfig, KMeansDetector};
+    use crate::matrix::FeatureMatrix;
+    use netsim::rng::SimRng;
+
+    #[test]
+    fn load_keeps_generation_across_swap() {
+        let handle = SwapHandle::new(10u32);
+        let before = handle.load();
+        assert_eq!(before.generation, 0);
+        assert_eq!(handle.swap(20), 1);
+        assert_eq!(handle.swap(30), 2);
+        // The in-flight snapshot still sees the old generation/payload.
+        assert_eq!(before.generation, 0);
+        assert_eq!(before.value, 10);
+        let after = handle.load();
+        assert_eq!(after.generation, 2);
+        assert_eq!(after.value, 30);
+    }
+
+    #[test]
+    fn clones_share_the_slot() {
+        let a = SwapHandle::new(1u8);
+        let b = a.clone();
+        b.swap(2);
+        assert_eq!(a.load().value, 2);
+        assert_eq!(a.generation(), 1);
+    }
+
+    #[test]
+    fn swaps_are_visible_across_threads() {
+        let handle = SwapHandle::new(0u64);
+        let writer = handle.clone();
+        std::thread::spawn(move || {
+            writer.swap(7);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(handle.load().value, 7);
+        assert_eq!(handle.generation(), 1);
+    }
+
+    #[test]
+    fn model_handle_boxes_classifiers() {
+        let mut rows = FeatureMatrix::with_capacity(4, 2);
+        for row in [[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [5.1, 5.0]] {
+            rows.push_row(&row);
+        }
+        let labels = [0usize, 0, 1, 1];
+        let mut rng = SimRng::seed_from(7);
+        let config = KMeansConfig { k_max: 2, ..KMeansConfig::default() };
+        let detector = KMeansDetector::fit_view(rows.view(), &labels, &config, &mut rng)
+            .expect("two classes");
+        let handle: ModelHandle = SwapHandle::new(Box::new(detector));
+        let snapshot = handle.load();
+        assert_eq!(snapshot.generation, 0);
+        assert_eq!(snapshot.value.predict(&[0.05, 0.0]), 0);
+    }
+}

@@ -31,6 +31,7 @@ pub mod autoencoder;
 pub mod classifier;
 pub mod cnn;
 pub mod codec;
+pub mod handle;
 pub mod iforest;
 pub mod kmeans;
 pub mod matrix;
@@ -41,6 +42,7 @@ pub mod rf;
 pub mod svm;
 
 pub use classifier::{evaluate_view, Classifier, TrainError};
+pub use handle::{ModelHandle, SwapHandle, Versioned};
 pub use matrix::{gather, FeatureMatrix, MatrixView};
 pub use cnn::{Cnn, CnnConfig};
 pub use codec::{DecodeError, Decoder, Encoder};

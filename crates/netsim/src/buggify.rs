@@ -111,10 +111,16 @@ pub enum DecisionPoint {
     CaptureDrainPartial,
     /// Sniffer feed: record a truncated wire length for one packet.
     CaptureRecordTruncate,
+    /// IDS serving: hold a staged model swap back by extra window
+    /// boundaries.
+    ServeModelSwapDelay,
+    /// IDS serving: treat the ingestion queue as momentarily full,
+    /// forcing the tenant's backpressure policy to engage.
+    ServeIngestQueueFull,
 }
 
 /// Number of decision points.
-pub const POINT_COUNT: usize = 11;
+pub const POINT_COUNT: usize = 13;
 
 /// All decision points, in export order.
 pub const ALL_POINTS: [DecisionPoint; POINT_COUNT] = [
@@ -129,6 +135,8 @@ pub const ALL_POINTS: [DecisionPoint; POINT_COUNT] = [
     DecisionPoint::SchedTiebreak,
     DecisionPoint::CaptureDrainPartial,
     DecisionPoint::CaptureRecordTruncate,
+    DecisionPoint::ServeModelSwapDelay,
+    DecisionPoint::ServeIngestQueueFull,
 ];
 
 impl DecisionPoint {
@@ -146,6 +154,8 @@ impl DecisionPoint {
             DecisionPoint::SchedTiebreak => "sched.tiebreak",
             DecisionPoint::CaptureDrainPartial => "capture.drain.partial",
             DecisionPoint::CaptureRecordTruncate => "capture.record.truncate",
+            DecisionPoint::ServeModelSwapDelay => "serve.model_swap_delay",
+            DecisionPoint::ServeIngestQueueFull => "serve.ingest_queue_full",
         }
     }
 
@@ -166,6 +176,9 @@ impl DecisionPoint {
             DecisionPoint::SchedTiebreak => 0.01,
             DecisionPoint::CaptureDrainPartial => 0.05,
             DecisionPoint::CaptureRecordTruncate => 0.01,
+            // Evaluated once per staged swap / once per service tick.
+            DecisionPoint::ServeModelSwapDelay => 0.25,
+            DecisionPoint::ServeIngestQueueFull => 0.02,
         }
     }
 }

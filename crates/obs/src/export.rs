@@ -139,6 +139,17 @@ impl RunTelemetry {
         self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
+    /// Every counter whose full name starts with `prefix`, in snapshot
+    /// (sorted-name) order. Useful for scooping up a whole scope, e.g.
+    /// all `ids.serving.<tenant>.` accounting at once.
+    pub fn counters_with_prefix<'a>(&'a self, prefix: &'a str) -> Vec<(&'a str, u64)> {
+        self.counters
+            .iter()
+            .filter(|(n, _)| n.starts_with(prefix))
+            .map(|(n, v)| (n.as_str(), *v))
+            .collect()
+    }
+
     /// Looks up a histogram by full name.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
@@ -233,6 +244,20 @@ mod tests {
         assert_eq!(snap.gauge("demo.depth"), Some(-2));
         assert_eq!(snap.histogram("demo.lat").map(|h| h.count), Some(2));
         assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn prefix_scan_scoops_a_scope() {
+        let registry = sample_registry();
+        let scope = registry.scope("demo").child("sub");
+        scope.counter("hits").add(7);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counters_with_prefix("demo."),
+            vec![("demo.hits", 3), ("demo.sub.hits", 7)]
+        );
+        assert_eq!(snap.counters_with_prefix("demo.sub."), vec![("demo.sub.hits", 7)]);
+        assert!(snap.counters_with_prefix("nope.").is_empty());
     }
 
     #[test]

@@ -114,6 +114,7 @@ fn main() {
                 .count(),
             mixed: window.is_mixed(),
             majority_truth: window.majority_label(),
+            generation: 0,
             degraded: false,
         };
         if worst.as_ref().is_none_or(|w| det.accuracy() < w.accuracy()) {

@@ -7,7 +7,7 @@
 //! `cargo run --profile swarm --example swarm_run -- --case chaos --seed 42 --swarm-seed 7`
 
 use ddoshield::experiments::ExperimentScale;
-use ddoshield::swarm::{run_swarm_case, swarm_trained_ids, SwarmCase};
+use ddoshield::swarm::{run_swarm_case, swarm_models, SwarmCase};
 
 fn main() {
     let mut case = SwarmCase::Chaos;
@@ -20,7 +20,7 @@ fn main() {
         let flag = argv[i].as_str();
         let value = argv.get(i + 1).map(String::as_str).unwrap_or_default();
         match flag {
-            "--case" => case = SwarmCase::parse(value).expect("case: chaos|lifecycle"),
+            "--case" => case = SwarmCase::parse(value).expect("case: chaos|lifecycle|serving"),
             "--seed" => scenario_seed = value.parse().expect("--seed takes a u64"),
             "--swarm-seed" => swarm_seed = value.parse().expect("--swarm-seed takes a u64"),
             other => panic!("unknown flag {other}"),
@@ -29,8 +29,8 @@ fn main() {
     }
 
     let scale = ExperimentScale::swarm();
-    let ids = swarm_trained_ids(scenario_seed, &scale);
-    let report = run_swarm_case(case, scenario_seed, swarm_seed, &scale, &ids);
+    let models = swarm_models(scenario_seed, &scale);
+    let report = run_swarm_case(case, scenario_seed, swarm_seed, &scale, &models);
 
     println!(
         "case={} seed={} swarm_seed={} windows={} degraded={} fires={} fingerprint={:#018x}",

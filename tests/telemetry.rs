@@ -3,7 +3,7 @@
 //! repeated runs and across thread budgets — and idle instruments must
 //! render as zeros, never NaN.
 
-use ddoshield::experiments::{run_baseline_detection, ExperimentScale};
+use ddoshield::experiments::{run_baseline_detection, run_serving_detection, ExperimentScale};
 use obs::RunTelemetry;
 
 /// Small end-to-end profile: long enough that infection completes and
@@ -43,6 +43,29 @@ fn telemetry_is_thread_count_invariant() {
         ml::par::with_threads(threads, || run_telemetry(11).render_text())
     };
     assert_eq!(text_at(1), text_at(4));
+}
+
+/// The serving layer's contract: a run with mid-flight model hot-swaps
+/// and background retrains exports byte-identical telemetry for the
+/// same seed, regardless of the ML thread budget — retrain scheduling
+/// and swap points are sim-clock driven, never wall-clock or
+/// thread-count driven.
+#[test]
+fn serving_hot_swap_telemetry_is_byte_identical_and_thread_invariant() {
+    let render = || {
+        let out = run_serving_detection(11, &ExperimentScale::swarm());
+        assert!(out.report.swaps >= 1, "hot swap must land mid-run");
+        assert!(out.report.generation >= 1, "generation must advance");
+        out.report.telemetry.render_text()
+    };
+    let baseline = render();
+    let serial = ml::par::with_threads(1, render);
+    let threaded = ml::par::with_threads(4, render);
+    assert_eq!(baseline, serial);
+    assert_eq!(serial, threaded);
+    assert!(baseline.contains("counter ids.serving.swaps"), "{baseline}");
+    assert!(baseline.contains("gauge ids.serving.generation"), "{baseline}");
+    assert!(baseline.contains("counter ids.serving.tserver.windows_ingested"), "{baseline}");
 }
 
 /// A fully-idle scope — instruments registered, nothing recorded — must

@@ -17,9 +17,8 @@ use std::sync::Mutex;
 
 use ddoshield::experiments::ExperimentScale;
 use ddoshield::swarm::{
-    check_determinism, run_swarm_case, swarm_trained_ids, SwarmCase, SwarmReport,
+    check_determinism, run_swarm_case, swarm_models, SwarmCase, SwarmModels, SwarmReport,
 };
-use ids::pipeline::TrainedIds;
 
 struct Args {
     cases: Vec<SwarmCase>,
@@ -48,8 +47,9 @@ fn parse_args() -> Result<Args, String> {
                 cases = if value == "all" {
                     SwarmCase::ALL.to_vec()
                 } else {
-                    vec![SwarmCase::parse(value)
-                        .ok_or_else(|| format!("unknown case {value} (chaos|lifecycle|all)"))?]
+                    vec![SwarmCase::parse(value).ok_or_else(|| {
+                        format!("unknown case {value} (chaos|lifecycle|serving|all)")
+                    })?]
                 };
             }
             "--seed" => scenario_seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
@@ -80,13 +80,14 @@ fn main() {
     let scale = ExperimentScale::swarm();
 
     // Training happens before the perturbed phase, so every swarm seed
-    // replays the same model: train once, clone per run.
+    // replays the same models (champion + serving challenger): train
+    // once, clone per run.
     eprintln!(
         "swarm: training IDS for scenario seed {} (cases: {})",
         args.scenario_seed,
         args.cases.iter().map(|c| c.name()).collect::<Vec<_>>().join(",")
     );
-    let ids = swarm_trained_ids(args.scenario_seed, &scale);
+    let models = swarm_models(args.scenario_seed, &scale);
 
     let failures: Mutex<Vec<SwarmReport>> = Mutex::new(Vec::new());
     let done = AtomicU64::new(0);
@@ -95,7 +96,7 @@ fn main() {
 
     std::thread::scope(|scope| {
         for _ in 0..args.threads {
-            let ids: TrainedIds = ids.clone();
+            let models: SwarmModels = models.clone();
             let args = &args;
             let scale = &scale;
             let failures = &failures;
@@ -109,7 +110,7 @@ fn main() {
                 let case = args.cases[(k % args.cases.len() as u64) as usize];
                 let swarm_seed = args.first_swarm_seed + k / args.cases.len() as u64;
                 let mut report =
-                    run_swarm_case(case, args.scenario_seed, swarm_seed, scale, &ids);
+                    run_swarm_case(case, args.scenario_seed, swarm_seed, scale, &models);
                 // Double-run a deterministic sample of seeds.
                 if args.determinism_every > 0 && swarm_seed % args.determinism_every == 0 {
                     if let Some(v) = check_determinism(
@@ -117,7 +118,7 @@ fn main() {
                         args.scenario_seed,
                         swarm_seed,
                         scale,
-                        &ids,
+                        &models,
                     ) {
                         report.violations.push(v);
                     }

@@ -1,13 +1,15 @@
 //! Offline stand-in for `parking_lot`.
 //!
-//! Wraps `std::sync::Mutex` behind parking_lot's poison-free `lock()`
-//! signature (returns the guard directly, recovering from poisoning),
-//! which is the only API the resource meter consumes.
+//! Wraps `std::sync::Mutex` and `std::sync::RwLock` behind parking_lot's
+//! poison-free `lock()`/`read()`/`write()` signatures (returning the
+//! guard directly, recovering from poisoning), which is the API surface
+//! the resource meter and the `ml::handle` swap slot consume.
 
 use std::fmt;
 use std::sync::Mutex as StdMutex;
+use std::sync::RwLock as StdRwLock;
 
-pub use std::sync::MutexGuard;
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock whose `lock()` never returns a poison error.
 #[derive(Default)]
@@ -45,6 +47,50 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
     }
 }
 
+/// A reader-writer lock whose `read()`/`write()` never return a poison
+/// error.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock { inner: StdRwLock::new(value) }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, recovering the data if a writer
+    /// panicked.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires exclusive write access, recovering the data if a holder
+    /// panicked.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inner.try_read() {
+            Ok(guard) => f.debug_struct("RwLock").field("data", &&*guard).finish(),
+            Err(_) => f.debug_struct("RwLock").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::Mutex;
@@ -61,5 +107,24 @@ mod tests {
     fn default_and_debug() {
         let m: Mutex<u8> = Mutex::default();
         assert_eq!(format!("{m:?}"), "Mutex { data: 0 }");
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = super::RwLock::new(1u32);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 2);
+        }
+        *l.write() += 41;
+        assert_eq!(*l.read(), 42);
+        assert_eq!(l.into_inner(), 42);
+    }
+
+    #[test]
+    fn rwlock_default_and_debug() {
+        let l: super::RwLock<u8> = super::RwLock::default();
+        assert_eq!(format!("{l:?}"), "RwLock { data: 0 }");
     }
 }
