@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ddoshield::experiments::training_scenario;
+use ddoshield::shardplan::{run_sharded_chaos, ShardPlanConfig};
 use ddoshield::Testbed;
 use features::extract::extract_matrix;
 use netsim::time::SimDuration;
@@ -44,6 +45,20 @@ fn bench_simulator(c: &mut Criterion) {
             let dataset = testbed.run_capture(SimDuration::from_secs(10));
             let (matrix, labels) = extract_matrix(&dataset, 1);
             black_box((matrix.n_rows(), labels.len()))
+        })
+    });
+
+    // The sharded-simulation scaling metric: 100k devices across 64
+    // cells (build + run + merge + detect) on 8 worker shards. The
+    // committed baseline's `speedup` field records the measured 1-shard
+    // over 8-shard wall-clock ratio on an 8-core runner.
+    group.bench_function("sharded_100k", |b| {
+        b.iter(|| {
+            let mut config = ShardPlanConfig::bench_100k(13);
+            config.shards = 8;
+            let report = run_sharded_chaos(&config);
+            assert_eq!(report.stats.conservation_violation(), None);
+            black_box(report.records)
         })
     });
 

@@ -14,12 +14,14 @@
 #![forbid(unsafe_code)]
 
 pub mod dataset;
+pub mod merge;
 pub mod pcap;
 pub mod record;
 pub mod sniffer;
 pub mod trace;
 
 pub use dataset::{ClassCounts, Dataset};
+pub use merge::merge_cell_records;
 pub use pcap::{synthesize_frame, write_pcap};
 pub use record::{Label, PacketRecord};
 pub use sniffer::{bounded_sniffer_pair, sniffer_pair, Sniffer, SnifferFilter, SnifferHandle};

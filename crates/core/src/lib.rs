@@ -28,6 +28,7 @@
 
 pub mod experiments;
 pub mod scenario;
+pub mod shardplan;
 pub mod swarm;
 pub mod testbed;
 
@@ -36,6 +37,7 @@ pub use experiments::{
     run_serving_detection, ChaosOutcome, ExperimentScale, FullReport, LifecycleOutcome,
     ModelReport, ServingOutcome,
 };
+pub use shardplan::{partition_devices, run_sharded_chaos, ShardPlanConfig, ShardedChaosReport};
 pub use scenario::{
     rotation, AttackPhase, CpuPressureSpec, CrashSpec, FaultPlanConfig, JitterSpec,
     LifecycleTarget, LinkFlapSpec, LossRampSpec, RandomFlapSpec, RebootSpec, ScenarioConfig,

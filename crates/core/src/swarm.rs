@@ -39,11 +39,19 @@ pub enum SwarmCase {
     /// bounded queues, a mid-run champion hot-swap, and the two
     /// `serve.*` decision points armed alongside the kernel's.
     Serving,
+    /// The sharded chaos scenario
+    /// ([`crate::shardplan::run_sharded_chaos`]) at two shard counts,
+    /// with the kernel decision points armed per cell plus the
+    /// coordinator's `shard.boundary_delay`: cross-shard packets must
+    /// conserve, every cell clock must land on the horizon, and the
+    /// two shard counts must produce byte-identical artifacts.
+    Sharded,
 }
 
 impl SwarmCase {
     /// All cases, in runner order.
-    pub const ALL: [SwarmCase; 3] = [SwarmCase::Chaos, SwarmCase::Lifecycle, SwarmCase::Serving];
+    pub const ALL: [SwarmCase; 4] =
+        [SwarmCase::Chaos, SwarmCase::Lifecycle, SwarmCase::Serving, SwarmCase::Sharded];
 
     /// The case's stable command-line name.
     pub fn name(self) -> &'static str {
@@ -51,6 +59,7 @@ impl SwarmCase {
             SwarmCase::Chaos => "chaos",
             SwarmCase::Lifecycle => "lifecycle",
             SwarmCase::Serving => "serving",
+            SwarmCase::Sharded => "sharded",
         }
     }
 
@@ -60,6 +69,7 @@ impl SwarmCase {
             "chaos" => Some(SwarmCase::Chaos),
             "lifecycle" => Some(SwarmCase::Lifecycle),
             "serving" => Some(SwarmCase::Serving),
+            "sharded" => Some(SwarmCase::Sharded),
             _ => None,
         }
     }
@@ -71,7 +81,8 @@ pub struct SwarmViolation {
     /// Stable invariant name (`no-panic`, `ids-liveness`,
     /// `feed-conservation`, `pool-health`, `clock-horizon`,
     /// `determinism`; serving case also: `serving-conservation`,
-    /// `generation-monotone`, `swap-landed`).
+    /// `generation-monotone`, `swap-landed`; sharded case also:
+    /// `shard-conservation`, `shard-invariance`).
     pub invariant: &'static str,
     /// Human-readable detail.
     pub detail: String,
@@ -176,11 +187,14 @@ pub fn run_swarm_case(
     if case == SwarmCase::Serving {
         return run_swarm_serving(scenario_seed, swarm_seed, scale, models);
     }
+    if case == SwarmCase::Sharded {
+        return run_swarm_sharded(scenario_seed, swarm_seed);
+    }
     let epoch_offset = scale.capture_secs + 5;
     let mut scenario = match case {
         SwarmCase::Chaos => chaos_scenario(scenario_seed, scale.live_secs, epoch_offset),
         SwarmCase::Lifecycle => lifecycle_scenario(scenario_seed, scale.live_secs, epoch_offset),
-        SwarmCase::Serving => unreachable!("dispatched above"),
+        SwarmCase::Serving | SwarmCase::Sharded => unreachable!("dispatched above"),
     };
     scenario.buggify = BuggifyConfig::swarm(swarm_seed);
 
@@ -484,6 +498,81 @@ fn run_swarm_serving(
     }
 }
 
+/// The sharded swarm case: the smoke-scale sharded chaos scenario
+/// ([`crate::shardplan::ShardPlanConfig::smoke`]) under the swarm seed,
+/// executed at one and at two worker shards. On top of `no-panic` it
+/// checks *shard conservation* (every cross-shard packet is delivered,
+/// unroutable, or in flight at the end), *clock-horizon agreement*
+/// (every cell's clock lands exactly on the configured end), and
+/// *shard invariance* (the two shard counts produce byte-identical
+/// detection logs and telemetry — the tentpole determinism contract,
+/// now also exercised under perturbation).
+fn run_swarm_sharded(scenario_seed: u64, swarm_seed: u64) -> SwarmReport {
+    let mut violations = Vec::new();
+    let run = catch_unwind(AssertUnwindSafe(move || {
+        let mut config = crate::shardplan::ShardPlanConfig::smoke(scenario_seed);
+        config.buggify = BuggifyConfig::swarm(swarm_seed);
+        config.shards = 1;
+        let one = crate::shardplan::run_sharded_chaos(&config);
+        config.shards = 2;
+        let two = crate::shardplan::run_sharded_chaos(&config);
+        (one, two, config.duration)
+    }));
+
+    let (windows, fires, fingerprint) = match run {
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            violations.push(SwarmViolation { invariant: "no-panic", detail: msg });
+            (0, 0, 0)
+        }
+        Ok((one, two, duration)) => {
+            for (label, report) in [("1-shard", &one), ("2-shard", &two)] {
+                if let Some(detail) = report.stats.conservation_violation() {
+                    violations.push(SwarmViolation {
+                        invariant: "shard-conservation",
+                        detail: format!("{label}: {detail}"),
+                    });
+                }
+                if let Some(detail) = report.stats.clock_violation(SimTime::ZERO + duration) {
+                    violations.push(SwarmViolation {
+                        invariant: "clock-horizon",
+                        detail: format!("{label}: {detail}"),
+                    });
+                }
+            }
+            if one.output() != two.output() {
+                violations.push(SwarmViolation {
+                    invariant: "shard-invariance",
+                    detail: format!(
+                        "1-shard and 2-shard artifacts differ ({} vs {} bytes)",
+                        one.output().len(),
+                        two.output().len()
+                    ),
+                });
+            }
+            let fires = one.stats.cell_buggify_fires + one.stats.boundary_delay_fires;
+            let mut fp = fnv1a(one.log.as_bytes());
+            fp ^= fnv1a(one.telemetry.as_bytes()).rotate_left(17);
+            (one.log.lines().count(), fires, fp)
+        }
+    };
+
+    SwarmReport {
+        case: SwarmCase::Sharded,
+        scenario_seed,
+        swarm_seed,
+        violations,
+        windows,
+        degraded: 0,
+        buggify_fires: fires,
+        fingerprint,
+    }
+}
+
 /// Runs a swarm seed twice and reports a `determinism` violation if the
 /// two runs' fingerprints differ. Used by the runner on a sample of
 /// seeds — the double run costs a full extra execution.
@@ -544,6 +633,18 @@ mod tests {
         assert!(report.buggify_fires > 0, "the perturbation layer must engage");
         assert!(report.windows > 0, "the service must classify windows");
         assert!(report.repro_command().contains("--case serving"));
+    }
+
+    #[test]
+    fn sharded_swarm_run_passes_its_invariants() {
+        let scale = tiny_scale();
+        let models = swarm_models(11, &scale);
+        let report = run_swarm_case(SwarmCase::Sharded, 11, 1, &scale, &models);
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert!(report.buggify_fires > 0, "the perturbation layer must engage");
+        assert!(report.windows > 0, "the detector must log windows");
+        assert!(report.repro_command().contains("--case sharded"));
+        assert_eq!(check_determinism(SwarmCase::Sharded, 11, 5, &scale, &models), None);
     }
 
     #[test]

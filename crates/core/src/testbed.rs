@@ -132,7 +132,10 @@ impl Testbed {
         // Churn, if configured.
         if config.churn_rate_per_min > 0.0 {
             let horizon = config.attack_horizon() + SimDuration::from_secs(120);
-            let mut churn_rng = rng.fork();
+            // Named stream off the scenario seed, not a fork of the
+            // deploy stream: a conditional fork here would make every
+            // later draw depend on whether churn is configured.
+            let mut churn_rng = SimRng::named(config.seed, "deploy.churn");
             rt.apply_churn(
                 &devices,
                 config.churn_rate_per_min,
@@ -162,7 +165,11 @@ impl Testbed {
         if !config.faults.is_empty() {
             let bridge = rt.bridge();
             let ids_node = rt.node(ids_container);
-            let mut fault_rng = rng.fork();
+            // Named stream: the fault schedule is a pure function of
+            // the scenario seed, independent of fleet size, client mix
+            // and the churn toggle, all of which draw different amounts
+            // from the deploy stream above.
+            let mut fault_rng = SimRng::named(config.seed, "deploy.faults");
             let plan = config.faults.to_fault_plan(
                 bridge,
                 ids_node,

@@ -117,10 +117,15 @@ pub enum DecisionPoint {
     /// IDS serving: treat the ingestion queue as momentarily full,
     /// forcing the tenant's backpressure policy to engage.
     ServeIngestQueueFull,
+    /// Sharded simulation: hold a cross-shard packet back by extra
+    /// boundary latency beyond the lookahead. Evaluated by the shard
+    /// coordinator in deterministic merge order, so the draws are
+    /// invariant to the worker-thread count.
+    ShardBoundaryDelay,
 }
 
 /// Number of decision points.
-pub const POINT_COUNT: usize = 13;
+pub const POINT_COUNT: usize = 14;
 
 /// All decision points, in export order.
 pub const ALL_POINTS: [DecisionPoint; POINT_COUNT] = [
@@ -137,6 +142,7 @@ pub const ALL_POINTS: [DecisionPoint; POINT_COUNT] = [
     DecisionPoint::CaptureRecordTruncate,
     DecisionPoint::ServeModelSwapDelay,
     DecisionPoint::ServeIngestQueueFull,
+    DecisionPoint::ShardBoundaryDelay,
 ];
 
 impl DecisionPoint {
@@ -156,6 +162,7 @@ impl DecisionPoint {
             DecisionPoint::CaptureRecordTruncate => "capture.record.truncate",
             DecisionPoint::ServeModelSwapDelay => "serve.model_swap_delay",
             DecisionPoint::ServeIngestQueueFull => "serve.ingest_queue_full",
+            DecisionPoint::ShardBoundaryDelay => "shard.boundary_delay",
         }
     }
 
@@ -179,6 +186,8 @@ impl DecisionPoint {
             // Evaluated once per staged swap / once per service tick.
             DecisionPoint::ServeModelSwapDelay => 0.25,
             DecisionPoint::ServeIngestQueueFull => 0.02,
+            // Evaluated once per cross-shard packet.
+            DecisionPoint::ShardBoundaryDelay => 0.02,
         }
     }
 }

@@ -546,6 +546,84 @@ mod tests {
         }
     }
 
+    /// The sharded-run access pattern, pinned against a `BinaryHeap`
+    /// oracle: every synchronization window peeks the queue (advancing
+    /// the wheel cursor — possibly deep into the far future when only
+    /// an overflow-heap event is pending, i.e. beyond the `SLOTS^LEVELS`
+    /// ≈ 17 s horizon) *without popping*, and then boundary-packet
+    /// injection schedules events behind that stalled cursor. Those
+    /// late arrivals take the ready-run sorted-insert path and must
+    /// still pop strictly before the far-future event that dragged the
+    /// cursor forward.
+    #[test]
+    fn stalled_cursor_keeps_heap_order_under_far_future_overflow() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        for seed in 0..6u64 {
+            let mut rng = crate::rng::SimRng::seed_from(seed ^ 0x5ead_c0de);
+            let mut q = EventQueue::new();
+            let mut oracle: BinaryHeap<Reverse<(SimTime, u64, u32)>> = BinaryHeap::new();
+            let mut seq = 0u64;
+            let mut id = 0u32;
+            let mut now = 0u64;
+            let mut push = |q: &mut EventQueue,
+                            oracle: &mut BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+                            t: SimTime| {
+                q.schedule(t, start(id));
+                oracle.push(Reverse((t, seq, id)));
+                seq += 1;
+                id += 1;
+            };
+            for round in 0..300u32 {
+                // A burst spanning every wheel level plus the overflow
+                // heap (deltas past 2^34 ns ≈ the 17 s wheel horizon).
+                for _ in 0..1 + rng.below(6) {
+                    let delta = match rng.below(6) {
+                        0 => 0,
+                        1 => rng.below(1 << 8),
+                        2 => rng.below(1 << 14),
+                        3 => rng.below(1 << 24),
+                        4 => rng.below(1 << 34),
+                        _ => (1 << 34) + rng.below(1 << 40),
+                    };
+                    push(&mut q, &mut oracle, SimTime::from_nanos(now + delta));
+                }
+                // Stall: peek without popping. When the only pending
+                // events are far-future this walks the cursor across
+                // empty windows (and drains the overflow heap into the
+                // wheel) while the pop stream stays frozen.
+                assert_eq!(
+                    q.peek_time(),
+                    oracle.peek().map(|Reverse((t, _, _))| *t),
+                    "seed {seed} round {round}"
+                );
+                // Inject behind the stalled cursor: near-`now` arrivals,
+                // exactly what cross-shard mailbox delivery schedules
+                // after the coordinator peeked the horizon.
+                for _ in 0..rng.below(3) {
+                    push(&mut q, &mut oracle, SimTime::from_nanos(now + rng.below(1 << 12)));
+                }
+                for _ in 0..rng.below(5) {
+                    let Some(Reverse((rt, _, rid))) = oracle.pop() else { break };
+                    let Some((t, Event::AppStart { app })) = q.pop() else {
+                        panic!("seed {seed} round {round}: queue ran dry before oracle");
+                    };
+                    assert_eq!((t, app.as_raw()), (rt, rid), "seed {seed} round {round}");
+                    now = t.as_nanos();
+                }
+                assert_eq!(q.len(), oracle.len(), "seed {seed} round {round}");
+            }
+            while let Some(Reverse((rt, _, rid))) = oracle.pop() {
+                let Some((t, Event::AppStart { app })) = q.pop() else {
+                    panic!("seed {seed}: queue ran dry during final drain");
+                };
+                assert_eq!((t, app.as_raw()), (rt, rid), "seed {seed} final drain");
+            }
+            assert!(q.is_empty());
+        }
+    }
+
     #[test]
     fn counters_track_scheduling() {
         let mut q = EventQueue::new();

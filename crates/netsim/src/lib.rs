@@ -41,6 +41,7 @@ pub mod node;
 pub mod packet;
 pub mod pool;
 pub mod rng;
+pub mod shard;
 pub mod tap;
 pub mod tcp;
 pub mod time;

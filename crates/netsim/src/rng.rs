@@ -34,8 +34,26 @@ impl SimRng {
     ///
     /// Forked generators let each component own private randomness while
     /// the whole simulation stays a pure function of the root seed.
+    ///
+    /// Note that a fork consumes one draw from the parent, so the child
+    /// stream depends on *how many* draws and forks preceded it. For
+    /// streams that must survive reordering of unrelated setup code
+    /// (e.g. shard partitioning changing per-component install order),
+    /// prefer [`SimRng::named`].
     pub fn fork(&mut self) -> SimRng {
         SimRng::seed_from(self.inner.next_u64())
+    }
+
+    /// Seeds an independent stream keyed by `(root_seed, name)`.
+    ///
+    /// Uses the same derivation as [`crate::buggify::stream_seed`], so a
+    /// named stream is a pure function of the root seed and the label —
+    /// unlike [`SimRng::fork`], it cannot shift when unrelated draws are
+    /// added, removed, or reordered around it. Orchestration code (fault
+    /// plans, churn schedules, deploy-time draws) should use this so
+    /// shard partitioning cannot reorder its randomness.
+    pub fn named(root_seed: u64, name: &str) -> SimRng {
+        SimRng::seed_from(crate::buggify::stream_seed(root_seed, name))
     }
 
     /// The next raw 64-bit value.

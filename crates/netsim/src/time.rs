@@ -83,6 +83,17 @@ impl SimTime {
     pub fn checked_since(self, earlier: SimTime) -> Option<SimDuration> {
         self.0.checked_sub(earlier.0).map(SimDuration)
     }
+
+    /// Checked rewind of an instant by a duration.
+    ///
+    /// The `Sub` operator saturates at [`SimTime::ZERO`], which is the
+    /// right default for display math but silently masks causality
+    /// violations in synchronization code (a negative cross-shard
+    /// lookahead clamps to "now" instead of failing). Use this where
+    /// underflow means a bug.
+    pub fn checked_sub(self, rhs: SimDuration) -> Option<SimTime> {
+        self.0.checked_sub(rhs.0).map(SimTime)
+    }
 }
 
 impl SimDuration {
@@ -139,6 +150,15 @@ impl SimDuration {
     /// Saturating duration addition.
     pub fn saturating_add(self, rhs: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_add(rhs.0))
+    }
+
+    /// Checked duration subtraction.
+    ///
+    /// The `Sub` operator saturates at [`SimDuration::ZERO`]; callers
+    /// computing a slack or lookahead margin where a negative result
+    /// means a causality bug should use this and assert on `None`.
+    pub fn checked_sub(self, rhs: SimDuration) -> Option<SimDuration> {
+        self.0.checked_sub(rhs.0).map(SimDuration)
     }
 
     /// Multiplies the duration by a float factor, saturating at the ends.
@@ -255,6 +275,25 @@ mod tests {
         assert_eq!(early.saturating_since(late), SimDuration::ZERO);
         assert_eq!(early.checked_since(late), None);
         assert_eq!(late.checked_since(early), Some(SimDuration::from_secs(4)));
+    }
+
+    #[test]
+    fn checked_sub_reports_underflow_the_operators_clamp() {
+        // Regression: `SimTime - SimDuration` and `SimDuration -
+        // SimDuration` saturate to zero, which masks negative slack in
+        // synchronization math. The checked variants must expose it.
+        let t = SimTime::from_secs(1);
+        assert_eq!(t - SimDuration::from_secs(5), SimTime::ZERO);
+        assert_eq!(t.checked_sub(SimDuration::from_secs(5)), None);
+        assert_eq!(
+            t.checked_sub(SimDuration::from_millis(400)),
+            Some(SimTime::from_millis(600))
+        );
+
+        let d = SimDuration::from_millis(3);
+        assert_eq!(d - SimDuration::from_millis(7), SimDuration::ZERO);
+        assert_eq!(d.checked_sub(SimDuration::from_millis(7)), None);
+        assert_eq!(d.checked_sub(d), Some(SimDuration::ZERO));
     }
 
     #[test]

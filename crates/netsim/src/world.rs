@@ -7,7 +7,7 @@
 //! keeps borrow-checking trivial: during a callback the application is
 //! temporarily moved out of the registry while `Ctx` borrows the kernel.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use bytes::Bytes;
 use obs::{pow2_bounds, Counter, Histogram, Scope};
@@ -207,6 +207,18 @@ pub struct Kernel {
     /// default: the hot path pays one branch per decision point and
     /// consumes no randomness (see [`crate::buggify`]).
     buggify: Buggify,
+    /// Every node address in this world, for O(1) duplicate detection
+    /// and — when this world is one cell of a sharded run — the "is
+    /// this destination local?" test on the send path.
+    local_addrs: HashMap<Addr, NodeId>,
+    /// When `true`, packets addressed outside this world are captured
+    /// into `egress` (stamped with the send time) instead of being
+    /// routed onto the default link. Off by default: a standalone world
+    /// keeps its exact pre-shard semantics.
+    egress_enabled: bool,
+    /// Captured boundary packets, drained by the shard coordinator
+    /// after each synchronization window (see [`crate::shard`]).
+    egress: Vec<(SimTime, Packet)>,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -243,6 +255,9 @@ impl Kernel {
             ctx_scratch: Vec::new(),
             effects_scratch: TcpEffects::new(),
             buggify: Buggify::disabled(),
+            local_addrs: HashMap::new(),
+            egress_enabled: false,
+            egress: Vec::new(),
         }
     }
 
@@ -277,6 +292,16 @@ impl Kernel {
         if !node.up {
             node.stats.dropped_down += 1;
             return Err(DropReason::NodeDown);
+        }
+        if self.egress_enabled && !self.local_addrs.contains_key(&packet.dst) {
+            // Boundary send: the destination lives in another shard
+            // cell. The packet leaves this world here and re-enters the
+            // destination cell via the coordinator's mailbox, which adds
+            // the boundary latency.
+            node.stats.sent_packets += 1;
+            node.stats.sent_bytes += packet.wire_len() as u64;
+            self.egress.push((self.clock, packet));
+            return Ok(());
         }
         let Some(link_id) = node.route(packet.dst) else {
             node.stats.dropped_no_route += 1;
@@ -700,11 +725,9 @@ impl World {
     ///
     /// Panics if the address is already in use.
     pub fn add_node(&mut self, addr: Addr, name: impl Into<String>) -> NodeId {
-        assert!(
-            !self.kernel.nodes.iter().any(|n| n.addr == addr),
-            "duplicate node address {addr}"
-        );
         let id = NodeId::from_raw(self.kernel.nodes.len() as u32);
+        let previous = self.kernel.local_addrs.insert(addr, id);
+        assert!(previous.is_none(), "duplicate node address {addr}");
         self.kernel.nodes.push(Node::new(id, addr, name));
         id
     }
@@ -950,6 +973,12 @@ impl World {
     }
 
     /// Mutable access to the kernel RNG, for orchestration code.
+    ///
+    /// The kernel stream is shared: TCP initial sequence numbers are
+    /// drawn from it interleaved with whatever callers take. Draws whose
+    /// position must not shift when unrelated setup code is reordered
+    /// (fault plans, churn schedules, shard partitioning) belong on a
+    /// named sub-stream instead — see [`SimRng::named`].
     pub fn rng_mut(&mut self) -> &mut SimRng {
         self.kernel.rng_mut()
     }
@@ -970,7 +999,13 @@ impl World {
         let advance_ns = time.as_nanos().saturating_sub(self.kernel.clock.as_nanos());
         let phase = phase_index(&event);
         let touched_link = match &event {
-            Event::LinkTxComplete { link, .. } | Event::Deliver { link, .. } => Some(*link),
+            // Boundary deliveries carry the sentinel link, which indexes
+            // no real link and has no queue to sample.
+            Event::LinkTxComplete { link, .. } | Event::Deliver { link, .. }
+                if *link != BOUNDARY_LINK =>
+            {
+                Some(*link)
+            }
             _ => None,
         };
         if let Some(obs) = &mut self.kernel.obs {
@@ -1055,7 +1090,68 @@ impl World {
     pub fn run_to_completion(&mut self) {
         while self.step() {}
     }
+
+    /// Runs every event strictly *before* `horizon`, then advances the
+    /// clock to `horizon`. This is the conservative-synchronization
+    /// primitive for sharded execution: events at exactly `horizon` stay
+    /// queued, because a cross-shard packet arriving *at* the horizon
+    /// may still be injected before they run (see [`crate::shard`]).
+    pub fn run_before(&mut self, horizon: SimTime) {
+        while let Some(t) = self.kernel.queue.peek_time() {
+            if t >= horizon {
+                break;
+            }
+            self.step();
+        }
+        if self.kernel.clock < horizon {
+            self.kernel.clock = horizon;
+        }
+    }
+
+    /// The timestamp of the earliest pending event, if any. Takes
+    /// `&mut self` because peeking may compact the timer wheel's
+    /// overflow levels to find the true minimum.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.kernel.queue.peek_time()
+    }
+
+    /// Enables (or disables) boundary egress: with it on, packets
+    /// addressed to a destination with no node in this world are
+    /// captured into the egress buffer instead of being flooded onto
+    /// the sender's default link. Off by default, so a standalone world
+    /// behaves exactly as before sharding existed.
+    pub fn set_boundary_egress(&mut self, enabled: bool) {
+        self.kernel.egress_enabled = enabled;
+    }
+
+    /// Moves all captured boundary packets (send-time stamped, in send
+    /// order) into `out`. The per-cell send order is what the shard
+    /// coordinator's `(time, cell, seq)` merge key is built from.
+    pub fn drain_egress(&mut self, out: &mut Vec<(SimTime, Packet)>) {
+        out.append(&mut self.kernel.egress);
+    }
+
+    /// Delivers a packet that originated outside this world to a local
+    /// node at virtual time `at` (which must not precede the clock).
+    /// The delivery is an ordinary [`Event::Deliver`] carrying the
+    /// sentinel [`BOUNDARY_LINK`], so taps, node accounting, buggify
+    /// perturbation, and transport demux all treat it exactly like a
+    /// packet that crossed a local link.
+    pub fn inject_packet(&mut self, at: SimTime, node: NodeId, packet: Packet) {
+        debug_assert!(
+            at >= self.kernel.clock,
+            "cross-boundary injection at {at} precedes the clock {}",
+            self.kernel.clock
+        );
+        let id = self.kernel.pool.insert(packet);
+        self.kernel.queue.schedule(at, Event::Deliver { link: BOUNDARY_LINK, node, packet: id });
+    }
 }
+
+/// The sentinel link id stamped on cross-boundary deliveries injected
+/// with [`World::inject_packet`]. It indexes no real link, so the event
+/// loop skips link-queue sampling for it.
+pub const BOUNDARY_LINK: LinkId = LinkId::from_raw(u32::MAX);
 
 /// The capability handle applications use inside callbacks.
 pub struct Ctx<'a> {

@@ -20,7 +20,7 @@ fn main() {
         let flag = argv[i].as_str();
         let value = argv.get(i + 1).map(String::as_str).unwrap_or_default();
         match flag {
-            "--case" => case = SwarmCase::parse(value).expect("case: chaos|lifecycle|serving"),
+            "--case" => case = SwarmCase::parse(value).expect("case: chaos|lifecycle|serving|sharded"),
             "--seed" => scenario_seed = value.parse().expect("--seed takes a u64"),
             "--swarm-seed" => swarm_seed = value.parse().expect("--swarm-seed takes a u64"),
             other => panic!("unknown flag {other}"),

@@ -158,3 +158,52 @@ fn reboots_cause_eviction_reinfection_and_benign_recovery() {
         "the dip is visible: some transactions never completed"
     );
 }
+
+/// The fault schedule is a pure function of the scenario seed: two
+/// deploys that differ in fleet size, client mix and the churn toggle —
+/// knobs that consume different amounts of the deploy RNG before the
+/// fault plan is compiled — still flap the bridge at byte-identical
+/// times. (Regression: the fault stream used to be a conditional
+/// `fork()` of the deploy stream, so any upstream draw reshuffled the
+/// chaos; it now lives on the named `"deploy.faults"` stream.)
+#[test]
+fn fault_schedule_survives_unrelated_scenario_knobs() {
+    use ddoshield::{rotation, FaultPlanConfig, RandomFlapSpec, ScenarioConfig, Testbed};
+    use netsim::time::{SimDuration, SimTime};
+
+    let mk = |devices: usize, clients: usize, churn: f64| {
+        let mut config = ScenarioConfig::paper_default(1717);
+        config.devices = devices;
+        config.clients_per_device = clients;
+        config.churn_rate_per_min = churn;
+        config.infection_lead = SimDuration::from_secs(1);
+        // Attacks start after the sampled window; only the flap plan
+        // touches the bridge's administrative state before then.
+        config.attacks = rotation(&[40], 5, 50);
+        config.faults = FaultPlanConfig {
+            random_flap: Some(RandomFlapSpec {
+                start: SimDuration::from_secs(1),
+                until: SimDuration::from_secs(22),
+                mean_up_secs: 3.0,
+                mean_down_secs: 1.0,
+            }),
+            ..FaultPlanConfig::default()
+        };
+        config
+    };
+
+    let sample = |mut tb: Testbed| -> Vec<bool> {
+        let bridge = tb.runtime().bridge();
+        (1..=500u64)
+            .map(|step| {
+                tb.runtime_mut().world_mut().run_until(SimTime::from_millis(step * 50));
+                tb.runtime().world().link_is_up(bridge)
+            })
+            .collect()
+    };
+
+    let a = sample(Testbed::deploy(mk(4, 1, 0.0)));
+    let b = sample(Testbed::deploy(mk(8, 2, 3.0)));
+    assert_eq!(a, b, "random-flap schedule moved with unrelated deploy knobs");
+    assert!(a.iter().any(|up| !up), "the flap plan actually fired");
+}

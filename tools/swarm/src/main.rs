@@ -48,7 +48,7 @@ fn parse_args() -> Result<Args, String> {
                     SwarmCase::ALL.to_vec()
                 } else {
                     vec![SwarmCase::parse(value).ok_or_else(|| {
-                        format!("unknown case {value} (chaos|lifecycle|serving|all)")
+                        format!("unknown case {value} (chaos|lifecycle|serving|sharded|all)")
                     })?]
                 };
             }
