@@ -5,7 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddoshield::experiments::{run_training_capture, ExperimentScale};
 use features::extract::{extract_matrix, windows_of, TOTAL_FEATURES};
-use features::window::WindowStats;
+use features::incremental::FlowDelta;
+use features::window::{AckGrace, WindowStats};
 use ml::matrix::FeatureMatrix;
 use std::hint::black_box;
 
@@ -22,6 +23,26 @@ fn bench_features(c: &mut Criterion) {
             b.iter(|| black_box(WindowStats::compute(black_box(&w.records), 1.0)))
         });
     }
+    // The incremental path over the same busy window: a persistent
+    // FlowDelta (warm scratch maps, as in the long-lived aggregator)
+    // absorbs the records one by one and folds only the flows it
+    // touched at close — the cost the serving layer actually pays per
+    // window, vs the batch recompute above.
+    let carry = AckGrace::default();
+    let mut delta = FlowDelta::new();
+    group.bench_with_input(
+        BenchmarkId::new("busy_streaming", busy.records.len()),
+        &busy,
+        |b, w| {
+            b.iter(|| {
+                for r in &w.records {
+                    delta.push(r);
+                }
+                let (stats, _) = delta.close(1.0, f64::INFINITY, 0.0, &carry);
+                black_box(stats)
+            })
+        },
+    );
     group.finish();
 
     let mut group = c.benchmark_group("feature_matrix");

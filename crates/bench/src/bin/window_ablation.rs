@@ -24,10 +24,14 @@ fn main() {
                 p.stats_period.to_string(),
                 format!("{:.4}", p.cpu_percent),
                 format!("{:.2}", p.accuracy_percent),
+                p.flows_folded.to_string(),
             ]
         })
         .collect();
-    println!("{}", render_table(&["stats period (s)", "CPU (%)", "accuracy (%)"], &rows));
+    println!(
+        "{}",
+        render_table(&["stats period (s)", "CPU (%)", "accuracy (%)", "flows folded"], &rows)
+    );
     println!("expected shape: CPU utilisation falls as the recomputation period grows");
     println!("(statistics are the dominant per-window cost); accuracy stays comparable");
     println!("or degrades slightly as windows reuse staler statistics.");

@@ -89,6 +89,35 @@ impl PacketRecord {
     pub fn is_bare_syn(&self) -> bool {
         self.flags.contains(TcpFlags::SYN) && !self.flags.contains(TcpFlags::ACK)
     }
+
+    /// The record's five-tuple flow key — the identity under which the
+    /// feature extractor aggregates per-flow state.
+    pub fn flow_key(&self) -> (u32, u16, u32, u16, u8) {
+        (self.src.to_bits(), self.src_port, self.dst.to_bits(), self.dst_port, self.protocol.number())
+    }
+
+    /// [`PacketRecord::flow_key`] packed into one integer —
+    /// `src(32) | src_port(16) | dst(32) | dst_port(16) | proto(8)`
+    /// from the high bits down. The hot extraction path hashes one
+    /// word pair instead of five tuple fields; unpack with
+    /// [`flow_key_src`] / [`flow_key_dst_port`].
+    pub fn flow_key_packed(&self) -> u128 {
+        (self.src.to_bits() as u128) << 72
+            | (self.src_port as u128) << 56
+            | (self.dst.to_bits() as u128) << 24
+            | (self.dst_port as u128) << 8
+            | self.protocol.number() as u128
+    }
+}
+
+/// Source address bits of a [`PacketRecord::flow_key_packed`] key.
+pub fn flow_key_src(key: u128) -> u32 {
+    (key >> 72) as u32
+}
+
+/// Destination port of a [`PacketRecord::flow_key_packed`] key.
+pub fn flow_key_dst_port(key: u128) -> u16 {
+    (key >> 8) as u16
 }
 
 #[cfg(test)]
@@ -122,6 +151,10 @@ mod tests {
         assert_eq!(r.seq, 42);
         assert_eq!(r.label, Label::Malicious);
         assert!(r.is_bare_syn());
+        assert_eq!(
+            r.flow_key(),
+            (r.src.to_bits(), 5555, r.dst.to_bits(), 80, Protocol::Tcp.number())
+        );
     }
 
     #[test]

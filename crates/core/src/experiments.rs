@@ -730,6 +730,12 @@ pub struct WindowAblationPoint {
     pub cpu_percent: f64,
     /// Mean real-time accuracy (%).
     pub accuracy_percent: f64,
+    /// Distinct flows folded at window closes over the run
+    /// (`features.incremental.flows_touched`) — the deterministic
+    /// measure of statistical-feature work: downgraded windows track
+    /// handshakes only and fold nothing, so a longer period folds
+    /// strictly fewer flows.
+    pub flows_folded: u64,
 }
 
 /// E7: "extending the period for computing these features" reduces CPU
@@ -763,6 +769,10 @@ pub fn run_window_ablation(seed: u64, scale: &ExperimentScale, periods: &[u64]) 
                 stats_period,
                 cpu_percent: report.sustainability.cpu_percent,
                 accuracy_percent: report.log.mean_accuracy() * 100.0,
+                flows_folded: report
+                    .telemetry
+                    .counter("features.incremental.flows_touched")
+                    .unwrap_or(0),
             }
         })
         .collect()

@@ -81,7 +81,8 @@ pub struct SwarmViolation {
     /// Stable invariant name (`no-panic`, `ids-liveness`,
     /// `feed-conservation`, `pool-health`, `clock-horizon`,
     /// `determinism`; serving case also: `serving-conservation`,
-    /// `generation-monotone`, `swap-landed`; sharded case also:
+    /// `flow-state-conservation`, `generation-monotone`, `swap-landed`;
+    /// sharded case also:
     /// `shard-conservation`, `shard-invariance`).
     pub invariant: &'static str,
     /// Human-readable detail.
@@ -291,9 +292,11 @@ pub fn run_swarm_case(
 /// On top of the shared invariants it checks *serving conservation*
 /// (per tenant, `windows_ingested == windows_classified +
 /// windows_degraded + windows_shed`, via both the handle and the
-/// telemetry export), *generation monotonicity* in every log, and that
-/// the staged hot-swap actually landed despite `serve.model_swap_delay`
-/// perturbation.
+/// telemetry export), *flow-state conservation* (after every
+/// `features.state_cull` forced cull, each tenant's incremental flow
+/// aggregates must still account for every pushed record byte-for-byte),
+/// *generation monotonicity* in every log, and that the staged hot-swap
+/// actually landed despite `serve.model_swap_delay` perturbation.
 fn run_swarm_serving(
     scenario_seed: u64,
     swarm_seed: u64,
@@ -357,6 +360,7 @@ fn run_swarm_serving(
         let now = tb.runtime().now();
 
         let serving_conservation = report.handle.conservation_violation();
+        let flow_state_conservation = report.handle.flow_state_violation();
         let mut log_text = String::new();
         let mut liveness = None;
         let mut generation_violation = None;
@@ -402,6 +406,7 @@ fn run_swarm_serving(
             log_text,
             liveness,
             serving_conservation,
+            flow_state_conservation,
             generation_violation,
             telemetry_conservation,
             swap_landed,
@@ -429,6 +434,7 @@ fn run_swarm_serving(
             log_text,
             liveness,
             serving_conservation,
+            flow_state_conservation,
             generation_violation,
             telemetry_conservation,
             swap_landed,
@@ -462,6 +468,9 @@ fn run_swarm_serving(
             }
             if let Some(detail) = telemetry_conservation {
                 violations.push(SwarmViolation { invariant: "serving-conservation", detail });
+            }
+            if let Some(detail) = flow_state_conservation {
+                violations.push(SwarmViolation { invariant: "flow-state-conservation", detail });
             }
             if let Some(detail) = generation_violation {
                 violations.push(SwarmViolation { invariant: "generation-monotone", detail });

@@ -456,10 +456,12 @@ impl Testbed {
         // Serving-chaos counters follow the capture-chaos convention:
         // exported only when armed, keeping baseline telemetry
         // fixture-identical.
-        if let Some((swap_delay_fires, queue_full_fires)) = handle.chaos_counts() {
+        if let Some((swap_delay_fires, queue_full_fires, state_cull_fires)) = handle.chaos_counts()
+        {
             let scope = self.registry.scope("ids.serving.chaos");
             scope.gauge("swap_delay_fires").set(swap_delay_fires as i64);
             scope.gauge("queue_full_fires").set(queue_full_fires as i64);
+            scope.gauge("state_cull_fires").set(state_cull_fires as i64);
         }
         let (swaps, retrains, retrains_failed) = handle.swap_counts();
         let generation = handle.generation();

@@ -21,7 +21,8 @@ use capture::record::{Label, PacketRecord};
 use ml::matrix::FeatureMatrix;
 use netsim::packet::{Protocol, TcpFlags};
 
-use crate::window::{AckGrace, WindowAccumulator, WindowStats, STAT_FEATURES, STAT_FEATURE_NAMES};
+use crate::incremental::FlowDelta;
+use crate::window::{AckGrace, WindowStats, STAT_FEATURES, STAT_FEATURE_NAMES};
 
 /// Number of basic per-packet features.
 pub const BASIC_FEATURES: usize = 13;
@@ -112,9 +113,13 @@ impl Window {
     ///
     /// Panics if `out` was not created with [`TOTAL_FEATURES`] columns.
     pub fn append_features(&self, out: &mut FeatureMatrix) {
+        // The statistical half of the row is shared by every packet in
+        // the window: fill it once and only refresh the per-packet
+        // basic half inside the loop.
         let mut row = [0.0; TOTAL_FEATURES];
+        row[BASIC_FEATURES..].copy_from_slice(&self.stats.as_features());
         for r in &self.records {
-            fill_feature_row(r, &self.stats, &mut row);
+            row[..BASIC_FEATURES].copy_from_slice(&basic_features(r));
             out.push_row(&row);
         }
     }
@@ -160,10 +165,18 @@ pub struct WindowAggregator {
     windows_emitted: usize,
     cached_stats: Option<WindowStats>,
     current_index: Option<u64>,
+    /// Absolute end of the in-progress window, in nanoseconds: the
+    /// steady-state push compares timestamps against this cached
+    /// boundary instead of dividing every record down to a window
+    /// index (a per-record `u64` division otherwise).
+    current_end_nanos: u64,
     current: Vec<PacketRecord>,
-    /// Per-record streaming statistics for the in-progress window; its
-    /// scratch maps are cleared (not dropped) at every window close.
-    accumulator: WindowAccumulator,
+    /// Incremental per-flow state for the in-progress window: running
+    /// aggregates updated per record, folded (flows touched only) at
+    /// close. Its scratch maps are cleared (not dropped) at every
+    /// window close. Bit-identical to the batch oracle
+    /// ([`crate::window::WindowAccumulator`]).
+    delta: FlowDelta,
     /// Whether the in-progress window tracks full statistics or only
     /// handshake state (its stats will come from the refresh cache).
     /// Decided when the window opens; stable until it closes.
@@ -187,8 +200,9 @@ impl WindowAggregator {
             windows_emitted: 0,
             cached_stats: None,
             current_index: None,
+            current_end_nanos: 0,
             current: Vec::new(),
-            accumulator: WindowAccumulator::new(),
+            delta: FlowDelta::new(),
             full_tracking: true,
         }
     }
@@ -230,23 +244,31 @@ impl WindowAggregator {
     /// Pushes the next record (must be in non-decreasing time order).
     /// Returns the previous window when `record` starts a new one.
     pub fn push(&mut self, record: PacketRecord) -> Option<Window> {
-        let index = record.window_index(self.window_secs);
-        let completed = match self.current_index {
-            Some(current) if index != current => self.take_window(false),
-            _ => None,
+        let completed = if self.current_index.is_some()
+            && record.ts.as_nanos() >= self.current_end_nanos
+        {
+            self.take_window(false)
+        } else {
+            None
         };
         if self.current.is_empty() {
-            // A window is opening: decide its tracking mode now. The
-            // inputs (cache state, emitted count) cannot change until it
-            // closes, so this matches the refresh decision at close.
+            // A window is opening: locate it — the only per-window
+            // division; in-window records just compare against the
+            // cached boundary above — and decide its tracking mode now.
+            // The inputs (cache state, emitted count) cannot change
+            // until it closes, so this matches the refresh decision at
+            // close.
+            let index = record.window_index(self.window_secs);
+            self.current_index = Some(index);
+            self.current_end_nanos = (index + 1)
+                .saturating_mul(self.window_secs.saturating_mul(1_000_000_000));
             self.full_tracking = self.cached_stats.is_none()
                 || self.windows_emitted.is_multiple_of(self.stats_refresh);
         }
-        self.current_index = Some(index);
         if self.full_tracking {
-            self.accumulator.push(&record);
+            self.delta.push(&record);
         } else {
-            self.accumulator.push_handshake_only(&record);
+            self.delta.push_handshake_only(&record);
         }
         self.current.push(record);
         completed
@@ -267,6 +289,10 @@ impl WindowAggregator {
             return None;
         }
         let records = std::mem::take(&mut self.current);
+        // Pre-size the next window like this one: the replacement Vec
+        // otherwise regrows from empty every window, re-copying the
+        // records log at each doubling.
+        self.current = Vec::with_capacity(records.len());
         self.current_index = None;
         let nominal = self.window_secs as f64;
         let window_start = (index * self.window_secs) as f64;
@@ -283,13 +309,11 @@ impl WindowAggregator {
         // full statistics and a handshake-only window never needs them.
         let refresh_due = self.full_tracking;
         let stats = if refresh_due {
-            let (stats, carry) = self.accumulator.close(
-                &records,
-                span,
-                window_end,
-                self.ack_grace_secs,
-                &self.ack_carry,
-            );
+            // No record slice: everything order-sensitive was logged at
+            // push time, so close cost is O(flows touched), not
+            // O(records) re-walked.
+            let (stats, carry) =
+                self.delta.close(span, window_end, self.ack_grace_secs, &self.ack_carry);
             self.ack_carry = carry;
             self.cached_stats = Some(stats);
             stats
@@ -297,11 +321,39 @@ impl WindowAggregator {
             // Cached stats are reused, but the handshake carry must
             // still track this window or the next fresh computation
             // would resolve SYNs against a stale boundary.
-            self.ack_carry = self.accumulator.advance_carry(window_end, self.ack_grace_secs);
+            self.ack_carry = self.delta.advance_carry(window_end, self.ack_grace_secs);
             self.cached_stats.expect("cache checked above")
         };
         self.windows_emitted += 1;
         Some(Window { index, stats, records })
+    }
+
+    /// Forces an immediate stale-key cull on the incremental state's
+    /// scratch maps — the `features.state_cull` fault-injection hook.
+    /// Semantically invisible: culling only evicts entries no live
+    /// window can see.
+    pub fn force_cull(&mut self) {
+        self.delta.force_cull();
+    }
+
+    /// Total distinct flows folded across all closed windows (the
+    /// `features.incremental.flows_touched` observability feed).
+    pub fn flows_touched(&self) -> u64 {
+        self.delta.flows_touched()
+    }
+
+    /// Checks flow-state conservation on the in-progress window: the
+    /// live per-flow aggregates must account for exactly the records
+    /// pushed since the last boundary. Returns the first violation
+    /// found, if any.
+    pub fn state_conservation_violation(&self) -> Option<String> {
+        if self.full_tracking {
+            self.delta.state_conservation_violation()
+        } else {
+            // Handshake-only windows deliberately skip the flow
+            // aggregates; there is nothing to conserve.
+            None
+        }
     }
 }
 

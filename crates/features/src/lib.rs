@@ -14,6 +14,8 @@
 #![forbid(unsafe_code)]
 
 pub mod extract;
+pub mod genmap;
+pub mod incremental;
 pub mod scaling;
 pub mod window;
 
@@ -21,5 +23,7 @@ pub use extract::{
     basic_features, extract_dataset, feature_names, feature_vector, windows_of, Window,
     WindowAggregator, BASIC_FEATURES, TOTAL_FEATURES,
 };
+pub use genmap::GenMap;
+pub use incremental::{FlowAgg, FlowDelta};
 pub use scaling::{Scaler, ScalingMethod};
 pub use window::{entropy, mean_std, AckGrace, WindowStats, STAT_FEATURES};

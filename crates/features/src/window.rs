@@ -11,13 +11,13 @@
 //! the accuracy dips at attack boundaries the paper reports (mixed
 //! windows give both classes the same statistical half).
 
-use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::hash::Hash;
 
 use capture::record::PacketRecord;
 use netsim::packet::{Protocol, TcpFlags};
 use serde::{Deserialize, Serialize};
+
+use crate::genmap::GenMap;
 
 /// The statistical features of one time window.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -61,10 +61,10 @@ pub struct AckGrace {
     /// The window boundary (in seconds) at which these SYNs were
     /// deferred; an ACK within the grace period of this instant
     /// resolves them.
-    boundary_secs: f64,
+    pub(crate) boundary_secs: f64,
     /// Per-endpoint `(src_addr, src_port)` count of bare SYNs still
     /// awaiting an ACK across the boundary.
-    pending: HashMap<(u32, u16), u64>,
+    pub(crate) pending: HashMap<(u32, u16), u64>,
 }
 
 impl AckGrace {
@@ -274,203 +274,8 @@ impl WindowStats {
     }
 }
 
-/// Stale-entry cull threshold for [`GenMap::clear`]: compact when the
-/// backing map holds this many times more keys than the window touched
-/// (plus a flat floor so small windows over a rich key history don't
-/// thrash the cull).
-const GENMAP_COMPACT_FACTOR: usize = 4;
-const GENMAP_COMPACT_MIN: usize = 256;
-
-/// A deterministic multiply-rotate hasher for the window count maps.
-///
-/// The accumulator hashes millions of tiny keys per capture — `u16`
-/// ports, `u32` addresses, 13-byte flow tuples — where the default
-/// SipHash costs more than the table probe it guards. This is the
-/// classic Fx construction (`state = (rotl5(state) ^ word) * K`): two
-/// or three cycles per word, good avalanche on low bits for
-/// power-of-two tables, and *unkeyed*, so hashing — like everything
-/// else in the pipeline — is deterministic across runs and platforms.
-/// DoS keying is irrelevant here: the keys come from the simulator, not
-/// an adversary with knowledge of the process's hash seed.
-///
-/// Nothing order-sensitive ever folds over these maps (see
-/// [`GenMap`]), so the change of iteration order vs SipHash is
-/// unobservable in any output.
-#[derive(Debug, Default, Clone, Copy)]
-struct FxHasher {
-    hash: u64,
-}
-
-/// 2^64 / φ, the usual Fibonacci-hashing multiplier.
-const FX_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
-
-impl FxHasher {
-    #[inline]
-    fn add(&mut self, word: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
-    }
-}
-
-impl std::hash::Hasher for FxHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        let mut rest = bytes;
-        while rest.len() >= 8 {
-            let (word, tail) = rest.split_at(8);
-            self.add(u64::from_le_bytes(word.try_into().expect("8-byte chunk")));
-            rest = tail;
-        }
-        let mut last = 0u64;
-        for &b in rest.iter().rev() {
-            last = last << 8 | u64::from(b);
-        }
-        if !rest.is_empty() {
-            self.add(last);
-        }
-    }
-
-    #[inline]
-    fn write_u8(&mut self, v: u8) {
-        self.add(u64::from(v));
-    }
-
-    #[inline]
-    fn write_u16(&mut self, v: u16) {
-        self.add(u64::from(v));
-    }
-
-    #[inline]
-    fn write_u32(&mut self, v: u32) {
-        self.add(u64::from(v));
-    }
-
-    #[inline]
-    fn write_u64(&mut self, v: u64) {
-        self.add(v);
-    }
-
-    #[inline]
-    fn write_usize(&mut self, v: usize) {
-        self.add(v as u64);
-    }
-}
-
-type FxBuild = std::hash::BuildHasherDefault<FxHasher>;
-
-/// A generation-stamped map: per-window values over a *persistent* key
-/// set.
-///
-/// The hash map stores only a `(generation, slot)` stamp per key; the
-/// window's values live in a dense `vals` vec aligned with the
-/// `touched` key log. A lookup only sees slots stamped with the current
-/// generation, and the first touch of a key in a generation appends a
-/// fresh slot. Clearing a window is therefore O(touched) — bump the
-/// generation, truncate the dense vecs — instead of the O(capacity)
-/// sweep of `HashMap::clear`; a flow that reappears window after window
-/// reuses its existing hash slot without any insertion or rehash; and
-/// close-time folds iterate the *dense* value vec, never re-hashing a
-/// key (this matters: under spoofed-source floods nearly every record
-/// touches a distinct key, so a per-key re-hash at close would cost as
-/// much as the pushes themselves). Iteration is in first-touch order,
-/// so callers must only fold it with order-insensitive reductions.
-///
-/// Keys that stop appearing linger with a stale stamp; `clear` culls
-/// them (deterministically, purely from `len`/`touched` counts) once
-/// they outnumber live keys by [`GENMAP_COMPACT_FACTOR`].
-#[derive(Debug, Default)]
-struct GenMap<K, V> {
-    /// Per-key `(generation, index into vals)` stamp — 8 bytes, so a
-    /// small-key entry spans one cache line's worth of table slot.
-    map: HashMap<K, (u32, u32), FxBuild>,
-    /// Keys first-touched in the current generation, in touch order.
-    touched: Vec<K>,
-    /// Current-generation values, aligned with `touched`.
-    vals: Vec<V>,
-    gen: u32,
-}
-
-impl<K: Eq + Hash + Copy, V: Copy> GenMap<K, V> {
-    /// Mutable value for `key`, initialised to `init` on the first touch
-    /// of the current window.
-    fn entry_or(&mut self, key: K, init: V) -> &mut V {
-        let slot = match self.map.entry(key) {
-            Entry::Occupied(e) => {
-                let stamp = e.into_mut();
-                if stamp.0 != self.gen {
-                    *stamp = (self.gen, self.touched.len() as u32);
-                    self.touched.push(key);
-                    self.vals.push(init);
-                }
-                stamp.1
-            }
-            Entry::Vacant(e) => {
-                e.insert((self.gen, self.touched.len() as u32));
-                self.touched.push(key);
-                self.vals.push(init);
-                self.touched.len() as u32 - 1
-            }
-        };
-        &mut self.vals[slot as usize]
-    }
-
-    /// Overwrites `key`'s value for the current window.
-    fn insert(&mut self, key: K, value: V) {
-        *self.entry_or(key, value) = value;
-    }
-
-    /// Current-window value of `key`, if it was touched.
-    fn get(&self, key: &K) -> Option<&V> {
-        match self.map.get(key) {
-            Some((g, slot)) if *g == self.gen => Some(&self.vals[*slot as usize]),
-            _ => None,
-        }
-    }
-
-    /// `true` if `key` was touched in the current window.
-    fn contains_key(&self, key: &K) -> bool {
-        self.get(key).is_some()
-    }
-
-    /// Distinct keys touched in the current window.
-    fn len(&self) -> usize {
-        self.touched.len()
-    }
-
-    /// Current-window values, in first-touch order.
-    fn values(&self) -> impl Iterator<Item = &V> + '_ {
-        self.vals.iter()
-    }
-
-    /// Current-window entries, in first-touch order.
-    fn iter(&self) -> impl Iterator<Item = (&K, &V)> + '_ {
-        self.touched.iter().zip(self.vals.iter())
-    }
-
-    /// Ends the window: O(touched), plus an occasional stale-key cull.
-    fn clear(&mut self) {
-        if self.map.len() > GENMAP_COMPACT_FACTOR * self.touched.len() + GENMAP_COMPACT_MIN {
-            let live = self.gen;
-            self.map.retain(|_, (g, _)| *g == live);
-        }
-        self.gen = self.gen.wrapping_add(1);
-        if self.gen == 0 {
-            // A u32 generation wrapped (2^32 windows): drop every stamp
-            // rather than let ancient entries alias the fresh generation.
-            self.map.clear();
-            self.gen = 1;
-        }
-        self.touched.clear();
-        self.vals.clear();
-    }
-}
-
-/// Streaming per-record accumulator behind the window aggregator's hot
-/// path.
+/// Streaming per-record accumulator — the batch **oracle** for the
+/// incremental path.
 ///
 /// [`WindowStats::compute_streaming`] rebuilds every count map from
 /// scratch each window — O(packets) hash inserts *and* O(windows) map
@@ -492,6 +297,12 @@ impl<K: Eq + Hash + Copy, V: Copy> GenMap<K, V> {
 /// bit-identical [`WindowStats`], which the
 /// `accumulator_matches_batch_computation` test and the repo-level
 /// identity test both pin.
+///
+/// The production aggregator now runs on
+/// [`crate::incremental::FlowDelta`], which folds per-flow running
+/// aggregates instead of three per-record count maps; this accumulator
+/// is kept as the slower, record-slice-driven **oracle** the identity
+/// tests compare it against.
 #[derive(Debug, Default)]
 pub struct WindowAccumulator {
     dst_ports: GenMap<u16, u64>,
@@ -517,9 +328,7 @@ impl WindowAccumulator {
         self.total_bytes += r.wire_len as u64;
         *self.dst_ports.entry_or(r.dst_port, 0) += 1;
         *self.src_addrs.entry_or(r.src.to_bits(), 0) += 1;
-        *self
-            .flows
-            .entry_or((r.src.to_bits(), r.src_port, r.dst.to_bits(), r.dst_port, r.protocol.number()), 0) += 1;
+        *self.flows.entry_or(r.flow_key(), 0) += 1;
         match r.protocol {
             Protocol::Udp => self.udp_count += 1,
             Protocol::Tcp => self.track_handshake(r),
@@ -673,7 +482,7 @@ impl WindowAccumulator {
 /// [`entropy`] with a caller-owned scratch vector instead of a fresh
 /// allocation — identical float-operation order (counts sorted before
 /// the probability summation), identical result.
-fn entropy_sorted(scratch: &mut Vec<u64>, counts: impl IntoIterator<Item = u64>) -> f64 {
+pub(crate) fn entropy_sorted(scratch: &mut Vec<u64>, counts: impl IntoIterator<Item = u64>) -> f64 {
     scratch.clear();
     scratch.extend(counts.into_iter().filter(|&c| c > 0));
     scratch.sort_unstable();
@@ -694,7 +503,7 @@ fn entropy_sorted(scratch: &mut Vec<u64>, counts: impl IntoIterator<Item = u64>)
 /// [`mean_std`] without collecting into a vector: two passes over a
 /// cloneable iterator, adding terms in the same order as the collected
 /// form, so the result is bit-identical.
-fn mean_std_two_pass(values: impl Iterator<Item = f64> + Clone) -> (f64, f64) {
+pub(crate) fn mean_std_two_pass(values: impl Iterator<Item = f64> + Clone) -> (f64, f64) {
     let mut n = 0u64;
     let mut sum = 0.0f64;
     for v in values.clone() {

@@ -274,6 +274,28 @@ impl TrainedIds {
         scratch: &mut FeatureMatrix,
         predictions: &mut Vec<usize>,
     ) -> Result<(WindowDetection, WindowProfile), ClassifyError> {
+        self.check_classify_arity(scratch)?;
+        scratch.clear();
+        window.append_features(scratch);
+        self.scaler.transform_matrix(scratch);
+        let predict_started = std::time::Instant::now();
+        let work = self.model.predict_batch_into(scratch.view(), predictions);
+        let predict_wall_ns = predict_started.elapsed().as_nanos() as u64;
+        let detection = detection_from_predictions(window, predictions);
+        Ok((detection, WindowProfile { work_units: work, predict_wall_ns }))
+    }
+
+    /// The arity preconditions of a classify pass, shared by the
+    /// per-window path and the serving layer's coalesced batch (which
+    /// checks once per batch instead of once per window — the checks
+    /// depend only on the scratch matrix and the fitted scaler, never on
+    /// the windows).
+    ///
+    /// # Errors
+    ///
+    /// The same [`ClassifyError`] variants as
+    /// [`TrainedIds::try_classify_window_profiled`].
+    pub fn check_classify_arity(&self, scratch: &FeatureMatrix) -> Result<(), ClassifyError> {
         if scratch.n_cols() != TOTAL_FEATURES {
             return Err(ClassifyError::ScratchArity {
                 expected: TOTAL_FEATURES,
@@ -286,35 +308,33 @@ impl TrainedIds {
                 got: self.scaler.dims(),
             });
         }
-        scratch.clear();
-        window.append_features(scratch);
-        self.scaler.transform_matrix(scratch);
-        let predict_started = std::time::Instant::now();
-        let work = self.model.predict_batch_into(scratch.view(), predictions);
-        let predict_wall_ns = predict_started.elapsed().as_nanos() as u64;
-        let predictions = &*predictions;
-        let truth = window.labels();
-        let correct = predictions.iter().zip(&truth).filter(|(p, t)| p == t).count();
-        let predicted_malicious = predictions.iter().filter(|&&p| p == 1).count();
-        let truth_malicious = truth.iter().filter(|&&t| t == 1).count();
-        let malicious_correct = predictions
-            .iter()
-            .zip(&truth)
-            .filter(|(&p, &t)| p == 1 && t == 1)
-            .count();
-        let detection = WindowDetection {
-            window_index: window.index,
-            packets: window.records.len(),
-            correct,
-            predicted_malicious,
-            truth_malicious,
-            malicious_correct,
-            mixed: window.is_mixed(),
-            majority_truth: window.majority_label(),
-            generation: 0,
-            degraded: false,
-        };
-        Ok((detection, WindowProfile { work_units: work, predict_wall_ns }))
+        Ok(())
+    }
+}
+
+/// Folds one window's per-packet predictions into its
+/// [`WindowDetection`] (generation and degradation are stamped by the
+/// caller). `predictions` must be packet-aligned with the window — in a
+/// coalesced batch, the window's [`ml::classifier::RowSpan`] slice.
+pub fn detection_from_predictions(window: &Window, predictions: &[usize]) -> WindowDetection {
+    let truth = window.labels();
+    debug_assert_eq!(predictions.len(), truth.len(), "predictions not packet-aligned");
+    let correct = predictions.iter().zip(&truth).filter(|(p, t)| p == t).count();
+    let predicted_malicious = predictions.iter().filter(|&&p| p == 1).count();
+    let truth_malicious = truth.iter().filter(|&&t| t == 1).count();
+    let malicious_correct =
+        predictions.iter().zip(&truth).filter(|(&p, &t)| p == 1 && t == 1).count();
+    WindowDetection {
+        window_index: window.index,
+        packets: window.records.len(),
+        correct,
+        predicted_malicious,
+        truth_malicious,
+        malicious_correct,
+        mixed: window.is_mixed(),
+        majority_truth: window.majority_label(),
+        generation: 0,
+        degraded: false,
     }
 }
 

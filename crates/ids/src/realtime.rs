@@ -15,12 +15,13 @@ use capture::record::{Label, PacketRecord};
 use capture::sniffer::SnifferHandle;
 use containers::meter::ResourceMeter;
 use features::extract::{WindowAggregator, TOTAL_FEATURES};
+use ml::classifier::RowSpan;
 use ml::matrix::FeatureMatrix;
 use netsim::time::SimDuration;
 use netsim::world::{App, Ctx};
 use obs::{pow2_bounds, Counter, Histogram, Scope};
 
-use crate::pipeline::{TrainedIds, WindowDetection};
+use crate::pipeline::{detection_from_predictions, TrainedIds, WindowDetection};
 
 /// Shared log of per-window detection results.
 #[derive(Debug, Clone, Default)]
@@ -273,6 +274,10 @@ struct IdsObs {
     extract_ns: Histogram,
     classify_ns: Histogram,
     predict_work: Histogram,
+    /// Flow-state cardinality reported by the incremental extractor
+    /// (`features.incremental.flows_touched`): distinct flows folded at
+    /// each window close, summed over the run.
+    flows_touched: Counter,
 }
 
 impl IdsObs {
@@ -281,6 +286,7 @@ impl IdsObs {
         let ns_bounds = pow2_bounds(10, 34);
         // Predict work units (nodes / MACs / distance ops) per window.
         let work_bounds = pow2_bounds(4, 30);
+        let incremental = scope.registry().scope("features.incremental");
         IdsObs {
             windows: scope.counter("windows"),
             packets_classified: scope.counter("packets_classified"),
@@ -289,6 +295,7 @@ impl IdsObs {
             extract_ns: scope.histogram("extract_modelled_ns", &ns_bounds),
             classify_ns: scope.histogram("classify_modelled_ns", &ns_bounds),
             predict_work: scope.histogram("predict_work_units", &work_bounds),
+            flows_touched: incremental.counter("flows_touched"),
             scope,
         }
     }
@@ -327,9 +334,17 @@ pub struct RealTimeIds {
     /// Feature scratch reused every window — the steady-state detection
     /// loop performs no per-window feature allocation.
     scratch: FeatureMatrix,
-    /// Prediction scratch reused every window (the serial, allocation-
-    /// free [`ml::classifier::Classifier::predict_batch_into`] path).
+    /// Prediction scratch reused every tick: one coalesced
+    /// [`ml::classifier::Classifier::predict_batch_spans_into`] pass
+    /// covers every window the tick completed.
     predictions: Vec<usize>,
+    /// Per-window row spans into `scratch` for the coalesced pass.
+    spans: Vec<RowSpan>,
+    /// Per-window predict work returned by the span API, so the
+    /// per-window telemetry attribution survives batching.
+    span_work: Vec<u64>,
+    /// `aggregator.flows_touched()` at the last telemetry top-up.
+    flows_touched_reported: u64,
     /// Drain scratch swapped with the sniffer buffer every tick
     /// ([`SnifferHandle::drain_into`]), so the feed ping-pongs two
     /// buffers instead of allocating one per window.
@@ -372,6 +387,9 @@ impl RealTimeIds {
             overload,
             scratch: FeatureMatrix::new(TOTAL_FEATURES),
             predictions: Vec::new(),
+            spans: Vec::new(),
+            span_work: Vec::new(),
+            flows_touched_reported: 0,
             drain_buf: Vec::new(),
             obs: None,
             wall_obs: None,
@@ -409,44 +427,66 @@ impl RealTimeIds {
         let pressure = ctx.cpu_pressure();
         let window_interval_secs = self.ids.window_secs() as f64;
         let mut buffered_bytes = 0u64;
-        for window in &completed {
-            // A classify failure (e.g. an arity-incompatible model) is
-            // recoverable: the window is logged as degraded with zero
-            // classified packets instead of panicking the service.
-            let (mut detection, profile) = match self.ids.try_classify_window_profiled(
-                window,
-                &mut self.scratch,
-                &mut self.predictions,
-            ) {
-                Ok(pair) => pair,
-                Err(e) => {
-                    if let Some(obs) = &self.obs {
-                        obs.classify_errors.inc();
-                        obs.windows.inc();
-                        obs.scope.event(
-                            ctx.now().as_nanos(),
-                            "classify_error",
-                            format!("w={} {e}", window.index),
-                        );
-                    }
-                    self.log.push(WindowDetection {
-                        window_index: window.index,
-                        packets: window.records.len(),
-                        correct: 0,
-                        predicted_malicious: 0,
-                        truth_malicious: 0,
-                        malicious_correct: 0,
-                        mixed: window.is_mixed(),
-                        majority_truth: window.majority_label(),
-                        generation: 0,
-                        degraded: true,
-                    });
-                    continue;
-                }
-            };
-            if let Some(wall) = &self.wall_obs {
-                wall.predict_wall_ns.observe(profile.predict_wall_ns);
+        // Coalesce every window the tick completed into one feature
+        // matrix and a single span-batched predict pass; the span API
+        // returns per-window work, so telemetry attribution stays
+        // per-window even though the model runs once per tick. An arity
+        // failure (e.g. an incompatible model assembled via from_parts)
+        // is recoverable: it poisons the whole batch, and each window is
+        // logged as degraded with zero classified packets.
+        self.scratch.clear();
+        self.spans.clear();
+        let arity = self.ids.check_classify_arity(&self.scratch);
+        if arity.is_ok() {
+            let mut row_start = 0;
+            for window in &completed {
+                window.append_features(&mut self.scratch);
+                let len = self.scratch.n_rows() - row_start;
+                self.spans.push(RowSpan { start: row_start, len });
+                row_start += len;
             }
+            self.ids.scaler().transform_matrix(&mut self.scratch);
+            let predict_started = Instant::now();
+            self.ids.model().predict_batch_spans_into(
+                self.scratch.view(),
+                &self.spans,
+                &mut self.predictions,
+                &mut self.span_work,
+            );
+            if !completed.is_empty() {
+                if let Some(wall) = &self.wall_obs {
+                    wall.predict_wall_ns.observe(predict_started.elapsed().as_nanos() as u64);
+                }
+            }
+        }
+        for (slot, window) in completed.iter().enumerate() {
+            if let Err(e) = &arity {
+                if let Some(obs) = &self.obs {
+                    obs.classify_errors.inc();
+                    obs.windows.inc();
+                    obs.scope.event(
+                        ctx.now().as_nanos(),
+                        "classify_error",
+                        format!("w={} {e}", window.index),
+                    );
+                }
+                self.log.push(WindowDetection {
+                    window_index: window.index,
+                    packets: window.records.len(),
+                    correct: 0,
+                    predicted_malicious: 0,
+                    truth_malicious: 0,
+                    malicious_correct: 0,
+                    mixed: window.is_mixed(),
+                    majority_truth: window.majority_label(),
+                    generation: 0,
+                    degraded: true,
+                });
+                continue;
+            }
+            let span = self.spans[slot];
+            let mut detection =
+                detection_from_predictions(window, &self.predictions[span.range()]);
             let modelled_secs = self.overload.modelled_cost_secs(window.records.len(), pressure);
             detection.degraded = modelled_secs > window_interval_secs;
             buffered_bytes += window.records.len() as u64 * 64; // record footprint
@@ -464,7 +504,7 @@ impl RealTimeIds {
                     * 1e9) as u64;
                 obs.extract_ns.observe(extract_ns);
                 obs.classify_ns.observe(classify_ns);
-                obs.predict_work.observe(profile.work_units);
+                obs.predict_work.observe(self.span_work[slot]);
                 if detection.degraded {
                     obs.budget_exceeded.inc();
                     obs.scope.event(
@@ -475,6 +515,14 @@ impl RealTimeIds {
                 }
             }
             self.log.push(detection);
+        }
+        // Top up the incremental extractor's flow-state counter with the
+        // flows folded since the last tick (the aggregator reports a
+        // cumulative total).
+        if let Some(obs) = &self.obs {
+            let touched = self.aggregator.flows_touched();
+            obs.flows_touched.add(touched - self.flows_touched_reported);
+            self.flows_touched_reported = touched;
         }
         // Wall-clock busy time, stretched by the injected pressure,
         // feeds the sustainability meter only (reporting, not control).

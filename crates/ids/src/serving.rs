@@ -49,7 +49,9 @@ use netsim::time::{SimDuration, SimTime};
 use netsim::world::{App, Ctx};
 use obs::{Counter, Gauge, Scope};
 
-use crate::pipeline::{ModelKind, TrainedIds, WindowDetection};
+use ml::classifier::RowSpan;
+
+use crate::pipeline::{detection_from_predictions, ModelKind, TrainedIds, WindowDetection};
 use crate::realtime::DetectionLog;
 
 /// What a tenant does when its ingestion queue is full (or chaos
@@ -198,6 +200,11 @@ pub struct IngestQueue {
     /// Distinct window indices seen among offered records.
     windows_ingested: u64,
     last_offered_index: Option<u64>,
+    /// Absolute end of the last offered record's window, in
+    /// nanoseconds: offers inside the window compare against this
+    /// cached boundary instead of dividing every timestamp down to a
+    /// window index.
+    offered_end_nanos: u64,
 }
 
 impl IngestQueue {
@@ -221,6 +228,7 @@ impl IngestQueue {
             high_water: 0,
             windows_ingested: 0,
             last_offered_index: None,
+            offered_end_nanos: 0,
         }
     }
 
@@ -273,9 +281,14 @@ impl IngestQueue {
     /// gets back what happened for window-level accounting.
     pub fn offer(&mut self, record: PacketRecord) -> Admission {
         self.offered += 1;
-        let index = record.window_index(self.window_secs);
-        if self.last_offered_index != Some(index) {
+        if self.last_offered_index.is_none() || record.ts.as_nanos() >= self.offered_end_nanos {
+            // Window rollover (or first offer): the only division on
+            // the offer path — in-window records take the comparison
+            // above. Offers arrive in non-decreasing time order.
+            let index = record.window_index(self.window_secs);
             self.last_offered_index = Some(index);
+            self.offered_end_nanos =
+                (index + 1).saturating_mul(self.window_secs.saturating_mul(1_000_000_000));
             self.windows_ingested += 1;
         }
         let effectively_full =
@@ -529,17 +542,20 @@ struct TenantState {
     obs: Option<TenantObs>,
 }
 
-/// Serving-layer chaos: the two `serve.*` decision points, evaluated
-/// from private streams keyed exactly like the kernel's buggify layer
-/// (same swarm seed ⇒ same perturbation schedule), since the service
-/// runs above the kernel and cannot reach its `Buggify` state.
+/// Serving-layer chaos: the `serve.*` decision points plus the feature
+/// layer's `features.state_cull`, evaluated from private streams keyed
+/// exactly like the kernel's buggify layer (same swarm seed ⇒ same
+/// perturbation schedule), since the service runs above the kernel and
+/// cannot reach its `Buggify` state.
 #[derive(Debug)]
 struct ServingChaos {
     swap_rng: SimRng,
     queue_rng: SimRng,
+    cull_rng: SimRng,
     intensity: f64,
     swap_delay_fires: u64,
     queue_full_fires: u64,
+    state_cull_fires: u64,
 }
 
 impl ServingChaos {
@@ -553,9 +569,14 @@ impl ServingChaos {
                 swarm_seed,
                 DecisionPoint::ServeIngestQueueFull.name(),
             )),
+            cull_rng: SimRng::seed_from(stream_seed(
+                swarm_seed,
+                DecisionPoint::FeaturesStateCull.name(),
+            )),
             intensity,
             swap_delay_fires: 0,
             queue_full_fires: 0,
+            state_cull_fires: 0,
         }
     }
 }
@@ -574,15 +595,24 @@ struct ServiceObs {
     retrains: Counter,
     retrains_failed: Counter,
     generation: Gauge,
+    /// Rows pushed through the coalesced cross-tenant predict batches
+    /// (`ids.serving.batch_rows`).
+    batch_rows: Counter,
+    /// Distinct flows folded at window close across every tenant's
+    /// incremental extractor (`features.incremental.flows_touched`).
+    flows_touched: Counter,
 }
 
 impl ServiceObs {
     fn new(scope: Scope) -> Self {
+        let incremental = scope.registry().scope("features.incremental");
         ServiceObs {
             swaps: scope.counter("swaps"),
             retrains: scope.counter("retrains"),
             retrains_failed: scope.counter("retrains_failed"),
             generation: scope.gauge("generation"),
+            batch_rows: scope.counter("batch_rows"),
+            flows_touched: incremental.counter("flows_touched"),
             scope,
         }
     }
@@ -620,6 +650,21 @@ impl ServingConfig {
     }
 }
 
+/// Per-window bookkeeping of one coalesced classify batch: which
+/// tenant's window each [`RowSpan`] belongs to and the per-tenant
+/// degradation decisions made before the batch predict.
+struct BatchMeta {
+    /// Index into the tick's shared `completed` window list.
+    window: usize,
+    /// Owning tenant (service order).
+    tenant: usize,
+    /// The window had shed or sampled-out records pending when its
+    /// verdict was decided.
+    affected: bool,
+    /// Modelled cost exceeded the window interval (late ⇒ degraded).
+    late: bool,
+}
+
 /// Shared core state: the [`IdsService`] app ticks it on the sim
 /// clock; the [`ServingHandle`] reads (and finalizes) it afterwards.
 struct ServingCore {
@@ -640,6 +685,9 @@ struct ServingCore {
     last_pressure: f64,
     last_now: SimTime,
     finalized: bool,
+    /// First flow-state-conservation violation observed after a forced
+    /// cull (`features.state_cull` chaos), or `None`.
+    flow_state_violation: Option<String>,
     obs: Option<ServiceObs>,
     // Scratch reused across tenants and windows.
     scratch: FeatureMatrix,
@@ -647,7 +695,16 @@ struct ServingCore {
     challenger_scratch: FeatureMatrix,
     challenger_predictions: Vec<usize>,
     drain_buf: Vec<PacketRecord>,
+    /// Every tenant's windows completed this tick, tenant order.
     completed: Vec<Window>,
+    /// Owning tenant of each `completed` window (parallel, sorted).
+    completed_by: Vec<usize>,
+    /// Row spans of the non-shed windows inside the coalesced batch.
+    spans: Vec<RowSpan>,
+    /// Per-span deterministic work units from the batch predict.
+    span_work: Vec<u64>,
+    challenger_span_work: Vec<u64>,
+    batch_meta: Vec<BatchMeta>,
 }
 
 impl ServingCore {
@@ -737,8 +794,10 @@ impl ServingCore {
         }
     }
 
-    /// One service tick: swap if due, then per tenant (fixed order)
-    /// drain → admit → budgeted extract → classify/shed.
+    /// One service tick: swap if due, then a two-phase pass — every
+    /// tenant ingests (fixed order: drain → admit → budgeted extract),
+    /// then all tenants' ready windows classify in **one** coalesced
+    /// batch (see [`ServingCore::classify_batch`]).
     fn tick(&mut self, now: SimTime, pressure: f64) -> u64 {
         self.tick_index += 1;
         self.last_pressure = pressure;
@@ -761,23 +820,41 @@ impl ServingCore {
         self.maybe_retrain(now);
         self.apply_due_swap(now);
 
-        let mut classified_packets = 0u64;
+        self.completed.clear();
+        self.completed_by.clear();
         for t in 0..self.tenants.len() {
-            classified_packets += self.tick_tenant(t, now, pressure);
+            self.ingest_tenant(t, now);
+        }
+        let classified_packets = self.classify_batch(now, pressure);
+
+        for tenant in &self.tenants {
+            if let Some(obs) = &tenant.obs {
+                obs.queue_depth.set(tenant.queue.len() as i64);
+                obs.queue_high_water.set_max(tenant.queue.high_water() as i64);
+            }
         }
         classified_packets
     }
 
-    /// Runs one tenant's tick. Returns packets classified (for the
-    /// meter's memory model).
-    fn tick_tenant(&mut self, t: usize, now: SimTime, pressure: f64) -> u64 {
-        // Per-tick chaos: maybe latch the queue as full.
+    /// Runs one tenant's ingest phase: drain → admit → budgeted
+    /// extract. Completed windows land in the shared `completed` list
+    /// (tagged with the tenant in `completed_by`) for the tick's one
+    /// coalesced classify pass.
+    fn ingest_tenant(&mut self, t: usize, now: SimTime) {
+        // Per-tick chaos: maybe latch the queue as full, maybe force an
+        // early stale-key cull on the feature state.
         let mut forced = false;
+        let mut cull = false;
         if let Some(chaos) = self.chaos.as_mut() {
             let p = DecisionPoint::ServeIngestQueueFull.base_probability() * chaos.intensity;
             if chaos.queue_rng.chance(p) {
                 chaos.queue_full_fires += 1;
                 forced = true;
+            }
+            let p = DecisionPoint::FeaturesStateCull.base_probability() * chaos.intensity;
+            if chaos.cull_rng.chance(p) {
+                chaos.state_cull_fires += 1;
+                cull = true;
             }
         }
         let tenant = &mut self.tenants[t];
@@ -823,43 +900,65 @@ impl ServingCore {
         // Budgeted extraction: move at most the tenant's per-tick record
         // budget into the aggregator; the queue holds the rest.
         let tenant = &mut self.tenants[t];
-        self.completed.clear();
         let mut budget = tenant.config.budget.drain_records_per_tick;
         while budget > 0 {
             let Some(record) = tenant.queue.pop() else { break };
             budget -= 1;
             if let Some(window) = tenant.aggregator.push(record) {
                 self.completed.push(window);
+                self.completed_by.push(t);
             }
         }
 
-        let completed = std::mem::take(&mut self.completed);
-        let packets = self.classify_completed(t, &completed, now, pressure);
-        self.completed = completed;
-        self.completed.clear();
-
-        let tenant = &self.tenants[t];
-        if let Some(obs) = &tenant.obs {
-            obs.queue_depth.set(tenant.queue.len() as i64);
-            obs.queue_high_water.set_max(tenant.queue.high_water() as i64);
+        // The `features.state_cull` chaos point: force an early cull at
+        // this window/tick boundary and immediately verify the live
+        // per-flow state survived — a cull that disturbs in-window
+        // aggregates is the bug class this invariant exists to catch.
+        if cull {
+            let tenant = &mut self.tenants[t];
+            tenant.aggregator.force_cull();
+            if let Some(obs) = &tenant.obs {
+                obs.scope.event(
+                    now.as_nanos(),
+                    "state_cull",
+                    format!("tick={}", self.tick_index),
+                );
+            }
+            if self.flow_state_violation.is_none() {
+                if let Some(v) = tenant.aggregator.state_conservation_violation() {
+                    self.flow_state_violation =
+                        Some(format!("tenant {}: {v}", tenant.config.name));
+                }
+            }
         }
-        packets
     }
 
-    /// Classifies (or sheds) a batch of completed windows for tenant
-    /// `t`. Loads the champion snapshot per window: a swap can only
-    /// land at a tick boundary, so every window still sees exactly one
-    /// generation — and the stamp proves it.
-    fn classify_completed(
-        &mut self,
-        t: usize,
-        completed: &[Window],
-        now: SimTime,
-        pressure: f64,
-    ) -> u64 {
+    /// Classifies (or sheds) every tenant's completed windows in one
+    /// coalesced batch: per-window shed/degrade decisions first (in
+    /// tenant-then-window order, exactly as the per-window path made
+    /// them), then every surviving window's features stacked into one
+    /// matrix, one scaler transform, and one
+    /// [`ml::classifier::Classifier::predict_batch_spans_into`] pass.
+    /// The [`RowSpan`]s keep budgets, degradation ladders, and `gen=`
+    /// stamping per tenant and per window.
+    ///
+    /// The champion snapshot is loaded **once** per batch: a swap can
+    /// only land at a tick boundary, before any window of the tick
+    /// classifies, so one load per batch sees the same generation the
+    /// per-window loads did — and the per-window stamp proves it.
+    fn classify_batch(&mut self, now: SimTime, pressure: f64) -> u64 {
         let mut packets_total = 0u64;
         let window_interval_secs = self.window_secs as f64;
-        for window in completed {
+
+        // Decision pass: shed verdicts and degradation inputs per
+        // window, features of the survivors appended to the shared
+        // scratch matrix with one RowSpan per window.
+        self.scratch.clear();
+        self.spans.clear();
+        self.batch_meta.clear();
+        let mut row_start = 0usize;
+        for (i, window) in self.completed.iter().enumerate() {
+            let t = self.completed_by[i];
             let tenant = &mut self.tenants[t];
             let affected = tenant.affected_pending.remove(&window.index);
             let modelled_secs =
@@ -880,71 +979,127 @@ impl ServingCore {
                 }
                 continue;
             }
+            window.append_features(&mut self.scratch);
+            self.spans.push(RowSpan { start: row_start, len: window.records.len() });
+            row_start += window.records.len();
+            self.batch_meta.push(BatchMeta {
+                window: i,
+                tenant: t,
+                affected,
+                late: modelled_secs > window_interval_secs,
+            });
+            packets_total += window.records.len() as u64;
+        }
+        if self.batch_meta.is_empty() {
+            return packets_total;
+        }
 
-            let champion = self.champion.load();
-            let outcome = champion.value.try_classify_window_profiled(
-                window,
-                &mut self.scratch,
-                &mut self.predictions,
-            );
-            let mut detection = match outcome {
-                Ok((detection, _profile)) => detection,
-                Err(e) => {
-                    tenant.counters.classify_errors += 1;
-                    if let Some(obs) = &tenant.obs {
-                        obs.classify_errors.inc();
-                        obs.scope.event(
-                            now.as_nanos(),
-                            "classify_error",
-                            format!("w={} {e}", window.index),
-                        );
-                    }
-                    WindowDetection {
-                        window_index: window.index,
-                        packets: window.records.len(),
-                        correct: 0,
-                        predicted_malicious: 0,
-                        truth_malicious: 0,
-                        malicious_correct: 0,
-                        mixed: window.is_mixed(),
-                        majority_truth: window.majority_label(),
-                        generation: champion.generation,
-                        degraded: true,
-                    }
+        // One arity check, one transform, one predict for the whole
+        // batch. The checks depend only on the scratch matrix and the
+        // fitted scaler — a failure (bad hot-swapped model) degrades
+        // every window of the batch, exactly as the per-window path
+        // degraded each of them individually.
+        let champion = self.champion.load();
+        let champion_ok = match champion.value.check_classify_arity(&self.scratch) {
+            Ok(()) => {
+                champion.value.scaler().transform_matrix(&mut self.scratch);
+                champion.value.model().predict_batch_spans_into(
+                    self.scratch.view(),
+                    &self.spans,
+                    &mut self.predictions,
+                    &mut self.span_work,
+                );
+                if let Some(obs) = &self.obs {
+                    obs.batch_rows.add(row_start as u64);
+                }
+                true
+            }
+            Err(_) => false,
+        };
+
+        // Shadow evaluation: the challenger scores the same coalesced
+        // batch through its own scaler and scratch, but never emits;
+        // only disagreement counters move. Skipped whole if its arity
+        // check fails — and compared only when the champion produced
+        // predictions.
+        let mut challenger_ok = false;
+        if let Some(challenger) = &self.challenger {
+            let challenger = challenger.load();
+            self.challenger_scratch.clear();
+            for meta in &self.batch_meta {
+                self.completed[meta.window].append_features(&mut self.challenger_scratch);
+            }
+            if challenger.value.check_classify_arity(&self.challenger_scratch).is_ok() {
+                challenger.value.scaler().transform_matrix(&mut self.challenger_scratch);
+                challenger.value.model().predict_batch_spans_into(
+                    self.challenger_scratch.view(),
+                    &self.spans,
+                    &mut self.challenger_predictions,
+                    &mut self.challenger_span_work,
+                );
+                challenger_ok = true;
+            }
+        }
+
+        // Verdict pass, in the same tenant-then-window order: fold each
+        // span's predictions into the window's detection, stamp the
+        // generation, settle the degradation ladder, log.
+        for (j, meta) in self.batch_meta.iter().enumerate() {
+            let window = &self.completed[meta.window];
+            let tenant = &mut self.tenants[meta.tenant];
+            let span = self.spans[j];
+            let mut detection = if champion_ok {
+                detection_from_predictions(window, &self.predictions[span.range()])
+            } else {
+                let e = champion
+                    .value
+                    .check_classify_arity(&self.scratch)
+                    .expect_err("checked above");
+                tenant.counters.classify_errors += 1;
+                if let Some(obs) = &tenant.obs {
+                    obs.classify_errors.inc();
+                    obs.scope.event(
+                        now.as_nanos(),
+                        "classify_error",
+                        format!("w={} {e}", window.index),
+                    );
+                }
+                WindowDetection {
+                    window_index: window.index,
+                    packets: window.records.len(),
+                    correct: 0,
+                    predicted_malicious: 0,
+                    truth_malicious: 0,
+                    malicious_correct: 0,
+                    mixed: window.is_mixed(),
+                    majority_truth: window.majority_label(),
+                    generation: champion.generation,
+                    degraded: true,
                 }
             };
             detection.generation = champion.generation;
-            detection.degraded |= modelled_secs > window_interval_secs || affected;
-            packets_total += window.records.len() as u64;
+            detection.degraded |= meta.late || meta.affected;
 
-            // Shadow evaluation: the challenger scores the same window
-            // but never emits; only disagreement counters move.
-            if let Some(challenger) = &self.challenger {
-                let challenger = challenger.load();
-                if let Ok((shadow, _)) = challenger.value.try_classify_window_profiled(
-                    window,
-                    &mut self.challenger_scratch,
-                    &mut self.challenger_predictions,
-                ) {
-                    tenant.counters.challenger_windows += 1;
-                    let champion_verdict = detection.predicted_malicious * 2 > detection.packets;
-                    let challenger_verdict = shadow.predicted_malicious * 2 > shadow.packets;
-                    let verdict_differs = champion_verdict != challenger_verdict;
-                    let packet_diffs = self
-                        .predictions
-                        .iter()
-                        .zip(&self.challenger_predictions)
-                        .filter(|(a, b)| a != b)
-                        .count() as u64;
-                    tenant.counters.verdict_disagreements += u64::from(verdict_differs);
-                    tenant.counters.packet_disagreements += packet_diffs;
-                    if let Some(obs) = &tenant.obs {
-                        obs.challenger_windows.inc();
-                        if verdict_differs {
-                            obs.verdict_disagreements.inc();
-                        }
-                        obs.packet_disagreements.add(packet_diffs);
+            if champion_ok && challenger_ok {
+                let shadow =
+                    detection_from_predictions(window, &self.challenger_predictions[span.range()]);
+                tenant.counters.challenger_windows += 1;
+                let champion_verdict = detection.predicted_malicious * 2 > detection.packets;
+                let challenger_verdict = shadow.predicted_malicious * 2 > shadow.packets;
+                let verdict_differs = champion_verdict != challenger_verdict;
+                let packet_diffs = self.predictions[span.range()]
+                    .iter()
+                    .zip(&self.challenger_predictions[span.range()])
+                    .filter(|(a, b)| a != b)
+                    .count() as u64;
+                tenant.counters.verdict_disagreements += u64::from(verdict_differs);
+                tenant.counters.packet_disagreements += packet_diffs;
+                if let Some(obs) = &tenant.obs {
+                    obs.challenger_windows.inc();
+                    if verdict_differs {
+                        obs.verdict_disagreements.inc();
                     }
+                    obs.packet_disagreements.add(packet_diffs);
                 }
             }
 
@@ -966,8 +1121,8 @@ impl ServingCore {
     }
 
     /// Graceful shutdown: drain every queue ignoring budgets, flush the
-    /// aggregators, classify the remainder, and settle shed-window
-    /// accounting so conservation holds exactly.
+    /// aggregators, classify the remainder (one final coalesced batch),
+    /// and settle shed-window accounting so conservation holds exactly.
     fn finalize(&mut self) {
         if self.finalized {
             return;
@@ -975,25 +1130,25 @@ impl ServingCore {
         self.finalized = true;
         let now = self.last_now;
         let pressure = self.last_pressure;
+        self.completed.clear();
+        self.completed_by.clear();
         for t in 0..self.tenants.len() {
             let tenant = &mut self.tenants[t];
-            self.completed.clear();
             while let Some(record) = tenant.queue.pop() {
                 if let Some(window) = tenant.aggregator.push(record) {
                     self.completed.push(window);
+                    self.completed_by.push(t);
                 }
             }
             if let Some(window) = tenant.aggregator.flush() {
                 self.completed.push(window);
+                self.completed_by.push(t);
             }
-            let completed = std::mem::take(&mut self.completed);
-            self.classify_completed(t, &completed, now, pressure);
-            self.completed = completed;
-            self.completed.clear();
-
+        }
+        self.classify_batch(now, pressure);
+        for tenant in &mut self.tenants {
             // Whatever is still marked affected never completed: every
             // record of those windows was shed or sampled out.
-            let tenant = &mut self.tenants[t];
             let wholly_shed = tenant.affected_pending.len() as u64;
             tenant.counters.windows_shed += wholly_shed;
             if let Some(obs) = &tenant.obs {
@@ -1026,6 +1181,10 @@ impl ServingCore {
                 obs.queue_depth.set(tenant.queue.len() as i64);
                 obs.queue_high_water.set_max(tenant.queue.high_water() as i64);
             }
+        }
+        if let Some(obs) = &self.obs {
+            let touched: u64 = self.tenants.iter().map(|t| t.aggregator.flows_touched()).sum();
+            set_counter(&obs.flows_touched, touched);
         }
     }
 }
@@ -1111,6 +1270,7 @@ pub fn serving_pair(
         last_pressure: 1.0,
         last_now: SimTime::ZERO,
         finalized: false,
+        flow_state_violation: None,
         obs: None,
         scratch: FeatureMatrix::new(TOTAL_FEATURES),
         predictions: Vec::new(),
@@ -1118,6 +1278,11 @@ pub fn serving_pair(
         challenger_predictions: Vec::new(),
         drain_buf: Vec::new(),
         completed: Vec::new(),
+        completed_by: Vec::new(),
+        spans: Vec::new(),
+        span_work: Vec::new(),
+        challenger_span_work: Vec::new(),
+        batch_meta: Vec::new(),
     };
     let core = Rc::new(RefCell::new(core));
     (IdsService { core: Rc::clone(&core), meter }, ServingHandle { core })
@@ -1228,14 +1393,21 @@ impl ServingHandle {
         (core.swaps, core.retrains, core.retrains_failed)
     }
 
-    /// Serving-chaos `(swap_delay_fires, queue_full_fires)`, or `None`
-    /// when disarmed.
-    pub fn chaos_counts(&self) -> Option<(u64, u64)> {
+    /// Serving-chaos `(swap_delay_fires, queue_full_fires,
+    /// state_cull_fires)`, or `None` when disarmed.
+    pub fn chaos_counts(&self) -> Option<(u64, u64, u64)> {
         self.core
             .borrow()
             .chaos
             .as_ref()
-            .map(|c| (c.swap_delay_fires, c.queue_full_fires))
+            .map(|c| (c.swap_delay_fires, c.queue_full_fires, c.state_cull_fires))
+    }
+
+    /// First flow-state-conservation violation observed after a forced
+    /// `features.state_cull`, or `None` when every forced cull left the
+    /// live per-flow aggregates intact.
+    pub fn flow_state_violation(&self) -> Option<String> {
+        self.core.borrow().flow_state_violation.clone()
     }
 
     /// First conservation violation across every tenant and queue, or

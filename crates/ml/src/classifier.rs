@@ -5,6 +5,28 @@ use crate::matrix::MatrixView;
 use crate::metrics::{ConfusionMatrix, MetricsReport};
 use crate::par;
 
+/// A contiguous run of matrix rows belonging to one logical unit (a
+/// window, a tenant) inside a coalesced batch. The serving layer stacks
+/// every tenant's ready windows into one [`crate::matrix::FeatureMatrix`]
+/// and classifies them in a single
+/// [`Classifier::predict_batch_spans_into`] pass; the spans are what let
+/// per-tenant budgets, degradation ladders and per-window work
+/// attribution survive the coalescing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowSpan {
+    /// First row of the span.
+    pub start: usize,
+    /// Number of rows in the span.
+    pub len: usize,
+}
+
+impl RowSpan {
+    /// The row range the span covers.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.len
+    }
+}
+
 /// A trained binary traffic classifier (0 = benign, 1 = malicious).
 ///
 /// Object-safe so the IDS can hold `Box<dyn Classifier>` and swap models
@@ -68,6 +90,40 @@ pub trait Classifier: Send + Sync {
             work += w;
         }
         work
+    }
+
+    /// Classifies the rows of several disjoint, in-order [`RowSpan`]s in
+    /// one pass: `out` receives every span's predictions back to back
+    /// (span order), `span_work` receives one deterministic work total
+    /// per span, and the return value is the grand total. Per-row
+    /// predictions and work are identical to
+    /// [`Classifier::predict_batch_into`] over the same rows — batching
+    /// across spans must never change any output — which is what lets
+    /// the serving layer coalesce all tenants' windows into one matrix
+    /// pass while keeping per-window work attribution exact.
+    fn predict_batch_spans_into(
+        &self,
+        view: MatrixView<'_>,
+        spans: &[RowSpan],
+        out: &mut Vec<usize>,
+        span_work: &mut Vec<u64>,
+    ) -> u64 {
+        out.clear();
+        out.reserve(spans.iter().map(|s| s.len).sum());
+        span_work.clear();
+        span_work.reserve(spans.len());
+        let mut total = 0u64;
+        for span in spans {
+            let mut work = 0u64;
+            for i in span.range() {
+                let (class, w) = self.predict_with_work(view.row(i));
+                out.push(class);
+                work += w;
+            }
+            span_work.push(work);
+            total += work;
+        }
+        total
     }
 
     /// Serialises the model (the PKL-file analogue). The blob length is
@@ -225,6 +281,50 @@ mod tests {
         let ptr = into.as_ptr();
         let _ = model.predict_batch_into(m.view(), &mut into);
         assert_eq!(ptr, into.as_ptr(), "into-variant must reuse its buffer");
+    }
+
+    /// Wraps `Always` with work proportional to the row's first value,
+    /// so per-span work attribution is observable.
+    struct Weighted;
+    impl Classifier for Weighted {
+        fn name(&self) -> &'static str {
+            "weighted"
+        }
+        fn predict(&self, features: &[f64]) -> usize {
+            usize::from(features[0] > 1.0)
+        }
+        fn predict_with_work(&self, features: &[f64]) -> (usize, u64) {
+            (self.predict(features), features[0] as u64)
+        }
+        fn encode(&self) -> Vec<u8> {
+            Vec::new()
+        }
+        fn memory_bytes(&self) -> u64 {
+            0
+        }
+        fn clone_box(&self) -> Box<dyn Classifier> {
+            Box::new(Weighted)
+        }
+    }
+
+    /// Spans tiling the matrix must reproduce `predict_batch_into`
+    /// exactly — same predictions, same total work — while splitting the
+    /// work by span.
+    #[test]
+    fn span_batch_matches_plain_batch() {
+        let x: Vec<Vec<f64>> = (0..7).map(|i| vec![i as f64]).collect();
+        let m = FeatureMatrix::from_rows(&x).unwrap();
+        let model = Weighted;
+        let mut plain = Vec::new();
+        let plain_work = model.predict_batch_into(m.view(), &mut plain);
+        let spans =
+            [RowSpan { start: 0, len: 3 }, RowSpan { start: 3, len: 0 }, RowSpan { start: 3, len: 4 }];
+        let mut spanned = Vec::new();
+        let mut span_work = Vec::new();
+        let total = model.predict_batch_spans_into(m.view(), &spans, &mut spanned, &mut span_work);
+        assert_eq!(spanned, plain);
+        assert_eq!(total, plain_work);
+        assert_eq!(span_work, vec![0 + 1 + 2, 0, 3 + 4 + 5 + 6]);
     }
 
     #[test]

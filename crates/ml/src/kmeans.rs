@@ -21,7 +21,7 @@
 use netsim::rng::SimRng;
 use serde::{Deserialize, Serialize};
 
-use crate::classifier::{Classifier, TrainError};
+use crate::classifier::{Classifier, RowSpan, TrainError};
 use crate::codec::{DecodeError, Decoder, Encoder};
 use crate::matrix::{FeatureMatrix, MatrixView};
 use crate::par;
@@ -387,6 +387,83 @@ impl KMeansDetector {
         &self.cluster_labels
     }
 
+    /// Flattens the centroids into one contiguous buffer for the batch
+    /// predict path: `k × dims` values, centroid-major, so the per-row
+    /// centroid sweep walks a single cache-friendly slice instead of
+    /// chasing one heap pointer per centroid. Returns the buffer and
+    /// `dims`.
+    fn flat_centroids(&self) -> (Vec<f64>, usize) {
+        let dims = self.model.centroids().first().map_or(0, Vec::len);
+        let mut flat = Vec::with_capacity(self.model.k() * dims);
+        for c in self.model.centroids() {
+            flat.extend_from_slice(c);
+        }
+        (flat, dims)
+    }
+
+    /// Classifies `rows` of `view` against the flattened centroids,
+    /// appending one class per row to `out`. Same arithmetic (a
+    /// sequential squared-distance sweep per centroid) and the same
+    /// strict-`<` tie-breaking as [`KMeans::assign`], so batch
+    /// predictions are bit-identical to the per-row path.
+    fn assign_rows_flat(
+        &self,
+        view: MatrixView<'_>,
+        rows: std::ops::Range<usize>,
+        flat: &[f64],
+        dims: usize,
+        out: &mut Vec<usize>,
+    ) {
+        // Four rows share each pass over the centroid buffer. A single
+        // row's distance is a sequential dims-long add chain — latency
+        // bound — but different rows' chains are independent, so
+        // interleaving four hides that latency without touching any
+        // row's operation order: each accumulator still sums its
+        // squared differences in dimension order, bit-identical to the
+        // one-row sweep below.
+        let mut i = rows.start;
+        while i + 4 <= rows.end {
+            let x0 = &view.row(i)[..dims];
+            let x1 = &view.row(i + 1)[..dims];
+            let x2 = &view.row(i + 2)[..dims];
+            let x3 = &view.row(i + 3)[..dims];
+            let mut best = [0usize; 4];
+            let mut best_d = [f64::INFINITY; 4];
+            for (j, c) in flat.chunks_exact(dims).enumerate() {
+                let mut d = [0.0f64; 4];
+                for (jd, &cv) in c.iter().enumerate() {
+                    d[0] += (x0[jd] - cv).powi(2);
+                    d[1] += (x1[jd] - cv).powi(2);
+                    d[2] += (x2[jd] - cv).powi(2);
+                    d[3] += (x3[jd] - cv).powi(2);
+                }
+                for (lane, &dist) in d.iter().enumerate() {
+                    if dist < best_d[lane] {
+                        best_d[lane] = dist;
+                        best[lane] = j;
+                    }
+                }
+            }
+            for lane in best {
+                out.push(self.cluster_labels[lane]);
+            }
+            i += 4;
+        }
+        for i in i..rows.end {
+            let x = view.row(i);
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (j, c) in flat.chunks_exact(dims).enumerate() {
+                let d: f64 = x.iter().zip(c).map(|(a, b)| (a - b).powi(2)).sum();
+                if d < best_d {
+                    best_d = d;
+                    best = j;
+                }
+            }
+            out.push(self.cluster_labels[best]);
+        }
+    }
+
     /// Decodes a detector from its binary blob.
     ///
     /// # Errors
@@ -431,6 +508,58 @@ impl Classifier for KMeansDetector {
         (self.predict(features), self.model.k() as u64 * dims)
     }
 
+    fn predict_batch_into(&self, view: MatrixView<'_>, out: &mut Vec<usize>) -> u64 {
+        out.clear();
+        out.reserve(view.n_rows());
+        let (flat, dims) = self.flat_centroids();
+        if dims == 0 {
+            // Degenerate dimensionless model: keep the per-row path.
+            let mut work = 0u64;
+            for i in 0..view.n_rows() {
+                let (class, w) = self.predict_with_work(view.row(i));
+                out.push(class);
+                work += w;
+            }
+            return work;
+        }
+        self.assign_rows_flat(view, 0..view.n_rows(), &flat, dims, out);
+        (view.n_rows() * self.model.k() * dims) as u64
+    }
+
+    fn predict_batch_spans_into(
+        &self,
+        view: MatrixView<'_>,
+        spans: &[RowSpan],
+        out: &mut Vec<usize>,
+        span_work: &mut Vec<u64>,
+    ) -> u64 {
+        out.clear();
+        out.reserve(spans.iter().map(|s| s.len).sum());
+        span_work.clear();
+        span_work.reserve(spans.len());
+        let (flat, dims) = self.flat_centroids();
+        let per_row = (self.model.k() * dims) as u64;
+        let mut total = 0u64;
+        for span in spans {
+            if dims == 0 {
+                let mut work = 0u64;
+                for i in span.range() {
+                    let (class, w) = self.predict_with_work(view.row(i));
+                    out.push(class);
+                    work += w;
+                }
+                span_work.push(work);
+                total += work;
+                continue;
+            }
+            self.assign_rows_flat(view, span.range(), &flat, dims, out);
+            let work = span.len as u64 * per_row;
+            span_work.push(work);
+            total += work;
+        }
+        total
+    }
+
     fn encode(&self) -> Vec<u8> {
         let mut e = Encoder::new();
         e.put_u32(KMEANS_MAGIC);
@@ -468,6 +597,40 @@ mod tests {
             y.push(usize::from(class >= centers.len() / 2));
         }
         (x, y)
+    }
+
+    #[test]
+    fn flat_batch_predict_is_bit_identical_to_per_row() {
+        let mut rng = SimRng::seed_from(7);
+        let (x, y) = blobs(240, &[(-5.0, 0.0), (0.0, 5.0), (5.0, 0.0), (0.0, -5.0)], &mut rng);
+        let detector = KMeansDetector::fit(&x, &y, &KMeansConfig::default(), &mut rng).unwrap();
+        let mut m = FeatureMatrix::new(2);
+        for row in &x {
+            m.push_row(row);
+        }
+        // Batch vs per-row.
+        let mut batch = Vec::new();
+        let work = detector.predict_batch_into(m.view(), &mut batch);
+        let mut per_row_work = 0u64;
+        for (i, row) in x.iter().enumerate() {
+            let (class, w) = detector.predict_with_work(row);
+            assert_eq!(batch[i], class, "row {i}");
+            per_row_work += w;
+        }
+        assert_eq!(work, per_row_work);
+        // Span-batched vs batch, across ragged tilings.
+        let spans = [
+            RowSpan { start: 0, len: 100 },
+            RowSpan { start: 100, len: 0 },
+            RowSpan { start: 100, len: 140 },
+        ];
+        let mut spanned = Vec::new();
+        let mut span_work = Vec::new();
+        let total = detector.predict_batch_spans_into(m.view(), &spans, &mut spanned, &mut span_work);
+        assert_eq!(spanned, batch);
+        assert_eq!(total, work);
+        assert_eq!(span_work.iter().sum::<u64>(), total);
+        assert_eq!(span_work[1], 0);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod par;
 pub mod rf;
 pub mod svm;
 
-pub use classifier::{evaluate_view, Classifier, TrainError};
+pub use classifier::{evaluate_view, Classifier, RowSpan, TrainError};
 pub use handle::{ModelHandle, SwapHandle, Versioned};
 pub use matrix::{gather, FeatureMatrix, MatrixView};
 pub use cnn::{Cnn, CnnConfig};

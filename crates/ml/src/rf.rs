@@ -15,7 +15,7 @@
 use netsim::rng::SimRng;
 use serde::{Deserialize, Serialize};
 
-use crate::classifier::{validate_matrix, validate_training_set, Classifier, TrainError};
+use crate::classifier::{validate_matrix, validate_training_set, Classifier, RowSpan, TrainError};
 use crate::codec::{DecodeError, Decoder, Encoder};
 use crate::matrix::{FeatureMatrix, MatrixView};
 use crate::par;
@@ -768,6 +768,48 @@ impl RandomForest {
             (0..count).map(|_| DecisionTree::decode_from(&mut d)).collect::<Result<_, _>>()?;
         Ok(RandomForest::from_trees(trees, dims))
     }
+
+    /// Tree-outer lockstep vote accumulation over a contiguous row
+    /// range: raw malicious-vote counts land in `votes` (one slot per
+    /// row, pre-zeroed by the caller) and the return value is the
+    /// visited-node work. Shared core of
+    /// [`Classifier::predict_batch_into`] and the span variant — lane
+    /// grouping depends on where the range starts, but every row pays
+    /// the exact path length of the leaf it lands on and votes with that
+    /// leaf's class, so the split into ranges can never change any
+    /// output.
+    fn lockstep_votes(
+        &self,
+        view: MatrixView<'_>,
+        rows: std::ops::Range<usize>,
+        votes: &mut [usize],
+    ) -> u64 {
+        debug_assert_eq!(votes.len(), rows.len());
+        let base = rows.start;
+        let m = rows.len();
+        let mut work = 0u64;
+        for (&root, &depth) in self.pool.roots.iter().zip(&self.pool.depths) {
+            let mut i = 0;
+            while i + PREDICT_LANES <= m {
+                let group: [&[f64]; PREDICT_LANES] =
+                    std::array::from_fn(|l| view.row(base + i + l));
+                let leaves = self.pool.walk_group(&group, root, depth);
+                for &leaf in &leaves {
+                    work += u64::from(self.pool.depth_of[leaf as usize]);
+                }
+                for lane in 0..PREDICT_LANES {
+                    votes[i + lane] += self.pool.class_of[leaves[lane] as usize] as usize;
+                }
+                i += PREDICT_LANES;
+            }
+            for (r, v) in votes.iter_mut().enumerate().skip(i) {
+                let (class, visited) = self.pool.walk(root, view.row(base + r));
+                *v += class as usize;
+                work += visited;
+            }
+        }
+        work
+    }
 }
 
 impl Classifier for RandomForest {
@@ -810,31 +852,43 @@ impl Classifier for RandomForest {
         let n_rows = view.n_rows();
         out.clear();
         out.resize(n_rows, 0);
+        let work = self.lockstep_votes(view, 0..n_rows, out);
         let n = self.pool.roots.len();
-        let mut work = 0u64;
-        for (&root, &depth) in self.pool.roots.iter().zip(&self.pool.depths) {
-            let mut i = 0;
-            while i + PREDICT_LANES <= n_rows {
-                let group: [&[f64]; PREDICT_LANES] = std::array::from_fn(|l| view.row(i + l));
-                let leaves = self.pool.walk_group(&group, root, depth);
-                for &leaf in &leaves {
-                    work += u64::from(self.pool.depth_of[leaf as usize]);
-                }
-                for lane in 0..PREDICT_LANES {
-                    out[i + lane] += self.pool.class_of[leaves[lane] as usize] as usize;
-                }
-                i += PREDICT_LANES;
-            }
-            for (r, votes) in out.iter_mut().enumerate().skip(i) {
-                let (class, visited) = self.pool.walk(root, view.row(r));
-                *votes += class as usize;
-                work += visited;
-            }
-        }
         for votes in out.iter_mut() {
             *votes = usize::from(*votes * 2 > n);
         }
         work
+    }
+
+    fn predict_batch_spans_into(
+        &self,
+        view: MatrixView<'_>,
+        spans: &[RowSpan],
+        out: &mut Vec<usize>,
+        span_work: &mut Vec<u64>,
+    ) -> u64 {
+        // Same lockstep core as `predict_batch_into`, run span by span
+        // so each span's visited-node work is attributed exactly; `out`
+        // again doubles as the vote accumulator.
+        let total_rows: usize = spans.iter().map(|s| s.len).sum();
+        out.clear();
+        out.resize(total_rows, 0);
+        span_work.clear();
+        span_work.reserve(spans.len());
+        let n = self.pool.roots.len();
+        let mut total = 0u64;
+        let mut offset = 0usize;
+        for span in spans {
+            let votes = &mut out[offset..offset + span.len];
+            let work = self.lockstep_votes(view, span.range(), votes);
+            for v in votes.iter_mut() {
+                *v = usize::from(*v * 2 > n);
+            }
+            span_work.push(work);
+            total += work;
+            offset += span.len;
+        }
+        total
     }
 
     fn encode(&self) -> Vec<u8> {
@@ -1070,6 +1124,38 @@ mod tests {
                 reference_work += work;
             }
             assert_eq!(batch_work, reference_work, "seed {seed}");
+        }
+    }
+
+    /// The span override must reproduce `predict_batch_into` exactly
+    /// (predictions and total work) for any tiling of the matrix, with
+    /// per-span work summing to the total — including spans whose length
+    /// is not a multiple of the lockstep lane width.
+    #[test]
+    fn span_batch_matches_plain_batch_for_any_tiling() {
+        let mut rng = SimRng::seed_from(31);
+        let (x, y) = xor(150, &mut rng);
+        let forest =
+            RandomForest::fit(&x, &y, &ForestConfig { n_trees: 7, ..Default::default() }, &mut rng)
+                .unwrap();
+        let m = FeatureMatrix::from_rows(&x).unwrap();
+        let mut plain = Vec::new();
+        let plain_work = forest.predict_batch_into(m.view(), &mut plain);
+        for lens in [vec![150], vec![64, 86], vec![1, 7, 64, 13, 65], vec![50, 0, 100]] {
+            let mut spans = Vec::new();
+            let mut start = 0;
+            for len in lens {
+                spans.push(RowSpan { start, len });
+                start += len;
+            }
+            let mut spanned = Vec::new();
+            let mut span_work = Vec::new();
+            let total =
+                forest.predict_batch_spans_into(m.view(), &spans, &mut spanned, &mut span_work);
+            assert_eq!(spanned, plain, "{spans:?}");
+            assert_eq!(total, plain_work, "{spans:?}");
+            assert_eq!(span_work.iter().sum::<u64>(), total, "{spans:?}");
+            assert_eq!(span_work.len(), spans.len());
         }
     }
 

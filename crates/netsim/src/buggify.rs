@@ -122,10 +122,15 @@ pub enum DecisionPoint {
     /// coordinator in deterministic merge order, so the draws are
     /// invariant to the worker-thread count.
     ShardBoundaryDelay,
+    /// Feature extraction: force an early stale-key cull of the
+    /// incremental per-flow state's generation maps at a window
+    /// boundary. Must be semantically invisible — the serving swarm
+    /// pairs it with a flow-state-conservation invariant.
+    FeaturesStateCull,
 }
 
 /// Number of decision points.
-pub const POINT_COUNT: usize = 14;
+pub const POINT_COUNT: usize = 15;
 
 /// All decision points, in export order.
 pub const ALL_POINTS: [DecisionPoint; POINT_COUNT] = [
@@ -143,6 +148,7 @@ pub const ALL_POINTS: [DecisionPoint; POINT_COUNT] = [
     DecisionPoint::ServeModelSwapDelay,
     DecisionPoint::ServeIngestQueueFull,
     DecisionPoint::ShardBoundaryDelay,
+    DecisionPoint::FeaturesStateCull,
 ];
 
 impl DecisionPoint {
@@ -163,6 +169,7 @@ impl DecisionPoint {
             DecisionPoint::ServeModelSwapDelay => "serve.model_swap_delay",
             DecisionPoint::ServeIngestQueueFull => "serve.ingest_queue_full",
             DecisionPoint::ShardBoundaryDelay => "shard.boundary_delay",
+            DecisionPoint::FeaturesStateCull => "features.state_cull",
         }
     }
 
@@ -188,6 +195,8 @@ impl DecisionPoint {
             DecisionPoint::ServeIngestQueueFull => 0.02,
             // Evaluated once per cross-shard packet.
             DecisionPoint::ShardBoundaryDelay => 0.02,
+            // Evaluated once per tenant per service tick.
+            DecisionPoint::FeaturesStateCull => 0.05,
         }
     }
 }

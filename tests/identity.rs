@@ -17,8 +17,13 @@
 //! To regenerate the fixtures after an *intentional* behaviour change:
 //! `UPDATE_IDENTITY_FIXTURES=1 cargo test --test identity`.
 
-use ddoshield::experiments::{detection_scenario, training_scenario, ExperimentScale};
+use capture::record::PacketRecord;
+use ddoshield::experiments::{
+    chaos_scenario, detection_scenario, training_scenario, ExperimentScale,
+};
 use ddoshield::Testbed;
+use features::extract::{Window, WindowAggregator, DEFAULT_ACK_GRACE_SECS};
+use features::window::{AckGrace, WindowStats};
 use ids::pipeline::{IdsConfig, ModelKind, TrainedIds};
 use ml::kmeans::KMeansConfig;
 use netsim::time::SimDuration;
@@ -112,6 +117,100 @@ fn pipeline_outputs_are_byte_identical_to_golden_and_across_runs() {
     );
     check_fixture("telemetry.txt", &telemetry_legacy);
     check_fixture("alerts.txt", &alerts_a);
+}
+
+/// Streams `records` through the incremental (`FlowDelta`-backed)
+/// [`WindowAggregator`] and, in lockstep, replays the same windowing
+/// control flow on the batch oracle
+/// ([`WindowStats::compute_streaming`] for fresh windows,
+/// [`AckGrace::advance`] for `stats_refresh`-downgraded
+/// handshake-only windows), panicking on the first bit mismatch.
+/// Returns the incremental path's per-window statistical rows as
+/// stable text (window index + the raw f64 bits of every feature).
+fn extract_both_ways(records: &[PacketRecord], refresh: usize) -> String {
+    use std::fmt::Write as _;
+    let window_secs = 1u64;
+    let grace = DEFAULT_ACK_GRACE_SECS;
+    let mut agg = WindowAggregator::new(window_secs).with_stats_refresh(refresh);
+    let mut incremental: Vec<(Window, bool)> = Vec::new();
+    for &r in records {
+        if let Some(w) = agg.push(r) {
+            incremental.push((w, false));
+        }
+    }
+    if let Some(w) = agg.flush() {
+        incremental.push((w, true));
+    }
+    assert!(!incremental.is_empty(), "capture produced no windows");
+
+    let mut out = String::new();
+    let mut carry = AckGrace::default();
+    let mut cached: Option<WindowStats> = None;
+    for (emitted, (window, is_flush)) in incremental.iter().enumerate() {
+        let nominal = window_secs as f64;
+        let start = (window.index * window_secs) as f64;
+        let (span, end) = if *is_flush {
+            let last_ts = window.records.last().expect("non-empty window").ts.as_secs_f64();
+            ((last_ts - start).clamp(1e-3, nominal), f64::INFINITY)
+        } else {
+            (nominal, start + nominal)
+        };
+        // The aggregator's refresh predicate: window number `emitted`
+        // opened with `emitted` windows already closed.
+        let full = cached.is_none() || emitted % refresh == 0;
+        let stats = if full {
+            let (stats, next) =
+                WindowStats::compute_streaming(&window.records, span, end, grace, &carry);
+            carry = next;
+            cached = Some(stats);
+            stats
+        } else {
+            carry = carry.advance(&window.records, end, grace);
+            cached.expect("cache checked above")
+        };
+        assert_eq!(
+            window.stats.as_features().map(f64::to_bits),
+            stats.as_features().map(f64::to_bits),
+            "window {} (refresh {refresh}): incremental stats diverged from the batch oracle",
+            window.index
+        );
+        write!(out, "w={}", window.index).expect("writing to String cannot fail");
+        for v in window.stats.as_features() {
+            write!(out, " {:016x}", v.to_bits()).expect("writing to String cannot fail");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Byte-identity of the incremental feature extractor against the
+/// batch oracle over the full chaos capture — every window, every
+/// statistical feature, bit for bit — at `stats_refresh = 1` (every
+/// window fresh, ACK-grace carry crossing every boundary) and
+/// `stats_refresh = 3` (handshake-only downgraded windows whose carry
+/// advances without stats). The per-window bits are also pinned as a
+/// golden digest so a divergence in *both* paths at once cannot slip
+/// through.
+#[test]
+fn incremental_extraction_matches_batch_oracle_on_chaos_capture() {
+    let scale = scale();
+    let epoch_offset = scale.capture_secs + 5;
+    let mut testbed = Testbed::deploy(chaos_scenario(SEED, scale.live_secs, epoch_offset));
+    testbed.run_infection_lead();
+    let capture = testbed.run_capture(SimDuration::from_secs(epoch_offset + scale.live_secs));
+    let records = capture.records();
+    assert!(!records.is_empty(), "chaos capture produced no records");
+
+    let mut digest = String::new();
+    for refresh in [1usize, 3] {
+        let rows = extract_both_ways(records, refresh);
+        let windows = rows.lines().count();
+        digest.push_str(&format!(
+            "refresh={refresh} windows={windows} fnv1a={:016x}\n",
+            fnv1a(rows.as_bytes())
+        ));
+    }
+    check_fixture("features.digest", &digest);
 }
 
 /// Splits telemetry text into (everything except pool gauges, pool

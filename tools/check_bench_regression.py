@@ -11,9 +11,17 @@ moved it. With --require-baselines, a fresh bench id with no committed
 baseline is an error: the smoke jobs use this so a renamed or
 newly-added bench cannot silently run unguarded.
 
+With --write-baselines, the check is replaced by a rewrite of the single
+-r reference from the fresh measurements: each shared id gets the fresh
+ns_per_iter/iterations, its previous number is rolled into
+baseline_ns_per_iter (with the derived speedup), and fresh-only ids are
+appended without a baseline. Ids missing from the fresh run keep their
+committed entry untouched.
+
 Usage:
   check_bench_regression.py -r REFERENCE [-r REFERENCE...] \
       [--require-baselines] FRESH [FRESH...]
+  check_bench_regression.py --write-baselines -r REFERENCE FRESH [FRESH...]
 """
 
 import argparse
@@ -26,6 +34,54 @@ TOLERANCE = 0.20  # fail when fresh is >20% slower than the reference
 def load(path):
     with open(path) as fh:
         return {entry["id"]: entry["ns_per_iter"] for entry in json.load(fh)}
+
+
+def dump_entries(path, entries):
+    """Writes entries in the committed one-object-per-line style."""
+    with open(path, "w") as fh:
+        fh.write("[\n")
+        lines = [json.dumps(entry, separators=(", ", ": ")) for entry in entries]
+        fh.write(",\n".join(f"  {line}" for line in lines))
+        fh.write("\n]\n")
+
+
+def write_baselines(reference_path, fresh_paths):
+    with open(reference_path) as fh:
+        entries = json.load(fh)
+    fresh = {}
+    for path in fresh_paths:
+        with open(path) as fh:
+            fresh.update({entry["id"]: entry for entry in json.load(fh)})
+
+    known = set()
+    for entry in entries:
+        known.add(entry["id"])
+        new = fresh.get(entry["id"])
+        if new is None:
+            print(f"KEEP {entry['id']}: not in fresh run")
+            continue
+        old_ns = entry["ns_per_iter"]
+        entry["ns_per_iter"] = new["ns_per_iter"]
+        entry["iterations"] = new["iterations"]
+        entry["baseline_ns_per_iter"] = old_ns
+        entry["speedup"] = round(old_ns / new["ns_per_iter"], 3)
+        print(
+            f"ROLL {entry['id']}: {old_ns:.0f} -> {new['ns_per_iter']:.0f} "
+            f"ns/iter ({entry['speedup']:.2f}x)"
+        )
+    for bench_id in sorted(set(fresh) - known):
+        new = fresh[bench_id]
+        entries.append(
+            {
+                "id": bench_id,
+                "ns_per_iter": new["ns_per_iter"],
+                "iterations": new["iterations"],
+            }
+        )
+        print(f"ADD  {bench_id}: {new['ns_per_iter']:.0f} ns/iter (no prior baseline)")
+
+    dump_entries(reference_path, entries)
+    print(f"wrote {reference_path}")
 
 
 def main(argv):
@@ -42,8 +98,19 @@ def main(argv):
         action="store_true",
         help="fail when a fresh bench id has no committed baseline",
     )
+    parser.add_argument(
+        "--write-baselines",
+        action="store_true",
+        help="rewrite the single -r reference from the fresh run instead of checking",
+    )
     parser.add_argument("fresh", nargs="+", help="criterion-shim JSON from this run")
     args = parser.parse_args(argv[1:])
+
+    if args.write_baselines:
+        if len(args.reference) != 1:
+            sys.exit("--write-baselines needs exactly one -r reference to rewrite")
+        write_baselines(args.reference[0], args.fresh)
+        return
 
     reference = {}
     for path in args.reference:
